@@ -1,0 +1,125 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §7.
+
+* lazy vs eager world sampling for RR-set generation;
+* CELF lazy greedy vs plain greedy (objective-call counts and time);
+* vectorised frontier edge tests vs the scalar Triggering-model loop.
+"""
+
+import numpy as np
+
+from repro.algorithms import high_degree_seeds
+from repro.algorithms.greedy import celf_greedy
+from repro.datasets import load_dataset
+from repro.models import GAP, simulate_ic, simulate_triggering
+from repro.models.possible_world import FrozenWorldSource, sample_possible_world
+from repro.rng import make_rng
+from repro.rrset import RRICGenerator
+
+
+def bench_ablation_lazy_world_rr_sets(benchmark, bench_scale):
+    """Lazy sampling only touches the reverse-reachable region."""
+    graph = load_dataset("flixster", scale=bench_scale.scale, rng=3)
+    generator = RRICGenerator(graph)
+    gen = make_rng(0)
+    benchmark(lambda: generator.generate(rng=gen))
+
+
+def bench_ablation_eager_world_rr_sets(benchmark, bench_scale):
+    """Eager sampling pays for the whole world per RR-set (the ablation)."""
+    graph = load_dataset("flixster", scale=bench_scale.scale, rng=3)
+    generator = RRICGenerator(graph)
+    gen = make_rng(0)
+
+    def run():
+        world = FrozenWorldSource(sample_possible_world(graph, rng=gen))
+        return generator.generate(rng=gen, world=world)
+
+    benchmark(run)
+
+
+def _coverage_objective(counter):
+    sets = {i: {i, i + 50, i % 7} for i in range(40)}
+    sets[0] = set(range(25))
+
+    def objective(seed_list):
+        counter["calls"] += 1
+        covered = set()
+        for s in seed_list:
+            covered |= sets[s]
+        return float(len(covered))
+
+    return objective
+
+
+def bench_ablation_celf_greedy(benchmark):
+    counter = {"calls": 0}
+    objective = _coverage_objective(counter)
+    seeds, _ = benchmark.pedantic(
+        lambda: celf_greedy(range(40), 8, objective), rounds=1, iterations=1
+    )
+    assert seeds[0] == 0
+    # CELF should use far fewer calls than plain greedy's 1 + 40 * 8.
+    assert counter["calls"] < 1 + 40 * 8
+
+
+def bench_ablation_plain_greedy(benchmark):
+    counter = {"calls": 0}
+    objective = _coverage_objective(counter)
+
+    def plain_greedy():
+        chosen: list[int] = []
+        for _ in range(8):
+            best, best_value = None, float("-inf")
+            for v in range(40):
+                if v in chosen:
+                    continue
+                value = objective(chosen + [v])
+                if value > best_value:
+                    best, best_value = v, value
+            chosen.append(best)
+        return chosen
+
+    seeds = benchmark.pedantic(plain_greedy, rounds=1, iterations=1)
+    assert seeds[0] == 0
+
+
+def bench_ablation_vectorized_ic(benchmark, bench_scale):
+    graph = load_dataset("flixster", scale=bench_scale.scale, rng=3)
+    seeds = high_degree_seeds(graph, 5)
+    gen = make_rng(0)
+    benchmark(lambda: simulate_ic(graph, seeds, rng=gen))
+
+
+def bench_ablation_scalar_ic(benchmark, bench_scale):
+    """IC via the scalar Triggering loop — the unvectorised ablation."""
+    graph = load_dataset("flixster", scale=bench_scale.scale, rng=3)
+    seeds = high_degree_seeds(graph, 5)
+    gen = make_rng(0)
+    benchmark(lambda: simulate_triggering(graph, seeds, rng=gen))
+
+
+def bench_ablation_generic_spread_estimator(benchmark, bench_scale):
+    """Per-inform Python engine (baseline for the vectorised ablation)."""
+    from repro.models import GAP, estimate_spread
+
+    graph = load_dataset("flixster", scale=bench_scale.scale, rng=3)
+    seeds_b = high_degree_seeds(graph, 5)
+    gaps = GAP(0.3, 0.8, 0.5, 0.5)
+    benchmark(
+        lambda: estimate_spread(graph, gaps, [0, 1, 2], seeds_b, runs=20, rng=1)
+    )
+
+
+def bench_ablation_vectorized_spread_estimator(benchmark, bench_scale):
+    """Timing-free vectorised estimator (one-way complementarity)."""
+    from repro.models import GAP
+    from repro.models.fast_spread import fast_estimate_spread_one_way
+
+    graph = load_dataset("flixster", scale=bench_scale.scale, rng=3)
+    seeds_b = high_degree_seeds(graph, 5)
+    gaps = GAP(0.3, 0.8, 0.5, 0.5)
+    benchmark(
+        lambda: fast_estimate_spread_one_way(
+            graph, gaps, [0, 1, 2], seeds_b, runs=20, rng=1
+        )
+    )

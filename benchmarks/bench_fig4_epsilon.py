@@ -1,0 +1,22 @@
+"""Benchmark: Figure 4 — effect of epsilon on RR-set algorithms.
+
+Shape check (paper): as epsilon grows from 0.1 to 1, theta (and hence
+runtime) falls by orders of magnitude while seed quality stays flat
+(the paper's largest quality drop across the sweep is 0.45%).
+"""
+
+from repro.experiments import figure4_epsilon_effect
+
+
+def bench_fig4_epsilon(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: figure4_epsilon_effect(
+            bench_scale, epsilons=(0.25, 0.5, 1.0), max_rr_sets=12_000
+        ),
+        rounds=1, iterations=1,
+    )
+    save_table(result, "figure4_epsilon_effect")
+    thetas = result.column("theta")
+    assert thetas == sorted(thetas, reverse=True)
+    spreads = [row["sim_spread"] for row in result.rows]
+    assert max(spreads) - min(spreads) <= 0.25 * max(spreads) + 1.0

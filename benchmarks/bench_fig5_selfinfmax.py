@@ -1,0 +1,21 @@
+"""Benchmark: Figure 5 — A-spread vs |S_A| for SelfInfMax.
+
+Shape check (paper): the RR curve dominates Random everywhere and is the
+best or tied-best method at the full budget on every dataset.
+"""
+
+from repro.experiments import figure5_selfinfmax_spread
+
+
+def bench_fig5_selfinfmax(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: figure5_selfinfmax_spread(bench_scale), rounds=1, iterations=1
+    )
+    save_table(result, "figure5_selfinfmax_spread")
+    for dataset in bench_scale.datasets:
+        at_k = {
+            r["method"]: r["a_spread"]
+            for r in result.rows
+            if r["dataset"] == dataset and r["num_seeds"] == bench_scale.k
+        }
+        assert at_k["RR"] >= at_k["Random"], dataset

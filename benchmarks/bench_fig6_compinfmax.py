@@ -1,0 +1,21 @@
+"""Benchmark: Figure 6 — boost in A-spread vs |S_B| for CompInfMax.
+
+Shape check (paper): RR-CIM yields the largest boost at the full budget;
+Random is consistently the worst.
+"""
+
+from repro.experiments import figure6_compinfmax_boost
+
+
+def bench_fig6_compinfmax(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: figure6_compinfmax_boost(bench_scale), rounds=1, iterations=1
+    )
+    save_table(result, "figure6_compinfmax_boost")
+    for dataset in bench_scale.datasets:
+        at_k = {
+            r["method"]: r["boost"]
+            for r in result.rows
+            if r["dataset"] == dataset and r["num_seeds"] == bench_scale.k
+        }
+        assert at_k["RR"] >= at_k["Random"] - 0.5, dataset

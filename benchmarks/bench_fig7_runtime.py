@@ -1,0 +1,40 @@
+"""Benchmark: Figure 7 — running time comparison and scalability.
+
+Shape checks (paper):
+* (a) MC Greedy is far slower than the RR-set methods;
+* (b) runtime grows near-linearly with graph size (we allow generous
+  slack: the ratio of per-node cost between the largest and smallest
+  graphs must stay within a small constant).
+"""
+
+from repro.experiments import figure7a_runtime, figure7b_scalability
+
+
+def bench_fig7a_runtime(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: figure7a_runtime(
+            bench_scale, include_greedy=True, greedy_pool=15, greedy_runs=15
+        ),
+        rounds=1, iterations=1,
+    )
+    save_table(result, "figure7a_runtime")
+    for row in result.rows:
+        rr_time = min(row["rr_sim_s"], row["rr_sim_plus_s"])
+        assert row["greedy_sim_s"] > rr_time, (
+            "Greedy should be slower than the RR methods even at toy scale"
+        )
+
+
+def bench_fig7b_scalability(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: figure7b_scalability(
+            bench_scale, sizes=(500, 1000, 2000), theta=1000
+        ),
+        rounds=1, iterations=1,
+    )
+    save_table(result, "figure7b_scalability")
+    rows = result.rows
+    per_node_small = rows[0]["rr_sim_plus_s"] / rows[0]["nodes"]
+    per_node_large = rows[-1]["rr_sim_plus_s"] / rows[-1]["nodes"]
+    # Near-linear: per-node cost within a 6x envelope across a 4x size range.
+    assert per_node_large < 6 * per_node_small + 1e-3

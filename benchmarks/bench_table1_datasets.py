@@ -1,0 +1,20 @@
+"""Benchmark: Table 1 — dataset construction and statistics."""
+
+from repro.datasets import load_dataset
+from repro.experiments import table1_dataset_stats
+
+
+def bench_table1_dataset_stats(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: table1_dataset_stats(bench_scale), rounds=1, iterations=1
+    )
+    save_table(result, "table1_dataset_stats")
+    assert len(result.rows) == len(bench_scale.datasets)
+
+
+def bench_dataset_build(benchmark, bench_scale):
+    """Micro-benchmark: building one scaled synthetic network."""
+    graph = benchmark(
+        lambda: load_dataset("flixster", scale=bench_scale.scale, rng=1)
+    )
+    assert graph.num_nodes > 0

@@ -1,0 +1,16 @@
+"""Benchmark: Table 2 — improvement over baselines, mid-tier opposite seeds.
+
+Shape check (paper): GeneralTIM >= Copying for SelfInfMax in every cell,
+usually by a wide margin, and >= VanillaIC in most cells.
+"""
+
+from repro.experiments import table2_improvement
+
+
+def bench_table2_improvement(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: table2_improvement(bench_scale), rounds=1, iterations=1
+    )
+    save_table(result, "table2_improvement_midtier")
+    sim_rows = [r for r in result.rows if r["problem"] == "SelfInfMax"]
+    assert all(r["impr_vs_copying_pct"] > -5.0 for r in sim_rows)

@@ -1,0 +1,16 @@
+"""Benchmark: Table 3 — improvement over baselines, random opposite seeds.
+
+Shape check (paper): with random opposite seeds Copying is very weak
+(copying uninfluential nodes), so the improvement over Copying is large.
+"""
+
+from repro.experiments import table3_improvement_random
+
+
+def bench_table3_improvement_random(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: table3_improvement_random(bench_scale), rounds=1, iterations=1
+    )
+    save_table(result, "table3_improvement_random")
+    sim_rows = [r for r in result.rows if r["problem"] == "SelfInfMax"]
+    assert all(r["impr_vs_copying_pct"] > 0.0 for r in sim_rows)

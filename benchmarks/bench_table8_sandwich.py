@@ -1,0 +1,20 @@
+"""Benchmark: Table 8 — the Sandwich Approximation ratio sigma(S_nu)/nu(S_nu).
+
+Shape check (paper): close-to-1 for learned (close) GAPs; degraded but
+mostly still sizable under stress settings, falling as the gap between
+q_{B|∅} and q_{B|A} widens.
+"""
+
+from repro.experiments import table8_sandwich_ratio
+
+
+def bench_table8_sandwich_ratio(benchmark, bench_scale, save_table):
+    result = benchmark.pedantic(
+        lambda: table8_sandwich_ratio(bench_scale), rounds=1, iterations=1
+    )
+    save_table(result, "table8_sandwich_ratio")
+    for row in result.rows:
+        assert row["SIM_learn"] > 0.9
+        assert row["CIM_learn"] > 0.5
+        # SIM stress: the ratio improves as q_B|0 approaches q_B|A = 1.
+        assert row["SIM_0.9"] >= row["SIM_0.1"] - 0.15

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures
+(DESIGN.md §4 maps them).  Heavy experiment runners execute once inside
+``benchmark.pedantic`` and their rendered tables are written to
+``benchmarks/results/*.md`` so a benchmark run leaves the regenerated
+artifacts behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentScale, TableResult, render_table
+from repro.rrset import TIMOptions
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The benchmark-suite experiment scale.
+
+    Environment overrides (for fuller runs):
+    ``REPRO_BENCH_SCALE`` (float), ``REPRO_BENCH_K``, ``REPRO_BENCH_THETA``,
+    ``REPRO_BENCH_DATASETS`` (comma-separated).
+    """
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.03"))
+    k = int(os.environ.get("REPRO_BENCH_K", "4"))
+    theta = int(os.environ.get("REPRO_BENCH_THETA", "1500"))
+    datasets = tuple(
+        os.environ.get("REPRO_BENCH_DATASETS", "flixster,douban-book").split(",")
+    )
+    return ExperimentScale(
+        scale=scale,
+        k=k,
+        opposite_size=10,
+        mid_rank_start=8,
+        mc_runs=100,
+        tim_options=TIMOptions(theta_override=theta),
+        datasets=datasets,
+        seed=2016,
+    )
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a regenerated table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result: TableResult, name: str) -> TableResult:
+        path = RESULTS_DIR / f"{name}.md"
+        path.write_text(render_table(result), encoding="utf-8")
+        return result
+
+    return _save

@@ -1,0 +1,55 @@
+"""Influence blocking under mutual competition (appendix B.4 regime).
+
+A competitor's product A is already seeded at the network's hubs; we pick
+B-seeds to *suppress* A's spread — the flip side of CompInfMax that mutual
+competition (Q-) enables: cross-monotonicity reverses, so every B-seed can
+only reduce sigma_A (Theorem 3).  The example compares the CELF greedy
+blocker against blocking from random and high-degree seed sets.
+
+Run:  python examples/competitive_blocking.py
+"""
+
+from repro import GAP
+from repro.algorithms import (
+    estimate_suppression,
+    greedy_blocking,
+    high_degree_seeds,
+    random_seeds,
+)
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+
+
+def main() -> None:
+    graph = weighted_cascade_probabilities(power_law_digraph(400, rng=33))
+    # Two strongly competing items: adopting one nearly shuts out the other.
+    gaps = GAP(q_a=0.8, q_a_given_b=0.1, q_b=0.8, q_b_given_a=0.1)
+    print(f"network: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"mutually competitive: {gaps.is_mutually_competitive}")
+
+    seeds_a = high_degree_seeds(graph, 3)
+    baseline = estimate_suppression(graph, gaps, seeds_a, [], runs=400, rng=1)
+    print(f"A seeded at hubs {seeds_a}; suppression with no B-seeds: "
+          f"{baseline.mean:.2f} (must be 0)")
+
+    k = 4
+    # Restrict greedy candidates to the 40 highest-degree nodes: blocking
+    # from the periphery is hopeless and this keeps the demo quick.
+    candidates = high_degree_seeds(graph, 40)
+    blockers = greedy_blocking(
+        graph, gaps, seeds_a, k, runs=120, rng=2, candidates=candidates
+    )
+
+    contenders = {
+        "greedy blocker": blockers,
+        "high-degree": high_degree_seeds(graph, k, exclude=seeds_a),
+        "random": random_seeds(graph, k, rng=3),
+    }
+    for name, seeds_b in contenders.items():
+        result = estimate_suppression(
+            graph, gaps, seeds_a, seeds_b, runs=400, rng=4
+        )
+        print(f"suppression({name:>15}) = {result.mean:6.1f} ± {result.stderr:.1f}")
+
+
+if __name__ == "__main__":
+    main()

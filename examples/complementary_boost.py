@@ -1,0 +1,73 @@
+"""CompInfMax: boosting an existing product by seeding its complement (§4).
+
+Item A (say, a game console) already has organic early adopters that the
+campaign cannot choose.  The platform owner can, however, seed the
+complementary item B (a hit game title, q_{B|A} = 1: every console owner
+who hears of it adopts it).  CompInfMax asks for the k B-seeds maximising
+the *increase* in A adoptions — Problem 2 of the paper, solved by
+GeneralTIM over RR-CIM sets.
+
+Also demonstrates Theorem 2's special case: when q_{B|∅} = 1 and the
+budget covers |S_A|, simply copying the A-seeds is provably optimal.
+
+Run:  python examples/complementary_boost.py
+"""
+
+from repro import GAP, estimate_boost, solve_compinfmax
+from repro.algorithms import (
+    copying_seeds,
+    high_degree_seeds,
+    random_seeds,
+    theorem2_optimal_b_seeds,
+)
+from repro.datasets import load_dataset
+from repro.rrset import TIMOptions
+
+K = 8
+MC_RUNS = 400
+
+
+def main() -> None:
+    graph = load_dataset("douban-book", scale=0.05, rng=21)
+    print(f"network: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    # Console adopts rarely on its own (q_a = 0.1) but almost surely once
+    # the game is owned (q_{A|B} = 0.9); every console owner wants the game.
+    gaps = GAP(q_a=0.1, q_a_given_b=0.9, q_b=0.4, q_b_given_a=1.0)
+    print(f"GAPs: {gaps} (RR-CIM regime: {gaps.is_rr_cim_regime})")
+
+    # Organic A adopters: a random crowd, as in real campaigns.
+    seeds_a = random_seeds(graph, 25, rng=1)
+
+    result = solve_compinfmax(
+        graph, gaps, seeds_a, K,
+        options=TIMOptions(theta_override=5000), rng=2,
+    )
+    print(f"\nGeneralTIM ({result.method}) B-seeds: {result.seeds}")
+
+    strategies = {
+        "GeneralTIM": result.seeds,
+        "Copying(A-seeds)": copying_seeds(graph, K, seeds_a),
+        "HighDegree": high_degree_seeds(graph, K),
+        "Random": random_seeds(graph, K, rng=3),
+    }
+    print(f"\nboost in A adoptions (paired MC, {MC_RUNS} runs):")
+    for name, seeds in strategies.items():
+        boost = estimate_boost(graph, gaps, seeds_a, seeds, runs=MC_RUNS, rng=4)
+        print(f"  {name:18s} {boost.mean:8.2f} ± {boost.stderr:.2f}")
+
+    # Theorem 2: with q_{B|∅} = 1 and budget >= |S_A|, copying is optimal.
+    t2_gaps = GAP(q_a=0.1, q_a_given_b=0.9, q_b=1.0, q_b_given_a=1.0)
+    seeds_a_small = random_seeds(graph, 5, rng=5)
+    optimal = theorem2_optimal_b_seeds(graph, seeds_a_small, 6, rng=6)
+    boost = estimate_boost(
+        graph, t2_gaps, seeds_a_small, optimal, runs=MC_RUNS, rng=7
+    )
+    print(
+        f"\nTheorem 2 regime (q_B|0=1, k=6 >= |S_A|=5): copying A-seeds "
+        f"boosts A by {boost.mean:.2f} ± {boost.stderr:.2f} (provably optimal)"
+    )
+
+
+if __name__ == "__main__":
+    main()

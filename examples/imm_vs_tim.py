@@ -1,0 +1,61 @@
+"""IMM vs GeneralTIM: two seed-selection engines over the same RR-sets.
+
+The paper's RR-set constructions (RR-SIM+, RR-CIM) are orthogonal to the
+seed-selection engine that consumes them.  This example runs both engines
+on one SelfInfMax instance and reports sample counts, seed agreement, and
+the Monte-Carlo spread of each seed set — the expected outcome is IMM
+matching TIM's quality with a fraction of the RR-sets.
+
+Run:  python examples/imm_vs_tim.py
+"""
+
+import time
+
+from repro import GAP, estimate_spread
+from repro.analysis import seed_jaccard
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.rrset import (
+    IMMOptions,
+    RRSimPlusGenerator,
+    TIMOptions,
+    general_imm,
+    general_tim,
+)
+
+
+def main() -> None:
+    graph = weighted_cascade_probabilities(power_law_digraph(800, rng=21))
+    gaps = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+    seeds_b = list(range(5))
+    generator = RRSimPlusGenerator(graph, gaps, seeds_b)
+    k = 8
+    print(f"network: {graph.num_nodes} nodes, {graph.num_edges} edges; k={k}")
+
+    started = time.perf_counter()
+    imm = general_imm(
+        generator, k, options=IMMOptions(epsilon=0.5, max_rr_sets=30_000), rng=1
+    )
+    imm_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    tim = general_tim(
+        generator, k, options=TIMOptions(epsilon=0.5, max_rr_sets=30_000), rng=1
+    )
+    tim_seconds = time.perf_counter() - started
+
+    print(f"IMM: {imm.theta:>6} RR-sets in {imm_seconds:5.2f}s "
+          f"(lower bound on OPT: {imm.lower_bound:.1f}, "
+          f"{imm.rounds} sampling rounds)")
+    print(f"TIM: {tim.theta:>6} RR-sets in {tim_seconds:5.2f}s "
+          f"(KPT estimate: {tim.kpt:.1f})")
+    print(f"seed-set Jaccard overlap: {seed_jaccard(imm.seeds, tim.seeds):.2f}")
+
+    for name, result in (("IMM", imm), ("TIM", tim)):
+        spread = estimate_spread(
+            graph, gaps, result.seeds, seeds_b, runs=400, rng=9
+        )
+        print(f"sigma_A({name} seeds) = {spread.mean:.1f} ± {spread.stderr:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Learning GAPs from user action logs (paper §7.2).
+
+Generates a timestamped rating log for three item pairs with known
+ground-truth GAPs — mimicking Flixster's "want to see"/"not interested"
+exposure signals — then runs the paper's counting estimator and prints the
+learned values with 95% confidence intervals next to the truth.
+
+Run:  python examples/learn_gaps_from_logs.py
+"""
+
+from repro.learning import generate_synthetic_log, learn_gap_pair
+from repro.models import GAP
+
+PAIRS = [
+    # The paper's Table 5 headline pair.
+    ("Monster Inc.", "Shrek", GAP(0.88, 0.92, 0.92, 0.96)),
+    # A strongly complementary pair (phone & watch).
+    ("iPhone", "Apple Watch", GAP(0.70, 0.78, 0.30, 0.85)),
+    # A competitive pair: adopting one suppresses the other.
+    ("Console X", "Console Y", GAP(0.60, 0.25, 0.55, 0.20)),
+]
+
+
+def main() -> None:
+    log = generate_synthetic_log(PAIRS, num_users=30_000, rng=99)
+    print(f"action log: {log.num_events} events, "
+          f"{len(log.users)} users, {len(log.items)} items\n")
+
+    header = f"{'pair':28s} {'GAP':12s} {'learned':>16s} {'truth':>7s}"
+    print(header)
+    print("-" * len(header))
+    for item_a, item_b, truth in PAIRS:
+        learned = learn_gap_pair(log, item_a, item_b)
+        pair_label = f"{item_a} / {item_b}"
+        for attr, label in [
+            ("q_a", "q_A|0"), ("q_a_given_b", "q_A|B"),
+            ("q_b", "q_B|0"), ("q_b_given_a", "q_B|A"),
+        ]:
+            value = getattr(learned.gap, attr)
+            half = learned.halfwidths[attr]
+            true_value = getattr(truth, attr)
+            print(
+                f"{pair_label:28s} {label:12s} "
+                f"{value:10.3f} ±{half:.3f} {true_value:7.2f}"
+            )
+            pair_label = ""
+        relation = truth.relationship_of_b_toward_a().value
+        print(f"{'':28s} (B {relation} A; recovered within 2x CI: "
+              f"{learned.contains_truth(truth, slack=2.0)})\n")
+
+
+if __name__ == "__main__":
+    main()

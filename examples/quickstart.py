@@ -1,0 +1,51 @@
+"""Quickstart: the Com-IC model and SelfInfMax in ~40 lines.
+
+Builds a small synthetic social network, runs a single Com-IC diffusion of
+two complementary items, estimates spreads by Monte Carlo, and selects
+A-seeds with the paper's GeneralTIM + RR-SIM+ (+ Sandwich) algorithm.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GAP, estimate_spread, simulate, solve_selfinfmax
+from repro.algorithms import high_degree_seeds
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.rrset import TIMOptions
+
+
+def main() -> None:
+    # 1. A 500-node power-law network with weighted-cascade probabilities.
+    graph = weighted_cascade_probabilities(power_law_digraph(500, rng=42))
+    print(f"network: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    # 2. Two mutually complementary items: adopting B nearly doubles the
+    #    chance of adopting A, and vice versa.
+    gaps = GAP(q_a=0.4, q_a_given_b=0.8, q_b=0.4, q_b_given_a=0.8)
+    print(f"GAPs: {gaps} (mutually complementary: {gaps.is_mutually_complementary})")
+
+    # 3. One diffusion: item B is already seeded at the two biggest hubs.
+    seeds_b = high_degree_seeds(graph, 2)
+    outcome = simulate(graph, gaps, seeds_a=[0], seeds_b=seeds_b, rng=7)
+    print(
+        f"single cascade from A-seed {{0}}, B-seeds {seeds_b}: "
+        f"{outcome.num_a_adopted} A-adopters, {outcome.num_b_adopted} B-adopters"
+    )
+
+    # 4. SelfInfMax: pick 5 A-seeds maximising sigma_A given those B-seeds.
+    result = solve_selfinfmax(
+        graph, gaps, seeds_b, k=5,
+        options=TIMOptions(theta_override=4000), rng=1,
+    )
+    print(f"GeneralTIM ({result.method}) chose A-seeds: {result.seeds}")
+
+    # 5. Compare against naive high-degree seeding by Monte Carlo.
+    ours = estimate_spread(graph, gaps, result.seeds, seeds_b, runs=400, rng=2)
+    naive = estimate_spread(
+        graph, gaps, high_degree_seeds(graph, 5), seeds_b, runs=400, rng=2
+    )
+    print(f"sigma_A(ours)       = {ours.mean:.1f} ± {ours.stderr:.1f}")
+    print(f"sigma_A(high-degree) = {naive.mean:.1f} ± {naive.stderr:.1f}")
+
+
+if __name__ == "__main__":
+    main()

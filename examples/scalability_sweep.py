@@ -1,0 +1,72 @@
+"""Scalability sweep (paper Figure 7b): runtime vs graph size.
+
+Builds power-law random graphs of growing size (exponent 2.16, average
+degree ~5 — the paper's §7.3 workload) and times GeneralTIM seed selection
+with RR-SIM+ and RR-CIM at a fixed RR-set budget.  The paper's claim is
+near-linear growth; the printed ratio column makes that visible.
+
+Run:  python examples/scalability_sweep.py  [--sizes 1000,2000,4000]
+"""
+
+import argparse
+
+from repro.algorithms import high_degree_seeds
+from repro.experiments import render_series, timed
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.rrset import (
+    RRCimGenerator,
+    RRSimPlusGenerator,
+    TIMOptions,
+    general_tim,
+)
+
+SIM_GAPS = GAP(0.3, 0.8, 0.5, 0.5)
+CIM_GAPS = GAP(0.1, 0.9, 0.5, 1.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", default="1000,2000,4000",
+        help="comma-separated node counts",
+    )
+    parser.add_argument("--theta", type=int, default=2000)
+    parser.add_argument("--k", type=int, default=5)
+    args = parser.parse_args()
+    sizes = [int(s) for s in args.sizes.split(",")]
+    options = TIMOptions(theta_override=args.theta)
+
+    sim_times: list[float] = []
+    cim_times: list[float] = []
+    print(f"{'nodes':>8s} {'edges':>8s} {'RR-SIM+ (s)':>12s} {'RR-CIM (s)':>12s} "
+          f"{'s per 1k nodes':>15s}")
+    for n in sizes:
+        graph = weighted_cascade_probabilities(
+            power_law_digraph(n, exponent=2.16, average_degree=5.0, rng=n)
+        )
+        opposite = high_degree_seeds(graph, 20)
+        _, t_sim = timed(lambda: general_tim(
+            RRSimPlusGenerator(graph, SIM_GAPS, opposite), args.k,
+            options=options, rng=1,
+        ))
+        _, t_cim = timed(lambda: general_tim(
+            RRCimGenerator(graph, CIM_GAPS, opposite), args.k,
+            options=options, rng=2,
+        ))
+        sim_times.append(t_sim)
+        cim_times.append(t_cim)
+        print(f"{n:8d} {graph.num_edges:8d} {t_sim:12.2f} {t_cim:12.2f} "
+              f"{1000 * (t_sim + t_cim) / n:15.3f}")
+
+    # The Fig.-7b shape at a glance: both curves close to straight lines.
+    print()
+    print(render_series(
+        sizes, {"RR-SIM+": sim_times, "RR-CIM": cim_times},
+        title="seed-selection time vs graph size (Fig. 7b shape)",
+        x_label="nodes",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of "From Competition to Complementarity:
+Comparative Influence Diffusion and Maximization" (Lu, Chen & Lakshmanan,
+VLDB 2016).
+
+Public API highlights:
+
+* :class:`~repro.graph.DiGraph` and the :mod:`repro.graph` substrate;
+* :class:`~repro.models.GAP` and :func:`~repro.models.simulate` — the
+  Com-IC model;
+* :func:`~repro.algorithms.solve_selfinfmax` /
+  :func:`~repro.algorithms.solve_compinfmax` — the paper's two problems;
+* :mod:`repro.learning` — GAP estimation from action logs;
+* :mod:`repro.datasets` / :mod:`repro.experiments` — the evaluation
+  harness regenerating every table and figure of §7.
+"""
+
+from repro.errors import (
+    ActionLogError,
+    ConvergenceError,
+    EdgeProbabilityError,
+    EstimationError,
+    ExperimentError,
+    GapError,
+    GraphError,
+    RegimeError,
+    ReproError,
+    SeedSetError,
+)
+from repro.graph import DiGraph
+from repro.models import (
+    GAP,
+    DiffusionOutcome,
+    ItemState,
+    estimate_boost,
+    estimate_spread,
+    simulate,
+)
+from repro.algorithms import solve_compinfmax, solve_selfinfmax
+from repro.rrset import TIMOptions, general_tim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "GAP",
+    "ItemState",
+    "simulate",
+    "DiffusionOutcome",
+    "estimate_spread",
+    "estimate_boost",
+    "solve_selfinfmax",
+    "solve_compinfmax",
+    "general_tim",
+    "TIMOptions",
+    "ReproError",
+    "GraphError",
+    "EdgeProbabilityError",
+    "GapError",
+    "RegimeError",
+    "SeedSetError",
+    "ConvergenceError",
+    "ActionLogError",
+    "EstimationError",
+    "ExperimentError",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Seed-selection algorithms: problem solvers and baselines (§6–§7).
+
+* :func:`~repro.algorithms.selfinfmax.solve_selfinfmax` /
+  :func:`~repro.algorithms.compinfmax.solve_compinfmax` — GeneralTIM over
+  RR-SIM/RR-SIM+/RR-CIM, wrapped in Sandwich Approximation outside the
+  provably-submodular GAP regimes;
+* :mod:`~repro.algorithms.greedy` — CELF-accelerated Monte-Carlo greedy,
+  the paper's "Greedy" comparison algorithm;
+* :mod:`~repro.algorithms.baselines` — HighDegree, PageRank, Random,
+  Copying and VanillaIC from §7;
+* :mod:`~repro.algorithms.heuristics` — DegreeDiscount / SingleDiscount
+  (Chen et al. [9]), the near-linear heuristics of the paper's baselines'
+  lineage.
+"""
+
+from repro.algorithms.baselines import (
+    copying_seeds,
+    high_degree_seeds,
+    pagerank_scores,
+    pagerank_seeds,
+    random_seeds,
+    vanilla_ic_seeds,
+)
+from repro.algorithms.blocking import estimate_suppression, greedy_blocking
+from repro.algorithms.compinfmax import CompInfMaxResult, solve_compinfmax, theorem2_optimal_b_seeds
+from repro.algorithms.greedy import (
+    celf_greedy,
+    celf_plus_plus_greedy,
+    greedy_compinfmax,
+    greedy_selfinfmax,
+)
+from repro.algorithms.heuristics import degree_discount_seeds, single_discount_seeds
+from repro.algorithms.multi_item import (
+    greedy_multi_item_selfinfmax,
+    round_robin_multi_item,
+)
+from repro.algorithms.sandwich import SandwichResult, sandwich_select
+from repro.algorithms.selfinfmax import SelfInfMaxResult, solve_selfinfmax
+
+__all__ = [
+    "solve_selfinfmax",
+    "SelfInfMaxResult",
+    "solve_compinfmax",
+    "CompInfMaxResult",
+    "theorem2_optimal_b_seeds",
+    "estimate_suppression",
+    "greedy_blocking",
+    "sandwich_select",
+    "SandwichResult",
+    "celf_greedy",
+    "celf_plus_plus_greedy",
+    "greedy_selfinfmax",
+    "greedy_compinfmax",
+    "degree_discount_seeds",
+    "single_discount_seeds",
+    "greedy_multi_item_selfinfmax",
+    "round_robin_multi_item",
+    "high_degree_seeds",
+    "pagerank_scores",
+    "pagerank_seeds",
+    "random_seeds",
+    "copying_seeds",
+    "vanilla_ic_seeds",
+]

@@ -1,0 +1,166 @@
+"""Baseline seed-selection heuristics compared against in §7.
+
+* **HighDegree** — the ``k`` nodes of highest out-degree;
+* **PageRank** — the ``k`` nodes of highest PageRank (own power iteration);
+* **Random** — ``k`` uniform nodes;
+* **Copying** — copy the top of the opposite item's seed set;
+* **VanillaIC** — TIM under the classic IC model, i.e. GeneralTIM with the
+  :class:`~repro.rrset.rr_ic.RRICGenerator`, ignoring the NLA entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+from repro.rrset.rr_ic import RRICGenerator
+from repro.rrset.tim import TIMOptions, general_tim
+
+
+def _validated_k(graph: DiGraph, k: int, excluded: set[int]) -> int:
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    available = graph.num_nodes - len(excluded)
+    if k > available:
+        raise SeedSetError(
+            f"cannot select {k} seeds from {available} eligible nodes"
+        )
+    return k
+
+
+def high_degree_seeds(
+    graph: DiGraph, k: int, *, exclude: Iterable[int] = ()
+) -> list[int]:
+    """Top-``k`` nodes by out-degree (ties by node id, ascending)."""
+    excluded = {int(v) for v in exclude}
+    k = _validated_k(graph, k, excluded)
+    degrees = graph.out_degrees
+    # argsort on (-degree, id): stable sort of ids by descending degree.
+    order = np.argsort(-degrees, kind="stable")
+    seeds: list[int] = []
+    for v in order:
+        v = int(v)
+        if v in excluded:
+            continue
+        seeds.append(v)
+        if len(seeds) == k:
+            break
+    return seeds
+
+
+def pagerank_scores(
+    graph: DiGraph,
+    *,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+) -> np.ndarray:
+    """PageRank by power iteration with uniform teleportation.
+
+    Dangling mass (nodes without out-edges) is redistributed uniformly, the
+    standard convention.  Influence probabilities are ignored: PageRank is a
+    purely structural baseline, as in the paper.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    out_deg = graph.out_degrees.astype(np.float64)
+    src = graph.edge_sources
+    dst = graph.edge_targets
+    scores = np.full(n, 1.0 / n, dtype=np.float64)
+    dangling = out_deg == 0
+    for _ in range(max_iterations):
+        contrib = np.zeros(n, dtype=np.float64)
+        if src.size:
+            per_edge = scores[src] / out_deg[src]
+            np.add.at(contrib, dst, per_edge)
+        dangling_mass = float(scores[dangling].sum())
+        updated = (1.0 - damping) / n + damping * (contrib + dangling_mass / n)
+        if np.abs(updated - scores).sum() < tol:
+            scores = updated
+            break
+        scores = updated
+    return scores
+
+
+def pagerank_seeds(
+    graph: DiGraph,
+    k: int,
+    *,
+    exclude: Iterable[int] = (),
+    damping: float = 0.85,
+) -> list[int]:
+    """Top-``k`` nodes by PageRank score."""
+    excluded = {int(v) for v in exclude}
+    k = _validated_k(graph, k, excluded)
+    scores = pagerank_scores(graph, damping=damping)
+    order = np.argsort(-scores, kind="stable")
+    seeds: list[int] = []
+    for v in order:
+        v = int(v)
+        if v in excluded:
+            continue
+        seeds.append(v)
+        if len(seeds) == k:
+            break
+    return seeds
+
+
+def random_seeds(
+    graph: DiGraph,
+    k: int,
+    *,
+    rng: SeedLike = None,
+    exclude: Iterable[int] = (),
+) -> list[int]:
+    """``k`` distinct uniform-random nodes."""
+    excluded = {int(v) for v in exclude}
+    k = _validated_k(graph, k, excluded)
+    gen = make_rng(rng)
+    eligible = np.asarray(
+        [v for v in range(graph.num_nodes) if v not in excluded], dtype=np.int64
+    )
+    picked = gen.choice(eligible, size=k, replace=False)
+    return [int(v) for v in picked]
+
+
+def copying_seeds(
+    graph: DiGraph,
+    k: int,
+    opposite_seeds: Sequence[int],
+    *,
+    rng: SeedLike = None,
+) -> list[int]:
+    """The Copying baseline: take the top-``k`` of the opposite seed set.
+
+    Opposite seeds are assumed ordered by influence rank (as the paper's
+    construction guarantees).  If fewer than ``k`` are available, pads with
+    uniform-random non-seed nodes to honour the budget.
+    """
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    seeds = [int(v) for v in opposite_seeds[:k]]
+    if len(seeds) < k:
+        padding = random_seeds(graph, k - len(seeds), rng=rng, exclude=seeds)
+        seeds.extend(padding)
+    return seeds
+
+
+def vanilla_ic_seeds(
+    graph: DiGraph,
+    k: int,
+    *,
+    options: TIMOptions = TIMOptions(),
+    rng: SeedLike = None,
+) -> list[int]:
+    """VanillaIC: TIM seed selection under the classic IC model.
+
+    Returned in selection (rank) order, which Tables 2–4 use to pick the
+    "top" and "mid-tier" opposite seed sets.
+    """
+    result = general_tim(RRICGenerator(graph), k, options=options, rng=rng)
+    return result.seeds

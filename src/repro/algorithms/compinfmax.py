@@ -1,0 +1,140 @@
+"""CompInfMax solver (Problem 2): GeneralTIM + RR-CIM + Sandwich.
+
+Given a fixed A-seed set and mutually complementary GAPs, find ``k``
+B-seeds maximising the boost ``sigma_A(S_A, S_B) - sigma_A(S_A, ∅)``:
+
+* when ``q_{B|A} = 1`` the boost is monotone and cross-submodular
+  (Theorems 3, 5) and one GeneralTIM run over RR-CIM carries the guarantee
+  (Theorem 8);
+* otherwise the solver applies the one-sided Sandwich Approximation of
+  §6.4: the upper bound ``nu`` raises ``q_{B|A}`` to 1 (Theorem 10), its
+  seed set — plus optionally an MC-greedy candidate on the true boost —
+  is evaluated under the unmodified GAPs and the best candidate wins.
+
+:func:`theorem2_optimal_b_seeds` implements the provably-optimal special
+case of Theorem 2 (``q_{B|∅} = 1`` and ``k >= |S_A|``): copy the A-seeds
+and pad arbitrarily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import RegimeError, SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_boost
+from repro.rng import SeedLike, make_rng
+from repro.rrset.engines import SelectionResult, run_seed_selection
+from repro.rrset.imm import IMMOptions
+from repro.rrset.rr_cim import RRCimGenerator
+from repro.rrset.tim import TIMOptions
+from repro.algorithms.greedy import greedy_compinfmax
+from repro.algorithms.sandwich import SandwichResult, sandwich_select
+
+
+@dataclass
+class CompInfMaxResult:
+    """Solution of one CompInfMax instance."""
+
+    seeds: list[int]
+    #: "submodular" (single TIM/IMM run), "sandwich", or "theorem2".
+    method: str
+    tim_results: dict[str, SelectionResult] = field(default_factory=dict)
+    sandwich: Optional[SandwichResult] = None
+    #: MC estimate of the boost at the returned seeds (sandwich path only).
+    estimated_boost: Optional[float] = None
+
+
+def theorem2_optimal_b_seeds(
+    graph: DiGraph,
+    seeds_a: Sequence[int],
+    k: int,
+    *,
+    rng: SeedLike = None,
+) -> list[int]:
+    """Optimal B-seeds when ``q_{B|∅} = 1`` and ``k >= |S_A|`` (Theorem 2).
+
+    Returns ``S_A`` plus ``k - |S_A|`` arbitrary (here: random) extra nodes.
+    """
+    seeds_a = [int(s) for s in dict.fromkeys(int(s) for s in seeds_a)]
+    if k < len(seeds_a):
+        raise SeedSetError(
+            f"Theorem 2 needs k >= |S_A|; got k={k}, |S_A|={len(seeds_a)}"
+        )
+    gen = make_rng(rng)
+    chosen = list(seeds_a)
+    remaining = [v for v in range(graph.num_nodes) if v not in set(chosen)]
+    extra = k - len(chosen)
+    if extra > len(remaining):
+        raise SeedSetError(f"cannot select {k} seeds from {graph.num_nodes} nodes")
+    if extra:
+        picked = gen.choice(len(remaining), size=extra, replace=False)
+        chosen.extend(remaining[int(i)] for i in picked)
+    return chosen
+
+
+def solve_compinfmax(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Sequence[int],
+    k: int,
+    *,
+    options: TIMOptions = TIMOptions(),
+    rng: SeedLike = None,
+    evaluation_runs: int = 200,
+    include_greedy_candidate: bool = False,
+    greedy_runs: int = 50,
+    engine: str = "tim",
+    imm_options: Optional[IMMOptions] = None,
+) -> CompInfMaxResult:
+    """Solve CompInfMax; see the module docstring for the strategy.
+
+    ``engine`` selects the seed-selection algorithm over RR-sets:
+    ``"tim"`` (GeneralTIM, [24]) or ``"imm"`` (martingale IMM, [23]).
+    """
+    if not gaps.is_mutually_complementary:
+        raise RegimeError(
+            f"CompInfMax is defined for mutually complementary GAPs (Q+); got {gaps}"
+        )
+    gen = make_rng(rng)
+    seeds_a = [int(s) for s in seeds_a]
+
+    if gaps.q_b_given_a == 1.0:
+        generator = RRCimGenerator(graph, gaps, seeds_a)
+        tim = run_seed_selection(
+            generator, k, engine=engine, options=options,
+            imm_options=imm_options, rng=gen,
+        )
+        return CompInfMaxResult(
+            seeds=tim.seeds, method="submodular", tim_results={"sigma": tim}
+        )
+
+    nu_gaps = gaps.with_q_b_given_a_one()
+    tim_nu = run_seed_selection(
+        RRCimGenerator(graph, nu_gaps, seeds_a), k,
+        engine=engine, options=options, imm_options=imm_options, rng=gen,
+    )
+    candidates: dict[str, list[int]] = {"nu": tim_nu.seeds}
+    if include_greedy_candidate:
+        candidates["sigma"] = greedy_compinfmax(
+            graph, gaps, seeds_a, k, runs=greedy_runs, rng=gen
+        )
+    eval_seed = int(gen.integers(0, 2**31 - 1))
+
+    def boost(seed_list: Sequence[int]) -> float:
+        if not seed_list:
+            return 0.0
+        return estimate_boost(
+            graph, gaps, seeds_a, seed_list, runs=evaluation_runs, rng=eval_seed
+        ).mean
+
+    chosen = sandwich_select(candidates, boost)
+    return CompInfMaxResult(
+        seeds=chosen.seeds,
+        method="sandwich",
+        tim_results={"nu": tim_nu},
+        sandwich=chosen,
+        estimated_boost=chosen.value,
+    )

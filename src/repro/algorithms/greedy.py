@@ -1,0 +1,215 @@
+"""Monte-Carlo greedy with CELF lazy evaluation — the paper's "Greedy".
+
+Kempe et al.'s greedy algorithm [15] evaluates marginal spread gains by
+simulation; CELF (Leskovec et al.) exploits submodularity to skip
+re-evaluations whose stale upper bound already loses.  The paper runs this
+with 10K-iteration MC as the quality yardstick (§7.3); it is orders of
+magnitude slower than GeneralTIM, which Fig. 7(a) (and our reproduction)
+quantifies.  In non-submodular GAP regimes CELF's pruning becomes
+heuristic, exactly as the paper's use of Greedy+SA does.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_boost, estimate_spread
+from repro.rng import SeedLike, derive_seed, make_rng
+
+#: Objective: maps a seed list to an estimated objective value.
+Objective = Callable[[Sequence[int]], float]
+
+
+def celf_greedy(
+    candidates: Iterable[int],
+    k: int,
+    objective: Objective,
+    *,
+    base_value: Optional[float] = None,
+) -> tuple[list[int], list[float]]:
+    """Greedy maximisation of ``objective`` with CELF lazy re-evaluation.
+
+    Returns ``(seeds, objective_trace)`` where ``objective_trace[i]`` is the
+    objective value after selecting ``i + 1`` seeds.  ``objective`` is
+    re-invoked on candidate unions; it should be deterministic-ish (fixed
+    MC seed) for the lazy pruning to behave.
+    """
+    pool = [int(v) for v in candidates]
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    if k > len(pool):
+        raise SeedSetError(f"cannot select {k} seeds from {len(pool)} candidates")
+    current_value = objective([]) if base_value is None else float(base_value)
+    seeds: list[int] = []
+    trace: list[float] = []
+    # Max-heap of (-gain, node, evaluated_at_round).
+    heap: list[tuple[float, int, int]] = []
+    for v in pool:
+        gain = objective([v]) - current_value
+        heapq.heappush(heap, (-gain, v, 0))
+    for round_no in range(1, k + 1):
+        while True:
+            neg_gain, v, evaluated_at = heapq.heappop(heap)
+            if evaluated_at == round_no:
+                break
+            fresh_gain = objective(seeds + [v]) - current_value
+            heapq.heappush(heap, (-fresh_gain, v, round_no))
+        seeds.append(v)
+        current_value += -neg_gain
+        trace.append(current_value)
+    return seeds, trace
+
+
+#: Joint objective for CELF++: ``(seed_list, u, w) -> (f(S + [u]), f(S + [w, u]))``.
+#: The whole point of CELF++ is that both values come from *one* pass over
+#: the Monte-Carlo samples; callers that cannot share work may fall back to
+#: two plain objective calls.
+JointObjective = Callable[[Sequence[int], int, int], tuple[float, float]]
+
+
+def celf_plus_plus_greedy(
+    candidates: Iterable[int],
+    k: int,
+    objective: Objective,
+    *,
+    joint_objective: Optional[JointObjective] = None,
+    base_value: Optional[float] = None,
+) -> tuple[list[int], list[float], int]:
+    """CELF++ (Goyal, Lu & Lakshmanan, WWW 2011): skip one re-evaluation
+    per pick in the common case.
+
+    While re-evaluating a node ``u``, CELF++ also records ``u``'s marginal
+    gain assuming the round's current front-runner ``w`` is picked.  If
+    ``w`` *is* picked, ``u``'s cached look-ahead is exact for the next
+    round and the usual CELF re-evaluation is skipped.  The look-ahead pair
+    is obtained through ``joint_objective`` — one shared MC pass in the
+    intended use; the default fallback issues two plain calls, preserving
+    correctness (identical picks to CELF) if not the savings.
+
+    Returns ``(seeds, objective_trace, re_evaluations)``; the counter —
+    heap entries that needed a fresh evaluation — is what the ablation
+    bench compares against plain CELF.
+    """
+    pool = [int(v) for v in candidates]
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    if k > len(pool):
+        raise SeedSetError(f"cannot select {k} seeds from {len(pool)} candidates")
+
+    def default_joint(seed_list: Sequence[int], u: int, w: int) -> tuple[float, float]:
+        return objective(list(seed_list) + [u]), objective(list(seed_list) + [w, u])
+
+    joint = joint_objective if joint_objective is not None else default_joint
+    current_value = objective([]) if base_value is None else float(base_value)
+    seeds: list[int] = []
+    trace: list[float] = []
+    re_evaluations = 0
+    # Entries: (-gain, node, evaluated_at_round, front_at_eval, look_ahead_gain)
+    # where look_ahead_gain is the node's marginal gain w.r.t.
+    # seeds + [front_at_eval] at evaluation time (None when no front).
+    heap: list[tuple[float, int, int, Optional[int], Optional[float]]] = []
+    for v in pool:
+        gain = objective([v]) - current_value
+        heapq.heappush(heap, (-gain, v, 0, None, None))
+
+    last_picked: Optional[int] = None
+    for round_no in range(1, k + 1):
+        while True:
+            neg_gain, v, evaluated_at, front_at_eval, look_ahead = heapq.heappop(heap)
+            if evaluated_at == round_no:
+                break
+            if (
+                front_at_eval is not None
+                and front_at_eval == last_picked
+                and evaluated_at == round_no - 1
+                and look_ahead is not None
+            ):
+                # CELF++ shortcut: the look-ahead was computed against
+                # exactly the seed set we now have.
+                heapq.heappush(heap, (-look_ahead, v, round_no, None, None))
+                continue
+            re_evaluations += 1
+            front = heap[0][1] if heap else None
+            if front is None or front == v:
+                fresh = objective(seeds + [v])
+                heapq.heappush(
+                    heap, (-(fresh - current_value), v, round_no, None, None)
+                )
+                continue
+            fresh, with_front = joint(seeds, v, front)
+            # `front` is never an already-picked seed (picked entries leave
+            # the heap for good), so its value must be queried directly.
+            front_value = objective(seeds + [front])
+            heapq.heappush(
+                heap,
+                (
+                    -(fresh - current_value), v, round_no,
+                    front, with_front - front_value,
+                ),
+            )
+        seeds.append(v)
+        last_picked = v
+        current_value += -neg_gain
+        trace.append(current_value)
+    return seeds, trace, re_evaluations
+
+
+def greedy_selfinfmax(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_b: Sequence[int],
+    k: int,
+    *,
+    runs: int = 200,
+    rng: SeedLike = None,
+    candidates: Optional[Iterable[int]] = None,
+) -> list[int]:
+    """MC-greedy for SelfInfMax: maximise ``sigma_A(S_A, S_B)`` over A-seeds.
+
+    ``runs`` controls MC accuracy (the paper uses 10K; scale down for
+    experimentation).  A fixed per-call seed makes the objective a
+    deterministic function of its argument, taming CELF.
+    """
+    gen = make_rng(rng)
+    mc_seed = int(gen.integers(0, 2**31 - 1))
+    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+
+    def objective(seed_list: Sequence[int]) -> float:
+        return estimate_spread(
+            graph, gaps, seed_list, seeds_b, runs=runs,
+            rng=derive_seed(mc_seed, len(seed_list), *map(int, seed_list)),
+        ).mean
+
+    seeds, _trace = celf_greedy(pool, k, objective)
+    return seeds
+
+
+def greedy_compinfmax(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Sequence[int],
+    k: int,
+    *,
+    runs: int = 200,
+    rng: SeedLike = None,
+    candidates: Optional[Iterable[int]] = None,
+) -> list[int]:
+    """MC-greedy for CompInfMax: maximise the boost over B-seeds."""
+    gen = make_rng(rng)
+    mc_seed = int(gen.integers(0, 2**31 - 1))
+    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+
+    def objective(seed_list: Sequence[int]) -> float:
+        if not seed_list:
+            return 0.0
+        return estimate_boost(
+            graph, gaps, seeds_a, seed_list, runs=runs,
+            rng=derive_seed(mc_seed, len(seed_list), *map(int, seed_list)),
+        ).mean
+
+    seeds, _trace = celf_greedy(pool, k, objective, base_value=0.0)
+    return seeds

@@ -1,0 +1,130 @@
+"""Seed selection for the k-item Com-IC extension (§8).
+
+The paper leaves optimisation over the ``k * 2^(k-1)``-parameter model as
+future work; this module supplies the natural first algorithms:
+
+* :func:`greedy_multi_item_selfinfmax` — pick seeds for one focal item,
+  other items' seed sets fixed (the k-item generalisation of
+  SelfInfMax), via CELF Monte-Carlo greedy;
+* :func:`round_robin_multi_item` — allocate a shared budget across all
+  items, one greedy seed at a time in round-robin order, maximising the
+  *total* expected adoptions (the host's view, in the spirit of fair
+  allocation in Lu et al. [16]).
+
+No approximation guarantee is claimed: even for two items the objective
+is submodular only in restricted regimes (§5).  These are the practical
+heuristics a campaign would start from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.multi_item import (
+    MultiItemGaps,
+    estimate_multi_item_spread,
+)
+from repro.rng import SeedLike, derive_seed, make_rng
+from repro.algorithms.greedy import celf_greedy
+
+
+def _validate_item(gaps: MultiItemGaps, item: int) -> int:
+    if not 0 <= item < gaps.num_items:
+        raise SeedSetError(
+            f"item must lie in [0, {gaps.num_items - 1}], got {item}"
+        )
+    return int(item)
+
+
+def greedy_multi_item_selfinfmax(
+    graph: DiGraph,
+    gaps: MultiItemGaps,
+    item: int,
+    fixed_seed_sets: Sequence[Sequence[int]],
+    k: int,
+    *,
+    runs: int = 100,
+    rng: SeedLike = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """CELF greedy for the focal ``item`` with all other seed sets fixed.
+
+    ``fixed_seed_sets`` must list one seed set per item; the focal item's
+    entry is the *initial* seed set it extends (usually empty).
+    """
+    item = _validate_item(gaps, item)
+    if len(fixed_seed_sets) != gaps.num_items:
+        raise SeedSetError(
+            f"expected {gaps.num_items} seed sets, got {len(fixed_seed_sets)}"
+        )
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    gen = make_rng(rng)
+    eval_seed = int(gen.integers(0, 2**31 - 1))
+    base_sets = [list(s) for s in fixed_seed_sets]
+    pool = (
+        list(candidates)
+        if candidates is not None
+        else [v for v in range(graph.num_nodes) if v not in set(base_sets[item])]
+    )
+
+    def objective(extra: Sequence[int]) -> float:
+        trial = [list(s) for s in base_sets]
+        trial[item] = base_sets[item] + [int(v) for v in extra]
+        spreads = estimate_multi_item_spread(
+            graph, gaps, trial, runs=runs,
+            rng=derive_seed(eval_seed, len(extra), *map(int, extra)),
+        )
+        return float(spreads[item])
+
+    seeds, _trace = celf_greedy(pool, k, objective)
+    return seeds
+
+
+def round_robin_multi_item(
+    graph: DiGraph,
+    gaps: MultiItemGaps,
+    budget: int,
+    *,
+    runs: int = 100,
+    rng: SeedLike = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> list[list[int]]:
+    """Allocate ``budget`` seeds across all items, round-robin greedily.
+
+    Item ``t mod k`` receives the ``t``-th seed: the node maximising the
+    *total* expected adoptions across items (MC-estimated with a shared
+    seed per round).  Returns one seed list per item.
+    """
+    if budget < 0:
+        raise SeedSetError(f"budget must be non-negative, got {budget}")
+    gen = make_rng(rng)
+    eval_seed = int(gen.integers(0, 2**31 - 1))
+    k = gaps.num_items
+    seed_sets: list[list[int]] = [[] for _ in range(k)]
+    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+
+    for t in range(budget):
+        item = t % k
+        taken = set(seed_sets[item])
+        best_node, best_total = None, -np.inf
+        for v in pool:
+            if v in taken:
+                continue
+            trial = [list(s) for s in seed_sets]
+            trial[item].append(v)
+            total = float(
+                estimate_multi_item_spread(
+                    graph, gaps, trial, runs=runs, rng=derive_seed(eval_seed, t, v)
+                ).sum()
+            )
+            if total > best_total:
+                best_node, best_total = v, total
+        if best_node is None:
+            break
+        seed_sets[item].append(best_node)
+    return seed_sets

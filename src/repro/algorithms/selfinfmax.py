@@ -1,0 +1,128 @@
+"""SelfInfMax solver (Problem 1): GeneralTIM + RR-SIM(+) + Sandwich.
+
+Given a fixed B-seed set and mutually complementary GAPs, find ``k``
+A-seeds maximising ``sigma_A(S_A, S_B)``:
+
+* when B is *indifferent* to A (``q_{B|∅} = q_{B|A}``) the objective is
+  monotone and submodular (Theorems 3–4) and one GeneralTIM run over
+  RR-SIM/RR-SIM+ carries the ``(1 - 1/e - eps)`` guarantee (Theorem 7);
+* otherwise submodularity can fail (appendix Example 3) and the solver
+  applies Sandwich Approximation (§6.4): the upper bound ``nu`` raises
+  ``q_{B|∅}`` to ``q_{B|A}``, the lower bound ``mu`` lowers ``q_{B|A}`` to
+  ``q_{B|∅}`` (both land in the submodular regime by construction, and
+  Theorem 10 orders the three objectives).  The candidate sets — plus
+  optionally an MC-greedy run on the unmodified objective — are compared
+  under the true ``sigma_A`` by Monte Carlo and the best wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import RegimeError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_spread
+from repro.rng import SeedLike, make_rng
+from repro.rrset.engines import SelectionResult, run_seed_selection
+from repro.rrset.imm import IMMOptions
+from repro.rrset.rr_sim import RRSimGenerator
+from repro.rrset.rr_sim_plus import RRSimPlusGenerator
+from repro.rrset.tim import TIMOptions
+from repro.algorithms.greedy import greedy_selfinfmax
+from repro.algorithms.sandwich import SandwichResult, sandwich_select
+
+
+@dataclass
+class SelfInfMaxResult:
+    """Solution of one SelfInfMax instance."""
+
+    seeds: list[int]
+    #: "submodular" (single TIM/IMM run) or "sandwich".
+    method: str
+    tim_results: dict[str, SelectionResult] = field(default_factory=dict)
+    sandwich: Optional[SandwichResult] = None
+    #: MC estimate of sigma_A at the returned seeds (sandwich path only).
+    estimated_spread: Optional[float] = None
+
+
+def _make_generator(
+    graph: DiGraph, gaps: GAP, seeds_b: Sequence[int], use_plus: bool
+):
+    if use_plus:
+        return RRSimPlusGenerator(graph, gaps, seeds_b)
+    return RRSimGenerator(graph, gaps, seeds_b)
+
+
+def solve_selfinfmax(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_b: Sequence[int],
+    k: int,
+    *,
+    options: TIMOptions = TIMOptions(),
+    rng: SeedLike = None,
+    use_rr_sim_plus: bool = True,
+    evaluation_runs: int = 200,
+    include_greedy_candidate: bool = False,
+    greedy_runs: int = 50,
+    engine: str = "tim",
+    imm_options: Optional[IMMOptions] = None,
+) -> SelfInfMaxResult:
+    """Solve SelfInfMax; see the module docstring for the strategy.
+
+    ``evaluation_runs`` sets the MC precision of the sandwich comparison;
+    ``include_greedy_candidate`` adds the (slow) MC-greedy ``S_sigma``
+    candidate as in the paper's full SA recipe.  ``engine`` selects the
+    seed-selection algorithm over RR-sets: ``"tim"`` (GeneralTIM, [24]) or
+    ``"imm"`` (martingale IMM, [23]).
+    """
+    if not gaps.is_mutually_complementary:
+        raise RegimeError(
+            f"SelfInfMax is defined for mutually complementary GAPs (Q+); got {gaps}"
+        )
+    gen = make_rng(rng)
+    seeds_b = [int(s) for s in seeds_b]
+
+    if gaps.b_indifferent_to_a:
+        generator = _make_generator(graph, gaps, seeds_b, use_rr_sim_plus)
+        tim = run_seed_selection(
+            generator, k, engine=engine, options=options,
+            imm_options=imm_options, rng=gen,
+        )
+        return SelfInfMaxResult(
+            seeds=tim.seeds, method="submodular", tim_results={"sigma": tim}
+        )
+
+    # Sandwich approximation around the non-submodular objective.
+    nu_gaps = gaps.with_b_indifferent_high()
+    mu_gaps = gaps.with_b_indifferent_low()
+    tim_nu = run_seed_selection(
+        _make_generator(graph, nu_gaps, seeds_b, use_rr_sim_plus),
+        k, engine=engine, options=options, imm_options=imm_options, rng=gen,
+    )
+    tim_mu = run_seed_selection(
+        _make_generator(graph, mu_gaps, seeds_b, use_rr_sim_plus),
+        k, engine=engine, options=options, imm_options=imm_options, rng=gen,
+    )
+    candidates: dict[str, list[int]] = {"nu": tim_nu.seeds, "mu": tim_mu.seeds}
+    if include_greedy_candidate:
+        candidates["sigma"] = greedy_selfinfmax(
+            graph, gaps, seeds_b, k, runs=greedy_runs, rng=gen
+        )
+    eval_seed = int(gen.integers(0, 2**31 - 1))
+
+    def sigma(seed_list: Sequence[int]) -> float:
+        return estimate_spread(
+            graph, gaps, seed_list, seeds_b, runs=evaluation_runs, rng=eval_seed
+        ).mean
+
+    chosen = sandwich_select(candidates, sigma)
+    return SelfInfMaxResult(
+        seeds=chosen.seeds,
+        method="sandwich",
+        tim_results={"nu": tim_nu, "mu": tim_mu},
+        sandwich=chosen,
+        estimated_spread=chosen.value,
+    )

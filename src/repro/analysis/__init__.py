@@ -1,0 +1,58 @@
+"""Post-hoc diffusion analytics on Com-IC cascades.
+
+Tools a campaign analyst would run *after* (or between) seed selections:
+
+* :func:`~repro.analysis.adoption.adoption_probabilities` — per-node
+  Monte-Carlo adoption probabilities for both items, with standard errors;
+* :func:`~repro.analysis.adoption.adoption_timeline` — expected number of
+  new A/B adoptions per time step (the campaign's temporal profile);
+* :func:`~repro.analysis.census.joint_state_census` — the final
+  (A-state, B-state) population census of one cascade, including the
+  Appendix-A.1 check that unreachable joint states stay empty;
+* :func:`~repro.analysis.census.cascade_depth` — how many steps the
+  cascade ran for each item;
+* :mod:`~repro.analysis.seeds` — seed-set comparison metrics (Jaccard
+  overlap, rank-weighted overlap) and incremental spread curves.
+"""
+
+from repro.analysis.adoption import (
+    AdoptionProbabilities,
+    AdoptionTimeline,
+    adoption_probabilities,
+    adoption_timeline,
+)
+from repro.analysis.census import (
+    cascade_depth,
+    joint_state_census,
+    unreachable_state_violations,
+)
+from repro.analysis.seeds import (
+    SpreadCurve,
+    rank_weighted_overlap,
+    seed_jaccard,
+    spread_curve,
+)
+from repro.analysis.sensitivity import (
+    GAP_PARAMETERS,
+    SensitivityResult,
+    gap_sensitivity,
+    perturb_gap,
+)
+
+__all__ = [
+    "AdoptionProbabilities",
+    "AdoptionTimeline",
+    "adoption_probabilities",
+    "adoption_timeline",
+    "joint_state_census",
+    "cascade_depth",
+    "unreachable_state_violations",
+    "SpreadCurve",
+    "seed_jaccard",
+    "rank_weighted_overlap",
+    "spread_curve",
+    "GAP_PARAMETERS",
+    "SensitivityResult",
+    "gap_sensitivity",
+    "perturb_gap",
+]

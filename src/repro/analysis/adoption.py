@@ -1,0 +1,149 @@
+"""Per-node adoption probabilities and temporal adoption profiles.
+
+Both quantities are #P-hard exactly (§4), so they are estimated by Monte
+Carlo over independent Com-IC runs, sharing the library's seeding
+conventions so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.models.comic import simulate
+from repro.models.gaps import GAP
+from repro.models.sources import CoinSource
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class AdoptionProbabilities:
+    """Monte-Carlo per-node adoption probability estimates."""
+
+    #: estimated P[v adopts A], length n.
+    prob_a: np.ndarray
+    #: estimated P[v adopts B], length n.
+    prob_b: np.ndarray
+    runs: int
+
+    def stderr_a(self) -> np.ndarray:
+        """Binomial standard error of ``prob_a`` per node."""
+        return np.sqrt(self.prob_a * (1.0 - self.prob_a) / max(self.runs, 1))
+
+    def stderr_b(self) -> np.ndarray:
+        """Binomial standard error of ``prob_b`` per node."""
+        return np.sqrt(self.prob_b * (1.0 - self.prob_b) / max(self.runs, 1))
+
+    def top_adopters(self, k: int, *, item: str = "a") -> list[int]:
+        """The ``k`` nodes most likely to adopt ``item`` (ties by id)."""
+        if item not in ("a", "b"):
+            raise ValueError(f"item must be 'a' or 'b', got {item!r}")
+        probs = self.prob_a if item == "a" else self.prob_b
+        order = np.argsort(-probs, kind="stable")
+        return [int(v) for v in order[:k]]
+
+
+def adoption_probabilities(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+) -> AdoptionProbabilities:
+    """Estimate per-node adoption probabilities for both items."""
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    n = graph.num_nodes
+    hits_a = np.zeros(n, dtype=np.int64)
+    hits_b = np.zeros(n, dtype=np.int64)
+    for _ in range(runs):
+        outcome = simulate(graph, gaps, seeds_a, seeds_b, source=CoinSource(gen))
+        hits_a += outcome.a_adopted
+        hits_b += outcome.b_adopted
+    return AdoptionProbabilities(
+        prob_a=hits_a / runs, prob_b=hits_b / runs, runs=runs
+    )
+
+
+@dataclass(frozen=True)
+class AdoptionTimeline:
+    """Expected number of *new* adoptions per time step."""
+
+    #: new_a[t] = expected number of nodes adopting A at step t.
+    new_a: np.ndarray
+    #: new_b[t] = expected number of nodes adopting B at step t.
+    new_b: np.ndarray
+    runs: int
+
+    @property
+    def horizon(self) -> int:
+        """Number of recorded time steps (step 0 = seeding)."""
+        return int(self.new_a.size)
+
+    def cumulative_a(self) -> np.ndarray:
+        """Expected cumulative A adoptions by each step."""
+        return np.cumsum(self.new_a)
+
+    def cumulative_b(self) -> np.ndarray:
+        """Expected cumulative B adoptions by each step."""
+        return np.cumsum(self.new_b)
+
+    def peak_step(self, *, item: str = "a") -> int:
+        """The step with the most expected new adoptions of ``item``."""
+        if item not in ("a", "b"):
+            raise ValueError(f"item must be 'a' or 'b', got {item!r}")
+        series = self.new_a if item == "a" else self.new_b
+        if series.size == 0:
+            return 0
+        return int(np.argmax(series))
+
+
+def adoption_timeline(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+) -> AdoptionTimeline:
+    """Estimate the expected per-step adoption profile of a campaign."""
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    counts_a: list[float] = []
+    counts_b: list[float] = []
+
+    def accumulate(counts: list[float], times: np.ndarray) -> None:
+        adopted = times[times >= 0]
+        if adopted.size == 0:
+            return
+        horizon = int(adopted.max()) + 1
+        while len(counts) < horizon:
+            counts.append(0.0)
+        binned = np.bincount(adopted, minlength=horizon)
+        for t in range(horizon):
+            counts[t] += float(binned[t])
+
+    for _ in range(runs):
+        outcome = simulate(graph, gaps, seeds_a, seeds_b, source=CoinSource(gen))
+        accumulate(counts_a, outcome.adopted_a_at)
+        accumulate(counts_b, outcome.adopted_b_at)
+
+    horizon = max(len(counts_a), len(counts_b), 1)
+    new_a = np.zeros(horizon, dtype=np.float64)
+    new_b = np.zeros(horizon, dtype=np.float64)
+    new_a[: len(counts_a)] = counts_a
+    new_b[: len(counts_b)] = counts_b
+    return AdoptionTimeline(new_a=new_a / runs, new_b=new_b / runs, runs=runs)

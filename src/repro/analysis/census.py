@@ -1,0 +1,65 @@
+"""Joint-state census of a finished Com-IC cascade.
+
+The Com-IC NLA leaves every node in one of four states per item; Appendix
+A.1 of the paper proves five joint states are unreachable from the initial
+(idle, idle) configuration.  :func:`joint_state_census` counts the final
+population per joint state and :func:`unreachable_state_violations`
+asserts the appendix claim on real outcomes (our model tests use it as an
+executable invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.models.comic import DiffusionOutcome
+from repro.models.states import ItemState, UNREACHABLE_JOINT_STATES
+
+JointState = Tuple[ItemState, ItemState]
+
+
+def joint_state_census(outcome: DiffusionOutcome) -> Dict[JointState, int]:
+    """Count nodes per final joint (A-state, B-state).
+
+    All 16 combinations are present as keys (zero counts included), which
+    keeps downstream aggregation code free of ``get`` defaults.
+    """
+    census: Dict[JointState, int] = {
+        (sa, sb): 0 for sa in ItemState for sb in ItemState
+    }
+    state_a = np.asarray(outcome.state_a)
+    state_b = np.asarray(outcome.state_b)
+    # 4x4 contingency table in one pass.
+    joint = state_a.astype(np.int64) * 4 + state_b.astype(np.int64)
+    counts = np.bincount(joint, minlength=16)
+    for code in range(16):
+        census[(ItemState(code // 4), ItemState(code % 4))] = int(counts[code])
+    return census
+
+
+def unreachable_state_violations(outcome: DiffusionOutcome) -> Dict[JointState, int]:
+    """Nodes found in states that Appendix A.1 proves unreachable.
+
+    Returns the (should-be-empty) subset of the census covering the five
+    unreachable joint states; any non-zero entry indicates a model bug.
+    """
+    census = joint_state_census(outcome)
+    return {
+        joint: census[joint]
+        for joint in UNREACHABLE_JOINT_STATES
+        if census[joint] > 0
+    }
+
+
+def cascade_depth(outcome: DiffusionOutcome, *, item: str = "a") -> int:
+    """Latest adoption step of ``item`` (0 when only seeds adopted, -1 when
+    nobody adopted it at all)."""
+    if item not in ("a", "b"):
+        raise ValueError(f"item must be 'a' or 'b', got {item!r}")
+    times = outcome.adopted_a_at if item == "a" else outcome.adopted_b_at
+    adopted = times[times >= 0]
+    if adopted.size == 0:
+        return -1
+    return int(adopted.max())

@@ -1,0 +1,132 @@
+"""Seed-set comparison metrics and incremental spread curves.
+
+The experiments of §7 repeatedly compare seed sets produced by different
+selectors (RR vs HighDegree vs PageRank vs Random) and plot spread as a
+function of the seed budget (Figs. 5–6); these are the reusable
+primitives behind such comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_spread
+from repro.rng import SeedLike, derive_seed, make_rng
+
+
+def seed_jaccard(first: Iterable[int], second: Iterable[int]) -> float:
+    """Jaccard similarity of two seed sets (1.0 when both are empty)."""
+    a = {int(v) for v in first}
+    b = {int(v) for v in second}
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def rank_weighted_overlap(
+    first: Sequence[int], second: Sequence[int]
+) -> float:
+    """Average prefix overlap of two *ranked* seed lists (RBO-style, flat
+    weights).
+
+    For each prefix length ``d = 1 .. min(len, len)`` computes the overlap
+    fraction ``|first[:d] ∩ second[:d]| / d`` and returns the mean — 1.0
+    for identical rankings, 0.0 for disjoint ones.
+    """
+    first = [int(v) for v in first]
+    second = [int(v) for v in second]
+    if len(set(first)) != len(first) or len(set(second)) != len(second):
+        raise SeedSetError("ranked seed lists must not contain duplicates")
+    depth = min(len(first), len(second))
+    if depth == 0:
+        return 1.0 if not first and not second else 0.0
+    total = 0.0
+    seen_a: set[int] = set()
+    seen_b: set[int] = set()
+    overlap = 0
+    for d in range(depth):
+        a, b = first[d], second[d]
+        if a == b:
+            overlap += 1
+        else:
+            if a in seen_b:
+                overlap += 1
+            if b in seen_a:
+                overlap += 1
+        seen_a.add(a)
+        seen_b.add(b)
+        total += overlap / (d + 1)
+    return total / depth
+
+
+@dataclass(frozen=True)
+class SpreadCurve:
+    """Spread as a function of the seed-budget prefix."""
+
+    #: evaluated budgets, ascending.
+    budgets: list[int]
+    #: MC mean spread per budget.
+    spreads: list[float]
+    #: MC standard errors per budget.
+    stderrs: list[float]
+
+    def as_rows(self) -> list[dict]:
+        """Rows ``{k, spread, stderr}`` for table rendering."""
+        return [
+            {"k": k, "spread": s, "stderr": e}
+            for k, s, e in zip(self.budgets, self.spreads, self.stderrs)
+        ]
+
+    def is_monotone(self, *, slack: float = 0.0) -> bool:
+        """Whether the curve never drops by more than ``slack``."""
+        return all(
+            self.spreads[i + 1] >= self.spreads[i] - slack
+            for i in range(len(self.spreads) - 1)
+        )
+
+
+def spread_curve(
+    graph: DiGraph,
+    gaps: GAP,
+    ranked_seeds_a: Sequence[int],
+    seeds_b: Sequence[int],
+    *,
+    budgets: Sequence[int] | None = None,
+    runs: int = 300,
+    rng: SeedLike = None,
+) -> SpreadCurve:
+    """Estimate ``sigma_A`` for each prefix of a ranked A-seed list.
+
+    ``budgets`` defaults to ``1 .. len(ranked_seeds_a)``.  All budgets share
+    a common base RNG stream (budget-salted) so curves from the same call
+    are comparable run-to-run.
+    """
+    ranked = [int(v) for v in ranked_seeds_a]
+    if len(set(ranked)) != len(ranked):
+        raise SeedSetError("ranked_seeds_a must not contain duplicates")
+    if budgets is None:
+        budgets = list(range(1, len(ranked) + 1))
+    budgets = [int(k) for k in budgets]
+    for k in budgets:
+        if not 0 <= k <= len(ranked):
+            raise SeedSetError(
+                f"budget {k} out of range [0, {len(ranked)}]"
+            )
+    gen = make_rng(rng)
+    base = int(gen.integers(0, 2**31 - 1))
+    spreads: list[float] = []
+    stderrs: list[float] = []
+    for k in budgets:
+        estimate = estimate_spread(
+            graph, gaps, ranked[:k], seeds_b,
+            runs=runs, rng=derive_seed(base, k),
+        )
+        spreads.append(estimate.mean)
+        stderrs.append(estimate.stderr)
+    return SpreadCurve(budgets=budgets, spreads=spreads, stderrs=stderrs)

@@ -1,0 +1,17 @@
+"""Synthetic stand-ins for the paper's four evaluation networks (Table 1).
+
+The original Flixster / Douban-Book / Douban-Movie / Last.fm crawls are
+proprietary; :func:`load_dataset` builds scaled Chung-Lu-style power-law
+digraphs matched to each dataset's average out-degree (see DESIGN.md §2 for
+why this preserves the behaviours under study).  Influence probabilities
+follow the weighted-cascade scheme by default.
+"""
+
+from repro.datasets.synthetic import (
+    DATASET_NAMES,
+    DatasetSpec,
+    PAPER_DATASETS,
+    load_dataset,
+)
+
+__all__ = ["DatasetSpec", "PAPER_DATASETS", "DATASET_NAMES", "load_dataset"]

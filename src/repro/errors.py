@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  Each subclass corresponds to one layer of the
+system (graphs, models, algorithms, learning, experiments).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or out-of-range node ids."""
+
+
+class EdgeProbabilityError(GraphError):
+    """Raised when an edge influence probability is outside ``[0, 1]``."""
+
+
+class GapError(ReproError):
+    """Raised for invalid Global Adoption Probability configurations."""
+
+
+class RegimeError(GapError):
+    """Raised when an algorithm requires a GAP regime that does not hold.
+
+    For example :class:`~repro.rrset.rr_sim.RRSimGenerator` requires one-way
+    complementarity (``q_a_given_b >= q_a`` and ``q_b_given_a == q_b``); it
+    raises :class:`RegimeError` when given other parameters.
+    """
+
+
+class SeedSetError(ReproError):
+    """Raised for invalid seed-set arguments (overlap, size, range)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative procedure fails to converge."""
+
+
+class ActionLogError(ReproError):
+    """Raised for malformed action logs or impossible event orderings."""
+
+
+class EstimationError(ReproError):
+    """Raised when a statistical estimate cannot be formed (e.g. no data)."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

@@ -1,0 +1,57 @@
+"""Experiment harness regenerating every table and figure of §7.
+
+Each runner returns a :class:`~repro.experiments.harness.TableResult`
+that :func:`~repro.experiments.reporting.render_table` turns into the
+paper's row/series layout.  Knobs live in
+:class:`~repro.experiments.harness.ExperimentScale`; the defaults are
+scaled for pure-Python runtimes (see DESIGN.md §4 for the mapping to the
+paper's parameters and EXPERIMENTS.md for paper-vs-measured results).
+"""
+
+from repro.experiments.harness import ExperimentScale, TableResult, timed
+from repro.experiments.reporting import render_series, render_table, save_results
+from repro.experiments.extensions import (
+    extension_engine_comparison,
+    extension_gap_sensitivity,
+    extension_heuristic_comparison,
+)
+from repro.experiments.tables import (
+    table1_dataset_stats,
+    table2_improvement,
+    table3_improvement_random,
+    table4_improvement_top,
+    table8_sandwich_ratio,
+    tables5to7_learned_gaps,
+)
+from repro.experiments.figures import (
+    figure4_epsilon_effect,
+    figure5_selfinfmax_spread,
+    figure6_compinfmax_boost,
+    figure7a_runtime,
+    figure7b_scalability,
+    figure8_sa_stress,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "TableResult",
+    "timed",
+    "render_table",
+    "render_series",
+    "save_results",
+    "extension_engine_comparison",
+    "extension_heuristic_comparison",
+    "extension_gap_sensitivity",
+    "table1_dataset_stats",
+    "table2_improvement",
+    "table3_improvement_random",
+    "table4_improvement_top",
+    "tables5to7_learned_gaps",
+    "table8_sandwich_ratio",
+    "figure4_epsilon_effect",
+    "figure5_selfinfmax_spread",
+    "figure6_compinfmax_boost",
+    "figure7a_runtime",
+    "figure7b_scalability",
+    "figure8_sa_stress",
+]

@@ -1,0 +1,112 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                      # everything, default scale
+    python -m repro.experiments table2 figure5       # a subset
+    python -m repro.experiments --scale 0.08 --k 8 --datasets flixster,lastfm
+    python -m repro.experiments --out results.md
+
+Each experiment prints its rendered table; ``--out`` additionally writes
+all of them to a markdown file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentScale, TableResult
+from repro.experiments.reporting import render_table, save_results
+from repro.experiments import extensions, figures, tables
+from repro.rrset.tim import TIMOptions
+
+RUNNERS: dict[str, Callable[[ExperimentScale], TableResult]] = {
+    "table1": tables.table1_dataset_stats,
+    "table2": tables.table2_improvement,
+    "table3": tables.table3_improvement_random,
+    "table4": tables.table4_improvement_top,
+    "tables5to7": tables.tables5to7_learned_gaps,
+    "table8": tables.table8_sandwich_ratio,
+    "figure4": figures.figure4_epsilon_effect,
+    "figure5": figures.figure5_selfinfmax_spread,
+    "figure6": figures.figure6_compinfmax_boost,
+    "figure7a": figures.figure7a_runtime,
+    "figure7b": figures.figure7b_scalability,
+    "figure8": figures.figure8_sa_stress,
+    "engines": extensions.extension_engine_comparison,
+    "heuristics": extensions.extension_heuristic_comparison,
+    "sensitivity": extensions.extension_gap_sensitivity,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="NAME",
+        help=f"which experiments to run (default: all). Known: {', '.join(RUNNERS)}",
+    )
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="dataset scale factor (1.0 = paper sizes)")
+    parser.add_argument("--k", type=int, default=5, help="seed-set size")
+    parser.add_argument("--opposite-size", type=int, default=15)
+    parser.add_argument("--mc-runs", type=int, default=150)
+    parser.add_argument("--theta", type=int, default=2500,
+                        help="RR-set budget per GeneralTIM run")
+    parser.add_argument(
+        "--datasets", default="flixster,douban-book",
+        help="comma-separated dataset names",
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--out", default=None, help="write results to this file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = args.experiments or list(RUNNERS)
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(RUNNERS)}", file=sys.stderr)
+        return 2
+    try:
+        scale = ExperimentScale(
+            scale=args.scale,
+            k=args.k,
+            opposite_size=args.opposite_size,
+            mid_rank_start=max(args.opposite_size // 2, 1),
+            mc_runs=args.mc_runs,
+            tim_options=TIMOptions(theta_override=args.theta),
+            datasets=tuple(args.datasets.split(",")),
+            seed=args.seed,
+        )
+    except ExperimentError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        start = time.perf_counter()
+        try:
+            result = RUNNERS[name](scale)
+        except ExperimentError as exc:
+            print(f"{name} failed: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(render_table(result))
+        print(f"({name} took {elapsed:.1f}s)\n")
+    if args.out:
+        save_results(results, args.out)
+        print(f"wrote {len(results)} tables to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    sys.exit(main())

@@ -1,0 +1,416 @@
+"""Runners regenerating the paper's Figures 4–8 (§7).
+
+Figures come back as :class:`TableResult` series (one row per plotted
+point) — the repository has no plotting dependency, and the claims under
+test are about orderings and trends, which the tabulated series expose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.algorithms import (
+    greedy_compinfmax,
+    greedy_selfinfmax,
+    high_degree_seeds,
+    pagerank_seeds,
+    random_seeds,
+    vanilla_ic_seeds,
+)
+from repro.datasets import load_dataset
+from repro.experiments.harness import ExperimentScale, TableResult, timed
+from repro.graph.generators import power_law_digraph
+from repro.graph.weights import weighted_cascade_probabilities
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_boost, estimate_spread
+from repro.rng import derive_seed
+from repro.rrset.rr_cim import RRCimGenerator
+from repro.rrset.rr_sim import RRSimGenerator
+from repro.rrset.rr_sim_plus import RRSimPlusGenerator
+from repro.rrset.tim import TIMOptions, general_tim
+
+#: One-way complementary GAPs (submodular SelfInfMax regime) used where
+#: the figure isolates RR-set machinery from the sandwich wrapper.
+FIG_SIM_GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+#: RR-CIM regime GAPs.
+FIG_CIM_GAPS = GAP(q_a=0.1, q_a_given_b=0.9, q_b=0.5, q_b_given_a=1.0)
+#: Learned-style close GAPs for the seed-quality curves (Figs. 5-6).
+FIG_LEARNED_GAPS = GAP(q_a=0.75, q_a_given_b=0.85, q_b=0.75, q_b_given_a=0.85)
+
+
+def _mid_tier(graph, scale: ExperimentScale, seed) -> list[int]:
+    needed = scale.mid_rank_start + scale.opposite_size
+    ranked = vanilla_ic_seeds(graph, needed, options=scale.tim_options, rng=seed)
+    return ranked[scale.mid_rank_start:needed]
+
+
+def figure4_epsilon_effect(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    epsilons: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
+    max_rr_sets: int = 40_000,
+) -> TableResult:
+    """Figure 4: runtime and seed quality vs epsilon.
+
+    Expectation (paper): runtime falls by orders of magnitude as epsilon
+    grows from 0.1 to 1 while the achieved spread/boost stays essentially
+    flat.
+    """
+    name = scale.datasets[0]
+    graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+    seeds_b = _mid_tier(graph, scale, derive_seed(scale.seed, 90))
+    seeds_a = seeds_b
+    rows = []
+    for eps in epsilons:
+        options = TIMOptions(epsilon=eps, max_rr_sets=max_rr_sets)
+        rng = derive_seed(scale.seed, 91, int(eps * 100))
+
+        sim_gen = RRSimGenerator(graph, FIG_SIM_GAPS, seeds_b)
+        sim_result, sim_time = timed(
+            lambda: general_tim(sim_gen, scale.k, options=options, rng=rng)
+        )
+        plus_gen = RRSimPlusGenerator(graph, FIG_SIM_GAPS, seeds_b)
+        plus_result, plus_time = timed(
+            lambda: general_tim(plus_gen, scale.k, options=options, rng=rng)
+        )
+        spread = estimate_spread(
+            graph, FIG_SIM_GAPS, plus_result.seeds, seeds_b,
+            runs=scale.mc_runs, rng=derive_seed(rng, 1),
+        ).mean
+
+        cim_gen = RRCimGenerator(graph, FIG_CIM_GAPS, seeds_a)
+        cim_result, cim_time = timed(
+            lambda: general_tim(cim_gen, scale.k, options=options, rng=rng)
+        )
+        boost = estimate_boost(
+            graph, FIG_CIM_GAPS, seeds_a, cim_result.seeds,
+            runs=scale.mc_runs, rng=derive_seed(rng, 2),
+        ).mean
+        rows.append(
+            {
+                "epsilon": eps,
+                "theta": plus_result.theta,
+                "rr_sim_time_s": round(sim_time, 3),
+                "rr_sim_plus_time_s": round(plus_time, 3),
+                "sim_spread": round(spread, 1),
+                "rr_cim_time_s": round(cim_time, 3),
+                "cim_boost": round(boost, 1),
+            }
+        )
+    return TableResult(
+        title=f"Figure 4: effect of epsilon on RR-set algorithms ({name})",
+        columns=[
+            "epsilon", "theta", "rr_sim_time_s", "rr_sim_plus_time_s",
+            "sim_spread", "rr_cim_time_s", "cim_boost",
+        ],
+        rows=rows,
+        notes="runtime should fall sharply with epsilon while quality stays flat",
+    )
+
+
+def _checkpoints(k: int) -> list[int]:
+    points = sorted({1, max(k // 2, 1), k})
+    return points
+
+
+def figure5_selfinfmax_spread(
+    scale: ExperimentScale = ExperimentScale(),
+) -> TableResult:
+    """Figure 5: A-spread vs number of A-seeds, RR vs Deg/Page/Random."""
+    rows = []
+    gaps = FIG_LEARNED_GAPS
+    for d_index, name in enumerate(scale.datasets):
+        graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+        base = derive_seed(scale.seed, 100, d_index) or 0
+        seeds_b = _mid_tier(graph, scale, derive_seed(base, 1))
+        nu_gaps = gaps.with_b_indifferent_high()
+        rr_seeds = general_tim(
+            RRSimPlusGenerator(graph, nu_gaps, seeds_b), scale.k,
+            options=scale.tim_options, rng=derive_seed(base, 2),
+        ).seeds
+        methods = {
+            "RR": rr_seeds,
+            "HighDegree": high_degree_seeds(graph, scale.k),
+            "PageRank": pagerank_seeds(graph, scale.k),
+            "Random": random_seeds(graph, scale.k, rng=derive_seed(base, 3)),
+        }
+        eval_rng = derive_seed(base, 4)
+        for method, seeds in methods.items():
+            for k in _checkpoints(scale.k):
+                value = estimate_spread(
+                    graph, gaps, seeds[:k], seeds_b,
+                    runs=scale.mc_runs, rng=eval_rng,
+                ).mean
+                rows.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "num_seeds": k,
+                        "a_spread": round(value, 1),
+                    }
+                )
+    return TableResult(
+        title="Figure 5: A-spread vs |S_A| for SelfInfMax",
+        columns=["dataset", "method", "num_seeds", "a_spread"],
+        rows=rows,
+        notes="RR = GeneralTIM with RR-SIM+ (plus SA upper bound); curves "
+        "should dominate the baselines pointwise",
+    )
+
+
+def figure6_compinfmax_boost(
+    scale: ExperimentScale = ExperimentScale(),
+) -> TableResult:
+    """Figure 6: boost in A-spread vs number of B-seeds."""
+    rows = []
+    gaps = FIG_LEARNED_GAPS
+    for d_index, name in enumerate(scale.datasets):
+        graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+        base = derive_seed(scale.seed, 110, d_index) or 0
+        seeds_a = _mid_tier(graph, scale, derive_seed(base, 1))
+        nu_gaps = gaps.with_q_b_given_a_one()
+        rr_seeds = general_tim(
+            RRCimGenerator(graph, nu_gaps, seeds_a), scale.k,
+            options=scale.tim_options, rng=derive_seed(base, 2),
+        ).seeds
+        methods = {
+            "RR": rr_seeds,
+            "HighDegree": high_degree_seeds(graph, scale.k),
+            "PageRank": pagerank_seeds(graph, scale.k),
+            "Random": random_seeds(graph, scale.k, rng=derive_seed(base, 3)),
+        }
+        eval_rng = derive_seed(base, 4)
+        anchor = estimate_spread(
+            graph, gaps, seeds_a, [], runs=scale.mc_runs, rng=eval_rng
+        ).mean
+        for method, seeds in methods.items():
+            for k in _checkpoints(scale.k):
+                value = estimate_boost(
+                    graph, gaps, seeds_a, seeds[:k],
+                    runs=scale.mc_runs, rng=eval_rng,
+                ).mean
+                rows.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "num_seeds": k,
+                        "boost": round(value, 2),
+                        "sigma_a_no_b": round(anchor, 1),
+                    }
+                )
+    return TableResult(
+        title="Figure 6: boost in A-spread vs |S_B| for CompInfMax",
+        columns=["dataset", "method", "num_seeds", "boost", "sigma_a_no_b"],
+        rows=rows,
+        notes="sigma_a_no_b anchors the boost like the paper's "
+        "sigma_A(S_A, emptyset) captions",
+    )
+
+
+def figure7a_runtime(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    include_greedy: bool = True,
+    greedy_pool: int = 25,
+    greedy_runs: int = 25,
+) -> TableResult:
+    """Figure 7(a): running time of Greedy vs the RR-set algorithms.
+
+    The paper's Greedy uses 10K MC iterations over all nodes and takes ~48
+    hours; the scaled version restricts the candidate pool and the MC
+    budget but preserves the ordering claim (Greedy >> RR)."""
+    rows = []
+    for d_index, name in enumerate(scale.datasets):
+        graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+        base = derive_seed(scale.seed, 120, d_index) or 0
+        seeds_b = _mid_tier(graph, scale, derive_seed(base, 1))
+        seeds_a = seeds_b
+        row: dict = {"dataset": name, "nodes": graph.num_nodes}
+
+        _, t = timed(lambda: general_tim(
+            RRSimGenerator(graph, FIG_SIM_GAPS, seeds_b), scale.k,
+            options=scale.tim_options, rng=derive_seed(base, 2),
+        ))
+        row["rr_sim_s"] = round(t, 3)
+        _, t = timed(lambda: general_tim(
+            RRSimPlusGenerator(graph, FIG_SIM_GAPS, seeds_b), scale.k,
+            options=scale.tim_options, rng=derive_seed(base, 2),
+        ))
+        row["rr_sim_plus_s"] = round(t, 3)
+        _, t = timed(lambda: general_tim(
+            RRCimGenerator(graph, FIG_CIM_GAPS, seeds_a), scale.k,
+            options=scale.tim_options, rng=derive_seed(base, 3),
+        ))
+        row["rr_cim_s"] = round(t, 3)
+
+        if include_greedy:
+            pool = high_degree_seeds(graph, greedy_pool)
+            _, t = timed(lambda: greedy_selfinfmax(
+                graph, FIG_SIM_GAPS, seeds_b, scale.k,
+                runs=greedy_runs, rng=derive_seed(base, 4), candidates=pool,
+            ))
+            row["greedy_sim_s"] = round(t, 3)
+            _, t = timed(lambda: greedy_compinfmax(
+                graph, FIG_CIM_GAPS, seeds_a, scale.k,
+                runs=greedy_runs, rng=derive_seed(base, 5), candidates=pool,
+            ))
+            row["greedy_cim_s"] = round(t, 3)
+        rows.append(row)
+    columns = ["dataset", "nodes", "rr_sim_s", "rr_sim_plus_s", "rr_cim_s"]
+    if include_greedy:
+        columns += ["greedy_sim_s", "greedy_cim_s"]
+    return TableResult(
+        title="Figure 7(a): running time on the four networks",
+        columns=columns,
+        rows=rows,
+        notes="Greedy restricted to a high-degree candidate pool and small "
+        "MC budget; the paper's full Greedy is orders of magnitude slower still",
+    )
+
+
+def figure7b_scalability(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    sizes: Sequence[int] = (1000, 2000, 4000),
+    theta: int = 1500,
+) -> TableResult:
+    """Figure 7(b): runtime vs graph size on power-law random graphs.
+
+    Expectation: near-linear growth for both RR-SIM+ and RR-CIM."""
+    rows = []
+    options = TIMOptions(theta_override=theta)
+    for n in sizes:
+        graph = weighted_cascade_probabilities(
+            power_law_digraph(n, exponent=2.16, average_degree=5.0,
+                              rng=derive_seed(scale.seed, 130, n))
+        )
+        seeds_b = high_degree_seeds(graph, scale.opposite_size)
+        base = derive_seed(scale.seed, 131, n)
+        _, t_sim = timed(lambda: general_tim(
+            RRSimPlusGenerator(graph, FIG_SIM_GAPS, seeds_b), scale.k,
+            options=options, rng=base,
+        ))
+        _, t_cim = timed(lambda: general_tim(
+            RRCimGenerator(graph, FIG_CIM_GAPS, seeds_b), scale.k,
+            options=options, rng=base,
+        ))
+        rows.append(
+            {
+                "nodes": n,
+                "edges": graph.num_edges,
+                "rr_sim_plus_s": round(t_sim, 3),
+                "rr_cim_s": round(t_cim, 3),
+            }
+        )
+    return TableResult(
+        title="Figure 7(b): scalability on power-law graphs (exponent 2.16)",
+        columns=["nodes", "edges", "rr_sim_plus_s", "rr_cim_s"],
+        rows=rows,
+        notes=f"theta fixed at {theta} RR-sets per run; expect near-linear time",
+    )
+
+
+#: Figure 8 stress settings: q_{A|∅}=0.3, q_{A|B}=0.8; SIM varies q_{B|∅}
+#: with q_{B|A}=0.96; CIM varies q_{B|A} with q_{B|∅}=0.1.
+FIG8_SIM = {q_b: GAP(0.3, 0.8, q_b, 0.96) for q_b in (0.1, 0.5, 0.9)}
+FIG8_CIM = {q_ba: GAP(0.3, 0.8, 0.1, q_ba) for q_ba in (0.1, 0.5, 0.9)}
+
+
+def figure8_sa_stress(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    greedy_pool: int = 20,
+    greedy_runs: int = 20,
+) -> TableResult:
+    """Figure 8: SA effectiveness under adversarial GAPs.
+
+    Compares the true-objective value of the seed sets found via the upper
+    bound (S_nu), lower bound (S_mu, SelfInfMax only) and the greedy on the
+    unmodified objective (S_sigma); the paper reports relative errors under
+    0.4% — ours should stay small too."""
+    name = scale.datasets[0]
+    graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+    base = derive_seed(scale.seed, 140) or 0
+    seeds_b = _mid_tier(graph, scale, derive_seed(base, 1))
+    seeds_a = seeds_b
+    pool = high_degree_seeds(graph, greedy_pool)
+    rows = []
+    for q_b, gaps in FIG8_SIM.items():
+        rng = derive_seed(base, 2, int(q_b * 10))
+        eval_rng = derive_seed(rng, 1)
+
+        def sigma(seeds):
+            return estimate_spread(
+                graph, gaps, seeds, seeds_b, runs=scale.mc_runs, rng=eval_rng
+            ).mean
+
+        s_nu = general_tim(
+            RRSimPlusGenerator(graph, gaps.with_b_indifferent_high(), seeds_b),
+            scale.k, options=scale.tim_options, rng=rng,
+        ).seeds
+        s_mu = general_tim(
+            RRSimPlusGenerator(graph, gaps.with_b_indifferent_low(), seeds_b),
+            scale.k, options=scale.tim_options, rng=rng,
+        ).seeds
+        s_sigma = greedy_selfinfmax(
+            graph, gaps, seeds_b, scale.k,
+            runs=greedy_runs, rng=derive_seed(rng, 2), candidates=pool,
+        )
+        values = {"sigma": sigma(s_sigma), "nu": sigma(s_nu), "mu": sigma(s_mu)}
+        best = max(values.values())
+        error = (
+            max(abs(values["sigma"] - values["mu"]), abs(values["sigma"] - values["nu"]))
+            / values["sigma"] if values["sigma"] > 0 else 0.0
+        )
+        rows.append(
+            {
+                "problem": "SelfInfMax",
+                "varied_q": q_b,
+                "sigma_of_S_sigma": round(values["sigma"], 1),
+                "sigma_of_S_mu": round(values["mu"], 1),
+                "sigma_of_S_nu": round(values["nu"], 1),
+                "sa_relative_error": round(error, 4),
+            }
+        )
+    for q_ba, gaps in FIG8_CIM.items():
+        rng = derive_seed(base, 3, int(q_ba * 10))
+        eval_rng = derive_seed(rng, 1)
+
+        def boost(seeds):
+            return estimate_boost(
+                graph, gaps, seeds_a, seeds, runs=scale.mc_runs, rng=eval_rng
+            ).mean
+
+        s_nu = general_tim(
+            RRCimGenerator(graph, gaps.with_q_b_given_a_one(), seeds_a),
+            scale.k, options=scale.tim_options, rng=rng,
+        ).seeds
+        s_sigma = greedy_compinfmax(
+            graph, gaps, seeds_a, scale.k,
+            runs=greedy_runs, rng=derive_seed(rng, 2), candidates=pool,
+        )
+        values = {"sigma": boost(s_sigma), "nu": boost(s_nu)}
+        error = (
+            abs(values["sigma"] - values["nu"]) / values["sigma"]
+            if values["sigma"] > 0 else 0.0
+        )
+        rows.append(
+            {
+                "problem": "CompInfMax",
+                "varied_q": q_ba,
+                "sigma_of_S_sigma": round(values["sigma"], 2),
+                "sigma_of_S_mu": None,
+                "sigma_of_S_nu": round(values["nu"], 2),
+                "sa_relative_error": round(error, 4),
+            }
+        )
+    return TableResult(
+        title=f"Figure 8: Sandwich Approximation under stress GAPs ({name})",
+        columns=[
+            "problem", "varied_q", "sigma_of_S_sigma", "sigma_of_S_mu",
+            "sigma_of_S_nu", "sa_relative_error",
+        ],
+        rows=rows,
+        notes="SIM: q_B|A=0.96, q_B|0 varies; CIM: q_B|0=0.1, q_B|A varies",
+    )

@@ -1,0 +1,91 @@
+"""Shared infrastructure of the experiment runners."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.errors import ExperimentError
+from repro.rrset.tim import TIMOptions
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaled-down counterparts of the paper's experiment parameters.
+
+    Paper values in comments; the defaults keep a full table within
+    minutes of pure Python.  Every runner takes an ``ExperimentScale`` so
+    users with patience can push the knobs toward the paper's sizes.
+    """
+
+    #: dataset scale factor (1.0 = the paper's node counts).
+    scale: float = 0.04
+    #: seeds to select (paper: 50).
+    k: int = 5
+    #: size of the fixed opposite seed set (paper: 100).
+    opposite_size: int = 15
+    #: starting rank of the "mid-tier" opposite seeds (paper: rank 101).
+    mid_rank_start: int = 10
+    #: Monte-Carlo runs per spread evaluation (paper: 10K).
+    mc_runs: int = 150
+    #: RR-set budget per GeneralTIM run.
+    tim_options: TIMOptions = field(
+        default_factory=lambda: TIMOptions(theta_override=2500)
+    )
+    #: datasets to run on.
+    datasets: Sequence[str] = ("flixster", "douban-book")
+    #: master seed; every runner derives substreams from it.
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ExperimentError(f"k must be positive, got {self.k}")
+        if self.opposite_size < 1:
+            raise ExperimentError(
+                f"opposite_size must be positive, got {self.opposite_size}"
+            )
+        if self.mc_runs < 2:
+            raise ExperimentError(f"mc_runs must be >= 2, got {self.mc_runs}")
+
+
+#: A full-size preset covering all four datasets (slow; for overnight runs).
+FULL_SCALE = ExperimentScale(
+    scale=0.1,
+    k=10,
+    opposite_size=30,
+    mid_rank_start=15,
+    mc_runs=400,
+    tim_options=TIMOptions(theta_override=8000),
+    datasets=("douban-book", "douban-movie", "flixster", "lastfm"),
+)
+
+
+@dataclass
+class TableResult:
+    """One regenerated table/figure: column names plus row dicts."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: str = ""
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def percent_improvement(ours: float, baseline: float) -> float:
+    """``(ours - baseline) / baseline`` in percent, guarded near zero."""
+    if abs(baseline) < 1e-9:
+        return 0.0 if abs(ours) < 1e-9 else float("inf")
+    return 100.0 * (ours - baseline) / baseline

@@ -1,0 +1,114 @@
+"""Plain-text rendering of regenerated tables and figures."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Union
+
+from repro.experiments.harness import TableResult
+
+PathLike = Union[str, os.PathLike]
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(result: TableResult) -> str:
+    """Render a :class:`TableResult` as a GitHub-style markdown table."""
+    header = [str(c) for c in result.columns]
+    body = [[_format_cell(row.get(c)) for c in result.columns] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def fmt_row(cells: list[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [f"### {result.title}", ""]
+    lines.append(fmt_row(header))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(r) for r in body)
+    if result.notes:
+        lines.extend(["", f"_{result.notes}_"])
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_results(results: Iterable[TableResult], path: PathLike) -> None:
+    """Write rendered tables to a markdown file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(render_table(result))
+            handle.write("\n")
+
+
+def render_series(
+    x: Iterable[float],
+    series: dict[str, Iterable[float]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+) -> str:
+    """Render one or more y-series against a shared x-axis as ASCII art.
+
+    A dependency-free stand-in for the paper's figure plots: each series
+    gets a marker character; points are binned onto a ``width x height``
+    character grid with the y-range annotated.  Intended for terminal
+    inspection of figure runners, not publication graphics.
+    """
+    xs = [float(v) for v in x]
+    data = {name: [float(v) for v in ys] for name, ys in series.items()}
+    if not xs or not data:
+        raise ValueError("render_series needs at least one x and one series")
+    for name, ys in data.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+
+    markers = "*o+x#@%&"
+    all_y = [v for ys in data.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(data.items()):
+        marker = markers[index % len(markers)]
+        for xv, yv in zip(xs, ys):
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.3g}" + " " * max(width - 12, 1) + f"{x_hi:>.3g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(data)
+    )
+    lines.append(f"{x_label}: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,366 @@
+"""Runners regenerating the paper's Tables 1–8 (§7).
+
+Tables 2–4 share one engine (:func:`_improvement_table`) parameterised by
+how the *opposite* seed set is chosen — mid-tier VanillaIC ranks (Table 2),
+uniform random (Table 3), or top VanillaIC ranks (Table 4).  Reported cells
+are percentage improvements of GeneralTIM(+SA) over the VanillaIC and
+Copying baselines, exactly the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algorithms import (
+    copying_seeds,
+    random_seeds,
+    solve_compinfmax,
+    solve_selfinfmax,
+    vanilla_ic_seeds,
+)
+from repro.datasets import load_dataset, PAPER_DATASETS
+from repro.experiments.harness import ExperimentScale, TableResult, percent_improvement
+from repro.graph.digraph import DiGraph
+from repro.graph.stats import graph_stats
+from repro.learning import generate_synthetic_log, learn_gap_pair
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_boost, estimate_spread
+from repro.rng import derive_seed, stable_hash
+from repro.rrset.rr_cim import RRCimGenerator
+from repro.rrset.rr_sim_plus import RRSimPlusGenerator
+from repro.rrset.tim import general_tim
+
+#: SelfInfMax GAP settings of §7.1: q_{A|B} = q_{B|A} = 0.75, q_{B|∅} = 0.5,
+#: q_{A|∅} in {0.1, 0.3, 0.5} (strong / moderate / low complementarity).
+SIM_SETTINGS: dict[float, GAP] = {
+    q_a: GAP(q_a=q_a, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.75)
+    for q_a in (0.1, 0.3, 0.5)
+}
+
+#: CompInfMax GAP settings of §7.1: q_{A|∅} = 0.1, q_{A|B} = q_{B|A} = 0.9,
+#: q_{B|∅} in {0.1, 0.5, 0.8}.
+CIM_SETTINGS: dict[float, GAP] = {
+    q_b: GAP(q_a=0.1, q_a_given_b=0.9, q_b=q_b, q_b_given_a=0.9)
+    for q_b in (0.1, 0.5, 0.8)
+}
+
+#: Item pairs with the paper's learned GAPs (Tables 5–7) used as ground
+#: truth for the synthetic action logs.
+PAPER_LEARNED_PAIRS: dict[str, list[tuple[str, str, GAP]]] = {
+    "flixster": [
+        ("Monster Inc.", "Shrek", GAP(0.88, 0.92, 0.92, 0.96)),
+        ("Gone in 60 Seconds", "Armageddon", GAP(0.63, 0.77, 0.67, 0.82)),
+        ("HP: Prisoner of Azkaban", "What a Girl Wants", GAP(0.85, 0.84, 0.66, 0.67)),
+        ("Shrek", "The Fast and The Furious", GAP(0.92, 0.94, 0.80, 0.79)),
+    ],
+    "douban-book": [
+        ("Unbearable Lightness of Being", "Norwegian Wood", GAP(0.75, 0.85, 0.92, 0.97)),
+        ("HP: Philosopher's Stone", "HP: Half-Blood Prince", GAP(0.99, 1.0, 0.97, 0.98)),
+        ("Ming Dynasty III", "Ming Dynasty VI", GAP(0.94, 1.0, 0.88, 0.98)),
+        ("Fortress Besieged", "Love Letter", GAP(0.89, 0.91, 0.82, 0.83)),
+    ],
+    "douban-movie": [
+        ("Up", "3 Idiots", GAP(0.92, 0.94, 0.92, 0.93)),
+        ("Pulp Fiction", "Leon", GAP(0.81, 0.83, 0.95, 0.98)),
+        ("The Silence of the Lambs", "Inception", GAP(0.90, 0.86, 0.92, 0.98)),
+        ("Fight Club", "Se7en", GAP(0.84, 0.89, 0.89, 0.95)),
+    ],
+}
+
+
+def table1_dataset_stats(scale: ExperimentScale = ExperimentScale()) -> TableResult:
+    """Table 1: statistics of the (scaled synthetic) graph data."""
+    rows = []
+    for name in scale.datasets:
+        graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+        stats = graph_stats(graph).as_row()
+        spec = PAPER_DATASETS[name]
+        rows.append(
+            {
+                "dataset": name,
+                **stats,
+                "paper_nodes": spec.paper_nodes,
+                "paper_avg_out_degree": spec.avg_out_degree,
+            }
+        )
+    return TableResult(
+        title="Table 1: statistics of graph data (scaled synthetic stand-ins)",
+        columns=[
+            "dataset", "nodes", "edges", "avg_out_degree", "max_out_degree",
+            "paper_nodes", "paper_avg_out_degree",
+        ],
+        rows=rows,
+        notes=f"scale factor {scale.scale} of the paper's node counts",
+    )
+
+
+OppositeSelector = Callable[[DiGraph, ExperimentScale, int], list[int]]
+
+
+def _mid_tier_opposite(graph: DiGraph, scale: ExperimentScale, seed: int) -> list[int]:
+    """Paper Table 2: VanillaIC ranks ``101..200`` (scaled)."""
+    needed = scale.mid_rank_start + scale.opposite_size
+    ranked = vanilla_ic_seeds(graph, needed, options=scale.tim_options, rng=seed)
+    return ranked[scale.mid_rank_start:needed]
+
+
+def _random_opposite(graph: DiGraph, scale: ExperimentScale, seed: int) -> list[int]:
+    """Paper Table 3: uniform random opposite seeds."""
+    return random_seeds(graph, scale.opposite_size, rng=seed)
+
+
+def _top_opposite(graph: DiGraph, scale: ExperimentScale, seed: int) -> list[int]:
+    """Paper Table 4: VanillaIC top ranks."""
+    return vanilla_ic_seeds(
+        graph, scale.opposite_size, options=scale.tim_options, rng=seed
+    )
+
+
+def _improvement_table(
+    scale: ExperimentScale, title: str, opposite: OppositeSelector, notes: str
+) -> TableResult:
+    rows: list[dict] = []
+    for d_index, name in enumerate(scale.datasets):
+        graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+        base_seed = derive_seed(scale.seed, d_index) or 0
+
+        # --- SelfInfMax block -----------------------------------------
+        seeds_b = opposite(graph, scale, derive_seed(base_seed, 1))
+        for q_a, gaps in SIM_SETTINGS.items():
+            rng = derive_seed(base_seed, 2, int(q_a * 100))
+            ours = solve_selfinfmax(
+                graph, gaps, seeds_b, scale.k,
+                options=scale.tim_options, rng=rng,
+                evaluation_runs=scale.mc_runs,
+            ).seeds
+            vanilla = vanilla_ic_seeds(
+                graph, scale.k, options=scale.tim_options, rng=derive_seed(rng, 3)
+            )
+            copying = copying_seeds(graph, scale.k, seeds_b, rng=derive_seed(rng, 4))
+            eval_rng = derive_seed(rng, 5)
+
+            def sigma(seeds):
+                return estimate_spread(
+                    graph, gaps, seeds, seeds_b, runs=scale.mc_runs, rng=eval_rng
+                ).mean
+
+            ours_value = sigma(ours)
+            vanilla_value = sigma(vanilla)
+            copying_value = sigma(copying)
+            rows.append(
+                {
+                    "problem": "SelfInfMax",
+                    "dataset": name,
+                    "q": q_a,
+                    "ours": round(ours_value, 1),
+                    "vanilla_ic": round(vanilla_value, 1),
+                    "copying": round(copying_value, 1),
+                    "impr_vs_vanilla_pct": round(
+                        percent_improvement(ours_value, vanilla_value), 2
+                    ),
+                    "impr_vs_copying_pct": round(
+                        percent_improvement(ours_value, copying_value), 2
+                    ),
+                }
+            )
+
+        # --- CompInfMax block -----------------------------------------
+        seeds_a = opposite(graph, scale, derive_seed(base_seed, 6))
+        for q_b, gaps in CIM_SETTINGS.items():
+            rng = derive_seed(base_seed, 7, int(q_b * 100))
+            ours = solve_compinfmax(
+                graph, gaps, seeds_a, scale.k,
+                options=scale.tim_options, rng=rng,
+                evaluation_runs=scale.mc_runs,
+            ).seeds
+            vanilla = vanilla_ic_seeds(
+                graph, scale.k, options=scale.tim_options, rng=derive_seed(rng, 3)
+            )
+            copying = copying_seeds(graph, scale.k, seeds_a, rng=derive_seed(rng, 4))
+            eval_rng = derive_seed(rng, 5)
+
+            def boost(seeds):
+                return estimate_boost(
+                    graph, gaps, seeds_a, seeds, runs=scale.mc_runs, rng=eval_rng
+                ).mean
+
+            ours_value = boost(ours)
+            vanilla_value = boost(vanilla)
+            copying_value = boost(copying)
+            rows.append(
+                {
+                    "problem": "CompInfMax",
+                    "dataset": name,
+                    "q": q_b,
+                    "ours": round(ours_value, 1),
+                    "vanilla_ic": round(vanilla_value, 1),
+                    "copying": round(copying_value, 1),
+                    "impr_vs_vanilla_pct": round(
+                        percent_improvement(ours_value, vanilla_value), 2
+                    ),
+                    "impr_vs_copying_pct": round(
+                        percent_improvement(ours_value, copying_value), 2
+                    ),
+                }
+            )
+    return TableResult(
+        title=title,
+        columns=[
+            "problem", "dataset", "q", "ours", "vanilla_ic", "copying",
+            "impr_vs_vanilla_pct", "impr_vs_copying_pct",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def table2_improvement(scale: ExperimentScale = ExperimentScale()) -> TableResult:
+    """Table 2: improvement over baselines, mid-tier opposite seeds."""
+    return _improvement_table(
+        scale,
+        "Table 2: % improvement of GeneralTIM over VanillaIC & Copying "
+        "(opposite seeds = mid-tier VanillaIC ranks)",
+        _mid_tier_opposite,
+        f"opposite = VanillaIC ranks [{scale.mid_rank_start}, "
+        f"{scale.mid_rank_start + scale.opposite_size}) — the paper's 101st-200th, scaled",
+    )
+
+
+def table3_improvement_random(scale: ExperimentScale = ExperimentScale()) -> TableResult:
+    """Table 3: improvement over baselines, random opposite seeds."""
+    return _improvement_table(
+        scale,
+        "Table 3: % improvement of GeneralTIM over VanillaIC & Copying "
+        "(opposite seeds = random)",
+        _random_opposite,
+        "opposite seed set drawn uniformly at random",
+    )
+
+
+def table4_improvement_top(scale: ExperimentScale = ExperimentScale()) -> TableResult:
+    """Table 4: improvement over baselines, top VanillaIC opposite seeds."""
+    return _improvement_table(
+        scale,
+        "Table 4: % improvement of GeneralTIM over VanillaIC & Copying "
+        "(opposite seeds = top VanillaIC ranks)",
+        _top_opposite,
+        "opposite = most influential nodes; the paper observes near-zero "
+        "(occasionally negative) improvements here",
+    )
+
+
+def tables5to7_learned_gaps(
+    scale: ExperimentScale = ExperimentScale(),
+    *,
+    num_users: int = 12_000,
+) -> TableResult:
+    """Tables 5–7: GAPs learned from (synthetic) action logs with 95% CIs.
+
+    Ground truths are the paper's published values; a row "recovers" when
+    every learned interval contains its ground truth.
+    """
+    rows = []
+    for d_index, dataset in enumerate(PAPER_LEARNED_PAIRS):
+        pairs = PAPER_LEARNED_PAIRS[dataset]
+        log = generate_synthetic_log(
+            pairs, num_users=num_users, rng=derive_seed(scale.seed, 40, d_index)
+        )
+        for item_a, item_b, truth in pairs:
+            learned = learn_gap_pair(log, item_a, item_b)
+            row = {"dataset": dataset, "item_a": item_a, "item_b": item_b}
+            for attr in ("q_a", "q_a_given_b", "q_b", "q_b_given_a"):
+                row[attr] = (
+                    f"{getattr(learned.gap, attr):.2f}"
+                    f"±{learned.halfwidths[attr]:.2f}"
+                )
+                row[f"true_{attr}"] = getattr(truth, attr)
+            row["recovered"] = learned.contains_truth(truth, slack=2.0)
+            rows.append(row)
+    return TableResult(
+        title="Tables 5-7: GAPs learned from action logs (synthetic stand-in, "
+        "95% confidence intervals)",
+        columns=[
+            "dataset", "item_a", "item_b",
+            "q_a", "true_q_a", "q_a_given_b", "true_q_a_given_b",
+            "q_b", "true_q_b", "q_b_given_a", "true_q_b_given_a", "recovered",
+        ],
+        rows=rows,
+        notes="ground truths are the paper's learned values; logs are "
+        "generated from them and re-learned",
+    )
+
+
+#: Table 8 stress settings (§7.3): q_{A|∅}=0.3, q_{A|B}=0.8 throughout.
+SIM_STRESS: dict[str, GAP] = {
+    "SIM_0.1": GAP(0.3, 0.8, 0.1, 1.0),
+    "SIM_0.5": GAP(0.3, 0.8, 0.5, 1.0),
+    "SIM_0.9": GAP(0.3, 0.8, 0.9, 1.0),
+}
+CIM_STRESS: dict[str, GAP] = {
+    "CIM_0.1": GAP(0.3, 0.8, 0.1, 0.1),
+    "CIM_0.5": GAP(0.3, 0.8, 0.1, 0.5),
+    "CIM_0.9": GAP(0.3, 0.8, 0.1, 0.9),
+}
+#: "Learned" rows use a close-GAP pair as in the data-derived settings.
+SIM_LEARNED = GAP(0.88, 0.92, 0.92, 0.96)
+CIM_LEARNED = GAP(0.88, 0.92, 0.92, 0.96)
+
+
+def table8_sandwich_ratio(scale: ExperimentScale = ExperimentScale()) -> TableResult:
+    """Table 8: the computable SA factor ``sigma(S_nu) / nu(S_nu)``.
+
+    For each setting, ``S_nu`` maximises the submodular upper bound; the
+    ratio of its value under the true GAPs to its value under the bound
+    GAPs lower-bounds the data-dependent approximation factor (Thm. 9).
+    """
+    rows = []
+    for d_index, name in enumerate(scale.datasets):
+        graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
+        base_seed = derive_seed(scale.seed, 80, d_index) or 0
+        seeds_b = _mid_tier_opposite(graph, scale, derive_seed(base_seed, 1))
+        row: dict = {"dataset": name}
+
+        sim_cases = {"SIM_learn": SIM_LEARNED, **SIM_STRESS}
+        for label, gaps in sim_cases.items():
+            nu_gaps = gaps.with_b_indifferent_high()
+            tim = general_tim(
+                RRSimPlusGenerator(graph, nu_gaps, seeds_b), scale.k,
+                options=scale.tim_options, rng=derive_seed(base_seed, 2, stable_hash(label)),
+            )
+            eval_rng = derive_seed(base_seed, 3, stable_hash(label))
+            sigma_val = estimate_spread(
+                graph, gaps, tim.seeds, seeds_b, runs=scale.mc_runs, rng=eval_rng
+            ).mean
+            nu_val = estimate_spread(
+                graph, nu_gaps, tim.seeds, seeds_b, runs=scale.mc_runs, rng=eval_rng
+            ).mean
+            row[label] = round(min(sigma_val / nu_val, 1.0), 3) if nu_val > 0 else 1.0
+
+        seeds_a = seeds_b  # the paper fixes the opposite set the same way
+        cim_cases = {"CIM_learn": CIM_LEARNED, **CIM_STRESS}
+        for label, gaps in cim_cases.items():
+            nu_gaps = gaps.with_q_b_given_a_one()
+            tim = general_tim(
+                RRCimGenerator(graph, nu_gaps, seeds_a), scale.k,
+                options=scale.tim_options, rng=derive_seed(base_seed, 4, stable_hash(label)),
+            )
+            eval_rng = derive_seed(base_seed, 5, stable_hash(label))
+            sigma_val = estimate_boost(
+                graph, gaps, seeds_a, tim.seeds, runs=scale.mc_runs, rng=eval_rng
+            ).mean
+            nu_val = estimate_boost(
+                graph, nu_gaps, seeds_a, tim.seeds, runs=scale.mc_runs, rng=eval_rng
+            ).mean
+            row[label] = round(min(sigma_val / nu_val, 1.0), 3) if nu_val > 0 else 1.0
+        rows.append(row)
+    return TableResult(
+        title="Table 8: Sandwich Approximation ratio sigma(S_nu)/nu(S_nu)",
+        columns=[
+            "dataset",
+            "SIM_learn", "SIM_0.1", "SIM_0.5", "SIM_0.9",
+            "CIM_learn", "CIM_0.1", "CIM_0.5", "CIM_0.9",
+        ],
+        rows=rows,
+        notes="SIM stress: q_B|A=1, q_B|0 varies; CIM stress: q_B|0=0.1, "
+        "q_B|A varies; learned rows use close GAPs",
+    )

@@ -1,0 +1,62 @@
+"""Directed influence-graph substrate.
+
+The influence graph ``G = (V, E, p)`` of the paper (§2) is realised by
+:class:`~repro.graph.digraph.DiGraph`, a compressed-sparse-row structure with
+both out- and in-adjacency so that forward diffusion and reverse-reachable
+searches are equally cheap.  Companion modules provide random generators,
+edge-probability assignment schemes, plain-text I/O and summary statistics.
+"""
+
+from repro.graph.digraph import DiGraph, induced_subgraph
+from repro.graph.generators import (
+    complete_digraph,
+    cycle_digraph,
+    erdos_renyi_digraph,
+    grid_digraph,
+    path_digraph,
+    power_law_digraph,
+    star_digraph,
+)
+from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.stats import (
+    degree_tail_ratio,
+    out_degree_distribution,
+    reciprocity,
+    GraphStats,
+    graph_stats,
+    largest_scc,
+    reachable_from,
+    strongly_connected_components,
+)
+from repro.graph.weights import (
+    constant_probabilities,
+    trivalency_probabilities,
+    uniform_random_probabilities,
+    weighted_cascade_probabilities,
+)
+
+__all__ = [
+    "DiGraph",
+    "induced_subgraph",
+    "erdos_renyi_digraph",
+    "power_law_digraph",
+    "path_digraph",
+    "cycle_digraph",
+    "star_digraph",
+    "complete_digraph",
+    "grid_digraph",
+    "load_edge_list",
+    "save_edge_list",
+    "GraphStats",
+    "graph_stats",
+    "out_degree_distribution",
+    "degree_tail_ratio",
+    "reciprocity",
+    "strongly_connected_components",
+    "largest_scc",
+    "reachable_from",
+    "constant_probabilities",
+    "weighted_cascade_probabilities",
+    "trivalency_probabilities",
+    "uniform_random_probabilities",
+]

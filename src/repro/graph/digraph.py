@@ -1,0 +1,340 @@
+"""Compressed-sparse-row directed graph with per-edge influence probabilities.
+
+This is the substrate every diffusion model and RR-set generator in the
+library runs on.  Design goals:
+
+* O(1) access to the out-neighbours *and* in-neighbours of a node as numpy
+  slices (forward cascades need the former, reverse-reachable searches the
+  latter);
+* a single canonical *edge id* per edge shared by both views, so that
+  "each edge is tested at most once in the entire diffusion process"
+  (paper, Fig. 2, rule 1) can be tracked with one flat array;
+* immutability after construction — algorithms may share a graph freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EdgeProbabilityError, GraphError
+
+Edge = Tuple[int, int, float]
+
+
+class DiGraph:
+    """An immutable directed graph ``G = (V, E, p)`` with ``p : E -> [0, 1]``.
+
+    Nodes are the integers ``0 .. n-1``.  Parallel edges are rejected;
+    self-loops are rejected by default (they never influence a cascade).
+
+    Construction goes through :meth:`from_edges` or :meth:`from_arrays`;
+    the raw constructor is considered private.
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "_out_indptr",
+        "_out_dst",
+        "_out_prob",
+        "_out_eid",
+        "_in_indptr",
+        "_in_src",
+        "_in_prob",
+        "_in_eid",
+        "_edge_src",
+        "_edge_dst",
+        "_edge_prob",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_prob: np.ndarray,
+    ) -> None:
+        self._n = int(n)
+        self._m = int(edge_src.shape[0])
+        self._edge_src = edge_src
+        self._edge_dst = edge_dst
+        self._edge_prob = edge_prob
+        self._build_csr()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Edge],
+        *,
+        default_probability: float = 1.0,
+        allow_self_loops: bool = False,
+    ) -> "DiGraph":
+        """Build a graph from ``(src, dst[, prob])`` tuples.
+
+        Tuples may be 2-tuples (probability defaults to
+        ``default_probability``) or 3-tuples.
+        """
+        src_list: list[int] = []
+        dst_list: list[int] = []
+        prob_list: list[float] = []
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                p = default_probability
+            else:
+                u, v, p = edge
+            src_list.append(int(u))
+            dst_list.append(int(v))
+            prob_list.append(float(p))
+        return cls.from_arrays(
+            n,
+            np.asarray(src_list, dtype=np.int64),
+            np.asarray(dst_list, dtype=np.int64),
+            np.asarray(prob_list, dtype=np.float64),
+            allow_self_loops=allow_self_loops,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        prob: np.ndarray,
+        *,
+        allow_self_loops: bool = False,
+    ) -> "DiGraph":
+        """Build a graph from parallel ``src``/``dst``/``prob`` arrays."""
+        if n < 0:
+            raise GraphError(f"number of nodes must be non-negative, got {n}")
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        prob = np.ascontiguousarray(prob, dtype=np.float64)
+        if not (src.shape == dst.shape == prob.shape):
+            raise GraphError(
+                "src, dst and prob arrays must have identical shapes; got "
+                f"{src.shape}, {dst.shape}, {prob.shape}"
+            )
+        if src.size:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 0 or hi >= n:
+                raise GraphError(
+                    f"edge endpoints must lie in [0, {n - 1}]; found [{lo}, {hi}]"
+                )
+            if not allow_self_loops and np.any(src == dst):
+                bad = int(src[src == dst][0])
+                raise GraphError(f"self-loop at node {bad} (self-loops are disallowed)")
+            if np.any((prob < 0.0) | (prob > 1.0)):
+                bad_p = float(prob[(prob < 0.0) | (prob > 1.0)][0])
+                raise EdgeProbabilityError(
+                    f"influence probabilities must lie in [0, 1]; found {bad_p}"
+                )
+            key = src.astype(np.int64) * n + dst
+            order = np.argsort(key, kind="stable")
+            key = key[order]
+            if key.size > 1 and np.any(key[1:] == key[:-1]):
+                dup = int(np.flatnonzero(key[1:] == key[:-1])[0])
+                u, v = divmod(int(key[dup]), n)
+                raise GraphError(f"parallel edge ({u}, {v}) (parallel edges are disallowed)")
+            src, dst, prob = src[order], dst[order], prob[order]
+        return cls(n, src, dst, prob)
+
+    def _build_csr(self) -> None:
+        n, m = self._n, self._m
+        src, dst = self._edge_src, self._edge_dst
+        out_counts = np.bincount(src, minlength=n) if m else np.zeros(n, dtype=np.int64)
+        in_counts = np.bincount(dst, minlength=n) if m else np.zeros(n, dtype=np.int64)
+        self._out_indptr = np.concatenate(([0], np.cumsum(out_counts))).astype(np.int64)
+        self._in_indptr = np.concatenate(([0], np.cumsum(in_counts))).astype(np.int64)
+        # Edges are already sorted by (src, dst), so the out-CSR is a direct copy.
+        self._out_dst = dst.copy()
+        self._out_prob = self._edge_prob.copy()
+        self._out_eid = np.arange(m, dtype=np.int64)
+        in_order = np.argsort(dst, kind="stable")
+        self._in_src = src[in_order]
+        self._in_prob = self._edge_prob[in_order]
+        self._in_eid = in_order.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return self._m
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """All node ids as an array ``[0, ..., n-1]``."""
+        return np.arange(self._n, dtype=np.int64)
+
+    def _check_node(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise GraphError(f"node {v} out of range [0, {self._n - 1}]")
+        return v
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of node ``v``."""
+        v = self._check_node(v)
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of node ``v``."""
+        v = self._check_node(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Vector of all out-degrees (length ``n``)."""
+        return np.diff(self._out_indptr)
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """Vector of all in-degrees (length ``n``)."""
+        return np.diff(self._in_indptr)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbours ``N+(v)`` as a read-only array view."""
+        v = self._check_node(v)
+        return self._out_dst[self._out_indptr[v]: self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbours ``N-(v)`` as a read-only array view."""
+        v = self._check_node(v)
+        return self._in_src[self._in_indptr[v]: self._in_indptr[v + 1]]
+
+    def out_edges(self, v: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(neighbours, probabilities, edge_ids)`` for edges leaving ``v``."""
+        v = self._check_node(v)
+        lo, hi = self._out_indptr[v], self._out_indptr[v + 1]
+        return self._out_dst[lo:hi], self._out_prob[lo:hi], self._out_eid[lo:hi]
+
+    def in_edges(self, v: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(sources, probabilities, edge_ids)`` for edges entering ``v``."""
+        v = self._check_node(v)
+        lo, hi = self._in_indptr[v], self._in_indptr[v + 1]
+        return self._in_src[lo:hi], self._in_prob[lo:hi], self._in_eid[lo:hi]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``(u, v)`` exists."""
+        u = self._check_node(u)
+        v = self._check_node(v)
+        lo, hi = self._out_indptr[u], self._out_indptr[u + 1]
+        idx = np.searchsorted(self._out_dst[lo:hi], v)
+        return bool(idx < hi - lo and self._out_dst[lo + idx] == v)
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Influence probability ``p(u, v)``; raises if the edge is absent."""
+        u = self._check_node(u)
+        v = self._check_node(v)
+        lo, hi = self._out_indptr[u], self._out_indptr[u + 1]
+        idx = np.searchsorted(self._out_dst[lo:hi], v)
+        if idx >= hi - lo or self._out_dst[lo + idx] != v:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        return float(self._out_prob[lo + idx])
+
+    def csr_out(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Raw out-CSR arrays ``(indptr, targets, probs, edge_ids)``.
+
+        Exposed (read-only by convention) for vectorised kernels such as the
+        batched frontier edge tests in :mod:`repro.models.ic`.
+        """
+        return self._out_indptr, self._out_dst, self._out_prob, self._out_eid
+
+    def csr_in(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Raw in-CSR arrays ``(indptr, sources, probs, edge_ids)``."""
+        return self._in_indptr, self._in_src, self._in_prob, self._in_eid
+
+    @property
+    def edge_sources(self) -> np.ndarray:
+        """Edge source array, indexed by edge id."""
+        return self._edge_src
+
+    @property
+    def edge_targets(self) -> np.ndarray:
+        """Edge target array, indexed by edge id."""
+        return self._edge_dst
+
+    @property
+    def edge_probabilities(self) -> np.ndarray:
+        """Edge probability array, indexed by edge id."""
+        return self._edge_prob
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Yield all edges as ``(src, dst, prob)`` tuples in edge-id order."""
+        for i in range(self._m):
+            yield (
+                int(self._edge_src[i]),
+                int(self._edge_dst[i]),
+                float(self._edge_prob[i]),
+            )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_probabilities(self, prob: np.ndarray) -> "DiGraph":
+        """Return a copy with per-edge probabilities replaced (by edge id)."""
+        prob = np.ascontiguousarray(prob, dtype=np.float64)
+        if prob.shape != (self._m,):
+            raise GraphError(
+                f"expected {self._m} probabilities, got shape {prob.shape}"
+            )
+        if prob.size and np.any((prob < 0.0) | (prob > 1.0)):
+            raise EdgeProbabilityError("influence probabilities must lie in [0, 1]")
+        return DiGraph(self._n, self._edge_src, self._edge_dst, prob.copy())
+
+    def reverse(self) -> "DiGraph":
+        """Return the transpose graph (every edge reversed, same probs)."""
+        return DiGraph.from_arrays(
+            self._n, self._edge_dst.copy(), self._edge_src.copy(), self._edge_prob.copy()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiGraph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._edge_src, other._edge_src)
+            and np.array_equal(self._edge_dst, other._edge_dst)
+            and np.array_equal(self._edge_prob, other._edge_prob)
+        )
+
+    def __hash__(self) -> int:  # graphs are immutable; hash on shape only
+        return hash((self._n, self._m))
+
+
+def induced_subgraph(graph: DiGraph, nodes: Sequence[int]) -> tuple[DiGraph, np.ndarray]:
+    """Return the subgraph induced by ``nodes`` and the old-id array.
+
+    The returned graph relabels the kept nodes to ``0 .. len(nodes)-1`` in the
+    order given; the second return value maps new id -> old id.
+    """
+    keep = np.asarray(nodes, dtype=np.int64)
+    if keep.size != np.unique(keep).size:
+        raise GraphError("induced_subgraph requires distinct node ids")
+    if keep.size and (keep.min() < 0 or keep.max() >= graph.num_nodes):
+        raise GraphError("induced_subgraph node ids out of range")
+    new_id = np.full(graph.num_nodes, -1, dtype=np.int64)
+    new_id[keep] = np.arange(keep.size, dtype=np.int64)
+    src, dst, prob = graph.edge_sources, graph.edge_targets, graph.edge_probabilities
+    mask = (new_id[src] >= 0) & (new_id[dst] >= 0)
+    sub = DiGraph.from_arrays(
+        int(keep.size), new_id[src[mask]], new_id[dst[mask]], prob[mask]
+    )
+    return sub, keep

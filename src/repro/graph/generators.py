@@ -1,0 +1,170 @@
+"""Random and deterministic graph generators.
+
+The paper's scalability study (§7.3, Fig. 7b) uses "power-law random graphs
+... with a power-law degree exponent of 2.16" and average degree about 5;
+:func:`power_law_digraph` reproduces that construction.  The remaining
+generators provide Erdős–Rényi graphs and small deterministic fixtures used
+throughout the tests (paths, cycles, stars, grids, complete graphs).
+
+All generators return :class:`~repro.graph.digraph.DiGraph` instances whose
+edges carry a ``default_probability`` that callers typically overwrite with a
+scheme from :mod:`repro.graph.weights`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+
+
+def erdos_renyi_digraph(
+    n: int,
+    edge_probability: float,
+    *,
+    probability: float = 1.0,
+    rng: SeedLike = None,
+) -> DiGraph:
+    """G(n, p) directed random graph (no self-loops).
+
+    ``edge_probability`` is the independent existence probability of each of
+    the ``n * (n - 1)`` ordered pairs; ``probability`` is the influence
+    probability stamped on every realised edge.
+    """
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    gen = make_rng(rng)
+    if n <= 1 or edge_probability == 0.0:
+        return DiGraph.from_arrays(
+            n,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    # Sample the number of edges then their positions among ordered pairs.
+    total_pairs = n * (n - 1)
+    m = int(gen.binomial(total_pairs, edge_probability))
+    pair_idx = gen.choice(total_pairs, size=m, replace=False)
+    src = pair_idx // (n - 1)
+    offset = pair_idx % (n - 1)
+    dst = np.where(offset >= src, offset + 1, offset)
+    prob = np.full(m, probability, dtype=np.float64)
+    return DiGraph.from_arrays(n, src.astype(np.int64), dst.astype(np.int64), prob)
+
+
+def _power_law_degrees(
+    n: int, exponent: float, average_degree: float, gen: np.random.Generator
+) -> np.ndarray:
+    """Sample a degree sequence from a truncated discrete power law.
+
+    Degrees follow ``P(d) ∝ d^(-exponent)`` on ``[1, n-1]`` and are then
+    rescaled so the empirical mean is close to ``average_degree``.
+    """
+    support = np.arange(1, n, dtype=np.float64)
+    weights = support ** (-exponent)
+    weights /= weights.sum()
+    degrees = gen.choice(support.astype(np.int64), size=n, p=weights)
+    mean = degrees.mean()
+    if mean > 0:
+        scale = average_degree / mean
+        degrees = np.maximum(1, np.round(degrees * scale)).astype(np.int64)
+    return np.minimum(degrees, n - 1)
+
+
+def power_law_digraph(
+    n: int,
+    *,
+    exponent: float = 2.16,
+    average_degree: float = 5.0,
+    probability: float = 1.0,
+    rng: SeedLike = None,
+) -> DiGraph:
+    """Directed power-law random graph (paper §7.3 scalability workload).
+
+    Out-degrees are drawn from a discrete power law with the given exponent
+    (default 2.16 as in [9] and the paper) and rescaled to the requested
+    average.  Each node then connects to distinct uniform-random targets;
+    because hubs draw many out-edges and targets are uniform, in-degrees are
+    comparatively homogeneous, matching the "power-law random graph" model
+    of Chen et al. [9].
+    """
+    if n < 2:
+        raise GraphError(f"power_law_digraph needs n >= 2, got {n}")
+    if exponent <= 1.0:
+        raise GraphError(f"exponent must exceed 1, got {exponent}")
+    gen = make_rng(rng)
+    degrees = _power_law_degrees(n, exponent, average_degree, gen)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for u in range(n):
+        d = int(degrees[u])
+        if d <= 0:
+            continue
+        targets = gen.choice(n - 1, size=d, replace=False)
+        targets = np.where(targets >= u, targets + 1, targets)
+        src_parts.append(np.full(d, u, dtype=np.int64))
+        dst_parts.append(targets.astype(np.int64))
+    src = np.concatenate(src_parts) if src_parts else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dst_parts) if dst_parts else np.empty(0, dtype=np.int64)
+    prob = np.full(src.size, probability, dtype=np.float64)
+    return DiGraph.from_arrays(n, src, dst, prob)
+
+
+def path_digraph(n: int, *, probability: float = 1.0, bidirectional: bool = False) -> DiGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1`` (optionally both directions)."""
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    edges = [(i, i + 1, probability) for i in range(n - 1)]
+    if bidirectional:
+        edges += [(i + 1, i, probability) for i in range(n - 1)]
+    return DiGraph.from_edges(n, edges)
+
+
+def cycle_digraph(n: int, *, probability: float = 1.0) -> DiGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    if n < 2:
+        raise GraphError(f"cycle needs n >= 2, got {n}")
+    edges = [(i, (i + 1) % n, probability) for i in range(n)]
+    return DiGraph.from_edges(n, edges)
+
+
+def star_digraph(n: int, *, probability: float = 1.0, outward: bool = True) -> DiGraph:
+    """Star with centre 0; ``outward`` controls the edge direction."""
+    if n < 1:
+        raise GraphError(f"star needs n >= 1, got {n}")
+    if outward:
+        edges = [(0, i, probability) for i in range(1, n)]
+    else:
+        edges = [(i, 0, probability) for i in range(1, n)]
+    return DiGraph.from_edges(n, edges)
+
+
+def complete_digraph(n: int, *, probability: float = 1.0) -> DiGraph:
+    """Complete directed graph on ``n`` nodes (all ordered pairs)."""
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    edges = [(u, v, probability) for u in range(n) for v in range(n) if u != v]
+    return DiGraph.from_edges(n, edges)
+
+
+def grid_digraph(rows: int, cols: int, *, probability: float = 1.0) -> DiGraph:
+    """Bidirectional 4-neighbour grid; node ``(r, c)`` has id ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid needs rows, cols >= 1, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                v = r * cols + (c + 1)
+                edges.append((u, v, probability))
+                edges.append((v, u, probability))
+            if r + 1 < rows:
+                v = (r + 1) * cols + c
+                edges.append((u, v, probability))
+                edges.append((v, u, probability))
+    return DiGraph.from_edges(rows * cols, edges)

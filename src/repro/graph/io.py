@@ -1,0 +1,72 @@
+"""Plain-text graph serialisation.
+
+Graphs are stored as whitespace-separated edge lists, one ``src dst prob``
+triple per line, with ``#``-prefixed comment lines.  The first non-comment
+line is a header ``n m`` giving node and edge counts so that isolated nodes
+round-trip correctly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_edge_list(graph: DiGraph, path: PathLike, *, comment: str = "") -> None:
+    """Write ``graph`` to ``path`` in the library's edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"{graph.num_nodes} {graph.num_edges}\n")
+        src = graph.edge_sources
+        dst = graph.edge_targets
+        prob = graph.edge_probabilities
+        for i in range(graph.num_edges):
+            handle.write(f"{src[i]} {dst[i]} {prob[i]:.10g}\n")
+
+
+def load_edge_list(path: PathLike) -> DiGraph:
+    """Read a graph previously written by :func:`save_edge_list`."""
+    n = -1
+    m = -1
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    prob_list: list[float] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if n < 0:
+                if len(parts) != 2:
+                    raise GraphError(
+                        f"expected 'n m' header, got {line!r} in {path}"
+                    )
+                n, m = int(parts[0]), int(parts[1])
+                continue
+            if len(parts) not in (2, 3):
+                raise GraphError(f"malformed edge line {line!r} in {path}")
+            src_list.append(int(parts[0]))
+            dst_list.append(int(parts[1]))
+            prob_list.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    if n < 0:
+        raise GraphError(f"no header line found in {path}")
+    if len(src_list) != m:
+        raise GraphError(
+            f"header declared {m} edges but {len(src_list)} were found in {path}"
+        )
+    return DiGraph.from_arrays(
+        n,
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        np.asarray(prob_list, dtype=np.float64),
+    )

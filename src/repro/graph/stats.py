@@ -1,0 +1,183 @@
+"""Graph summary statistics and reachability utilities.
+
+:func:`graph_stats` reproduces the columns of the paper's Table 1 (node and
+edge counts, average and maximum out-degree).  The strongly-connected-
+component decomposition is used to mimic the paper's preprocessing of
+Flixster ("we extract a strongly connected component").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph, induced_subgraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a directed graph (paper Table 1 columns)."""
+
+    num_nodes: int
+    num_edges: int
+    avg_out_degree: float
+    max_out_degree: int
+    avg_in_degree: float
+    max_in_degree: int
+
+    def as_row(self) -> dict[str, float]:
+        """Render as a flat dict (used by the reporting layer)."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "avg_out_degree": round(self.avg_out_degree, 2),
+            "max_out_degree": self.max_out_degree,
+        }
+
+
+def graph_stats(graph: DiGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    n = graph.num_nodes
+    out_deg = graph.out_degrees
+    in_deg = graph.in_degrees
+    return GraphStats(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        avg_out_degree=float(out_deg.mean()) if n else 0.0,
+        max_out_degree=int(out_deg.max()) if n else 0,
+        avg_in_degree=float(in_deg.mean()) if n else 0.0,
+        max_in_degree=int(in_deg.max()) if n else 0,
+    )
+
+
+def reachable_from(graph: DiGraph, sources: Iterable[int]) -> np.ndarray:
+    """Nodes reachable from ``sources`` by directed paths (including sources).
+
+    Plain BFS ignoring edge probabilities; returns a sorted id array.
+    """
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    frontier = [int(s) for s in sources]
+    for s in frontier:
+        if not 0 <= s < graph.num_nodes:
+            raise ValueError(f"source {s} out of range")
+        visited[s] = True
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            for v in graph.out_neighbors(u):
+                if not visited[v]:
+                    visited[v] = True
+                    next_frontier.append(int(v))
+        frontier = next_frontier
+    return np.flatnonzero(visited)
+
+
+def strongly_connected_components(graph: DiGraph) -> list[np.ndarray]:
+    """Tarjan's SCC algorithm (iterative), components in reverse topological order."""
+    n = graph.num_nodes
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+    components: list[np.ndarray] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Iterative Tarjan: work items are (node, iterator position).
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            v, child_pos = work.pop()
+            if child_pos == 0:
+                index[v] = counter
+                lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            recurse = False
+            neighbors = graph.out_neighbors(v)
+            for pos in range(child_pos, neighbors.size):
+                w = int(neighbors[pos])
+                if index[w] == -1:
+                    work.append((v, pos + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if recurse:
+                continue
+            if lowlink[v] == index[v]:
+                component: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(np.asarray(sorted(component), dtype=np.int64))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return components
+
+
+def largest_scc(graph: DiGraph) -> tuple[DiGraph, np.ndarray]:
+    """Induced subgraph on the largest strongly connected component.
+
+    Returns ``(subgraph, old_ids)`` as :func:`~repro.graph.digraph.induced_subgraph`.
+    """
+    components = strongly_connected_components(graph)
+    if not components:
+        return graph, np.empty(0, dtype=np.int64)
+    biggest = max(components, key=len)
+    return induced_subgraph(graph, biggest)
+
+
+def out_degree_distribution(graph: DiGraph) -> np.ndarray:
+    """Histogram of out-degrees: ``dist[d]`` = number of nodes with
+    out-degree ``d``.
+
+    The Table-1 stand-ins are validated against the paper's heavy-tailed
+    shapes with this (power-law graphs show a long right tail; ER graphs
+    concentrate around the mean).
+    """
+    degrees = graph.out_degrees
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def degree_tail_ratio(graph: DiGraph) -> float:
+    """``max out-degree / average out-degree`` — a one-number tail gauge.
+
+    The paper's datasets sit between ~13 (Flixster) and ~260 (Douban-Book);
+    Erdős–Rényi graphs land near 2–4.  Used to sanity-check that synthetic
+    stand-ins reproduce the published degree heterogeneity.
+    """
+    degrees = graph.out_degrees
+    if degrees.size == 0 or graph.num_edges == 0:
+        return 0.0
+    return float(degrees.max()) / float(degrees.mean())
+
+
+def reciprocity(graph: DiGraph) -> float:
+    """Fraction of edges whose reverse edge also exists.
+
+    Flixster/Last.fm links are undirected in the raw data and directed
+    both ways by the paper (reciprocity 1.0); Douban's follower edges are
+    one-way.  Returns 0.0 for edgeless graphs.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    n = graph.num_nodes
+    forward = set(
+        (int(u), int(v))
+        for u, v in zip(graph.edge_sources, graph.edge_targets)
+    )
+    mutual = sum(1 for (u, v) in forward if (v, u) in forward)
+    return mutual / m

@@ -1,0 +1,77 @@
+"""Edge influence-probability assignment schemes.
+
+The paper learns probabilities from action logs with the method of Goyal et
+al. [12] (see :mod:`repro.learning.influence_probs` for that learner).  The
+wider influence-maximization literature that the paper benchmarks against
+([9], [10], [24]) calibrates with three standard synthetic schemes, all
+provided here:
+
+* **weighted cascade** — ``p(u, v) = 1 / indeg(v)``;
+* **trivalency** — ``p(u, v)`` drawn uniformly from ``{0.1, 0.01, 0.001}``;
+* **constant** — a single value for every edge.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EdgeProbabilityError
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+
+
+def constant_probabilities(graph: DiGraph, probability: float) -> DiGraph:
+    """Stamp the same influence probability on every edge."""
+    if not 0.0 <= probability <= 1.0:
+        raise EdgeProbabilityError(f"probability must be in [0, 1], got {probability}")
+    return graph.with_probabilities(
+        np.full(graph.num_edges, probability, dtype=np.float64)
+    )
+
+
+def weighted_cascade_probabilities(graph: DiGraph) -> DiGraph:
+    """Weighted-cascade scheme: ``p(u, v) = 1 / indeg(v)``.
+
+    Under this scheme the expected number of live in-edges of every node is
+    exactly one, the classical calibration of Kempe et al. [15].
+    """
+    indeg = graph.in_degrees.astype(np.float64)
+    # Every edge target has in-degree >= 1 by construction.
+    probs = 1.0 / indeg[graph.edge_targets]
+    return graph.with_probabilities(probs)
+
+
+def trivalency_probabilities(
+    graph: DiGraph,
+    values: Sequence[float] = (0.1, 0.01, 0.001),
+    *,
+    rng: SeedLike = None,
+) -> DiGraph:
+    """Trivalency scheme: each edge gets a uniform draw from ``values``."""
+    values_arr = np.asarray(values, dtype=np.float64)
+    if values_arr.size == 0:
+        raise EdgeProbabilityError("trivalency requires at least one value")
+    if np.any((values_arr < 0.0) | (values_arr > 1.0)):
+        raise EdgeProbabilityError(f"trivalency values must be in [0, 1], got {values}")
+    gen = make_rng(rng)
+    choice = gen.integers(0, values_arr.size, size=graph.num_edges)
+    return graph.with_probabilities(values_arr[choice])
+
+
+def uniform_random_probabilities(
+    graph: DiGraph,
+    low: float = 0.0,
+    high: float = 1.0,
+    *,
+    rng: SeedLike = None,
+) -> DiGraph:
+    """Each edge gets an independent uniform draw from ``[low, high]``."""
+    if not 0.0 <= low <= high <= 1.0:
+        raise EdgeProbabilityError(
+            f"need 0 <= low <= high <= 1, got low={low}, high={high}"
+        )
+    gen = make_rng(rng)
+    probs = gen.uniform(low, high, size=graph.num_edges)
+    return graph.with_probabilities(probs)

@@ -1,0 +1,54 @@
+"""Learning model parameters from user action logs (paper §7.2).
+
+* :class:`~repro.learning.action_log.ActionLog` — timestamped
+  ``(user, item, action, time)`` events with the two signal types the
+  paper extracts from Flixster ("want to see"/"not interested") and
+  Douban (wish lists): *inform* events and *rate* (adoption) events;
+* :func:`~repro.learning.estimator.learn_gap_pair` — the counting
+  estimator of §7.2 with 95% confidence intervals;
+* :mod:`~repro.learning.synthetic_logs` — a generator producing logs from
+  *ground-truth* GAPs, letting tests validate estimator recovery (which
+  the paper's proprietary data never could);
+* :func:`~repro.learning.influence_probs.learn_influence_probabilities` —
+  the static Bernoulli edge-probability learner of Goyal et al. [12] used
+  to weight the graphs;
+* :func:`~repro.learning.em_cascades.em_learn_probabilities` — the EM
+  credit-assignment estimator (Saito et al.) over cascade episodes, the
+  other standard edge-probability learner of the IM literature.
+"""
+
+from repro.learning.action_log import ActionEvent, ActionLog, INFORM, RATE
+from repro.learning.em_cascades import (
+    EMResult,
+    em_learn_probabilities,
+    generate_ic_episodes,
+    simulate_ic_with_times,
+)
+from repro.learning.estimator import LearnedGap, learn_gap_pair
+from repro.learning.log_io import (
+    load_action_log,
+    load_episodes,
+    save_action_log,
+    save_episodes,
+)
+from repro.learning.influence_probs import learn_influence_probabilities
+from repro.learning.synthetic_logs import generate_synthetic_log
+
+__all__ = [
+    "ActionEvent",
+    "ActionLog",
+    "INFORM",
+    "RATE",
+    "LearnedGap",
+    "learn_gap_pair",
+    "generate_synthetic_log",
+    "learn_influence_probabilities",
+    "EMResult",
+    "em_learn_probabilities",
+    "save_action_log",
+    "load_action_log",
+    "save_episodes",
+    "load_episodes",
+    "generate_ic_episodes",
+    "simulate_ic_with_times",
+]

@@ -1,0 +1,171 @@
+"""Timestamped user action logs (paper §7.2).
+
+Each entry is a quadruple ``(user, item, action, time)``.  Two action types
+matter for GAP learning:
+
+* ``RATE``   — the user adopted (rated) the item;
+* ``INFORM`` — the user was exposed to the item without (necessarily)
+  adopting it.  The paper mines these from Flixster's "want to see" /
+  "not interested" flags and Douban's wish lists.
+
+As in the paper, every rating is *also* counted as an informing event ("if
+someone rated an item, she must have been informed of it first"): queries
+below apply that closure automatically, using the rating's timestamp when
+no earlier explicit inform exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Optional
+
+from repro.errors import ActionLogError
+
+#: Action kinds.
+INFORM = "inform"
+RATE = "rate"
+
+_VALID_ACTIONS = frozenset({INFORM, RATE})
+
+
+@dataclass(frozen=True, order=True)
+class ActionEvent:
+    """One log entry: ``user`` performed ``action`` on ``item`` at ``time``."""
+
+    time: float
+    user: Hashable
+    item: Hashable
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in _VALID_ACTIONS:
+            raise ActionLogError(
+                f"unknown action {self.action!r}; expected one of {sorted(_VALID_ACTIONS)}"
+            )
+        if not math.isfinite(self.time):
+            raise ActionLogError(f"non-finite timestamp {self.time!r}")
+
+
+class ActionLog:
+    """An append-only collection of :class:`ActionEvent` with fast queries.
+
+    Only the *earliest* rate and the *earliest* inform per (user, item)
+    matter to the estimator; later duplicates are absorbed.
+    """
+
+    def __init__(self, events: Iterable[ActionEvent] = ()) -> None:
+        self._first_rate: dict[tuple[Hashable, Hashable], float] = {}
+        self._first_inform: dict[tuple[Hashable, Hashable], float] = {}
+        self._users: set[Hashable] = set()
+        self._items: set[Hashable] = set()
+        self._size = 0
+        for event in events:
+            self.add(event)
+
+    def add(self, event: ActionEvent) -> None:
+        """Append one event."""
+        key = (event.user, event.item)
+        self._users.add(event.user)
+        self._items.add(event.item)
+        self._size += 1
+        if event.action == RATE:
+            current = self._first_rate.get(key)
+            if current is None or event.time < current:
+                self._first_rate[key] = event.time
+        # Every action (inform or rate) witnesses exposure.
+        current = self._first_inform.get(key)
+        if current is None or event.time < current:
+            self._first_inform[key] = event.time
+
+    def record(self, user: Hashable, item: Hashable, action: str, time: float) -> None:
+        """Convenience wrapper building the :class:`ActionEvent`."""
+        self.add(ActionEvent(time=float(time), user=user, item=item, action=action))
+
+    # ------------------------------------------------------------------
+    # Queries used by the §7.2 estimator
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        """Number of raw events appended (before deduplication)."""
+        return self._size
+
+    @property
+    def users(self) -> set[Hashable]:
+        """All users appearing in the log."""
+        return set(self._users)
+
+    @property
+    def items(self) -> set[Hashable]:
+        """All items appearing in the log."""
+        return set(self._items)
+
+    def canonical_events(self) -> Iterator[ActionEvent]:
+        """Yield the deduplicated event set this log is equivalent to.
+
+        One RATE per first rating and one INFORM per first exposure that
+        strictly precedes the rating (an exposure at the rating time is
+        implied by the rating itself).  Feeding these events to a fresh
+        :class:`ActionLog` reproduces every query result — the contract
+        :mod:`repro.learning.log_io` round-trips on.
+        """
+        for (user, item), time in sorted(
+            self._first_inform.items(), key=lambda kv: (kv[1], str(kv[0]))
+        ):
+            rate = self._first_rate.get((user, item))
+            if rate is None or time < rate:
+                yield ActionEvent(time=time, user=user, item=item, action=INFORM)
+        for (user, item), time in sorted(
+            self._first_rate.items(), key=lambda kv: (kv[1], str(kv[0]))
+        ):
+            yield ActionEvent(time=time, user=user, item=item, action=RATE)
+
+    def rate_time(self, user: Hashable, item: Hashable) -> Optional[float]:
+        """Earliest time ``user`` rated ``item`` (None if never)."""
+        return self._first_rate.get((user, item))
+
+    def inform_time(self, user: Hashable, item: Hashable) -> Optional[float]:
+        """Earliest time ``user`` was informed of ``item`` (None if never).
+
+        Ratings count as informs, so this is never later than
+        :meth:`rate_time`.
+        """
+        return self._first_inform.get((user, item))
+
+    def raters(self, item: Hashable) -> set[Hashable]:
+        """``R_item``: users who rated ``item``."""
+        return {user for (user, it) in self._first_rate if it == item}
+
+    def informed(self, item: Hashable) -> set[Hashable]:
+        """``I_item``: users informed of ``item`` (superset of raters)."""
+        return {user for (user, it) in self._first_inform if it == item}
+
+    def rated_before_rating(self, first: Hashable, second: Hashable) -> set[Hashable]:
+        """``R_{first ≺ rate second}``: users who rated both items with
+        ``first`` strictly earlier."""
+        result = set()
+        for user in self.raters(first) & self.raters(second):
+            if self.rate_time(user, first) < self.rate_time(user, second):  # type: ignore[operator]
+                result.add(user)
+        return result
+
+    def rated_before_informed(self, first: Hashable, second: Hashable) -> set[Hashable]:
+        """``R_{first ≺ inform second}``: users who rated ``first`` before
+        being informed of ``second``."""
+        result = set()
+        for user in self.raters(first) & self.informed(second):
+            if self.rate_time(user, first) < self.inform_time(user, second):  # type: ignore[operator]
+                result.add(user)
+        return result
+
+    def events_of_user(self, user: Hashable) -> Iterator[tuple[Hashable, str, float]]:
+        """Yield ``(item, action, time)`` firsts for ``user`` (rate/inform)."""
+        for (u, item), t in self._first_inform.items():
+            if u == user:
+                yield item, INFORM, t
+        for (u, item), t in self._first_rate.items():
+            if u == user:
+                yield item, RATE, t
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,100 @@
+"""Persistence for action logs and cascade episodes.
+
+* Action logs serialise to tab-separated text — ``action  time  user
+  item`` per line with ``#`` comments — the same shape as the rating
+  dumps the paper's §7.2 consumes.  Identifiers are written verbatim and
+  read back as ``int`` when they parse as one, else ``str`` (documented
+  lossiness for exotic Hashable keys).
+* Episode corpora (the EM learner's input) serialise to ``.npz`` as one
+  stacked activation-time matrix.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Hashable, Union
+
+import numpy as np
+
+from repro.errors import ActionLogError, EstimationError
+from repro.learning.action_log import ActionEvent, ActionLog, _VALID_ACTIONS
+
+PathLike = Union[str, os.PathLike]
+
+
+def _parse_identifier(token: str) -> Hashable:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def save_action_log(log: ActionLog, path: PathLike, *, comment: str = "") -> None:
+    """Write ``log``'s canonical events to ``path`` (TSV)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"# {line}\n")
+        for event in log.canonical_events():
+            user = str(event.user)
+            item = str(event.item)
+            if "\t" in user or "\t" in item:
+                raise ActionLogError(
+                    "user/item identifiers must not contain tab characters"
+                )
+            handle.write(f"{event.action}\t{event.time:.10g}\t{user}\t{item}\n")
+
+
+def load_action_log(path: PathLike) -> ActionLog:
+    """Read an action log written by :func:`save_action_log`."""
+    log = ActionLog()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise ActionLogError(
+                    f"{path}:{line_no}: expected 4 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            action, time_token, user, item = parts
+            if action not in _VALID_ACTIONS:
+                raise ActionLogError(
+                    f"{path}:{line_no}: unknown action {action!r}"
+                )
+            try:
+                time = float(time_token)
+            except ValueError as exc:
+                raise ActionLogError(
+                    f"{path}:{line_no}: bad timestamp {time_token!r}"
+                ) from exc
+            log.add(ActionEvent(
+                time=time, user=_parse_identifier(user),
+                item=_parse_identifier(item), action=action,
+            ))
+    return log
+
+
+def save_episodes(episodes: list[np.ndarray], path: PathLike) -> None:
+    """Write an EM training corpus (activation-time arrays) as ``.npz``."""
+    if not episodes:
+        np.savez_compressed(path, times=np.empty((0, 0), dtype=np.int64))
+        return
+    n = episodes[0].shape
+    for index, episode in enumerate(episodes):
+        if episode.shape != n:
+            raise EstimationError(
+                f"episode {index} has shape {episode.shape}; expected {n}"
+            )
+    np.savez_compressed(path, times=np.stack(episodes).astype(np.int64))
+
+
+def load_episodes(path: PathLike) -> list[np.ndarray]:
+    """Read an episode corpus written by :func:`save_episodes`."""
+    with np.load(path) as archive:
+        if "times" not in archive:
+            raise EstimationError(f"{path} is not an episode archive")
+        times = archive["times"]
+    return [times[i].copy() for i in range(times.shape[0])]

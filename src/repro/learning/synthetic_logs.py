@@ -1,0 +1,105 @@
+"""Synthetic action-log generation from ground-truth GAPs.
+
+The paper learns GAPs from proprietary Flixster/Douban rating logs; this
+module is the offline stand-in (DESIGN.md substitution table).  For each
+item pair it simulates a population of users through the *node-level
+automaton itself*:
+
+* a user is exposed to each item independently at a uniform random time;
+* on exposure to X the NLA fires: adopt with ``q_{X|∅}`` (or ``q_{X|Y}``
+  if the other item was already adopted), else suspend/reject;
+* adopting one item while suspended on the other triggers reconsideration
+  with the paper's ``rho``.
+
+Every exposure is logged as an *inform* event and every adoption as a
+*rate* event (epsilon after its trigger, so orderings are strict).  Because
+the generator is the NLA, the §7.2 estimator must recover the ground-truth
+GAPs within its confidence intervals — the recovery test the paper's real
+data cannot provide.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.errors import ActionLogError
+from repro.learning.action_log import INFORM, RATE, ActionLog
+from repro.models.gaps import GAP
+from repro.rng import SeedLike, make_rng
+
+#: Offset between an event and the rating it triggers.
+_RATE_DELAY = 1e-6
+
+
+def _simulate_user(
+    log: ActionLog,
+    user: Hashable,
+    item_a: Hashable,
+    item_b: Hashable,
+    gaps: GAP,
+    t_a: float | None,
+    t_b: float | None,
+    rng,
+) -> None:
+    """Run one user's NLA over its exposure timeline and log the events."""
+    timeline: list[tuple[float, str]] = []
+    if t_a is not None:
+        timeline.append((t_a, "a"))
+    if t_b is not None:
+        timeline.append((t_b, "b"))
+    timeline.sort()
+    adopted = {"a": False, "b": False}
+    suspended = {"a": False, "b": False}
+    items = {"a": item_a, "b": item_b}
+    q_uncond = {"a": gaps.q_a, "b": gaps.q_b}
+    q_cond = {"a": gaps.q_a_given_b, "b": gaps.q_b_given_a}
+    rho = {"a": gaps.rho_a, "b": gaps.rho_b}
+
+    for time, which in timeline:
+        other = "b" if which == "a" else "a"
+        log.record(user, items[which], INFORM, time)
+        q = q_cond[which] if adopted[other] else q_uncond[which]
+        if rng.random() < q:
+            adopted[which] = True
+            log.record(user, items[which], RATE, time + _RATE_DELAY)
+            if suspended[other] and rng.random() < rho[other]:
+                adopted[other] = True
+                log.record(user, items[other], RATE, time + 2 * _RATE_DELAY)
+                suspended[other] = False
+        elif not adopted[other]:
+            suspended[which] = True
+        # else: rejected — terminal either way for this two-event timeline.
+
+
+def generate_synthetic_log(
+    item_pairs: Sequence[tuple[Hashable, Hashable, GAP]],
+    *,
+    num_users: int = 5000,
+    exposure_a: float = 0.8,
+    exposure_b: float = 0.8,
+    rng: SeedLike = None,
+) -> ActionLog:
+    """Generate an action log for the given ``(item_a, item_b, gaps)`` pairs.
+
+    Each pair gets its own disjoint user population of ``num_users`` users
+    (user ids are ``(pair_index, i)``), exposed to A and B independently
+    with the given probabilities at uniform times in [0, 1].
+    """
+    if not 0.0 <= exposure_a <= 1.0 or not 0.0 <= exposure_b <= 1.0:
+        raise ActionLogError("exposure probabilities must lie in [0, 1]")
+    if num_users < 1:
+        raise ActionLogError(f"num_users must be positive, got {num_users}")
+    gen = make_rng(rng)
+    log = ActionLog()
+    for pair_index, (item_a, item_b, gaps) in enumerate(item_pairs):
+        if item_a == item_b:
+            raise ActionLogError(f"pair {pair_index}: items must differ")
+        for i in range(num_users):
+            t_a = float(gen.random()) if gen.random() < exposure_a else None
+            t_b = float(gen.random()) if gen.random() < exposure_b else None
+            if t_a is None and t_b is None:
+                continue
+            _simulate_user(
+                log, (pair_index, i), item_a, item_b, gaps, t_a, t_b, gen
+            )
+    return log

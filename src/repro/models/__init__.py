@@ -1,0 +1,96 @@
+"""Diffusion models: Com-IC, possible worlds, classic IC/LT/Triggering.
+
+The central object is :class:`~repro.models.gaps.GAP`, the Global Adoption
+Probabilities of the paper (§3), and :func:`~repro.models.comic.simulate`,
+the Com-IC diffusion engine.  The engine draws every random decision through
+a :class:`~repro.models.sources.RandomnessSource`, which yields three views
+of the same dynamics:
+
+* :class:`~repro.models.sources.CoinSource` — the stochastic Com-IC process
+  of Fig. 2 (fresh coins at decision time);
+* :class:`~repro.models.sources.WorldSource` — the equivalent possible-world
+  model of §5.1 (pre-drawn thresholds ``alpha``, permutations ``pi`` and
+  coins ``tau``), proving Lemma 1 *by construction*;
+* :class:`~repro.models.sources.ReplaySource` — a deterministic decision
+  tape, used by :mod:`repro.models.exact` to enumerate the full decision
+  tree and compute exact adoption probabilities on small graphs.
+"""
+
+from repro.models.comic import DiffusionOutcome, simulate
+from repro.models.comlt import (
+    estimate_boost_comlt,
+    estimate_spread_comlt,
+    greedy_comlt_compinfmax,
+    greedy_comlt_selfinfmax,
+    simulate_comlt,
+)
+from repro.models.equivalence_classes import (
+    enumerate_equivalence_classes,
+    exact_spread_via_equivalence_classes,
+    threshold_ranges,
+)
+from repro.models.exact import exact_adoption_probabilities, exact_spread
+from repro.models.fast_spread import fast_estimate_spread_one_way
+from repro.models.gaps import GAP, Relationship
+from repro.models.ic import simulate_ic
+from repro.models.lt import normalize_lt_weights, simulate_lt
+from repro.models.multi_item import (
+    MultiItemGaps,
+    estimate_multi_item_spread,
+    simulate_multi_item,
+)
+from repro.models.possible_world import (
+    FrozenWorldSource,
+    PossibleWorld,
+    sample_possible_world,
+)
+from repro.models.product_edges import ProductDependentSource, simulate_product_dependent
+from repro.models.sources import CoinSource, RandomnessSource, ReplaySource, WorldSource
+from repro.models.spread import (
+    SpreadEstimate,
+    estimate_boost,
+    estimate_spread,
+    estimate_spread_both,
+)
+from repro.models.states import ItemState, UNREACHABLE_JOINT_STATES
+from repro.models.triggering import simulate_triggering
+
+__all__ = [
+    "GAP",
+    "Relationship",
+    "ItemState",
+    "UNREACHABLE_JOINT_STATES",
+    "simulate",
+    "DiffusionOutcome",
+    "PossibleWorld",
+    "sample_possible_world",
+    "RandomnessSource",
+    "CoinSource",
+    "WorldSource",
+    "ReplaySource",
+    "simulate_ic",
+    "simulate_lt",
+    "normalize_lt_weights",
+    "simulate_comlt",
+    "estimate_spread_comlt",
+    "estimate_boost_comlt",
+    "greedy_comlt_selfinfmax",
+    "greedy_comlt_compinfmax",
+    "simulate_triggering",
+    "estimate_spread",
+    "estimate_spread_both",
+    "estimate_boost",
+    "fast_estimate_spread_one_way",
+    "SpreadEstimate",
+    "exact_adoption_probabilities",
+    "exact_spread",
+    "exact_spread_via_equivalence_classes",
+    "enumerate_equivalence_classes",
+    "threshold_ranges",
+    "FrozenWorldSource",
+    "simulate_product_dependent",
+    "ProductDependentSource",
+    "MultiItemGaps",
+    "simulate_multi_item",
+    "estimate_multi_item_spread",
+]

@@ -1,0 +1,233 @@
+"""The Com-IC diffusion engine (paper §3, Fig. 2).
+
+:func:`simulate` runs one complete diffusion of two items A and B from seed
+sets ``seeds_a`` / ``seeds_b`` over a :class:`~repro.graph.digraph.DiGraph`,
+with every random decision delegated to a
+:class:`~repro.models.sources.RandomnessSource`.  Semantics implemented, in
+the paper's terms:
+
+1. **Edge transition** — an untested edge is live with probability
+   ``p(u, v)``; each edge is tested at most once per diffusion (the source
+   memoises outcomes).  Live edges are persistent information channels:
+   every adoption by the tail is forwarded to the head.
+2. **Tie-breaking** — informers that delivered information in the same step
+   are processed in an order drawn by the source; a node that adopted both
+   items informs them in its own adoption order.
+3. **Node adoption** — an idle node informed of A adopts with probability
+   ``q_{A|∅}`` (becoming suspended on failure) if not B-adopted, else with
+   ``q_{A|B}`` (becoming rejected on failure); symmetrically for B.  The
+   NLA runs at most once per (node, item): suspended/adopted/rejected nodes
+   ignore further informs of that item.
+4. **Node reconsideration** — when a node adopts one item while suspended
+   on the other, it immediately reconsiders the other with probability
+   ``rho = max(q_cond - q_uncond, 0) / (1 - q_uncond)``.
+
+Seeds adopt unconditionally at step 0; a node in both seed sets orders its
+two adoptions by a fair coin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.sources import (
+    ITEM_A,
+    ITEM_B,
+    CoinSource,
+    RandomnessSource,
+)
+from repro.models.states import ItemState
+from repro.rng import SeedLike
+
+_IDLE = int(ItemState.IDLE)
+_SUSPENDED = int(ItemState.SUSPENDED)
+_ADOPTED = int(ItemState.ADOPTED)
+_REJECTED = int(ItemState.REJECTED)
+
+
+@dataclass
+class DiffusionOutcome:
+    """Final configuration of one Com-IC diffusion.
+
+    ``state_a`` / ``state_b`` hold :class:`~repro.models.states.ItemState`
+    values; ``adopted_a_at`` / ``adopted_b_at`` hold adoption time steps
+    (-1 when never adopted).
+    """
+
+    state_a: np.ndarray
+    state_b: np.ndarray
+    adopted_a_at: np.ndarray
+    adopted_b_at: np.ndarray
+    steps: int
+
+    @property
+    def a_adopted(self) -> np.ndarray:
+        """Boolean mask of A-adopted nodes."""
+        return self.state_a == _ADOPTED
+
+    @property
+    def b_adopted(self) -> np.ndarray:
+        """Boolean mask of B-adopted nodes."""
+        return self.state_b == _ADOPTED
+
+    @property
+    def num_a_adopted(self) -> int:
+        """Number of A-adopted nodes."""
+        return int(np.count_nonzero(self.state_a == _ADOPTED))
+
+    @property
+    def num_b_adopted(self) -> int:
+        """Number of B-adopted nodes."""
+        return int(np.count_nonzero(self.state_b == _ADOPTED))
+
+    def joint_state(self, node: int) -> tuple[ItemState, ItemState]:
+        """``(A-state, B-state)`` of ``node``."""
+        return ItemState(int(self.state_a[node])), ItemState(int(self.state_b[node]))
+
+
+def _normalize_seeds(graph: DiGraph, seeds: Iterable[int], label: str) -> list[int]:
+    """Validate and deduplicate a seed iterable, preserving order."""
+    seen: set[int] = set()
+    result: list[int] = []
+    for s in seeds:
+        v = int(s)
+        if not 0 <= v < graph.num_nodes:
+            raise SeedSetError(f"{label} seed {v} out of range [0, {graph.num_nodes - 1}]")
+        if v not in seen:
+            seen.add(v)
+            result.append(v)
+    return result
+
+
+def simulate(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    rng: SeedLike = None,
+    source: Optional[RandomnessSource] = None,
+    max_steps: Optional[int] = None,
+) -> DiffusionOutcome:
+    """Run one Com-IC diffusion and return its final configuration.
+
+    Exactly one of ``rng`` / ``source`` drives the randomness: when
+    ``source`` is ``None`` a fresh :class:`CoinSource` is built from ``rng``
+    (the stochastic model); passing a
+    :class:`~repro.models.sources.WorldSource` runs the deterministic
+    cascade of §5.1 in that world.
+    """
+    if source is None:
+        source = CoinSource(rng)
+    set_a = _normalize_seeds(graph, seeds_a, "A")
+    set_b = _normalize_seeds(graph, seeds_b, "B")
+
+    n = graph.num_nodes
+    state = (np.full(n, _IDLE, dtype=np.int8), np.full(n, _IDLE, dtype=np.int8))
+    adopted_at = (np.full(n, -1, dtype=np.int64), np.full(n, -1, dtype=np.int64))
+    q_uncond = (gaps.q_a, gaps.q_b)
+    q_cond = (gaps.q_a_given_b, gaps.q_b_given_a)
+
+    seq_counter = 0
+    # Adoption events of the current step, in adoption order: (node, item, seq).
+    newly: list[tuple[int, int, int]] = []
+
+    def adopt(v: int, item: int, t: int) -> None:
+        nonlocal seq_counter
+        state[item][v] = _ADOPTED
+        adopted_at[item][v] = t
+        newly.append((v, item, seq_counter))
+        seq_counter += 1
+
+    def process_inform(v: int, item: int, t: int) -> None:
+        if state[item][v] != _IDLE:
+            return
+        other = 1 - item
+        other_adopted = state[other][v] == _ADOPTED
+        if source.adopt_on_inform(v, item, q_uncond[item], q_cond[item], other_adopted):
+            adopt(v, item, t)
+            if state[other][v] == _SUSPENDED:
+                if source.reconsider(v, other, q_uncond[other], q_cond[other]):
+                    adopt(v, other, t)
+                else:
+                    state[other][v] = _REJECTED
+        else:
+            state[item][v] = _REJECTED if other_adopted else _SUSPENDED
+
+    # ------------------------------------------------------------------
+    # Step 0: seed adoptions (no NLA test; dual seeds order by fair coin).
+    # ------------------------------------------------------------------
+    both = set(set_a) & set(set_b)
+    for v in sorted(set(set_a) | set(set_b)):
+        if v in both:
+            if source.seed_a_first(v):
+                adopt(v, ITEM_A, 0)
+                adopt(v, ITEM_B, 0)
+            else:
+                adopt(v, ITEM_B, 0)
+                adopt(v, ITEM_A, 0)
+        elif v in set(set_a):
+            adopt(v, ITEM_A, 0)
+        else:
+            adopt(v, ITEM_B, 0)
+
+    # ------------------------------------------------------------------
+    # Global iteration (Fig. 2): adoptions at t-1 emit informs at t.
+    # ------------------------------------------------------------------
+    t = 0
+    limit = max_steps if max_steps is not None else 2 * n + 2
+    while newly and t < limit:
+        t += 1
+        outgoing = newly
+        newly = []
+        # Gather informs crossing live edges: target -> [(u, eid, item, seq)].
+        informs: dict[int, list[tuple[int, int, int, int]]] = {}
+        for u, item, seq in outgoing:
+            targets, probs, eids = graph.out_edges(u)
+            for idx in range(targets.size):
+                v = int(targets[idx])
+                if state[item][v] != _IDLE:
+                    # The inform cannot change v's state for this item, so by
+                    # deferred decision the edge test can be postponed to the
+                    # next inform that crosses this edge (if any).
+                    continue
+                if source.edge_live(int(eids[idx]), float(probs[idx]), item):
+                    informs.setdefault(v, []).append((u, int(eids[idx]), item, seq))
+        for v, batch in informs.items():
+            if len(batch) == 1:
+                process_inform(v, batch[0][2], t)
+                continue
+            # Tie-breaking: order distinct informers by the source's
+            # permutation; a dual informer contributes in adoption order.
+            unique: list[tuple[int, int]] = []
+            seen: set[int] = set()
+            for u, eid, _item, _seq in batch:
+                if u not in seen:
+                    seen.add(u)
+                    unique.append((u, eid))
+            if len(unique) == 1:
+                order = {unique[0][0]: 0}
+            else:
+                permutation = source.informer_order(v, unique)
+                order = {unique[i][0]: rank for rank, i in enumerate(permutation)}
+            batch.sort(key=lambda rec: (order[rec[0]], rec[3]))
+            for u, _eid, item, _seq in batch:
+                process_inform(v, item, t)
+                # Re-check: once both items are settled there is nothing
+                # left to test for v this step.
+                if state[ITEM_A][v] != _IDLE and state[ITEM_B][v] != _IDLE:
+                    break
+
+    return DiffusionOutcome(
+        state_a=state[ITEM_A],
+        state_b=state[ITEM_B],
+        adopted_a_at=adopted_at[ITEM_A],
+        adopted_b_at=adopted_at[ITEM_B],
+        steps=t,
+    )

@@ -1,0 +1,266 @@
+"""Com-LT: a comparative Linear Threshold extension of the Com-IC design.
+
+The paper builds Com-IC by separating edge-level *awareness* from the
+node-level adoption automaton (NLA) and notes that its closest prior work —
+Narayanam & Nanavati [19], an LT extension limited to perfect
+complementarity — is a special case of the comparative design.  This module
+realises the LT counterpart explicitly:
+
+* **edge level** — a node draws a single uniform threshold ``theta_v``; it
+  becomes *informed* of item X when the total in-edge weight of X-adopted
+  in-neighbours reaches ``theta_v`` (edges act as item-independent
+  channels, like the shared live edges of Com-IC);
+* **node level** — the identical NLA of §3: informed-of-X nodes adopt with
+  ``q_{X|∅}`` or ``q_{X|other}``, suspended nodes reconsider on adopting
+  the other item with the ``rho`` of Fig. 2.
+
+Setting ``gaps = GAP.classic_ic()`` collapses Com-LT to the classic LT
+model of [15] (the NLA adopts deterministically and B never propagates);
+setting :meth:`~repro.models.gaps.GAP.perfect_cross_sell` GAPs recovers the
+[19] regime, where A can only be adopted by nodes that already adopted B.
+
+The module deliberately mirrors :mod:`repro.models.comic`'s public surface:
+:func:`simulate_comlt` returns the same
+:class:`~repro.models.comic.DiffusionOutcome`, and
+:func:`estimate_spread_comlt` / :func:`greedy_comlt_selfinfmax` provide the
+Monte-Carlo objective and a CELF greedy seed selector (no RR-set machinery
+is claimed here: the paper's Theorems 4–8 are proved for Com-IC only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.comic import DiffusionOutcome, _normalize_seeds
+from repro.models.gaps import GAP
+from repro.models.lt import _check_lt_instance
+from repro.models.spread import SpreadEstimate, _summarize
+from repro.models.states import ItemState
+from repro.rng import SeedLike, make_rng
+from repro.algorithms.greedy import celf_greedy
+
+_IDLE = int(ItemState.IDLE)
+_SUSPENDED = int(ItemState.SUSPENDED)
+_ADOPTED = int(ItemState.ADOPTED)
+_REJECTED = int(ItemState.REJECTED)
+
+_ITEM_A = 0
+_ITEM_B = 1
+
+
+def simulate_comlt(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    rng: SeedLike = None,
+    max_steps: Optional[int] = None,
+) -> DiffusionOutcome:
+    """Run one Com-LT diffusion and return its final configuration.
+
+    ``graph`` edge probabilities are interpreted as LT influence weights
+    (per-node incoming sums must not exceed 1; see
+    :func:`~repro.models.lt.normalize_lt_weights`).
+    """
+    _check_lt_instance(graph)
+    gen = make_rng(rng)
+    set_a = _normalize_seeds(graph, seeds_a, "A")
+    set_b = _normalize_seeds(graph, seeds_b, "B")
+
+    n = graph.num_nodes
+    thresholds = gen.random(n)
+    thresholds[thresholds == 0.0] = 1e-12
+    accumulated = (np.zeros(n, dtype=np.float64), np.zeros(n, dtype=np.float64))
+    informed = (np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+    state = (np.full(n, _IDLE, dtype=np.int8), np.full(n, _IDLE, dtype=np.int8))
+    adopted_at = (np.full(n, -1, dtype=np.int64), np.full(n, -1, dtype=np.int64))
+    q_uncond = (gaps.q_a, gaps.q_b)
+    q_cond = (gaps.q_a_given_b, gaps.q_b_given_a)
+
+    newly: list[tuple[int, int]] = []  # (node, item) adoptions of this step
+
+    def adopt(v: int, item: int, t: int) -> None:
+        state[item][v] = _ADOPTED
+        adopted_at[item][v] = t
+        newly.append((v, item))
+
+    def process_inform(v: int, item: int, t: int) -> None:
+        """Run the NLA for ``v`` on first being informed of ``item``."""
+        if state[item][v] != _IDLE:
+            return
+        other = 1 - item
+        other_adopted = state[other][v] == _ADOPTED
+        q = q_cond[item] if other_adopted else q_uncond[item]
+        if gen.random() < q:
+            adopt(v, item, t)
+            if state[other][v] == _SUSPENDED:
+                rho = gaps.rho_a if other == _ITEM_A else gaps.rho_b
+                if gen.random() < rho:
+                    adopt(v, other, t)
+                else:
+                    state[other][v] = _REJECTED
+        else:
+            state[item][v] = _REJECTED if other_adopted else _SUSPENDED
+
+    only_a = set(set_a) - set(set_b)
+    both = set(set_a) & set(set_b)
+    for v in sorted(set(set_a) | set(set_b)):
+        if v in both:
+            first = _ITEM_A if gen.random() < 0.5 else _ITEM_B
+            adopt(v, first, 0)
+            adopt(v, 1 - first, 0)
+        elif v in only_a:
+            adopt(v, _ITEM_A, 0)
+        else:
+            adopt(v, _ITEM_B, 0)
+
+    t = 0
+    limit = max_steps if max_steps is not None else 2 * n + 2
+    while newly and t < limit:
+        t += 1
+        outgoing = newly
+        newly = []
+        crossings: dict[int, list[int]] = {}
+        for u, item in outgoing:
+            targets, weights, _eids = graph.out_edges(u)
+            for idx in range(targets.size):
+                v = int(targets[idx])
+                if informed[item][v]:
+                    continue
+                accumulated[item][v] += float(weights[idx])
+                if accumulated[item][v] >= thresholds[v]:
+                    informed[item][v] = True
+                    crossings.setdefault(v, []).append(item)
+        for v, items in crossings.items():
+            if len(items) == 2 and gen.random() < 0.5:
+                items = items[::-1]
+            for item in items:
+                process_inform(v, item, t)
+
+    return DiffusionOutcome(
+        state_a=state[_ITEM_A],
+        state_b=state[_ITEM_B],
+        adopted_a_at=adopted_at[_ITEM_A],
+        adopted_b_at=adopted_at[_ITEM_B],
+        steps=t,
+    )
+
+
+def estimate_spread_comlt(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+    item: str = "a",
+) -> SpreadEstimate:
+    """Monte-Carlo estimate of the Com-LT A-spread (or B-spread)."""
+    if item not in ("a", "b"):
+        raise ValueError(f"item must be 'a' or 'b', got {item!r}")
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    values = np.empty(runs, dtype=np.float64)
+    for i in range(runs):
+        outcome = simulate_comlt(graph, gaps, seeds_a, seeds_b, rng=gen)
+        values[i] = outcome.num_a_adopted if item == "a" else outcome.num_b_adopted
+    return _summarize(values)
+
+
+def estimate_boost_comlt(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+) -> SpreadEstimate:
+    """Monte-Carlo estimate of the Com-LT boost
+    ``sigma_A(S_A, S_B) - sigma_A(S_A, ∅)``.
+
+    Runs are paired on the RNG stream (each pair shares one generator
+    state), which keeps the difference estimator usable at moderate run
+    counts even though Com-LT has no reusable possible-world object.
+    """
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    values = np.empty(runs, dtype=np.float64)
+    for i in range(runs):
+        with_b = simulate_comlt(graph, gaps, seeds_a, seeds_b, rng=gen)
+        without_b = simulate_comlt(graph, gaps, seeds_a, [], rng=gen)
+        values[i] = with_b.num_a_adopted - without_b.num_a_adopted
+    return _summarize(values)
+
+
+def greedy_comlt_compinfmax(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Sequence[int],
+    k: int,
+    *,
+    runs: int = 100,
+    rng: SeedLike = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """CELF Monte-Carlo greedy for CompInfMax under Com-LT.
+
+    Picks ``k`` B-seeds maximising the boost to A's spread; like
+    :func:`greedy_comlt_selfinfmax` this is a heuristic — the paper's
+    RR-set guarantees are proved for Com-IC only.
+    """
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    gen = make_rng(rng)
+    eval_seed = int(gen.integers(0, 2**31 - 1))
+    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+
+    def objective(seed_list: Sequence[int]) -> float:
+        if not seed_list:
+            return 0.0
+        return estimate_boost_comlt(
+            graph, gaps, seeds_a, seed_list, runs=runs, rng=eval_seed
+        ).mean
+
+    seeds, _trace = celf_greedy(pool, k, objective, base_value=0.0)
+    return seeds
+
+
+def greedy_comlt_selfinfmax(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_b: Sequence[int],
+    k: int,
+    *,
+    runs: int = 100,
+    rng: SeedLike = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """CELF Monte-Carlo greedy for SelfInfMax under Com-LT.
+
+    Evaluations share one MC seed so the lazy pruning of CELF sees a
+    consistent objective.
+    """
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    gen = make_rng(rng)
+    eval_seed = int(gen.integers(0, 2**31 - 1))
+    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+
+    def objective(seed_list: Sequence[int]) -> float:
+        if not seed_list:
+            return 0.0
+        return estimate_spread_comlt(
+            graph, gaps, seed_list, seeds_b, runs=runs, rng=eval_seed
+        ).mean
+
+    seeds, _trace = celf_greedy(pool, k, objective, base_value=0.0)
+    return seeds

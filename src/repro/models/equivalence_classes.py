@@ -1,0 +1,168 @@
+"""Equivalence classes of possible worlds (paper §5.1).
+
+Although the threshold variables ``alpha`` make the space of possible
+worlds uncountable, the cascade outcome only depends on which of (at most)
+three *ranges* each threshold falls into — the ranges delimited by the two
+relevant GAPs, half-open on the left as in the paper::
+
+    [0, c0)   [c0, c1)   [c1, 1]      with  {c0, c1} = sorted(q_X|∅, q_X|Y)
+
+Together with edge liveness, tie-break permutations and dual-seed coins,
+this yields a *finite* number of equivalence classes, each with a closed-
+form probability mass (the product of range widths, edge probabilities and
+coin masses).  This module enumerates the classes and evaluates the exact
+spread as the probability-weighted sum over one representative per class —
+an independent implementation of Eq. (2) of the paper, used to cross-check
+the decision-tree oracle.
+
+Tie-breaking: under mutual complementarity (Q+) the permutation variables
+are immaterial (Lemma 2), so a fixed representative permutation suffices
+and the enumeration stays tractable; outside Q+ the function refuses
+(:class:`~repro.errors.RegimeError`) rather than silently ignoring
+permutations that could matter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConvergenceError, RegimeError
+from repro.graph.digraph import DiGraph
+from repro.models.comic import simulate
+from repro.models.gaps import GAP
+from repro.models.possible_world import FrozenWorldSource, PossibleWorld
+
+
+def threshold_ranges(q_uncond: float, q_cond: float) -> list[tuple[float, float]]:
+    """The positive-width threshold ranges ``[(low, width), ...]``.
+
+    Ranges are ``[0, c0), [c0, c1), [c1, 1]`` with the two cuts sorted;
+    zero-width ranges are dropped (they carry no probability mass).
+    """
+    c0, c1 = sorted((q_uncond, q_cond))
+    bounds = [0.0, c0, c1, 1.0]
+    ranges = []
+    for low, high in zip(bounds, bounds[1:]):
+        if high > low:
+            ranges.append((low, high - low))
+    return ranges
+
+
+def _representative(low: float, width: float) -> float:
+    """A point strictly inside the half-open range ``[low, low + width)``."""
+    return low + width / 2.0
+
+
+def enumerate_equivalence_classes(
+    graph: DiGraph,
+    gaps: GAP,
+    *,
+    dual_seeded_nodes: Iterable[int] = (),
+    max_classes: int = 2_000_000,
+) -> Iterator[tuple[float, PossibleWorld]]:
+    """Yield ``(probability, representative_world)`` per equivalence class.
+
+    ``dual_seeded_nodes`` lists nodes whose tau coin matters (nodes seeded
+    with both items); only those coins are enumerated.  Requires Q+ (see
+    module docstring).  Raises :class:`ConvergenceError` when the class
+    count would exceed ``max_classes``.
+    """
+    if not gaps.is_mutually_complementary:
+        raise RegimeError(
+            "equivalence-class enumeration relies on Lemma 2 (tie-breaking "
+            "immaterial), which requires mutual complementarity (Q+); got "
+            f"{gaps}"
+        )
+    n, m = graph.num_nodes, graph.num_edges
+    ranges_a = threshold_ranges(gaps.q_a, gaps.q_a_given_b)
+    ranges_b = threshold_ranges(gaps.q_b, gaps.q_b_given_a)
+    duals = sorted({int(v) for v in dual_seeded_nodes})
+
+    total = (
+        len(ranges_a) ** n
+        * len(ranges_b) ** n
+        * 2 ** m
+        * 2 ** len(duals)
+    )
+    if total > max_classes:
+        raise ConvergenceError(
+            f"{total} equivalence classes exceed the limit of {max_classes}; "
+            "this enumeration is only feasible on tiny instances"
+        )
+
+    priority = np.linspace(0.05, 0.95, m) if m else np.empty(0)
+    edge_probs = graph.edge_probabilities
+
+    for alpha_a_choice in itertools.product(range(len(ranges_a)), repeat=n):
+        alpha_a = np.array(
+            [_representative(*ranges_a[i]) for i in alpha_a_choice]
+        )
+        mass_a = float(np.prod([ranges_a[i][1] for i in alpha_a_choice])) if n else 1.0
+        for alpha_b_choice in itertools.product(range(len(ranges_b)), repeat=n):
+            alpha_b = np.array(
+                [_representative(*ranges_b[i]) for i in alpha_b_choice]
+            )
+            mass_b = float(np.prod([ranges_b[i][1] for i in alpha_b_choice])) if n else 1.0
+            for live_bits in itertools.product((True, False), repeat=m):
+                live = np.asarray(live_bits, dtype=bool)
+                mass_edges = 1.0
+                for eid in range(m):
+                    p = float(edge_probs[eid])
+                    mass_edges *= p if live_bits[eid] else (1.0 - p)
+                    if mass_edges == 0.0:
+                        break
+                if mass_edges == 0.0:
+                    continue
+                for tau_bits in itertools.product((True, False), repeat=len(duals)):
+                    tau = np.ones(n, dtype=bool)
+                    for node, bit in zip(duals, tau_bits):
+                        tau[node] = bit
+                    mass = mass_a * mass_b * mass_edges * 0.5 ** len(duals)
+                    if mass == 0.0:
+                        continue
+                    yield mass, PossibleWorld(
+                        live=live,
+                        priority=priority,
+                        alpha_a=alpha_a,
+                        alpha_b=alpha_b,
+                        tau_a_first=tau,
+                    )
+
+
+def exact_spread_via_equivalence_classes(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    max_classes: int = 2_000_000,
+) -> tuple[float, float]:
+    """Exact ``(sigma_A, sigma_B)`` by summing over equivalence classes.
+
+    Implements Eq. (2): ``sigma_A = sum_W Pr[W] * sigma_A^W``.  Independent
+    of (and cross-checked against) the decision-tree oracle in
+    :mod:`repro.models.exact`.
+    """
+    seeds_a = [int(s) for s in seeds_a]
+    seeds_b = [int(s) for s in seeds_b]
+    duals = set(seeds_a) & set(seeds_b)
+    sigma_a = 0.0
+    sigma_b = 0.0
+    total_mass = 0.0
+    for mass, world in enumerate_equivalence_classes(
+        graph, gaps, dual_seeded_nodes=duals, max_classes=max_classes
+    ):
+        outcome = simulate(
+            graph, gaps, seeds_a, seeds_b, source=FrozenWorldSource(world)
+        )
+        sigma_a += mass * outcome.num_a_adopted
+        sigma_b += mass * outcome.num_b_adopted
+        total_mass += mass
+    if abs(total_mass - 1.0) > 1e-9:
+        raise ConvergenceError(
+            f"equivalence-class masses sum to {total_mass}, expected 1.0"
+        )
+    return sigma_a, sigma_b

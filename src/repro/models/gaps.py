@@ -1,0 +1,211 @@
+"""Global Adoption Probabilities (GAPs) — the NLA parameters of Com-IC (§3).
+
+A GAP quadruple ``Q = (q_{A|∅}, q_{A|B}, q_{B|∅}, q_{B|A})`` fixes the
+node-level automaton of every node:
+
+* ``q_{A|∅}``  — probability of adopting A when informed of A and not
+  B-adopted (attribute :attr:`GAP.q_a`);
+* ``q_{A|B}``  — probability of adopting A when already B-adopted
+  (attribute :attr:`GAP.q_a_given_b`);
+* ``q_{B|∅}``, ``q_{B|A}`` — symmetric for B.
+
+The relationship between the two items is read off the GAPs: A *complements*
+B iff ``q_{B|A} >= q_{B|∅}`` and *competes* with it iff ``q_{B|A} <=
+q_{B|∅}`` (equality meaning indifference, Lemma 3).  ``Q+`` denotes mutual
+complementarity and ``Q-`` mutual competition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.errors import GapError
+
+
+class Relationship(enum.Enum):
+    """Directional relationship of one item toward the other."""
+
+    COMPETES = "competes"
+    COMPLEMENTS = "complements"
+    INDIFFERENT = "indifferent"
+
+
+def _check_probability(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise GapError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class GAP:
+    """The four Global Adoption Probabilities of the Com-IC model.
+
+    Attributes map to the paper's notation as::
+
+        q_a         = q_{A|∅}      q_a_given_b = q_{A|B}
+        q_b         = q_{B|∅}      q_b_given_a = q_{B|A}
+    """
+
+    q_a: float
+    q_a_given_b: float
+    q_b: float
+    q_b_given_a: float
+
+    def __post_init__(self) -> None:
+        _check_probability("q_a", self.q_a)
+        _check_probability("q_a_given_b", self.q_a_given_b)
+        _check_probability("q_b", self.q_b)
+        _check_probability("q_b_given_a", self.q_b_given_a)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float]) -> "GAP":
+        """Build from a dict with keys ``q_a, q_a_given_b, q_b, q_b_given_a``."""
+        try:
+            return cls(
+                q_a=float(mapping["q_a"]),
+                q_a_given_b=float(mapping["q_a_given_b"]),
+                q_b=float(mapping["q_b"]),
+                q_b_given_a=float(mapping["q_b_given_a"]),
+            )
+        except KeyError as exc:
+            raise GapError(f"missing GAP key: {exc}") from exc
+
+    @classmethod
+    def classic_ic(cls) -> "GAP":
+        """GAPs under which Com-IC degenerates to single-item classic IC.
+
+        ``q_{A|∅} = 1`` and B never adopts (§3, "Design Considerations").
+        """
+        return cls(q_a=1.0, q_a_given_b=0.0, q_b=0.0, q_b_given_a=0.0)
+
+    @classmethod
+    def pure_competition(cls) -> "GAP":
+        """GAPs of the (purely) Competitive IC model: first adoption wins."""
+        return cls(q_a=1.0, q_a_given_b=0.0, q_b=1.0, q_b_given_a=0.0)
+
+    @classmethod
+    def independent(cls, q_a: float = 1.0, q_b: float = 1.0) -> "GAP":
+        """Two fully independent propagations (both items indifferent)."""
+        return cls(q_a=q_a, q_a_given_b=q_a, q_b=q_b, q_b_given_a=q_b)
+
+    @classmethod
+    def perfect_cross_sell(cls, q_b: float = 1.0) -> "GAP":
+        """Perfect one-way complementarity: A is adoptable *only* after B.
+
+        This is the regime of Narayanam & Nanavati [19] (§2 of the paper):
+        ``q_{A|∅} = 0`` suspends every A-inform, and ``q_{A|B} = 1`` makes
+        reconsideration certain once B is adopted.  B itself diffuses
+        independently with probability ``q_b``.
+        """
+        return cls(q_a=0.0, q_a_given_b=1.0, q_b=q_b, q_b_given_a=q_b)
+
+    # ------------------------------------------------------------------
+    # Relationship predicates
+    # ------------------------------------------------------------------
+    def relationship_of_a_toward_b(self) -> Relationship:
+        """How A's presence affects B's adoption (A competes with /
+        complements / is indifferent to B)."""
+        if self.q_b_given_a > self.q_b:
+            return Relationship.COMPLEMENTS
+        if self.q_b_given_a < self.q_b:
+            return Relationship.COMPETES
+        return Relationship.INDIFFERENT
+
+    def relationship_of_b_toward_a(self) -> Relationship:
+        """How B's presence affects A's adoption."""
+        if self.q_a_given_b > self.q_a:
+            return Relationship.COMPLEMENTS
+        if self.q_a_given_b < self.q_a:
+            return Relationship.COMPETES
+        return Relationship.INDIFFERENT
+
+    @property
+    def is_mutually_complementary(self) -> bool:
+        """Whether ``Q ∈ Q+``: ``q_{A|∅} <= q_{A|B}`` and ``q_{B|∅} <= q_{B|A}``."""
+        return self.q_a <= self.q_a_given_b and self.q_b <= self.q_b_given_a
+
+    @property
+    def is_mutually_competitive(self) -> bool:
+        """Whether ``Q ∈ Q-``: ``q_{A|∅} >= q_{A|B}`` and ``q_{B|∅} >= q_{B|A}``."""
+        return self.q_a >= self.q_a_given_b and self.q_b >= self.q_b_given_a
+
+    @property
+    def b_indifferent_to_a(self) -> bool:
+        """Whether B's diffusion ignores A (``q_{B|∅} = q_{B|A}``, Lemma 3)."""
+        return self.q_b == self.q_b_given_a
+
+    @property
+    def a_indifferent_to_b(self) -> bool:
+        """Whether A's diffusion ignores B (``q_{A|∅} = q_{A|B}``)."""
+        return self.q_a == self.q_a_given_b
+
+    @property
+    def is_one_way_complementarity_for_a(self) -> bool:
+        """The RR-SIM regime of Theorem 4: B complements A, A indifferent to B."""
+        return self.q_a <= self.q_a_given_b and self.b_indifferent_to_a
+
+    @property
+    def is_rr_cim_regime(self) -> bool:
+        """The RR-CIM regime of Theorem 5/8: ``Q+`` with ``q_{B|A} = 1``."""
+        return self.is_mutually_complementary and self.q_b_given_a == 1.0
+
+    # ------------------------------------------------------------------
+    # Reconsideration probabilities (Fig. 2, rule 4)
+    # ------------------------------------------------------------------
+    @property
+    def rho_a(self) -> float:
+        """Reconsideration probability for A: ``max(q_{A|B} - q_{A|∅}, 0) / (1 - q_{A|∅})``.
+
+        Defined to be 0 when ``q_{A|∅} = 1`` (a node can then never be
+        A-suspended, so the value is immaterial).
+        """
+        if self.q_a >= 1.0:
+            return 0.0
+        return max(self.q_a_given_b - self.q_a, 0.0) / (1.0 - self.q_a)
+
+    @property
+    def rho_b(self) -> float:
+        """Reconsideration probability for B (symmetric to :attr:`rho_a`)."""
+        if self.q_b >= 1.0:
+            return 0.0
+        return max(self.q_b_given_a - self.q_b, 0.0) / (1.0 - self.q_b)
+
+    # ------------------------------------------------------------------
+    # Modified copies (used by Sandwich Approximation, §6.4)
+    # ------------------------------------------------------------------
+    def with_b_indifferent_high(self) -> "GAP":
+        """Raise ``q_{B|∅}`` to ``q_{B|A}`` — SA upper bound for SelfInfMax."""
+        return replace(self, q_b=self.q_b_given_a)
+
+    def with_b_indifferent_low(self) -> "GAP":
+        """Lower ``q_{B|A}`` to ``q_{B|∅}`` — SA lower bound for SelfInfMax."""
+        return replace(self, q_b_given_a=self.q_b)
+
+    def with_q_b_given_a_one(self) -> "GAP":
+        """Raise ``q_{B|A}`` to 1 — SA upper bound for CompInfMax."""
+        return replace(self, q_b_given_a=1.0)
+
+    def swapped(self) -> "GAP":
+        """Exchange the roles of A and B."""
+        return GAP(
+            q_a=self.q_b,
+            q_a_given_b=self.q_b_given_a,
+            q_b=self.q_a,
+            q_b_given_a=self.q_a_given_b,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """``(q_{A|∅}, q_{A|B}, q_{B|∅}, q_{B|A})`` in the paper's order."""
+        return (self.q_a, self.q_a_given_b, self.q_b, self.q_b_given_a)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GAP(q_A|0={self.q_a}, q_A|B={self.q_a_given_b}, "
+            f"q_B|0={self.q_b}, q_B|A={self.q_b_given_a})"
+        )

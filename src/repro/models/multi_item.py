@@ -1,0 +1,248 @@
+"""k-item extension of Com-IC (the paper's §8 future-work direction).
+
+The paper sketches an extension to ``k`` items with ``k * 2^(k-1)`` GAP
+parameters: for each item, one adoption probability per combination of
+*other* items already adopted.  This module implements that extension using
+the threshold (possible-world) semantics, which generalises cleanly:
+
+* each node draws one threshold ``alpha_i`` per item;
+* on being informed of item ``i`` while not yet decided, the node adopts
+  iff ``alpha_i <= q_{i | S}`` where ``S`` is its currently-adopted set;
+* whenever the node adopts some item, every *informed-but-undecided* item
+  ``j`` is re-evaluated against the enlarged set — the natural
+  generalisation of two-item reconsideration.
+
+For ``k = 2`` these dynamics coincide exactly with Com-IC run under a
+:class:`~repro.models.sources.WorldSource` (a tested invariant): the
+single-chance "rejected" state of the two-item NLA is equivalent to a
+threshold re-check that can never succeed later.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GapError, SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class MultiItemGaps:
+    """Adoption probability table ``q_{i|S}`` for ``k`` items.
+
+    ``table[i]`` maps each frozenset of *other* item indices to the adoption
+    probability of item ``i`` given exactly that set is adopted.  All
+    ``2^(k-1)`` subsets must be present for every item.
+    """
+
+    num_items: int
+    table: tuple[Mapping[frozenset, float], ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_items < 1:
+            raise GapError(f"need at least one item, got {self.num_items}")
+        if len(self.table) != self.num_items:
+            raise GapError(
+                f"table has {len(self.table)} items, expected {self.num_items}"
+            )
+        for i, per_item in enumerate(self.table):
+            others = [j for j in range(self.num_items) if j != i]
+            expected = {
+                frozenset(combo)
+                for size in range(len(others) + 1)
+                for combo in itertools.combinations(others, size)
+            }
+            if set(per_item.keys()) != expected:
+                raise GapError(
+                    f"item {i}: table must cover all {len(expected)} subsets of "
+                    "other items"
+                )
+            for subset, q in per_item.items():
+                if not 0.0 <= q <= 1.0:
+                    raise GapError(f"q_{{{i}|{set(subset)}}} = {q} outside [0, 1]")
+                if i in subset:
+                    raise GapError(f"item {i} cannot condition on itself")
+
+    def q(self, item: int, adopted_others: frozenset) -> float:
+        """``q_{item | adopted_others}``."""
+        return float(self.table[item][adopted_others])
+
+    @classmethod
+    def from_pairwise_gap(cls, gaps: GAP) -> "MultiItemGaps":
+        """Embed a two-item :class:`~repro.models.gaps.GAP` (A=0, B=1)."""
+        return cls(
+            num_items=2,
+            table=(
+                {frozenset(): gaps.q_a, frozenset({1}): gaps.q_a_given_b},
+                {frozenset(): gaps.q_b, frozenset({0}): gaps.q_b_given_a},
+            ),
+        )
+
+    @classmethod
+    def uniform(cls, num_items: int, q: float) -> "MultiItemGaps":
+        """All adoption probabilities equal to ``q`` (fully independent items)."""
+        tables = []
+        for i in range(num_items):
+            others = [j for j in range(num_items) if j != i]
+            per_item = {
+                frozenset(combo): q
+                for size in range(len(others) + 1)
+                for combo in itertools.combinations(others, size)
+            }
+            tables.append(per_item)
+        return cls(num_items=num_items, table=tuple(tables))
+
+    @classmethod
+    def additive(
+        cls, num_items: int, base: float, boost_per_item: float
+    ) -> "MultiItemGaps":
+        """Complement (or compete) additively: ``q_{i|S} = clip(base + |S| * boost)``.
+
+        Positive ``boost_per_item`` models mutual complementarity growing
+        with the number of already-adopted items; negative models mutual
+        competition.  Probabilities are clipped into [0, 1].
+        """
+        tables = []
+        for i in range(num_items):
+            others = [j for j in range(num_items) if j != i]
+            per_item = {
+                frozenset(combo): min(
+                    max(base + boost_per_item * size, 0.0), 1.0
+                )
+                for size in range(len(others) + 1)
+                for combo in itertools.combinations(others, size)
+            }
+            tables.append(per_item)
+        return cls(num_items=num_items, table=tuple(tables))
+
+    @property
+    def is_mutually_complementary(self) -> bool:
+        """Whether every ``q_{i|.}`` is monotone non-decreasing under subset
+        inclusion — the k-item generalisation of ``Q+``."""
+        return self._is_monotone(increasing=True)
+
+    @property
+    def is_mutually_competitive(self) -> bool:
+        """Whether every ``q_{i|.}`` is monotone non-increasing under subset
+        inclusion — the k-item generalisation of ``Q-``."""
+        return self._is_monotone(increasing=False)
+
+    def _is_monotone(self, *, increasing: bool) -> bool:
+        for i, per_item in enumerate(self.table):
+            others = [j for j in range(self.num_items) if j != i]
+            for subset, q in per_item.items():
+                for extra in others:
+                    if extra in subset:
+                        continue
+                    larger = per_item[subset | {extra}]
+                    if increasing and larger < q:
+                        return False
+                    if not increasing and larger > q:
+                        return False
+        return True
+
+
+def simulate_multi_item(
+    graph: DiGraph,
+    gaps: MultiItemGaps,
+    seed_sets: Sequence[Iterable[int]],
+    *,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """One k-item cascade; returns a ``(k, n)`` boolean adoption matrix.
+
+    ``seed_sets[i]`` seeds item ``i``.  Dynamics are the threshold semantics
+    described in the module docstring; within a step, inform events are
+    processed in a uniformly shuffled order (tie-breaking).
+    """
+    gen = make_rng(rng)
+    k = gaps.num_items
+    if len(seed_sets) != k:
+        raise SeedSetError(f"expected {k} seed sets, got {len(seed_sets)}")
+    n = graph.num_nodes
+    adopted = np.zeros((k, n), dtype=bool)
+    informed = np.zeros((k, n), dtype=bool)
+    alpha = gen.random((k, n))
+    edge_state = np.zeros(graph.num_edges, dtype=np.int8)  # 0 untested 1 live 2 blocked
+
+    def edge_live(eid: int, p: float) -> bool:
+        if edge_state[eid] == 0:
+            edge_state[eid] = 1 if gen.random() < p else 2
+        return edge_state[eid] == 1
+
+    def adopted_set(v: int) -> frozenset:
+        return frozenset(int(i) for i in np.flatnonzero(adopted[:, v]))
+
+    newly: list[tuple[int, int]] = []  # (node, item)
+
+    def try_adopt(v: int, item: int) -> None:
+        """Threshold test for an informed, undecided item; cascades
+        re-evaluation of the node's other informed items on success."""
+        if adopted[item][v]:
+            return
+        others = adopted_set(v)
+        if alpha[item][v] <= gaps.q(item, others):
+            adopted[item][v] = True
+            newly.append((v, item))
+            for j in range(k):
+                if j != item and informed[j][v] and not adopted[j][v]:
+                    try_adopt(v, j)
+
+    for item, seeds in enumerate(seed_sets):
+        for s in seeds:
+            v = int(s)
+            if not 0 <= v < n:
+                raise SeedSetError(f"seed {v} out of range [0, {n - 1}]")
+            if not adopted[item][v]:
+                adopted[item][v] = True
+                informed[item][v] = True
+                newly.append((v, item))
+
+    while newly:
+        outgoing = newly
+        newly = []
+        informs: list[tuple[int, int]] = []
+        for u, item in outgoing:
+            targets, probs, eids = graph.out_edges(u)
+            for idx in range(targets.size):
+                v = int(targets[idx])
+                if informed[item][v]:
+                    continue
+                if edge_live(int(eids[idx]), float(probs[idx])):
+                    informs.append((v, item))
+        gen.shuffle(informs)
+        for v, item in informs:
+            if informed[item][v]:
+                continue
+            informed[item][v] = True
+            try_adopt(v, item)
+    return adopted
+
+
+def estimate_multi_item_spread(
+    graph: DiGraph,
+    gaps: MultiItemGaps,
+    seed_sets: Sequence[Iterable[int]],
+    *,
+    runs: int = 500,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of ``sigma_i`` for every item.
+
+    Returns a length-``k`` array of expected adoption counts.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    gen = make_rng(rng)
+    seed_sets = [list(s) for s in seed_sets]
+    totals = np.zeros(gaps.num_items, dtype=np.float64)
+    for _ in range(runs):
+        adopted = simulate_multi_item(graph, gaps, seed_sets, rng=gen)
+        totals += adopted.sum(axis=1)
+    return totals / runs

@@ -1,0 +1,130 @@
+"""Eagerly-sampled possible worlds (paper §5.1).
+
+A :class:`PossibleWorld` materialises every random variable of the
+equivalent possible-world model up front: per-edge liveness and tie-break
+priorities, per-node thresholds ``alpha_A``/``alpha_B`` and dual-seed coins
+``tau``.  :class:`FrozenWorldSource` adapts a world to the
+:class:`~repro.models.sources.RandomnessSource` interface so that the same
+engine runs the deterministic cascade.
+
+Most algorithms prefer the lazy
+:class:`~repro.models.sources.WorldSource` (only touched variables are
+drawn); the eager form exists for theoretical tooling — equivalence-class
+utilities, replayable counter-examples, and tests that poke specific world
+variables (the appendix examples fix particular ``alpha`` ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.sources import ITEM_A, ITEM_B, RandomnessSource
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """All random variables of one possible world, drawn eagerly.
+
+    ``live[e]`` is edge liveness, ``priority[e]`` the tie-break priority;
+    ``alpha_a[v]``/``alpha_b[v]`` are the adoption thresholds and
+    ``tau_a_first[v]`` the dual-seed coin of node ``v``.
+    """
+
+    live: np.ndarray
+    priority: np.ndarray
+    alpha_a: np.ndarray
+    alpha_b: np.ndarray
+    tau_a_first: np.ndarray
+
+    def with_alpha(self, node: int, *, alpha_a: float | None = None,
+                   alpha_b: float | None = None) -> "PossibleWorld":
+        """Copy with one node's thresholds overridden (test fixtures)."""
+        new_a, new_b = self.alpha_a, self.alpha_b
+        if alpha_a is not None:
+            new_a = self.alpha_a.copy()
+            new_a[node] = alpha_a
+        if alpha_b is not None:
+            new_b = self.alpha_b.copy()
+            new_b[node] = alpha_b
+        return replace(self, alpha_a=new_a, alpha_b=new_b)
+
+    def alpha_range_index(self, node: int, item: int, gaps: GAP) -> int:
+        """Equivalence-class range of a node's threshold (§5.1).
+
+        Returns 0, 1 or 2 for the three intervals delimited by the two
+        relevant GAPs (sorted); two worlds in which every node falls in the
+        same ranges (and shares priorities/taus ordering) behave identically.
+        """
+        if item == ITEM_A:
+            alpha = float(self.alpha_a[node])
+            cuts = sorted((gaps.q_a, gaps.q_a_given_b))
+        else:
+            alpha = float(self.alpha_b[node])
+            cuts = sorted((gaps.q_b, gaps.q_b_given_a))
+        if alpha < cuts[0]:
+            return 0
+        if alpha < cuts[1]:
+            return 1
+        return 2
+
+
+def sample_possible_world(graph: DiGraph, *, rng: SeedLike = None) -> PossibleWorld:
+    """Draw one possible world for ``graph`` (generative rules of §5.1)."""
+    gen = make_rng(rng)
+    m, n = graph.num_edges, graph.num_nodes
+    return PossibleWorld(
+        live=gen.random(m) < graph.edge_probabilities,
+        priority=gen.random(m),
+        alpha_a=gen.random(n),
+        alpha_b=gen.random(n),
+        tau_a_first=gen.random(n) < 0.5,
+    )
+
+
+class FrozenWorldSource(RandomnessSource):
+    """Adapter: run the engine deterministically inside a fixed world."""
+
+    def __init__(self, world: PossibleWorld) -> None:
+        self._world = world
+
+    @property
+    def world(self) -> PossibleWorld:
+        """The wrapped world."""
+        return self._world
+
+    def edge_live(self, edge_id: int, probability: float, item: int = ITEM_A) -> bool:
+        return bool(self._world.live[edge_id])
+
+    def adopt_on_inform(
+        self, node: int, item: int, q_uncond: float, q_cond: float, other_adopted: bool
+    ) -> bool:
+        alpha = self._alpha(node, item)
+        return alpha < (q_cond if other_adopted else q_uncond)
+
+    def reconsider(self, node: int, item: int, q_uncond: float, q_cond: float) -> bool:
+        return self._alpha(node, item) < q_cond
+
+    def informer_order(self, node: int, informers: Sequence[tuple[int, int]]) -> list[int]:
+        return sorted(
+            range(len(informers)),
+            key=lambda i: float(self._world.priority[informers[i][1]]),
+        )
+
+    def seed_a_first(self, node: int) -> bool:
+        return bool(self._world.tau_a_first[node])
+
+    def alpha(self, node: int, item: int) -> float:
+        """The fixed threshold of ``node`` for ``item`` (same contract as
+        :meth:`repro.models.sources.WorldSource.alpha`, used by RR-set
+        generators when a frozen world is injected for testing)."""
+        if item == ITEM_A:
+            return float(self._world.alpha_a[node])
+        return float(self._world.alpha_b[node])
+
+    _alpha = alpha

@@ -1,0 +1,110 @@
+"""Product-dependent edge probabilities — the paper's final §8 extension.
+
+Base Com-IC assumes one influence probability per edge, shared by both
+items ("competitive goods are typically of the same kind and complementary
+goods tend to be adopted together", §3).  The paper closes by suggesting an
+extended model "in which influence probabilities on edges are
+product-dependent": each edge carries ``p_A(u, v)`` and ``p_B(u, v)`` and
+the information channel opens *per item* — one independent liveness coin
+for A and one for B.
+
+The engine already reports which item an inform is crossing an edge with
+(the ``item`` argument of
+:meth:`~repro.models.sources.RandomnessSource.edge_live`), so the
+extension is a thin source adapter: :class:`ProductDependentSource` keys
+the liveness coin on ``(item, edge)`` and substitutes ``p_B`` for B-item
+tests.  All other semantics (NLA, tie-breaking, reconsideration) are
+inherited verbatim from :func:`repro.models.comic.simulate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.models.comic import DiffusionOutcome, simulate
+from repro.models.gaps import GAP
+from repro.models.sources import ITEM_A, CoinSource, RandomnessSource
+from repro.rng import SeedLike
+
+
+class ProductDependentSource(RandomnessSource):
+    """Source adapter: independent per-item edge coins.
+
+    Edge id ``e`` maps to inner ids ``2e`` (item A) and ``2e + 1`` (item
+    B); B-item tests use ``probability_b[e]`` in place of the engine-
+    supplied probability (which comes from the A graph).  Wrapping a
+    :class:`~repro.models.sources.WorldSource` yields the deterministic
+    possible-world view of the extended model for free.
+    """
+
+    def __init__(self, inner: RandomnessSource, probability_b: np.ndarray) -> None:
+        self._inner = inner
+        self._probability_b = np.ascontiguousarray(probability_b, dtype=np.float64)
+
+    def edge_live(self, edge_id: int, probability: float, item: int = ITEM_A) -> bool:
+        if item == ITEM_A:
+            return self._inner.edge_live(2 * edge_id, probability)
+        return self._inner.edge_live(
+            2 * edge_id + 1, float(self._probability_b[edge_id])
+        )
+
+    def adopt_on_inform(
+        self, node: int, item: int, q_uncond: float, q_cond: float, other_adopted: bool
+    ) -> bool:
+        return self._inner.adopt_on_inform(
+            node, item, q_uncond, q_cond, other_adopted
+        )
+
+    def reconsider(self, node: int, item: int, q_uncond: float, q_cond: float) -> bool:
+        return self._inner.reconsider(node, item, q_uncond, q_cond)
+
+    def informer_order(self, node: int, informers: Sequence[tuple[int, int]]) -> list[int]:
+        return self._inner.informer_order(node, informers)
+
+    def seed_a_first(self, node: int) -> bool:
+        return self._inner.seed_a_first(node)
+
+
+def check_shared_topology(graph_a: DiGraph, graph_b: DiGraph) -> None:
+    """Raise :class:`GraphError` unless both graphs share nodes and edges.
+
+    The product-dependent model is "one topology, two probability
+    vectors"; everything keyed by edge id must agree between the views.
+    """
+    if (
+        graph_a.num_nodes != graph_b.num_nodes
+        or graph_a.num_edges != graph_b.num_edges
+        or not np.array_equal(graph_a.edge_sources, graph_b.edge_sources)
+        or not np.array_equal(graph_a.edge_targets, graph_b.edge_targets)
+    ):
+        raise GraphError(
+            "product-dependent simulation requires graphs with identical "
+            "topology (only the probability vectors may differ)"
+        )
+
+
+def simulate_product_dependent(
+    graph_a: DiGraph,
+    graph_b: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    rng: SeedLike = None,
+    source: Optional[RandomnessSource] = None,
+) -> DiffusionOutcome:
+    """Com-IC with product-dependent edge probabilities (§8 extension).
+
+    ``graph_a`` and ``graph_b`` must share topology (same nodes and edge
+    list); their probability vectors give ``p_A`` and ``p_B``.  Pass
+    ``source`` to drive the randomness explicitly (e.g. a reusable
+    :class:`~repro.models.sources.WorldSource` for paired runs).
+    """
+    check_shared_topology(graph_a, graph_b)
+    inner = source if source is not None else CoinSource(rng)
+    adapter = ProductDependentSource(inner, graph_b.edge_probabilities)
+    return simulate(graph_a, gaps, seeds_a, seeds_b, source=adapter)

@@ -1,0 +1,292 @@
+"""Randomness sources: one diffusion engine, three views of its randomness.
+
+The Com-IC engine (:mod:`repro.models.comic`) never calls a random number
+generator directly; every stochastic decision is delegated to a
+:class:`RandomnessSource`.  The three implementations realise, with the same
+engine code, the three views of the model used by the paper:
+
+* :class:`CoinSource` — fresh biased coins at decision time: the stochastic
+  diffusion process of Fig. 2.
+* :class:`WorldSource` — decisions read off pre-drawn possible-world
+  variables (edge liveness, thresholds ``alpha_A``/``alpha_B``, tie-break
+  priorities ``pi`` and seed coins ``tau``): the deterministic cascade of
+  §5.1.  Because adoption tests become threshold comparisons
+  ``alpha <= q``, reconsideration success is *exactly* the event
+  ``q_{X|∅} < alpha <= q_{X|Y}``, reproducing
+  ``rho = max(q_{X|Y} - q_{X|∅}, 0) / (1 - q_{X|∅})`` as a conditional
+  probability (Lemma 1's argument).
+* :class:`ReplaySource` — decisions read from a prescribed tape; requesting
+  a decision beyond the tape raises :class:`DecisionNeeded`.  The exact
+  oracle (:mod:`repro.models.exact`) uses this to enumerate the complete
+  decision tree of small instances.
+
+Sources based on possible-world variables are *reusable*: running several
+cascades (different seed sets) against the same source replays the same
+world, which is what the possible-world proofs — and variance-reduced boost
+estimation — require.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import math
+import random
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rng import SeedLike, make_rng
+
+#: Item indices used throughout the engine.
+ITEM_A = 0
+ITEM_B = 1
+
+
+def _derive_python_rng(seed: SeedLike) -> random.Random:
+    """Build a fast scalar :class:`random.Random` from any seed-like value."""
+    gen = make_rng(seed)
+    return random.Random(int(gen.integers(0, 2**63 - 1)))
+
+
+class RandomnessSource(abc.ABC):
+    """Interface through which the Com-IC engine draws random decisions."""
+
+    @abc.abstractmethod
+    def edge_live(self, edge_id: int, probability: float, item: int = ITEM_A) -> bool:
+        """Whether the edge is live.  Must be memoised: the same edge id must
+        always return the same answer within one source ("each edge is tested
+        at most once", Fig. 2 rule 1).
+
+        ``item`` identifies which item's inform is crossing the edge.  Base
+        Com-IC ignores it (one channel per edge); the product-dependent
+        extension (:mod:`repro.models.product_edges`) keys coins on it."""
+
+    @abc.abstractmethod
+    def adopt_on_inform(
+        self, node: int, item: int, q_uncond: float, q_cond: float, other_adopted: bool
+    ) -> bool:
+        """NLA adoption test when ``node`` is informed of ``item`` while idle."""
+
+    @abc.abstractmethod
+    def reconsider(self, node: int, item: int, q_uncond: float, q_cond: float) -> bool:
+        """Reconsideration test for a suspended ``item`` after the other item
+        was just adopted (Fig. 2 rule 4)."""
+
+    @abc.abstractmethod
+    def informer_order(self, node: int, informers: Sequence[tuple[int, int]]) -> list[int]:
+        """Tie-breaking: return a permutation (as indices into ``informers``)
+        fixing the order in which same-step informers are processed.
+        ``informers`` is a sequence of ``(neighbor, edge_id)`` pairs."""
+
+    @abc.abstractmethod
+    def seed_a_first(self, node: int) -> bool:
+        """Fair-coin order for a node seeded with both items (Fig. 2)."""
+
+
+class CoinSource(RandomnessSource):
+    """Fresh-coin randomness — the stochastic Com-IC process of Fig. 2.
+
+    Edge outcomes are memoised for the lifetime of the source, so a source
+    must be used for exactly one diffusion (the engine creates one per run
+    when given a seed).  Uses :class:`random.Random` internally because
+    scalar draws dominate the cost profile.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = _derive_python_rng(seed)
+        self._edge_state: dict[int, bool] = {}
+
+    def edge_live(self, edge_id: int, probability: float, item: int = ITEM_A) -> bool:
+        state = self._edge_state.get(edge_id)
+        if state is None:
+            state = self._rng.random() < probability
+            self._edge_state[edge_id] = state
+        return state
+
+    def adopt_on_inform(
+        self, node: int, item: int, q_uncond: float, q_cond: float, other_adopted: bool
+    ) -> bool:
+        q = q_cond if other_adopted else q_uncond
+        return self._rng.random() < q
+
+    def reconsider(self, node: int, item: int, q_uncond: float, q_cond: float) -> bool:
+        if q_uncond >= 1.0:
+            return False
+        rho = max(q_cond - q_uncond, 0.0) / (1.0 - q_uncond)
+        if rho <= 0.0:
+            return False
+        return self._rng.random() < rho
+
+    def informer_order(self, node: int, informers: Sequence[tuple[int, int]]) -> list[int]:
+        order = list(range(len(informers)))
+        self._rng.shuffle(order)
+        return order
+
+    def seed_a_first(self, node: int) -> bool:
+        return self._rng.random() < 0.5
+
+
+class WorldSource(RandomnessSource):
+    """Possible-world randomness, sampled lazily and memoised.
+
+    The world variables of §5.1 are materialised on first use:
+
+    * ``live(e)``    — Bernoulli(p) edge liveness;
+    * ``alpha_A(v)``, ``alpha_B(v)`` — Uniform[0,1] adoption thresholds;
+    * ``priority(e)`` — Uniform[0,1] tie-break priority per edge (ordering
+      any subset of a node's in-edges by fixed independent priorities is a
+      uniform permutation of that subset, realising ``pi_v``);
+    * ``tau(v)``     — fair coin for dual seeds.
+
+    The source is reusable across cascades: all decisions are functions of
+    the memoised variables, hence deterministic once drawn.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = _derive_python_rng(seed)
+        self._live: dict[int, bool] = {}
+        self._alpha: tuple[dict[int, float], dict[int, float]] = ({}, {})
+        self._priority: dict[int, float] = {}
+        self._tau: dict[int, bool] = {}
+
+    # -- world-variable accessors (also used by RR-set generators) -------
+    def alpha(self, node: int, item: int) -> float:
+        """The threshold ``alpha_A(node)`` or ``alpha_B(node)``."""
+        table = self._alpha[item]
+        value = table.get(node)
+        if value is None:
+            value = self._rng.random()
+            table[node] = value
+        return value
+
+    def priority(self, edge_id: int) -> float:
+        """The tie-break priority of ``edge_id``."""
+        value = self._priority.get(edge_id)
+        if value is None:
+            value = self._rng.random()
+            self._priority[edge_id] = value
+        return value
+
+    # -- RandomnessSource interface --------------------------------------
+    def edge_live(self, edge_id: int, probability: float, item: int = ITEM_A) -> bool:
+        state = self._live.get(edge_id)
+        if state is None:
+            state = self._rng.random() < probability
+            self._live[edge_id] = state
+        return state
+
+    def adopt_on_inform(
+        self, node: int, item: int, q_uncond: float, q_cond: float, other_adopted: bool
+    ) -> bool:
+        q = q_cond if other_adopted else q_uncond
+        return self.alpha(node, item) < q
+
+    def reconsider(self, node: int, item: int, q_uncond: float, q_cond: float) -> bool:
+        # The node is suspended, i.e. alpha >= q_uncond; it adopts on
+        # reconsideration exactly when alpha < q_cond.
+        return self.alpha(node, item) < q_cond
+
+    def informer_order(self, node: int, informers: Sequence[tuple[int, int]]) -> list[int]:
+        return sorted(range(len(informers)), key=lambda i: self.priority(informers[i][1]))
+
+    def seed_a_first(self, node: int) -> bool:
+        state = self._tau.get(node)
+        if state is None:
+            state = self._rng.random() < 0.5
+            self._tau[node] = state
+        return state
+
+
+class DecisionNeeded(Exception):
+    """Raised by :class:`ReplaySource` when the tape is exhausted.
+
+    Carries the branch description so an enumerator can fork: ``options`` is
+    the number of alternatives and ``probabilities`` their masses.
+    """
+
+    def __init__(self, options: int, probabilities: Sequence[float]) -> None:
+        super().__init__(f"decision needed over {options} options")
+        self.options = int(options)
+        self.probabilities = [float(p) for p in probabilities]
+
+
+class ReplaySource(RandomnessSource):
+    """Deterministic decision tape for exhaustive enumeration.
+
+    Decisions are consumed from ``tape`` in engine order.  Degenerate
+    decisions (probability 0 or 1, single-option permutations) are resolved
+    without consuming tape entries, which keeps the enumeration tree small.
+    Edge decisions are memoised by edge id as in the other sources.
+    """
+
+    def __init__(self, tape: Sequence[int]) -> None:
+        self._tape = list(tape)
+        self._cursor = 0
+        self._edge_state: dict[int, bool] = {}
+        self._tau: dict[int, bool] = {}
+        #: probability of each consumed (non-degenerate) decision, in order;
+        #: the product is the probability mass of the whole decision path.
+        self.trace: list[float] = []
+
+    @property
+    def consumed(self) -> int:
+        """Number of tape entries consumed so far."""
+        return self._cursor
+
+    def _decide(self, probabilities: Sequence[float]) -> int:
+        """Return a branch index, consuming tape or raising DecisionNeeded."""
+        live_options = [i for i, p in enumerate(probabilities) if p > 0.0]
+        if len(live_options) == 1:
+            return live_options[0]
+        if self._cursor < len(self._tape):
+            choice = self._tape[self._cursor]
+            self._cursor += 1
+            self.trace.append(float(probabilities[choice]))
+            return choice
+        raise DecisionNeeded(len(probabilities), probabilities)
+
+    def _binary(self, probability: float) -> bool:
+        """A yes/no decision with the given success probability."""
+        return self._decide([probability, 1.0 - probability]) == 0
+
+    def edge_live(self, edge_id: int, probability: float, item: int = ITEM_A) -> bool:
+        state = self._edge_state.get(edge_id)
+        if state is None:
+            state = self._binary(probability)
+            self._edge_state[edge_id] = state
+        return state
+
+    def adopt_on_inform(
+        self, node: int, item: int, q_uncond: float, q_cond: float, other_adopted: bool
+    ) -> bool:
+        return self._binary(q_cond if other_adopted else q_uncond)
+
+    def reconsider(self, node: int, item: int, q_uncond: float, q_cond: float) -> bool:
+        if q_uncond >= 1.0:
+            return False
+        rho = max(q_cond - q_uncond, 0.0) / (1.0 - q_uncond)
+        return self._binary(rho)
+
+    def informer_order(self, node: int, informers: Sequence[tuple[int, int]]) -> list[int]:
+        k = len(informers)
+        if k <= 1:
+            return list(range(k))
+        count = math.factorial(k)
+        choice = self._decide([1.0 / count] * count)
+        return list(next(itertools.islice(itertools.permutations(range(k)), choice, None)))
+
+    def seed_a_first(self, node: int) -> bool:
+        state = self._tau.get(node)
+        if state is None:
+            state = self._binary(0.5)
+            self._tau[node] = state
+        return state
+
+
+def probability_of_tape(source: ReplaySource, decisions: Sequence[tuple[int, Sequence[float]]]) -> float:
+    """Probability mass of a decision path (helper for the exact oracle)."""
+    mass = 1.0
+    for choice, probabilities in decisions:
+        mass *= probabilities[choice]
+    return mass

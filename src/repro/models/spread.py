@@ -1,0 +1,133 @@
+"""Monte-Carlo estimation of influence spread and boost (§4 objectives).
+
+``sigma_A(S_A, S_B)`` and ``sigma_B(S_A, S_B)`` — the expected numbers of
+A- and B-adopted nodes — are #P-hard to compute exactly, so the paper (and
+this library) estimates them by simulation.  :func:`estimate_boost`
+estimates the CompInfMax objective ``sigma_A(S_A, S_B) - sigma_A(S_A, ∅)``
+with *paired* sampling: both cascades of a run share one possible world
+(a reusable :class:`~repro.models.sources.WorldSource`), which removes the
+between-world variance from the difference estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.models.comic import simulate
+from repro.models.gaps import GAP
+from repro.models.sources import CoinSource, WorldSource
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SpreadEstimate:
+    """A Monte-Carlo mean with its sampling uncertainty."""
+
+    mean: float
+    std: float
+    runs: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.runs <= 0:
+            return float("inf")
+        return self.std / math.sqrt(self.runs)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval (default 95%)."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def __float__(self) -> float:
+        return self.mean
+
+
+def _summarize(values: np.ndarray) -> SpreadEstimate:
+    runs = int(values.size)
+    mean = float(values.mean()) if runs else 0.0
+    std = float(values.std(ddof=1)) if runs > 1 else 0.0
+    return SpreadEstimate(mean=mean, std=std, runs=runs)
+
+
+def estimate_spread(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+    item: str = "a",
+) -> SpreadEstimate:
+    """Estimate ``sigma_A`` (``item='a'``) or ``sigma_B`` (``item='b'``)."""
+    if item not in ("a", "b"):
+        raise ValueError(f"item must be 'a' or 'b', got {item!r}")
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    values = np.empty(runs, dtype=np.float64)
+    for i in range(runs):
+        outcome = simulate(graph, gaps, seeds_a, seeds_b, source=CoinSource(gen))
+        values[i] = outcome.num_a_adopted if item == "a" else outcome.num_b_adopted
+    return _summarize(values)
+
+
+def estimate_spread_both(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+) -> tuple[SpreadEstimate, SpreadEstimate]:
+    """Estimate ``(sigma_A, sigma_B)`` from the same runs."""
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    values_a = np.empty(runs, dtype=np.float64)
+    values_b = np.empty(runs, dtype=np.float64)
+    for i in range(runs):
+        outcome = simulate(graph, gaps, seeds_a, seeds_b, source=CoinSource(gen))
+        values_a[i] = outcome.num_a_adopted
+        values_b[i] = outcome.num_b_adopted
+    return _summarize(values_a), _summarize(values_b)
+
+
+def estimate_boost(
+    graph: DiGraph,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+    seeds_b: Iterable[int],
+    *,
+    runs: int = 1000,
+    rng: SeedLike = None,
+    paired: bool = True,
+) -> SpreadEstimate:
+    """Estimate the CompInfMax objective
+    ``sigma_A(S_A, S_B) - sigma_A(S_A, ∅)``.
+
+    With ``paired=True`` (default) each run evaluates both cascades in the
+    same possible world, a common-random-numbers estimator whose variance is
+    far below that of differencing two independent estimates.
+    """
+    gen = make_rng(rng)
+    seeds_a = list(seeds_a)
+    seeds_b = list(seeds_b)
+    values = np.empty(runs, dtype=np.float64)
+    for i in range(runs):
+        if paired:
+            world = WorldSource(gen)
+            with_b = simulate(graph, gaps, seeds_a, seeds_b, source=world)
+            without_b = simulate(graph, gaps, seeds_a, [], source=world)
+        else:
+            with_b = simulate(graph, gaps, seeds_a, seeds_b, source=CoinSource(gen))
+            without_b = simulate(graph, gaps, seeds_a, [], source=CoinSource(gen))
+        values[i] = with_b.num_a_adopted - without_b.num_a_adopted
+    return _summarize(values)

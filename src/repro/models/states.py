@@ -1,0 +1,50 @@
+"""Node-level automaton states (paper §3, Fig. 1).
+
+W.r.t. each item, a node is in exactly one of four states.  The joint state
+space has 16 combinations but only 11 are reachable from (idle, idle); the
+five unreachable ones are listed in Appendix A.1 of the paper and exported
+here as :data:`UNREACHABLE_JOINT_STATES` so tests can assert the invariant.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ItemState(enum.IntEnum):
+    """State of one node with respect to one item.
+
+    Transitions (Fig. 1):
+
+    * ``IDLE -> ADOPTED`` with probability ``q_{X|∅}`` or ``q_{X|Y}``
+      depending on whether the other item ``Y`` is adopted;
+    * ``IDLE -> SUSPENDED`` on a failed unconditional test;
+    * ``IDLE -> REJECTED`` on a failed conditional test (other item adopted);
+    * ``SUSPENDED -> ADOPTED`` via reconsideration with probability ``rho``;
+    * ``SUSPENDED -> REJECTED`` on failed reconsideration.
+
+    ``ADOPTED`` and ``REJECTED`` are terminal.
+    """
+
+    IDLE = 0
+    SUSPENDED = 1
+    ADOPTED = 2
+    REJECTED = 3
+
+
+#: Joint states (state w.r.t. A, state w.r.t. B) proven unreachable from the
+#: initial (IDLE, IDLE) state — paper Appendix A.1, Lemmas 9 and 10.
+UNREACHABLE_JOINT_STATES: frozenset[tuple[ItemState, ItemState]] = frozenset(
+    {
+        (ItemState.IDLE, ItemState.REJECTED),
+        (ItemState.SUSPENDED, ItemState.REJECTED),
+        (ItemState.REJECTED, ItemState.IDLE),
+        (ItemState.REJECTED, ItemState.SUSPENDED),
+        (ItemState.REJECTED, ItemState.REJECTED),
+    }
+)
+
+
+def is_terminal(state: ItemState) -> bool:
+    """Whether ``state`` admits no further transitions."""
+    return state in (ItemState.ADOPTED, ItemState.REJECTED)

@@ -1,0 +1,62 @@
+"""General RR-set interface (paper Definition 1, §6.1).
+
+For a diffusion model ``M`` with equivalent possible-world model ``M'``,
+the RR-set of a root ``v`` in a world ``W`` is::
+
+    R_W(v) = { u : the singleton seed set {u} activates v in W }
+
+A *random* RR-set draws ``W`` from ``M'`` and ``v`` uniformly.  When every
+world satisfies
+
+* **(P1)** activation is monotone in the seed set, and
+* **(P2)** any activating set contains a singleton activator,
+
+the probability that a seed set ``S`` activates a uniform node equals the
+probability that ``S`` intersects a random RR-set (activation equivalence,
+Definition 2 / Lemma 5), which is what TIM-style algorithms estimate.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.rng import SeedLike, make_rng
+
+
+class RRSetGenerator(abc.ABC):
+    """A sampler of random RR-sets for one optimisation problem instance.
+
+    Subclasses fix the diffusion model, the GAPs and the opposite seed set;
+    :meth:`generate` draws a fresh lazy possible world per call.
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying influence graph."""
+        return self._graph
+
+    def random_root(self, rng: SeedLike = None) -> int:
+        """Draw a uniform random root node."""
+        gen = make_rng(rng)
+        return int(gen.integers(0, self._graph.num_nodes))
+
+    @abc.abstractmethod
+    def generate(self, *, rng: SeedLike = None, root: Optional[int] = None) -> np.ndarray:
+        """Return one random RR-set as a unique node-id array.
+
+        ``root`` fixes the root (tests of activation equivalence need this);
+        when ``None`` a uniform root is drawn.  Every call samples an
+        independent possible world.
+        """
+
+    def generate_many(self, count: int, *, rng: SeedLike = None) -> list[np.ndarray]:
+        """Generate ``count`` independent random RR-sets."""
+        gen = make_rng(rng)
+        return [self.generate(rng=gen) for _ in range(count)]

@@ -1,0 +1,54 @@
+"""Seed-selection engine dispatch: GeneralTIM [24] or IMM [23].
+
+Both engines consume the same :class:`~repro.rrset.base.RRSetGenerator`
+abstraction and return a result exposing ``seeds``, ``theta``,
+``coverage`` and ``estimated_objective``, so callers (the SelfInfMax /
+CompInfMax solvers, the experiment harness) can switch between them with a
+string knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.rng import SeedLike
+from repro.rrset.base import RRSetGenerator
+from repro.rrset.imm import IMMOptions, IMMResult, general_imm
+from repro.rrset.tim import TIMOptions, TIMResult, general_tim
+
+SelectionResult = Union[TIMResult, IMMResult]
+
+ENGINES = ("tim", "imm")
+
+
+def imm_options_from_tim(options: TIMOptions) -> IMMOptions:
+    """Map TIM knobs onto the equivalent IMM knobs (same eps/ell/caps)."""
+    return IMMOptions(
+        epsilon=options.epsilon,
+        ell=options.ell,
+        max_rr_sets=options.max_rr_sets,
+        min_rr_sets=options.min_rr_sets,
+    )
+
+
+def run_seed_selection(
+    generator: RRSetGenerator,
+    k: int,
+    *,
+    engine: str = "tim",
+    options: TIMOptions = TIMOptions(),
+    imm_options: Optional[IMMOptions] = None,
+    rng: SeedLike = None,
+) -> SelectionResult:
+    """Select ``k`` seeds with the requested engine.
+
+    ``options`` always configures TIM; for ``engine="imm"`` the explicit
+    ``imm_options`` win, otherwise IMM inherits epsilon/ell/caps from
+    ``options``.
+    """
+    if engine == "tim":
+        return general_tim(generator, k, options=options, rng=rng)
+    if engine == "imm":
+        resolved = imm_options if imm_options is not None else imm_options_from_tim(options)
+        return general_imm(generator, k, options=resolved, rng=rng)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

@@ -1,0 +1,189 @@
+"""IMM: martingale-based influence maximization over general RR-sets.
+
+Implements the IMM algorithm of Tang, Shi & Xiao (SIGMOD 2015), which the
+paper cites as [23] — the successor of TIM that "significantly reduces the
+number of RR-sets generated using martingale analysis".  The paper's §6
+notes its RR-set constructions are orthogonal to this improvement and
+plug straight in; this module realises that remark: :func:`general_imm`
+accepts any :class:`~repro.rrset.base.RRSetGenerator` (RR-IC, RR-SIM,
+RR-SIM+ or RR-CIM) and therefore solves classic InfMax, SelfInfMax and
+CompInfMax alike with the tighter sample bound.
+
+Algorithm outline (notation of [23]):
+
+1. **Sampling** — for ``i = 1 .. log2(n) - 1`` guess ``x_i = n / 2^i`` as
+   the optimum, sample until ``theta_i = lambda' / x_i`` RR-sets exist, and
+   run greedy max-coverage on them.  The first guess whose covered fraction
+   certifies ``n * F(S) >= (1 + eps') * x_i`` yields the lower bound
+   ``LB = n * F(S) / (1 + eps')`` of ``OPT_k`` (a martingale concentration
+   argument keeps every check simultaneously valid).
+2. **Node selection** — top the collection up to
+   ``theta = lambda* / LB`` RR-sets and return the greedy max-coverage
+   seeds, a ``(1 - 1/e - eps)``-approximation w.p. ``>= 1 - n^-ell``.
+
+As with :func:`~repro.rrset.tim.general_tim`, pure Python cannot always
+afford the theoretical ``theta``, so ``IMMOptions.max_rr_sets`` caps the
+sample size (trading the formal guarantee for bounded time the same way a
+larger ``eps`` does).  The martingale analysis of [23] permits reusing the
+sampling-phase RR-sets for selection provided the bound accounts for it via
+the inflated ``ell`` used here (their Remark after Theorem 2); we follow
+that practical variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SeedSetError
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+from repro.rrset.tim import _log_n_choose_k, greedy_max_coverage
+
+
+@dataclass(frozen=True)
+class IMMOptions:
+    """Knobs of :func:`general_imm`.
+
+    ``epsilon`` is the approximation slack (the guarantee is
+    ``1 - 1/e - epsilon``); ``ell`` sets the failure probability
+    ``n^-ell``.  ``max_rr_sets`` bounds the total number of RR-sets ever
+    generated; ``min_rr_sets`` floors the first sampling round so tiny
+    graphs still average over a usable sample.
+    """
+
+    epsilon: float = 0.5
+    ell: float = 1.0
+    max_rr_sets: int = 50_000
+    min_rr_sets: int = 200
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.ell <= 0.0:
+            raise ValueError(f"ell must be positive, got {self.ell}")
+        if self.max_rr_sets < 1:
+            raise ValueError(f"max_rr_sets must be >= 1, got {self.max_rr_sets}")
+        if self.min_rr_sets < 1:
+            raise ValueError(f"min_rr_sets must be >= 1, got {self.min_rr_sets}")
+
+
+@dataclass
+class IMMResult:
+    """Output of :func:`general_imm`."""
+
+    seeds: list[int]
+    #: total number of RR-sets used for the final selection.
+    theta: int
+    #: the certified lower bound on ``OPT_k`` (``nan`` if never certified
+    #: before the sample cap was hit).
+    lower_bound: float
+    #: number of RR-sets covered by ``seeds``.
+    coverage: int
+    #: ``n * coverage / theta`` — RR-set estimate of the objective.
+    estimated_objective: float
+    #: number of sampling-phase rounds executed.
+    rounds: int = 0
+    #: marginal coverage gain of each seed, in selection order.
+    marginal_coverage: list[int] = field(default_factory=list)
+
+
+def _lambda_prime(n: int, k: int, epsilon_prime: float, ell: float) -> float:
+    """``lambda'`` of [23], Eq. between Lemmas 5 and 6."""
+    log_terms = _log_n_choose_k(n, k) + ell * math.log(n) + math.log(
+        max(math.log2(n), 1.0)
+    )
+    return (2.0 + 2.0 * epsilon_prime / 3.0) * log_terms * n / (epsilon_prime**2)
+
+
+def _lambda_star(n: int, k: int, epsilon: float, ell: float) -> float:
+    """``lambda*`` of [23], Theorem 1's sample-size constant."""
+    alpha = math.sqrt(ell * math.log(n) + math.log(2.0))
+    beta = math.sqrt(
+        (1.0 - 1.0 / math.e)
+        * (_log_n_choose_k(n, k) + ell * math.log(n) + math.log(2.0))
+    )
+    return 2.0 * n * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2 / (epsilon**2)
+
+
+def general_imm(
+    generator: RRSetGenerator,
+    k: int,
+    *,
+    options: IMMOptions = IMMOptions(),
+    rng: SeedLike = None,
+) -> IMMResult:
+    """Run IMM on ``generator`` and return the selected seed set.
+
+    Drop-in alternative to :func:`~repro.rrset.tim.general_tim`; same
+    approximation guarantee, usually far fewer RR-sets (the point of [23]).
+    """
+    graph = generator.graph
+    n = graph.num_nodes
+    if k < 0 or k > n:
+        raise SeedSetError(f"k must lie in [0, {n}], got {k}")
+    if n == 0 or k == 0:
+        return IMMResult(
+            seeds=[], theta=0, lower_bound=float("nan"), coverage=0,
+            estimated_objective=0.0,
+        )
+    gen = make_rng(rng)
+
+    # ell inflated so the union bound over both phases still gives n^-ell
+    # overall ([23], start of §3.2).
+    ell_eff = options.ell * (1.0 + math.log(2.0) / max(math.log(n), 1.0))
+    epsilon_prime = math.sqrt(2.0) * options.epsilon
+    lam_prime = _lambda_prime(n, k, epsilon_prime, ell_eff)
+
+    rr_sets: list[np.ndarray] = []
+
+    def top_up(target: int) -> None:
+        target = min(target, options.max_rr_sets)
+        while len(rr_sets) < target:
+            rr_sets.append(generator.generate(rng=gen))
+
+    lower_bound = float("nan")
+    rounds = 0
+    max_rounds = max(int(math.log2(n)), 1)
+    for i in range(1, max_rounds):
+        rounds += 1
+        x_i = n / (2.0**i)
+        theta_i = int(math.ceil(lam_prime / x_i))
+        theta_i = max(theta_i, options.min_rr_sets)
+        top_up(theta_i)
+        seeds, covered, _gains = greedy_max_coverage(rr_sets, n, k)
+        estimate = n * covered / len(rr_sets)
+        if estimate >= (1.0 + epsilon_prime) * x_i:
+            lower_bound = estimate / (1.0 + epsilon_prime)
+            break
+        if len(rr_sets) >= options.max_rr_sets:
+            break
+
+    if math.isnan(lower_bound):
+        # Cap hit (or pathological graph) before certification: fall back to
+        # the weakest valid bound so theta stays finite; the cap below still
+        # bounds the work.
+        lower_bound_for_theta = 1.0
+    else:
+        lower_bound_for_theta = max(lower_bound, 1.0)
+
+    lam_star = _lambda_star(n, k, options.epsilon, ell_eff)
+    theta = int(math.ceil(lam_star / lower_bound_for_theta))
+    theta = int(np.clip(theta, options.min_rr_sets, options.max_rr_sets))
+    top_up(theta)
+    # Selection runs on everything generated (>= theta when sampling-phase
+    # rounds overshot), which only sharpens the estimate.
+    seeds, covered, gains = greedy_max_coverage(rr_sets, n, k)
+    total = len(rr_sets)
+    return IMMResult(
+        seeds=seeds,
+        theta=total,
+        lower_bound=lower_bound,
+        coverage=covered,
+        estimated_objective=n * covered / total if total else 0.0,
+        rounds=rounds,
+        marginal_coverage=gains,
+    )

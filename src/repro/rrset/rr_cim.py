@@ -1,0 +1,286 @@
+"""RR-CIM: RR-set generation for CompInfMax (paper Algorithm 4, §6.3).
+
+Valid regime (Theorem 8): mutual complementarity with ``q_{B|A} = 1``.
+Here A and B genuinely interact, so resolving the world requires a richer
+forward labeling from the fixed A-seed set (Eq. 4): each touched node gets
+one of
+
+* ``A-adopted``   — adopts A from the seeds alone;
+* ``A-rejected``  — ``alpha_A > q_{A|B}``: can never adopt A;
+* ``A-suspended`` — informed of A by an adopted node but needs B's boost;
+* ``A-potential`` — would be informed of A only if some upstream suspended
+  node were unlocked by B (information *potentially* flows through
+  suspended nodes).
+
+Labels strengthen monotonically (none < potential < suspended < adopted),
+so the labeling runs as a worklist fixpoint with re-enqueue on promotion —
+this realises the paper's "revisit and promote" remark.
+
+The RR-set of a root ``v`` (empty unless ``v`` is suspended or potential)
+is found by a primary backward search over AB-diffusible potential nodes,
+collecting suspended nodes (Cases 1–2), launching secondary backward
+searches through B-diffusible nodes from AB-diffusible suspended ones
+(Case 1), and applying the zig-zag check of Case 4 to potential,
+non-AB-diffusible nodes.
+
+Local diffusibility predicates (§6.3)::
+
+    AB-diffusible(v):  alpha_A <= q_{A|∅}  or
+                       (q_{A|∅} < alpha_A <= q_{A|B} and alpha_B <= q_{B|∅})
+    B-diffusible(v):   alpha_B <= q_{B|∅}  or  v labeled A-adopted
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import RegimeError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.sources import ITEM_A, ITEM_B, WorldSource
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+
+# Forward-labeling labels, ordered by strength (rejected is terminal).
+LABEL_REJECTED = -1
+LABEL_NONE = 0
+LABEL_POTENTIAL = 1
+LABEL_SUSPENDED = 2
+LABEL_ADOPTED = 3
+
+
+def check_rr_cim_regime(gaps: GAP) -> None:
+    """Raise :class:`RegimeError` unless Theorem 8's conditions hold."""
+    if not gaps.is_rr_cim_regime:
+        raise RegimeError(
+            "RR-CIM requires mutual complementarity with q_{B|A} = 1; "
+            f"got {gaps}"
+        )
+
+
+def forward_label_a_status(
+    graph: DiGraph,
+    world: WorldSource,
+    gaps: GAP,
+    seeds_a: Iterable[int],
+) -> dict[int, int]:
+    """Eq. (4) forward labeling from the A-seeds as a monotone fixpoint.
+
+    Returns a sparse label map; untouched nodes are implicitly LABEL_NONE
+    (A-idle, unreachable even potentially).
+    """
+    label: dict[int, int] = {}
+    queue: deque[int] = deque()
+    for s in seeds_a:
+        s = int(s)
+        if label.get(s) != LABEL_ADOPTED:
+            label[s] = LABEL_ADOPTED
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        lab_u = label.get(u, LABEL_NONE)
+        if lab_u in (LABEL_NONE, LABEL_REJECTED):
+            continue  # stale entry demoted before dequeue cannot occur, but be safe
+        targets, probs, eids = graph.out_edges(u)
+        for idx in range(targets.size):
+            v = int(targets[idx])
+            current = label.get(v, LABEL_NONE)
+            if current in (LABEL_ADOPTED, LABEL_REJECTED):
+                continue
+            if not world.edge_live(int(eids[idx]), float(probs[idx])):
+                continue
+            alpha_a = world.alpha(v, ITEM_A)
+            if alpha_a >= gaps.q_a_given_b:
+                label[v] = LABEL_REJECTED
+                continue
+            if lab_u == LABEL_ADOPTED:
+                candidate = LABEL_ADOPTED if alpha_a < gaps.q_a else LABEL_SUSPENDED
+            else:
+                candidate = LABEL_POTENTIAL
+            if candidate > current:
+                label[v] = candidate
+                queue.append(v)
+    return label
+
+
+class RRCimGenerator(RRSetGenerator):
+    """Random RR-set sampler for CompInfMax (Algorithm 4)."""
+
+    def __init__(self, graph: DiGraph, gaps: GAP, seeds_a: Iterable[int]) -> None:
+        super().__init__(graph)
+        check_rr_cim_regime(gaps)
+        self._gaps = gaps
+        self._seeds_a = [int(s) for s in seeds_a]
+        for s in self._seeds_a:
+            if not 0 <= s < graph.num_nodes:
+                raise RegimeError(f"A-seed {s} out of range")
+
+    @property
+    def gaps(self) -> GAP:
+        """The GAP configuration (Q+ with ``q_{B|A} = 1``)."""
+        return self._gaps
+
+    @property
+    def seeds_a(self) -> list[int]:
+        """The fixed A-seed set."""
+        return list(self._seeds_a)
+
+    # ------------------------------------------------------------------
+    # Diffusibility predicates (local node state in this world)
+    # ------------------------------------------------------------------
+    def _ab_diffusible(self, world: WorldSource, v: int) -> bool:
+        alpha_a = world.alpha(v, ITEM_A)
+        if alpha_a < self._gaps.q_a:
+            return True
+        return alpha_a < self._gaps.q_a_given_b and (
+            world.alpha(v, ITEM_B) < self._gaps.q_b
+        )
+
+    def _b_diffusible(self, world: WorldSource, v: int, label: dict[int, int]) -> bool:
+        if world.alpha(v, ITEM_B) < self._gaps.q_b:
+            return True
+        # An A-adopted node adopts B on being informed because q_{B|A} = 1.
+        return label.get(v, LABEL_NONE) == LABEL_ADOPTED
+
+    # ------------------------------------------------------------------
+    # Secondary searches
+    # ------------------------------------------------------------------
+    def _secondary_backward_b(
+        self,
+        world: WorldSource,
+        label: dict[int, int],
+        start: int,
+        rr_set: set[int],
+    ) -> None:
+        """Case 1: every node that can push B to ``start`` joins the RR-set.
+
+        Reverse BFS through B-diffusible nodes; a non-B-diffusible node is
+        still added (as a seed it adopts B unconditionally) but not expanded.
+        """
+        graph = self._graph
+        visited = {start}
+        queue: deque[int] = deque([start])
+        while queue:
+            x = queue.popleft()
+            sources, probs, eids = graph.in_edges(x)
+            for idx in range(sources.size):
+                w = int(sources[idx])
+                if w in visited:
+                    continue
+                if not world.edge_live(int(eids[idx]), float(probs[idx])):
+                    continue
+                visited.add(w)
+                rr_set.add(w)
+                if self._b_diffusible(world, w, label):
+                    queue.append(w)
+
+    def _case4_zigzag(
+        self, world: WorldSource, label: dict[int, int], u: int
+    ) -> bool:
+        """Case 4: does seeding B at ``u`` unlock a suspended node that
+        feeds A (and B) back to ``u``?
+
+        Forward search ``Sf``: B-diffusible nodes reachable from ``u``
+        through B-diffusible nodes (these would adopt B when ``u`` is the
+        B-seed).  Backward search ``Sb``: nodes that can relay a joint A+B
+        wave to ``u`` — A-adopted nodes relay unconditionally (``q_{B|A}=1``)
+        and suspended/potential nodes relay when AB-diffusible.  ``u``
+        qualifies iff some A-suspended node lies in both.
+        """
+        graph = self._graph
+        forward: set[int] = set()
+        fvisited = {u}
+        queue: deque[int] = deque([u])
+        while queue:
+            x = queue.popleft()
+            targets, probs, eids = graph.out_edges(x)
+            for idx in range(targets.size):
+                v = int(targets[idx])
+                if v in fvisited:
+                    continue
+                if not world.edge_live(int(eids[idx]), float(probs[idx])):
+                    continue
+                fvisited.add(v)
+                if self._b_diffusible(world, v, label):
+                    forward.add(v)
+                    queue.append(v)
+        if not forward:
+            return False
+        backward: set[int] = set()
+        bvisited = {u}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            sources, probs, eids = graph.in_edges(x)
+            for idx in range(sources.size):
+                w = int(sources[idx])
+                if w in bvisited:
+                    continue
+                if not world.edge_live(int(eids[idx]), float(probs[idx])):
+                    continue
+                bvisited.add(w)
+                lab_w = label.get(w, LABEL_NONE)
+                relays = lab_w == LABEL_ADOPTED or (
+                    lab_w in (LABEL_POTENTIAL, LABEL_SUSPENDED)
+                    and self._ab_diffusible(world, w)
+                )
+                if relays:
+                    backward.add(w)
+                    queue.append(w)
+        return any(
+            label.get(x, LABEL_NONE) == LABEL_SUSPENDED for x in forward & backward
+        )
+
+    # ------------------------------------------------------------------
+    # RR-set generation
+    # ------------------------------------------------------------------
+    def generate(
+        self, *, rng: SeedLike = None, root: Optional[int] = None, world=None
+    ) -> np.ndarray:
+        """``world`` injects a fixed possible world (tests/ablations)."""
+        gen = make_rng(rng)
+        if root is None:
+            root = int(gen.integers(0, self._graph.num_nodes))
+        if world is None:
+            world = WorldSource(gen)
+        graph = self._graph
+        label = forward_label_a_status(graph, world, self._gaps, self._seeds_a)
+        root_label = label.get(root, LABEL_NONE)
+        if root_label not in (LABEL_SUSPENDED, LABEL_POTENTIAL):
+            # Already adopted, permanently rejected, or unreachable even
+            # with B's help: no B-seed changes the root's A status.
+            return np.empty(0, dtype=np.int64)
+
+        rr_set: set[int] = set()
+        visited = {root}
+        queue: deque[int] = deque([root])
+        while queue:
+            u = queue.popleft()
+            lab_u = label.get(u, LABEL_NONE)
+            if lab_u == LABEL_SUSPENDED:
+                rr_set.add(u)
+                if self._ab_diffusible(world, u):
+                    # Case 1: remote B-seeds can unlock u.
+                    self._secondary_backward_b(world, label, u, rr_set)
+                # Case 2 (not AB-diffusible): only u itself as a B-seed works.
+            elif lab_u == LABEL_POTENTIAL:
+                if self._ab_diffusible(world, u):
+                    # Case 3: u transits A+B; continue the primary search.
+                    sources, probs, eids = graph.in_edges(u)
+                    for idx in range(sources.size):
+                        w = int(sources[idx])
+                        if w in visited:
+                            continue
+                        if world.edge_live(int(eids[idx]), float(probs[idx])):
+                            visited.add(w)
+                            queue.append(w)
+                else:
+                    # Case 4: u blocks the wave unless seeding B at u
+                    # zig-zags through a suspended unlocker.
+                    if self._case4_zigzag(world, label, u):
+                        rr_set.add(u)
+            # Adopted / rejected / untouched nodes end the primary branch.
+        return np.fromiter(rr_set, dtype=np.int64, count=len(rr_set))

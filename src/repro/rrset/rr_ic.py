@@ -1,0 +1,47 @@
+"""RR-sets for the classic IC model (Borgs et al. [2], Tang et al. [24]).
+
+In an IC possible world (live-edge graph), the singleton ``{u}`` activates
+``v`` iff ``u`` can reach ``v`` via live edges; the RR-set of ``v`` is
+therefore the set of nodes that reach ``v``, found by a reverse BFS that
+flips each in-edge's coin lazily on first touch.  This generator powers the
+VanillaIC baseline of §7 (TIM under plain IC, ignoring the NLA).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.models.sources import WorldSource
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+
+
+class RRICGenerator(RRSetGenerator):
+    """Random RR-set sampler for single-item IC."""
+
+    def generate(
+        self, *, rng: SeedLike = None, root: Optional[int] = None, world=None
+    ) -> np.ndarray:
+        gen = make_rng(rng)
+        if root is None:
+            root = int(gen.integers(0, self._graph.num_nodes))
+        if world is None:
+            world = WorldSource(gen)
+        graph = self._graph
+        visited = {root}
+        queue: deque[int] = deque([root])
+        while queue:
+            u = queue.popleft()
+            sources, probs, eids = graph.in_edges(u)
+            for idx in range(sources.size):
+                w = int(sources[idx])
+                if w in visited:
+                    continue
+                if world.edge_live(int(eids[idx]), float(probs[idx])):
+                    visited.add(w)
+                    queue.append(w)
+        return np.fromiter(visited, dtype=np.int64, count=len(visited))

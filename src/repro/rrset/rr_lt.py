@@ -1,0 +1,84 @@
+"""RR-sets for the classic Linear Threshold model (Triggering view, [15, 24]).
+
+Kempe et al. prove LT equivalent to the Triggering model in which every
+node independently selects *at most one* in-neighbour — edge ``(u, v)``
+with probability ``w(u, v)``, nobody with the residual ``1 - sum_u w`` —
+and activation is reachability over selected edges.  A random RR-set of a
+root ``v`` is therefore a reverse *path*: follow ``v``'s selected
+in-neighbour, then its selection, and so on until a node selects nobody or
+the walk closes a cycle.  This is TIM's LT sampler [24]; plugged into
+:func:`~repro.rrset.tim.general_tim` / :func:`~repro.rrset.imm.general_imm`
+it yields a VanillaLT baseline, the LT counterpart of §7's VanillaIC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.models.lt import _check_lt_instance
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+
+
+class RRLTGenerator(RRSetGenerator):
+    """Random RR-set sampler for single-item LT.
+
+    Edge probabilities are LT weights; per-node incoming sums must not
+    exceed 1 (:func:`~repro.models.lt.normalize_lt_weights`).
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        _check_lt_instance(graph)
+
+    def generate(
+        self, *, rng: SeedLike = None, root: Optional[int] = None
+    ) -> np.ndarray:
+        gen = make_rng(rng)
+        graph = self._graph
+        if root is None:
+            root = int(gen.integers(0, graph.num_nodes))
+        visited = {int(root)}
+        chain = [int(root)]
+        current = int(root)
+        while True:
+            sources, weights, _eids = graph.in_edges(current)
+            if sources.size == 0:
+                break
+            draw = float(gen.random())
+            cumulative = np.cumsum(weights)
+            idx = int(np.searchsorted(cumulative, draw, side="right"))
+            if idx >= sources.size:
+                break  # the residual mass: nobody triggers `current`
+            selected = int(sources[idx])
+            if selected in visited:
+                break  # cycle closed; reachability gains nothing new
+            visited.add(selected)
+            chain.append(selected)
+            current = selected
+        return np.asarray(chain, dtype=np.int64)
+
+
+def vanilla_lt_seeds(
+    graph: DiGraph,
+    k: int,
+    *,
+    options=None,
+    rng: SeedLike = None,
+) -> list[int]:
+    """VanillaLT: TIM seed selection under classic LT (rank order).
+
+    The LT sibling of
+    :func:`~repro.algorithms.baselines.vanilla_ic_seeds`.
+    """
+    from repro.rrset.tim import TIMOptions, general_tim
+
+    result = general_tim(
+        RRLTGenerator(graph), k,
+        options=options if options is not None else TIMOptions(),
+        rng=rng,
+    )
+    return result.seeds

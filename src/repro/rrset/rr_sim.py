@@ -1,0 +1,141 @@
+"""RR-SIM: RR-set generation for SelfInfMax (paper Algorithm 2, §6.2.1).
+
+Valid regime (Theorem 7): one-way complementarity — B complements A
+(``q_{A|∅} <= q_{A|B}``) while A is indifferent to B
+(``q_{B|∅} = q_{B|A}``), so B's diffusion is independent of A-seeds
+(Lemma 3) and can be resolved *before* reasoning about A.
+
+Three phases over one lazily-sampled world:
+
+* **Phase I** (implicit) — world variables materialise on demand through a
+  shared :class:`~repro.models.sources.WorldSource`.
+* **Phase II** — forward labeling from the fixed B-seed set: a node is
+  B-adopted iff it is a B-seed or reachable from one via live edges through
+  nodes with ``alpha_B < q_{B|∅}``.
+* **Phase III** — backward BFS from the root: a dequeued node joins the
+  RR-set; its in-neighbours are explored only if the node could itself
+  adopt A upon being informed (``alpha_A < q_{A|B}`` if B-adopted, else
+  ``alpha_A < q_{A|∅}``) — otherwise it could only be A-adopted as a seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import RegimeError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.sources import ITEM_A, ITEM_B, WorldSource
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+
+
+def check_rr_sim_regime(gaps: GAP) -> None:
+    """Raise :class:`RegimeError` unless Theorem 7's conditions hold."""
+    if not gaps.is_one_way_complementarity_for_a:
+        raise RegimeError(
+            "RR-SIM requires one-way complementarity: q_{A|∅} <= q_{A|B} and "
+            f"q_{{B|∅}} = q_{{B|A}}; got {gaps}"
+        )
+
+
+def forward_label_b_adopted(
+    graph: DiGraph,
+    world: WorldSource,
+    q_b: float,
+    seeds_b: Iterable[int],
+) -> set[int]:
+    """Phase-II forward labeling: the B-adopted set in this world.
+
+    Seeds adopt unconditionally; other nodes need a live-edge path of
+    B-adopted nodes and ``alpha_B < q_{B|∅}``.
+    """
+    b_adopted: set[int] = set()
+    queue: deque[int] = deque()
+    for s in seeds_b:
+        s = int(s)
+        if s not in b_adopted:
+            b_adopted.add(s)
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        targets, probs, eids = graph.out_edges(u)
+        for idx in range(targets.size):
+            v = int(targets[idx])
+            if v in b_adopted:
+                continue
+            if not world.edge_live(int(eids[idx]), float(probs[idx])):
+                continue
+            if world.alpha(v, ITEM_B) < q_b:
+                b_adopted.add(v)
+                queue.append(v)
+    return b_adopted
+
+
+def backward_search_a(
+    graph: DiGraph,
+    world: WorldSource,
+    gaps: GAP,
+    root: int,
+    b_adopted: set[int],
+) -> np.ndarray:
+    """Phase-III backward BFS producing the RR-set of ``root``."""
+    rr_set: list[int] = []
+    visited = {root}
+    queue: deque[int] = deque([root])
+    while queue:
+        u = queue.popleft()
+        rr_set.append(u)
+        threshold = gaps.q_a_given_b if u in b_adopted else gaps.q_a
+        if world.alpha(u, ITEM_A) >= threshold:
+            # u can only be A-adopted as a seed; don't explore beyond it.
+            continue
+        sources, probs, eids = graph.in_edges(u)
+        for idx in range(sources.size):
+            w = int(sources[idx])
+            if w in visited:
+                continue
+            if world.edge_live(int(eids[idx]), float(probs[idx])):
+                visited.add(w)
+                queue.append(w)
+    return np.asarray(rr_set, dtype=np.int64)
+
+
+class RRSimGenerator(RRSetGenerator):
+    """Random RR-set sampler for SelfInfMax (Algorithm 2)."""
+
+    def __init__(self, graph: DiGraph, gaps: GAP, seeds_b: Iterable[int]) -> None:
+        super().__init__(graph)
+        check_rr_sim_regime(gaps)
+        self._gaps = gaps
+        self._seeds_b = [int(s) for s in seeds_b]
+        for s in self._seeds_b:
+            if not 0 <= s < graph.num_nodes:
+                raise RegimeError(f"B-seed {s} out of range")
+
+    @property
+    def gaps(self) -> GAP:
+        """The GAP configuration (one-way complementarity)."""
+        return self._gaps
+
+    @property
+    def seeds_b(self) -> list[int]:
+        """The fixed B-seed set."""
+        return list(self._seeds_b)
+
+    def generate(
+        self, *, rng: SeedLike = None, root: Optional[int] = None, world=None
+    ) -> np.ndarray:
+        """``world`` injects a fixed possible world (tests/ablations)."""
+        gen = make_rng(rng)
+        if root is None:
+            root = int(gen.integers(0, self._graph.num_nodes))
+        if world is None:
+            world = WorldSource(gen)
+        b_adopted = forward_label_b_adopted(
+            self._graph, world, self._gaps.q_b, self._seeds_b
+        )
+        return backward_search_a(self._graph, world, self._gaps, root, b_adopted)

@@ -1,0 +1,123 @@
+"""RR-SIM under product-dependent edge probabilities (§8 extension).
+
+The paper's closing extension gives every edge two independent liveness
+coins — ``p_A(u, v)`` for A-informs and ``p_B(u, v)`` for B-informs
+(:mod:`repro.models.product_edges`).  Theorem 7's argument survives
+unchanged in the one-way-complementarity regime: B's diffusion is still
+independent of A-seeds (Lemma 3 never touches edge coins), so
+
+* Phase II forward-labels the B-adopted set over *B-live* edges, and
+* Phase III runs the backward A-search over *A-live* edges,
+
+with the two liveness families sampled independently.  The generator
+shares the ``(2e, 2e + 1)`` inner-edge-id convention of
+:class:`~repro.models.product_edges.ProductDependentSource`, so a fixed
+:class:`~repro.models.sources.WorldSource` drives the forward simulator
+and this sampler identically — which is how the tests check activation
+equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import RegimeError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.product_edges import check_shared_topology
+from repro.models.sources import ITEM_A, ITEM_B, WorldSource
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+from repro.rrset.rr_sim import check_rr_sim_regime
+
+
+class RRSimProductGenerator(RRSetGenerator):
+    """RR-SIM sampler for the product-dependent-edges model.
+
+    ``graph_a`` / ``graph_b`` carry ``p_A`` / ``p_B`` on a shared
+    topology; GAPs must satisfy Theorem 7's one-way complementarity.
+    """
+
+    def __init__(
+        self,
+        graph_a: DiGraph,
+        graph_b: DiGraph,
+        gaps: GAP,
+        seeds_b: Iterable[int],
+    ) -> None:
+        super().__init__(graph_a)
+        check_shared_topology(graph_a, graph_b)
+        check_rr_sim_regime(gaps)
+        self._graph_b = graph_b
+        self._gaps = gaps
+        self._seeds_b = [int(s) for s in seeds_b]
+        for s in self._seeds_b:
+            if not 0 <= s < graph_a.num_nodes:
+                raise RegimeError(f"B-seed {s} out of range")
+
+    @property
+    def graph_b(self) -> DiGraph:
+        """The B-probability view of the shared topology."""
+        return self._graph_b
+
+    def _forward_label_b(self, world: WorldSource) -> set[int]:
+        """B-adopted set over B-live edges (inner edge ids ``2e + 1``)."""
+        q_b = self._gaps.q_b
+        b_adopted: set[int] = set()
+        queue: deque[int] = deque()
+        for s in self._seeds_b:
+            if s not in b_adopted:
+                b_adopted.add(s)
+                queue.append(s)
+        while queue:
+            u = queue.popleft()
+            targets, probs, eids = self._graph_b.out_edges(u)
+            for idx in range(targets.size):
+                v = int(targets[idx])
+                if v in b_adopted:
+                    continue
+                if not world.edge_live(2 * int(eids[idx]) + 1, float(probs[idx])):
+                    continue
+                if world.alpha(v, ITEM_B) < q_b:
+                    b_adopted.add(v)
+                    queue.append(v)
+        return b_adopted
+
+    def _backward_search_a(
+        self, world: WorldSource, root: int, b_adopted: set[int]
+    ) -> np.ndarray:
+        """Backward A-search over A-live edges (inner edge ids ``2e``)."""
+        gaps = self._gaps
+        rr_set: list[int] = []
+        visited = {root}
+        queue: deque[int] = deque([root])
+        while queue:
+            u = queue.popleft()
+            rr_set.append(u)
+            threshold = gaps.q_a_given_b if u in b_adopted else gaps.q_a
+            if world.alpha(u, ITEM_A) >= threshold:
+                continue
+            sources, probs, eids = self._graph.in_edges(u)
+            for idx in range(sources.size):
+                w = int(sources[idx])
+                if w in visited:
+                    continue
+                if world.edge_live(2 * int(eids[idx]), float(probs[idx])):
+                    visited.add(w)
+                    queue.append(w)
+        return np.asarray(rr_set, dtype=np.int64)
+
+    def generate(
+        self, *, rng: SeedLike = None, root: Optional[int] = None, world=None
+    ) -> np.ndarray:
+        """``world`` injects a fixed possible world (tests/ablations)."""
+        gen = make_rng(rng)
+        if root is None:
+            root = int(gen.integers(0, self._graph.num_nodes))
+        if world is None:
+            world = WorldSource(gen)
+        b_adopted = self._forward_label_b(world)
+        return self._backward_search_a(world, root, b_adopted)

@@ -1,0 +1,101 @@
+"""Tests for the §7 baseline heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SeedSetError
+from repro.graph import DiGraph, cycle_digraph, path_digraph, star_digraph
+from repro.algorithms import (
+    copying_seeds,
+    high_degree_seeds,
+    pagerank_scores,
+    pagerank_seeds,
+    random_seeds,
+    vanilla_ic_seeds,
+)
+from repro.rrset import TIMOptions
+
+
+class TestHighDegree:
+    def test_star_center_first(self):
+        assert high_degree_seeds(star_digraph(10), 1) == [0]
+
+    def test_respects_exclusion(self):
+        assert high_degree_seeds(star_digraph(10), 1, exclude=[0]) == [1]
+
+    def test_deterministic_tie_break_by_id(self):
+        g = cycle_digraph(5)  # all degrees equal
+        assert high_degree_seeds(g, 3) == [0, 1, 2]
+
+    def test_k_too_large(self):
+        with pytest.raises(SeedSetError):
+            high_degree_seeds(path_digraph(3), 4)
+
+    def test_negative_k(self):
+        with pytest.raises(SeedSetError):
+            high_degree_seeds(path_digraph(3), -1)
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        scores = pagerank_scores(star_digraph(10))
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_sink_of_star_scores_higher_than_leaves(self):
+        # Inward star: centre receives all mass.
+        g = star_digraph(10, outward=False)
+        scores = pagerank_scores(g)
+        assert scores[0] == scores.max()
+
+    def test_symmetric_cycle_uniform(self):
+        scores = pagerank_scores(cycle_digraph(6))
+        np.testing.assert_allclose(scores, 1.0 / 6.0, atol=1e-9)
+
+    def test_empty_graph(self):
+        assert pagerank_scores(DiGraph.from_edges(0, [])).size == 0
+
+    def test_seeds_ranked_by_score(self):
+        g = star_digraph(6, outward=False)
+        assert pagerank_seeds(g, 1) == [0]
+        assert 0 not in pagerank_seeds(g, 2, exclude=[0])
+
+
+class TestRandom:
+    def test_distinct_and_in_range(self):
+        seeds = random_seeds(path_digraph(20), 5, rng=0)
+        assert len(set(seeds)) == 5
+        assert all(0 <= v < 20 for v in seeds)
+
+    def test_deterministic_with_seed(self):
+        a = random_seeds(path_digraph(20), 5, rng=3)
+        b = random_seeds(path_digraph(20), 5, rng=3)
+        assert a == b
+
+    def test_exclusion(self):
+        seeds = random_seeds(path_digraph(5), 3, rng=0, exclude=[0, 1])
+        assert not {0, 1} & set(seeds)
+
+
+class TestCopying:
+    def test_takes_prefix(self):
+        g = path_digraph(10)
+        assert copying_seeds(g, 2, [7, 3, 5]) == [7, 3]
+
+    def test_pads_with_random_when_short(self):
+        g = path_digraph(10)
+        seeds = copying_seeds(g, 4, [7, 3], rng=0)
+        assert seeds[:2] == [7, 3]
+        assert len(set(seeds)) == 4
+
+    def test_negative_k(self):
+        with pytest.raises(SeedSetError):
+            copying_seeds(path_digraph(3), -1, [0])
+
+
+class TestVanillaIC:
+    def test_star_center_first(self):
+        seeds = vanilla_ic_seeds(
+            star_digraph(20), 2,
+            options=TIMOptions(theta_override=300), rng=0,
+        )
+        assert seeds[0] == 0

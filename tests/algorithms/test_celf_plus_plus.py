@@ -1,0 +1,93 @@
+"""Tests for CELF++: pick-equivalence with CELF and re-evaluation savings."""
+
+import pytest
+
+from repro.errors import SeedSetError
+from repro.algorithms import celf_greedy, celf_plus_plus_greedy
+
+
+def coverage_objective(sets):
+    """A deterministic, submodular max-coverage objective."""
+
+    def objective(seed_list):
+        covered = set()
+        for s in seed_list:
+            covered |= sets[s]
+        return float(len(covered))
+
+    return objective
+
+
+FIXTURE_SETS = {
+    0: set(range(10)),
+    1: set(range(5, 14)),
+    2: {20, 21, 22},
+    3: {0, 1, 20},
+    4: {30},
+    5: set(range(8, 18)),
+    6: {40, 41},
+    7: {5, 6, 7, 40},
+}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_matches_celf_objective_value(self, k):
+        objective = coverage_objective(FIXTURE_SETS)
+        base, base_trace = celf_greedy(FIXTURE_SETS, k, objective)
+        plus, plus_trace, _ = celf_plus_plus_greedy(FIXTURE_SETS, k, objective)
+        # Greedy tie-breaking may differ, but every prefix value must match.
+        assert plus_trace == pytest.approx(base_trace)
+        assert objective(plus) == objective(base)
+
+    def test_trace_is_non_decreasing(self):
+        objective = coverage_objective(FIXTURE_SETS)
+        _seeds, trace, _ = celf_plus_plus_greedy(FIXTURE_SETS, 6, objective)
+        assert all(trace[i + 1] >= trace[i] for i in range(len(trace) - 1))
+
+    def test_validation(self):
+        objective = coverage_objective(FIXTURE_SETS)
+        with pytest.raises(SeedSetError):
+            celf_plus_plus_greedy(FIXTURE_SETS, -1, objective)
+        with pytest.raises(SeedSetError):
+            celf_plus_plus_greedy([0, 1], 3, objective)
+
+    def test_k_zero(self):
+        objective = coverage_objective(FIXTURE_SETS)
+        seeds, trace, evals = celf_plus_plus_greedy(FIXTURE_SETS, 0, objective)
+        assert seeds == [] and trace == [] and evals == 0
+
+
+class TestSavings:
+    def test_fewer_or_equal_re_evaluations_than_celf(self):
+        objective = coverage_objective(FIXTURE_SETS)
+        celf_re_evals = 0
+
+        def counting(seed_list):
+            nonlocal celf_re_evals
+            if len(seed_list) > 1:  # re-evaluation (not the init scan)
+                celf_re_evals += 1
+            return objective(seed_list)
+
+        celf_greedy(FIXTURE_SETS, 5, counting)
+        _seeds, _trace, plus_re_evals = celf_plus_plus_greedy(
+            FIXTURE_SETS, 5, objective
+        )
+        assert plus_re_evals <= celf_re_evals
+
+    def test_joint_objective_used(self):
+        calls = {"joint": 0}
+        objective = coverage_objective(FIXTURE_SETS)
+
+        def joint(seed_list, u, w):
+            calls["joint"] += 1
+            return (
+                objective(list(seed_list) + [u]),
+                objective(list(seed_list) + [w, u]),
+            )
+
+        seeds, _trace, _ = celf_plus_plus_greedy(
+            FIXTURE_SETS, 4, objective, joint_objective=joint
+        )
+        assert calls["joint"] > 0
+        assert len(seeds) == 4

@@ -1,0 +1,102 @@
+"""Tests for per-node adoption probabilities and adoption timelines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    adoption_probabilities,
+    adoption_timeline,
+)
+from repro.graph import DiGraph, path_digraph, star_digraph
+from repro.models import GAP
+
+
+@pytest.fixture(scope="module")
+def line() -> DiGraph:
+    return path_digraph(4, probability=1.0)
+
+
+class TestAdoptionProbabilities:
+    def test_seeds_always_adopt(self, line):
+        result = adoption_probabilities(
+            line, GAP.classic_ic(), [0], [], runs=50, rng=1
+        )
+        assert result.prob_a[0] == 1.0
+
+    def test_deterministic_chain_all_adopt(self, line):
+        result = adoption_probabilities(
+            line, GAP.classic_ic(), [0], [], runs=50, rng=2
+        )
+        assert np.allclose(result.prob_a, 1.0)
+        assert np.allclose(result.prob_b, 0.0)
+
+    def test_probability_matches_edge_probability(self):
+        graph = path_digraph(2, probability=0.3)
+        result = adoption_probabilities(
+            graph, GAP.classic_ic(), [0], [], runs=4000, rng=3
+        )
+        assert result.prob_a[1] == pytest.approx(0.3, abs=0.03)
+
+    def test_complementary_boost_visible_per_node(self):
+        graph = path_digraph(2, probability=1.0)
+        gaps = GAP(q_a=0.2, q_a_given_b=0.9, q_b=1.0, q_b_given_a=1.0)
+        alone = adoption_probabilities(graph, gaps, [0], [], runs=2500, rng=4)
+        helped = adoption_probabilities(graph, gaps, [0], [0], runs=2500, rng=4)
+        assert alone.prob_a[1] == pytest.approx(0.2, abs=0.04)
+        assert helped.prob_a[1] == pytest.approx(0.9, abs=0.04)
+
+    def test_stderr_zero_for_certain_events(self, line):
+        result = adoption_probabilities(
+            line, GAP.classic_ic(), [0], [], runs=20, rng=5
+        )
+        assert np.allclose(result.stderr_a(), 0.0)
+
+    def test_top_adopters_ranks_seeds_first(self):
+        graph = star_digraph(6, probability=0.4)
+        result = adoption_probabilities(
+            graph, GAP.classic_ic(), [0], [], runs=300, rng=6
+        )
+        assert result.top_adopters(1) == [0]
+        with pytest.raises(ValueError):
+            result.top_adopters(2, item="x")
+
+    def test_runs_validated(self, line):
+        with pytest.raises(ValueError):
+            adoption_probabilities(line, GAP.classic_ic(), [0], [], runs=0)
+
+
+class TestAdoptionTimeline:
+    def test_deterministic_chain_profile(self, line):
+        timeline = adoption_timeline(
+            line, GAP.classic_ic(), [0], [], runs=20, rng=7
+        )
+        assert timeline.horizon == 4
+        assert np.allclose(timeline.new_a, [1.0, 1.0, 1.0, 1.0])
+        assert np.allclose(timeline.cumulative_a(), [1.0, 2.0, 3.0, 4.0])
+
+    def test_star_peaks_at_step_one(self):
+        graph = star_digraph(30, probability=1.0)
+        timeline = adoption_timeline(
+            graph, GAP.classic_ic(), [0], [], runs=10, rng=8
+        )
+        assert timeline.peak_step() == 1
+        assert timeline.new_a[1] == pytest.approx(29.0)
+
+    def test_b_timeline_tracks_b_seeds(self, line):
+        gaps = GAP.independent(q_a=1.0, q_b=1.0)
+        timeline = adoption_timeline(line, gaps, [], [0], runs=20, rng=9)
+        assert np.allclose(timeline.new_b, [1.0, 1.0, 1.0, 1.0])
+        assert np.allclose(timeline.new_a, 0.0)
+
+    def test_no_adoptions_single_step_horizon(self):
+        graph = DiGraph.from_edges(3, [])
+        timeline = adoption_timeline(
+            graph, GAP.classic_ic(), [], [], runs=5, rng=10
+        )
+        assert timeline.horizon == 1
+        assert timeline.peak_step() == 0
+
+    def test_item_validated(self, line):
+        timeline = adoption_timeline(line, GAP.classic_ic(), [0], [], runs=5, rng=11)
+        with pytest.raises(ValueError):
+            timeline.peak_step(item="q")

@@ -1,0 +1,72 @@
+"""Tests for joint-state census and cascade-depth analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cascade_depth,
+    joint_state_census,
+    unreachable_state_violations,
+)
+from repro.graph import path_digraph, star_digraph
+from repro.models import GAP, ItemState, simulate
+
+
+class TestJointStateCensus:
+    def test_counts_sum_to_n(self):
+        graph = star_digraph(20, probability=0.5)
+        gaps = GAP(q_a=0.5, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.8)
+        outcome = simulate(graph, gaps, [0], [1], rng=1)
+        census = joint_state_census(outcome)
+        assert sum(census.values()) == 20
+        assert len(census) == 16  # all combinations keyed
+
+    def test_deterministic_chain_census(self):
+        graph = path_digraph(3, probability=1.0)
+        outcome = simulate(graph, GAP.classic_ic(), [0], [], rng=2)
+        census = joint_state_census(outcome)
+        assert census[(ItemState.ADOPTED, ItemState.IDLE)] == 3
+
+    def test_isolated_nodes_stay_idle(self):
+        graph = path_digraph(2, probability=0.0)
+        outcome = simulate(graph, GAP.classic_ic(), [0], [], rng=3)
+        census = joint_state_census(outcome)
+        assert census[(ItemState.IDLE, ItemState.IDLE)] == 1
+        assert census[(ItemState.ADOPTED, ItemState.IDLE)] == 1
+
+
+class TestUnreachableStates:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_no_violations_across_gap_regimes(self, seed):
+        graph = star_digraph(15, probability=0.6)
+        regimes = [
+            GAP(q_a=0.3, q_a_given_b=0.9, q_b=0.4, q_b_given_a=0.8),  # Q+
+            GAP(q_a=0.9, q_a_given_b=0.2, q_b=0.8, q_b_given_a=0.1),  # Q-
+            GAP(q_a=0.5, q_a_given_b=0.5, q_b=0.5, q_b_given_a=0.5),  # indiff
+        ]
+        gaps = regimes[seed % len(regimes)]
+        outcome = simulate(graph, gaps, [0, 1], [0, 2], rng=seed)
+        assert unreachable_state_violations(outcome) == {}
+
+
+class TestCascadeDepth:
+    def test_chain_depth(self):
+        graph = path_digraph(5, probability=1.0)
+        outcome = simulate(graph, GAP.classic_ic(), [0], [], rng=4)
+        assert cascade_depth(outcome) == 4
+
+    def test_no_adoption_is_minus_one(self):
+        graph = path_digraph(3, probability=1.0)
+        outcome = simulate(graph, GAP.classic_ic(), [0], [], rng=5)
+        assert cascade_depth(outcome, item="b") == -1
+
+    def test_seed_only_depth_zero(self):
+        graph = path_digraph(2, probability=0.0)
+        outcome = simulate(graph, GAP.classic_ic(), [0], [], rng=6)
+        assert cascade_depth(outcome) == 0
+
+    def test_item_validated(self):
+        graph = path_digraph(2)
+        outcome = simulate(graph, GAP.classic_ic(), [0], [], rng=7)
+        with pytest.raises(ValueError):
+            cascade_depth(outcome, item="z")

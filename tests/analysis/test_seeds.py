@@ -1,0 +1,95 @@
+"""Tests for seed-set comparison metrics and spread curves."""
+
+import pytest
+
+from repro.analysis import (
+    rank_weighted_overlap,
+    seed_jaccard,
+    spread_curve,
+)
+from repro.errors import SeedSetError
+from repro.graph import star_digraph
+from repro.models import GAP
+
+
+class TestSeedJaccard:
+    def test_identical(self):
+        assert seed_jaccard([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert seed_jaccard([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert seed_jaccard([1, 2], [2, 3]) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert seed_jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert seed_jaccard([1], []) == 0.0
+
+
+class TestRankWeightedOverlap:
+    def test_identical_rankings(self):
+        assert rank_weighted_overlap([4, 2, 9], [4, 2, 9]) == 1.0
+
+    def test_disjoint_rankings(self):
+        assert rank_weighted_overlap([1, 2], [3, 4]) == 0.0
+
+    def test_swap_costs_less_at_depth(self):
+        # Same set, swapped order: depth-1 prefix misses, depth-2 matches.
+        value = rank_weighted_overlap([1, 2], [2, 1])
+        assert value == pytest.approx((0.0 + 1.0) / 2)
+
+    def test_prefix_agreement_beats_suffix_agreement(self):
+        early = rank_weighted_overlap([1, 2, 3], [1, 9, 8])
+        late = rank_weighted_overlap([1, 2, 3], [8, 9, 3])
+        assert early > late
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SeedSetError):
+            rank_weighted_overlap([1, 1], [1, 2])
+
+    def test_empty_lists(self):
+        assert rank_weighted_overlap([], []) == 1.0
+        assert rank_weighted_overlap([1], []) == 0.0
+
+
+class TestSpreadCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        graph = star_digraph(25, probability=1.0)
+        gaps = GAP.classic_ic()
+        # Hub first, then two leaves.
+        return spread_curve(
+            graph, gaps, [0, 1, 2], [], budgets=[1, 2, 3], runs=30, rng=1
+        )
+
+    def test_budgets_and_lengths(self, curve):
+        assert curve.budgets == [1, 2, 3]
+        assert len(curve.spreads) == len(curve.stderrs) == 3
+
+    def test_deterministic_star_values(self, curve):
+        # Hub alone reaches all 25; leaves add nothing new.
+        assert curve.spreads[0] == pytest.approx(25.0)
+        assert curve.spreads[2] == pytest.approx(25.0)
+
+    def test_monotone(self, curve):
+        assert curve.is_monotone(slack=1e-9)
+
+    def test_as_rows(self, curve):
+        rows = curve.as_rows()
+        assert rows[0]["k"] == 1
+        assert rows[0]["spread"] == pytest.approx(25.0)
+
+    def test_duplicate_seeds_rejected(self):
+        graph = star_digraph(5)
+        with pytest.raises(SeedSetError):
+            spread_curve(graph, GAP.classic_ic(), [0, 0], [], runs=5)
+
+    def test_budget_out_of_range_rejected(self):
+        graph = star_digraph(5)
+        with pytest.raises(SeedSetError):
+            spread_curve(
+                graph, GAP.classic_ic(), [0, 1], [], budgets=[3], runs=5
+            )

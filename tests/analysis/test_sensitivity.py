@@ -1,0 +1,87 @@
+"""Tests for GAP sensitivity analysis (Theorem 10 as a measurement)."""
+
+import pytest
+
+from repro.analysis import (
+    GAP_PARAMETERS,
+    gap_sensitivity,
+    perturb_gap,
+)
+from repro.errors import GapError
+from repro.graph import path_digraph, star_digraph
+from repro.models import GAP
+
+Q_PLUS = GAP(q_a=0.3, q_a_given_b=0.7, q_b=0.4, q_b_given_a=0.8)
+
+
+class TestPerturbGap:
+    @pytest.mark.parametrize("parameter", GAP_PARAMETERS)
+    def test_shift_applied(self, parameter):
+        shifted = perturb_gap(Q_PLUS, parameter, 0.1)
+        assert getattr(shifted, parameter) == pytest.approx(
+            getattr(Q_PLUS, parameter) + 0.1
+        )
+
+    def test_clipping(self):
+        assert perturb_gap(Q_PLUS, "q_a", 5.0).q_a == 1.0
+        assert perturb_gap(Q_PLUS, "q_a", -5.0).q_a == 0.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(GapError, match="unknown GAP parameter"):
+            perturb_gap(Q_PLUS, "rho_a", 0.1)
+
+    def test_original_untouched(self):
+        perturb_gap(Q_PLUS, "q_b", 0.2)
+        assert Q_PLUS.q_b == 0.4
+
+
+class TestGapSensitivity:
+    def test_exact_monotone_on_single_edge(self):
+        """On edge 0 -> 1 with p = 1, the spread at q_a is exactly 1 + q_a."""
+        graph = path_digraph(2, probability=1.0)
+        result = gap_sensitivity(
+            graph, Q_PLUS, [0], [],
+            parameter="q_a", deltas=(-0.2, 0.0, 0.2), runs=2500, rng=1,
+        )
+        assert result.parameter == "q_a"
+        assert result.values == pytest.approx([0.1, 0.3, 0.5])
+        for value, spread in zip(result.values, result.spreads):
+            assert spread == pytest.approx(1.0 + value, abs=0.05)
+        assert result.is_monotone(slack=0.02)
+        assert result.all_in_q_plus
+
+    def test_q_plus_flag_false_when_sweep_leaves_region(self):
+        graph = path_digraph(2, probability=1.0)
+        result = gap_sensitivity(
+            graph, Q_PLUS, [0], [],
+            parameter="q_a", deltas=(0.0, 0.5), runs=20, rng=2,
+        )
+        # q_a = 0.8 > q_a_given_b = 0.7 leaves Q+.
+        assert not result.all_in_q_plus
+
+    def test_cross_parameter_boost_visible(self):
+        """Raising q_{B|∅} with complementary GAPs raises sigma_A."""
+        graph = star_digraph(40, probability=1.0)
+        gaps = GAP(q_a=0.2, q_a_given_b=0.9, q_b=0.3, q_b_given_a=0.9)
+        result = gap_sensitivity(
+            graph, gaps, [0], [0],
+            parameter="q_b", deltas=(-0.2, 0.0, 0.3), runs=500, rng=3,
+        )
+        assert result.spreads[-1] > result.spreads[0]
+        assert result.range_width() > 1.0
+
+    def test_rows_shape(self):
+        graph = path_digraph(2)
+        result = gap_sensitivity(
+            graph, Q_PLUS, [0], [], parameter="q_b", deltas=(0.0,), runs=10, rng=4
+        )
+        rows = result.as_rows()
+        assert len(rows) == 1
+        assert set(rows[0]) == {"value", "spread", "stderr"}
+
+    def test_deterministic(self):
+        graph = star_digraph(10, probability=0.5)
+        kwargs = dict(parameter="q_a", deltas=(0.0, 0.1), runs=50, rng=5)
+        first = gap_sensitivity(graph, Q_PLUS, [0], [1], **kwargs)
+        second = gap_sensitivity(graph, Q_PLUS, [0], [1], **kwargs)
+        assert first.spreads == second.spreads

@@ -1,0 +1,66 @@
+"""Tests for the synthetic dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.datasets import DATASET_NAMES, PAPER_DATASETS, load_dataset
+
+
+class TestLoadDataset:
+    def test_all_names_build(self):
+        for name in DATASET_NAMES:
+            graph = load_dataset(name, scale=0.01)
+            assert graph.num_nodes > 0
+            assert graph.num_edges > 0
+
+    def test_node_count_matches_scale(self):
+        graph = load_dataset("flixster", scale=0.05)
+        assert graph.num_nodes == round(12_900 * 0.05)
+
+    def test_average_degree_close_to_paper(self):
+        graph = load_dataset("flixster", scale=0.05, rng=0)
+        avg = graph.num_edges / graph.num_nodes
+        spec = PAPER_DATASETS["flixster"]
+        assert 0.6 * spec.avg_out_degree < avg < 1.4 * spec.avg_out_degree
+
+    def test_weighted_cascade_default(self):
+        graph = load_dataset("douban-book", scale=0.02, rng=0)
+        totals = np.zeros(graph.num_nodes)
+        np.add.at(totals, graph.edge_targets, graph.edge_probabilities)
+        incoming = totals[np.unique(graph.edge_targets)]
+        np.testing.assert_allclose(incoming, 1.0, atol=1e-9)
+
+    def test_trivalency_weighting(self):
+        graph = load_dataset("douban-book", scale=0.02, weighting="trivalency", rng=0)
+        assert set(np.round(graph.edge_probabilities, 6)) <= {0.1, 0.01, 0.001}
+
+    def test_constant_weighting(self):
+        graph = load_dataset(
+            "lastfm", scale=0.01, weighting="constant", constant=0.2, rng=0
+        )
+        assert np.allclose(graph.edge_probabilities, 0.2)
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("flixster", scale=0.02, rng=9)
+        b = load_dataset("flixster", scale=0.02, rng=9)
+        assert a == b
+
+    def test_datasets_use_distinct_streams(self):
+        a = load_dataset("flixster", scale=0.02, rng=9)
+        b = load_dataset("douban-book", scale=0.02, rng=9)
+        assert a.num_nodes != b.num_nodes or a.num_edges != b.num_edges
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            load_dataset("orkut")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ExperimentError, match="scale"):
+            load_dataset("flixster", scale=0.0)
+        with pytest.raises(ExperimentError, match="scale"):
+            load_dataset("flixster", scale=2.0)
+
+    def test_bad_weighting_rejected(self):
+        with pytest.raises(ExperimentError, match="weighting"):
+            load_dataset("flixster", weighting="exponential")

@@ -1,0 +1,50 @@
+"""Tests for the python -m repro.experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == 0.04
+        assert args.experiments == []
+
+    def test_experiment_selection(self):
+        args = build_parser().parse_args(["table1", "figure5"])
+        assert args.experiments == ["table1", "figure5"]
+
+    def test_all_runners_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "tables5to7", "table8",
+            "figure4", "figure5", "figure6", "figure7a", "figure7b", "figure8",
+            "engines", "heuristics", "sensitivity",
+        }
+        assert set(RUNNERS) == expected
+
+
+class TestMain:
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["tableX"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_invalid_configuration_rejected(self, capsys):
+        code = main(["table1", "--k", "0"])
+        assert code == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_table1_end_to_end(self, capsys, tmp_path):
+        out = tmp_path / "results.md"
+        code = main([
+            "table1",
+            "--scale", "0.01",
+            "--datasets", "flixster",
+            "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert out.exists()
+        assert "Table 1" in out.read_text()

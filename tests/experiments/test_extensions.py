@@ -1,0 +1,105 @@
+"""Tests for the extension experiment runners and the ASCII series renderer."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    extension_engine_comparison,
+    extension_gap_sensitivity,
+    extension_heuristic_comparison,
+    render_series,
+)
+from repro.experiments.__main__ import RUNNERS
+from repro.rrset import TIMOptions
+
+
+@pytest.fixture(scope="module")
+def tiny() -> ExperimentScale:
+    return ExperimentScale(
+        scale=0.012,
+        k=2,
+        opposite_size=4,
+        mid_rank_start=3,
+        mc_runs=40,
+        tim_options=TIMOptions(theta_override=400),
+        datasets=("flixster",),
+        seed=11,
+    )
+
+
+class TestEngineComparison:
+    def test_structure_and_quality_parity(self, tiny):
+        result = extension_engine_comparison(tiny)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["dataset"] == "flixster"
+        assert row["tim_rr_sets"] >= 1 and row["imm_rr_sets"] >= 1
+        # Equal-quality shape: the engines' spreads are within 25%.
+        assert row["imm_spread"] >= 0.75 * row["tim_spread"]
+
+    def test_deterministic(self, tiny):
+        first = extension_engine_comparison(tiny)
+        second = extension_engine_comparison(tiny)
+
+        def strip_times(rows):
+            return [
+                {k: v for k, v in row.items() if not k.endswith("_time_s")}
+                for row in rows
+            ]
+
+        assert strip_times(first.rows) == strip_times(second.rows)
+
+
+class TestHeuristicComparison:
+    def test_structure(self, tiny):
+        result = extension_heuristic_comparison(tiny)
+        row = result.rows[0]
+        for col in ("degree_discount", "single_discount", "high_degree"):
+            assert row[col] >= 0.0
+
+
+class TestGapSensitivityRunner:
+    def test_structure_and_q_plus(self, tiny):
+        result = extension_gap_sensitivity(tiny)
+        assert len(result.rows) == 4  # one row per GAP parameter
+        for row in result.rows:
+            assert row["in_q_plus"], row["parameter"]
+            assert row["range"] >= 0.0
+            # Theorem 10 within MC noise: allow a small dip.
+            assert row["spread_plus"] >= row["spread_minus"] - 2.0
+
+
+class TestCLIRegistration:
+    def test_extension_runners_registered(self):
+        assert "engines" in RUNNERS
+        assert "heuristics" in RUNNERS
+        assert "sensitivity" in RUNNERS
+
+
+class TestRenderSeries:
+    def test_contains_title_legend_and_bounds(self):
+        art = render_series(
+            [1, 2, 3], {"tim": [10, 20, 30], "imm": [12, 18, 33]},
+            title="engines", x_label="k",
+        )
+        assert "engines" in art
+        assert "* tim" in art and "o imm" in art
+        assert "33" in art  # y max annotated
+
+    def test_marker_positions_monotone_series(self):
+        art = render_series([0, 1], {"s": [0.0, 1.0]}, width=10, height=4)
+        rows = [line for line in art.splitlines() if line.startswith(" " * 11 + "|")]
+        assert rows[0].rstrip().endswith("*")   # max at top right
+        assert rows[-1][12] == "*"              # min at bottom left
+
+    def test_constant_series_handled(self):
+        art = render_series([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series([], {"s": []})
+        with pytest.raises(ValueError):
+            render_series([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            render_series([1], {"s": [1.0]}, width=4)

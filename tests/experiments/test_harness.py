@@ -1,0 +1,77 @@
+"""Tests for experiment harness plumbing and reporting."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentScale, TableResult, render_table, save_results, timed
+from repro.experiments.harness import percent_improvement
+
+
+class TestExperimentScale:
+    def test_defaults_valid(self):
+        scale = ExperimentScale()
+        assert scale.k >= 1
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(k=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(opposite_size=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(mc_runs=1)
+
+
+class TestTimed:
+    def test_returns_result_and_seconds(self):
+        result, seconds = timed(lambda: 42)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestPercentImprovement:
+    def test_basic(self):
+        assert percent_improvement(150.0, 100.0) == pytest.approx(50.0)
+        assert percent_improvement(80.0, 100.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert percent_improvement(0.0, 0.0) == 0.0
+        assert percent_improvement(5.0, 0.0) == float("inf")
+
+
+class TestReporting:
+    def sample(self) -> TableResult:
+        return TableResult(
+            title="Demo",
+            columns=["name", "value"],
+            rows=[{"name": "a", "value": 1.2345}, {"name": "b", "value": None}],
+            notes="a note",
+        )
+
+    def test_render_contains_cells(self):
+        text = render_table(self.sample())
+        assert "### Demo" in text
+        assert "| a" in text
+        assert "1.23" in text
+        assert "-" in text  # None cell
+        assert "_a note_" in text
+
+    def test_render_empty_rows(self):
+        text = render_table(TableResult(title="T", columns=["x"], rows=[]))
+        assert "| x" in text
+
+    def test_save_results(self, tmp_path):
+        path = tmp_path / "results.md"
+        save_results([self.sample(), self.sample()], path)
+        content = path.read_text()
+        assert content.count("### Demo") == 2
+
+    def test_column_accessor(self):
+        assert self.sample().column("value") == [1.2345, None]
+
+    def test_large_and_nan_formatting(self):
+        result = TableResult(
+            title="T", columns=["v"], rows=[{"v": 12345.6}, {"v": float("nan")}]
+        )
+        text = render_table(result)
+        assert "12346" in text
+        assert "nan" in text

@@ -1,0 +1,64 @@
+"""Tests for experiment presets and scale arithmetic."""
+
+import pytest
+
+from repro.experiments.harness import FULL_SCALE, ExperimentScale
+from repro.experiments.tables import (
+    CIM_SETTINGS,
+    PAPER_LEARNED_PAIRS,
+    SIM_SETTINGS,
+    SIM_STRESS,
+    CIM_STRESS,
+)
+from repro.experiments.figures import FIG8_CIM, FIG8_SIM
+
+
+class TestPresets:
+    def test_full_scale_covers_all_datasets(self):
+        assert set(FULL_SCALE.datasets) == {
+            "douban-book", "douban-movie", "flixster", "lastfm"
+        }
+
+    def test_full_scale_larger_than_default(self):
+        default = ExperimentScale()
+        assert FULL_SCALE.scale > default.scale
+        assert FULL_SCALE.k > default.k
+        assert FULL_SCALE.mc_runs > default.mc_runs
+
+
+class TestGapSettings:
+    def test_sim_settings_match_section_7_1(self):
+        assert set(SIM_SETTINGS) == {0.1, 0.3, 0.5}
+        for q_a, gaps in SIM_SETTINGS.items():
+            assert gaps.q_a == q_a
+            assert gaps.q_a_given_b == gaps.q_b_given_a == 0.75
+            assert gaps.q_b == 0.5
+            assert gaps.is_mutually_complementary
+
+    def test_cim_settings_match_section_7_1(self):
+        assert set(CIM_SETTINGS) == {0.1, 0.5, 0.8}
+        for q_b, gaps in CIM_SETTINGS.items():
+            assert gaps.q_b == q_b
+            assert gaps.q_a == 0.1
+            assert gaps.q_a_given_b == gaps.q_b_given_a == 0.9
+            assert gaps.is_mutually_complementary
+
+    def test_stress_settings_shapes(self):
+        for gaps in SIM_STRESS.values():
+            assert gaps.q_b_given_a == 1.0
+            assert (gaps.q_a, gaps.q_a_given_b) == (0.3, 0.8)
+        for gaps in CIM_STRESS.values():
+            assert gaps.q_b == 0.1
+        for gaps in FIG8_SIM.values():
+            assert gaps.q_b_given_a == 0.96
+        for gaps in FIG8_CIM.values():
+            assert gaps.q_b == 0.1
+
+    def test_learned_pairs_are_paper_values(self):
+        flixster = dict(
+            (a, gaps) for a, _b, gaps in PAPER_LEARNED_PAIRS["flixster"]
+        )
+        monster = flixster["Monster Inc."]
+        assert monster.as_tuple() == (0.88, 0.92, 0.92, 0.96)
+        assert len(PAPER_LEARNED_PAIRS) == 3
+        assert all(len(pairs) == 4 for pairs in PAPER_LEARNED_PAIRS.values())

@@ -1,0 +1,187 @@
+"""Unit tests for the CSR directed graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeProbabilityError, GraphError
+from repro.graph import DiGraph, induced_subgraph
+
+
+def triangle() -> DiGraph:
+    return DiGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.25), (2, 0, 1.0)])
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_from_edges_two_tuples_use_default_probability(self):
+        g = DiGraph.from_edges(2, [(0, 1)], default_probability=0.7)
+        assert g.edge_probability(0, 1) == pytest.approx(0.7)
+
+    def test_empty_graph(self):
+        g = DiGraph.from_edges(0, [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_isolated_nodes(self):
+        g = DiGraph.from_edges(5, [(0, 1, 1.0)])
+        assert g.num_nodes == 5
+        assert g.out_degree(4) == 0
+        assert g.in_degree(4) == 0
+
+    def test_rejects_out_of_range_nodes(self):
+        with pytest.raises(GraphError, match="endpoints"):
+            DiGraph.from_edges(2, [(0, 2, 1.0)])
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(GraphError, match="endpoints"):
+            DiGraph.from_edges(2, [(-1, 0, 1.0)])
+
+    def test_rejects_self_loops_by_default(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            DiGraph.from_edges(2, [(1, 1, 1.0)])
+
+    def test_allows_self_loops_when_asked(self):
+        g = DiGraph.from_edges(2, [(1, 1, 1.0)], allow_self_loops=True)
+        assert g.has_edge(1, 1)
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(GraphError, match="parallel"):
+            DiGraph.from_edges(3, [(0, 1, 0.5), (0, 1, 0.9)])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(EdgeProbabilityError):
+            DiGraph.from_edges(2, [(0, 1, 1.5)])
+        with pytest.raises(EdgeProbabilityError):
+            DiGraph.from_edges(2, [(0, 1, -0.1)])
+
+    def test_rejects_negative_node_count(self):
+        with pytest.raises(GraphError):
+            DiGraph.from_edges(-1, [])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(GraphError, match="identical shapes"):
+            DiGraph.from_arrays(
+                3,
+                np.array([0, 1]),
+                np.array([1]),
+                np.array([0.5, 0.5]),
+            )
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = triangle()
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 1
+        assert list(g.out_degrees) == [1, 1, 1]
+        assert list(g.in_degrees) == [1, 1, 1]
+
+    def test_neighbors(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (3, 0)])
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.in_neighbors(0).tolist() == [3]
+        assert g.out_neighbors(1).tolist() == []
+
+    def test_node_range_check(self):
+        g = triangle()
+        with pytest.raises(GraphError, match="out of range"):
+            g.out_neighbors(3)
+        with pytest.raises(GraphError, match="out of range"):
+            g.in_degree(-1)
+
+    def test_has_edge_and_probability(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.edge_probability(1, 2) == pytest.approx(0.25)
+        with pytest.raises(GraphError, match="does not exist"):
+            g.edge_probability(1, 0)
+
+    def test_edge_ids_consistent_between_views(self):
+        g = DiGraph.from_edges(4, [(0, 1, 0.1), (2, 1, 0.2), (3, 1, 0.3)])
+        _, in_probs, in_eids = g.in_edges(1)
+        for prob, eid in zip(in_probs, in_eids):
+            assert g.edge_probabilities[eid] == pytest.approx(prob)
+
+    def test_out_edges_returns_probs_and_ids(self):
+        g = triangle()
+        targets, probs, eids = g.out_edges(0)
+        assert targets.tolist() == [1]
+        assert probs.tolist() == [0.5]
+        assert g.edge_sources[eids[0]] == 0
+
+    def test_iter_edges_round_trip(self):
+        g = triangle()
+        edges = list(g.iter_edges())
+        g2 = DiGraph.from_edges(3, edges)
+        assert g == g2
+
+    def test_nodes_array(self):
+        assert triangle().nodes.tolist() == [0, 1, 2]
+
+    def test_csr_views_shapes(self):
+        g = triangle()
+        indptr, dst, prob, eid = g.csr_out()
+        assert indptr.shape == (4,)
+        assert dst.shape == prob.shape == eid.shape == (3,)
+        indptr_in, src, prob_in, eid_in = g.csr_in()
+        assert indptr_in.shape == (4,)
+        assert src.shape == (3,)
+
+
+class TestDerivedGraphs:
+    def test_with_probabilities(self):
+        g = triangle()
+        g2 = g.with_probabilities(np.array([0.9, 0.9, 0.9]))
+        assert g2.edge_probability(0, 1) == pytest.approx(0.9)
+        # Original untouched.
+        assert g.edge_probability(0, 1) == pytest.approx(0.5)
+
+    def test_with_probabilities_validates(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.with_probabilities(np.array([0.9, 0.9]))
+        with pytest.raises(EdgeProbabilityError):
+            g.with_probabilities(np.array([0.9, 0.9, 1.1]))
+
+    def test_reverse(self):
+        g = triangle()
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.edge_probability(1, 0) == pytest.approx(0.5)
+        assert r.reverse() == g
+
+    def test_equality(self):
+        assert triangle() == triangle()
+        assert triangle() != DiGraph.from_edges(3, [(0, 1, 0.5)])
+        assert triangle() != "not a graph"
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        g = DiGraph.from_edges(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7)])
+        sub, old_ids = induced_subgraph(g, [1, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert old_ids.tolist() == [1, 2]
+        assert sub.edge_probability(0, 1) == pytest.approx(0.6)
+
+    def test_relabels_in_given_order(self):
+        g = DiGraph.from_edges(3, [(0, 1, 0.5)])
+        sub, old_ids = induced_subgraph(g, [1, 0])
+        assert old_ids.tolist() == [1, 0]
+        assert sub.has_edge(1, 0)
+
+    def test_rejects_duplicates(self):
+        g = triangle()
+        with pytest.raises(GraphError, match="distinct"):
+            induced_subgraph(g, [0, 0])
+
+    def test_rejects_out_of_range(self):
+        g = triangle()
+        with pytest.raises(GraphError, match="out of range"):
+            induced_subgraph(g, [0, 5])

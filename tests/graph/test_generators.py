@@ -1,0 +1,128 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    complete_digraph,
+    cycle_digraph,
+    erdos_renyi_digraph,
+    grid_digraph,
+    path_digraph,
+    power_law_digraph,
+    star_digraph,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_concentrates(self):
+        g = erdos_renyi_digraph(100, 0.05, rng=0)
+        expected = 100 * 99 * 0.05
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_digraph(50, 0.2, rng=1)
+        assert not np.any(g.edge_sources == g.edge_targets)
+
+    def test_deterministic_with_seed(self):
+        assert erdos_renyi_digraph(40, 0.1, rng=7) == erdos_renyi_digraph(40, 0.1, rng=7)
+
+    def test_zero_probability(self):
+        assert erdos_renyi_digraph(10, 0.0, rng=0).num_edges == 0
+
+    def test_one_probability_is_complete(self):
+        g = erdos_renyi_digraph(6, 1.0, rng=0)
+        assert g.num_edges == 6 * 5
+
+    def test_influence_probability_stamped(self):
+        g = erdos_renyi_digraph(10, 0.5, probability=0.123, rng=0)
+        assert np.allclose(g.edge_probabilities, 0.123)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_digraph(-1, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi_digraph(10, 1.5)
+
+
+class TestPowerLaw:
+    def test_average_degree_close_to_target(self):
+        g = power_law_digraph(2000, average_degree=5.0, rng=0)
+        avg = g.num_edges / g.num_nodes
+        assert 3.5 < avg < 6.5
+
+    def test_has_heavy_tail(self):
+        g = power_law_digraph(2000, average_degree=5.0, rng=0)
+        assert int(g.out_degrees.max()) > 5 * g.out_degrees.mean()
+
+    def test_deterministic_with_seed(self):
+        assert power_law_digraph(100, rng=3) == power_law_digraph(100, rng=3)
+
+    def test_no_self_loops_or_parallels(self):
+        # from_arrays would raise on either; construction succeeding is the check.
+        g = power_law_digraph(200, rng=5)
+        assert not np.any(g.edge_sources == g.edge_targets)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(GraphError):
+            power_law_digraph(1)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_digraph(10, exponent=0.9)
+
+
+class TestFixtures:
+    def test_path(self):
+        g = path_digraph(4)
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+        assert not g.has_edge(1, 0)
+
+    def test_bidirectional_path(self):
+        g = path_digraph(3, bidirectional=True)
+        assert g.num_edges == 4
+        assert g.has_edge(1, 0)
+
+    def test_single_node_path(self):
+        assert path_digraph(1).num_edges == 0
+
+    def test_cycle(self):
+        g = cycle_digraph(3)
+        assert g.num_edges == 3
+        assert g.has_edge(2, 0)
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(GraphError):
+            cycle_digraph(1)
+
+    def test_star_outward(self):
+        g = star_digraph(5)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = star_digraph(5, outward=False)
+        assert g.in_degree(0) == 4
+        assert g.out_degree(0) == 0
+
+    def test_complete(self):
+        g = complete_digraph(4)
+        assert g.num_edges == 12
+
+    def test_grid(self):
+        g = grid_digraph(2, 3)
+        assert g.num_nodes == 6
+        # Each internal adjacency is bidirectional: 2*(rows*(cols-1) + (rows-1)*cols).
+        assert g.num_edges == 2 * (2 * 2 + 1 * 3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(0, 3) and g.has_edge(3, 0)
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_digraph(0, 3)
+
+    def test_probability_parameter(self):
+        g = path_digraph(3, probability=0.4)
+        assert g.edge_probability(0, 1) == pytest.approx(0.4)

@@ -1,0 +1,69 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, load_edge_list, save_edge_list
+
+
+def sample() -> DiGraph:
+    return DiGraph.from_edges(4, [(0, 1, 0.5), (1, 2, 0.125), (3, 0, 1.0)])
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "g.txt"
+        g = sample()
+        save_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    def test_round_trip_preserves_isolated_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        g = DiGraph.from_edges(10, [(0, 1, 0.5)])
+        save_edge_list(g, path)
+        assert load_edge_list(path).num_nodes == 10
+
+    def test_comment_written_and_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(sample(), path, comment="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+        assert load_edge_list(path) == sample()
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "g.txt"
+        g = DiGraph.from_edges(0, [])
+        save_edge_list(g, path)
+        assert load_edge_list(path).num_nodes == 0
+
+
+class TestLoadErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(GraphError, match="no header"):
+            load_edge_list(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3\n")
+        with pytest.raises(GraphError, match="header"):
+            load_edge_list(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 2\n0 1 0.5\n")
+        with pytest.raises(GraphError, match="declared 2 edges"):
+            load_edge_list(path)
+
+    def test_malformed_edge_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 1\n0 1 0.5 9 9\n")
+        with pytest.raises(GraphError, match="malformed"):
+            load_edge_list(path)
+
+    def test_probability_defaults_to_one(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("2 1\n0 1\n")
+        g = load_edge_list(path)
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Unit tests for graph statistics and reachability."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    cycle_digraph,
+    graph_stats,
+    largest_scc,
+    path_digraph,
+    reachable_from,
+    star_digraph,
+    strongly_connected_components,
+)
+
+
+class TestGraphStats:
+    def test_table1_columns(self):
+        g = star_digraph(5)  # center 0 -> 4 leaves
+        stats = graph_stats(g)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 4
+        assert stats.avg_out_degree == pytest.approx(0.8)
+        assert stats.max_out_degree == 4
+        assert stats.max_in_degree == 1
+
+    def test_empty_graph(self):
+        stats = graph_stats(DiGraph.from_edges(0, []))
+        assert stats.num_nodes == 0
+        assert stats.avg_out_degree == 0.0
+
+    def test_as_row(self):
+        row = graph_stats(star_digraph(5)).as_row()
+        assert row["nodes"] == 5
+        assert row["max_out_degree"] == 4
+
+
+class TestReachability:
+    def test_path(self):
+        g = path_digraph(5)
+        assert reachable_from(g, [2]).tolist() == [2, 3, 4]
+
+    def test_multiple_sources(self):
+        g = path_digraph(5)
+        assert reachable_from(g, [0, 3]).tolist() == [0, 1, 2, 3, 4]
+
+    def test_includes_sources_only_for_isolated(self):
+        g = DiGraph.from_edges(3, [])
+        assert reachable_from(g, [1]).tolist() == [1]
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            reachable_from(path_digraph(3), [5])
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        comps = strongly_connected_components(cycle_digraph(4))
+        assert len(comps) == 1
+        assert comps[0].tolist() == [0, 1, 2, 3]
+
+    def test_path_is_singletons(self):
+        comps = strongly_connected_components(path_digraph(4))
+        assert len(comps) == 4
+        assert sorted(c.tolist()[0] for c in comps) == [0, 1, 2, 3]
+
+    def test_two_cycles_with_bridge(self):
+        # 0<->1 cycle, 2<->3 cycle, bridge 1->2.
+        g = DiGraph.from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+        comps = strongly_connected_components(g)
+        sets = sorted(tuple(c.tolist()) for c in comps)
+        assert sets == [(0, 1), (2, 3)]
+
+    def test_reverse_topological_order(self):
+        # Tarjan emits sinks first: component {2,3} is downstream of {0,1}.
+        g = DiGraph.from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)])
+        comps = strongly_connected_components(g)
+        assert comps[0].tolist() == [2, 3]
+
+    def test_largest_scc(self):
+        g = DiGraph.from_edges(
+            5, [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2)]
+        )
+        sub, old_ids = largest_scc(g)
+        assert sub.num_nodes == 3
+        assert sorted(old_ids.tolist()) == [2, 3, 4]
+        assert sub.num_edges == 3
+
+    def test_empty_graph(self):
+        g = DiGraph.from_edges(0, [])
+        assert strongly_connected_components(g) == []
+        sub, ids = largest_scc(g)
+        assert sub.num_nodes == 0

@@ -1,0 +1,81 @@
+"""Unit tests for edge-probability assignment schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeProbabilityError
+from repro.graph import (
+    DiGraph,
+    constant_probabilities,
+    star_digraph,
+    trivalency_probabilities,
+    uniform_random_probabilities,
+    weighted_cascade_probabilities,
+)
+
+
+def diamond() -> DiGraph:
+    return DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstant:
+    def test_assigns_value(self):
+        g = constant_probabilities(diamond(), 0.3)
+        assert np.allclose(g.edge_probabilities, 0.3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(EdgeProbabilityError):
+            constant_probabilities(diamond(), 1.2)
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_indegree(self):
+        g = weighted_cascade_probabilities(diamond())
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)
+        assert g.edge_probability(1, 3) == pytest.approx(0.5)
+        assert g.edge_probability(2, 3) == pytest.approx(0.5)
+
+    def test_incoming_mass_is_one(self):
+        g = weighted_cascade_probabilities(diamond())
+        totals = np.zeros(4)
+        np.add.at(totals, g.edge_targets, g.edge_probabilities)
+        for v in range(1, 4):
+            assert totals[v] == pytest.approx(1.0)
+
+    def test_star(self):
+        g = weighted_cascade_probabilities(star_digraph(11))
+        assert np.allclose(g.edge_probabilities, 1.0)
+
+
+class TestTrivalency:
+    def test_only_allowed_values(self):
+        g = trivalency_probabilities(diamond(), rng=0)
+        assert set(np.round(g.edge_probabilities, 6)) <= {0.1, 0.01, 0.001}
+
+    def test_custom_values(self):
+        g = trivalency_probabilities(diamond(), values=(0.5,), rng=0)
+        assert np.allclose(g.edge_probabilities, 0.5)
+
+    def test_deterministic_with_seed(self):
+        a = trivalency_probabilities(diamond(), rng=5)
+        b = trivalency_probabilities(diamond(), rng=5)
+        assert a == b
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(EdgeProbabilityError):
+            trivalency_probabilities(diamond(), values=())
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(EdgeProbabilityError):
+            trivalency_probabilities(diamond(), values=(0.1, 2.0))
+
+
+class TestUniformRandom:
+    def test_within_bounds(self):
+        g = uniform_random_probabilities(diamond(), 0.2, 0.4, rng=1)
+        assert np.all(g.edge_probabilities >= 0.2)
+        assert np.all(g.edge_probabilities <= 0.4)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(EdgeProbabilityError):
+            uniform_random_probabilities(diamond(), 0.5, 0.2)

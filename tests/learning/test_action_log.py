@@ -1,0 +1,85 @@
+"""Tests for action-log storage and queries."""
+
+import pytest
+
+from repro.errors import ActionLogError
+from repro.learning import INFORM, RATE, ActionEvent, ActionLog
+
+
+def small_log() -> ActionLog:
+    log = ActionLog()
+    # u1: informed of A at 1, rates A at 2; rates B at 5.
+    log.record("u1", "A", INFORM, 1.0)
+    log.record("u1", "A", RATE, 2.0)
+    log.record("u1", "B", RATE, 5.0)
+    # u2: rates B at 1, informed of A at 3 (never rates A).
+    log.record("u2", "B", RATE, 1.0)
+    log.record("u2", "A", INFORM, 3.0)
+    # u3: informed of A only.
+    log.record("u3", "A", INFORM, 0.5)
+    return log
+
+
+class TestEvents:
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ActionLogError, match="unknown action"):
+            ActionEvent(time=0.0, user="u", item="i", action="buy")
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ActionLogError, match="non-finite"):
+            ActionEvent(time=float("nan"), user="u", item="i", action=RATE)
+
+    def test_events_ordered_by_time(self):
+        early = ActionEvent(time=1.0, user="u", item="i", action=RATE)
+        late = ActionEvent(time=2.0, user="u", item="i", action=RATE)
+        assert early < late
+
+
+class TestQueries:
+    def test_raters_and_informed(self):
+        log = small_log()
+        assert log.raters("A") == {"u1"}
+        assert log.informed("A") == {"u1", "u2", "u3"}
+        assert log.raters("B") == {"u1", "u2"}
+
+    def test_rating_implies_inform(self):
+        log = ActionLog()
+        log.record("u", "X", RATE, 4.0)
+        assert log.inform_time("u", "X") == 4.0
+        assert log.informed("X") == {"u"}
+
+    def test_earliest_event_wins(self):
+        log = ActionLog()
+        log.record("u", "X", RATE, 4.0)
+        log.record("u", "X", RATE, 2.0)
+        log.record("u", "X", INFORM, 1.0)
+        assert log.rate_time("u", "X") == 2.0
+        assert log.inform_time("u", "X") == 1.0
+
+    def test_rated_before_rating(self):
+        log = small_log()
+        # u2 rated B (t=1) and never rated A; u1 rated B after A.
+        assert log.rated_before_rating("B", "A") == set()
+        assert log.rated_before_rating("A", "B") == {"u1"}
+
+    def test_rated_before_informed(self):
+        log = small_log()
+        # u2 rated B at 1 and was informed of A at 3.
+        assert log.rated_before_informed("B", "A") == {"u2"}
+
+    def test_missing_lookups_return_none(self):
+        log = small_log()
+        assert log.rate_time("u3", "A") is None
+        assert log.inform_time("nobody", "A") is None
+
+    def test_users_items_len(self):
+        log = small_log()
+        assert log.users == {"u1", "u2", "u3"}
+        assert log.items == {"A", "B"}
+        assert len(log) == 6
+
+    def test_events_of_user(self):
+        log = small_log()
+        events = set(log.events_of_user("u1"))
+        assert ("A", RATE, 2.0) in events
+        assert ("A", INFORM, 1.0) in events

@@ -1,0 +1,134 @@
+"""Tests for the EM cascade-learning estimator (Saito et al. style)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, SeedSetError
+from repro.graph import DiGraph, path_digraph, star_digraph
+from repro.learning.em_cascades import (
+    EMResult,
+    em_learn_probabilities,
+    generate_ic_episodes,
+    simulate_ic_with_times,
+)
+
+
+class TestSimulateWithTimes:
+    def test_deterministic_path(self):
+        graph = path_digraph(4, probability=1.0)
+        times = simulate_ic_with_times(graph, [0], rng=1)
+        assert list(times) == [0, 1, 2, 3]
+
+    def test_never_activated_marked_minus_one(self):
+        graph = path_digraph(3, probability=0.0)
+        times = simulate_ic_with_times(graph, [0], rng=2)
+        assert list(times) == [0, -1, -1]
+
+    def test_seed_validation(self):
+        with pytest.raises(SeedSetError):
+            simulate_ic_with_times(path_digraph(3), [5])
+
+    def test_multiple_seeds_start_at_zero(self):
+        graph = path_digraph(5, probability=1.0)
+        times = simulate_ic_with_times(graph, [0, 3], rng=3)
+        assert times[0] == 0 and times[3] == 0
+        assert times[4] == 1
+
+
+class TestGenerateEpisodes:
+    def test_shapes_and_count(self):
+        graph = star_digraph(6, probability=0.5)
+        episodes = generate_ic_episodes(graph, 10, rng=4)
+        assert len(episodes) == 10
+        assert all(e.shape == (6,) for e in episodes)
+
+    def test_validation(self):
+        graph = star_digraph(4)
+        with pytest.raises(EstimationError):
+            generate_ic_episodes(graph, -1)
+        with pytest.raises(EstimationError):
+            generate_ic_episodes(graph, 2, seeds_per_episode=0)
+        with pytest.raises(EstimationError):
+            generate_ic_episodes(graph, 2, seeds_per_episode=5)
+
+    def test_reproducible(self):
+        graph = star_digraph(8, probability=0.4)
+        a = generate_ic_episodes(graph, 5, rng=9)
+        b = generate_ic_episodes(graph, 5, rng=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestEMRecovery:
+    def test_single_parent_recovers_frequency(self):
+        """With one candidate parent per success, EM reduces to counting."""
+        graph = star_digraph(41, probability=0.3)
+        episodes = [
+            simulate_ic_with_times(graph, [0], rng=seed) for seed in range(400)
+        ]
+        result = em_learn_probabilities(graph, episodes)
+        assert result.converged
+        # Every hub->leaf edge was attempted in all 400 episodes.
+        assert int(result.observations.min()) == 400
+        assert float(result.probabilities.mean()) == pytest.approx(0.3, abs=0.03)
+
+    def test_multi_parent_symmetric_credit(self):
+        """Two symmetric parents must receive symmetric estimates."""
+        graph = DiGraph.from_edges(3, [(0, 2), (1, 2)], default_probability=0.5)
+        episodes = [
+            simulate_ic_with_times(graph, [0, 1], rng=seed) for seed in range(800)
+        ]
+        result = em_learn_probabilities(graph, episodes)
+        p = result.probabilities
+        assert p[0] == pytest.approx(p[1], abs=0.08)
+        assert p.mean() == pytest.approx(0.5, abs=0.08)
+
+    def test_chain_with_intermediate_failures(self):
+        """On a path the estimator sees both successes and failures."""
+        graph = path_digraph(3, probability=0.6)
+        episodes = [
+            simulate_ic_with_times(graph, [0], rng=seed) for seed in range(1000)
+        ]
+        result = em_learn_probabilities(graph, episodes)
+        assert result.probabilities[0] == pytest.approx(0.6, abs=0.06)
+        # Edge (1, 2) is only observed when node 1 activated (~60% of runs).
+        assert result.probabilities[1] == pytest.approx(0.6, abs=0.08)
+        assert result.observations[1] < result.observations[0]
+
+    def test_unobserved_edges_keep_initial(self):
+        graph = path_digraph(3, probability=1.0)
+        # Seed at node 2 only: no edge is ever attempted.
+        episodes = [simulate_ic_with_times(graph, [2], rng=1)]
+        result = em_learn_probabilities(graph, episodes, initial=0.25)
+        assert np.all(result.observations == 0)
+        assert np.allclose(result.probabilities, 0.25)
+
+    def test_as_graph_round_trip(self):
+        graph = path_digraph(3, probability=0.5)
+        episodes = generate_ic_episodes(graph, 50, rng=6)
+        result = em_learn_probabilities(graph, episodes)
+        learned = result.as_graph(graph)
+        assert learned.num_edges == graph.num_edges
+        assert np.array_equal(learned.edge_probabilities, result.probabilities)
+
+
+class TestEMValidation:
+    def test_bad_episode_shape(self):
+        graph = path_digraph(3)
+        with pytest.raises(EstimationError, match="shape"):
+            em_learn_probabilities(graph, [np.zeros(5, dtype=np.int64)])
+
+    def test_bad_parameters(self):
+        graph = path_digraph(3)
+        episodes = generate_ic_episodes(graph, 2, rng=1)
+        with pytest.raises(EstimationError):
+            em_learn_probabilities(graph, episodes, max_iterations=0)
+        with pytest.raises(EstimationError):
+            em_learn_probabilities(graph, episodes, tolerance=-1.0)
+        with pytest.raises(EstimationError):
+            em_learn_probabilities(graph, episodes, initial=1.0)
+
+    def test_no_episodes(self):
+        graph = path_digraph(3, probability=0.5)
+        result = em_learn_probabilities(graph, [])
+        assert isinstance(result, EMResult)
+        assert np.all(result.observations == 0)

@@ -1,0 +1,131 @@
+"""Tests for GAP learning: hand-counted instances and ground-truth recovery."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.learning import (
+    INFORM,
+    RATE,
+    ActionLog,
+    generate_synthetic_log,
+    learn_gap_pair,
+)
+from repro.models import GAP
+
+
+class TestCountingFormulae:
+    def build_log(self) -> ActionLog:
+        """Hand-designed log with known counts.
+
+        * u1: informed A@1, rates A@1.1                     (A|∅ success)
+        * u2: informed A@1, no rating                        (A|∅ failure)
+        * u3: rates B@1, informed A@2, rates A@2.1           (A|B success)
+        * u4: rates B@1, informed A@2                        (A|B failure)
+        * all of u1..u4 informed of B the same way for B-side counts.
+        """
+        log = ActionLog()
+        log.record("u1", "A", INFORM, 1.0)
+        log.record("u1", "A", RATE, 1.1)
+        log.record("u2", "A", INFORM, 1.0)
+        log.record("u3", "B", RATE, 1.0)
+        log.record("u3", "A", INFORM, 2.0)
+        log.record("u3", "A", RATE, 2.1)
+        log.record("u4", "B", RATE, 1.0)
+        log.record("u4", "A", INFORM, 2.0)
+        # B-side: u1 rates A first then informed of B; u2 informed only.
+        log.record("u1", "B", INFORM, 2.0)
+        log.record("u2", "B", INFORM, 2.0)
+        return log
+
+    def test_counts(self):
+        learned = learn_gap_pair(self.build_log(), "A", "B")
+        # q_{A|∅}: raters w/o prior B rating = {u1}; informed w/o prior
+        # B rating = {u1, u2} -> 1/2.
+        assert learned.gap.q_a == pytest.approx(0.5)
+        # q_{A|B}: {u3} / {u3, u4} -> 1/2.
+        assert learned.gap.q_a_given_b == pytest.approx(0.5)
+        # q_{B|∅}: raters of B without prior A rating = {u3, u4}; informed
+        # without prior A rating = {u2, u3, u4} -> 2/3.
+        assert learned.gap.q_b == pytest.approx(2.0 / 3.0)
+        # q_{B|A}: u1 rated A before informed of B, never rated B -> 0/1.
+        assert learned.gap.q_b_given_a == pytest.approx(0.0)
+        assert learned.samples["q_a"] == 2
+        assert learned.samples["q_a_given_b"] == 2
+
+    def test_interval_clipping(self):
+        learned = learn_gap_pair(self.build_log(), "A", "B")
+        low, high = learned.interval("q_b_given_a")
+        assert low == 0.0
+        assert 0.0 <= high <= 1.0
+
+    def test_missing_data_raises(self):
+        log = ActionLog()
+        log.record("u1", "A", INFORM, 1.0)
+        with pytest.raises(EstimationError):
+            learn_gap_pair(log, "A", "B")
+
+
+class TestGroundTruthRecovery:
+    @pytest.mark.parametrize(
+        "truth",
+        [
+            GAP(0.6, 0.9, 0.5, 0.8),    # mutual complementarity
+            GAP(0.8, 0.3, 0.7, 0.2),    # mutual competition
+            GAP(0.5, 0.5, 0.4, 0.4),    # indifference
+        ],
+    )
+    def test_recovers_within_confidence_interval(self, truth):
+        log = generate_synthetic_log(
+            [("movie-A", "movie-B", truth)], num_users=20_000, rng=11
+        )
+        learned = learn_gap_pair(log, "movie-A", "movie-B")
+        for name in ("q_a", "q_a_given_b", "q_b", "q_b_given_a"):
+            low, high = learned.interval(name)
+            value = getattr(truth, name)
+            margin = 2.0 * learned.halfwidths[name] + 0.02
+            assert value - margin <= getattr(learned.gap, name) <= value + margin, (
+                f"{name}: learned {getattr(learned.gap, name):.3f} "
+                f"vs truth {value:.3f} (CI [{low:.3f}, {high:.3f}])"
+            )
+
+    def test_multiple_pairs_are_independent(self):
+        pairs = [
+            ("phone", "watch", GAP(0.5, 0.9, 0.3, 0.8)),
+            ("book1", "book2", GAP(0.7, 0.7, 0.6, 0.6)),
+        ]
+        log = generate_synthetic_log(pairs, num_users=8000, rng=3)
+        first = learn_gap_pair(log, "phone", "watch")
+        second = learn_gap_pair(log, "book1", "book2")
+        assert abs(first.gap.q_a_given_b - 0.9) < 0.05
+        assert abs(second.gap.q_a - 0.7) < 0.05
+
+    def test_contains_truth_helper(self):
+        truth = GAP(0.6, 0.9, 0.5, 0.8)
+        log = generate_synthetic_log([("a", "b", truth)], num_users=30_000, rng=5)
+        learned = learn_gap_pair(log, "a", "b")
+        # With 30K users the 95% CI should almost surely contain the truth.
+        assert learned.contains_truth(truth)
+
+
+class TestSyntheticLogValidation:
+    def test_bad_exposure(self):
+        from repro.errors import ActionLogError
+
+        with pytest.raises(ActionLogError):
+            generate_synthetic_log(
+                [("a", "b", GAP(0.5, 0.5, 0.5, 0.5))], exposure_a=1.5
+            )
+
+    def test_identical_items_rejected(self):
+        from repro.errors import ActionLogError
+
+        with pytest.raises(ActionLogError):
+            generate_synthetic_log([("a", "a", GAP(0.5, 0.5, 0.5, 0.5))])
+
+    def test_zero_users_rejected(self):
+        from repro.errors import ActionLogError
+
+        with pytest.raises(ActionLogError):
+            generate_synthetic_log(
+                [("a", "b", GAP(0.5, 0.5, 0.5, 0.5))], num_users=0
+            )

@@ -1,0 +1,72 @@
+"""Tests for the Goyal-style static Bernoulli edge-probability learner."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.graph import DiGraph
+from repro.learning import RATE, ActionLog, learn_influence_probabilities
+
+
+def log_from(entries) -> ActionLog:
+    log = ActionLog()
+    for user, item, time in entries:
+        log.record(user, item, RATE, time)
+    return log
+
+
+class TestStaticBernoulli:
+    def test_basic_ratio(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        # u0 rated items x, y; item x propagated to u1, y did not.
+        log = log_from([(0, "x", 1.0), (0, "y", 2.0), (1, "x", 3.0)])
+        learned = learn_influence_probabilities(graph, log)
+        assert learned.edge_probability(0, 1) == pytest.approx(0.5)
+
+    def test_propagation_requires_strict_order(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        log = log_from([(0, "x", 2.0), (1, "x", 1.0)])  # v rated first
+        learned = learn_influence_probabilities(graph, log)
+        assert learned.edge_probability(0, 1) == 0.0
+
+    def test_window_cuts_stale_propagation(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        log = log_from([(0, "x", 1.0), (1, "x", 100.0)])
+        no_window = learn_influence_probabilities(graph, log)
+        assert no_window.edge_probability(0, 1) == pytest.approx(1.0)
+        windowed = learn_influence_probabilities(graph, log, window=10.0)
+        assert windowed.edge_probability(0, 1) == 0.0
+
+    def test_inactive_source_gets_zero(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.5)])
+        log = log_from([(1, "x", 1.0)])
+        learned = learn_influence_probabilities(graph, log)
+        assert learned.edge_probability(0, 1) == 0.0
+
+    def test_smoothing(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        log = log_from([(0, "x", 1.0)])
+        learned = learn_influence_probabilities(graph, log, smoothing=1.0)
+        # (0 + 1) / (1 + 2) = 1/3.
+        assert learned.edge_probability(0, 1) == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_non_node_users(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        log = log_from([("alice", "x", 1.0)])
+        with pytest.raises(EstimationError, match="not a node id"):
+            learn_influence_probabilities(graph, log)
+
+    def test_rejects_out_of_range_users(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        log = log_from([(9, "x", 1.0)])
+        with pytest.raises(EstimationError, match="out of node range"):
+            learn_influence_probabilities(graph, log)
+
+    def test_rejects_bad_window(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        with pytest.raises(EstimationError):
+            learn_influence_probabilities(graph, ActionLog(), window=-1.0)
+
+    def test_rejects_bad_smoothing(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        with pytest.raises(EstimationError):
+            learn_influence_probabilities(graph, ActionLog(), smoothing=-0.5)

@@ -1,0 +1,115 @@
+"""Tests for action-log and episode persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ActionLogError, EstimationError
+from repro.graph import path_digraph
+from repro.learning import (
+    ActionLog,
+    generate_ic_episodes,
+    load_action_log,
+    load_episodes,
+    save_action_log,
+    save_episodes,
+)
+
+
+def sample_log() -> ActionLog:
+    log = ActionLog()
+    log.record(1, "movie-a", "inform", 1.0)
+    log.record(1, "movie-a", "rate", 2.0)
+    log.record(2, "movie-a", "rate", 3.0)        # rate without prior inform
+    log.record(2, "movie-b", "inform", 4.0)      # inform never rated
+    log.record(1, "movie-a", "rate", 9.0)        # late duplicate, absorbed
+    return log
+
+
+class TestActionLogRoundTrip:
+    def test_queries_preserved(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "log.tsv"
+        save_action_log(log, path, comment="fixture")
+        loaded = load_action_log(path)
+        assert loaded.users == log.users
+        assert loaded.items == log.items
+        for user in log.users:
+            for item in log.items:
+                assert loaded.rate_time(user, item) == log.rate_time(user, item)
+                assert loaded.inform_time(user, item) == log.inform_time(user, item)
+
+    def test_integer_identifiers_restored_as_int(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "log.tsv"
+        save_action_log(log, path)
+        loaded = load_action_log(path)
+        assert 1 in loaded.users          # int, not "1"
+        assert "movie-a" in loaded.items  # str stays str
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text("# header\n\nrate\t1.5\t7\tbook\n", encoding="utf-8")
+        loaded = load_action_log(path)
+        assert loaded.rate_time(7, "book") == 1.5
+
+    @pytest.mark.parametrize("line", [
+        "rate\t1.0\tonly-three",
+        "watch\t1.0\tu\ti",
+        "rate\tnot-a-time\tu\ti",
+    ])
+    def test_malformed_lines_rejected(self, tmp_path, line):
+        path = tmp_path / "bad.tsv"
+        path.write_text(line + "\n", encoding="utf-8")
+        with pytest.raises(ActionLogError):
+            load_action_log(path)
+
+    def test_tab_in_identifier_rejected(self, tmp_path):
+        log = ActionLog()
+        log.record("evil\tuser", "item", "rate", 1.0)
+        with pytest.raises(ActionLogError):
+            save_action_log(log, tmp_path / "x.tsv")
+
+
+class TestCanonicalEvents:
+    def test_rebuild_equivalence(self):
+        log = sample_log()
+        rebuilt = ActionLog(log.canonical_events())
+        assert rebuilt.users == log.users
+        assert rebuilt.rate_time(1, "movie-a") == 2.0
+        assert rebuilt.inform_time(1, "movie-a") == 1.0
+
+    def test_inform_at_rate_time_not_duplicated(self):
+        log = ActionLog()
+        log.record(5, "x", "rate", 2.0)
+        events = list(log.canonical_events())
+        assert len(events) == 1
+        assert events[0].action == "rate"
+
+
+class TestEpisodeRoundTrip:
+    def test_round_trip(self, tmp_path):
+        graph = path_digraph(5, probability=0.7)
+        episodes = generate_ic_episodes(graph, 12, rng=3)
+        path = tmp_path / "episodes.npz"
+        save_episodes(episodes, path)
+        loaded = load_episodes(path)
+        assert len(loaded) == 12
+        assert all(np.array_equal(a, b) for a, b in zip(episodes, loaded))
+
+    def test_empty_corpus(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_episodes([], path)
+        assert load_episodes(path) == []
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(EstimationError):
+            save_episodes(
+                [np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64)],
+                tmp_path / "bad.npz",
+            )
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, values=np.arange(3))
+        with pytest.raises(EstimationError):
+            load_episodes(path)

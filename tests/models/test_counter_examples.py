@@ -1,0 +1,223 @@
+"""Executable versions of the paper's appendix counter-examples (A.2, B.4).
+
+* Example 1 — self-monotonicity fails when A competes with B but B
+  complements A (Figure 9): adding an A-seed lowers ``P[v adopts A]`` from
+  1 to ``1 - q + q^2``; verified against the paper's closed form with the
+  exact oracle.
+* Example 3 — self-submodularity fails under mutual complementarity:
+  verified (a) in a fixed possible world realising Figure 11's threshold
+  ranges, and (b) averaged over all randomness on a 5-node instance found
+  by search (the paper's exact Figure-11 wiring is not fully recoverable
+  from the text, so we certify the *claim* rather than its two decimals).
+* Example 4 — cross-submodularity fails under mutual complementarity even
+  with ``q_{B|A} = q_{B|∅} < 1`` (the appendix's remark): fixed-world and
+  averaged variants.
+* Example 5 — self-submodularity fails under mutual competition (Q-):
+  verified in a fixed possible world of a blocking gadget in the spirit of
+  Figure 12 — two A-seeds jointly block B; the relay nodes' thresholds
+  kill A feed-through, so only the full seed set lets the long A-path win.
+
+Fixed-world tests use :class:`FrozenWorldSource`; averaged tests use the
+exact enumeration oracle.  No Monte-Carlo tolerance anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+from repro.models import GAP, exact_adoption_probabilities, simulate
+from repro.models.possible_world import FrozenWorldSource, PossibleWorld
+
+
+def world_for(graph: DiGraph, alpha_a: dict, alpha_b: dict) -> PossibleWorld:
+    """All edges live; thresholds default to 0 except where specified."""
+    n, m = graph.num_nodes, graph.num_edges
+    aa = np.zeros(n)
+    ab = np.zeros(n)
+    for node, value in alpha_a.items():
+        aa[node] = value
+    for node, value in alpha_b.items():
+        ab[node] = value
+    return PossibleWorld(
+        live=np.ones(m, dtype=bool),
+        priority=np.linspace(0.1, 0.9, m),
+        alpha_a=aa,
+        alpha_b=ab,
+        tau_a_first=np.ones(n, dtype=bool),
+    )
+
+
+def figure9_graph():
+    """Example 1 gadget: s1 -> v <- w <- u <- y, with s2 -> w."""
+    s1, s2, v, w, u, y = range(6)
+    edges = [(s1, v, 1.0), (s2, w, 1.0), (y, u, 1.0), (u, w, 1.0), (w, v, 1.0)]
+    return DiGraph.from_edges(6, edges), (s1, s2, v, w, u, y)
+
+
+class TestExample1NonSelfMonotonicity:
+    @pytest.mark.parametrize("q", [0.3, 0.5, 0.7])
+    def test_paper_values(self, q):
+        graph, (s1, s2, v, w, u, y) = figure9_graph()
+        gaps = GAP(q_a=q, q_a_given_b=1.0, q_b=1.0, q_b_given_a=0.0)
+        pa_small, _ = exact_adoption_probabilities(graph, gaps, [s1], [y])
+        pa_large, _ = exact_adoption_probabilities(graph, gaps, [s1, s2], [y])
+        # Paper: P[v A-adopted] = 1 with S = {s1}; 1 - q + q^2 with T.
+        assert pa_small[v] == pytest.approx(1.0)
+        assert pa_large[v] == pytest.approx(1.0 - q + q * q)
+        assert pa_large[v] < pa_small[v]  # monotonicity violated
+
+
+def figure11_graph():
+    """Example 3/4 gadget: y -> w -> z -> v chain with x -> w and u -> v."""
+    v, z, w, y, u, x = range(6)
+    edges = [(y, w, 1.0), (w, z, 1.0), (z, v, 1.0), (x, w, 1.0), (u, v, 1.0)]
+    return DiGraph.from_edges(6, edges), (v, z, w, y, u, x)
+
+
+class TestExample3NonSelfSubmodularity:
+    def test_fixed_world_violation(self):
+        """Figure 11 threshold ranges: w A-ready but B-boost-gated, z blocks
+        A and relays B, v needs the B boost.  Only S_A = T ∪ {u} works."""
+        graph, (v, z, w, y, u, x) = figure11_graph()
+        gaps = GAP(0.2, 0.9, 0.4, 0.95)
+        world = world_for(
+            graph,
+            alpha_a={w: 0.1, z: 0.95, v: 0.5},  # w<=q_a; z>q_ab; v in (q_a,q_ab]
+            alpha_b={w: 0.7, z: 0.1, v: 0.1},   # w in (q_b,q_ba]; z,v <= q_b
+        )
+
+        def activated(seeds_a):
+            out = simulate(graph, gaps, seeds_a, [y], source=FrozenWorldSource(world))
+            return bool(out.a_adopted[v])
+
+        assert not activated([])
+        assert not activated([u])
+        assert not activated([x])
+        assert activated([x, u])
+
+    def test_averaged_violation(self):
+        """Averaged over all randomness (search-found instance, Q+)."""
+        graph = DiGraph.from_edges(
+            5, [(0, 1, 1.0), (1, 3, 1.0), (2, 1, 1.0), (3, 0, 1.0), (3, 4, 1.0)]
+        )
+        gaps = GAP(0.072, 0.946, 0.203, 0.93)
+        assert gaps.is_mutually_complementary
+        seeds_b = [0]
+        target = 4
+
+        def p(seeds_a):
+            pa, _ = exact_adoption_probabilities(graph, gaps, seeds_a, seeds_b)
+            return pa[target]
+
+        small_gain = p([1]) - p([])
+        large_gain = p([3, 1]) - p([3])
+        assert large_gain > small_gain + 1e-6
+
+
+class TestExample4NonCrossSubmodularity:
+    def test_fixed_world_violation(self):
+        """Figure 11 with Example 4's ranges; B-seed sets grow."""
+        graph, (v, z, w, y, u, x) = figure11_graph()
+        gaps = GAP(0.2, 0.9, 0.4, 0.95)
+        world = world_for(
+            graph,
+            alpha_a={w: 0.5, z: 0.1, v: 0.5},   # w,v in (q_a,q_ab]; z <= q_a
+            alpha_b={w: 0.1, z: 0.99, v: 0.1},  # w,v <= q_b; z > q_ba
+        )
+
+        def activated(seeds_b):
+            out = simulate(graph, gaps, [y], seeds_b, source=FrozenWorldSource(world))
+            return bool(out.a_adopted[v])
+
+        assert not activated([])
+        assert not activated([u])
+        assert not activated([x])
+        assert activated([x, u])
+
+    def test_averaged_violation_with_indifferent_b(self):
+        """Appendix remark: the example applies even when
+        ``q_{B|A} = q_{B|∅} < 1``."""
+        graph, (v, z, w, y, u, x) = figure11_graph()
+        gaps = GAP(0.1, 0.7, 0.3, 0.3)
+
+        def p(seeds_b):
+            pa, _ = exact_adoption_probabilities(graph, gaps, [y], seeds_b)
+            return pa[v]
+
+        small_gain = p([u]) - p([])
+        large_gain = p([x, u]) - p([x])
+        assert large_gain > small_gain + 1e-6
+
+
+def figure12_style_gadget():
+    """Example 5 gadget (Q-): long A-path s1 -> c1..c4 -> v; two B-paths
+    y -> d_i -> m_i -> r_i -> v; blockers s2 -> m1 and s3 -> m2."""
+    names = [
+        "s1", "s2", "s3", "y",
+        "d1", "m1", "r1", "d2", "m2", "r2",
+        "c1", "c2", "c3", "c4", "v",
+    ]
+    ids = {name: i for i, name in enumerate(names)}
+    e = [
+        ("s1", "c1"), ("c1", "c2"), ("c2", "c3"), ("c3", "c4"), ("c4", "v"),
+        ("y", "d1"), ("d1", "m1"), ("m1", "r1"), ("r1", "v"),
+        ("y", "d2"), ("d2", "m2"), ("m2", "r2"), ("r2", "v"),
+        ("s2", "m1"), ("s3", "m2"),
+    ]
+    edges = [(ids[a], ids[b], 1.0) for a, b in e]
+    return DiGraph.from_edges(len(names), edges), ids
+
+
+class TestExample5NonSubmodularityUnderCompetition:
+    @pytest.mark.parametrize("q", [0.5, 0.8])
+    def test_fixed_world_violation(self, q):
+        """In this world the relays r_i cannot adopt A (alpha > q), so a
+        lone blocker feeds nothing to v; only the joint blockade lets the
+        long A-path through — f jumps from 0 to 1 at the full set."""
+        graph, ids = figure12_style_gadget()
+        gaps = GAP(q_a=q, q_a_given_b=0.0, q_b=1.0, q_b_given_a=0.0)
+        assert gaps.is_mutually_competitive
+        world = world_for(
+            graph,
+            alpha_a={ids["r1"]: 0.99, ids["r2"]: 0.99},  # everything else 0
+            alpha_b={},
+        )
+
+        def activated(*names):
+            out = simulate(
+                graph, gaps, [ids[n] for n in names], [ids["y"]],
+                source=FrozenWorldSource(world),
+            )
+            return bool(out.a_adopted[ids["v"]])
+
+        assert not activated("s1")
+        assert not activated("s1", "s2")
+        assert not activated("s1", "s3")
+        assert activated("s1", "s2", "s3")
+
+    def test_blockade_probability_is_superadditive_for_full_block(self):
+        """Averaged sanity: the probability that *no* B reaches v (full
+        blockade) is superadditive in the blockers, the mechanism driving
+        Example 5."""
+        graph, ids = figure12_style_gadget()
+        q = 0.5
+        gaps = GAP(q_a=q, q_a_given_b=0.0, q_b=1.0, q_b_given_a=0.0)
+
+        def p_no_b(*names):
+            _, pb = exact_adoption_probabilities(
+                graph, gaps, [ids[n] for n in names], [ids["y"]]
+            )
+            return 1.0 - pb[ids["v"]]
+
+        base = p_no_b("s1")
+        one = p_no_b("s1", "s2")
+        other = p_no_b("s1", "s3")
+        both = p_no_b("s1", "s2", "s3")
+        assert base == pytest.approx(0.0)
+        # A lone blocker spares v from B only via the q^3 feed-through
+        # event (its relayed A reaches v first, which then rejects B)...
+        assert one == pytest.approx(q**3)
+        assert other == pytest.approx(q**3)
+        # ...while jointly the blockers are strictly superadditive: the
+        # blockade effect exceeds the sum of the lone-blocker effects.
+        assert both > one + other - base + 1e-9

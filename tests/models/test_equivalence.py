@@ -1,0 +1,105 @@
+"""Lemma 1: the stochastic Com-IC process and the possible-world model
+induce the same distribution of (A-adopted, B-adopted) configurations.
+
+The engine realises both views through different randomness sources, so we
+compare per-node adoption frequencies of :class:`CoinSource` runs against
+(i) lazily-sampled :class:`WorldSource` runs and (ii) eagerly-sampled
+:class:`FrozenWorldSource` runs, and both against the exact oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+from repro.models import GAP, exact_adoption_probabilities, simulate
+from repro.models.possible_world import FrozenWorldSource, sample_possible_world
+from repro.models.sources import CoinSource, WorldSource
+from repro.rng import make_rng
+
+RUNS = 4000
+
+
+def fixture_graph() -> DiGraph:
+    # A small diamond-with-tail graph mixing fan-in, fan-out and depth.
+    return DiGraph.from_edges(
+        5,
+        [
+            (0, 1, 0.8),
+            (0, 2, 0.6),
+            (1, 3, 0.7),
+            (2, 3, 0.9),
+            (3, 4, 0.5),
+        ],
+    )
+
+
+GAP_CASES = [
+    pytest.param(GAP(0.3, 0.8, 0.5, 0.9), id="mutual-complementarity"),
+    pytest.param(GAP(0.8, 0.2, 0.7, 0.3), id="mutual-competition"),
+    pytest.param(GAP(0.4, 0.9, 0.6, 0.6), id="one-way-complementarity"),
+    pytest.param(GAP.pure_competition(), id="pure-competition"),
+    pytest.param(GAP.independent(0.7, 0.5), id="independent"),
+]
+
+
+def frequencies(graph, gaps, seeds_a, seeds_b, make_source, runs=RUNS):
+    gen = make_rng(12345)
+    count_a = np.zeros(graph.num_nodes)
+    count_b = np.zeros(graph.num_nodes)
+    for _ in range(runs):
+        out = simulate(graph, gaps, seeds_a, seeds_b, source=make_source(gen))
+        count_a += out.a_adopted
+        count_b += out.b_adopted
+    return count_a / runs, count_b / runs
+
+
+@pytest.mark.parametrize("gaps", GAP_CASES)
+def test_coin_process_matches_exact_oracle(gaps):
+    graph = fixture_graph()
+    seeds_a, seeds_b = [0], [1]
+    exact_a, exact_b = exact_adoption_probabilities(graph, gaps, seeds_a, seeds_b)
+    freq_a, freq_b = frequencies(graph, gaps, seeds_a, seeds_b, CoinSource)
+    tolerance = 4.5 / np.sqrt(RUNS)  # ~4.5 sigma of a Bernoulli frequency
+    assert np.all(np.abs(freq_a - exact_a) < tolerance)
+    assert np.all(np.abs(freq_b - exact_b) < tolerance)
+
+
+@pytest.mark.parametrize("gaps", GAP_CASES)
+def test_lazy_world_matches_exact_oracle(gaps):
+    graph = fixture_graph()
+    seeds_a, seeds_b = [0], [1]
+    exact_a, exact_b = exact_adoption_probabilities(graph, gaps, seeds_a, seeds_b)
+    freq_a, freq_b = frequencies(graph, gaps, seeds_a, seeds_b, WorldSource)
+    tolerance = 4.5 / np.sqrt(RUNS)
+    assert np.all(np.abs(freq_a - exact_a) < tolerance)
+    assert np.all(np.abs(freq_b - exact_b) < tolerance)
+
+
+def test_eager_world_matches_exact_oracle():
+    graph = fixture_graph()
+    gaps = GAP(0.3, 0.8, 0.5, 0.9)
+    seeds_a, seeds_b = [0], [1]
+    exact_a, exact_b = exact_adoption_probabilities(graph, gaps, seeds_a, seeds_b)
+
+    gen = make_rng(777)
+    count_a = np.zeros(graph.num_nodes)
+    count_b = np.zeros(graph.num_nodes)
+    for _ in range(RUNS):
+        world = sample_possible_world(graph, rng=gen)
+        out = simulate(graph, gaps, seeds_a, seeds_b, source=FrozenWorldSource(world))
+        count_a += out.a_adopted
+        count_b += out.b_adopted
+    tolerance = 4.5 / np.sqrt(RUNS)
+    assert np.all(np.abs(count_a / RUNS - exact_a) < tolerance)
+    assert np.all(np.abs(count_b / RUNS - exact_b) < tolerance)
+
+
+def test_dual_seed_overlap_equivalence():
+    graph = fixture_graph()
+    gaps = GAP.pure_competition()
+    seeds_a, seeds_b = [0], [0]  # overlapping seeds exercise the tau coin
+    exact_a, exact_b = exact_adoption_probabilities(graph, gaps, seeds_a, seeds_b)
+    freq_a, freq_b = frequencies(graph, gaps, seeds_a, seeds_b, WorldSource)
+    tolerance = 4.5 / np.sqrt(RUNS)
+    assert np.all(np.abs(freq_a - exact_a) < tolerance)
+    assert np.all(np.abs(freq_b - exact_b) < tolerance)

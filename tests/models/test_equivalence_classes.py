@@ -1,0 +1,96 @@
+"""Tests for the §5.1 equivalence-class enumeration (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, RegimeError
+from repro.graph import DiGraph, path_digraph
+from repro.models import (
+    GAP,
+    enumerate_equivalence_classes,
+    exact_spread,
+    exact_spread_via_equivalence_classes,
+    threshold_ranges,
+)
+
+
+class TestThresholdRanges:
+    def test_three_ranges_in_general_position(self):
+        ranges = threshold_ranges(0.3, 0.8)
+        assert ranges == [(0.0, 0.3), (0.3, pytest.approx(0.5)), (0.8, pytest.approx(0.2))]
+
+    def test_widths_sum_to_one(self):
+        for q1, q2 in [(0.3, 0.8), (0.0, 0.5), (0.5, 0.5), (0.0, 1.0), (1.0, 1.0)]:
+            assert sum(w for _, w in threshold_ranges(q1, q2)) == pytest.approx(1.0)
+
+    def test_degenerate_ranges_dropped(self):
+        assert threshold_ranges(0.0, 0.0) == [(0.0, 1.0)]
+        assert threshold_ranges(1.0, 1.0) == [(0.0, 1.0)]
+        assert len(threshold_ranges(0.5, 0.5)) == 2
+
+    def test_order_of_arguments_irrelevant(self):
+        assert threshold_ranges(0.3, 0.8) == threshold_ranges(0.8, 0.3)
+
+
+class TestEnumeration:
+    def test_masses_sum_to_one(self):
+        graph = path_digraph(3, probability=0.6)
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        total = sum(
+            mass for mass, _ in enumerate_equivalence_classes(graph, gaps)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_class_count_is_finite_and_expected(self):
+        graph = path_digraph(2, probability=0.5)
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        classes = list(enumerate_equivalence_classes(graph, gaps))
+        # 3 alpha_A ranges ^2 nodes * 3 alpha_B ranges ^2 * 2 edge states.
+        assert len(classes) == 9 * 9 * 2
+
+    def test_deterministic_edges_halve_enumeration(self):
+        graph = path_digraph(2, probability=1.0)
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        classes = list(enumerate_equivalence_classes(graph, gaps))
+        # Blocked state has zero mass and is skipped.
+        assert len(classes) == 9 * 9
+
+    def test_requires_q_plus(self):
+        graph = path_digraph(2)
+        with pytest.raises(RegimeError):
+            list(enumerate_equivalence_classes(graph, GAP(0.8, 0.2, 0.5, 0.1)))
+
+    def test_class_limit_guard(self):
+        graph = path_digraph(8, probability=0.5)
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        with pytest.raises(ConvergenceError, match="equivalence classes"):
+            list(
+                enumerate_equivalence_classes(graph, gaps, max_classes=100)
+            )
+
+
+class TestExactSpreadViaClasses:
+    @pytest.mark.parametrize(
+        "gaps",
+        [
+            GAP(0.3, 0.8, 0.4, 0.9),
+            GAP(0.5, 0.5, 0.5, 0.5),
+            GAP(0.0, 1.0, 1.0, 1.0),
+        ],
+    )
+    def test_matches_decision_tree_oracle(self, gaps):
+        graph = DiGraph.from_edges(
+            4, [(0, 1, 0.7), (1, 2, 0.6), (0, 2, 0.5), (2, 3, 1.0)]
+        )
+        via_classes = exact_spread_via_equivalence_classes(graph, gaps, [0], [1])
+        via_tree = exact_spread(graph, gaps, [0], [1])
+        assert via_classes[0] == pytest.approx(via_tree[0], abs=1e-9)
+        assert via_classes[1] == pytest.approx(via_tree[1], abs=1e-9)
+
+    def test_dual_seed_tau_enumerated(self):
+        graph = path_digraph(3, probability=0.8)
+        gaps = GAP(0.2, 0.9, 0.3, 0.95)
+        via_classes = exact_spread_via_equivalence_classes(graph, gaps, [0], [0])
+        via_tree = exact_spread(graph, gaps, [0], [0])
+        assert via_classes[0] == pytest.approx(via_tree[0], abs=1e-9)
+        assert via_classes[1] == pytest.approx(via_tree[1], abs=1e-9)

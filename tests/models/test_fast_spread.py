@@ -1,0 +1,100 @@
+"""Validation of the vectorised one-way-complementarity estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegimeError, SeedSetError
+from repro.graph import DiGraph, path_digraph, power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP, estimate_spread, exact_spread
+from repro.models.fast_spread import fast_estimate_spread_one_way, sample_one_way_outcome
+from repro.rng import make_rng
+
+
+class TestRegime:
+    def test_rejects_two_way_complementarity(self):
+        with pytest.raises(RegimeError):
+            fast_estimate_spread_one_way(
+                path_digraph(3), GAP(0.3, 0.8, 0.5, 0.9), [0], [1]
+            )
+
+    def test_rejects_competition(self):
+        with pytest.raises(RegimeError):
+            fast_estimate_spread_one_way(
+                path_digraph(3), GAP(0.8, 0.3, 0.5, 0.5), [0], [1]
+            )
+
+    def test_rejects_bad_item(self):
+        with pytest.raises(ValueError):
+            fast_estimate_spread_one_way(
+                path_digraph(3), GAP(0.3, 0.8, 0.5, 0.5), [0], [1], item="c"
+            )
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(SeedSetError):
+            fast_estimate_spread_one_way(
+                path_digraph(3), GAP(0.3, 0.8, 0.5, 0.5), [9], [1]
+            )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "gaps",
+        [
+            GAP(0.3, 0.8, 0.5, 0.5),
+            GAP(0.0, 1.0, 0.7, 0.7),
+            GAP(0.6, 0.6, 0.4, 0.4),  # full indifference
+        ],
+    )
+    def test_matches_exact_oracle(self, gaps):
+        graph = DiGraph.from_edges(
+            5,
+            [(0, 1, 0.7), (0, 2, 0.5), (1, 3, 0.8), (2, 3, 0.6), (3, 4, 0.9)],
+        )
+        runs = 5000
+        exact_a, exact_b = exact_spread(graph, gaps, [0], [2])
+        est_a = fast_estimate_spread_one_way(
+            graph, gaps, [0], [2], runs=runs, rng=0
+        )
+        est_b = fast_estimate_spread_one_way(
+            graph, gaps, [0], [2], runs=runs, rng=1, item="b"
+        )
+        assert est_a.mean == pytest.approx(exact_a, abs=5 * est_a.stderr + 1e-9)
+        assert est_b.mean == pytest.approx(exact_b, abs=5 * est_b.stderr + 1e-9)
+
+    def test_matches_general_engine_on_network(self):
+        graph = weighted_cascade_probabilities(power_law_digraph(200, rng=4))
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        seeds_a, seeds_b = [0, 1, 2], [3, 4]
+        fast = fast_estimate_spread_one_way(
+            graph, gaps, seeds_a, seeds_b, runs=1500, rng=5
+        )
+        slow = estimate_spread(graph, gaps, seeds_a, seeds_b, runs=1500, rng=6)
+        tolerance = 5 * (fast.stderr + slow.stderr)
+        assert fast.mean == pytest.approx(slow.mean, abs=tolerance)
+
+    def test_dual_seeds_and_overlap(self):
+        graph = path_digraph(4, probability=0.8)
+        gaps = GAP(0.2, 0.9, 0.6, 0.6)
+        exact_a, _ = exact_spread(graph, gaps, [0], [0])
+        est = fast_estimate_spread_one_way(graph, gaps, [0], [0], runs=5000, rng=7)
+        assert est.mean == pytest.approx(exact_a, abs=5 * est.stderr + 1e-9)
+
+    def test_edge_coin_shared_between_items(self):
+        """One liveness coin per edge: on a p=0.5 path seeded at the head
+        with both items (full indifference, q=1), the two adopter sets must
+        coincide in every sampled world."""
+        graph = path_digraph(4, probability=0.5)
+        gaps = GAP.independent(1.0, 1.0)
+        gen = make_rng(8)
+        seeds = np.array([0])
+        for _ in range(200):
+            a_adopted, b_adopted = sample_one_way_outcome(
+                graph, gaps, seeds, seeds, gen
+            )
+            assert np.array_equal(a_adopted, b_adopted)
+
+    def test_empty_seeds(self):
+        graph = path_digraph(3)
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        est = fast_estimate_spread_one_way(graph, gaps, [], [], runs=20, rng=9)
+        assert est.mean == 0.0

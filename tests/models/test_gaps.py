@@ -1,0 +1,117 @@
+"""Unit tests for the Global Adoption Probabilities."""
+
+import pytest
+
+from repro.errors import GapError
+from repro.models import GAP, Relationship
+
+
+class TestValidation:
+    def test_valid(self):
+        gap = GAP(0.1, 0.9, 0.5, 0.7)
+        assert gap.q_a == 0.1
+
+    @pytest.mark.parametrize("field", ["q_a", "q_a_given_b", "q_b", "q_b_given_a"])
+    def test_out_of_range_rejected(self, field):
+        values = {"q_a": 0.5, "q_a_given_b": 0.5, "q_b": 0.5, "q_b_given_a": 0.5}
+        values[field] = 1.5
+        with pytest.raises(GapError):
+            GAP(**values)
+        values[field] = -0.5
+        with pytest.raises(GapError):
+            GAP(**values)
+
+    def test_from_mapping(self):
+        gap = GAP.from_mapping(
+            {"q_a": 0.1, "q_a_given_b": 0.2, "q_b": 0.3, "q_b_given_a": 0.4}
+        )
+        assert gap.as_tuple() == (0.1, 0.2, 0.3, 0.4)
+
+    def test_from_mapping_missing_key(self):
+        with pytest.raises(GapError, match="missing"):
+            GAP.from_mapping({"q_a": 0.1})
+
+
+class TestRelationships:
+    def test_mutual_complementarity(self):
+        gap = GAP(0.1, 0.9, 0.2, 0.8)
+        assert gap.is_mutually_complementary
+        assert not gap.is_mutually_competitive
+        assert gap.relationship_of_a_toward_b() is Relationship.COMPLEMENTS
+        assert gap.relationship_of_b_toward_a() is Relationship.COMPLEMENTS
+
+    def test_mutual_competition(self):
+        gap = GAP(0.9, 0.1, 0.8, 0.2)
+        assert gap.is_mutually_competitive
+        assert gap.relationship_of_a_toward_b() is Relationship.COMPETES
+
+    def test_indifference_is_both(self):
+        gap = GAP.independent(0.5, 0.5)
+        assert gap.is_mutually_complementary
+        assert gap.is_mutually_competitive
+        assert gap.a_indifferent_to_b
+        assert gap.b_indifferent_to_a
+        assert gap.relationship_of_a_toward_b() is Relationship.INDIFFERENT
+
+    def test_one_way_complementarity(self):
+        gap = GAP(0.3, 0.8, 0.5, 0.5)
+        assert gap.is_one_way_complementarity_for_a
+        assert not GAP(0.3, 0.8, 0.5, 0.9).is_one_way_complementarity_for_a
+
+    def test_rr_cim_regime(self):
+        assert GAP(0.1, 0.9, 0.5, 1.0).is_rr_cim_regime
+        assert not GAP(0.1, 0.9, 0.5, 0.9).is_rr_cim_regime
+        assert not GAP(0.9, 0.1, 0.5, 1.0).is_rr_cim_regime
+
+
+class TestReconsideration:
+    def test_rho_matches_paper_formula(self):
+        gap = GAP(q_a=0.2, q_a_given_b=0.9, q_b=0.5, q_b_given_a=0.5)
+        # q_{A|B} = q_{A|∅} + (1 - q_{A|∅}) rho_A  (paper §3)
+        assert gap.q_a + (1 - gap.q_a) * gap.rho_a == pytest.approx(gap.q_a_given_b)
+
+    def test_rho_zero_under_competition(self):
+        gap = GAP(q_a=0.9, q_a_given_b=0.2, q_b=0.5, q_b_given_a=0.5)
+        assert gap.rho_a == 0.0
+
+    def test_rho_defined_at_q_one(self):
+        gap = GAP(q_a=1.0, q_a_given_b=1.0, q_b=0.5, q_b_given_a=0.5)
+        assert gap.rho_a == 0.0
+
+    def test_rho_b_symmetric(self):
+        gap = GAP(q_a=0.5, q_a_given_b=0.5, q_b=0.2, q_b_given_a=0.6)
+        assert gap.rho_b == pytest.approx((0.6 - 0.2) / 0.8)
+
+
+class TestModifiers:
+    def test_sandwich_bounds_selfinfmax(self):
+        gap = GAP(0.3, 0.8, 0.5, 0.9)
+        nu = gap.with_b_indifferent_high()
+        mu = gap.with_b_indifferent_low()
+        assert nu.q_b == nu.q_b_given_a == 0.9
+        assert mu.q_b == mu.q_b_given_a == 0.5
+        assert nu.b_indifferent_to_a and mu.b_indifferent_to_a
+
+    def test_sandwich_bound_compinfmax(self):
+        gap = GAP(0.3, 0.8, 0.5, 0.9)
+        nu = gap.with_q_b_given_a_one()
+        assert nu.q_b_given_a == 1.0
+        assert nu.q_b == 0.5
+
+    def test_swapped(self):
+        gap = GAP(0.1, 0.2, 0.3, 0.4)
+        assert gap.swapped().as_tuple() == (0.3, 0.4, 0.1, 0.2)
+        assert gap.swapped().swapped() == gap
+
+
+class TestSpecialCases:
+    def test_classic_ic(self):
+        gap = GAP.classic_ic()
+        assert gap.q_a == 1.0
+        assert gap.q_b == gap.q_b_given_a == 0.0
+
+    def test_pure_competition(self):
+        gap = GAP.pure_competition()
+        assert gap.is_mutually_competitive
+        assert gap.q_a == gap.q_b == 1.0
+        assert gap.q_a_given_b == gap.q_b_given_a == 0.0

@@ -1,0 +1,143 @@
+"""Tests for the classic single-item substrates: IC, LT, Triggering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SeedSetError
+from repro.graph import DiGraph, path_digraph, star_digraph
+from repro.models import (
+    GAP,
+    estimate_spread,
+    normalize_lt_weights,
+    simulate,
+    simulate_ic,
+    simulate_lt,
+    simulate_triggering,
+)
+from repro.models.ic import gather_out_edges, ic_spread
+from repro.models.triggering import ic_trigger_sampler, lt_trigger_sampler
+from repro.rng import make_rng
+
+
+class TestGatherOutEdges:
+    def test_gathers_all_frontier_edges(self):
+        g = DiGraph.from_edges(4, [(0, 1, 0.1), (0, 2, 0.2), (1, 3, 0.3)])
+        targets, probs, eids = gather_out_edges(g, np.array([0, 1]))
+        assert sorted(targets.tolist()) == [1, 2, 3]
+        assert len(probs) == len(eids) == 3
+
+    def test_empty_frontier(self):
+        g = path_digraph(3)
+        targets, probs, eids = gather_out_edges(g, np.array([], dtype=np.int64))
+        assert targets.size == 0
+
+    def test_frontier_without_out_edges(self):
+        g = path_digraph(3)
+        targets, _, _ = gather_out_edges(g, np.array([2]))
+        assert targets.size == 0
+
+
+class TestIC:
+    def test_deterministic_cascade(self):
+        active = simulate_ic(path_digraph(5), [0], rng=0)
+        assert active.all()
+
+    def test_blocked_graph(self):
+        g = path_digraph(5, probability=0.0)
+        active = simulate_ic(g, [0], rng=0)
+        assert active.sum() == 1
+
+    def test_seed_validation(self):
+        with pytest.raises(SeedSetError):
+            simulate_ic(path_digraph(3), [9], rng=0)
+
+    def test_spread_estimate_on_bernoulli_path(self):
+        g = path_digraph(3, probability=0.5)
+        est = ic_spread(g, [0], runs=4000, rng=0)
+        assert est.mean == pytest.approx(1.75, abs=5 * est.stderr)
+
+    def test_matches_comic_with_classic_gaps(self):
+        """Com-IC with q_{A|∅}=1 and B absent degenerates to IC (§3)."""
+        g = DiGraph.from_edges(
+            5, [(0, 1, 0.6), (0, 2, 0.4), (1, 3, 0.7), (2, 3, 0.5), (3, 4, 0.8)]
+        )
+        gen = make_rng(0)
+        runs = 4000
+        ic_total = sum(simulate_ic(g, [0], rng=gen).sum() for _ in range(runs))
+        comic = estimate_spread(g, GAP.classic_ic(), [0], [], runs=runs, rng=1)
+        assert ic_total / runs == pytest.approx(comic.mean, abs=6 * comic.stderr)
+
+
+class TestLT:
+    def test_normalize_weights(self):
+        g = DiGraph.from_edges(3, [(0, 2, 0.8), (1, 2, 0.8)])
+        normalized = normalize_lt_weights(g)
+        assert normalized.edge_probability(0, 2) == pytest.approx(0.5)
+
+    def test_normalize_denormal_weight_regression(self):
+        """1/total used to overflow to inf for denormal weights (found by
+        hypothesis); the ratio form keeps the result exactly 1."""
+        g = DiGraph.from_edges(2, [(0, 1, 5e-324)])
+        assert normalize_lt_weights(g).edge_probability(0, 1) == 1.0
+
+    def test_normalize_zero_weight_untouched(self):
+        g = DiGraph.from_edges(2, [(0, 1, 0.0)])
+        assert normalize_lt_weights(g).edge_probability(0, 1) == 0.0
+
+    def test_rejects_overweight_instance(self):
+        g = DiGraph.from_edges(3, [(0, 2, 0.8), (1, 2, 0.8)])
+        with pytest.raises(GraphError, match="incoming weights"):
+            simulate_lt(g, [0], rng=0)
+
+    def test_deterministic_activation_with_weight_one(self):
+        g = path_digraph(4)  # every edge weight 1 = full in-weight
+        active = simulate_lt(g, [0], rng=0)
+        assert active.all()
+
+    def test_threshold_blocks_partial_weight(self):
+        # Node 2's in-weight from node 0 alone is 0.5: activates only when
+        # threshold <= 0.5, i.e. about half the runs.
+        g = DiGraph.from_edges(3, [(0, 2, 0.5), (1, 2, 0.5)])
+        gen = make_rng(0)
+        hits = sum(simulate_lt(g, [0], rng=gen)[2] for _ in range(2000))
+        assert 850 < hits < 1150
+
+    def test_seed_validation(self):
+        with pytest.raises(SeedSetError):
+            simulate_lt(path_digraph(3), [-2], rng=0)
+
+
+class TestTriggering:
+    def test_ic_sampler_matches_ic(self):
+        g = DiGraph.from_edges(
+            5, [(0, 1, 0.6), (0, 2, 0.4), (1, 3, 0.7), (2, 3, 0.5), (3, 4, 0.8)]
+        )
+        gen1, gen2 = make_rng(10), make_rng(11)
+        runs = 4000
+        trig = sum(
+            simulate_triggering(g, [0], sampler=ic_trigger_sampler, rng=gen1).sum()
+            for _ in range(runs)
+        )
+        ic = sum(simulate_ic(g, [0], rng=gen2).sum() for _ in range(runs))
+        assert trig / runs == pytest.approx(ic / runs, abs=0.1)
+
+    def test_lt_sampler_matches_lt(self):
+        g = normalize_lt_weights(
+            DiGraph.from_edges(4, [(0, 2, 0.9), (1, 2, 0.9), (2, 3, 1.0)])
+        )
+        gen1, gen2 = make_rng(20), make_rng(21)
+        runs = 4000
+        trig = sum(
+            simulate_triggering(g, [0], sampler=lt_trigger_sampler, rng=gen1).sum()
+            for _ in range(runs)
+        )
+        lt = sum(simulate_lt(g, [0], rng=gen2).sum() for _ in range(runs))
+        assert trig / runs == pytest.approx(lt / runs, abs=0.1)
+
+    def test_deterministic_star(self):
+        active = simulate_triggering(star_digraph(5), [0], rng=0)
+        assert active.all()
+
+    def test_seed_validation(self):
+        with pytest.raises(SeedSetError):
+            simulate_triggering(path_digraph(3), [7], rng=0)

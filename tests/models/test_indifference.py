@@ -1,0 +1,61 @@
+"""Lemma 3: when B is indifferent to A (q_{B|∅} = q_{B|A}), B's adoption
+distribution is independent of the A-seed set (and symmetrically)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+from repro.models import GAP, exact_adoption_probabilities
+
+
+def fixture_graph() -> DiGraph:
+    return DiGraph.from_edges(
+        5,
+        [(0, 2, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (1, 3, 0.5)],
+    )
+
+
+A_SEED_CHOICES = [[], [0], [0, 3], [4]]
+
+
+@pytest.mark.parametrize(
+    "gaps",
+    [
+        GAP(0.3, 0.9, 0.6, 0.6),  # B indifferent, B complements A
+        GAP(0.9, 0.3, 0.6, 0.6),  # B indifferent, B competes with A
+        GAP.independent(0.5, 0.7),
+    ],
+)
+def test_b_distribution_independent_of_a_seeds(gaps):
+    graph = fixture_graph()
+    assert gaps.b_indifferent_to_a
+    reference = None
+    for seeds_a in A_SEED_CHOICES:
+        _, pb = exact_adoption_probabilities(graph, gaps, seeds_a, [1])
+        if reference is None:
+            reference = pb
+        else:
+            np.testing.assert_allclose(pb, reference, atol=1e-12)
+
+
+def test_a_distribution_independent_of_b_seeds_when_a_indifferent():
+    graph = fixture_graph()
+    gaps = GAP(0.5, 0.5, 0.3, 0.9)  # A indifferent to B
+    assert gaps.a_indifferent_to_b
+    reference = None
+    for seeds_b in A_SEED_CHOICES:
+        pa, _ = exact_adoption_probabilities(graph, gaps, [1], seeds_b)
+        if reference is None:
+            reference = pa
+        else:
+            np.testing.assert_allclose(pa, reference, atol=1e-12)
+
+
+def test_dependence_without_indifference():
+    """Sanity contrast: with genuine complementarity the B distribution does
+    depend on A-seeds."""
+    graph = fixture_graph()
+    gaps = GAP(0.3, 0.9, 0.4, 0.95)
+    _, pb_empty = exact_adoption_probabilities(graph, gaps, [], [1])
+    _, pb_seeded = exact_adoption_probabilities(graph, gaps, [0], [1])
+    assert not np.allclose(pb_empty, pb_seeded)

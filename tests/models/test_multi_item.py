@@ -1,0 +1,120 @@
+"""Tests for the k-item Com-IC extension (§8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GapError, SeedSetError
+from repro.graph import DiGraph, path_digraph
+from repro.models import (
+    GAP,
+    MultiItemGaps,
+    exact_adoption_probabilities,
+    simulate_multi_item,
+)
+from repro.rng import make_rng
+
+
+class TestMultiItemGaps:
+    def test_uniform_construction(self):
+        gaps = MultiItemGaps.uniform(3, 0.5)
+        assert gaps.num_items == 3
+        assert gaps.q(0, frozenset()) == 0.5
+        assert gaps.q(0, frozenset({1, 2})) == 0.5
+
+    def test_from_pairwise(self):
+        pair = GAP(0.1, 0.2, 0.3, 0.4)
+        gaps = MultiItemGaps.from_pairwise_gap(pair)
+        assert gaps.q(0, frozenset()) == 0.1
+        assert gaps.q(0, frozenset({1})) == 0.2
+        assert gaps.q(1, frozenset()) == 0.3
+        assert gaps.q(1, frozenset({0})) == 0.4
+
+    def test_table_size_is_k_times_2_to_k_minus_1(self):
+        gaps = MultiItemGaps.uniform(4, 0.3)
+        total = sum(len(t) for t in gaps.table)
+        assert total == 4 * 2 ** (4 - 1)
+
+    def test_rejects_incomplete_table(self):
+        with pytest.raises(GapError, match="cover all"):
+            MultiItemGaps(num_items=2, table=({frozenset(): 0.5}, {frozenset(): 0.5}))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GapError):
+            MultiItemGaps(
+                num_items=2,
+                table=(
+                    {frozenset(): 1.5, frozenset({1}): 0.5},
+                    {frozenset(): 0.5, frozenset({0}): 0.5},
+                ),
+            )
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(GapError):
+            MultiItemGaps(num_items=0, table=())
+
+
+class TestSimulateMultiItem:
+    def test_deterministic_single_item(self):
+        gaps = MultiItemGaps.uniform(1, 1.0)
+        adopted = simulate_multi_item(path_digraph(4), gaps, [[0]], rng=0)
+        assert adopted.shape == (1, 4)
+        assert adopted[0].all()
+
+    def test_seed_set_count_checked(self):
+        gaps = MultiItemGaps.uniform(2, 1.0)
+        with pytest.raises(SeedSetError, match="expected 2 seed sets"):
+            simulate_multi_item(path_digraph(3), gaps, [[0]], rng=0)
+
+    def test_seed_range_checked(self):
+        gaps = MultiItemGaps.uniform(1, 1.0)
+        with pytest.raises(SeedSetError):
+            simulate_multi_item(path_digraph(3), gaps, [[9]], rng=0)
+
+    def test_two_item_dynamics_match_comic(self):
+        """For k=2 the extension must agree with Com-IC (threshold view)."""
+        graph = DiGraph.from_edges(
+            5, [(0, 1, 0.8), (0, 2, 0.7), (1, 3, 0.9), (2, 3, 0.6), (3, 4, 0.5)]
+        )
+        pair = GAP(0.3, 0.9, 0.5, 0.95)  # Q+ so tie-breaking is immaterial
+        gaps = MultiItemGaps.from_pairwise_gap(pair)
+        exact_a, exact_b = exact_adoption_probabilities(graph, pair, [0], [1])
+        gen = make_rng(0)
+        runs = 4000
+        freq = np.zeros((2, graph.num_nodes))
+        for _ in range(runs):
+            freq += simulate_multi_item(graph, gaps, [[0], [1]], rng=gen)
+        freq /= runs
+        tol = 4.5 / np.sqrt(runs)
+        assert np.all(np.abs(freq[0] - exact_a) < tol)
+        assert np.all(np.abs(freq[1] - exact_b) < tol)
+
+    def test_three_item_complement_chain(self):
+        """Item 2 adoptable only after both 0 and 1: q_{2|S} = 1 iff S={0,1}."""
+        graph = DiGraph.from_edges(3, [(0, 2, 1.0), (1, 2, 1.0)])
+        table_01 = {frozenset(): 1.0, frozenset({1}): 1.0, frozenset({2}): 1.0,
+                    frozenset({1, 2}): 1.0}
+        table_10 = {frozenset(): 1.0, frozenset({0}): 1.0, frozenset({2}): 1.0,
+                    frozenset({0, 2}): 1.0}
+        table_2 = {frozenset(): 0.0, frozenset({0}): 0.0, frozenset({1}): 0.0,
+                   frozenset({0, 1}): 1.0}
+        gaps = MultiItemGaps(num_items=3, table=(table_01, table_10, table_2))
+        # Seed items 0, 1 and 2 at the two roots; node 2 should adopt all
+        # three: items 0,1 arrive and unlock the re-evaluation of item 2.
+        adopted = simulate_multi_item(
+            graph, gaps, [[0], [1], [0, 1]], rng=0
+        )
+        assert adopted[0][2] and adopted[1][2]
+        assert adopted[2][2], "item 2 should adopt after both complements"
+
+    def test_three_item_blocked_without_full_set(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 1.0)])
+        table_0 = {frozenset(): 1.0, frozenset({1}): 1.0, frozenset({2}): 1.0,
+                   frozenset({1, 2}): 1.0}
+        table_1 = {frozenset(): 1.0, frozenset({0}): 1.0, frozenset({2}): 1.0,
+                   frozenset({0, 2}): 1.0}
+        table_2 = {frozenset(): 0.0, frozenset({0}): 0.0, frozenset({1}): 0.0,
+                   frozenset({0, 1}): 1.0}
+        gaps = MultiItemGaps(num_items=3, table=(table_0, table_1, table_2))
+        adopted = simulate_multi_item(graph, gaps, [[0], [], [0]], rng=0)
+        assert adopted[0][1]
+        assert not adopted[2][1], "item 2 must stay blocked without item 1"

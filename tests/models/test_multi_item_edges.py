@@ -1,0 +1,60 @@
+"""Additional multi-item tests: probabilistic edges and spread behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.graph import path_digraph, star_digraph
+from repro.models import MultiItemGaps, simulate_multi_item
+from repro.rng import make_rng
+
+
+class TestProbabilisticEdges:
+    def test_edge_probability_respected(self):
+        """Single item on a 2-node path with p = 0.3: adoption frequency of
+        the second node must track the edge probability."""
+        graph = path_digraph(2, probability=0.3)
+        gaps = MultiItemGaps.uniform(1, 1.0)
+        gen = make_rng(0)
+        runs = 4000
+        hits = sum(
+            int(simulate_multi_item(graph, gaps, [[0]], rng=gen)[0][1])
+            for _ in range(runs)
+        )
+        assert hits / runs == pytest.approx(0.3, abs=4.5 / np.sqrt(runs))
+
+    def test_edge_tested_once_across_items(self):
+        """Three fully independent items crossing one p = 0.5 edge: the
+        channel opens once for all of them, so the three adoption
+        indicators at the head must always agree."""
+        graph = path_digraph(2, probability=0.5)
+        gaps = MultiItemGaps.uniform(3, 1.0)
+        gen = make_rng(1)
+        for _ in range(200):
+            adopted = simulate_multi_item(
+                graph, gaps, [[0], [0], [0]], rng=gen
+            )
+            head = adopted[:, 1]
+            assert head.all() or not head.any(), (
+                "per-item disagreement implies the edge was re-tested"
+            )
+
+
+class TestSpreadBehaviour:
+    def test_complementary_items_spread_further_together(self):
+        """Item 1 needs item 0 (q=0 alone, q=1 given 0): seeding both at
+        the hub must carry item 1 everywhere item 0 goes."""
+        graph = star_digraph(10)
+        table_0 = {frozenset(): 1.0, frozenset({1}): 1.0}
+        table_1 = {frozenset(): 0.0, frozenset({0}): 1.0}
+        gaps = MultiItemGaps(num_items=2, table=(table_0, table_1))
+        adopted = simulate_multi_item(graph, gaps, [[0], [0]], rng=0)
+        assert adopted[0].all()
+        assert adopted[1].all()
+
+    def test_dependent_item_stuck_without_enabler(self):
+        graph = star_digraph(10)
+        table_0 = {frozenset(): 1.0, frozenset({1}): 1.0}
+        table_1 = {frozenset(): 0.0, frozenset({0}): 1.0}
+        gaps = MultiItemGaps(num_items=2, table=(table_0, table_1))
+        adopted = simulate_multi_item(graph, gaps, [[], [0]], rng=0)
+        assert adopted[1].sum() == 1  # only its own seed

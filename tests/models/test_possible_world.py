@@ -1,0 +1,103 @@
+"""Tests for eager possible worlds and the §5.1 equivalence-class claim."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, path_digraph
+from repro.models import GAP, simulate
+from repro.models.possible_world import FrozenWorldSource, sample_possible_world
+from repro.models.sources import ITEM_A, ITEM_B
+from repro.rng import make_rng
+
+
+class TestSampling:
+    def test_shapes(self):
+        graph = path_digraph(4)
+        world = sample_possible_world(graph, rng=0)
+        assert world.live.shape == (3,)
+        assert world.alpha_a.shape == world.alpha_b.shape == (4,)
+        assert world.tau_a_first.shape == (4,)
+
+    def test_deterministic_given_seed(self):
+        graph = path_digraph(4)
+        a = sample_possible_world(graph, rng=5)
+        b = sample_possible_world(graph, rng=5)
+        assert np.array_equal(a.alpha_a, b.alpha_a)
+        assert np.array_equal(a.live, b.live)
+
+    def test_liveness_rate_tracks_probability(self):
+        graph = path_digraph(2000, probability=0.3)
+        world = sample_possible_world(graph, rng=1)
+        assert 0.25 < world.live.mean() < 0.35
+
+    def test_with_alpha_override(self):
+        graph = path_digraph(3)
+        world = sample_possible_world(graph, rng=0)
+        changed = world.with_alpha(1, alpha_a=0.123, alpha_b=0.456)
+        assert changed.alpha_a[1] == 0.123
+        assert changed.alpha_b[1] == 0.456
+        # Original untouched (frozen dataclass semantics).
+        assert world.alpha_a[1] != 0.123 or world.alpha_b[1] != 0.456
+
+
+class TestAlphaRangeIndex:
+    def test_ranges_partition_unit_interval(self):
+        graph = path_digraph(2)
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        for alpha, expected in [(0.1, 0), (0.3, 1), (0.5, 1), (0.8, 2), (0.95, 2)]:
+            world = sample_possible_world(graph, rng=0).with_alpha(0, alpha_a=alpha)
+            assert world.alpha_range_index(0, ITEM_A, gaps) == expected
+
+    def test_item_b_uses_b_cuts(self):
+        graph = path_digraph(2)
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        world = sample_possible_world(graph, rng=0).with_alpha(0, alpha_b=0.5)
+        assert world.alpha_range_index(0, ITEM_B, gaps) == 1
+
+    def test_competitive_cuts_sorted(self):
+        graph = path_digraph(2)
+        gaps = GAP(0.8, 0.3, 0.9, 0.4)  # Q-: cuts still sorted ascending
+        world = sample_possible_world(graph, rng=0).with_alpha(0, alpha_a=0.5)
+        assert world.alpha_range_index(0, ITEM_A, gaps) == 1
+
+
+class TestEquivalenceClassClaim:
+    def test_worlds_in_same_class_behave_identically(self):
+        """§5.1: two worlds whose thresholds fall in the same ranges (same
+        liveness/priorities/taus) yield identical outcomes."""
+        graph = DiGraph.from_edges(
+            5, [(0, 1, 0.7), (1, 2, 0.8), (0, 3, 0.6), (3, 2, 0.9), (2, 4, 0.5)]
+        )
+        gaps = GAP(0.3, 0.8, 0.4, 0.9)
+        gen = make_rng(3)
+        checked = 0
+        for seed in range(40):
+            base = sample_possible_world(graph, rng=seed)
+            # Jitter every alpha within its own range.
+            jittered_a = base.alpha_a.copy()
+            jittered_b = base.alpha_b.copy()
+            for v in range(graph.num_nodes):
+                for item, (alpha, cuts) in enumerate(
+                    [
+                        (jittered_a, sorted((gaps.q_a, gaps.q_a_given_b))),
+                        (jittered_b, sorted((gaps.q_b, gaps.q_b_given_a))),
+                    ]
+                ):
+                    bounds = [0.0, *cuts, 1.0]
+                    value = alpha[v]
+                    for low, high in zip(bounds, bounds[1:]):
+                        if low <= value < high or (value == 1.0 and high == 1.0):
+                            span = high - low
+                            alpha[v] = low + span * gen.random() * 0.999
+                            break
+            jittered = base.__class__(
+                live=base.live, priority=base.priority,
+                alpha_a=jittered_a, alpha_b=jittered_b,
+                tau_a_first=base.tau_a_first,
+            )
+            out1 = simulate(graph, gaps, [0], [3], source=FrozenWorldSource(base))
+            out2 = simulate(graph, gaps, [0], [3], source=FrozenWorldSource(jittered))
+            assert np.array_equal(out1.a_adopted, out2.a_adopted)
+            assert np.array_equal(out1.b_adopted, out2.b_adopted)
+            checked += 1
+        assert checked == 40

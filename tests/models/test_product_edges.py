@@ -1,0 +1,115 @@
+"""Tests for the product-dependent edge-probability extension (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, path_digraph
+from repro.models import (
+    GAP,
+    exact_spread,
+    simulate,
+    simulate_product_dependent,
+)
+from repro.models.sources import WorldSource
+from repro.rng import make_rng
+
+
+def two_prob_graphs():
+    base = path_digraph(3)
+    graph_a = base.with_probabilities(np.array([1.0, 1.0]))
+    graph_b = base.with_probabilities(np.array([0.0, 0.0]))
+    return graph_a, graph_b
+
+
+class TestValidation:
+    def test_topology_mismatch_rejected(self):
+        with pytest.raises(GraphError, match="identical topology"):
+            simulate_product_dependent(
+                path_digraph(3), path_digraph(4), GAP.independent(), [0], [0]
+            )
+
+    def test_different_edges_rejected(self):
+        a = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        b = DiGraph.from_edges(3, [(0, 2, 1.0)])
+        with pytest.raises(GraphError, match="identical topology"):
+            simulate_product_dependent(a, b, GAP.independent(), [0], [0])
+
+
+class TestDynamics:
+    def test_item_b_blocked_on_its_own_channel(self):
+        """p_A = 1, p_B = 0: A spreads down the path, B stays at its seed."""
+        graph_a, graph_b = two_prob_graphs()
+        out = simulate_product_dependent(
+            graph_a, graph_b, GAP.independent(), [0], [0], rng=0
+        )
+        assert out.num_a_adopted == 3
+        assert out.num_b_adopted == 1
+
+    def test_reduces_to_comic_when_either_item_absent(self):
+        """With no B-seeds the model marginally equals base Com-IC on p_A."""
+        graph_a, graph_b = two_prob_graphs()
+        gaps = GAP(q_a=0.5, q_a_given_b=0.5, q_b=0.0, q_b_given_a=0.0)
+        gen = make_rng(3)
+        runs = 4000
+        total = 0
+        for _ in range(runs):
+            out = simulate_product_dependent(
+                graph_a, graph_b, gaps, [0], [], rng=gen
+            )
+            total += out.num_a_adopted
+        expected, _ = exact_spread(graph_a, gaps, [0], [])
+        assert total / runs == pytest.approx(expected, abs=0.06)
+
+    def test_independent_channels_decouple_items(self):
+        """Statistical check: with independent items, each item's adoption
+        frequency matches base Com-IC run on its own graph."""
+        base = path_digraph(3)
+        graph_a = base.with_probabilities(np.array([0.8, 0.8]))
+        graph_b = base.with_probabilities(np.array([0.3, 0.3]))
+        gaps = GAP.independent(1.0, 1.0)
+        gen = make_rng(5)
+        runs = 4000
+        count_a = np.zeros(3)
+        count_b = np.zeros(3)
+        for _ in range(runs):
+            out = simulate_product_dependent(
+                graph_a, graph_b, gaps, [0], [0], rng=gen
+            )
+            count_a += out.a_adopted
+            count_b += out.b_adopted
+        exact_a, _ = (np.array([1.0, 0.8, 0.64]), None)
+        exact_b = np.array([1.0, 0.3, 0.09])
+        tol = 4.5 / np.sqrt(runs)
+        assert np.all(np.abs(count_a / runs - exact_a) < tol)
+        assert np.all(np.abs(count_b / runs - exact_b) < tol)
+
+    def test_world_source_reusable(self):
+        graph_a, graph_b = two_prob_graphs()
+        world = WorldSource(7)
+        gaps = GAP.independent(0.7, 0.7)
+        first = simulate_product_dependent(
+            graph_a, graph_b, gaps, [0], [0], source=world
+        )
+        second = simulate_product_dependent(
+            graph_a, graph_b, gaps, [0], [0], source=world
+        )
+        assert np.array_equal(first.a_adopted, second.a_adopted)
+        assert np.array_equal(first.b_adopted, second.b_adopted)
+
+    def test_equal_probabilities_marginals_match_base_comic(self):
+        """When p_A = p_B, per-item marginals agree with base Com-IC even
+        though the joint coupling differs (two coins vs one)."""
+        graph = path_digraph(3, probability=0.6)
+        gaps = GAP(0.4, 0.9, 0.5, 0.8)
+        gen = make_rng(11)
+        runs = 5000
+        count_a = np.zeros(3)
+        for _ in range(runs):
+            out = simulate_product_dependent(graph, graph, gaps, [0], [], rng=gen)
+            count_a += out.a_adopted
+        from repro.models import exact_adoption_probabilities
+
+        exact_a, _ = exact_adoption_probabilities(graph, gaps, [0], [])
+        tol = 4.5 / np.sqrt(runs)
+        assert np.all(np.abs(count_a / runs - exact_a) < tol)

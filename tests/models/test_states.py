@@ -1,0 +1,51 @@
+"""Appendix A.1: the five unreachable joint NLA states stay unreachable."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi_digraph, uniform_random_probabilities
+from repro.models import GAP, UNREACHABLE_JOINT_STATES, ItemState, simulate
+from repro.models.states import is_terminal
+from repro.rng import make_rng
+
+
+class TestStateEnum:
+    def test_values(self):
+        assert ItemState.IDLE == 0
+        assert ItemState.ADOPTED == 2
+
+    def test_terminal_states(self):
+        assert is_terminal(ItemState.ADOPTED)
+        assert is_terminal(ItemState.REJECTED)
+        assert not is_terminal(ItemState.IDLE)
+        assert not is_terminal(ItemState.SUSPENDED)
+
+    def test_unreachable_set_matches_appendix(self):
+        expected = {
+            (ItemState.IDLE, ItemState.REJECTED),
+            (ItemState.SUSPENDED, ItemState.REJECTED),
+            (ItemState.REJECTED, ItemState.IDLE),
+            (ItemState.REJECTED, ItemState.SUSPENDED),
+            (ItemState.REJECTED, ItemState.REJECTED),
+        }
+        assert UNREACHABLE_JOINT_STATES == frozenset(expected)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_diffusions_never_reach_forbidden_states(seed):
+    """Lemmas 9-10: simulate many random instances with random GAPs and
+    assert no node ends in an unreachable joint state."""
+    gen = make_rng(seed)
+    graph = uniform_random_probabilities(
+        erdos_renyi_digraph(25, 0.12, rng=gen), 0.2, 1.0, rng=gen
+    )
+    for _ in range(60):
+        gaps = GAP(*gen.random(4))
+        seeds_a = list(gen.choice(25, size=2, replace=False))
+        seeds_b = list(gen.choice(25, size=2, replace=False))
+        out = simulate(graph, gaps, seeds_a, seeds_b, rng=gen)
+        for v in range(graph.num_nodes):
+            joint = out.joint_state(v)
+            assert joint not in UNREACHABLE_JOINT_STATES, (
+                f"node {v} reached forbidden state {joint} under {gaps}"
+            )

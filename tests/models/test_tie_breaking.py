@@ -1,0 +1,65 @@
+"""Lemma 2: under mutual complementarity (Q+), tie-breaking permutations do
+not affect which nodes adopt which items."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+from repro.models import GAP, simulate
+from repro.models.possible_world import FrozenWorldSource, sample_possible_world
+from repro.rng import make_rng
+
+
+def fan_in_graph() -> DiGraph:
+    # Node 4 hears from three informers; node 5 sits downstream.
+    return DiGraph.from_edges(
+        6,
+        [(0, 4, 1.0), (1, 4, 1.0), (2, 4, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+    )
+
+
+@pytest.mark.parametrize("world_seed", range(8))
+def test_permutation_irrelevant_under_q_plus(world_seed):
+    graph = fan_in_graph()
+    gaps = GAP(0.3, 0.8, 0.4, 0.9)
+    assert gaps.is_mutually_complementary
+    base_world = sample_possible_world(graph, rng=world_seed)
+    outcomes = []
+    gen = make_rng(world_seed + 100)
+    for _ in range(12):
+        # Same world except for freshly shuffled tie-break priorities.
+        world = base_world.__class__(
+            live=base_world.live,
+            priority=gen.random(graph.num_edges),
+            alpha_a=base_world.alpha_a,
+            alpha_b=base_world.alpha_b,
+            tau_a_first=base_world.tau_a_first,
+        )
+        out = simulate(
+            graph, gaps, [0, 1], [2, 3], source=FrozenWorldSource(world)
+        )
+        outcomes.append((out.a_adopted.tobytes(), out.b_adopted.tobytes()))
+    assert len(set(outcomes)) == 1, "tie-breaking changed a Q+ outcome"
+
+
+def test_permutation_matters_under_competition():
+    """Contrast: under pure competition the permutation decides the winner,
+    so some world must produce different outcomes for different priorities."""
+    graph = DiGraph.from_edges(3, [(0, 2, 1.0), (1, 2, 1.0)])
+    gaps = GAP.pure_competition()
+    differing = False
+    for seed in range(30):
+        world = sample_possible_world(graph, rng=seed)
+        flipped = world.__class__(
+            live=world.live,
+            priority=1.0 - world.priority,
+            alpha_a=world.alpha_a,
+            alpha_b=world.alpha_b,
+            tau_a_first=world.tau_a_first,
+        )
+        out1 = simulate(graph, gaps, [0], [1], source=FrozenWorldSource(world))
+        out2 = simulate(graph, gaps, [0], [1], source=FrozenWorldSource(flipped))
+        if bool(out1.a_adopted[2]) != bool(out2.a_adopted[2]):
+            differing = True
+            break
+    assert differing, "competition outcome never depended on tie-breaking"

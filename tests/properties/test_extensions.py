@@ -1,0 +1,157 @@
+"""Property-based tests for the extension modules.
+
+Covers the seed-overlap metrics, the discount heuristics, the IMM engine,
+the stable string hash, the k-item GAP tables and the Com-LT model — the
+invariants a fuzzer can check without Monte-Carlo tolerance.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import rank_weighted_overlap, seed_jaccard
+from repro.graph import DiGraph
+from repro.models import GAP, MultiItemGaps, normalize_lt_weights, simulate_comlt
+from repro.rng import stable_hash
+from repro.rrset import IMMOptions, RRICGenerator, general_imm
+from repro.algorithms import degree_discount_seeds, single_discount_seeds
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=0, max_value=min(len(pairs), 18)))
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), min_size=count, max_size=count, unique=True)
+    )
+    prob = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    return DiGraph.from_edges(n, chosen, default_probability=prob)
+
+
+seed_lists = st.lists(
+    st.integers(min_value=0, max_value=50), max_size=12, unique=True
+)
+
+
+class TestOverlapMetrics:
+    @settings(max_examples=80, deadline=None)
+    @given(first=seed_lists, second=seed_lists)
+    def test_jaccard_bounds_and_symmetry(self, first, second):
+        value = seed_jaccard(first, second)
+        assert 0.0 <= value <= 1.0
+        assert value == seed_jaccard(second, first)
+
+    @settings(max_examples=80, deadline=None)
+    @given(seeds=seed_lists)
+    def test_jaccard_identity(self, seeds):
+        assert seed_jaccard(seeds, seeds) == 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(first=seed_lists, second=seed_lists)
+    def test_rank_overlap_bounds_and_symmetry(self, first, second):
+        value = rank_weighted_overlap(first, second)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(rank_weighted_overlap(second, first))
+
+    @settings(max_examples=80, deadline=None)
+    @given(seeds=seed_lists)
+    def test_rank_overlap_identity(self, seeds):
+        assert rank_weighted_overlap(seeds, seeds) == 1.0
+
+
+class TestDiscountHeuristics:
+    @settings(max_examples=50, deadline=None)
+    @given(graph=small_graphs(), data=st.data())
+    def test_seed_sets_valid(self, graph, data):
+        k = data.draw(st.integers(min_value=0, max_value=graph.num_nodes))
+        for selector in (single_discount_seeds, degree_discount_seeds):
+            seeds = selector(graph, k)
+            assert len(seeds) == k
+            assert len(set(seeds)) == k
+            assert all(0 <= v < graph.num_nodes for v in seeds)
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=small_graphs())
+    def test_first_seed_is_max_degree(self, graph):
+        if graph.num_nodes == 0:
+            return
+        top = int(np.max(graph.out_degrees))
+        for selector in (single_discount_seeds, degree_discount_seeds):
+            seeds = selector(graph, 1)
+            assert int(graph.out_degrees[seeds[0]]) == top
+
+
+class TestIMMProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs(), data=st.data())
+    def test_valid_and_deterministic(self, graph, data):
+        k = data.draw(st.integers(min_value=0, max_value=graph.num_nodes))
+        opts = IMMOptions(max_rr_sets=200, min_rr_sets=10)
+        gen = RRICGenerator(graph)
+        r1 = general_imm(gen, k, options=opts, rng=7)
+        r2 = general_imm(gen, k, options=opts, rng=7)
+        assert r1.seeds == r2.seeds
+        assert len(r1.seeds) == min(k, graph.num_nodes) if k else r1.seeds == []
+        assert len(set(r1.seeds)) == len(r1.seeds)
+        assert 0.0 <= r1.estimated_objective <= graph.num_nodes
+
+
+class TestStableHash:
+    @settings(max_examples=100, deadline=None)
+    @given(text=st.text(max_size=40))
+    def test_range_and_determinism(self, text):
+        value = stable_hash(text)
+        assert 0 <= value < 2**31
+        assert value == stable_hash(text)
+
+    def test_known_value_pinned(self):
+        # Guards against accidental algorithm changes breaking stored seeds.
+        assert stable_hash("flixster") == 1427826004
+
+
+class TestMultiItemGapTables:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_items=st.integers(min_value=1, max_value=4),
+        base=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        boost=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    )
+    def test_additive_tables_always_valid(self, num_items, base, boost):
+        gaps = MultiItemGaps.additive(num_items, base=base, boost_per_item=boost)
+        if boost >= 0:
+            assert gaps.is_mutually_complementary
+        if boost <= 0:
+            assert gaps.is_mutually_competitive
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        q_a=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        q_ab=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        q_b=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        q_ba=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_pairwise_embedding_round_trip(self, q_a, q_ab, q_b, q_ba):
+        gap = GAP(q_a=q_a, q_a_given_b=q_ab, q_b=q_b, q_b_given_a=q_ba)
+        multi = MultiItemGaps.from_pairwise_gap(gap)
+        assert multi.q(0, frozenset()) == q_a
+        assert multi.q(0, frozenset({1})) == q_ab
+        assert multi.q(1, frozenset()) == q_b
+        assert multi.q(1, frozenset({0})) == q_ba
+
+
+class TestComLTInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs(), rng_seed=st.integers(min_value=0, max_value=999))
+    def test_seeds_always_adopt_and_states_consistent(self, graph, rng_seed):
+        graph = normalize_lt_weights(graph)
+        gaps = GAP(q_a=0.5, q_a_given_b=0.8, q_b=0.4, q_b_given_a=0.7)
+        seeds_a = [0]
+        seeds_b = [graph.num_nodes - 1]
+        outcome = simulate_comlt(graph, gaps, seeds_a, seeds_b, rng=rng_seed)
+        assert bool(outcome.a_adopted[0])
+        assert bool(outcome.b_adopted[graph.num_nodes - 1])
+        # Adoption times exist exactly for adopters.
+        assert np.all((outcome.adopted_a_at >= 0) == outcome.a_adopted)
+        assert np.all((outcome.adopted_b_at >= 0) == outcome.b_adopted)

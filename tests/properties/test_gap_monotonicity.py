@@ -1,0 +1,91 @@
+"""Property test of Theorem 10: within Q+, sigma_A increases in each GAP.
+
+Used by the Sandwich Approximation to order mu <= sigma <= nu: raising any
+one of the four GAPs (staying inside Q+) cannot lower sigma_A.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import DiGraph
+from repro.models import GAP, exact_spread
+
+_Q = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+@st.composite
+def tiny_graphs(draw) -> DiGraph:
+    n = draw(st.integers(min_value=3, max_value=5))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=2, max_value=min(len(pairs), 6)))
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), min_size=count, max_size=count, unique=True)
+    )
+    return DiGraph.from_edges(n, [(u, v, 1.0) for u, v in chosen])
+
+
+@st.composite
+def q_plus_gaps(draw) -> GAP:
+    q_a = draw(_Q)
+    q_ab = draw(_Q.filter(lambda v: v >= q_a))
+    q_b = draw(_Q)
+    q_ba = draw(_Q.filter(lambda v: v >= q_b))
+    return GAP(q_a, q_ab, q_b, q_ba)
+
+
+def _raised(gaps: GAP, field: str, delta: float = 0.2) -> GAP | None:
+    """Raise one GAP by ``delta`` if the result stays inside Q+ and [0,1]."""
+    values = {
+        "q_a": gaps.q_a,
+        "q_a_given_b": gaps.q_a_given_b,
+        "q_b": gaps.q_b,
+        "q_b_given_a": gaps.q_b_given_a,
+    }
+    values[field] = values[field] + delta
+    if values[field] > 1.0:
+        return None
+    candidate = GAP(**values)
+    if not candidate.is_mutually_complementary:
+        return None
+    return candidate
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    graph=tiny_graphs(),
+    gaps=q_plus_gaps(),
+    field=st.sampled_from(["q_a", "q_a_given_b", "q_b", "q_b_given_a"]),
+    data=st.data(),
+)
+def test_sigma_a_monotone_in_each_gap(graph, gaps, field, data):
+    raised = _raised(gaps, field)
+    if raised is None:
+        return  # raising would leave Q+; Theorem 10 does not apply
+    n = graph.num_nodes
+    seeds_a = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=2, unique=True)
+    )
+    seeds_b = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=0, max_size=2, unique=True)
+    )
+    low, _ = exact_spread(graph, gaps, seeds_a, seeds_b)
+    high, _ = exact_spread(graph, raised, seeds_a, seeds_b)
+    assert high >= low - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=tiny_graphs(), gaps=q_plus_gaps(), data=st.data())
+def test_sandwich_bound_ordering(graph, gaps, data):
+    """mu(S) <= sigma(S) <= nu(S) for the SelfInfMax sandwich bounds."""
+    n = graph.num_nodes
+    seeds_a = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=2, unique=True)
+    )
+    seeds_b = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=0, max_size=2, unique=True)
+    )
+    mu, _ = exact_spread(graph, gaps.with_b_indifferent_low(), seeds_a, seeds_b)
+    sigma, _ = exact_spread(graph, gaps, seeds_a, seeds_b)
+    nu, _ = exact_spread(graph, gaps.with_b_indifferent_high(), seeds_a, seeds_b)
+    assert mu <= sigma + 1e-9
+    assert sigma <= nu + 1e-9

@@ -1,0 +1,122 @@
+"""Property-based tests of Theorem 3 (monotonicity) via the exact oracle.
+
+Hypothesis generates tiny random instances (graph, GAPs, seed sets); the
+exact enumeration oracle then checks, with no Monte-Carlo tolerance:
+
+* Q+ and Q-: sigma_A is monotone increasing in S_A (self-monotonicity);
+* Q+: sigma_A is monotone increasing in S_B (cross-monotonicity);
+* Q-: sigma_A is monotone decreasing in S_B.
+
+The appendix's Example 1 shows these fail outside Q+/Q-, so the GAP
+strategies are constrained to the respective regimes.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import DiGraph
+from repro.models import GAP, exact_spread
+
+MAX_NODES = 5
+
+
+@st.composite
+def tiny_graphs(draw) -> DiGraph:
+    n = draw(st.integers(min_value=2, max_value=MAX_NODES))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=1, max_value=min(len(pairs), 6)))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(pairs), min_size=count, max_size=count, unique=True
+        )
+    )
+    probs = draw(
+        st.lists(
+            st.sampled_from([0.3, 0.6, 1.0]),
+            min_size=len(chosen), max_size=len(chosen),
+        )
+    )
+    return DiGraph.from_edges(n, [(u, v, p) for (u, v), p in zip(chosen, probs)])
+
+
+_Q = st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0])
+
+
+@st.composite
+def q_plus_gaps(draw) -> GAP:
+    q_a = draw(_Q)
+    q_ab = draw(_Q.filter(lambda v: v >= q_a))
+    q_b = draw(_Q)
+    q_ba = draw(_Q.filter(lambda v: v >= q_b))
+    return GAP(q_a, q_ab, q_b, q_ba)
+
+
+@st.composite
+def q_minus_gaps(draw) -> GAP:
+    q_a = draw(_Q)
+    q_ab = draw(_Q.filter(lambda v: v <= q_a))
+    q_b = draw(_Q)
+    q_ba = draw(_Q.filter(lambda v: v <= q_b))
+    return GAP(q_a, q_ab, q_b, q_ba)
+
+
+def seed_sets(draw, st_module, n):
+    base = draw(
+        st_module.lists(
+            st_module.integers(0, n - 1), min_size=0, max_size=2, unique=True
+        )
+    )
+    extra = draw(st_module.integers(0, n - 1))
+    return base, extra
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=tiny_graphs(), gaps=q_plus_gaps(), data=st.data())
+def test_self_monotone_increasing_q_plus(graph, gaps, data):
+    n = graph.num_nodes
+    seeds_a, extra = seed_sets(data.draw, st, n)
+    seeds_b = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=0, max_size=2, unique=True)
+    )
+    small, _ = exact_spread(graph, gaps, seeds_a, seeds_b)
+    large, _ = exact_spread(graph, gaps, seeds_a + [extra], seeds_b)
+    assert large >= small - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=tiny_graphs(), gaps=q_minus_gaps(), data=st.data())
+def test_self_monotone_increasing_q_minus(graph, gaps, data):
+    n = graph.num_nodes
+    seeds_a, extra = seed_sets(data.draw, st, n)
+    seeds_b = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=0, max_size=2, unique=True)
+    )
+    small, _ = exact_spread(graph, gaps, seeds_a, seeds_b)
+    large, _ = exact_spread(graph, gaps, seeds_a + [extra], seeds_b)
+    assert large >= small - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=tiny_graphs(), gaps=q_plus_gaps(), data=st.data())
+def test_cross_monotone_increasing_q_plus(graph, gaps, data):
+    n = graph.num_nodes
+    seeds_b, extra = seed_sets(data.draw, st, n)
+    seeds_a = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=2, unique=True)
+    )
+    small, _ = exact_spread(graph, gaps, seeds_a, seeds_b)
+    large, _ = exact_spread(graph, gaps, seeds_a, seeds_b + [extra])
+    assert large >= small - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=tiny_graphs(), gaps=q_minus_gaps(), data=st.data())
+def test_cross_monotone_decreasing_q_minus(graph, gaps, data):
+    n = graph.num_nodes
+    seeds_b, extra = seed_sets(data.draw, st, n)
+    seeds_a = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=2, unique=True)
+    )
+    small, _ = exact_spread(graph, gaps, seeds_a, seeds_b)
+    large, _ = exact_spread(graph, gaps, seeds_a, seeds_b + [extra])
+    assert large <= small + 1e-9

@@ -1,0 +1,144 @@
+"""Property-based tests on core data structures and algorithm invariants."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import DiGraph
+from repro.models.sources import ITEM_A, ITEM_B, WorldSource
+from repro.rng import derive_seed, make_rng, spawn_rngs
+from repro.rrset.tim import greedy_max_coverage
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    if not pairs:
+        return n, []
+    count = draw(st.integers(min_value=0, max_value=min(len(pairs), 20)))
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), min_size=count, max_size=count, unique=True)
+    )
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=len(chosen), max_size=len(chosen),
+        )
+    )
+    return n, [(u, v, p) for (u, v), p in zip(chosen, probs)]
+
+
+class TestGraphInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(data=edge_lists())
+    def test_degree_sums_equal_edge_count(self, data):
+        n, edges = data
+        graph = DiGraph.from_edges(n, edges)
+        assert int(graph.out_degrees.sum()) == graph.num_edges
+        assert int(graph.in_degrees.sum()) == graph.num_edges
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=edge_lists())
+    def test_out_and_in_views_agree(self, data):
+        n, edges = data
+        graph = DiGraph.from_edges(n, edges)
+        rebuilt = sorted(
+            (int(u), int(v))
+            for v in range(n)
+            for u in graph.in_neighbors(v)
+        )
+        original = sorted((u, v) for u, v, _p in edges)
+        assert rebuilt == original
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=edge_lists())
+    def test_reverse_is_involution(self, data):
+        n, edges = data
+        graph = DiGraph.from_edges(n, edges)
+        assert graph.reverse().reverse() == graph
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=edge_lists())
+    def test_edge_list_round_trip(self, data, tmp_path_factory):
+        from repro.graph import load_edge_list, save_edge_list
+
+        n, edges = data
+        graph = DiGraph.from_edges(n, edges)
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert np.allclose(loaded.edge_probabilities, graph.edge_probabilities)
+
+
+class TestCoverageGuarantee:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_greedy_within_1_minus_1_over_e_of_optimum(self, data):
+        import itertools
+
+        n = data.draw(st.integers(min_value=2, max_value=6))
+        num_sets = data.draw(st.integers(min_value=1, max_value=8))
+        rr_sets = [
+            np.asarray(
+                data.draw(
+                    st.lists(
+                        st.integers(0, n - 1), min_size=1, max_size=n, unique=True
+                    )
+                ),
+                dtype=np.int64,
+            )
+            for _ in range(num_sets)
+        ]
+        k = data.draw(st.integers(min_value=1, max_value=n))
+        _, covered, _ = greedy_max_coverage(rr_sets, n, k)
+        best = 0
+        for combo in itertools.combinations(range(n), min(k, n)):
+            chosen = set(combo)
+            best = max(
+                best, sum(1 for rr in rr_sets if chosen & set(rr.tolist()))
+            )
+        assert covered >= (1 - 1 / np.e) * best - 1e-9
+
+
+class TestWorldSourceInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), node=st.integers(0, 100))
+    def test_alpha_memoised_and_in_unit_interval(self, seed, node):
+        source = WorldSource(seed)
+        a1 = source.alpha(node, ITEM_A)
+        b1 = source.alpha(node, ITEM_B)
+        assert 0.0 <= a1 <= 1.0
+        assert source.alpha(node, ITEM_A) == a1
+        assert source.alpha(node, ITEM_B) == b1
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), q=st.floats(0.0, 1.0, allow_nan=False))
+    def test_adoption_consistent_with_threshold(self, seed, q):
+        source = WorldSource(seed)
+        adopted = source.adopt_on_inform(0, ITEM_A, q, 0.0, other_adopted=False)
+        assert adopted == (source.alpha(0, ITEM_A) < q)
+
+
+class TestRngHelpers:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), count=st.integers(0, 5))
+    def test_spawned_streams_are_deterministic(self, seed, count):
+        first = [g.random() for g in spawn_rngs(seed, count)]
+        second = [g.random() for g in spawn_rngs(seed, count)]
+        assert first == second
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), salt=st.integers(0, 100))
+    def test_derive_seed_deterministic_and_salted(self, seed, salt):
+        assert derive_seed(seed, salt) == derive_seed(seed, salt)
+        assert derive_seed(seed, salt) != derive_seed(seed, salt + 1)
+
+    def test_derive_seed_none_passthrough(self):
+        assert derive_seed(None, 3) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_make_rng_reproducible(self, seed):
+        assert make_rng(seed).random() == make_rng(seed).random()

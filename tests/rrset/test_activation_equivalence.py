@@ -1,0 +1,116 @@
+"""Activation equivalence (Definition 2 / Lemma 5) for every RR generator.
+
+For a fixed root ``v`` and seed set ``S``, the probability that ``S``
+"activates" ``v`` in the model must equal the probability that ``S``
+intersects a random RR-set rooted at ``v``.  The left side comes from the
+exact enumeration oracle; the right side is a Monte-Carlo frequency over
+independently generated RR-sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+from repro.models import GAP, exact_adoption_probabilities
+from repro.rng import make_rng
+from repro.rrset import (
+    RRCimGenerator,
+    RRICGenerator,
+    RRSimGenerator,
+    RRSimPlusGenerator,
+)
+
+SAMPLES = 3000
+TOLERANCE = 4.5 / np.sqrt(SAMPLES)
+
+
+def fixture_graph() -> DiGraph:
+    return DiGraph.from_edges(
+        6,
+        [
+            (0, 1, 0.7),
+            (0, 2, 0.5),
+            (1, 3, 0.8),
+            (2, 3, 0.6),
+            (3, 4, 0.9),
+            (2, 4, 0.4),
+            (4, 5, 0.7),
+        ],
+    )
+
+
+def intersection_frequency(generator, root, seed_sets, rng):
+    hits = {key: 0 for key in seed_sets}
+    for _ in range(SAMPLES):
+        rr = set(generator.generate(rng=rng, root=root).tolist())
+        for key, seeds in seed_sets.items():
+            if rr & set(seeds):
+                hits[key] += 1
+    return {key: count / SAMPLES for key, count in hits.items()}
+
+
+class TestRRIC:
+    @pytest.mark.parametrize("root", [3, 5])
+    def test_equivalence(self, root):
+        graph = fixture_graph()
+        gaps = GAP.classic_ic()
+        seed_sets = {"single": [0], "pair": [1, 2], "self": [root]}
+        freq = intersection_frequency(
+            RRICGenerator(graph), root, seed_sets, make_rng(root)
+        )
+        for key, seeds in seed_sets.items():
+            pa, _ = exact_adoption_probabilities(graph, gaps, seeds, [])
+            assert freq[key] == pytest.approx(pa[root], abs=TOLERANCE), key
+
+
+class TestRRSim:
+    @pytest.mark.parametrize("root", [3, 4])
+    @pytest.mark.parametrize(
+        "gaps",
+        [
+            GAP(0.3, 0.8, 0.5, 0.5),   # one-way complementarity
+            GAP(0.6, 0.6, 0.4, 0.4),   # full indifference
+            GAP(0.2, 1.0, 0.9, 0.9),   # strong boost
+        ],
+    )
+    def test_equivalence(self, root, gaps):
+        graph = fixture_graph()
+        seeds_b = [0]
+        generator = RRSimGenerator(graph, gaps, seeds_b)
+        seed_sets = {"single": [1], "pair": [1, 2], "far": [0]}
+        freq = intersection_frequency(generator, root, seed_sets, make_rng(7 + root))
+        for key, seeds in seed_sets.items():
+            pa, _ = exact_adoption_probabilities(graph, gaps, seeds, seeds_b)
+            assert freq[key] == pytest.approx(pa[root], abs=TOLERANCE), key
+
+
+class TestRRSimPlus:
+    @pytest.mark.parametrize("root", [3, 5])
+    def test_equivalence(self, root):
+        graph = fixture_graph()
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        seeds_b = [0]
+        generator = RRSimPlusGenerator(graph, gaps, seeds_b)
+        seed_sets = {"single": [1], "pair": [1, 2]}
+        freq = intersection_frequency(generator, root, seed_sets, make_rng(17 + root))
+        for key, seeds in seed_sets.items():
+            pa, _ = exact_adoption_probabilities(graph, gaps, seeds, seeds_b)
+            assert freq[key] == pytest.approx(pa[root], abs=TOLERANCE), key
+
+
+class TestRRCim:
+    @pytest.mark.parametrize("root", [3, 4, 5])
+    def test_equivalence(self, root):
+        """For CompInfMax, activation means *flipping* the root: A-adopted
+        with the B-seed set but not without any B-seeds."""
+        graph = fixture_graph()
+        gaps = GAP(0.2, 0.9, 0.5, 1.0)
+        seeds_a = [0]
+        generator = RRCimGenerator(graph, gaps, seeds_a)
+        seed_sets = {"single": [1], "pair": [2, 4], "self": [root]}
+        freq = intersection_frequency(generator, root, seed_sets, make_rng(27 + root))
+        pa_base, _ = exact_adoption_probabilities(graph, gaps, seeds_a, [])
+        for key, seeds in seed_sets.items():
+            pa_with, _ = exact_adoption_probabilities(graph, gaps, seeds_a, seeds)
+            flip_probability = pa_with[root] - pa_base[root]
+            assert freq[key] == pytest.approx(flip_probability, abs=TOLERANCE), key

@@ -1,0 +1,34 @@
+"""Tests for the RRSetGenerator base interface."""
+
+import numpy as np
+
+from repro.graph import path_digraph
+from repro.rng import make_rng
+from repro.rrset import RRICGenerator
+
+
+class TestBaseInterface:
+    def test_random_root_in_range(self):
+        generator = RRICGenerator(path_digraph(7))
+        gen = make_rng(0)
+        roots = {generator.random_root(gen) for _ in range(200)}
+        assert roots <= set(range(7))
+        assert len(roots) > 3  # actually random
+
+    def test_generate_many_count_and_types(self):
+        generator = RRICGenerator(path_digraph(5))
+        sets = generator.generate_many(7, rng=1)
+        assert len(sets) == 7
+        for rr in sets:
+            assert isinstance(rr, np.ndarray)
+            assert rr.dtype == np.int64
+
+    def test_generate_many_deterministic_given_seed(self):
+        generator = RRICGenerator(path_digraph(5, probability=0.5))
+        first = [sorted(rr.tolist()) for rr in generator.generate_many(10, rng=3)]
+        second = [sorted(rr.tolist()) for rr in generator.generate_many(10, rng=3)]
+        assert first == second
+
+    def test_graph_property(self):
+        graph = path_digraph(4)
+        assert RRICGenerator(graph).graph is graph

@@ -1,0 +1,80 @@
+"""Tests for RR-set-based objective estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, path_digraph, star_digraph
+from repro.models import GAP, estimate_spread, exact_adoption_probabilities
+from repro.rrset import (
+    RRICGenerator,
+    RRSimPlusGenerator,
+    rr_estimate_many,
+    rr_estimate_objective,
+)
+
+
+class TestRRICEstimate:
+    def test_matches_exact_on_fixture(self):
+        graph = DiGraph.from_edges(
+            4, [(0, 1, 0.6), (1, 2, 0.5), (0, 3, 0.4)]
+        )
+        seeds = [0]
+        estimate = rr_estimate_objective(
+            RRICGenerator(graph), seeds, samples=30_000, rng=1
+        )
+        pa, _ = exact_adoption_probabilities(graph, GAP.classic_ic(), seeds, [])
+        assert estimate.mean == pytest.approx(float(pa.sum()), abs=0.1)
+
+    def test_deterministic_star(self):
+        graph = star_digraph(20, probability=1.0)
+        estimate = rr_estimate_objective(
+            RRICGenerator(graph), [0], samples=2000, rng=2
+        )
+        assert estimate.mean == pytest.approx(20.0)
+        assert estimate.std == pytest.approx(0.0)
+
+    def test_empty_seed_set(self):
+        graph = path_digraph(4)
+        estimate = rr_estimate_objective(RRICGenerator(graph), [], samples=500, rng=3)
+        assert estimate.mean == 0.0
+
+    def test_samples_validated(self):
+        graph = path_digraph(3)
+        with pytest.raises(ValueError):
+            rr_estimate_objective(RRICGenerator(graph), [0], samples=0)
+
+
+class TestRRSimEstimate:
+    def test_matches_mc_spread(self):
+        graph = star_digraph(30, probability=0.6)
+        gaps = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+        seeds_b = [0]
+        generator = RRSimPlusGenerator(graph, gaps, seeds_b)
+        rr = rr_estimate_objective(generator, [0], samples=20_000, rng=4)
+        mc = estimate_spread(graph, gaps, [0], seeds_b, runs=5000, rng=5)
+        assert rr.mean == pytest.approx(mc.mean, rel=0.08)
+
+
+class TestSharedPool:
+    def test_ranking_consistent_with_structure(self):
+        graph = star_digraph(25, probability=1.0)
+        estimates = rr_estimate_many(
+            RRICGenerator(graph), [[0], [1], [1, 2]], samples=3000, rng=6
+        )
+        hub, leaf, leaves = (e.mean for e in estimates)
+        assert hub > leaves > leaf
+
+    def test_monotone_in_seed_sets(self):
+        graph = star_digraph(15, probability=0.5)
+        subset, superset = rr_estimate_many(
+            RRICGenerator(graph), [[1], [1, 2, 3]], samples=4000, rng=7
+        )
+        # Shared pool: a superset can never score below its subset.
+        assert superset.mean >= subset.mean
+
+    def test_lengths(self):
+        graph = path_digraph(4)
+        results = rr_estimate_many(
+            RRICGenerator(graph), [[0], [1], [2], [3]], samples=100, rng=8
+        )
+        assert len(results) == 4

@@ -1,0 +1,186 @@
+"""Tests for IMM: sample bounds, seed quality, parity with GeneralTIM."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SeedSetError
+from repro.graph import DiGraph, power_law_digraph, star_digraph
+from repro.models import GAP
+from repro.rrset import (
+    IMMOptions,
+    RRCimGenerator,
+    RRICGenerator,
+    RRSimPlusGenerator,
+    TIMOptions,
+    general_imm,
+    general_tim,
+)
+from repro.rrset.imm import _lambda_prime, _lambda_star
+
+
+@pytest.fixture(scope="module")
+def small_power_law() -> DiGraph:
+    return power_law_digraph(
+        300, exponent=2.16, average_degree=5.0, probability=0.15, rng=11
+    )
+
+
+class TestOptions:
+    def test_defaults_valid(self):
+        IMMOptions()
+
+    @pytest.mark.parametrize("field,value", [
+        ("epsilon", 0.0),
+        ("epsilon", -0.5),
+        ("ell", 0.0),
+        ("max_rr_sets", 0),
+        ("min_rr_sets", 0),
+    ])
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            IMMOptions(**{field: value})
+
+
+class TestLambdaConstants:
+    def test_lambda_prime_shrinks_with_epsilon(self):
+        lo = _lambda_prime(1000, 10, math.sqrt(2.0) * 0.1, 1.0)
+        hi = _lambda_prime(1000, 10, math.sqrt(2.0) * 1.0, 1.0)
+        assert hi < lo
+
+    def test_lambda_star_shrinks_with_epsilon(self):
+        lo = _lambda_star(1000, 10, 0.1, 1.0)
+        hi = _lambda_star(1000, 10, 1.0, 1.0)
+        assert hi < lo
+        # 1/eps^2 scaling.
+        assert lo / hi == pytest.approx(100.0)
+
+    def test_lambda_star_grows_with_ell(self):
+        assert _lambda_star(1000, 10, 0.5, 2.0) > _lambda_star(1000, 10, 0.5, 1.0)
+
+
+class TestEdgeCases:
+    def test_k_zero(self):
+        result = general_imm(RRICGenerator(star_digraph(5)), 0, rng=1)
+        assert result.seeds == []
+        assert result.theta == 0
+
+    def test_k_out_of_range(self):
+        gen = RRICGenerator(star_digraph(5))
+        with pytest.raises(SeedSetError):
+            general_imm(gen, 6)
+        with pytest.raises(SeedSetError):
+            general_imm(gen, -1)
+
+    def test_k_equals_n(self):
+        result = general_imm(
+            RRICGenerator(star_digraph(4)), 4,
+            options=IMMOptions(max_rr_sets=400), rng=3,
+        )
+        assert sorted(result.seeds) == [0, 1, 2, 3]
+
+
+class TestSeedQuality:
+    def test_star_hub_selected_first(self):
+        result = general_imm(
+            RRICGenerator(star_digraph(40)), 1,
+            options=IMMOptions(max_rr_sets=2000), rng=5,
+        )
+        assert result.seeds == [0]
+        assert result.estimated_objective > 1.0
+
+    def test_deterministic_given_seed(self, small_power_law):
+        gen = RRICGenerator(small_power_law)
+        opts = IMMOptions(max_rr_sets=3000)
+        r1 = general_imm(gen, 5, options=opts, rng=42)
+        r2 = general_imm(gen, 5, options=opts, rng=42)
+        assert r1.seeds == r2.seeds
+        assert r1.theta == r2.theta
+
+    def test_distinct_seeds(self, small_power_law):
+        result = general_imm(
+            RRICGenerator(small_power_law), 8,
+            options=IMMOptions(max_rr_sets=3000), rng=9,
+        )
+        assert len(result.seeds) == 8
+        assert len(set(result.seeds)) == 8
+
+    def test_marginal_gains_non_increasing(self, small_power_law):
+        result = general_imm(
+            RRICGenerator(small_power_law), 6,
+            options=IMMOptions(max_rr_sets=3000), rng=13,
+        )
+        gains = result.marginal_coverage
+        assert all(gains[i] >= gains[i + 1] for i in range(len(gains) - 1))
+
+    def test_objective_bounded_by_n(self, small_power_law):
+        result = general_imm(
+            RRICGenerator(small_power_law), 5,
+            options=IMMOptions(max_rr_sets=2000), rng=17,
+        )
+        assert 0.0 < result.estimated_objective <= small_power_law.num_nodes
+
+    def test_lower_bound_certified_on_star(self):
+        # On an outward star the hub reaches everything, so the first guess
+        # x_1 = n/2 certifies immediately.
+        result = general_imm(
+            RRICGenerator(star_digraph(64)), 1,
+            options=IMMOptions(max_rr_sets=5000), rng=19,
+        )
+        assert not math.isnan(result.lower_bound)
+        assert 1.0 <= result.lower_bound <= 64.0
+        assert result.rounds >= 1
+
+
+class TestParityWithTIM:
+    def test_same_top_seed_as_tim(self, small_power_law):
+        gen = RRICGenerator(small_power_law)
+        imm = general_imm(gen, 3, options=IMMOptions(max_rr_sets=4000), rng=23)
+        tim = general_tim(gen, 3, options=TIMOptions(theta_override=4000), rng=23)
+        # Both must agree on the single most influential node.
+        assert imm.seeds[0] == tim.seeds[0]
+
+    def test_objectives_close(self, small_power_law):
+        gen = RRICGenerator(small_power_law)
+        imm = general_imm(gen, 5, options=IMMOptions(max_rr_sets=4000), rng=29)
+        tim = general_tim(gen, 5, options=TIMOptions(theta_override=4000), rng=29)
+        assert imm.estimated_objective == pytest.approx(
+            tim.estimated_objective, rel=0.25
+        )
+
+
+class TestComICGenerators:
+    """IMM over the paper's comparative RR-set generators."""
+
+    def test_with_rr_sim_plus(self, small_power_law):
+        gaps = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+        gen = RRSimPlusGenerator(small_power_law, gaps, seeds_b=[0, 1, 2])
+        result = general_imm(gen, 4, options=IMMOptions(max_rr_sets=2500), rng=31)
+        assert len(result.seeds) == 4
+        assert result.theta <= 2500
+
+    def test_with_rr_cim(self, small_power_law):
+        gaps = GAP(q_a=0.2, q_a_given_b=0.9, q_b=0.4, q_b_given_a=1.0)
+        gen = RRCimGenerator(small_power_law, gaps, seeds_a=[0, 1, 2])
+        result = general_imm(gen, 3, options=IMMOptions(max_rr_sets=2000), rng=37)
+        assert len(result.seeds) == 3
+
+
+class TestSampleEfficiency:
+    def test_theta_capped(self, small_power_law):
+        result = general_imm(
+            RRICGenerator(small_power_law), 3,
+            options=IMMOptions(max_rr_sets=500), rng=41,
+        )
+        assert result.theta <= 500
+
+    def test_fewer_sets_with_larger_epsilon(self, small_power_law):
+        gen = RRICGenerator(small_power_law)
+        tight = general_imm(
+            gen, 3, options=IMMOptions(epsilon=0.2, max_rr_sets=200_000), rng=43
+        )
+        loose = general_imm(
+            gen, 3, options=IMMOptions(epsilon=1.0, max_rr_sets=200_000), rng=43
+        )
+        assert loose.theta < tight.theta

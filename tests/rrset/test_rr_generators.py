@@ -1,0 +1,273 @@
+"""Structural tests for the four RR-set generators, including deterministic
+worlds that exercise each case of Algorithm 4 (RR-CIM)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegimeError
+from repro.graph import DiGraph, path_digraph
+from repro.models import GAP
+from repro.models.possible_world import FrozenWorldSource, PossibleWorld
+from repro.rng import make_rng
+from repro.rrset import (
+    RRCimGenerator,
+    RRICGenerator,
+    RRSimGenerator,
+    RRSimPlusGenerator,
+)
+from repro.rrset.rr_cim import (
+    LABEL_ADOPTED,
+    LABEL_POTENTIAL,
+    LABEL_REJECTED,
+    LABEL_SUSPENDED,
+    forward_label_a_status,
+)
+
+
+def frozen_world(graph, alpha_a=None, alpha_b=None, live=None):
+    n, m = graph.num_nodes, graph.num_edges
+    return FrozenWorldSource(
+        PossibleWorld(
+            live=np.ones(m, dtype=bool) if live is None else np.asarray(live),
+            priority=np.linspace(0.05, 0.95, m),
+            alpha_a=np.zeros(n) if alpha_a is None else np.asarray(alpha_a, dtype=float),
+            alpha_b=np.zeros(n) if alpha_b is None else np.asarray(alpha_b, dtype=float),
+            tau_a_first=np.ones(n, dtype=bool),
+        )
+    )
+
+
+class TestRRIC:
+    def test_path_ancestors(self):
+        graph = path_digraph(5)
+        rr = RRICGenerator(graph).generate(rng=0, root=3)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_root_always_included(self):
+        graph = path_digraph(3, probability=0.0)
+        rr = RRICGenerator(graph).generate(rng=0, root=2)
+        assert rr.tolist() == [2]
+
+    def test_random_root_in_range(self):
+        graph = path_digraph(4)
+        generator = RRICGenerator(graph)
+        for _ in range(10):
+            rr = generator.generate(rng=None)
+            assert all(0 <= v < 4 for v in rr)
+
+    def test_generate_many(self):
+        graph = path_digraph(4)
+        sets = RRICGenerator(graph).generate_many(5, rng=0)
+        assert len(sets) == 5
+
+
+class TestRRSimStructure:
+    def test_regime_enforced(self):
+        graph = path_digraph(3)
+        with pytest.raises(RegimeError):
+            RRSimGenerator(graph, GAP(0.3, 0.8, 0.5, 0.9), [0])  # q_b != q_ba
+        with pytest.raises(RegimeError):
+            RRSimGenerator(graph, GAP(0.8, 0.3, 0.5, 0.5), [0])  # competition
+
+    def test_seed_range_checked(self):
+        with pytest.raises(RegimeError):
+            RRSimGenerator(path_digraph(3), GAP(0.3, 0.8, 0.5, 0.5), [7])
+
+    def test_boosted_node_expands_backwards(self):
+        """A node whose alpha_A lies in (q_a, q_ab) expands only when it is
+        B-adopted in the world."""
+        graph = path_digraph(3)
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        # alpha_A of node 1 requires the boost; B-seed at 0 reaches node 1
+        # iff alpha_B(1) < q_b.
+        boosted = frozen_world(graph, alpha_a=[0.0, 0.5, 0.0], alpha_b=[0.0, 0.2, 0.9])
+        rr = RRSimGenerator(graph, gaps, [0]).generate(rng=0, root=2, world=boosted)
+        assert sorted(rr.tolist()) == [0, 1, 2]
+        unboosted = frozen_world(graph, alpha_a=[0.0, 0.5, 0.0], alpha_b=[0.0, 0.9, 0.9])
+        rr = RRSimGenerator(graph, gaps, [0]).generate(rng=0, root=2, world=unboosted)
+        assert sorted(rr.tolist()) == [1, 2]  # stops at the unboostable node
+
+    def test_properties(self):
+        generator = RRSimGenerator(path_digraph(3), GAP(0.3, 0.8, 0.5, 0.5), [0])
+        assert generator.seeds_b == [0]
+        assert generator.gaps.q_a == 0.3
+
+
+class TestRRSimPlusStructure:
+    def test_regime_enforced(self):
+        with pytest.raises(RegimeError):
+            RRSimPlusGenerator(path_digraph(3), GAP(0.3, 0.8, 0.5, 0.9), [0])
+
+    def test_matches_rr_sim_in_fixed_world(self):
+        graph = DiGraph.from_edges(
+            6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 2, 1.0), (2, 5, 1.0)]
+        )
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        seeds_b = [0, 3]
+        for seed in range(6):
+            gen1, gen2 = make_rng(seed), make_rng(seed)
+            world_a = frozen_world(graph, alpha_a=[0.1] * 6, alpha_b=[0.2] * 6)
+            world_b = frozen_world(graph, alpha_a=[0.1] * 6, alpha_b=[0.2] * 6)
+            rr_sim = RRSimGenerator(graph, gaps, seeds_b).generate(
+                rng=gen1, root=5, world=world_a
+            )
+            rr_plus = RRSimPlusGenerator(graph, gaps, seeds_b).generate(
+                rng=gen2, root=5, world=world_b
+            )
+            assert sorted(rr_sim.tolist()) == sorted(rr_plus.tolist())
+
+    def test_skips_forward_labeling_when_seeds_unreachable(self):
+        """B-seeds in a separate component: the RR-set must match a run with
+        no B-seeds at all (the forward pass is skipped)."""
+        graph = DiGraph.from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        world = frozen_world(graph, alpha_a=[0.1, 0.5, 0.1, 0.1, 0.1],
+                             alpha_b=[0.0] * 5)
+        # Node 1 needs the boost; B-seed 3 cannot reach it -> backward BFS
+        # stops at node 1.
+        rr = RRSimPlusGenerator(graph, gaps, [3]).generate(rng=0, root=2, world=world)
+        assert sorted(rr.tolist()) == [1, 2]
+
+
+class TestRRCimForwardLabeling:
+    def test_labels_on_path(self):
+        graph = path_digraph(5)
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        # node1 adopted (alpha < q_a); node2 suspended; node3 potential
+        # (reached via suspended node2); node4 rejected (alpha >= q_ab).
+        world = frozen_world(
+            graph, alpha_a=[0.0, 0.1, 0.5, 0.2, 0.9], alpha_b=[0.0] * 5
+        )
+        label = forward_label_a_status(graph, world, gaps, [0])
+        assert label[0] == LABEL_ADOPTED
+        assert label[1] == LABEL_ADOPTED
+        assert label[2] == LABEL_SUSPENDED
+        assert label[3] == LABEL_POTENTIAL
+        assert label[4] == LABEL_REJECTED
+
+    def test_promotion_from_potential_to_suspended(self):
+        """A node first reached through a suspended chain, later through an
+        adopted chain, must be promoted (the paper's revisit remark)."""
+        # 0 -> 1 -> 3 (1 suspended) and 0 -> 2 -> 3 (2 adopted, longer in BFS
+        # order); 3's alpha is in the suspended range.
+        graph = DiGraph.from_edges(4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(graph, alpha_a=[0.0, 0.5, 0.1, 0.5], alpha_b=[0.0] * 4)
+        label = forward_label_a_status(graph, world, gaps, [0])
+        assert label[1] == LABEL_SUSPENDED
+        assert label[2] == LABEL_ADOPTED
+        assert label[3] == LABEL_SUSPENDED  # promoted from potential
+
+    def test_promotion_to_adopted_continues_cascade(self):
+        # 3 is adoptable (alpha < q_a) but first reached via suspended 1;
+        # when adopted 2 reaches it, 3 must become adopted and label 4.
+        graph = DiGraph.from_edges(
+            5, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]
+        )
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(
+            graph, alpha_a=[0.0, 0.5, 0.1, 0.1, 0.1], alpha_b=[0.0] * 5
+        )
+        label = forward_label_a_status(graph, world, gaps, [0])
+        assert label[3] == LABEL_ADOPTED
+        assert label[4] == LABEL_ADOPTED
+
+
+class TestRRCimStructure:
+    def test_regime_enforced(self):
+        graph = path_digraph(3)
+        with pytest.raises(RegimeError):
+            RRCimGenerator(graph, GAP(0.3, 0.8, 0.5, 0.9), [0])  # q_ba != 1
+        with pytest.raises(RegimeError):
+            RRCimGenerator(graph, GAP(0.8, 0.3, 0.5, 1.0), [0])  # not Q+
+
+    def test_adopted_root_yields_empty_set(self):
+        graph = path_digraph(3)
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(graph, alpha_a=[0.0, 0.1, 0.1], alpha_b=[0.0] * 3)
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=2, world=world)
+        assert rr.size == 0
+
+    def test_rejected_root_yields_empty_set(self):
+        graph = path_digraph(3)
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(graph, alpha_a=[0.0, 0.1, 0.95], alpha_b=[0.0] * 3)
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=2, world=world)
+        assert rr.size == 0
+
+    def test_unreachable_root_yields_empty_set(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=2)
+        assert rr.size == 0
+
+    def test_case1_secondary_search_collects_b_feeders(self):
+        """Suspended AB-diffusible root: every node that can push B to it
+        (through B-diffusible nodes) belongs to the RR-set."""
+        # B feeder chain: 3 -> 2 -> root 1; A chain 0 -> 1.
+        graph = DiGraph.from_edges(4, [(0, 1, 1.0), (2, 1, 1.0), (3, 2, 1.0)])
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(
+            graph,
+            alpha_a=[0.0, 0.5, 0.9, 0.9],   # root suspended; feeders can't adopt A
+            alpha_b=[0.0, 0.2, 0.2, 0.9],   # root and node2 B-diffusible
+        )
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=1, world=world)
+        # Node 2 pushes B to 1; node 3 pushes through 2; the A-seed 0 also
+        # qualifies (seeding B there feeds B over the live edge 0 -> 1); and
+        # the root itself always does.
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_case2_not_ab_diffusible_only_root(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 1.0), (2, 1, 1.0)])
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(
+            graph,
+            alpha_a=[0.0, 0.5, 0.9],
+            alpha_b=[0.0, 0.9, 0.2],  # root NOT B-diffusible -> not AB-diffusible
+        )
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=1, world=world)
+        assert rr.tolist() == [1]
+
+    def test_case3_transits_through_potential(self):
+        """Root potential; upstream suspended node found through the primary
+        search; its B-feeders join too."""
+        # A: 0 -> 1 (suspended) -> 2 (potential, root); B feeder 3 -> 1.
+        graph = DiGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (3, 1, 1.0)])
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(
+            graph,
+            alpha_a=[0.0, 0.5, 0.1, 0.9],
+            alpha_b=[0.0, 0.2, 0.2, 0.9],
+        )
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=2, world=world)
+        # The suspended node 1, its B-feeder 3, and the A-seed 0 (which can
+        # also feed B to node 1) all flip the root; the root itself cannot
+        # (it is A-potential: seeding B there never informs it of A).
+        assert sorted(rr.tolist()) == [0, 1, 3]
+
+    def test_case4_zigzag(self):
+        """Figure-3-style gadget: root fed by a potential, non-AB-diffusible
+        node u; u as B-seed unlocks suspended u0 which feeds A+B back."""
+        # a(0) -> u0(1); u0 <-> u(2); u -> v(3).
+        graph = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0), (2, 3, 1.0)]
+        )
+        gaps = GAP(0.3, 0.8, 0.5, 1.0)
+        world = frozen_world(
+            graph,
+            # u0 suspended (0.5); u potential, alpha in [q_a, q_ab) = 0.5;
+            # v potential with alpha < q_a.
+            alpha_a=[0.0, 0.5, 0.5, 0.1],
+            # u NOT B-diffusible (0.9 >= q_b); u0 B-diffusible (0.2).
+            alpha_b=[0.0, 0.2, 0.9, 0.2],
+        )
+        rr = RRCimGenerator(graph, gaps, [0]).generate(rng=0, root=3, world=world)
+        assert 2 in rr.tolist(), "case-4 zig-zag node must join the RR-set"
+        # Verify against the model: with u as the only B-seed, v flips.
+        from repro.models import simulate
+
+        out_without = simulate(graph, gaps, [0], [], source=world)
+        assert not out_without.a_adopted[3]
+        out_with = simulate(graph, gaps, [0], [2], source=world)
+        assert out_with.a_adopted[3]

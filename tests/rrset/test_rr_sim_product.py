@@ -1,0 +1,115 @@
+"""Tests for RR-SIM under product-dependent edge probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, RegimeError
+from repro.graph import DiGraph
+from repro.models import GAP, simulate_product_dependent
+from repro.rng import make_rng
+from repro.rrset import RRSimProductGenerator, TIMOptions, general_tim
+
+
+def two_views() -> tuple[DiGraph, DiGraph]:
+    """One topology; A spreads easily left-to-right, B only via 0->2->3."""
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]
+    graph_a = DiGraph.from_edges(
+        5, [(u, v, p) for (u, v), p in zip(edges, [0.8, 0.5, 0.7, 0.6, 0.9])]
+    )
+    graph_b = DiGraph.from_edges(
+        5, [(u, v, p) for (u, v), p in zip(edges, [0.0, 0.9, 0.0, 0.9, 0.2])]
+    )
+    return graph_a, graph_b
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.9, q_b=0.7, q_b_given_a=0.7)
+
+
+class TestValidation:
+    def test_topology_mismatch_rejected(self):
+        graph_a = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        graph_b = DiGraph.from_edges(3, [(0, 1), (0, 2)])
+        with pytest.raises(GraphError):
+            RRSimProductGenerator(graph_a, graph_b, GAPS, [0])
+
+    def test_regime_enforced(self):
+        graph_a, graph_b = two_views()
+        not_one_way = GAP(q_a=0.3, q_a_given_b=0.9, q_b=0.4, q_b_given_a=0.8)
+        with pytest.raises(RegimeError):
+            RRSimProductGenerator(graph_a, graph_b, not_one_way, [0])
+
+    def test_seed_range_checked(self):
+        graph_a, graph_b = two_views()
+        with pytest.raises(RegimeError):
+            RRSimProductGenerator(graph_a, graph_b, GAPS, [99])
+
+
+class TestRRSets:
+    def test_root_always_included(self):
+        graph_a, graph_b = two_views()
+        generator = RRSimProductGenerator(graph_a, graph_b, GAPS, [0])
+        gen = make_rng(1)
+        for _ in range(50):
+            rr = generator.generate(rng=gen, root=3)
+            assert 3 in rr.tolist()
+
+    def test_nodes_unique(self):
+        graph_a, graph_b = two_views()
+        generator = RRSimProductGenerator(graph_a, graph_b, GAPS, [0])
+        gen = make_rng(2)
+        for _ in range(100):
+            rr = generator.generate(rng=gen).tolist()
+            assert len(rr) == len(set(rr))
+
+    def test_activation_equivalence_statistical(self):
+        """P[{u} activates root] from the forward simulator must match the
+        frequency of u in RR-sets of that root."""
+        graph_a, graph_b = two_views()
+        generator = RRSimProductGenerator(graph_a, graph_b, GAPS, seeds_b=[0])
+        root, seed = 4, 0
+        draws = 8000
+        gen = make_rng(3)
+        rr_hits = sum(
+            seed in generator.generate(rng=gen, root=root).tolist()
+            for _ in range(draws)
+        )
+        gen = make_rng(4)
+        mc_hits = sum(
+            bool(
+                simulate_product_dependent(
+                    graph_a, graph_b, GAPS, [seed], [0], rng=gen
+                ).a_adopted[root]
+            )
+            for _ in range(draws)
+        )
+        tolerance = 4.5 / np.sqrt(draws) * 2
+        assert rr_hits / draws == pytest.approx(mc_hits / draws, abs=tolerance)
+
+    def test_b_edges_gate_the_boost(self):
+        """With q_{A|∅}=0, A needs B everywhere; B-dead edges must shrink
+        RR-sets relative to B-live edges."""
+        edges = [(0, 1), (1, 2)]
+        graph_a = DiGraph.from_edges(3, edges, default_probability=1.0)
+        b_live = DiGraph.from_edges(3, edges, default_probability=1.0)
+        b_dead = DiGraph.from_edges(
+            3, [(u, v, 0.0) for u, v in edges]
+        )
+        gaps = GAP(q_a=0.0, q_a_given_b=1.0, q_b=1.0, q_b_given_a=1.0)
+        gen = make_rng(5)
+        rich = RRSimProductGenerator(graph_a, b_live, gaps, [0])
+        poor = RRSimProductGenerator(graph_a, b_dead, gaps, [0])
+        rich_sizes = [rich.generate(rng=gen, root=2).size for _ in range(50)]
+        poor_sizes = [poor.generate(rng=gen, root=2).size for _ in range(50)]
+        assert np.mean(rich_sizes) > np.mean(poor_sizes)
+        # With B dead, node 2 is never boostable: RR-set is just the root.
+        assert all(size == 1 for size in poor_sizes)
+
+
+class TestEndToEnd:
+    def test_tim_runs_over_product_generator(self):
+        graph_a, graph_b = two_views()
+        generator = RRSimProductGenerator(graph_a, graph_b, GAPS, [0])
+        result = general_tim(
+            generator, 2, options=TIMOptions(theta_override=600), rng=6
+        )
+        assert len(result.seeds) == 2
+        assert len(set(result.seeds)) == 2

@@ -1,0 +1,60 @@
+"""Documentation health checks: the docs stay consistent with the code."""
+
+import ast
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+DOCS = sorted((ROOT / "docs").glob("*.md")) + [
+    ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md",
+]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_MODULE_REF = re.compile(r"`(repro(?:\.[a-z_]+)+)`")
+
+
+def test_docs_exist():
+    names = {path.name for path in DOCS}
+    assert {"model.md", "algorithms.md", "api.md", "README.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_python_fences_are_valid_syntax(path):
+    """Every ```python fence in the docs must at least parse."""
+    text = path.read_text(encoding="utf-8")
+    for index, block in enumerate(_FENCE.findall(text)):
+        try:
+            ast.parse(block)
+        except SyntaxError as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"{path.name} python block #{index}: {exc}")
+
+
+def test_api_doc_imports_resolve():
+    """Every import statement in docs/api.md must execute."""
+    text = (ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    for block in _FENCE.findall(text):
+        for node in ast.walk(ast.parse(block)):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                statement = ast.get_source_segment(block, node)
+                exec(statement, {})  # noqa: S102 - doc verification
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_referenced_modules_importable(path):
+    """Backticked dotted `repro.*` module references must import."""
+    import importlib
+
+    text = path.read_text(encoding="utf-8")
+    for reference in set(_MODULE_REF.findall(text)):
+        # Strip trailing attribute-looking segments until a module imports.
+        parts = reference.split(".")
+        for depth in range(len(parts), 1, -1):
+            try:
+                importlib.import_module(".".join(parts[:depth]))
+                break
+            except ModuleNotFoundError:
+                continue
+        else:  # pragma: no cover - failure reporting
+            pytest.fail(f"{path.name}: unimportable reference {reference}")

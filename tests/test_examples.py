@@ -1,0 +1,48 @@
+"""Smoke tests: every example script parses and exposes a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in SCRIPTS}
+    assert {
+        "quickstart.py",
+        "phone_watch_campaign.py",
+        "complementary_boost.py",
+        "learn_gaps_from_logs.py",
+        "scalability_sweep.py",
+        "imm_vs_tim.py",
+        "competitive_blocking.py",
+        "campaign_analytics.py",
+        "multi_item_bundle.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", SCRIPTS, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    functions = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, f"{path.name} should define main()"
+    # A module docstring documenting how to run it.
+    assert ast.get_docstring(tree), f"{path.name} should carry a docstring"
+
+
+@pytest.mark.parametrize("path", SCRIPTS, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples should demonstrate the public API, not private internals."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            assert not node.module.startswith("_"), node.module
+            for alias in node.names:
+                assert not alias.name.startswith("_"), (
+                    f"{path.name} imports private name {alias.name}"
+                )
