@@ -5,9 +5,17 @@ Shape checks (paper):
 * (b) runtime grows near-linearly with graph size (we allow generous
   slack: the ratio of per-node cost between the largest and smallest
   graphs must stay within a small constant).
+* (c) — beyond the paper — the batched RR-set engine: per-RR-set cost of
+  ``generate_batch`` vs the per-root oracle and end-to-end SelfInfMax
+  (``general_imm``) wall time before/after, at equal ``eps``.
 """
 
 from repro.experiments import figure7a_runtime, figure7b_scalability
+from repro.experiments.harness import TableResult, timed
+from repro.graph.generators import power_law_digraph
+from repro.models.gaps import GAP
+from repro.rrset import IMMOptions, RRICGenerator, RRSimGenerator, general_imm
+from repro.rrset.base import RRSetGenerator
 
 
 def bench_fig7a_runtime(benchmark, bench_scale, save_table):
@@ -38,3 +46,65 @@ def bench_fig7b_scalability(benchmark, bench_scale, save_table):
     per_node_large = rows[-1]["rr_sim_plus_s"] / rows[-1]["nodes"]
     # Near-linear: per-node cost within a 6x envelope across a 4x size range.
     assert per_node_large < 6 * per_node_small + 1e-3
+
+
+class _OracleRRSim(RRSimGenerator):
+    """RR-SIM with the batched fast path disabled (the 'before' engine)."""
+
+    generate_batch = RRSetGenerator.generate_batch
+
+
+def _figure7c_batched_engine(n: int = 4000, samples: int = 2000, k: int = 4):
+    gaps = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+    graph = power_law_digraph(
+        n, exponent=2.16, average_degree=8.0, probability=0.2, rng=130
+    )
+    seeds_b = list(range(10))
+    rows = []
+    pairs = [
+        ("rr_ic", RRICGenerator(graph), None),
+        ("rr_sim", RRSimGenerator(graph, gaps, seeds_b),
+         _OracleRRSim(graph, gaps, seeds_b)),
+    ]
+    for name, generator, oracle_engine in pairs:
+        _, t_oracle = timed(lambda: generator.generate_many(samples // 4, rng=1))
+        _, t_batch = timed(lambda: generator.generate_batch(samples, rng=1))
+        row = {
+            "generator": name,
+            "per_root_us_per_set": round(1e6 * t_oracle / (samples // 4), 2),
+            "batched_us_per_set": round(1e6 * t_batch / samples, 2),
+            "generation_speedup": round(
+                (t_oracle / (samples // 4)) / (t_batch / samples), 2
+            ),
+        }
+        if oracle_engine is not None:
+            options = IMMOptions(epsilon=0.5, max_rr_sets=samples)
+            result_new, t_new = timed(
+                lambda: general_imm(generator, k, options=options, rng=7)
+            )
+            result_old, t_old = timed(
+                lambda: general_imm(oracle_engine, k, options=options, rng=7)
+            )
+            row.update(
+                imm_batched_s=round(t_new, 3),
+                imm_oracle_s=round(t_old, 3),
+                imm_speedup=round(t_old / max(t_new, 1e-9), 2),
+                imm_batched_objective=round(result_new.estimated_objective, 1),
+                imm_oracle_objective=round(result_old.estimated_objective, 1),
+            )
+        rows.append(row)
+    return TableResult(
+        title="Figure 7(c): batched RR-set engine vs per-root oracle",
+        columns=sorted({key for row in rows for key in row}),
+        rows=rows,
+        notes=f"power-law graph n={n}, {samples} RR-sets, k={k}, eps=0.5",
+    )
+
+
+def bench_fig7c_batched_engine(benchmark, save_table):
+    result = benchmark.pedantic(_figure7c_batched_engine, rounds=1, iterations=1)
+    save_table(result, "figure7c_batched_engine")
+    for row in result.rows:
+        assert row["generation_speedup"] > 1.0, (
+            "batched generation should beat the per-root oracle"
+        )

@@ -17,6 +17,7 @@ from repro.rrset import (
     RRSimGenerator,
     RRSimPlusGenerator,
     greedy_max_coverage,
+    greedy_max_coverage_legacy,
 )
 
 GAPS_SIM = GAP(0.3, 0.8, 0.5, 0.5)
@@ -73,12 +74,43 @@ def bench_rr_cim_generation(benchmark, bench_scale):
     benchmark(lambda: generator.generate(rng=gen))
 
 
+#: Batch size for the ``generate_batch`` kernels; per-RR-set cost is the
+#: measured time divided by this.
+BATCH = 512
+
+
+def bench_rr_ic_generation_batched(benchmark, bench_scale):
+    graph = _graph(bench_scale)
+    generator = RRICGenerator(graph)
+    gen = make_rng(1)
+    pool = benchmark(lambda: generator.generate_batch(BATCH, rng=gen))
+    assert len(pool) == BATCH
+
+
+def bench_rr_sim_generation_batched(benchmark, bench_scale):
+    graph = _graph(bench_scale)
+    generator = RRSimGenerator(graph, GAPS_SIM, high_degree_seeds(graph, 10))
+    gen = make_rng(1)
+    pool = benchmark(lambda: generator.generate_batch(BATCH, rng=gen))
+    assert len(pool) == BATCH
+
+
 def bench_greedy_max_coverage(benchmark, bench_scale):
     graph = _graph(bench_scale)
     generator = RRICGenerator(graph)
-    rr_sets = generator.generate_many(2000, rng=7)
+    pool = generator.generate_batch(2000, rng=7)
     seeds, covered, _ = benchmark(
-        lambda: greedy_max_coverage(rr_sets, graph.num_nodes, 10)
+        lambda: greedy_max_coverage(pool, graph.num_nodes, 10)
+    )
+    assert covered > 0
+
+
+def bench_greedy_max_coverage_legacy(benchmark, bench_scale):
+    graph = _graph(bench_scale)
+    generator = RRICGenerator(graph)
+    rr_sets = generator.generate_batch(2000, rng=7).to_list()
+    seeds, covered, _ = benchmark(
+        lambda: greedy_max_coverage_legacy(rr_sets, graph.num_nodes, 10)
     )
     assert covered > 0
 

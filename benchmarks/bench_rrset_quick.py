@@ -1,0 +1,168 @@
+"""Standalone batched RR-set engine benchmark -> BENCH_rrset.json.
+
+Quantifies the ISSUE-1 acceptance numbers on a ~10k-node synthetic
+power-law graph, without pytest-benchmark so CI can run it with numpy
+alone:
+
+* per-RR-set generation cost, per-root oracle vs ``generate_batch``
+  (RR-IC and RR-SIM);
+* pooled vs legacy ``greedy_max_coverage``;
+* end-to-end SelfInfMax via ``general_imm`` at equal ``eps``, batched
+  engine vs oracle-forced generation, with RR-estimated spreads of both
+  seed sets to confirm quality parity.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rrset_quick.py [--quick] \
+        [--nodes 10000] [--output BENCH_rrset.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.graph.generators import power_law_digraph
+from repro.models.gaps import GAP
+from repro.rrset import (
+    IMMOptions,
+    RRICGenerator,
+    RRSimGenerator,
+    general_imm,
+    greedy_max_coverage,
+    greedy_max_coverage_legacy,
+    rr_estimate_objective,
+)
+from repro.rrset.base import RRSetGenerator
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+
+
+class _OracleRRSim(RRSimGenerator):
+    """RR-SIM with the batched fast path disabled (the 'before' engine)."""
+
+    generate_batch = RRSetGenerator.generate_batch
+
+
+class _OracleRRIC(RRICGenerator):
+    generate_batch = RRSetGenerator.generate_batch
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_generation(generator, per_root_count, batch_count, repeats):
+    t_oracle = best_of(lambda: generator.generate_many(per_root_count, rng=1), repeats)
+    t_batch = best_of(lambda: generator.generate_batch(batch_count, rng=1), repeats)
+    per_root_rate = per_root_count / t_oracle
+    batch_rate = batch_count / t_batch
+    return {
+        "per_root_sets_per_s": round(per_root_rate, 1),
+        "batched_sets_per_s": round(batch_rate, 1),
+        "speedup": round(batch_rate / per_root_rate, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10_000)
+    parser.add_argument("--average-degree", type=float, default=8.0)
+    parser.add_argument("--probability", type=float, default=0.2)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--output", default="BENCH_rrset.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller sample counts (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    per_root_count = 200 if args.quick else 500
+    batch_count = 4000 if args.quick else 10_000
+    repeats = 3 if args.quick else 5
+    imm_cap = 10_000 if args.quick else 20_000
+
+    graph = power_law_digraph(
+        args.nodes, average_degree=args.average_degree,
+        probability=args.probability, rng=2,
+    )
+    seeds_b = list(range(10))
+    report = {
+        "graph": {
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "average_degree": args.average_degree,
+            "probability": args.probability,
+        },
+        "config": {
+            "per_root_count": per_root_count,
+            "batch_count": batch_count,
+            "repeats": repeats,
+            "gaps": [GAPS.q_a, GAPS.q_a_given_b, GAPS.q_b, GAPS.q_b_given_a],
+        },
+    }
+
+    rr_ic = RRICGenerator(graph)
+    rr_sim = RRSimGenerator(graph, GAPS, seeds_b)
+    report["rr_ic_generation"] = bench_generation(
+        rr_ic, per_root_count, batch_count, repeats
+    )
+    print("rr_ic_generation:", report["rr_ic_generation"])
+    report["rr_sim_generation"] = bench_generation(
+        rr_sim, per_root_count, batch_count, repeats
+    )
+    print("rr_sim_generation:", report["rr_sim_generation"])
+
+    pool = rr_ic.generate_batch(batch_count, rng=7)
+    rr_list = pool.to_list()
+    t_pooled = best_of(lambda: greedy_max_coverage(pool, graph.num_nodes, args.k), repeats)
+    t_legacy = best_of(
+        lambda: greedy_max_coverage_legacy(rr_list, graph.num_nodes, args.k), repeats
+    )
+    assert greedy_max_coverage(pool, graph.num_nodes, args.k) == \
+        greedy_max_coverage_legacy(rr_list, graph.num_nodes, args.k)
+    report["greedy_max_coverage"] = {
+        "sets": batch_count,
+        "pooled_s": round(t_pooled, 4),
+        "legacy_s": round(t_legacy, 4),
+        "speedup": round(t_legacy / t_pooled, 2),
+    }
+    print("greedy_max_coverage:", report["greedy_max_coverage"])
+
+    opts = IMMOptions(epsilon=0.5, max_rr_sets=imm_cap)
+    oracle_sim = _OracleRRSim(graph, GAPS, seeds_b)
+    t_new = best_of(lambda: general_imm(rr_sim, args.k, options=opts, rng=4), 2)
+    t_old = best_of(lambda: general_imm(oracle_sim, args.k, options=opts, rng=4), 2)
+    result_new = general_imm(rr_sim, args.k, options=opts, rng=4)
+    result_old = general_imm(oracle_sim, args.k, options=opts, rng=4)
+    eval_samples = 4000 if args.quick else 10_000
+    spread_new = rr_estimate_objective(rr_sim, result_new.seeds, samples=eval_samples, rng=9)
+    spread_old = rr_estimate_objective(rr_sim, result_old.seeds, samples=eval_samples, rng=9)
+    report["selfinfmax_imm_end_to_end"] = {
+        "epsilon": opts.epsilon,
+        "k": args.k,
+        "batched_s": round(t_new, 3),
+        "oracle_s": round(t_old, 3),
+        "speedup": round(t_old / t_new, 2),
+        "batched_spread": round(spread_new.mean, 2),
+        "oracle_spread": round(spread_old.mean, 2),
+        "spread_stderr": round(spread_new.stderr, 3),
+    }
+    print("selfinfmax_imm_end_to_end:", report["selfinfmax_imm_end_to_end"])
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

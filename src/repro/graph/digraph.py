@@ -14,7 +14,7 @@ library runs on.  Design goals:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -317,6 +317,35 @@ class DiGraph:
 
     def __hash__(self) -> int:  # graphs are immutable; hash on shape only
         return hash((self._n, self._m))
+
+
+def expand_csr(
+    indptr: np.ndarray, frontier: np.ndarray, *, with_reps: bool = True
+) -> tuple[Optional[np.ndarray], np.ndarray]:
+    """Fan a frontier out over a CSR adjacency: ``(reps, flat)`` indices.
+
+    ``reps[j]`` is the position (into ``frontier``) that produced the
+    ``j``-th incident edge and ``flat[j]`` that edge's index into the CSR
+    data arrays.  O(total incident degree), no Python loop — the core
+    gather of every level-synchronous sweep (forward cascades and the
+    batched RR-set engine alike).  Callers that only need the edge
+    gather pass ``with_reps=False`` and get ``(None, flat)``, skipping
+    one same-sized allocation.
+    """
+    starts = indptr[frontier]
+    lengths = indptr[frontier + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return (empty if with_reps else None), empty
+    reps = (
+        np.repeat(np.arange(frontier.size, dtype=np.int64), lengths)
+        if with_reps
+        else None
+    )
+    prefix = np.cumsum(lengths) - lengths
+    flat = np.repeat(starts - prefix, lengths) + np.arange(total, dtype=np.int64)
+    return reps, flat
 
 
 def induced_subgraph(graph: DiGraph, nodes: Sequence[int]) -> tuple[DiGraph, np.ndarray]:

@@ -14,7 +14,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import SeedSetError
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, expand_csr
 from repro.models.spread import SpreadEstimate, _summarize
 from repro.rng import SeedLike, make_rng
 
@@ -27,15 +27,10 @@ def gather_out_edges(
     Vectorised CSR gather: O(total out-degree) with no Python loop.
     """
     indptr, targets, probs, eids = graph.csr_out()
-    starts = indptr[nodes]
-    lengths = indptr[nodes + 1] - starts
-    total = int(lengths.sum())
-    if total == 0:
+    _reps, flat = expand_csr(indptr, nodes, with_reps=False)
+    if flat.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, np.empty(0, dtype=np.float64), empty
-    # Positions: for each node, a contiguous run starting at its CSR offset.
-    run_starts = np.repeat(starts - np.concatenate(([0], np.cumsum(lengths)[:-1])), lengths)
-    flat = run_starts + np.arange(total, dtype=np.int64)
     return targets[flat], probs[flat], eids[flat]
 
 

@@ -11,19 +11,27 @@ into :func:`~repro.rrset.tim.general_tim` yields a
 """
 
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool
 from repro.rrset.rr_ic import RRICGenerator
 from repro.rrset.rr_lt import RRLTGenerator, vanilla_lt_seeds
 from repro.rrset.rr_sim import RRSimGenerator
 from repro.rrset.rr_sim_plus import RRSimPlusGenerator
 from repro.rrset.rr_sim_product import RRSimProductGenerator
 from repro.rrset.rr_cim import RRCimGenerator
-from repro.rrset.tim import TIMOptions, TIMResult, general_tim, greedy_max_coverage
+from repro.rrset.tim import (
+    TIMOptions,
+    TIMResult,
+    general_tim,
+    greedy_max_coverage,
+    greedy_max_coverage_legacy,
+)
 from repro.rrset.imm import IMMOptions, IMMResult, general_imm
 from repro.rrset.engines import SelectionResult, run_seed_selection
 from repro.rrset.estimate import rr_estimate_many, rr_estimate_objective
 
 __all__ = [
     "RRSetGenerator",
+    "RRSetPool",
     "RRICGenerator",
     "RRLTGenerator",
     "vanilla_lt_seeds",
@@ -35,6 +43,7 @@ __all__ = [
     "TIMResult",
     "general_tim",
     "greedy_max_coverage",
+    "greedy_max_coverage_legacy",
     "IMMOptions",
     "IMMResult",
     "general_imm",

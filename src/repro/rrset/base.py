@@ -14,6 +14,22 @@ world satisfies
 the probability that a seed set ``S`` activates a uniform node equals the
 probability that ``S`` intersects a random RR-set (activation equivalence,
 Definition 2 / Lemma 5), which is what TIM-style algorithms estimate.
+
+Two sampling paths
+------------------
+
+* :meth:`RRSetGenerator.generate` — one root, one lazily-sampled world, a
+  per-root Python BFS.  This is the *correctness oracle*: every regime
+  implements it, and the batched fast paths are validated against it.
+* :meth:`RRSetGenerator.generate_batch` — many roots at once into a flat
+  :class:`~repro.rrset.pool.RRSetPool`.  The base implementation just
+  loops the oracle; regimes with vectorized kernels (RR-IC in
+  :mod:`repro.rrset.rr_ic`, RR-SIM in :mod:`repro.rrset.rr_sim`) override
+  it with level-synchronous bulk sweeps that draw whole coin/threshold
+  arrays per batch instead of per-edge memoised Python calls.  TIM / IMM
+  always sample through ``generate_batch``, so any regime silently falls
+  back to the oracle path until it grows a fast kernel (RR-CIM still
+  does — see ROADMAP open items).
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ import numpy as np
 
 from repro.graph.digraph import DiGraph
 from repro.rng import SeedLike, make_rng
+from repro.rrset.pool import RRSetPool
 
 
 class RRSetGenerator(abc.ABC):
@@ -43,9 +60,22 @@ class RRSetGenerator(abc.ABC):
         return self._graph
 
     def random_root(self, rng: SeedLike = None) -> int:
-        """Draw a uniform random root node."""
+        """Draw a uniform random root node.
+
+        Pass an existing :class:`numpy.random.Generator` to advance one
+        shared stream; an int (or ``None``) builds a *fresh* generator per
+        call, so repeated calls with the same int repeat the same root.
+        """
+        return int(self.random_roots(1, rng=rng)[0])
+
+    def random_roots(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` uniform roots in one bulk ``integers`` call."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
         gen = make_rng(rng)
-        return int(gen.integers(0, self._graph.num_nodes))
+        return gen.integers(0, self._graph.num_nodes, size=count, dtype=np.int64)
 
     @abc.abstractmethod
     def generate(self, *, rng: SeedLike = None, root: Optional[int] = None) -> np.ndarray:
@@ -57,6 +87,37 @@ class RRSetGenerator(abc.ABC):
         """
 
     def generate_many(self, count: int, *, rng: SeedLike = None) -> list[np.ndarray]:
-        """Generate ``count`` independent random RR-sets."""
+        """Generate ``count`` independent random RR-sets (oracle path).
+
+        All roots are drawn in one bulk call, then each RR-set runs the
+        per-root :meth:`generate` oracle against the shared stream.
+        """
         gen = make_rng(rng)
-        return [self.generate(rng=gen) for _ in range(count)]
+        roots = self.random_roots(count, rng=gen)
+        return [self.generate(rng=gen, root=int(root)) for root in roots]
+
+    def generate_batch(
+        self,
+        count: int,
+        *,
+        rng: SeedLike = None,
+        roots: Optional[np.ndarray] = None,
+        out: Optional[RRSetPool] = None,
+    ) -> RRSetPool:
+        """Generate ``count`` RR-sets into a flat :class:`RRSetPool`.
+
+        ``roots`` pins the root of each set (overriding ``count``); ``out``
+        appends to an existing pool (IMM's top-up phase) instead of
+        building a new one.  This base implementation is the per-root
+        oracle loop; fast-path subclasses override it with vectorized
+        batch sweeps of identical output distribution.
+        """
+        gen = make_rng(rng)
+        pool = out if out is not None else RRSetPool(self._graph.num_nodes)
+        if roots is None:
+            roots = self.random_roots(count, rng=gen)
+        else:
+            roots = np.asarray(roots, dtype=np.int64)
+        for root in roots:
+            pool.append(self.generate(rng=gen, root=int(root)))
+        return pool

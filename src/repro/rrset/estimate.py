@@ -7,6 +7,12 @@ independent of ``|S|``, and one RR-set pool can evaluate many candidate
 seed sets, which is exactly how TIM/IMM's greedy sees the objective.  For
 RR-SIM/RR-CIM generators the estimated quantity is the SelfInfMax spread
 / CompInfMax boost of the corresponding regime.
+
+Both estimators sample through the batched engine
+(:meth:`~repro.rrset.base.RRSetGenerator.generate_batch`) into one flat
+:class:`~repro.rrset.pool.RRSetPool` and test intersections with a single
+vectorized :meth:`~repro.rrset.pool.RRSetPool.intersects` pass per
+candidate seed set.
 """
 
 from __future__ import annotations
@@ -19,6 +25,27 @@ import numpy as np
 from repro.models.spread import SpreadEstimate
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool
+
+
+def _seed_mask(n: int, seeds: Iterable[int]) -> np.ndarray:
+    """Boolean membership mask over ``0..n-1`` (out-of-range ids ignored,
+    matching the historical set-intersection semantics)."""
+    mask = np.zeros(n, dtype=bool)
+    for v in seeds:
+        v = int(v)
+        if 0 <= v < n:
+            mask[v] = True
+    return mask
+
+
+def _estimate_from_hits(n: int, hits: int, samples: int) -> SpreadEstimate:
+    fraction = hits / samples
+    return SpreadEstimate(
+        mean=n * fraction,
+        std=n * math.sqrt(fraction * (1.0 - fraction)),
+        runs=samples,
+    )
 
 
 def rr_estimate_objective(
@@ -37,17 +64,10 @@ def rr_estimate_objective(
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     gen = make_rng(rng)
-    seed_set = {int(v) for v in seeds}
     n = generator.graph.num_nodes
-    hits = 0
-    for _ in range(samples):
-        rr = generator.generate(rng=gen)
-        if seed_set.intersection(rr.tolist()):
-            hits += 1
-    fraction = hits / samples
-    mean = n * fraction
-    std = n * math.sqrt(fraction * (1.0 - fraction))
-    return SpreadEstimate(mean=mean, std=std, runs=samples)
+    pool = generator.generate_batch(samples, rng=gen)
+    hits = int(pool.intersects(_seed_mask(n, seeds)).sum())
+    return _estimate_from_hits(n, hits, samples)
 
 
 def rr_estimate_many(
@@ -66,20 +86,11 @@ def rr_estimate_many(
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     gen = make_rng(rng)
-    candidates = [{int(v) for v in s} for s in seed_sets]
     n = generator.graph.num_nodes
-    hits = [0] * len(candidates)
-    for _ in range(samples):
-        rr = set(generator.generate(rng=gen).tolist())
-        for index, seed_set in enumerate(candidates):
-            if seed_set & rr:
-                hits[index] += 1
-    results = []
-    for count in hits:
-        fraction = count / samples
-        results.append(SpreadEstimate(
-            mean=n * fraction,
-            std=n * math.sqrt(fraction * (1.0 - fraction)),
-            runs=samples,
-        ))
-    return results
+    pool = generator.generate_batch(samples, rng=gen)
+    return [
+        _estimate_from_hits(
+            n, int(pool.intersects(_seed_mask(n, candidate)).sum()), samples
+        )
+        for candidate in seed_sets
+    ]

@@ -41,6 +41,7 @@ import numpy as np
 from repro.errors import SeedSetError
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool
 from repro.rrset.tim import _log_n_choose_k, greedy_max_coverage
 
 
@@ -138,12 +139,14 @@ def general_imm(
     epsilon_prime = math.sqrt(2.0) * options.epsilon
     lam_prime = _lambda_prime(n, k, epsilon_prime, ell_eff)
 
-    rr_sets: list[np.ndarray] = []
+    # One flat pool for both phases: each top-up appends the missing sets
+    # through the batched engine instead of rebuilding per-round lists.
+    rr_sets = RRSetPool(n)
 
     def top_up(target: int) -> None:
         target = min(target, options.max_rr_sets)
-        while len(rr_sets) < target:
-            rr_sets.append(generator.generate(rng=gen))
+        if len(rr_sets) < target:
+            generator.generate_batch(target - len(rr_sets), rng=gen, out=rr_sets)
 
     lower_bound = float("nan")
     rounds = 0

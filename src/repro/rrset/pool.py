@@ -1,0 +1,321 @@
+"""Flat RR-set storage: the batched engine's CSR-of-sets container.
+
+Storing each RR-set as its own tiny ``np.ndarray`` (the seed
+implementation) makes every downstream pass — coverage counting, greedy
+invalidation, intersection tests — a Python loop over thousands of small
+objects.  :class:`RRSetPool` instead keeps *all* RR-sets of one sampling
+run in two flat arrays::
+
+    nodes  : int32, the concatenated member nodes of every set
+    indptr : int64, set ``i`` occupies ``nodes[indptr[i]:indptr[i+1]]``
+
+exactly a CSR matrix with implicit unit data — so whole-pool operations
+become single numpy calls: :meth:`coverage_counts` is one ``np.bincount``,
+:meth:`intersects` one gather + ``bincount``, and the pooled
+:func:`~repro.rrset.tim.greedy_max_coverage` runs its invalidation with
+``np.subtract.at`` over pool slices.
+
+The pool is *appendable*: generators add sets one at a time
+(:meth:`append`, the per-root oracle path) or as pre-packed chunks
+(:meth:`append_flat`, the vectorized :meth:`~repro.rrset.base.
+RRSetGenerator.generate_batch` fast paths), with amortised-doubling
+growth, which is what lets IMM's "top up to theta" phase extend one pool
+across sampling rounds instead of rebuilding lists.  Memory accounting is
+exposed via :attr:`nbytes` (used) and :attr:`capacity_bytes` (allocated).
+
+Member nodes are stored as ``int32`` (graphs here are far below the 2**31
+node ceiling, and halving the bytes doubles effective memory bandwidth of
+every sweep); :meth:`__getitem__` returns the raw ``int32`` view while
+:meth:`to_list` widens to the ``int64`` arrays the legacy list API used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+# Re-exported here for the batched sweeps; the canonical home is the graph
+# layer, which forward cascades share.
+from repro.graph.digraph import expand_csr  # noqa: F401
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+class RRSetPool:
+    """A growable flat pool of RR-sets over nodes ``0 .. num_nodes-1``."""
+
+    __slots__ = (
+        "_num_nodes",
+        "_nodes",
+        "_indptr",
+        "_num_sets",
+        "_used",
+        "_set_ids_cache",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        node_capacity: int = 1024,
+        set_capacity: int = 256,
+    ) -> None:
+        num_nodes = int(num_nodes)
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        if num_nodes > _INT32_MAX:
+            raise ValueError(
+                f"num_nodes {num_nodes} exceeds the int32 node-id range"
+            )
+        self._num_nodes = num_nodes
+        self._nodes = np.empty(max(int(node_capacity), 1), dtype=np.int32)
+        self._indptr = np.zeros(max(int(set_capacity), 1) + 1, dtype=np.int64)
+        self._num_sets = 0
+        self._used = 0
+        self._set_ids_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sets(cls, num_nodes: int, sets: Iterable[np.ndarray]) -> "RRSetPool":
+        """Pack an iterable of per-set node arrays into one pool."""
+        materialized = [np.asarray(s) for s in sets]
+        total = sum(int(s.size) for s in materialized)
+        pool = cls(
+            num_nodes,
+            node_capacity=max(total, 1),
+            set_capacity=max(len(materialized), 1),
+        )
+        for rr_set in materialized:
+            pool.append(rr_set)
+        return pool
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def _reserve_nodes(self, extra: int) -> None:
+        need = self._used + extra
+        if need <= self._nodes.size:
+            return
+        new_size = max(need, 2 * self._nodes.size)
+        grown = np.empty(new_size, dtype=np.int32)
+        grown[: self._used] = self._nodes[: self._used]
+        self._nodes = grown
+
+    def _reserve_sets(self, extra: int) -> None:
+        need = self._num_sets + 1 + extra
+        if need <= self._indptr.size:
+            return
+        new_size = max(need, 2 * self._indptr.size)
+        grown = np.zeros(new_size, dtype=np.int64)
+        grown[: self._num_sets + 1] = self._indptr[: self._num_sets + 1]
+        self._indptr = grown
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, rr_set: np.ndarray) -> None:
+        """Append one RR-set (an array of member node ids)."""
+        rr_set = np.asarray(rr_set)
+        size = int(rr_set.size)
+        self._reserve_nodes(size)
+        self._reserve_sets(1)
+        self._nodes[self._used : self._used + size] = rr_set
+        self._used += size
+        self._num_sets += 1
+        self._indptr[self._num_sets] = self._used
+
+    def extend(self, sets: Iterable[np.ndarray]) -> None:
+        """Append several RR-sets."""
+        for rr_set in sets:
+            self.append(rr_set)
+
+    def append_flat(self, nodes: np.ndarray, lengths: np.ndarray) -> None:
+        """Bulk-append a pre-packed chunk of RR-sets.
+
+        ``nodes`` is the concatenation of the chunk's sets in order and
+        ``lengths[i]`` the size of the ``i``-th set (``lengths.sum() ==
+        nodes.size``).  This is the fast-path entry point: one copy, no
+        per-set Python work.
+        """
+        nodes = np.asarray(nodes)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        total = int(lengths.sum())
+        if total != nodes.size:
+            raise ValueError(
+                f"lengths sum to {total} but {nodes.size} nodes were given"
+            )
+        count = int(lengths.size)
+        self._reserve_nodes(total)
+        self._reserve_sets(count)
+        self._nodes[self._used : self._used + total] = nodes
+        offsets = self._used + np.cumsum(lengths)
+        self._indptr[self._num_sets + 1 : self._num_sets + 1 + count] = offsets
+        self._used += total
+        self._num_sets += count
+
+    # ------------------------------------------------------------------
+    # Views and accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Size of the node universe the sets draw from."""
+        return self._num_nodes
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """Flat member-node array (``int32`` view over used entries)."""
+        return self._nodes[: self._used]
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR offsets; set ``i`` is ``nodes[indptr[i]:indptr[i+1]]``."""
+        return self._indptr[: self._num_sets + 1]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-set sizes (length ``len(self)``)."""
+        return np.diff(self.indptr)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total number of stored member entries across all sets."""
+        return self._used
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of pool data in use (nodes + offsets)."""
+        return self._used * self._nodes.itemsize + (
+            self._num_sets + 1
+        ) * self._indptr.itemsize
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes currently allocated, including growth slack."""
+        return self._nodes.nbytes + self._indptr.nbytes
+
+    def __len__(self) -> int:
+        return self._num_sets
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        i = int(index)
+        if i < 0:
+            i += self._num_sets
+        if not 0 <= i < self._num_sets:
+            raise IndexError(f"set index {index} out of range [0, {self._num_sets})")
+        return self._nodes[self._indptr[i] : self._indptr[i + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(self._num_sets):
+            yield self[i]
+
+    def to_list(self) -> list[np.ndarray]:
+        """The legacy representation: one ``int64`` array per set."""
+        return [np.asarray(rr_set, dtype=np.int64) for rr_set in self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RRSetPool(sets={self._num_sets}, entries={self._used}, "
+            f"n={self._num_nodes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-pool kernels
+    # ------------------------------------------------------------------
+    def set_ids(self) -> np.ndarray:
+        """Set id of every flat entry (``np.repeat`` over lengths).
+
+        Cached: existing entries keep their set id under appends, so the
+        cache stays valid exactly while the entry count is unchanged
+        (appending only empty sets included) and is rebuilt lazily
+        otherwise.  Callers must not mutate the returned array.
+        """
+        cache = self._set_ids_cache
+        if cache is None or cache.size != self._used:
+            cache = np.repeat(
+                np.arange(self._num_sets, dtype=np.int64), self.lengths
+            )
+            self._set_ids_cache = cache
+        return cache
+
+    def coverage_counts(self) -> np.ndarray:
+        """Per-node incidence counts: ``counts[v] = #{i : v in set i}``.
+
+        One ``np.bincount`` over the flat node array — the pooled
+        replacement for the seed's per-set per-node counting loop.
+        """
+        return np.bincount(self.nodes, minlength=self._num_nodes)
+
+    def intersects(self, node_mask: np.ndarray) -> np.ndarray:
+        """Boolean per-set array: does the set hit a marked node?
+
+        ``node_mask`` is a length-``num_nodes`` boolean array; the result
+        drives RR-set objective estimation (activation equivalence counts
+        intersecting sets).  Empty sets never intersect.
+        """
+        node_mask = np.asarray(node_mask, dtype=bool)
+        if node_mask.shape != (self._num_nodes,):
+            raise ValueError(
+                f"node_mask must have shape ({self._num_nodes},), "
+                f"got {node_mask.shape}"
+            )
+        hit_entries = node_mask[self.nodes]
+        hits = np.bincount(
+            self.set_ids()[hit_entries], minlength=self._num_sets
+        )
+        return hits > 0
+
+    def widths(self, in_degrees: np.ndarray) -> np.ndarray:
+        """Per-set ``w(R)``: total in-degree of each set's members.
+
+        Vectorises TIM's ``KptEstimation`` width statistic (one gather +
+        ``bincount`` instead of a per-set reduction).
+        """
+        in_degrees = np.asarray(in_degrees)
+        return np.bincount(
+            self.set_ids(),
+            weights=in_degrees[self.nodes].astype(np.float64),
+            minlength=self._num_sets,
+        ).astype(np.int64)
+
+
+def unique_keys(keys: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer key array.
+
+    Drop-in for ``np.unique`` on the sweeps' ``world * n + node`` keys —
+    a plain sort + neighbour-comparison, which is an order of magnitude
+    faster than ``np.unique``'s generic path on these workloads.
+    """
+    if keys.size <= 1:
+        return keys.copy()
+    ordered = np.sort(keys)
+    keep = np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def flatten_members(
+    member_sets: Sequence[np.ndarray],
+    member_ids: Sequence[np.ndarray],
+    count: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Regroup level-order ``(set_id, node)`` fragments into packed sets.
+
+    The batched generators discover members level-by-level: each sweep
+    level yields parallel arrays of set ids and nodes.  This helper
+    concatenates all levels, stably sorts by set id and returns
+    ``(nodes, lengths)`` ready for :meth:`RRSetPool.append_flat` —
+    including length-0 entries for sets that produced no members.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not member_ids:
+        return np.empty(0, dtype=np.int32), np.zeros(count, dtype=np.int64)
+    ids = np.concatenate([np.asarray(a) for a in member_ids])
+    nodes = np.concatenate([np.asarray(a) for a in member_sets])
+    order = np.argsort(ids, kind="stable")
+    lengths = np.bincount(ids, minlength=count).astype(np.int64)
+    return nodes[order].astype(np.int32, copy=False), lengths

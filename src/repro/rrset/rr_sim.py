@@ -16,6 +16,25 @@ Three phases over one lazily-sampled world:
   RR-set; its in-neighbours are explored only if the node could itself
   adopt A upon being informed (``alpha_A < q_{A|B}`` if B-adopted, else
   ``alpha_A < q_{A|∅}``) — otherwise it could only be A-adopted as a seed.
+
+Batched fast path
+-----------------
+
+:meth:`RRSimGenerator.generate_batch` processes a chunk of independent
+worlds at once, replacing the per-edge memoised :class:`WorldSource` calls
+with bulk vectorized draws: Phase II labels the B-adopted sets of *all*
+chunk worlds with one level-synchronous forward sweep (memoising each
+node's ``alpha_B`` outcome in a bit-flag state array), and Phase III runs
+the backward searches of all roots with one level-synchronous reverse
+sweep.  Edge coins flipped during Phase II are recorded in a sorted
+(world, edge) key array which Phase III consults before flipping fresh
+coins, so an edge keeps a single coin across phases exactly as the
+memoised oracle does.  Coins and thresholds materialise only for the
+edges and nodes the sweeps touch, so batch cost tracks total RR-set size
+rather than ``n + m``.  Output distribution is identical to
+:meth:`generate`; ``tests/rrset/test_batch_equivalence.py`` verifies
+fixed-world equality and aggregate frequencies.  The per-root path remains
+the correctness oracle (and the fallback for regimes without a kernel).
 """
 
 from __future__ import annotations
@@ -28,9 +47,21 @@ import numpy as np
 from repro.errors import RegimeError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
+from repro.models.possible_world import PossibleWorld
 from repro.models.sources import ITEM_A, ITEM_B, WorldSource
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool, expand_csr, flatten_members, unique_keys
+
+#: Bit flags of the batched Phase-II state matrix: the memoised
+#: ``alpha_B < q_B`` outcome (pass/fail) and final B-adoption.
+_B_PASS = np.int8(1)
+_B_FAIL = np.int8(2)
+_B_ADOPTED = np.int8(4)
+
+#: Target size of one chunk's Phase-II edge-coin record (entries; int64
+#: key + bool value each) — bounds batch memory on dense B-regions.
+_COIN_BUDGET = 16 << 20
 
 
 def check_rr_sim_regime(gaps: GAP) -> None:
@@ -139,3 +170,174 @@ class RRSimGenerator(RRSetGenerator):
             self._graph, world, self._gaps.q_b, self._seeds_b
         )
         return backward_search_a(self._graph, world, self._gaps, root, b_adopted)
+
+    def _phase2_batch(
+        self,
+        b: int,
+        gen: np.random.Generator,
+        world: Optional[PossibleWorld],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Phase II for a whole chunk of ``b`` independent worlds.
+
+        Returns ``(state, coin_keys, coin_vals)``.  ``state`` is one flat
+        length ``b * n`` int8 bit-flag array indexed by ``world * n +
+        node`` — :data:`_B_PASS` / :data:`_B_FAIL` memoise each node's
+        lazily-drawn ``alpha_B < q_B`` outcome, :data:`_B_ADOPTED` marks
+        final B-adoption — packed together so every sweep level costs one
+        gather and one scatter.  The sorted ``coin_keys``/``coin_vals``
+        record every edge coin this phase flipped (key ``world_id * m +
+        edge_id``) so Phase III can reuse them — the batched realisation
+        of the oracle's memoised ``WorldSource.edge_live``.
+        """
+        graph = self._graph
+        n, m = graph.num_nodes, graph.num_edges
+        q_b = self._gaps.q_b
+        out_indptr, out_dst, out_prob, out_eid = graph.csr_out()
+        # Flat (world, node) -> world * n + node keys over a 1D state
+        # array: 1D gathers/scatters are markedly faster than 2D.
+        state = np.zeros(b * n, dtype=np.int8)
+        empty_keys = np.empty(0, dtype=np.int64)
+        empty_vals = np.empty(0, dtype=bool)
+        # Dedupe like the oracle's frontier guard: a B-seed listed twice
+        # must not expand (and flip coins for) its out-edges twice.
+        seeds = np.unique(np.asarray(self._seeds_b, dtype=np.int64))
+        if seeds.size == 0:
+            return state, empty_keys, empty_vals
+        frontier_world = np.repeat(np.arange(b, dtype=np.int64), seeds.size)
+        frontier_node = np.tile(seeds, b)
+        state[frontier_world * n + frontier_node] = _B_ADOPTED
+        coin_keys: list[np.ndarray] = []
+        coin_vals: list[np.ndarray] = []
+        while frontier_node.size:
+            reps, flat = expand_csr(out_indptr, frontier_node)
+            if flat.size == 0:
+                break
+            if world is None:
+                live = gen.random(flat.size) < out_prob[flat]
+                coin_keys.append(frontier_world[reps] * m + out_eid[flat])
+                coin_vals.append(live)
+            else:
+                live = world.live[out_eid[flat]]
+            key = frontier_world[reps[live]] * n + out_dst[flat[live]]
+            if key.size == 0:
+                break
+            key = unique_keys(key)
+            st = state[key]
+            idle = (st & _B_ADOPTED) == 0
+            key, st = key[idle], st[idle]
+            if key.size == 0:
+                break
+            if world is None:
+                unknown = (st & (_B_PASS | _B_FAIL)) == 0
+                if unknown.any():
+                    passes = gen.random(int(unknown.sum())) < q_b
+                    st[unknown] |= np.where(passes, _B_PASS, _B_FAIL)
+                adopt = (st & _B_PASS) != 0
+                state[key] = st | np.where(adopt, _B_ADOPTED, 0)
+            else:
+                adopt = world.alpha_b[key % n] < q_b
+                state[key[adopt]] = _B_ADOPTED
+            frontier_world, frontier_node = np.divmod(key[adopt], n)
+        if not coin_keys:
+            return state, empty_keys, empty_vals
+        keys = np.concatenate(coin_keys)
+        vals = np.concatenate(coin_vals)
+        order = np.argsort(keys, kind="stable")
+        return state, keys[order], vals[order]
+
+    def generate_batch(
+        self,
+        count: int,
+        *,
+        rng: SeedLike = None,
+        roots: Optional[np.ndarray] = None,
+        out: Optional[RRSetPool] = None,
+        world: Optional[PossibleWorld] = None,
+    ) -> RRSetPool:
+        """Vectorized batch sampling (see module docstring).
+
+        ``world`` pins one eagerly-sampled possible world shared by every
+        set in the batch (fixed-world equivalence tests); by default each
+        set samples its own independent world lazily — coins and
+        thresholds materialise only for the edges and nodes the sweeps
+        actually touch, exactly like the oracle's :class:`WorldSource`,
+        so batch cost tracks total RR-set size rather than ``n + m``.
+        """
+        gen = make_rng(rng)
+        graph = self._graph
+        n, m = graph.num_nodes, graph.num_edges
+        gaps = self._gaps
+        pool = out if out is not None else RRSetPool(n)
+        if roots is None:
+            roots = self.random_roots(count, rng=gen)
+        else:
+            roots = np.asarray(roots, dtype=np.int64)
+        if roots.size == 0:
+            return pool
+        in_indptr, in_src, in_prob, in_eid = graph.csr_in()
+        # Chunk so each (b, n) state matrix stays under ~64MB.  Phase II's
+        # per-level sweep overhead is paid once per chunk, so RR-SIM wants
+        # the largest chunk the memory can afford — but the Phase-II coin
+        # record grows with the B-region's out-degree per world, which is
+        # only known after sampling.  Start with a modest probe chunk and
+        # re-size from the observed coins-per-world so the record stays
+        # around _COIN_BUDGET entries per chunk.
+        max_chunk = int(np.clip((64 << 20) // max(n, 1), 1, 8192))
+        chunk = min(max_chunk, 256)
+        start = 0
+        while start < roots.size:
+            chunk_roots = roots[start : start + chunk]
+            b = chunk_roots.size
+            start += b
+            b_state, coin_keys, coin_vals = self._phase2_batch(b, gen, world)
+            coins_per_world = max(coin_keys.size / b, 1.0)
+            chunk = int(np.clip(_COIN_BUDGET / coins_per_world, 1, max_chunk))
+            # Phase III: a dequeued node always joins its RR-set; the sweep
+            # expands past it only where alpha_A clears the NLA threshold
+            # (each node is dequeued at most once per world, so a fresh
+            # draw realises the memoised alpha_A exactly).
+            visited = np.zeros(b * n, dtype=bool)
+            ids = np.arange(b, dtype=np.int64)
+            visited[ids * n + chunk_roots] = True
+            member_ids = [ids]
+            member_nodes = [chunk_roots]
+            frontier_set, frontier_node = ids, chunk_roots
+            while frontier_node.size:
+                b_adopted = (
+                    b_state[frontier_set * n + frontier_node] & _B_ADOPTED
+                ) != 0
+                threshold = np.where(b_adopted, gaps.q_a_given_b, gaps.q_a)
+                if world is None:
+                    grow = gen.random(frontier_node.size) < threshold
+                else:
+                    grow = world.alpha_a[frontier_node] < threshold
+                grow_set, grow_node = frontier_set[grow], frontier_node[grow]
+                if grow_node.size == 0:
+                    break
+                reps, flat = expand_csr(in_indptr, grow_node)
+                if flat.size == 0:
+                    break
+                if world is None:
+                    live = gen.random(flat.size) < in_prob[flat]
+                    if coin_keys.size:
+                        # Reuse any coin Phase II already flipped for the
+                        # same (world, edge) pair.
+                        ekey = grow_set[reps] * m + in_eid[flat]
+                        pos = np.searchsorted(coin_keys, ekey)
+                        pos_clipped = np.minimum(pos, coin_keys.size - 1)
+                        seen = coin_keys[pos_clipped] == ekey
+                        live[seen] = coin_vals[pos_clipped[seen]]
+                else:
+                    live = world.live[in_eid[flat]]
+                key = grow_set[reps[live]] * n + in_src[flat[live]]
+                key = key[~visited[key]]
+                if key.size == 0:
+                    break
+                key = unique_keys(key)
+                visited[key] = True
+                frontier_set, frontier_node = np.divmod(key, n)
+                member_ids.append(frontier_set)
+                member_nodes.append(frontier_node)
+            nodes, lengths = flatten_members(member_nodes, member_ids, b)
+            pool.append_flat(nodes, lengths)
+        return pool

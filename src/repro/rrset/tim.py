@@ -14,6 +14,15 @@ of Tang et al. [24] on any :class:`~repro.rrset.base.RRSetGenerator`:
 2. **Node selection** — greedy maximum coverage over the ``theta``
    sampled RR-sets (:func:`greedy_max_coverage`).
 
+Both phases run on the batched RR-set engine: sampling goes through
+:meth:`~repro.rrset.base.RRSetGenerator.generate_batch` into one flat
+:class:`~repro.rrset.pool.RRSetPool`, widths and coverage statistics are
+``np.bincount`` passes over the pool, and :func:`greedy_max_coverage`
+invalidates covered sets with vectorized ``np.subtract.at`` updates — so
+selection is O(total RR-set size) with no inner Python loop.  The original
+per-list implementation survives as :func:`greedy_max_coverage_legacy`,
+the oracle the pooled path is tested against.
+
 Pure Python cannot afford the paper's million-edge ``theta`` values, so
 ``TIMOptions.max_rr_sets`` caps the sample size (and ``theta_override``
 pins it for benchmarks); the cap trades the formal guarantee for bounded
@@ -25,13 +34,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import SeedSetError
+from repro.graph.digraph import expand_csr
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool
+
+RRSets = Union[RRSetPool, Sequence[np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -83,13 +96,6 @@ def _log_n_choose_k(n: int, k: int) -> float:
     )
 
 
-def _width(generator: RRSetGenerator, rr_set: np.ndarray) -> int:
-    """``w(R)``: number of edges of G pointing into nodes of R."""
-    if rr_set.size == 0:
-        return 0
-    return int(generator.graph.in_degrees[rr_set].sum())
-
-
 def estimate_kpt(
     generator: RRSetGenerator,
     k: int,
@@ -103,12 +109,15 @@ def estimate_kpt(
     Iterates ``i = 1 .. log2(n) - 1``, sampling ``c_i ∝ 2^i`` RR-sets; stops
     when the mean ``kappa`` exceeds ``2^-i`` and returns ``n * mean / 2``.
     Falls back to 1 (every seed set reaches at least its own seeds).
+    Each round samples through the batched engine and evaluates every
+    width ``w(R)`` in one pooled ``bincount`` pass.
     """
     graph = generator.graph
     n, m = graph.num_nodes, graph.num_edges
     if n < 2 or m == 0:
         return 1.0
     gen = make_rng(rng)
+    in_degrees = graph.in_degrees
     log2n = max(int(math.log2(n)), 1)
     budget = max_rr_sets
     for i in range(1, log2n):
@@ -116,13 +125,10 @@ def estimate_kpt(
         c_i = min(c_i, budget)
         if c_i <= 0:
             break
-        total_kappa = 0.0
-        for _ in range(c_i):
-            rr_set = generator.generate(rng=gen)
-            width = _width(generator, rr_set)
-            total_kappa += 1.0 - (1.0 - width / m) ** k
+        pool = generator.generate_batch(c_i, rng=gen)
+        widths = pool.widths(in_degrees)
+        mean_kappa = float(np.mean(1.0 - (1.0 - widths / m) ** k))
         budget -= c_i
-        mean_kappa = total_kappa / c_i
         if mean_kappa > 1.0 / (2**i):
             return max(n * mean_kappa / 2.0, 1.0)
         if budget <= 0:
@@ -144,13 +150,70 @@ def compute_theta(
 
 
 def greedy_max_coverage(
-    rr_sets: Sequence[np.ndarray], n: int, k: int
+    rr_sets: RRSets, n: int, k: int
 ) -> tuple[list[int], int, list[int]]:
     """Greedy maximum coverage: pick ``k`` nodes covering most RR-sets.
 
-    Returns ``(seeds, total_covered, marginal_gains)``.  Classic counting
-    implementation: an inverted index node -> incident RR-sets, a coverage
-    counter per node, and lazy invalidation of covered sets.
+    Returns ``(seeds, total_covered, marginal_gains)``.  Accepts a flat
+    :class:`~repro.rrset.pool.RRSetPool` (the fast path; sequences of
+    per-set arrays are packed into one first).  The counting structure is
+    fully vectorized: initial per-node counts are one ``bincount``, the
+    inverted node → sets index one stable argsort of the flat pool, and
+    invalidating a pick's covered sets decrements all their members with a
+    single ``np.subtract.at`` — every flat entry is touched O(1) times, so
+    selection is O(total RR-set size + k) after the O(size log size) index
+    build.  Tie-breaking (lowest node id among maxima) matches
+    :func:`greedy_max_coverage_legacy` exactly.
+    """
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    pool = (
+        rr_sets
+        if isinstance(rr_sets, RRSetPool)
+        else RRSetPool.from_sets(n, rr_sets)
+    )
+    nodes = pool.nodes
+    indptr = pool.indptr
+    num_sets = len(pool)
+    incidence = np.bincount(nodes, minlength=n)[:n]
+    counts = incidence.astype(np.int64)
+    # Inverted index: entries of the flat pool grouped by node.
+    order = np.argsort(nodes, kind="stable")
+    sets_by_node = pool.set_ids()[order]
+    node_starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(incidence, out=node_starts[1:])
+    covered = np.zeros(num_sets, dtype=bool)
+    seeds: list[int] = []
+    gains: list[int] = []
+    total = 0
+    for _ in range(min(k, n)):
+        best = int(np.argmax(counts))
+        gain = int(counts[best])
+        seeds.append(best)
+        gains.append(gain)
+        total += gain
+        if gain == 0:
+            # No RR-set left uncovered; remaining picks are arbitrary but we
+            # avoid repeating an already-chosen node.
+            counts[best] = -1
+            continue
+        incident = sets_by_node[node_starts[best] : node_starts[best + 1]]
+        newly = incident[~covered[incident]]
+        covered[newly] = True
+        _reps, flat = expand_csr(indptr, newly, with_reps=False)
+        if flat.size:
+            np.subtract.at(counts, nodes[flat], 1)
+        counts[best] = -1
+    return seeds, total, gains
+
+
+def greedy_max_coverage_legacy(
+    rr_sets: Sequence[np.ndarray], n: int, k: int
+) -> tuple[list[int], int, list[int]]:
+    """The original per-list greedy (inner Python loops).
+
+    Kept as the correctness oracle for :func:`greedy_max_coverage`; both
+    produce identical seeds, coverage and gains on the same input.
     """
     if k < 0:
         raise SeedSetError(f"k must be non-negative, got {k}")
@@ -172,8 +235,6 @@ def greedy_max_coverage(
         gains.append(gain)
         total += gain
         if gain == 0:
-            # No RR-set left uncovered; remaining picks are arbitrary but we
-            # avoid repeating an already-chosen node.
             counts[best] = -1
             continue
         for set_id in index.get(best, ()):  # invalidate covered sets
@@ -212,8 +273,8 @@ def general_tim(
         )
         theta = compute_theta(n, k, kpt, epsilon=options.epsilon, ell=options.ell)
     theta = int(np.clip(theta, options.min_rr_sets, options.max_rr_sets))
-    rr_sets = generator.generate_many(theta, rng=gen)
-    seeds, covered, gains = greedy_max_coverage(rr_sets, n, k)
+    pool = generator.generate_batch(theta, rng=gen)
+    seeds, covered, gains = greedy_max_coverage(pool, n, k)
     return TIMResult(
         seeds=seeds,
         theta=theta,

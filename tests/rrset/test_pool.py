@@ -1,0 +1,128 @@
+"""Tests for the flat RR-set pool (CSR-of-sets storage)."""
+
+import numpy as np
+import pytest
+
+from repro.rrset import RRSetPool
+from repro.rrset.pool import expand_csr, flatten_members
+
+
+class TestAppend:
+    def test_append_and_getitem(self):
+        pool = RRSetPool(10)
+        pool.append(np.array([1, 2, 3]))
+        pool.append(np.array([7]))
+        pool.append(np.array([], dtype=np.int64))
+        assert len(pool) == 3
+        assert pool[0].tolist() == [1, 2, 3]
+        assert pool[1].tolist() == [7]
+        assert pool[2].tolist() == []
+        assert pool[-1].tolist() == []
+        assert pool.total_nodes == 4
+
+    def test_growth_beyond_initial_capacity(self):
+        pool = RRSetPool(100, node_capacity=2, set_capacity=1)
+        sets = [np.arange(i % 5) for i in range(300)]
+        pool.extend(sets)
+        assert len(pool) == 300
+        for expected, got in zip(sets, pool):
+            assert got.tolist() == expected.tolist()
+
+    def test_append_flat_matches_append(self):
+        a = RRSetPool(20)
+        b = RRSetPool(20)
+        sets = [np.array([1, 2]), np.array([], dtype=np.int64), np.array([5, 6, 7])]
+        a.extend(sets)
+        b.append_flat(np.array([1, 2, 5, 6, 7]), np.array([2, 0, 3]))
+        assert a.indptr.tolist() == b.indptr.tolist()
+        assert a.nodes.tolist() == b.nodes.tolist()
+
+    def test_append_flat_length_mismatch_rejected(self):
+        pool = RRSetPool(5)
+        with pytest.raises(ValueError):
+            pool.append_flat(np.array([1, 2]), np.array([3]))
+
+    def test_from_sets_round_trip(self):
+        sets = [np.array([0, 4]), np.array([2]), np.array([1, 3, 4])]
+        pool = RRSetPool.from_sets(5, sets)
+        assert [s.tolist() for s in pool.to_list()] == [s.tolist() for s in sets]
+        assert all(s.dtype == np.int64 for s in pool.to_list())
+
+    def test_index_out_of_range(self):
+        pool = RRSetPool.from_sets(5, [np.array([1])])
+        with pytest.raises(IndexError):
+            pool[1]
+        with pytest.raises(IndexError):
+            pool[-2]
+
+
+class TestKernels:
+    def test_coverage_counts(self):
+        pool = RRSetPool.from_sets(4, [np.array([0, 1]), np.array([1, 2]), np.array([1])])
+        assert pool.coverage_counts().tolist() == [1, 3, 1, 0]
+
+    def test_set_ids_and_lengths(self):
+        pool = RRSetPool.from_sets(9, [np.array([0, 1]), np.array([], dtype=int), np.array([8])])
+        assert pool.lengths.tolist() == [2, 0, 1]
+        assert pool.set_ids().tolist() == [0, 0, 2]
+
+    def test_intersects(self):
+        pool = RRSetPool.from_sets(5, [np.array([0, 1]), np.array([2]), np.array([], dtype=int)])
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        assert pool.intersects(mask).tolist() == [False, True, False]
+
+    def test_intersects_shape_validated(self):
+        pool = RRSetPool.from_sets(5, [np.array([0])])
+        with pytest.raises(ValueError):
+            pool.intersects(np.zeros(4, dtype=bool))
+
+    def test_widths(self):
+        in_degrees = np.array([3, 1, 0, 2])
+        pool = RRSetPool.from_sets(4, [np.array([0, 3]), np.array([2])])
+        assert pool.widths(in_degrees).tolist() == [5, 0]
+
+    def test_memory_accounting(self):
+        pool = RRSetPool(10, node_capacity=100, set_capacity=10)
+        pool.append(np.array([1, 2, 3]))
+        assert pool.nbytes == 3 * 4 + 2 * 8
+        assert pool.capacity_bytes >= pool.nbytes
+
+
+class TestValidation:
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            RRSetPool(-1)
+
+    def test_int32_ceiling_enforced(self):
+        with pytest.raises(ValueError):
+            RRSetPool(2**31)
+
+
+class TestHelpers:
+    def test_expand_csr(self):
+        # CSR with rows [0: (a,b)], [1: ()], [2: (c)]
+        indptr = np.array([0, 2, 2, 3])
+        reps, flat = expand_csr(indptr, np.array([2, 0]))
+        assert reps.tolist() == [0, 1, 1]
+        assert flat.tolist() == [2, 0, 1]
+
+    def test_expand_csr_empty(self):
+        reps, flat = expand_csr(np.array([0, 0]), np.array([0]))
+        assert reps.size == 0 and flat.size == 0
+
+    def test_flatten_members(self):
+        # Level fragments: level 0 puts node 9 in set 1 and node 3 in set 0;
+        # level 1 adds node 4 to set 1.
+        nodes, lengths = flatten_members(
+            [np.array([9, 3]), np.array([4])],
+            [np.array([1, 0]), np.array([1])],
+            count=3,
+        )
+        assert lengths.tolist() == [1, 2, 0]
+        assert nodes.tolist() == [3, 9, 4]
+
+    def test_flatten_members_empty(self):
+        nodes, lengths = flatten_members([], [], count=2)
+        assert nodes.size == 0
+        assert lengths.tolist() == [0, 0]
