@@ -1,0 +1,178 @@
+"""Cross-query RR-pool reuse benchmark -> BENCH_session.json.
+
+Quantifies the ISSUE-2 acceptance claim: a k-sweep (k in {10..50}) served
+by one :class:`~repro.api.session.ComICSession` samples strictly fewer
+RR-sets than the same five queries answered by independent solver calls
+(fresh session per query), at matching seed quality.  An epsilon sweep
+shows the same effect for accuracy re-tuning: tight-epsilon pools are
+reused outright by looser settings.
+
+For each sweep the report records RR-sets sampled, wall seconds, the pool
+cache stats, and the Monte-Carlo spread of the largest-k seed sets from
+both strategies (parity check).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py [--quick] \
+        [--nodes 4000] [--engine tim|imm] [--output BENCH_session.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import ComICSession, EngineConfig, SelfInfMaxQuery
+from repro.graph.generators import power_law_digraph
+from repro.graph.weights import weighted_cascade_probabilities
+from repro.models.gaps import GAP
+from repro.models.spread import estimate_spread
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+
+
+def run_sweep(graph, queries, configs, *, shared: bool, engine: str) -> dict:
+    """Run ``queries[i]`` under ``configs[i]``; one session or one each.
+
+    Every ``run`` call passes its explicit per-query config, so the
+    sessions need no default config of their own.
+    """
+    session = ComICSession(graph, GAPS, rng=11) if shared else None
+    started = time.perf_counter()
+    seeds_by_query = []
+    sampled = 0
+    for query, config in zip(queries, configs):
+        if not shared:
+            session = ComICSession(graph, GAPS, rng=11)
+        result = session.run(query, config=config)
+        seeds_by_query.append(result.seeds)
+        if not shared:
+            sampled += session.stats.rr_sets_sampled
+    if shared:
+        sampled = session.stats.rr_sets_sampled
+    wall = time.perf_counter() - started
+    return {
+        "rr_sets_sampled": sampled,
+        "wall_s": round(wall, 3),
+        "pool_stats": session.stats.as_dict() if shared else None,
+        "seeds_last": seeds_by_query[-1],
+    }
+
+
+def spread_of(graph, seeds, seeds_b, runs, rng):
+    est = estimate_spread(graph, GAPS, seeds, seeds_b, runs=runs, rng=rng)
+    return round(est.mean, 2), round(est.stderr, 2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=4000)
+    parser.add_argument("--engine", choices=("tim", "imm"), default="tim")
+    parser.add_argument("--max-rr-sets", type=int, default=30_000)
+    parser.add_argument("--mc-runs", type=int, default=300)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / budgets for CI")
+    parser.add_argument("--output", default="BENCH_session.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.nodes = min(args.nodes, 1500)
+        args.max_rr_sets = min(args.max_rr_sets, 8000)
+        args.mc_runs = min(args.mc_runs, 120)
+
+    graph = weighted_cascade_probabilities(
+        power_law_digraph(args.nodes, exponent=2.16, average_degree=8.0,
+                          probability=0.2, rng=1)
+    )
+    seeds_b = list(range(10))
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"engine={args.engine}", flush=True)
+
+    report: dict = {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "engine": args.engine,
+        "sweeps": {},
+    }
+
+    # ---- k-sweep: one pool serves every budget --------------------------
+    ks = (10, 20, 30, 40, 50)
+    queries = [SelfInfMaxQuery(seeds_b=tuple(seeds_b), k=k) for k in ks]
+    config = EngineConfig(engine=args.engine, max_rr_sets=args.max_rr_sets)
+    configs = [config] * len(ks)
+    independent = run_sweep(graph, queries, configs, shared=False,
+                            engine=args.engine)
+    shared = run_sweep(graph, queries, configs, shared=True,
+                       engine=args.engine)
+    parity = {
+        "independent": spread_of(graph, independent["seeds_last"], seeds_b,
+                                 args.mc_runs, 5),
+        "shared": spread_of(graph, shared["seeds_last"], seeds_b,
+                            args.mc_runs, 5),
+    }
+    saving = 1.0 - shared["rr_sets_sampled"] / max(
+        independent["rr_sets_sampled"], 1
+    )
+    report["sweeps"]["k_sweep"] = {
+        "ks": list(ks),
+        "independent": independent,
+        "shared": shared,
+        "spread_at_max_k": parity,
+        "sampling_saved_pct": round(100 * saving, 1),
+    }
+    print(f"k-sweep {list(ks)}: independent sampled "
+          f"{independent['rr_sets_sampled']} RR-sets in "
+          f"{independent['wall_s']}s; shared session sampled "
+          f"{shared['rr_sets_sampled']} in {shared['wall_s']}s "
+          f"({100 * saving:.1f}% fewer samples)", flush=True)
+    print(f"  spread parity at k={ks[-1]}: "
+          f"independent {parity['independent'][0]} ± "
+          f"{parity['independent'][1]}, shared {parity['shared'][0]} ± "
+          f"{parity['shared'][1]}", flush=True)
+    if shared["rr_sets_sampled"] >= independent["rr_sets_sampled"]:
+        raise SystemExit(
+            "ACCEPTANCE FAILURE: shared session must sample strictly fewer "
+            f"RR-sets ({shared['rr_sets_sampled']} vs "
+            f"{independent['rr_sets_sampled']})"
+        )
+
+    # ---- epsilon-sweep: tighter pools serve looser queries --------------
+    epsilons = (0.3, 0.5, 0.75, 1.0)
+    k = ks[1]
+    eps_queries = [SelfInfMaxQuery(seeds_b=tuple(seeds_b), k=k)
+                   for _ in epsilons]
+    eps_configs = [
+        EngineConfig(engine=args.engine, epsilon=eps,
+                     max_rr_sets=args.max_rr_sets)
+        for eps in epsilons
+    ]
+    independent_e = run_sweep(graph, eps_queries, eps_configs, shared=False,
+                              engine=args.engine)
+    shared_e = run_sweep(graph, eps_queries, eps_configs, shared=True,
+                         engine=args.engine)
+    saving_e = 1.0 - shared_e["rr_sets_sampled"] / max(
+        independent_e["rr_sets_sampled"], 1
+    )
+    report["sweeps"]["eps_sweep"] = {
+        "epsilons": list(epsilons),
+        "k": k,
+        "independent": independent_e,
+        "shared": shared_e,
+        "sampling_saved_pct": round(100 * saving_e, 1),
+    }
+    print(f"eps-sweep {list(epsilons)} at k={k}: independent sampled "
+          f"{independent_e['rr_sets_sampled']}, shared sampled "
+          f"{shared_e['rr_sets_sampled']} ({100 * saving_e:.1f}% fewer)",
+          flush=True)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

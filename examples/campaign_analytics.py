@@ -9,7 +9,7 @@ profile (when the campaign peaks), and the final joint-state census
 Run:  python examples/campaign_analytics.py
 """
 
-from repro import GAP, simulate, solve_selfinfmax
+from repro import ComICSession, EngineConfig, GAP, SelfInfMaxQuery, simulate
 from repro.analysis import (
     adoption_probabilities,
     adoption_timeline,
@@ -18,17 +18,16 @@ from repro.analysis import (
 )
 from repro.graph import power_law_digraph, weighted_cascade_probabilities
 from repro.models import ItemState
-from repro.rrset import TIMOptions
 
 
 def main() -> None:
     graph = weighted_cascade_probabilities(power_law_digraph(600, rng=5))
     gaps = GAP(q_a=0.3, q_a_given_b=0.85, q_b=0.5, q_b_given_a=0.5)
     seeds_b = [0, 1, 2]
-    chosen = solve_selfinfmax(
-        graph, gaps, seeds_b, k=5,
-        options=TIMOptions(theta_override=3000), rng=1,
+    session = ComICSession(
+        graph, gaps, config=EngineConfig(theta_override=3000), rng=1
     )
+    chosen = session.run(SelfInfMaxQuery(seeds_b=tuple(seeds_b), k=5))
     seeds_a = chosen.seeds
     print(f"A-seeds: {seeds_a} (B fixed at {seeds_b})")
 

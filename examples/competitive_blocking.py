@@ -9,10 +9,9 @@ blocker against blocking from random and high-degree seed sets.
 Run:  python examples/competitive_blocking.py
 """
 
-from repro import GAP
+from repro import BlockingQuery, ComICSession, GAP
 from repro.algorithms import (
     estimate_suppression,
-    greedy_blocking,
     high_degree_seeds,
     random_seeds,
 )
@@ -35,9 +34,12 @@ def main() -> None:
     # Restrict greedy candidates to the 40 highest-degree nodes: blocking
     # from the periphery is hopeless and this keeps the demo quick.
     candidates = high_degree_seeds(graph, 40)
-    blockers = greedy_blocking(
-        graph, gaps, seeds_a, k, runs=120, rng=2, candidates=candidates
-    )
+    session = ComICSession(graph, gaps, rng=2)
+    blocked = session.run(BlockingQuery(
+        seeds_a=tuple(seeds_a), k=k, runs=120, candidates=tuple(candidates),
+    ))
+    blockers = blocked.seeds
+    print(f"CELF blocker estimate during selection: {blocked.estimate:.1f}")
 
     contenders = {
         "greedy blocker": blockers,

@@ -13,7 +13,7 @@ budget covers |S_A|, simply copying the A-seeds is provably optimal.
 Run:  python examples/complementary_boost.py
 """
 
-from repro import GAP, estimate_boost, solve_compinfmax
+from repro import ComICSession, CompInfMaxQuery, EngineConfig, GAP, estimate_boost
 from repro.algorithms import (
     copying_seeds,
     high_degree_seeds,
@@ -21,7 +21,6 @@ from repro.algorithms import (
     theorem2_optimal_b_seeds,
 )
 from repro.datasets import load_dataset
-from repro.rrset import TIMOptions
 
 K = 8
 MC_RUNS = 400
@@ -39,10 +38,10 @@ def main() -> None:
     # Organic A adopters: a random crowd, as in real campaigns.
     seeds_a = random_seeds(graph, 25, rng=1)
 
-    result = solve_compinfmax(
-        graph, gaps, seeds_a, K,
-        options=TIMOptions(theta_override=5000), rng=2,
+    session = ComICSession(
+        graph, gaps, config=EngineConfig(theta_override=5000), rng=2
     )
+    result = session.run(CompInfMaxQuery(seeds_a=tuple(seeds_a), k=K))
     print(f"\nGeneralTIM ({result.method}) B-seeds: {result.seeds}")
 
     strategies = {

@@ -9,11 +9,8 @@ a shared budget across all three items round-robin.
 Run:  python examples/multi_item_bundle.py
 """
 
-from repro.algorithms import (
-    greedy_multi_item_selfinfmax,
-    high_degree_seeds,
-    round_robin_multi_item,
-)
+from repro import ComICSession, MultiItemQuery
+from repro.algorithms import high_degree_seeds
 from repro.graph import power_law_digraph, weighted_cascade_probabilities
 from repro.models import MultiItemGaps, estimate_multi_item_spread
 
@@ -37,10 +34,11 @@ def main() -> None:
         print(f"sigma({item:>7}) = {spread:6.1f}   (phone-only seeding)")
 
     # 2. Focal-item greedy: the best 3 watch seeds given the phone seeds.
-    watch_seeds = greedy_multi_item_selfinfmax(
-        graph, gaps, 1, [phone_seeds, [], []], 3,
-        runs=60, rng=2, candidates=high_degree_seeds(graph, 25),
-    )
+    session = ComICSession(graph, multi_item_gaps=gaps, rng=2)
+    watch_seeds = session.run(MultiItemQuery(
+        budget=3, item=1, fixed_seed_sets=(tuple(phone_seeds), (), ()),
+        runs=60, candidates=tuple(high_degree_seeds(graph, 25)),
+    )).seeds
     spreads = estimate_multi_item_spread(
         graph, gaps, [phone_seeds, watch_seeds, []], runs=300, rng=3
     )
@@ -49,9 +47,9 @@ def main() -> None:
         print(f"sigma({item:>7}) = {spread:6.1f}   (phone + watch seeding)")
 
     # 3. Round-robin: 6 seeds shared across the whole bundle.
-    bundle_sets = round_robin_multi_item(
-        graph, gaps, 6, runs=40, rng=4, candidates=high_degree_seeds(graph, 15)
-    )
+    bundle_sets = session.run(MultiItemQuery(
+        budget=6, runs=40, candidates=tuple(high_degree_seeds(graph, 15)),
+    ), rng=4).seed_sets
     spreads = estimate_multi_item_spread(graph, gaps, bundle_sets, runs=300, rng=5)
     print("round-robin allocation:",
           {item: seeds for item, seeds in zip(ITEMS, bundle_sets)})

@@ -13,10 +13,9 @@ might reach for.
 Run:  python examples/phone_watch_campaign.py
 """
 
-from repro import GAP, estimate_spread, solve_selfinfmax
+from repro import ComICSession, EngineConfig, GAP, SelfInfMaxQuery, estimate_spread
 from repro.algorithms import copying_seeds, high_degree_seeds, pagerank_seeds, random_seeds
 from repro.datasets import load_dataset
-from repro.rrset import TIMOptions
 
 K = 8
 MC_RUNS = 400
@@ -35,14 +34,17 @@ def main() -> None:
     phone_seeds = pagerank_seeds(graph, 20)
     print(f"phone (B) seeds: top-20 PageRank nodes")
 
-    result = solve_selfinfmax(
-        graph, gaps, phone_seeds, K,
-        options=TIMOptions(theta_override=15000), rng=3, evaluation_runs=MC_RUNS,
+    session = ComICSession(
+        graph, gaps, config=EngineConfig(theta_override=15000), rng=3
     )
+    result = session.run(SelfInfMaxQuery(
+        seeds_b=tuple(phone_seeds), k=K, evaluation_runs=MC_RUNS,
+    ))
     print(f"\nGeneralTIM ({result.method}) watch seeds: {result.seeds}")
-    if result.sandwich is not None:
-        print(f"sandwich winner: {result.sandwich.winner} "
-              f"(candidates evaluated: {result.sandwich.evaluations})")
+    sandwich = result.raw.sandwich
+    if sandwich is not None:
+        print(f"sandwich winner: {sandwich.winner} "
+              f"(candidates evaluated: {sandwich.evaluations})")
 
     strategies = {
         "GeneralTIM+SA": result.seeds,

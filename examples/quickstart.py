@@ -7,10 +7,9 @@ A-seeds with the paper's GeneralTIM + RR-SIM+ (+ Sandwich) algorithm.
 Run:  python examples/quickstart.py
 """
 
-from repro import GAP, estimate_spread, simulate, solve_selfinfmax
+from repro import ComICSession, EngineConfig, GAP, SelfInfMaxQuery, estimate_spread, simulate
 from repro.algorithms import high_degree_seeds
 from repro.graph import power_law_digraph, weighted_cascade_probabilities
-from repro.rrset import TIMOptions
 
 
 def main() -> None:
@@ -32,11 +31,18 @@ def main() -> None:
     )
 
     # 4. SelfInfMax: pick 5 A-seeds maximising sigma_A given those B-seeds.
-    result = solve_selfinfmax(
-        graph, gaps, seeds_b, k=5,
-        options=TIMOptions(theta_override=4000), rng=1,
+    #    A session owns the network and caches RR-set pools across queries.
+    session = ComICSession(
+        graph, gaps, config=EngineConfig(theta_override=4000), rng=1
     )
+    result = session.run(SelfInfMaxQuery(seeds_b=tuple(seeds_b), k=5))
     print(f"GeneralTIM ({result.method}) chose A-seeds: {result.seeds}")
+
+    # A follow-up query with a bigger budget reuses the cached pool: the
+    # session samples zero new RR-sets for it.
+    bigger = session.run(SelfInfMaxQuery(seeds_b=tuple(seeds_b), k=8))
+    print(f"k=8 follow-up reused the pool "
+          f"(new RR-sets sampled: {bigger.diagnostics['rr_sets_sampled']})")
 
     # 5. Compare against naive high-degree seeding by Monte Carlo.
     ours = estimate_spread(graph, gaps, result.seeds, seeds_b, runs=400, rng=2)

@@ -4,11 +4,15 @@ VLDB 2016).
 
 Public API highlights:
 
+* :class:`~repro.api.session.ComICSession` and the :mod:`repro.api` query
+  layer — the unified entry point for all four optimisation workloads,
+  with cross-query RR-set pool reuse;
 * :class:`~repro.graph.DiGraph` and the :mod:`repro.graph` substrate;
 * :class:`~repro.models.GAP` and :func:`~repro.models.simulate` — the
   Com-IC model;
 * :func:`~repro.algorithms.solve_selfinfmax` /
-  :func:`~repro.algorithms.solve_compinfmax` — the paper's two problems;
+  :func:`~repro.algorithms.solve_compinfmax` — deprecated one-shot shims
+  over the session API;
 * :mod:`repro.learning` — GAP estimation from action logs;
 * :mod:`repro.datasets` / :mod:`repro.experiments` — the evaluation
   harness regenerating every table and figure of §7.
@@ -22,6 +26,7 @@ from repro.errors import (
     ExperimentError,
     GapError,
     GraphError,
+    QueryError,
     RegimeError,
     ReproError,
     SeedSetError,
@@ -36,11 +41,27 @@ from repro.models import (
     simulate,
 )
 from repro.algorithms import solve_compinfmax, solve_selfinfmax
+from repro.api import (
+    BlockingQuery,
+    ComICSession,
+    CompInfMaxQuery,
+    EngineConfig,
+    InfluenceResult,
+    MultiItemQuery,
+    SelfInfMaxQuery,
+)
 from repro.rrset import TIMOptions, general_tim
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ComICSession",
+    "EngineConfig",
+    "InfluenceResult",
+    "SelfInfMaxQuery",
+    "CompInfMaxQuery",
+    "BlockingQuery",
+    "MultiItemQuery",
     "DiGraph",
     "GAP",
     "ItemState",
@@ -53,6 +74,7 @@ __all__ = [
     "general_tim",
     "TIMOptions",
     "ReproError",
+    "QueryError",
     "GraphError",
     "EdgeProbabilityError",
     "GapError",

@@ -154,7 +154,7 @@ def vanilla_ic_seeds(
     graph: DiGraph,
     k: int,
     *,
-    options: TIMOptions = TIMOptions(),
+    options: Optional[TIMOptions] = None,
     rng: SeedLike = None,
 ) -> list[int]:
     """VanillaIC: TIM seed selection under the classic IC model.

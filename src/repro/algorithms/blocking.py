@@ -12,20 +12,27 @@ problem out of scope; this module implements the objective and a CELF
 greedy blocker so the appendix discussion is executable (no approximation
 guarantee is claimed — the appendix's Example 5 shows per-world
 submodularity can fail in Q-).
+
+.. deprecated::
+    :func:`greedy_blocking` is a thin shim over the declarative query API
+    (:class:`~repro.api.queries.BlockingQuery` run on a
+    :class:`~repro.api.session.ComICSession`); the CELF core lives in
+    :mod:`repro.api.solvers`.  :func:`estimate_suppression` remains the
+    canonical objective estimator.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Optional, Sequence
 
-from repro.errors import RegimeError
+from repro.errors import SeedSetError
 from repro.graph.digraph import DiGraph
 from repro.models.comic import simulate
 from repro.models.gaps import GAP
 from repro.models.sources import WorldSource
 from repro.models.spread import SpreadEstimate, _summarize
-from repro.rng import SeedLike, derive_seed, make_rng
-from repro.algorithms.greedy import celf_greedy
+from repro.rng import SeedLike, make_rng
 
 import numpy as np
 
@@ -74,27 +81,29 @@ def greedy_blocking(
     rng: SeedLike = None,
     candidates: Optional[Iterable[int]] = None,
 ) -> list[int]:
-    """CELF greedy for influence blocking: pick ``k`` B-seeds maximising
-    the suppression of A's spread.
+    """CELF greedy for influence blocking (deprecated one-shot entry point).
 
     Requires mutual competition (the objective can be negative otherwise).
-    The greedy is a heuristic here — see the module docstring.
+    The greedy is a heuristic here — see the module docstring.  Delegates
+    to a throwaway :class:`~repro.api.session.ComICSession`.
     """
-    if not gaps.is_mutually_competitive:
-        raise RegimeError(
-            f"influence blocking is defined for mutual competition (Q-); got {gaps}"
-        )
-    gen = make_rng(rng)
-    mc_seed = int(gen.integers(0, 2**31 - 1))
-    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+    warnings.warn(
+        "greedy_blocking() is deprecated; use "
+        "ComICSession.run(BlockingQuery(...)) from repro.api instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    from repro.api import BlockingQuery, ComICSession
 
-    def objective(seed_list: Sequence[int]) -> float:
-        if not seed_list:
-            return 0.0
-        return estimate_suppression(
-            graph, gaps, seeds_a, seed_list, runs=runs,
-            rng=derive_seed(mc_seed, len(seed_list), *map(int, seed_list)),
-        ).mean
-
-    seeds, _trace = celf_greedy(pool, k, objective, base_value=0.0)
-    return seeds
+    session = ComICSession(graph, gaps, rng=rng)
+    query = BlockingQuery(
+        seeds_a=tuple(int(s) for s in seeds_a),
+        k=k,
+        runs=runs,
+        candidates=(
+            tuple(int(v) for v in candidates) if candidates is not None else None
+        ),
+    )
+    return session.run(query).seeds

@@ -14,24 +14,28 @@ B-seeds maximising the boost ``sigma_A(S_A, S_B) - sigma_A(S_A, ∅)``:
 :func:`theorem2_optimal_b_seeds` implements the provably-optimal special
 case of Theorem 2 (``q_{B|∅} = 1`` and ``k >= |S_A|``): copy the A-seeds
 and pad arbitrarily.
+
+.. deprecated::
+    :func:`solve_compinfmax` is a thin shim over the declarative query
+    API — construct a :class:`~repro.api.session.ComICSession` and run a
+    :class:`~repro.api.queries.CompInfMaxQuery` instead.  The solver core
+    lives in :mod:`repro.api.solvers`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.errors import RegimeError, SeedSetError
+from repro.errors import SeedSetError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
-from repro.models.spread import estimate_boost
 from repro.rng import SeedLike, make_rng
-from repro.rrset.engines import SelectionResult, run_seed_selection
+from repro.rrset.engines import ENGINES, SelectionResult
 from repro.rrset.imm import IMMOptions
-from repro.rrset.rr_cim import RRCimGenerator
 from repro.rrset.tim import TIMOptions
-from repro.algorithms.greedy import greedy_compinfmax
-from repro.algorithms.sandwich import SandwichResult, sandwich_select
+from repro.algorithms.sandwich import SandwichResult
 
 
 @dataclass
@@ -81,7 +85,7 @@ def solve_compinfmax(
     seeds_a: Sequence[int],
     k: int,
     *,
-    options: TIMOptions = TIMOptions(),
+    options: Optional[TIMOptions] = None,
     rng: SeedLike = None,
     evaluation_runs: int = 200,
     include_greedy_candidate: bool = False,
@@ -89,52 +93,51 @@ def solve_compinfmax(
     engine: str = "tim",
     imm_options: Optional[IMMOptions] = None,
 ) -> CompInfMaxResult:
-    """Solve CompInfMax; see the module docstring for the strategy.
+    """Solve one CompInfMax instance (deprecated one-shot entry point).
 
-    ``engine`` selects the seed-selection algorithm over RR-sets:
-    ``"tim"`` (GeneralTIM, [24]) or ``"imm"`` (martingale IMM, [23]).
+    Delegates to a throwaway :class:`~repro.api.session.ComICSession`;
+    prefer the session API directly when issuing more than one query over
+    the same network.
     """
-    if not gaps.is_mutually_complementary:
-        raise RegimeError(
-            f"CompInfMax is defined for mutually complementary GAPs (Q+); got {gaps}"
-        )
-    gen = make_rng(rng)
-    seeds_a = [int(s) for s in seeds_a]
-
-    if gaps.q_b_given_a == 1.0:
-        generator = RRCimGenerator(graph, gaps, seeds_a)
-        tim = run_seed_selection(
-            generator, k, engine=engine, options=options,
-            imm_options=imm_options, rng=gen,
-        )
-        return CompInfMaxResult(
-            seeds=tim.seeds, method="submodular", tim_results={"sigma": tim}
-        )
-
-    nu_gaps = gaps.with_q_b_given_a_one()
-    tim_nu = run_seed_selection(
-        RRCimGenerator(graph, nu_gaps, seeds_a), k,
-        engine=engine, options=options, imm_options=imm_options, rng=gen,
+    warnings.warn(
+        "solve_compinfmax() is deprecated; use "
+        "ComICSession.run(CompInfMaxQuery(...)) from repro.api instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    candidates: dict[str, list[int]] = {"nu": tim_nu.seeds}
-    if include_greedy_candidate:
-        candidates["sigma"] = greedy_compinfmax(
-            graph, gaps, seeds_a, k, runs=greedy_runs, rng=gen
-        )
-    eval_seed = int(gen.integers(0, 2**31 - 1))
+    # Legacy error contract: invalid k / engine raised SeedSetError /
+    # ValueError, not the query API's QueryError.
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    from repro.api import ComICSession, CompInfMaxQuery, EngineConfig
 
-    def boost(seed_list: Sequence[int]) -> float:
-        if not seed_list:
-            return 0.0
-        return estimate_boost(
-            graph, gaps, seeds_a, seed_list, runs=evaluation_runs, rng=eval_seed
-        ).mean
-
-    chosen = sandwich_select(candidates, boost)
-    return CompInfMaxResult(
-        seeds=chosen.seeds,
-        method="sandwich",
-        tim_results={"nu": tim_nu},
-        sandwich=chosen,
-        estimated_boost=chosen.value,
+    session = ComICSession(
+        graph,
+        gaps,
+        config=EngineConfig.from_tim_options(
+            options, engine=engine, imm_options=imm_options
+        ),
+        rng=rng,
     )
+    # The submodular path (q_B|A = 1) never touches the MC knobs; legacy
+    # accepted degenerate values there, so clamp only in that case.  On the
+    # sandwich path a degenerate value always errored and still does.
+    mc_unused = gaps.q_b_given_a == 1.0
+    query = CompInfMaxQuery(
+        seeds_a=tuple(int(s) for s in seeds_a),
+        k=k,
+        evaluation_runs=(
+            max(evaluation_runs, 1) if mc_unused else evaluation_runs
+        ),
+        include_greedy_candidate=include_greedy_candidate,
+        # greedy_runs is consumed only when the greedy candidate actually
+        # runs (sandwich path AND include_greedy_candidate).
+        greedy_runs=(
+            greedy_runs
+            if not mc_unused and include_greedy_candidate
+            else max(greedy_runs, 1)
+        ),
+    )
+    return session.run(query).raw

@@ -14,22 +14,23 @@ future work; this module supplies the natural first algorithms:
 No approximation guarantee is claimed: even for two items the objective
 is submodular only in restricted regimes (§5).  These are the practical
 heuristics a campaign would start from.
+
+.. deprecated::
+    Both entry points are thin shims over the declarative query API
+    (:class:`~repro.api.queries.MultiItemQuery` run on a
+    :class:`~repro.api.session.ComICSession` carrying ``multi_item_gaps``);
+    the greedy cores live in :mod:`repro.api.solvers`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
-
-import numpy as np
 
 from repro.errors import SeedSetError
 from repro.graph.digraph import DiGraph
-from repro.models.multi_item import (
-    MultiItemGaps,
-    estimate_multi_item_spread,
-)
-from repro.rng import SeedLike, derive_seed, make_rng
-from repro.algorithms.greedy import celf_greedy
+from repro.models.multi_item import MultiItemGaps
+from repro.rng import SeedLike
 
 
 def _validate_item(gaps: MultiItemGaps, item: int) -> int:
@@ -51,11 +52,18 @@ def greedy_multi_item_selfinfmax(
     rng: SeedLike = None,
     candidates: Optional[Sequence[int]] = None,
 ) -> list[int]:
-    """CELF greedy for the focal ``item`` with all other seed sets fixed.
+    """CELF greedy for the focal ``item`` (deprecated one-shot entry point).
 
     ``fixed_seed_sets`` must list one seed set per item; the focal item's
-    entry is the *initial* seed set it extends (usually empty).
+    entry is the *initial* seed set it extends (usually empty).  Delegates
+    to a throwaway :class:`~repro.api.session.ComICSession`.
     """
+    warnings.warn(
+        "greedy_multi_item_selfinfmax() is deprecated; use "
+        "ComICSession.run(MultiItemQuery(item=...)) from repro.api instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     item = _validate_item(gaps, item)
     if len(fixed_seed_sets) != gaps.num_items:
         raise SeedSetError(
@@ -63,26 +71,21 @@ def greedy_multi_item_selfinfmax(
         )
     if k < 0:
         raise SeedSetError(f"k must be non-negative, got {k}")
-    gen = make_rng(rng)
-    eval_seed = int(gen.integers(0, 2**31 - 1))
-    base_sets = [list(s) for s in fixed_seed_sets]
-    pool = (
-        list(candidates)
-        if candidates is not None
-        else [v for v in range(graph.num_nodes) if v not in set(base_sets[item])]
+    from repro.api import ComICSession, MultiItemQuery
+
+    session = ComICSession(graph, multi_item_gaps=gaps, rng=rng)
+    query = MultiItemQuery(
+        budget=k,
+        item=item,
+        fixed_seed_sets=tuple(
+            tuple(int(v) for v in s) for s in fixed_seed_sets
+        ),
+        runs=runs,
+        candidates=(
+            tuple(int(v) for v in candidates) if candidates is not None else None
+        ),
     )
-
-    def objective(extra: Sequence[int]) -> float:
-        trial = [list(s) for s in base_sets]
-        trial[item] = base_sets[item] + [int(v) for v in extra]
-        spreads = estimate_multi_item_spread(
-            graph, gaps, trial, runs=runs,
-            rng=derive_seed(eval_seed, len(extra), *map(int, extra)),
-        )
-        return float(spreads[item])
-
-    seeds, _trace = celf_greedy(pool, k, objective)
-    return seeds
+    return session.run(query).seeds
 
 
 def round_robin_multi_item(
@@ -94,37 +97,30 @@ def round_robin_multi_item(
     rng: SeedLike = None,
     candidates: Optional[Sequence[int]] = None,
 ) -> list[list[int]]:
-    """Allocate ``budget`` seeds across all items, round-robin greedily.
+    """Round-robin budget allocation (deprecated one-shot entry point).
 
     Item ``t mod k`` receives the ``t``-th seed: the node maximising the
     *total* expected adoptions across items (MC-estimated with a shared
-    seed per round).  Returns one seed list per item.
+    seed per round).  Returns one seed list per item.  Delegates to a
+    throwaway :class:`~repro.api.session.ComICSession`.
     """
+    warnings.warn(
+        "round_robin_multi_item() is deprecated; use "
+        "ComICSession.run(MultiItemQuery(...)) from repro.api instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if budget < 0:
         raise SeedSetError(f"budget must be non-negative, got {budget}")
-    gen = make_rng(rng)
-    eval_seed = int(gen.integers(0, 2**31 - 1))
-    k = gaps.num_items
-    seed_sets: list[list[int]] = [[] for _ in range(k)]
-    pool = list(candidates) if candidates is not None else list(range(graph.num_nodes))
+    from repro.api import ComICSession, MultiItemQuery
 
-    for t in range(budget):
-        item = t % k
-        taken = set(seed_sets[item])
-        best_node, best_total = None, -np.inf
-        for v in pool:
-            if v in taken:
-                continue
-            trial = [list(s) for s in seed_sets]
-            trial[item].append(v)
-            total = float(
-                estimate_multi_item_spread(
-                    graph, gaps, trial, runs=runs, rng=derive_seed(eval_seed, t, v)
-                ).sum()
-            )
-            if total > best_total:
-                best_node, best_total = v, total
-        if best_node is None:
-            break
-        seed_sets[item].append(best_node)
-    return seed_sets
+    session = ComICSession(graph, multi_item_gaps=gaps, rng=rng)
+    query = MultiItemQuery(
+        budget=budget,
+        runs=runs,
+        candidates=(
+            tuple(int(v) for v in candidates) if candidates is not None else None
+        ),
+    )
+    result = session.run(query)
+    return [list(s) for s in (result.seed_sets or [])]

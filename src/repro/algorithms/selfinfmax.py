@@ -13,25 +13,29 @@ A-seeds maximising ``sigma_A(S_A, S_B)``:
   Theorem 10 orders the three objectives).  The candidate sets — plus
   optionally an MC-greedy run on the unmodified objective — are compared
   under the true ``sigma_A`` by Monte Carlo and the best wins.
+
+.. deprecated::
+    :func:`solve_selfinfmax` is a thin shim over the declarative query
+    API — construct a :class:`~repro.api.session.ComICSession` and run a
+    :class:`~repro.api.queries.SelfInfMaxQuery` instead; sessions reuse
+    RR-set pools across queries, which this one-shot entry point cannot.
+    The solver core lives in :mod:`repro.api.solvers`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.errors import RegimeError
+from repro.errors import SeedSetError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
-from repro.models.spread import estimate_spread
-from repro.rng import SeedLike, make_rng
-from repro.rrset.engines import SelectionResult, run_seed_selection
+from repro.rng import SeedLike
+from repro.rrset.engines import ENGINES, SelectionResult
 from repro.rrset.imm import IMMOptions
-from repro.rrset.rr_sim import RRSimGenerator
-from repro.rrset.rr_sim_plus import RRSimPlusGenerator
 from repro.rrset.tim import TIMOptions
-from repro.algorithms.greedy import greedy_selfinfmax
-from repro.algorithms.sandwich import SandwichResult, sandwich_select
+from repro.algorithms.sandwich import SandwichResult
 
 
 @dataclass
@@ -47,21 +51,13 @@ class SelfInfMaxResult:
     estimated_spread: Optional[float] = None
 
 
-def _make_generator(
-    graph: DiGraph, gaps: GAP, seeds_b: Sequence[int], use_plus: bool
-):
-    if use_plus:
-        return RRSimPlusGenerator(graph, gaps, seeds_b)
-    return RRSimGenerator(graph, gaps, seeds_b)
-
-
 def solve_selfinfmax(
     graph: DiGraph,
     gaps: GAP,
     seeds_b: Sequence[int],
     k: int,
     *,
-    options: TIMOptions = TIMOptions(),
+    options: Optional[TIMOptions] = None,
     rng: SeedLike = None,
     use_rr_sim_plus: bool = True,
     evaluation_runs: int = 200,
@@ -70,59 +66,52 @@ def solve_selfinfmax(
     engine: str = "tim",
     imm_options: Optional[IMMOptions] = None,
 ) -> SelfInfMaxResult:
-    """Solve SelfInfMax; see the module docstring for the strategy.
+    """Solve one SelfInfMax instance (deprecated one-shot entry point).
 
-    ``evaluation_runs`` sets the MC precision of the sandwich comparison;
-    ``include_greedy_candidate`` adds the (slow) MC-greedy ``S_sigma``
-    candidate as in the paper's full SA recipe.  ``engine`` selects the
-    seed-selection algorithm over RR-sets: ``"tim"`` (GeneralTIM, [24]) or
-    ``"imm"`` (martingale IMM, [23]).
+    Delegates to a throwaway :class:`~repro.api.session.ComICSession`;
+    prefer the session API directly when issuing more than one query over
+    the same network.
     """
-    if not gaps.is_mutually_complementary:
-        raise RegimeError(
-            f"SelfInfMax is defined for mutually complementary GAPs (Q+); got {gaps}"
-        )
-    gen = make_rng(rng)
-    seeds_b = [int(s) for s in seeds_b]
-
-    if gaps.b_indifferent_to_a:
-        generator = _make_generator(graph, gaps, seeds_b, use_rr_sim_plus)
-        tim = run_seed_selection(
-            generator, k, engine=engine, options=options,
-            imm_options=imm_options, rng=gen,
-        )
-        return SelfInfMaxResult(
-            seeds=tim.seeds, method="submodular", tim_results={"sigma": tim}
-        )
-
-    # Sandwich approximation around the non-submodular objective.
-    nu_gaps = gaps.with_b_indifferent_high()
-    mu_gaps = gaps.with_b_indifferent_low()
-    tim_nu = run_seed_selection(
-        _make_generator(graph, nu_gaps, seeds_b, use_rr_sim_plus),
-        k, engine=engine, options=options, imm_options=imm_options, rng=gen,
+    warnings.warn(
+        "solve_selfinfmax() is deprecated; use "
+        "ComICSession.run(SelfInfMaxQuery(...)) from repro.api instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    tim_mu = run_seed_selection(
-        _make_generator(graph, mu_gaps, seeds_b, use_rr_sim_plus),
-        k, engine=engine, options=options, imm_options=imm_options, rng=gen,
-    )
-    candidates: dict[str, list[int]] = {"nu": tim_nu.seeds, "mu": tim_mu.seeds}
-    if include_greedy_candidate:
-        candidates["sigma"] = greedy_selfinfmax(
-            graph, gaps, seeds_b, k, runs=greedy_runs, rng=gen
-        )
-    eval_seed = int(gen.integers(0, 2**31 - 1))
+    # Legacy error contract: invalid k / engine raised SeedSetError /
+    # ValueError, not the query API's QueryError.
+    if k < 0:
+        raise SeedSetError(f"k must be non-negative, got {k}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    from repro.api import ComICSession, EngineConfig, SelfInfMaxQuery
 
-    def sigma(seed_list: Sequence[int]) -> float:
-        return estimate_spread(
-            graph, gaps, seed_list, seeds_b, runs=evaluation_runs, rng=eval_seed
-        ).mean
-
-    chosen = sandwich_select(candidates, sigma)
-    return SelfInfMaxResult(
-        seeds=chosen.seeds,
-        method="sandwich",
-        tim_results={"nu": tim_nu, "mu": tim_mu},
-        sandwich=chosen,
-        estimated_spread=chosen.value,
+    session = ComICSession(
+        graph,
+        gaps,
+        config=EngineConfig.from_tim_options(
+            options, engine=engine, imm_options=imm_options
+        ),
+        rng=rng,
     )
+    # The submodular path (B indifferent to A) never touches the MC knobs;
+    # legacy accepted degenerate values there, so clamp only in that case.
+    # On the sandwich path a degenerate value always errored and still does.
+    mc_unused = gaps.b_indifferent_to_a
+    query = SelfInfMaxQuery(
+        seeds_b=tuple(int(s) for s in seeds_b),
+        k=k,
+        use_rr_sim_plus=use_rr_sim_plus,
+        evaluation_runs=(
+            max(evaluation_runs, 1) if mc_unused else evaluation_runs
+        ),
+        include_greedy_candidate=include_greedy_candidate,
+        # greedy_runs is consumed only when the greedy candidate actually
+        # runs (sandwich path AND include_greedy_candidate).
+        greedy_runs=(
+            greedy_runs
+            if not mc_unused and include_greedy_candidate
+            else max(greedy_runs, 1)
+        ),
+    )
+    return session.run(query).raw

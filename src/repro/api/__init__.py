@@ -1,0 +1,70 @@
+"""repro.api — the unified, declarative Com-IC query layer.
+
+One :class:`ComICSession` owns a network (graph + GAPs + engine config)
+and answers frozen, JSON-round-trippable query objects for all four
+optimisation workloads, caching RR-set pools across queries so sweeps top
+up instead of resample::
+
+    from repro.api import ComICSession, EngineConfig, SelfInfMaxQuery
+
+    session = ComICSession(graph, gaps, config=EngineConfig(engine="imm"))
+    result = session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=10))
+    result.seeds, result.estimate, result.diagnostics
+
+The registry (:mod:`repro.api.registry`) makes the layer extensible:
+new workloads bind a query type to a handler and inherit pooling,
+diagnostics and JSON transport.  ``tests/api/test_public_surface.py``
+pins ``__all__`` — extend it deliberately, never accidentally.
+"""
+
+from repro.api.config import EngineConfig
+from repro.api.queries import (
+    BlockingQuery,
+    CompInfMaxQuery,
+    MultiItemQuery,
+    SelfInfMaxQuery,
+)
+from repro.api.registry import (
+    MC_ENGINE,
+    ObjectiveSpec,
+    generator_factory,
+    get_spec,
+    known_objectives,
+    known_regimes,
+    query_from_dict,
+    query_from_json,
+    register,
+    register_regime,
+    resolve,
+    spec_for_query,
+    unregister,
+    unregister_regime,
+)
+from repro.api.results import InfluenceResult
+from repro.api.session import ComICSession, PoolInfo, SessionStats
+
+__all__ = [
+    "BlockingQuery",
+    "ComICSession",
+    "CompInfMaxQuery",
+    "EngineConfig",
+    "InfluenceResult",
+    "MC_ENGINE",
+    "MultiItemQuery",
+    "ObjectiveSpec",
+    "PoolInfo",
+    "SelfInfMaxQuery",
+    "SessionStats",
+    "generator_factory",
+    "get_spec",
+    "known_objectives",
+    "known_regimes",
+    "query_from_dict",
+    "query_from_json",
+    "register",
+    "register_regime",
+    "resolve",
+    "spec_for_query",
+    "unregister",
+    "unregister_regime",
+]

@@ -1,0 +1,149 @@
+"""Unified engine configuration for the query API.
+
+:class:`EngineConfig` is the single knob object of :mod:`repro.api`: it
+replaces the ad-hoc ``(engine, TIMOptions, IMMOptions)`` triple the old
+solver entry points threaded through every call.  One frozen,
+JSON-round-trippable record fixes the seed-selection engine (``"tim"`` or
+``"imm"``) and the shared accuracy/budget knobs; :meth:`tim_options` and
+:meth:`imm_options` project it onto the engine-specific option dataclasses
+the :mod:`repro.rrset` layer consumes, so both engines always see
+consistent epsilon / ell / sample caps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Optional
+
+from repro.errors import QueryError
+from repro.rrset.engines import ENGINES
+from repro.rrset.imm import IMMOptions
+from repro.rrset.tim import TIMOptions
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs shared by every RR-set-backed query.
+
+    ``engine`` selects GeneralTIM ([24]) or martingale IMM ([23]);
+    ``epsilon`` / ``ell`` are the usual approximation-slack and
+    failure-probability knobs; ``max_rr_sets`` / ``min_rr_sets`` bound the
+    sample size for tractability; ``theta_override`` pins the TIM sample
+    count outright (benchmarks, scaled experiments).  Monte-Carlo-greedy
+    objectives (blocking, multi-item) ignore the engine fields.
+    """
+
+    engine: str = "tim"
+    epsilon: float = 0.5
+    ell: float = 1.0
+    max_rr_sets: int = 50_000
+    min_rr_sets: int = 200
+    theta_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise QueryError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.epsilon <= 0.0:
+            raise QueryError(f"epsilon must be positive, got {self.epsilon}")
+        if self.ell <= 0.0:
+            raise QueryError(f"ell must be positive, got {self.ell}")
+        if self.max_rr_sets < 1:
+            raise QueryError(f"max_rr_sets must be >= 1, got {self.max_rr_sets}")
+        if self.min_rr_sets < 1:
+            raise QueryError(f"min_rr_sets must be >= 1, got {self.min_rr_sets}")
+        if self.theta_override is not None and self.theta_override < 1:
+            raise QueryError(
+                f"theta_override must be >= 1, got {self.theta_override}"
+            )
+        if self.theta_override is not None and self.engine == "imm":
+            raise QueryError(
+                "theta_override pins the TIM sample count; IMM sizes its "
+                "sample adaptively — use max_rr_sets to bound it instead"
+            )
+
+    # ------------------------------------------------------------------
+    # Projections onto the engine-specific option records
+    # ------------------------------------------------------------------
+    def tim_options(self) -> TIMOptions:
+        """The equivalent :class:`~repro.rrset.tim.TIMOptions`."""
+        return TIMOptions(
+            epsilon=self.epsilon,
+            ell=self.ell,
+            max_rr_sets=self.max_rr_sets,
+            min_rr_sets=self.min_rr_sets,
+            theta_override=self.theta_override,
+        )
+
+    def imm_options(self) -> IMMOptions:
+        """The equivalent :class:`~repro.rrset.imm.IMMOptions`."""
+        return IMMOptions(
+            epsilon=self.epsilon,
+            ell=self.ell,
+            max_rr_sets=self.max_rr_sets,
+            min_rr_sets=self.min_rr_sets,
+        )
+
+    @classmethod
+    def from_tim_options(
+        cls,
+        options: Optional[TIMOptions] = None,
+        *,
+        engine: str = "tim",
+        imm_options: Optional[IMMOptions] = None,
+    ) -> "EngineConfig":
+        """Lift the legacy knob triple into one config (shim helper).
+
+        Mirrors the old dispatch rule: explicit ``imm_options`` win for
+        ``engine="imm"``, otherwise IMM inherits the TIM knobs.
+        """
+        if options is None:
+            options = TIMOptions()
+        if engine == "imm" and imm_options is not None:
+            return cls(
+                engine=engine,
+                epsilon=imm_options.epsilon,
+                ell=imm_options.ell,
+                max_rr_sets=imm_options.max_rr_sets,
+                min_rr_sets=imm_options.min_rr_sets,
+            )
+        return cls(
+            engine=engine,
+            epsilon=options.epsilon,
+            ell=options.ell,
+            max_rr_sets=options.max_rr_sets,
+            min_rr_sets=options.min_rr_sets,
+            # IMM has no theta pin; legacy callers passing TIM options with
+            # theta_override to engine="imm" always had it dropped silently,
+            # and the shims must keep accepting that combination.
+            theta_override=(
+                options.theta_override if engine != "imm" else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-JSON-types dict; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise QueryError(f"unknown EngineConfig fields: {sorted(unknown)}")
+        return cls(**known)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EngineConfig":
+        """Inverse of :meth:`to_json` (``from_json(to_json(c)) == c``)."""
+        return cls.from_dict(json.loads(payload))

@@ -1,0 +1,256 @@
+"""Workload registry: objective × engine × RR-regime dispatch.
+
+The registry is the extension point of the query API.  Each workload is an
+:class:`ObjectiveSpec` binding a query type to a handler (the function a
+:class:`~repro.api.session.ComICSession` calls), the seed-selection
+engines it supports, and the RR-set regimes it may sample.  The four paper
+workloads are registered at import time; new workloads (future ROADMAP
+items: multi-item RR-sets, streaming re-optimisation, ...) call
+:func:`register` with their own spec and immediately gain session pooling,
+diagnostics and JSON query transport.
+
+A parallel registry maps RR-regime names to generator factories — the
+session uses it to build (and key the pool cache of) the right
+:class:`~repro.rrset.base.RRSetGenerator` for each query, and
+:func:`generator_factory` is the single place an unknown regime can be
+rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.rrset.engines import ENGINES
+from repro.rrset.rr_cim import RRCimGenerator
+from repro.rrset.rr_ic import RRICGenerator
+from repro.rrset.rr_sim import RRSimGenerator
+from repro.rrset.rr_sim_plus import RRSimPlusGenerator
+
+#: handler signature: (session, query, config, rng) -> InfluenceResult.
+Handler = Callable[..., Any]
+
+#: engine name used by Monte-Carlo workloads that never sample RR-sets.
+MC_ENGINE = "mc"
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One registered workload.
+
+    ``engines`` lists the seed-selection engines the workload accepts;
+    ``(MC_ENGINE,)`` marks a pure Monte-Carlo workload, which ignores the
+    session's RR engine choice.  ``regimes`` documents the RR-set regimes
+    the handler may request from :func:`generator_factory`.
+    """
+
+    name: str
+    query_type: type
+    handler: Handler
+    engines: tuple[str, ...] = ENGINES
+    regimes: tuple[str, ...] = ()
+
+    @property
+    def rr_backed(self) -> bool:
+        """Whether the workload runs on RR-set seed selection."""
+        return self.engines != (MC_ENGINE,)
+
+
+_REGISTRY: dict[str, ObjectiveSpec] = {}
+_BY_QUERY_TYPE: dict[type, ObjectiveSpec] = {}
+
+
+def register(spec: ObjectiveSpec, *, replace: bool = False) -> None:
+    """Add a workload to the registry.
+
+    Re-registering an existing name (or query type) raises unless
+    ``replace=True`` — accidental shadowing of a built-in workload is
+    almost always a bug.
+    """
+    previous = _REGISTRY.get(spec.name)
+    if not replace and previous is not None:
+        raise QueryError(f"objective {spec.name!r} is already registered")
+    existing = _BY_QUERY_TYPE.get(spec.query_type)
+    if not replace and existing is not None and existing.name != spec.name:
+        raise QueryError(
+            f"query type {spec.query_type.__name__} is already bound to "
+            f"objective {existing.name!r}"
+        )
+    if previous is not None and previous.query_type is not spec.query_type:
+        # Replacing a spec whose query type changed: drop the old binding
+        # so the stale handler can no longer be dispatched.
+        if _BY_QUERY_TYPE.get(previous.query_type) is previous:
+            del _BY_QUERY_TYPE[previous.query_type]
+    if replace and existing is not None and existing.name != spec.name:
+        # The query type moves to a new objective name: evict the old name
+        # too, or it would advertise a workload no query can reach.
+        _REGISTRY.pop(existing.name, None)
+    _REGISTRY[spec.name] = spec
+    _BY_QUERY_TYPE[spec.query_type] = spec
+
+
+def unregister(name: str) -> None:
+    """Remove a workload (tests of extensibility clean up with this)."""
+    spec = _REGISTRY.pop(name, None)
+    if spec is None:
+        raise QueryError(f"unknown objective {name!r}")
+    if _BY_QUERY_TYPE.get(spec.query_type) is spec:
+        del _BY_QUERY_TYPE[spec.query_type]
+
+
+def known_objectives() -> tuple[str, ...]:
+    """Registered workload names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_spec(name: str) -> ObjectiveSpec:
+    """Look a workload up by name; raises for unknown objectives."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown objective {name!r}; known: {', '.join(known_objectives())}"
+        ) from None
+
+
+def spec_for_query(query: Any) -> ObjectiveSpec:
+    """Resolve the spec of a query instance; raises for unknown types."""
+    spec = _BY_QUERY_TYPE.get(type(query))
+    if spec is None:
+        raise QueryError(
+            f"no objective registered for query type "
+            f"{type(query).__name__!r}; known: {', '.join(known_objectives())}"
+        )
+    return spec
+
+
+def resolve(query: Any, engine: str) -> ObjectiveSpec:
+    """Dispatch a query: find its spec and validate the engine choice.
+
+    Monte-Carlo workloads accept any configured engine (they ignore it);
+    RR-backed workloads reject engines they do not support.
+    """
+    spec = spec_for_query(query)
+    if spec.rr_backed and engine not in spec.engines:
+        raise QueryError(
+            f"objective {spec.name!r} does not support engine {engine!r}; "
+            f"supported: {spec.engines}"
+        )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# RR-regime registry
+# ----------------------------------------------------------------------
+
+#: factory signature: (graph, gaps, opposite_seeds) -> RRSetGenerator.
+GeneratorFactory = Callable[[DiGraph, GAP, tuple[int, ...]], Any]
+
+_GENERATOR_FACTORIES: dict[str, GeneratorFactory] = {
+    "rr-ic": lambda graph, gaps, opposite: RRICGenerator(graph),
+    "rr-sim": RRSimGenerator,
+    "rr-sim+": RRSimPlusGenerator,
+    "rr-cim": RRCimGenerator,
+}
+
+
+def known_regimes() -> tuple[str, ...]:
+    """Registered RR-set regime names, sorted."""
+    return tuple(sorted(_GENERATOR_FACTORIES))
+
+
+def generator_factory(regime: str) -> GeneratorFactory:
+    """The generator factory of one RR-set regime; raises when unknown."""
+    try:
+        return _GENERATOR_FACTORIES[regime]
+    except KeyError:
+        raise QueryError(
+            f"unknown RR-set regime {regime!r}; known: "
+            f"{', '.join(known_regimes())}"
+        ) from None
+
+
+def register_regime(
+    regime: str, factory: GeneratorFactory, *, replace: bool = False
+) -> None:
+    """Add an RR-set regime (e.g. a future RR-LT or multi-item regime)."""
+    if not replace and regime in _GENERATOR_FACTORIES:
+        raise QueryError(f"RR-set regime {regime!r} is already registered")
+    _GENERATOR_FACTORIES[regime] = factory
+
+
+def unregister_regime(regime: str) -> None:
+    """Remove an RR-set regime added via :func:`register_regime`."""
+    if _GENERATOR_FACTORIES.pop(regime, None) is None:
+        raise QueryError(f"unknown RR-set regime {regime!r}")
+
+
+# ----------------------------------------------------------------------
+# Query transport
+# ----------------------------------------------------------------------
+
+def query_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild any registered query from its tagged ``to_dict`` payload."""
+    tag = data.get("objective")
+    if tag is None:
+        raise QueryError("query payload is missing the 'objective' tag")
+    return get_spec(tag).query_type.from_dict(data)
+
+
+def query_from_json(payload: str) -> Any:
+    """Rebuild any registered query from its ``to_json`` string."""
+    import json
+
+    return query_from_dict(json.loads(payload))
+
+
+def _register_builtins() -> None:
+    """Bind the four paper workloads (deferred import: handlers)."""
+    from repro.api import solvers
+    from repro.api.queries import (
+        BlockingQuery,
+        CompInfMaxQuery,
+        MultiItemQuery,
+        SelfInfMaxQuery,
+    )
+
+    register(
+        ObjectiveSpec(
+            name="selfinfmax",
+            query_type=SelfInfMaxQuery,
+            handler=solvers.run_selfinfmax,
+            engines=ENGINES,
+            regimes=("rr-sim", "rr-sim+"),
+        )
+    )
+    register(
+        ObjectiveSpec(
+            name="compinfmax",
+            query_type=CompInfMaxQuery,
+            handler=solvers.run_compinfmax,
+            engines=ENGINES,
+            regimes=("rr-cim",),
+        )
+    )
+    register(
+        ObjectiveSpec(
+            name="blocking",
+            query_type=BlockingQuery,
+            handler=solvers.run_blocking,
+            engines=(MC_ENGINE,),
+        )
+    )
+    register(
+        ObjectiveSpec(
+            name="multi_item",
+            query_type=MultiItemQuery,
+            handler=solvers.run_multi_item,
+            engines=(MC_ENGINE,),
+        )
+    )
+
+
+_register_builtins()

@@ -1,0 +1,331 @@
+"""`ComICSession`: one network, many queries, shared RR-set pools.
+
+The session is the serving-layer front end of the reproduction: it owns a
+graph, default GAPs and an :class:`~repro.api.config.EngineConfig`,
+validates them once, and answers declarative queries
+(:mod:`repro.api.queries`) through the workload registry.  Its core
+economy is the **pool cache**: every RR-set-backed seed selection runs
+against a cached :class:`~repro.rrset.pool.RRSetPool` keyed by
+
+    (RR regime, GAP quadruple, opposite-seed set)
+
+so repeated queries over the same network — k-sweeps, epsilon-sweeps,
+dashboard refreshes — *top up* the pool IMM-style to whatever ``theta``
+they need instead of resampling from scratch.  A query that needs fewer
+sets than are pooled samples nothing at all; one that needs more appends
+only the difference.  The selection phase then covers every pooled set,
+which only sharpens the RR-set estimate.
+
+Example::
+
+    session = ComICSession(graph, gaps, config=EngineConfig(engine="imm"))
+    for k in (10, 20, 30, 40, 50):
+        result = session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=k))
+    session.stats.rr_sets_sampled   # far below five independent runs
+
+``session.stats`` and each result's ``diagnostics`` expose the accounting
+(`benchmarks/bench_session_reuse.py` turns it into a report).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.api import registry
+from repro.api.config import EngineConfig
+from repro.api.results import InfluenceResult
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.models.multi_item import MultiItemGaps
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+from repro.rrset.engines import SelectionResult, run_seed_selection
+from repro.rrset.pool import RRSetPool
+
+#: cache key of one pooled RR-set collection.
+PoolKey = tuple[str, tuple[float, float, float, float], tuple[int, ...]]
+
+
+@dataclass
+class SessionStats:
+    """Cumulative accounting across every query a session has served."""
+
+    #: queries answered (successful ``run`` calls).
+    queries: int = 0
+    #: RR-sets actually sampled (pool growth); reuse keeps this below the
+    #: sum of per-query theta values.
+    rr_sets_sampled: int = 0
+    #: seed selections answered from an existing pool entry.
+    pool_hits: int = 0
+    #: seed selections that had to create a new pool entry.
+    pool_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports."""
+        return asdict(self)
+
+
+@dataclass
+class _PoolEntry:
+    """One cached (generator, pool) pair."""
+
+    generator: RRSetGenerator
+    pool: RRSetPool
+    selections: int = 0
+
+
+@dataclass
+class PoolInfo:
+    """Read-only snapshot of one cached pool (diagnostics)."""
+
+    regime: str
+    gaps: tuple[float, float, float, float]
+    opposite_seeds: tuple[int, ...]
+    sets: int
+    nbytes: int
+    selections: int
+    batch_kernel: str = "vectorized"
+
+
+class ComICSession:
+    """A long-lived query session over one influence network.
+
+    ``gaps`` is the default GAP quadruple (queries may override it per
+    call); ``multi_item_gaps`` configures the k-item extension (defaults
+    to lifting the pairwise GAPs when only those are given).  ``rng``
+    seeds the session-wide random stream; per-query ``rng`` overrides give
+    reproducible individual queries.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        gaps: Optional[GAP] = None,
+        *,
+        multi_item_gaps: Optional[MultiItemGaps] = None,
+        config: Optional[EngineConfig] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        if not isinstance(graph, DiGraph):
+            raise QueryError(
+                f"graph must be a DiGraph, got {type(graph).__name__}"
+            )
+        if gaps is not None and not isinstance(gaps, GAP):
+            raise QueryError(f"gaps must be a GAP, got {type(gaps).__name__}")
+        if multi_item_gaps is not None and not isinstance(
+            multi_item_gaps, MultiItemGaps
+        ):
+            raise QueryError(
+                "multi_item_gaps must be a MultiItemGaps, got "
+                f"{type(multi_item_gaps).__name__}"
+            )
+        if config is not None and not isinstance(config, EngineConfig):
+            raise QueryError(
+                "config must be an EngineConfig (legacy TIMOptions/IMMOptions "
+                f"lift via EngineConfig.from_tim_options), got "
+                f"{type(config).__name__}"
+            )
+        self._graph = graph
+        self._gaps = gaps
+        self._multi_item_gaps = multi_item_gaps
+        self._config = config if config is not None else EngineConfig()
+        self._rng = make_rng(rng)
+        self._pools: dict[PoolKey, _PoolEntry] = {}
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------
+    # Configuration accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The session's influence network."""
+        return self._graph
+
+    @property
+    def gaps(self) -> Optional[GAP]:
+        """The session's default GAPs (queries may override)."""
+        return self._gaps
+
+    @property
+    def config(self) -> EngineConfig:
+        """The session's default engine configuration."""
+        return self._config
+
+    def resolve_gaps(self, override: Optional[GAP] = None) -> GAP:
+        """The GAPs a query should run under; errors if none are known."""
+        gaps = override if override is not None else self._gaps
+        if gaps is None:
+            raise QueryError(
+                "query needs GAPs: set them on the session or on the query"
+            )
+        return gaps
+
+    def resolve_multi_item_gaps(self) -> MultiItemGaps:
+        """The k-item model (explicit, or lifted from the pairwise GAPs)."""
+        if self._multi_item_gaps is not None:
+            return self._multi_item_gaps
+        if self._gaps is not None:
+            return MultiItemGaps.from_pairwise_gap(self._gaps)
+        raise QueryError(
+            "multi-item queries need multi_item_gaps (or pairwise gaps) on "
+            "the session"
+        )
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: Any,
+        *,
+        config: Optional[EngineConfig] = None,
+        rng: SeedLike = None,
+    ) -> InfluenceResult:
+        """Answer one declarative query.
+
+        ``config`` overrides the session's engine configuration for this
+        query only (epsilon sweeps); ``rng`` pins this query's randomness
+        instead of advancing the session stream.  Note that a pinned
+        ``rng`` fixes only the *new* samples and MC draws — RR-set-backed
+        results also depend on whatever the session's pools already hold,
+        so reproducibility requires an identical session history (or a
+        fresh session).
+        """
+        if config is not None and not isinstance(config, EngineConfig):
+            raise QueryError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        cfg = config if config is not None else self._config
+        spec = registry.resolve(query, cfg.engine)
+        gen = self._rng if rng is None else make_rng(rng)
+        sampled_before = self.stats.rr_sets_sampled
+        started = time.perf_counter()
+        result: InfluenceResult = spec.handler(self, query, cfg, gen)
+        self.stats.queries += 1
+        result.diagnostics.setdefault("wall_s", time.perf_counter() - started)
+        result.diagnostics.setdefault(
+            "rr_sets_sampled", self.stats.rr_sets_sampled - sampled_before
+        )
+        result.diagnostics.setdefault("pool_sets_total", self.pool_sets_total)
+        result.diagnostics.setdefault("pool_bytes_total", self.pool_bytes_total)
+        return result
+
+    def run_many(self, queries: Iterable[Any]) -> list[InfluenceResult]:
+        """Answer a batch of queries in order (sweep helper)."""
+        return [self.run(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Pooled seed selection (handlers call this)
+    # ------------------------------------------------------------------
+    def select_seeds(
+        self,
+        regime: str,
+        gaps: GAP,
+        opposite_seeds: Sequence[int],
+        k: int,
+        config: Optional[EngineConfig] = None,
+        rng: SeedLike = None,
+    ) -> SelectionResult:
+        """Run TIM/IMM seed selection against the cached pool for
+        ``(regime, gaps, opposite_seeds)``, topping the pool up as needed.
+
+        This is the reuse point: handlers (and power users driving the
+        RR-set machinery directly) come through here so that every
+        selection over the same regime/GAP/opposite-context shares one
+        growing pool.
+        """
+        if not isinstance(gaps, GAP):
+            raise QueryError(
+                f"gaps must be a GAP, got {type(gaps).__name__}"
+            )
+        if config is not None and not isinstance(config, EngineConfig):
+            raise QueryError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        cfg = config if config is not None else self._config
+        gen = self._rng if rng is None else make_rng(rng)
+        entry = self._pool_entry(regime, gaps, opposite_seeds)
+        before = len(entry.pool)
+        result = run_seed_selection(
+            entry.generator,
+            k,
+            engine=cfg.engine,
+            options=cfg.tim_options(),
+            imm_options=cfg.imm_options() if cfg.engine == "imm" else None,
+            rng=gen,
+            pool=entry.pool,
+        )
+        entry.selections += 1
+        self.stats.rr_sets_sampled += len(entry.pool) - before
+        return result
+
+    def _pool_entry(
+        self, regime: str, gaps: GAP, opposite_seeds: Sequence[int]
+    ) -> _PoolEntry:
+        key = self._pool_key(regime, gaps, opposite_seeds)
+        entry = self._pools.get(key)
+        if entry is None:
+            factory = registry.generator_factory(regime)
+            generator = factory(self._graph, gaps, key[2])
+            entry = _PoolEntry(generator, RRSetPool(self._graph.num_nodes))
+            self._pools[key] = entry
+            self.stats.pool_misses += 1
+        else:
+            self.stats.pool_hits += 1
+        return entry
+
+    @staticmethod
+    def _pool_key(
+        regime: str, gaps: GAP, opposite_seeds: Sequence[int]
+    ) -> PoolKey:
+        seeds = tuple(sorted({int(s) for s in opposite_seeds}))
+        return (str(regime), gaps.as_tuple(), seeds)
+
+    # ------------------------------------------------------------------
+    # Pool accounting
+    # ------------------------------------------------------------------
+    @property
+    def pool_sets_total(self) -> int:
+        """Total RR-sets held across all cached pools."""
+        return sum(len(entry.pool) for entry in self._pools.values())
+
+    @property
+    def pool_bytes_total(self) -> int:
+        """Total bytes of RR-set data held across all cached pools."""
+        return sum(entry.pool.nbytes for entry in self._pools.values())
+
+    def pool_info(self) -> list[PoolInfo]:
+        """Diagnostics snapshot of every cached pool."""
+        infos = []
+        for (regime, gap_tuple, seeds), entry in self._pools.items():
+            batched = (
+                type(entry.generator).generate_batch
+                is not RRSetGenerator.generate_batch
+            )
+            infos.append(
+                PoolInfo(
+                    regime=regime,
+                    gaps=gap_tuple,
+                    opposite_seeds=seeds,
+                    sets=len(entry.pool),
+                    nbytes=entry.pool.nbytes,
+                    selections=entry.selections,
+                    batch_kernel="vectorized" if batched else "oracle-fallback",
+                )
+            )
+        return infos
+
+    def clear_pools(self) -> None:
+        """Drop every cached pool (frees memory; next queries resample)."""
+        self._pools.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComICSession(nodes={self._graph.num_nodes}, "
+            f"pools={len(self._pools)}, sets={self.pool_sets_total}, "
+            f"queries={self.stats.queries})"
+        )
+

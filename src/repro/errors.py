@@ -51,3 +51,12 @@ class EstimationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
+
+
+class QueryError(ReproError):
+    """Raised by the declarative query API (:mod:`repro.api`).
+
+    Covers malformed queries and configs, unknown objectives / engines /
+    RR-set regimes in the registry, and session misuse (e.g. a query that
+    needs GAPs on a session constructed without them).
+    """

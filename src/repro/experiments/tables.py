@@ -9,14 +9,14 @@ Copying baselines, exactly the paper's layout.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
-from repro.algorithms import (
-    copying_seeds,
-    random_seeds,
-    solve_compinfmax,
-    solve_selfinfmax,
-    vanilla_ic_seeds,
+from repro.algorithms import copying_seeds, random_seeds, vanilla_ic_seeds
+from repro.api import (
+    ComICSession,
+    CompInfMaxQuery,
+    EngineConfig,
+    SelfInfMaxQuery,
 )
 from repro.datasets import load_dataset, PAPER_DATASETS
 from repro.experiments.harness import ExperimentScale, TableResult, percent_improvement
@@ -26,9 +26,6 @@ from repro.learning import generate_synthetic_log, learn_gap_pair
 from repro.models.gaps import GAP
 from repro.models.spread import estimate_boost, estimate_spread
 from repro.rng import derive_seed, stable_hash
-from repro.rrset.rr_cim import RRCimGenerator
-from repro.rrset.rr_sim_plus import RRSimPlusGenerator
-from repro.rrset.tim import general_tim
 
 #: SelfInfMax GAP settings of §7.1: q_{A|B} = q_{B|A} = 0.75, q_{B|∅} = 0.5,
 #: q_{A|∅} in {0.1, 0.3, 0.5} (strong / moderate / low complementarity).
@@ -123,16 +120,25 @@ def _improvement_table(
     for d_index, name in enumerate(scale.datasets):
         graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
         base_seed = derive_seed(scale.seed, d_index) or 0
+        # One session serves every GAP setting of this dataset.  Settings
+        # use distinct GAPs, so their pools never overlap — clear after
+        # each query to keep peak memory at the legacy single-run level.
+        session = ComICSession(
+            graph, config=EngineConfig.from_tim_options(scale.tim_options)
+        )
 
         # --- SelfInfMax block -----------------------------------------
         seeds_b = opposite(graph, scale, derive_seed(base_seed, 1))
         for q_a, gaps in SIM_SETTINGS.items():
             rng = derive_seed(base_seed, 2, int(q_a * 100))
-            ours = solve_selfinfmax(
-                graph, gaps, seeds_b, scale.k,
-                options=scale.tim_options, rng=rng,
-                evaluation_runs=scale.mc_runs,
+            ours = session.run(
+                SelfInfMaxQuery(
+                    seeds_b=tuple(seeds_b), k=scale.k, gaps=gaps,
+                    evaluation_runs=scale.mc_runs,
+                ),
+                rng=rng,
             ).seeds
+            session.clear_pools()
             vanilla = vanilla_ic_seeds(
                 graph, scale.k, options=scale.tim_options, rng=derive_seed(rng, 3)
             )
@@ -168,11 +174,14 @@ def _improvement_table(
         seeds_a = opposite(graph, scale, derive_seed(base_seed, 6))
         for q_b, gaps in CIM_SETTINGS.items():
             rng = derive_seed(base_seed, 7, int(q_b * 100))
-            ours = solve_compinfmax(
-                graph, gaps, seeds_a, scale.k,
-                options=scale.tim_options, rng=rng,
-                evaluation_runs=scale.mc_runs,
+            ours = session.run(
+                CompInfMaxQuery(
+                    seeds_a=tuple(seeds_a), k=scale.k, gaps=gaps,
+                    evaluation_runs=scale.mc_runs,
+                ),
+                rng=rng,
             ).seeds
+            session.clear_pools()
             vanilla = vanilla_ic_seeds(
                 graph, scale.k, options=scale.tim_options, rng=derive_seed(rng, 3)
             )
@@ -318,15 +327,21 @@ def table8_sandwich_ratio(scale: ExperimentScale = ExperimentScale()) -> TableRe
         graph = load_dataset(name, scale=scale.scale, rng=scale.seed)
         base_seed = derive_seed(scale.seed, 80, d_index) or 0
         seeds_b = _mid_tier_opposite(graph, scale, derive_seed(base_seed, 1))
+        # Labels use distinct GAPs (no pool overlap): clear per selection
+        # below to keep peak memory at the legacy single-run level.
+        session = ComICSession(
+            graph, config=EngineConfig.from_tim_options(scale.tim_options)
+        )
         row: dict = {"dataset": name}
 
         sim_cases = {"SIM_learn": SIM_LEARNED, **SIM_STRESS}
         for label, gaps in sim_cases.items():
             nu_gaps = gaps.with_b_indifferent_high()
-            tim = general_tim(
-                RRSimPlusGenerator(graph, nu_gaps, seeds_b), scale.k,
-                options=scale.tim_options, rng=derive_seed(base_seed, 2, stable_hash(label)),
+            tim = session.select_seeds(
+                "rr-sim+", nu_gaps, seeds_b, scale.k,
+                rng=derive_seed(base_seed, 2, stable_hash(label)),
             )
+            session.clear_pools()
             eval_rng = derive_seed(base_seed, 3, stable_hash(label))
             sigma_val = estimate_spread(
                 graph, gaps, tim.seeds, seeds_b, runs=scale.mc_runs, rng=eval_rng
@@ -340,10 +355,11 @@ def table8_sandwich_ratio(scale: ExperimentScale = ExperimentScale()) -> TableRe
         cim_cases = {"CIM_learn": CIM_LEARNED, **CIM_STRESS}
         for label, gaps in cim_cases.items():
             nu_gaps = gaps.with_q_b_given_a_one()
-            tim = general_tim(
-                RRCimGenerator(graph, nu_gaps, seeds_a), scale.k,
-                options=scale.tim_options, rng=derive_seed(base_seed, 4, stable_hash(label)),
+            tim = session.select_seeds(
+                "rr-cim", nu_gaps, seeds_a, scale.k,
+                rng=derive_seed(base_seed, 4, stable_hash(label)),
             )
+            session.clear_pools()
             eval_rng = derive_seed(base_seed, 5, stable_hash(label))
             sigma_val = estimate_boost(
                 graph, gaps, seeds_a, tim.seeds, runs=scale.mc_runs, rng=eval_rng

@@ -14,6 +14,7 @@ from typing import Optional, Union
 from repro.rng import SeedLike
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.imm import IMMOptions, IMMResult, general_imm
+from repro.rrset.pool import RRSetPool
 from repro.rrset.tim import TIMOptions, TIMResult, general_tim
 
 SelectionResult = Union[TIMResult, IMMResult]
@@ -36,19 +37,24 @@ def run_seed_selection(
     k: int,
     *,
     engine: str = "tim",
-    options: TIMOptions = TIMOptions(),
+    options: Optional[TIMOptions] = None,
     imm_options: Optional[IMMOptions] = None,
     rng: SeedLike = None,
+    pool: Optional[RRSetPool] = None,
 ) -> SelectionResult:
     """Select ``k`` seeds with the requested engine.
 
     ``options`` always configures TIM; for ``engine="imm"`` the explicit
     ``imm_options`` win, otherwise IMM inherits epsilon/ell/caps from
-    ``options``.
+    ``options``.  ``pool`` threads a caller-owned RR-set pool through to
+    the engine for cross-run reuse (see
+    :class:`~repro.api.session.ComICSession`).
     """
+    if options is None:
+        options = TIMOptions()
     if engine == "tim":
-        return general_tim(generator, k, options=options, rng=rng)
+        return general_tim(generator, k, options=options, rng=rng, pool=pool)
     if engine == "imm":
         resolved = imm_options if imm_options is not None else imm_options_from_tim(options)
-        return general_imm(generator, k, options=resolved, rng=rng)
+        return general_imm(generator, k, options=resolved, rng=rng, pool=pool)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

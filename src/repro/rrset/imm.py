@@ -114,14 +114,24 @@ def general_imm(
     generator: RRSetGenerator,
     k: int,
     *,
-    options: IMMOptions = IMMOptions(),
+    options: Optional[IMMOptions] = None,
     rng: SeedLike = None,
+    pool: Optional[RRSetPool] = None,
 ) -> IMMResult:
     """Run IMM on ``generator`` and return the selected seed set.
 
     Drop-in alternative to :func:`~repro.rrset.tim.general_tim`; same
     approximation guarantee, usually far fewer RR-sets (the point of [23]).
+
+    ``pool`` opts into cross-run reuse: sampling rounds top up the
+    caller-owned pool (the same mechanism IMM already uses internally
+    across its own rounds), so a later run on the same pool samples only
+    the sets it is missing.  ``IMMResult.theta`` reports the number of
+    sets used for selection — cached sets included, capped at this run's
+    ``max_rr_sets``.
     """
+    if options is None:
+        options = IMMOptions()
     graph = generator.graph
     n = graph.num_nodes
     if k < 0 or k > n:
@@ -141,24 +151,42 @@ def general_imm(
 
     # One flat pool for both phases: each top-up appends the missing sets
     # through the batched engine instead of rebuilding per-round lists.
-    rr_sets = RRSetPool(n)
+    rr_sets = pool if pool is not None else RRSetPool(n)
 
     def top_up(target: int) -> None:
         target = min(target, options.max_rr_sets)
         if len(rr_sets) < target:
             generator.generate_batch(target - len(rr_sets), rng=gen, out=rr_sets)
 
+    def selection_view() -> RRSetPool:
+        # max_rr_sets caps use as well as growth: a warm caller-owned pool
+        # larger than this run's cap is consumed only up to the cap.
+        if len(rr_sets) > options.max_rr_sets:
+            return rr_sets.prefix(options.max_rr_sets)
+        return rr_sets
+
     lower_bound = float("nan")
     rounds = 0
     max_rounds = max(int(math.log2(n)), 1)
+    # The greedy is deterministic in the pool, so re-running it on an
+    # unchanged pool (warm session cache, or a capped top-up) would
+    # reproduce the same answer — skip those passes and reuse the last one.
+    greedy_at = -1
+    seeds: list[int] = []
+    covered = 0
+    gains: list[int] = []
+    estimate = 0.0
     for i in range(1, max_rounds):
         rounds += 1
         x_i = n / (2.0**i)
         theta_i = int(math.ceil(lam_prime / x_i))
         theta_i = max(theta_i, options.min_rr_sets)
         top_up(theta_i)
-        seeds, covered, _gains = greedy_max_coverage(rr_sets, n, k)
-        estimate = n * covered / len(rr_sets)
+        sel = selection_view()
+        if len(sel) != greedy_at:
+            seeds, covered, gains = greedy_max_coverage(sel, n, k)
+            greedy_at = len(sel)
+            estimate = n * covered / greedy_at
         if estimate >= (1.0 + epsilon_prime) * x_i:
             lower_bound = estimate / (1.0 + epsilon_prime)
             break
@@ -178,9 +206,12 @@ def general_imm(
     theta = int(np.clip(theta, options.min_rr_sets, options.max_rr_sets))
     top_up(theta)
     # Selection runs on everything generated (>= theta when sampling-phase
-    # rounds overshot), which only sharpens the estimate.
-    seeds, covered, gains = greedy_max_coverage(rr_sets, n, k)
-    total = len(rr_sets)
+    # rounds overshot), which only sharpens the estimate — capped at this
+    # run's max_rr_sets when reusing a larger caller-owned pool.
+    sel = selection_view()
+    if len(sel) != greedy_at:
+        seeds, covered, gains = greedy_max_coverage(sel, n, k)
+    total = len(sel)
     return IMMResult(
         seeds=seeds,
         theta=total,

@@ -52,6 +52,7 @@ class RRSetPool:
         "_num_sets",
         "_used",
         "_set_ids_cache",
+        "_frozen",
     )
 
     def __init__(
@@ -74,6 +75,7 @@ class RRSetPool:
         self._num_sets = 0
         self._used = 0
         self._set_ids_cache: Optional[np.ndarray] = None
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -116,8 +118,15 @@ class RRSetPool:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self._frozen:
+            raise ValueError(
+                "pool is a read-only prefix view; append to the parent pool"
+            )
+
     def append(self, rr_set: np.ndarray) -> None:
         """Append one RR-set (an array of member node ids)."""
+        self._check_writable()
         rr_set = np.asarray(rr_set)
         size = int(rr_set.size)
         self._reserve_nodes(size)
@@ -140,6 +149,7 @@ class RRSetPool:
         nodes.size``).  This is the fast-path entry point: one copy, no
         per-set Python work.
         """
+        self._check_writable()
         nodes = np.asarray(nodes)
         lengths = np.asarray(lengths, dtype=np.int64)
         total = int(lengths.sum())
@@ -215,6 +225,30 @@ class RRSetPool:
         """The legacy representation: one ``int64`` array per set."""
         return [np.asarray(rr_set, dtype=np.int64) for rr_set in self]
 
+    def prefix(self, count: int) -> "RRSetPool":
+        """A zero-copy *read-only* view of the first ``count`` sets.
+
+        Shares the underlying buffers, so it must not be appended to and
+        is only valid until the parent pool grows past its current
+        capacity.  Used by :func:`~repro.rrset.tim.general_tim` to honour
+        a pinned ``theta_override`` against a warm pool that holds more
+        sets than the pin.
+        """
+        count = int(count)
+        if not 0 <= count <= self._num_sets:
+            raise ValueError(
+                f"prefix count {count} out of range [0, {self._num_sets}]"
+            )
+        view = RRSetPool.__new__(RRSetPool)
+        view._num_nodes = self._num_nodes
+        view._nodes = self._nodes
+        view._indptr = self._indptr
+        view._num_sets = count
+        view._used = int(self._indptr[count])
+        view._set_ids_cache = None
+        view._frozen = True  # appends would corrupt the shared buffers
+        return view
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RRSetPool(sets={self._num_sets}, entries={self._used}, "
@@ -267,17 +301,43 @@ class RRSetPool:
         )
         return hits > 0
 
-    def widths(self, in_degrees: np.ndarray) -> np.ndarray:
+    def widths(
+        self,
+        in_degrees: np.ndarray,
+        *,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> np.ndarray:
         """Per-set ``w(R)``: total in-degree of each set's members.
 
         Vectorises TIM's ``KptEstimation`` width statistic (one gather +
-        ``bincount`` instead of a per-set reduction).
+        ``bincount`` instead of a per-set reduction).  ``start``/``stop``
+        restrict the computation to sets ``[start, stop)`` so callers
+        consuming successive slices of a shared pool (the pooled KPT
+        rounds) touch only the slice, not the whole pool.
         """
         in_degrees = np.asarray(in_degrees)
+        stop = self._num_sets if stop is None else int(stop)
+        start = int(start)
+        if not 0 <= start <= stop <= self._num_sets:
+            raise ValueError(
+                f"invalid set range [{start}, {stop}) for {self._num_sets} sets"
+            )
+        if start == 0 and stop == self._num_sets:
+            ids = self.set_ids()
+            nodes = self.nodes
+        else:
+            indptr = self._indptr
+            lo, hi = int(indptr[start]), int(indptr[stop])
+            nodes = self._nodes[lo:hi]
+            ids = np.repeat(
+                np.arange(stop - start, dtype=np.int64),
+                np.diff(indptr[start : stop + 1]),
+            )
         return np.bincount(
-            self.set_ids(),
-            weights=in_degrees[self.nodes].astype(np.float64),
-            minlength=self._num_sets,
+            ids,
+            weights=in_degrees[nodes].astype(np.float64),
+            minlength=stop - start,
         ).astype(np.int64)
 
 

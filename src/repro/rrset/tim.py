@@ -103,6 +103,7 @@ def estimate_kpt(
     ell: float = 1.0,
     rng: SeedLike = None,
     max_rr_sets: int = 10_000,
+    pool: Optional[RRSetPool] = None,
 ) -> float:
     """The ``KptEstimation`` lower bound on ``OPT_k`` from [24], §4.1.
 
@@ -111,6 +112,11 @@ def estimate_kpt(
     Falls back to 1 (every seed set reaches at least its own seeds).
     Each round samples through the batched engine and evaluates every
     width ``w(R)`` in one pooled ``bincount`` pass.
+
+    With ``pool`` (the session-reuse path) rounds consume consecutive
+    slices of the shared pool instead of throwaway batches, topping the
+    pool up only when it runs short — so pilot RR-sets are sampled at most
+    once per session and are reused by the selection phase afterwards.
     """
     graph = generator.graph
     n, m = graph.num_nodes, graph.num_edges
@@ -120,13 +126,20 @@ def estimate_kpt(
     in_degrees = graph.in_degrees
     log2n = max(int(math.log2(n)), 1)
     budget = max_rr_sets
+    offset = 0
     for i in range(1, log2n):
         c_i = int(math.ceil((6 * ell * math.log(n) + 6 * math.log(log2n)) * 2**i))
         c_i = min(c_i, budget)
         if c_i <= 0:
             break
-        pool = generator.generate_batch(c_i, rng=gen)
-        widths = pool.widths(in_degrees)
+        if pool is None:
+            batch = generator.generate_batch(c_i, rng=gen)
+            widths = batch.widths(in_degrees)
+        else:
+            if len(pool) < offset + c_i:
+                generator.generate_batch(offset + c_i - len(pool), rng=gen, out=pool)
+            widths = pool.widths(in_degrees, start=offset, stop=offset + c_i)
+            offset += c_i
         mean_kappa = float(np.mean(1.0 - (1.0 - widths / m) ** k))
         budget -= c_i
         if mean_kappa > 1.0 / (2**i):
@@ -251,10 +264,22 @@ def general_tim(
     generator: RRSetGenerator,
     k: int,
     *,
-    options: TIMOptions = TIMOptions(),
+    options: Optional[TIMOptions] = None,
     rng: SeedLike = None,
+    pool: Optional[RRSetPool] = None,
 ) -> TIMResult:
-    """Run GeneralTIM (Algorithm 1) and return the selected seed set."""
+    """Run GeneralTIM (Algorithm 1) and return the selected seed set.
+
+    ``pool`` opts into cross-run RR-set reuse: KPT pilots and selection
+    samples are appended to (and read back from) the caller-owned pool, so
+    a later run that needs a larger ``theta`` tops the pool up instead of
+    resampling from scratch.  Selection then covers *every* pooled set
+    (``>= theta``), which only sharpens the estimate; ``TIMResult.theta``
+    reports the number of sets actually used.  Without ``pool`` the
+    original single-shot behaviour is unchanged.
+    """
+    if options is None:
+        options = TIMOptions()
     graph = generator.graph
     n = graph.num_nodes
     if k < 0 or k > n:
@@ -270,16 +295,30 @@ def general_tim(
             ell=options.ell,
             rng=gen,
             max_rr_sets=max(options.max_rr_sets // 4, 100),
+            pool=pool,
         )
         theta = compute_theta(n, k, kpt, epsilon=options.epsilon, ell=options.ell)
     theta = int(np.clip(theta, options.min_rr_sets, options.max_rr_sets))
-    pool = generator.generate_batch(theta, rng=gen)
-    seeds, covered, gains = greedy_max_coverage(pool, n, k)
+    if pool is None:
+        pool = generator.generate_batch(theta, rng=gen)
+    elif len(pool) < theta:
+        generator.generate_batch(theta - len(pool), rng=gen, out=pool)
+    selection = pool
+    if options.theta_override is not None and len(pool) > theta:
+        # A pinned theta is a pin even against a warm pool: select over
+        # exactly theta sets so fixed-sample-count comparisons stay honest.
+        selection = pool.prefix(theta)
+    elif len(pool) > options.max_rr_sets:
+        # max_rr_sets is the tractability contract: a warm pool larger than
+        # this query's cap is consumed only up to the cap.
+        selection = pool.prefix(options.max_rr_sets)
+    used = len(selection)
+    seeds, covered, gains = greedy_max_coverage(selection, n, k)
     return TIMResult(
         seeds=seeds,
-        theta=theta,
+        theta=used,
         kpt=kpt,
         coverage=covered,
-        estimated_objective=n * covered / theta if theta else 0.0,
+        estimated_objective=n * covered / used if used else 0.0,
         marginal_coverage=gains,
     )

@@ -1,0 +1,1 @@
+"""Tests of the declarative query API (repro.api)."""

@@ -1,0 +1,320 @@
+"""ComICSession: cross-query pool reuse, stats, and the four workloads."""
+
+import pytest
+
+from repro.api import (
+    BlockingQuery,
+    ComICSession,
+    CompInfMaxQuery,
+    EngineConfig,
+    MultiItemQuery,
+    SelfInfMaxQuery,
+)
+from repro.errors import QueryError
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP, estimate_spread
+
+INDIFFERENT = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+COMPLEMENTARY = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.4, q_b_given_a=0.9)
+COMPETITIVE = GAP(q_a=0.8, q_a_given_b=0.1, q_b=0.8, q_b_given_a=0.1)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(250, rng=9))
+
+
+class TestPoolReuse:
+    def test_identical_query_samples_nothing_new(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=500), rng=0
+        )
+        first = session.run(SelfInfMaxQuery(seeds_b=(0,), k=3))
+        assert first.diagnostics["rr_sets_sampled"] == 500
+        second = session.run(SelfInfMaxQuery(seeds_b=(0,), k=3))
+        assert second.diagnostics["rr_sets_sampled"] == 0
+        assert session.stats.pool_hits == 1
+        assert session.stats.pool_misses == 1
+        assert second.seeds == first.seeds  # same pool, same greedy
+
+    def test_larger_theta_appends_to_cached_pool(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=400), rng=1
+        )
+        session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=3))
+        (entry,) = session._pools.values()
+        pool_before = entry.pool
+        assert len(pool_before) == 400
+
+        bigger = session.run(
+            SelfInfMaxQuery(seeds_b=(0, 1), k=3),
+            config=EngineConfig(theta_override=1000),
+        )
+        (entry_after,) = session._pools.values()
+        # Same pool object, grown in place — not a fresh resample.
+        assert entry_after.pool is pool_before
+        assert len(entry_after.pool) == 1000
+        assert bigger.diagnostics["rr_sets_sampled"] == 600
+        assert session.stats.rr_sets_sampled == 1000
+
+    def test_pool_keys_separate_gaps_and_opposite_seeds(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=200), rng=2
+        )
+        session.run(SelfInfMaxQuery(seeds_b=(0,), k=2))
+        session.run(SelfInfMaxQuery(seeds_b=(1,), k=2))
+        session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=2, gaps=GAP(0.2, 0.9, 0.5, 0.5))
+        )
+        assert len(session._pools) == 3
+        assert session.stats.pool_misses == 3
+        # Opposite-seed order/duplicates do not split the cache.
+        session.run(SelfInfMaxQuery(seeds_b=(1, 1), k=2))
+        assert len(session._pools) == 3
+
+    def test_sandwich_query_pools_both_bounds(self, graph):
+        session = ComICSession(
+            graph, COMPLEMENTARY, config=EngineConfig(theta_override=300), rng=3
+        )
+        result = session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=2, evaluation_runs=40)
+        )
+        assert result.method == "sandwich"
+        assert session.stats.pool_misses == 2  # nu and mu pools
+        again = session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=3, evaluation_runs=40)
+        )
+        assert again.diagnostics["rr_sets_sampled"] == 0
+        assert session.stats.pool_hits == 2
+
+    def test_imm_engine_reuses_pool(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT,
+            config=EngineConfig(engine="imm", max_rr_sets=2000), rng=4,
+        )
+        first = session.run(SelfInfMaxQuery(seeds_b=(0,), k=3))
+        assert first.diagnostics["rr_sets_sampled"] > 0
+        second = session.run(SelfInfMaxQuery(seeds_b=(0,), k=2))
+        # Smaller k needs no more sets than the pool already holds.
+        assert second.diagnostics["rr_sets_sampled"] == 0
+
+    def test_theta_override_pins_selection_on_warm_pool(self, graph):
+        """A pinned theta selects over exactly theta sets, warm pool or not."""
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=800), rng=6
+        )
+        session.run(SelfInfMaxQuery(seeds_b=(0,), k=2))
+        pinned = session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=2),
+            config=EngineConfig(theta_override=300),
+        )
+        assert pinned.diagnostics["theta"] == 300  # not the 800-set pool
+        assert pinned.diagnostics["rr_sets_sampled"] == 0
+        assert session.pool_sets_total == 800  # pool itself untouched
+
+    def test_max_rr_sets_caps_warm_pool_use(self, graph):
+        """A query's sample cap bounds selection even on a larger warm pool."""
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=900), rng=17
+        )
+        session.run(SelfInfMaxQuery(seeds_b=(0,), k=2))
+        capped = session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=2),
+            config=EngineConfig(max_rr_sets=300),
+        )
+        assert capped.diagnostics["theta"] <= 300
+        capped_imm = session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=2),
+            config=EngineConfig(engine="imm", max_rr_sets=400),
+        )
+        assert capped_imm.diagnostics["theta"] <= 400
+        assert session.pool_sets_total == 900  # pool itself untouched
+
+    def test_clear_pools_resamples(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=200), rng=5
+        )
+        session.run(SelfInfMaxQuery(seeds_b=(0,), k=2))
+        session.clear_pools()
+        assert session.pool_sets_total == 0
+        result = session.run(SelfInfMaxQuery(seeds_b=(0,), k=2))
+        assert result.diagnostics["rr_sets_sampled"] == 200
+
+
+class TestKSweepAcceptance:
+    def test_k_sweep_samples_strictly_fewer_with_spread_parity(self, graph):
+        """One session serving a k-sweep beats independent solver calls."""
+        ks = (2, 4, 6, 8, 10)
+        seeds_b = (0, 1)
+        config = EngineConfig(max_rr_sets=4000, epsilon=0.5)
+
+        def run_sweep(shared: bool):
+            session = ComICSession(graph, INDIFFERENT, config=config, rng=7)
+            total, last_seeds = 0, []
+            for k in ks:
+                if not shared:
+                    session = ComICSession(
+                        graph, INDIFFERENT, config=config, rng=7
+                    )
+                result = session.run(SelfInfMaxQuery(seeds_b=seeds_b, k=k))
+                last_seeds = result.seeds
+                if not shared:
+                    total += session.stats.rr_sets_sampled
+            if shared:
+                total = session.stats.rr_sets_sampled
+            return total, last_seeds
+
+        independent_total, independent_seeds = run_sweep(shared=False)
+        shared_total, shared_seeds = run_sweep(shared=True)
+        assert shared_total < independent_total
+
+        spread_shared = estimate_spread(
+            graph, INDIFFERENT, shared_seeds, seeds_b, runs=250, rng=8
+        ).mean
+        spread_independent = estimate_spread(
+            graph, INDIFFERENT, independent_seeds, seeds_b, runs=250, rng=8
+        ).mean
+        # Seed quality parity within MC noise.
+        assert spread_shared >= 0.85 * spread_independent
+
+
+class TestWorkloads:
+    def test_compinfmax_submodular_and_reuse(self, graph):
+        gaps = GAP(0.2, 0.9, 0.5, 1.0)
+        session = ComICSession(
+            graph, gaps, config=EngineConfig(theta_override=300), rng=10
+        )
+        result = session.run(CompInfMaxQuery(seeds_a=(0, 1), k=3))
+        assert result.method == "submodular"
+        assert len(result.seeds) == 3
+        again = session.run(CompInfMaxQuery(seeds_a=(0, 1), k=2))
+        assert again.diagnostics["rr_sets_sampled"] == 0
+
+    def test_blocking_query(self, graph):
+        session = ComICSession(graph, COMPETITIVE, rng=11)
+        result = session.run(
+            BlockingQuery(
+                seeds_a=(0, 1), k=2, runs=30, candidates=tuple(range(12))
+            )
+        )
+        assert len(result.seeds) == 2
+        assert result.engine == "mc"
+        assert result.estimate is not None and result.estimate >= 0.0
+
+    def test_multi_item_round_robin_and_focal(self, graph):
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph, multi_item_gaps=MultiItemGaps.uniform(2, 0.5), rng=12
+        )
+        rr = session.run(
+            MultiItemQuery(budget=2, runs=15, candidates=tuple(range(8)))
+        )
+        assert rr.method == "round-robin"
+        assert sum(len(s) for s in rr.seed_sets) == 2
+        focal = session.run(
+            MultiItemQuery(
+                budget=1, item=0, fixed_seed_sets=((), ()),
+                runs=15, candidates=tuple(range(8)),
+            )
+        )
+        assert len(focal.seeds) == 1
+
+    def test_round_robin_extends_fixed_seed_sets(self, graph):
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph, multi_item_gaps=MultiItemGaps.uniform(2, 0.5), rng=15
+        )
+        result = session.run(
+            MultiItemQuery(
+                budget=2, fixed_seed_sets=((0, 1), (2,)),
+                runs=10, candidates=tuple(range(8)),
+            )
+        )
+        # The supplied allocation is the starting state, not discarded.
+        assert result.seed_sets[0][:2] == [0, 1]
+        assert result.seed_sets[1][:1] == [2]
+        assert sum(len(s) for s in result.seed_sets) == 5
+
+    def test_round_robin_resume_continues_rotation(self, graph):
+        """Extending an uneven allocation feeds the least-seeded items."""
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph, multi_item_gaps=MultiItemGaps.uniform(3, 0.5), rng=18
+        )
+        result = session.run(
+            MultiItemQuery(
+                budget=2, fixed_seed_sets=((0, 1), (2,), ()),
+                runs=10, candidates=tuple(range(8)),
+            )
+        )
+        # (2,1,0) + 2 seeds -> (2,2,1), not (3,2,0).
+        assert [len(s) for s in result.seed_sets] == [2, 2, 1]
+
+    def test_round_robin_fixed_seed_sets_length_checked(self, graph):
+        from repro.errors import SeedSetError
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph, multi_item_gaps=MultiItemGaps.uniform(2, 0.5), rng=16
+        )
+        with pytest.raises(SeedSetError, match="expected 2 seed sets"):
+            session.run(MultiItemQuery(budget=1, fixed_seed_sets=((0,),)))
+
+    def test_multi_item_lifts_pairwise_gaps(self, graph):
+        session = ComICSession(graph, INDIFFERENT, rng=13)
+        result = session.run(
+            MultiItemQuery(budget=1, runs=10, candidates=(0, 1, 2))
+        )
+        assert result.seed_sets is not None
+
+
+class TestSessionValidation:
+    def test_graph_type_checked(self):
+        with pytest.raises(QueryError, match="DiGraph"):
+            ComICSession("not a graph")
+
+    def test_gaps_type_checked(self, graph):
+        with pytest.raises(QueryError, match="GAP"):
+            ComICSession(graph, gaps=(0.3, 0.8, 0.5, 0.5))
+
+    def test_legacy_options_config_rejected(self, graph):
+        from repro.rrset import TIMOptions
+
+        with pytest.raises(QueryError, match="EngineConfig"):
+            ComICSession(graph, INDIFFERENT, config=TIMOptions())
+        session = ComICSession(graph, INDIFFERENT)
+        with pytest.raises(QueryError, match="EngineConfig"):
+            session.run(
+                SelfInfMaxQuery(seeds_b=(0,), k=1), config=TIMOptions()
+            )
+
+    def test_query_without_gaps_rejected(self, graph):
+        session = ComICSession(graph)
+        with pytest.raises(QueryError, match="needs GAPs"):
+            session.run(SelfInfMaxQuery(seeds_b=(0,), k=1))
+        # ... unless the query carries its own.
+        result = session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=1, gaps=INDIFFERENT),
+            config=EngineConfig(theta_override=100),
+        )
+        assert len(result.seeds) == 1
+
+    def test_run_many_and_result_envelope(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT, config=EngineConfig(theta_override=250), rng=14
+        )
+        results = session.run_many(
+            [SelfInfMaxQuery(seeds_b=(0,), k=k) for k in (1, 2)]
+        )
+        assert [len(r.seeds) for r in results] == [1, 2]
+        payload = results[0].to_dict()
+        assert payload["objective"] == "selfinfmax"
+        assert payload["query"]["k"] == 1
+        assert "wall_s" in payload["diagnostics"]
+        (info,) = session.pool_info()
+        assert info.sets == 250
+        assert info.regime == "rr-sim+"
+        assert info.nbytes > 0

@@ -1,0 +1,129 @@
+"""Deprecation shims: old entry points warn and delegate to the session."""
+
+import pytest
+
+from repro.algorithms import (
+    greedy_blocking,
+    greedy_multi_item_selfinfmax,
+    round_robin_multi_item,
+    solve_compinfmax,
+    solve_selfinfmax,
+)
+from repro.algorithms.compinfmax import CompInfMaxResult
+from repro.algorithms.selfinfmax import SelfInfMaxResult
+from repro.api import (
+    BlockingQuery,
+    ComICSession,
+    MultiItemQuery,
+)
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP, MultiItemGaps
+from repro.rrset import TIMOptions
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(120, rng=3))
+
+
+FAST = TIMOptions(theta_override=300)
+
+
+class TestDeprecationWarnings:
+    def test_solve_selfinfmax_warns_and_returns_old_type(self, graph):
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        with pytest.warns(DeprecationWarning, match="solve_selfinfmax"):
+            result = solve_selfinfmax(
+                graph, gaps, [0], 2, options=FAST, rng=0
+            )
+        assert isinstance(result, SelfInfMaxResult)
+        assert result.method == "submodular"
+        assert len(result.seeds) == 2
+
+    def test_solve_compinfmax_warns_and_returns_old_type(self, graph):
+        gaps = GAP(0.2, 0.9, 0.5, 1.0)
+        with pytest.warns(DeprecationWarning, match="solve_compinfmax"):
+            result = solve_compinfmax(
+                graph, gaps, [0, 1], 2, options=FAST, rng=1
+            )
+        assert isinstance(result, CompInfMaxResult)
+        assert len(result.seeds) == 2
+
+    def test_greedy_blocking_warns(self, graph):
+        gaps = GAP(0.8, 0.1, 0.8, 0.1)
+        with pytest.warns(DeprecationWarning, match="greedy_blocking"):
+            seeds = greedy_blocking(
+                graph, gaps, [0], 2, runs=20, rng=2,
+                candidates=list(range(10)),
+            )
+        assert len(seeds) == 2
+
+    def test_multi_item_shims_warn(self, graph):
+        gaps = MultiItemGaps.uniform(2, 0.5)
+        with pytest.warns(DeprecationWarning, match="greedy_multi_item"):
+            seeds = greedy_multi_item_selfinfmax(
+                graph, gaps, 0, [[], []], 1,
+                runs=10, rng=3, candidates=list(range(6)),
+            )
+        assert len(seeds) == 1
+        with pytest.warns(DeprecationWarning, match="round_robin_multi_item"):
+            sets = round_robin_multi_item(
+                graph, gaps, 2, runs=10, rng=4, candidates=list(range(6))
+            )
+        assert sum(len(s) for s in sets) == 2
+
+
+class TestLegacyExceptionContract:
+    """Shims preserve the v1.0 exception types for invalid arguments."""
+
+    def test_negative_k_raises_seed_set_error(self, graph):
+        from repro.errors import SeedSetError
+
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SeedSetError):
+                solve_selfinfmax(graph, gaps, [0], -1, options=FAST)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SeedSetError):
+                solve_compinfmax(
+                    graph, GAP(0.2, 0.9, 0.5, 1.0), [0], -1, options=FAST
+                )
+
+    def test_unknown_engine_raises_value_error(self, graph):
+        gaps = GAP(0.3, 0.8, 0.5, 0.5)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown engine"):
+                solve_selfinfmax(
+                    graph, gaps, [0], 1, options=FAST, engine="celf"
+                )
+
+
+class TestShimEquivalence:
+    """MC workloads: shim and session API are bit-identical at equal rng."""
+
+    def test_blocking_shim_matches_session(self, graph):
+        gaps = GAP(0.8, 0.1, 0.8, 0.1)
+        candidates = tuple(range(12))
+        with pytest.warns(DeprecationWarning):
+            shim_seeds = greedy_blocking(
+                graph, gaps, [0, 1], 2, runs=25, rng=42,
+                candidates=candidates,
+            )
+        session = ComICSession(graph, gaps, rng=42)
+        api_seeds = session.run(
+            BlockingQuery(seeds_a=(0, 1), k=2, runs=25, candidates=candidates)
+        ).seeds
+        assert shim_seeds == api_seeds
+
+    def test_round_robin_shim_matches_session(self, graph):
+        gaps = MultiItemGaps.uniform(2, 0.6)
+        candidates = tuple(range(8))
+        with pytest.warns(DeprecationWarning):
+            shim_sets = round_robin_multi_item(
+                graph, gaps, 3, runs=10, rng=7, candidates=candidates
+            )
+        session = ComICSession(graph, multi_item_gaps=gaps, rng=7)
+        api_sets = session.run(
+            MultiItemQuery(budget=3, runs=10, candidates=candidates)
+        ).seed_sets
+        assert shim_sets == api_sets

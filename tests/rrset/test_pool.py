@@ -82,6 +82,52 @@ class TestKernels:
         pool = RRSetPool.from_sets(4, [np.array([0, 3]), np.array([2])])
         assert pool.widths(in_degrees).tolist() == [5, 0]
 
+    def test_widths_ranged_matches_full_slice(self):
+        in_degrees = np.array([3, 1, 0, 2, 7])
+        pool = RRSetPool.from_sets(
+            5,
+            [np.array([0, 3]), np.array([2]), np.array([], dtype=int),
+             np.array([4, 1]), np.array([4])],
+        )
+        full = pool.widths(in_degrees)
+        for start in range(len(pool) + 1):
+            for stop in range(start, len(pool) + 1):
+                ranged = pool.widths(in_degrees, start=start, stop=stop)
+                assert ranged.tolist() == full[start:stop].tolist(), (start, stop)
+
+    def test_widths_range_validated(self):
+        pool = RRSetPool.from_sets(3, [np.array([0])])
+        with pytest.raises(ValueError):
+            pool.widths(np.zeros(3), start=2)
+        with pytest.raises(ValueError):
+            pool.widths(np.zeros(3), start=-1)
+
+    def test_prefix_view_matches_leading_sets(self):
+        sets = [np.array([0, 3]), np.array([2]), np.array([1, 4])]
+        pool = RRSetPool.from_sets(5, sets)
+        view = pool.prefix(2)
+        assert len(view) == 2
+        assert view.total_nodes == 3
+        assert [s.tolist() for s in view] == [[0, 3], [2]]
+        assert view.coverage_counts().tolist() == [1, 0, 1, 1, 0]
+        # Zero-copy: the view shares the parent's buffers.
+        assert view.nodes.base is pool.nodes.base
+        with pytest.raises(ValueError):
+            pool.prefix(4)
+        with pytest.raises(ValueError):
+            pool.prefix(-1)
+
+    def test_prefix_view_is_read_only(self):
+        pool = RRSetPool.from_sets(5, [np.array([0, 3]), np.array([2])])
+        view = pool.prefix(1)
+        with pytest.raises(ValueError, match="read-only prefix view"):
+            view.append(np.array([4]))
+        with pytest.raises(ValueError, match="read-only prefix view"):
+            view.append_flat(np.array([4], dtype=np.int32), np.array([1]))
+        # The parent stays writable and uncorrupted.
+        pool.append(np.array([4]))
+        assert [s.tolist() for s in pool] == [[0, 3], [2], [4]]
+
     def test_memory_accounting(self):
         pool = RRSetPool(10, node_capacity=100, set_capacity=10)
         pool.append(np.array([1, 2, 3]))
