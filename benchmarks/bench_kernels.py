@@ -95,6 +95,33 @@ def bench_rr_sim_generation_batched(benchmark, bench_scale):
     assert len(pool) == BATCH
 
 
+def bench_rr_sim_plus_generation_batched(benchmark, bench_scale):
+    graph = _graph(bench_scale)
+    generator = RRSimPlusGenerator(graph, GAPS_SIM, high_degree_seeds(graph, 10))
+    gen = make_rng(1)
+    pool = benchmark(lambda: generator.generate_batch(BATCH, rng=gen))
+    assert len(pool) == BATCH
+
+
+def bench_rr_cim_generation_batched(benchmark, bench_scale):
+    graph = _graph(bench_scale)
+    generator = RRCimGenerator(graph, GAPS_CIM, high_degree_seeds(graph, 10))
+    gen = make_rng(1)
+    pool = benchmark(lambda: generator.generate_batch(BATCH, rng=gen))
+    assert len(pool) == BATCH
+
+
+def bench_rr_lt_generation_batched(benchmark, bench_scale):
+    from repro.models.lt import normalize_lt_weights
+    from repro.rrset import RRLTGenerator
+
+    graph = normalize_lt_weights(_graph(bench_scale))
+    generator = RRLTGenerator(graph)
+    gen = make_rng(1)
+    pool = benchmark(lambda: generator.generate_batch(BATCH, rng=gen))
+    assert len(pool) == BATCH
+
+
 def bench_greedy_max_coverage(benchmark, bench_scale):
     graph = _graph(bench_scale)
     generator = RRICGenerator(graph)

@@ -1,15 +1,22 @@
 """Standalone batched RR-set engine benchmark -> BENCH_rrset.json.
 
-Quantifies the ISSUE-1 acceptance numbers on a ~10k-node synthetic
+Quantifies the batched-engine acceptance numbers on a ~10k-node synthetic
 power-law graph, without pytest-benchmark so CI can run it with numpy
 alone:
 
-* per-RR-set generation cost, per-root oracle vs ``generate_batch``
-  (RR-IC and RR-SIM);
+* per-RR-set generation cost, per-root oracle vs ``generate_batch``, for
+  **every fast-path regime**: RR-IC, RR-SIM, RR-SIM+, RR-CIM and RR-LT;
 * pooled vs legacy ``greedy_max_coverage``;
-* end-to-end SelfInfMax via ``general_imm`` at equal ``eps``, batched
-  engine vs oracle-forced generation, with RR-estimated spreads of both
-  seed sets to confirm quality parity.
+* end-to-end SelfInfMax *and* CompInfMax via ``general_imm`` at equal
+  ``eps``, batched engine vs oracle-forced generation, with RR-estimated
+  objectives of both seed sets to confirm quality parity.
+
+The emitted JSON follows the stable schema documented in
+``docs/benchmarks.md`` (``schema_version`` 2).  Each generation entry
+records a ``speedup_floor``; the script exits non-zero when any regime's
+measured batch-vs-oracle speedup falls below its floor, so a silent
+fallback to the oracle loop turns CI red instead of just slowing users
+down.
 
 Usage::
 
@@ -26,10 +33,14 @@ import time
 
 from repro.graph.generators import power_law_digraph
 from repro.models.gaps import GAP
+from repro.models.lt import normalize_lt_weights
 from repro.rrset import (
     IMMOptions,
+    RRCimGenerator,
     RRICGenerator,
+    RRLTGenerator,
     RRSimGenerator,
+    RRSimPlusGenerator,
     general_imm,
     greedy_max_coverage,
     greedy_max_coverage_legacy,
@@ -37,16 +48,31 @@ from repro.rrset import (
 )
 from repro.rrset.base import RRSetGenerator
 
-GAPS = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+SCHEMA_VERSION = 2
+
+GAPS_SIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=1.0)
+
+#: Regression floors for the batch-vs-oracle generation speedup per
+#: regime.  Deliberately far below the typically measured numbers (CI
+#: runners are noisy); a miss means the fast path regressed or silently
+#: fell back to the oracle loop.
+SPEEDUP_FLOORS = {
+    "rr_ic": 4.0,
+    "rr_sim": 2.0,
+    "rr_sim_plus": 2.0,
+    "rr_cim": 2.0,
+    "rr_lt": 4.0,
+}
 
 
 class _OracleRRSim(RRSimGenerator):
-    """RR-SIM with the batched fast path disabled (the 'before' engine)."""
+    """Batched fast path disabled (the 'before' engine)."""
 
     generate_batch = RRSetGenerator.generate_batch
 
 
-class _OracleRRIC(RRICGenerator):
+class _OracleRRCim(RRCimGenerator):
     generate_batch = RRSetGenerator.generate_batch
 
 
@@ -60,7 +86,7 @@ def best_of(fn, repeats: int) -> float:
     return min(times)
 
 
-def bench_generation(generator, per_root_count, batch_count, repeats):
+def bench_generation(name, generator, per_root_count, batch_count, repeats):
     t_oracle = best_of(lambda: generator.generate_many(per_root_count, rng=1), repeats)
     t_batch = best_of(lambda: generator.generate_batch(batch_count, rng=1), repeats)
     per_root_rate = per_root_count / t_oracle
@@ -69,6 +95,31 @@ def bench_generation(generator, per_root_count, batch_count, repeats):
         "per_root_sets_per_s": round(per_root_rate, 1),
         "batched_sets_per_s": round(batch_rate, 1),
         "speedup": round(batch_rate / per_root_rate, 2),
+        "speedup_floor": SPEEDUP_FLOORS[name],
+    }
+
+
+def bench_imm_end_to_end(fast, oracle, k, opts, eval_samples):
+    """Batched vs oracle-forced ``general_imm`` plus spread parity."""
+    t_new = best_of(lambda: general_imm(fast, k, options=opts, rng=4), 2)
+    t_old = best_of(lambda: general_imm(oracle, k, options=opts, rng=4), 2)
+    result_new = general_imm(fast, k, options=opts, rng=4)
+    result_old = general_imm(oracle, k, options=opts, rng=4)
+    spread_new = rr_estimate_objective(
+        fast, result_new.seeds, samples=eval_samples, rng=9
+    )
+    spread_old = rr_estimate_objective(
+        fast, result_old.seeds, samples=eval_samples, rng=9
+    )
+    return {
+        "epsilon": opts.epsilon,
+        "k": k,
+        "batched_s": round(t_new, 3),
+        "oracle_s": round(t_old, 3),
+        "speedup": round(t_old / t_new, 2),
+        "batched_objective": round(spread_new.mean, 2),
+        "oracle_objective": round(spread_old.mean, 2),
+        "objective_stderr": round(spread_new.stderr, 3),
     }
 
 
@@ -94,8 +145,9 @@ def main(argv=None) -> int:
         args.nodes, average_degree=args.average_degree,
         probability=args.probability, rng=2,
     )
-    seeds_b = list(range(10))
+    opposite_seeds = list(range(10))
     report = {
+        "schema_version": SCHEMA_VERSION,
         "graph": {
             "nodes": graph.num_nodes,
             "edges": graph.num_edges,
@@ -103,25 +155,32 @@ def main(argv=None) -> int:
             "probability": args.probability,
         },
         "config": {
+            "quick": args.quick,
             "per_root_count": per_root_count,
             "batch_count": batch_count,
             "repeats": repeats,
-            "gaps": [GAPS.q_a, GAPS.q_a_given_b, GAPS.q_b, GAPS.q_b_given_a],
+            "gaps_sim": list(GAPS_SIM.as_tuple()),
+            "gaps_cim": list(GAPS_CIM.as_tuple()),
         },
     }
 
-    rr_ic = RRICGenerator(graph)
-    rr_sim = RRSimGenerator(graph, GAPS, seeds_b)
-    report["rr_ic_generation"] = bench_generation(
-        rr_ic, per_root_count, batch_count, repeats
-    )
-    print("rr_ic_generation:", report["rr_ic_generation"])
-    report["rr_sim_generation"] = bench_generation(
-        rr_sim, per_root_count, batch_count, repeats
-    )
-    print("rr_sim_generation:", report["rr_sim_generation"])
+    generators = {
+        "rr_ic": RRICGenerator(graph),
+        "rr_sim": RRSimGenerator(graph, GAPS_SIM, opposite_seeds),
+        "rr_sim_plus": RRSimPlusGenerator(graph, GAPS_SIM, opposite_seeds),
+        "rr_cim": RRCimGenerator(graph, GAPS_CIM, opposite_seeds),
+        "rr_lt": RRLTGenerator(normalize_lt_weights(graph)),
+    }
+    report["generation"] = {}
+    for name, generator in generators.items():
+        # RR-LT sets are cheap chains: give its rates more samples.
+        scale = 4 if name == "rr_lt" else 1
+        report["generation"][name] = bench_generation(
+            name, generator, per_root_count * scale, batch_count * scale, repeats
+        )
+        print(f"generation[{name}]:", report["generation"][name])
 
-    pool = rr_ic.generate_batch(batch_count, rng=7)
+    pool = generators["rr_ic"].generate_batch(batch_count, rng=7)
     rr_list = pool.to_list()
     t_pooled = best_of(lambda: greedy_max_coverage(pool, graph.num_nodes, args.k), repeats)
     t_legacy = best_of(
@@ -138,29 +197,38 @@ def main(argv=None) -> int:
     print("greedy_max_coverage:", report["greedy_max_coverage"])
 
     opts = IMMOptions(epsilon=0.5, max_rr_sets=imm_cap)
-    oracle_sim = _OracleRRSim(graph, GAPS, seeds_b)
-    t_new = best_of(lambda: general_imm(rr_sim, args.k, options=opts, rng=4), 2)
-    t_old = best_of(lambda: general_imm(oracle_sim, args.k, options=opts, rng=4), 2)
-    result_new = general_imm(rr_sim, args.k, options=opts, rng=4)
-    result_old = general_imm(oracle_sim, args.k, options=opts, rng=4)
     eval_samples = 4000 if args.quick else 10_000
-    spread_new = rr_estimate_objective(rr_sim, result_new.seeds, samples=eval_samples, rng=9)
-    spread_old = rr_estimate_objective(rr_sim, result_old.seeds, samples=eval_samples, rng=9)
-    report["selfinfmax_imm_end_to_end"] = {
-        "epsilon": opts.epsilon,
-        "k": args.k,
-        "batched_s": round(t_new, 3),
-        "oracle_s": round(t_old, 3),
-        "speedup": round(t_old / t_new, 2),
-        "batched_spread": round(spread_new.mean, 2),
-        "oracle_spread": round(spread_old.mean, 2),
-        "spread_stderr": round(spread_new.stderr, 3),
+    report["end_to_end"] = {
+        "selfinfmax_imm": bench_imm_end_to_end(
+            generators["rr_sim"],
+            _OracleRRSim(graph, GAPS_SIM, opposite_seeds),
+            args.k, opts, eval_samples,
+        ),
     }
-    print("selfinfmax_imm_end_to_end:", report["selfinfmax_imm_end_to_end"])
+    print("end_to_end[selfinfmax_imm]:", report["end_to_end"]["selfinfmax_imm"])
+    report["end_to_end"]["compinfmax_imm"] = bench_imm_end_to_end(
+        generators["rr_cim"],
+        _OracleRRCim(graph, GAPS_CIM, opposite_seeds),
+        args.k, opts, eval_samples,
+    )
+    print("end_to_end[compinfmax_imm]:", report["end_to_end"]["compinfmax_imm"])
+
+    # Regression gate: a sub-floor speedup means the fast path regressed
+    # (or silently fell back to the oracle loop) — fail loudly.
+    failures = [
+        f"{name}: speedup {entry['speedup']}x < floor {entry['speedup_floor']}x"
+        for name, entry in report["generation"].items()
+        if entry["speedup"] < entry["speedup_floor"]
+    ]
+    report["gate"] = {"passed": not failures, "failures": failures}
 
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"SPEEDUP REGRESSION: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -23,13 +23,17 @@ Two sampling paths
   implements it, and the batched fast paths are validated against it.
 * :meth:`RRSetGenerator.generate_batch` — many roots at once into a flat
   :class:`~repro.rrset.pool.RRSetPool`.  The base implementation just
-  loops the oracle; regimes with vectorized kernels (RR-IC in
-  :mod:`repro.rrset.rr_ic`, RR-SIM in :mod:`repro.rrset.rr_sim`) override
-  it with level-synchronous bulk sweeps that draw whole coin/threshold
-  arrays per batch instead of per-edge memoised Python calls.  TIM / IMM
-  always sample through ``generate_batch``, so any regime silently falls
-  back to the oracle path until it grows a fast kernel (RR-CIM still
-  does — see ROADMAP open items).
+  loops the oracle; regimes with vectorized kernels override it with
+  level-synchronous bulk sweeps that draw whole coin/threshold arrays per
+  batch instead of per-edge memoised Python calls.  Every paper regime
+  now has a fast kernel — RR-IC (:mod:`repro.rrset.rr_ic`), RR-SIM
+  (:mod:`repro.rrset.rr_sim`), RR-SIM+ (:mod:`repro.rrset.rr_sim_plus`),
+  RR-CIM with its four-label forward pass (:mod:`repro.rrset.rr_cim`) and
+  classic-LT (:mod:`repro.rrset.rr_lt`) — so TIM / IMM sampling always
+  runs batched; only the exotic product-dependent regime
+  (:mod:`repro.rrset.rr_sim_product`) still falls back to this oracle
+  loop.  CI's ``BENCH_rrset.json`` regression gate fails if any fast-path
+  regime's batch-vs-oracle speedup drops below its recorded floor.
 """
 
 from __future__ import annotations

@@ -28,6 +28,35 @@ Local diffusibility predicates (§6.3)::
     AB-diffusible(v):  alpha_A <= q_{A|∅}  or
                        (q_{A|∅} < alpha_A <= q_{A|B} and alpha_B <= q_{B|∅})
     B-diffusible(v):   alpha_B <= q_{B|∅}  or  v labeled A-adopted
+
+Batched fast path
+-----------------
+
+:meth:`RRCimGenerator.generate_batch` runs Algorithm 4 for a whole chunk
+of independent worlds at once.  The four-label forward pass becomes one
+level-synchronous sweep over a flat ``(chunk member, node)`` uint8 state
+array: two bits hold the label (none < potential < suspended < adopted),
+one bit the terminal rejection flag, and two 2-bit fields memoise each
+node's lazily-drawn ``alpha_A`` category (below ``q_{A|∅}`` / between the
+GAPs / at or above ``q_{A|B}``) and ``alpha_B`` outcome — the only facts
+about the thresholds any phase ever reads.  Promotions re-enqueue exactly
+like the oracle's worklist (a node promoted to A-adopted re-expands, since
+its targets may now strengthen), so the sweep converges to the same
+monotone fixpoint.
+
+The backward half then runs three more bulk sweeps sharing the same state:
+the primary searches of all roots, one *multi-source* reverse sweep for
+every Case-1 secondary search (the union of per-start searches, valid
+because exploration from a node is a function of the memoised world
+alone), and per-candidate Case-4 zig-zag forward/backward sweeps laid out
+as independent lanes.  Because sub-searches of one world may re-test an
+edge, all liveness coins go through a shared
+:class:`~repro.rrset.pool.ChunkCoinMemo` — the batched realisation of the
+oracle's memoised ``WorldSource`` — so the output distribution matches
+:meth:`RRCimGenerator.generate` exactly; ``tests/rrset/
+test_batch_equivalence.py`` verifies fixed-world equality (Cases 1–4) and
+aggregate frequencies.  Chunks adapt to the observed coin-record size so
+memory stays bounded on worlds with large A-reachable regions.
 """
 
 from __future__ import annotations
@@ -40,9 +69,17 @@ import numpy as np
 from repro.errors import RegimeError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
+from repro.models.possible_world import PossibleWorld
 from repro.models.sources import ITEM_A, ITEM_B, WorldSource
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import (
+    ChunkCoinMemo,
+    RRSetPool,
+    expand_csr,
+    unique_inverse,
+    unique_keys,
+)
 
 # Forward-labeling labels, ordered by strength (rejected is terminal).
 LABEL_REJECTED = -1
@@ -50,6 +87,22 @@ LABEL_NONE = 0
 LABEL_POTENTIAL = 1
 LABEL_SUSPENDED = 2
 LABEL_ADOPTED = 3
+
+# Batched-kernel bitfield over one uint8 per (chunk member, node).  Bits
+# 0-1 hold the label (LABEL_NONE .. LABEL_ADOPTED), bit 2 the terminal
+# rejection flag (the oracle's LABEL_REJECTED), bits 3-4 the memoised
+# alpha_A category and bits 5-6 the memoised alpha_B outcome.
+_LBL_MASK = np.uint8(0b11)
+_REJ_FLAG = np.uint8(1 << 2)
+_AA_SHIFT = 3
+_AA_MASK = np.uint8(0b11 << _AA_SHIFT)  # 0 unknown / 1 low / 2 mid / 3 high
+_AB_SHIFT = 5
+_AB_MASK = np.uint8(0b11 << _AB_SHIFT)  # 0 unknown / 1 pass / 2 fail
+
+#: Target size of one chunk's edge-coin memo (entries) — bounds batch
+#: memory on worlds with large A-reachable regions (ROADMAP sparse-state
+#: item: the record, not the dense state, is what grows with the region).
+_COIN_BUDGET = 16 << 20
 
 
 def check_rr_cim_regime(gaps: GAP) -> None:
@@ -238,16 +291,32 @@ class RRCimGenerator(RRSetGenerator):
     # RR-set generation
     # ------------------------------------------------------------------
     def generate(
-        self, *, rng: SeedLike = None, root: Optional[int] = None, world=None
+        self,
+        *,
+        rng: SeedLike = None,
+        root: Optional[int] = None,
+        world=None,
+        labels: Optional[dict[int, int]] = None,
     ) -> np.ndarray:
-        """``world`` injects a fixed possible world (tests/ablations)."""
+        """``world`` injects a fixed possible world (tests/ablations).
+
+        ``labels`` injects a precomputed forward label map (as returned by
+        :func:`forward_label_a_status` for the *same* world and A-seeds),
+        so repeated fixed-world calls — the batch-equivalence tests sweep
+        every root of one world — skip the per-call forward pass instead
+        of recomputing it from scratch.
+        """
         gen = make_rng(rng)
         if root is None:
             root = int(gen.integers(0, self._graph.num_nodes))
         if world is None:
             world = WorldSource(gen)
         graph = self._graph
-        label = forward_label_a_status(graph, world, self._gaps, self._seeds_a)
+        label = (
+            labels
+            if labels is not None
+            else forward_label_a_status(graph, world, self._gaps, self._seeds_a)
+        )
         root_label = label.get(root, LABEL_NONE)
         if root_label not in (LABEL_SUSPENDED, LABEL_POTENTIAL):
             # Already adopted, permanently rejected, or unreachable even
@@ -284,3 +353,452 @@ class RRCimGenerator(RRSetGenerator):
                         rr_set.add(u)
             # Adopted / rejected / untouched nodes end the primary branch.
         return np.fromiter(rr_set, dtype=np.int64, count=len(rr_set))
+
+    # ------------------------------------------------------------------
+    # Batched fast path (see module docstring)
+    # ------------------------------------------------------------------
+    def _edge_live_batch(
+        self,
+        members: np.ndarray,
+        eids: np.ndarray,
+        probs: np.ndarray,
+        coins: ChunkCoinMemo,
+        gen: np.random.Generator,
+        world: Optional[PossibleWorld],
+    ) -> np.ndarray:
+        """Memoised liveness of one bulk edge batch (``members`` parallel
+        to ``eids``); the batched ``WorldSource.edge_live``."""
+        if world is not None:
+            return world.live[eids]
+        return coins.lookup_or_draw(
+            members * self._graph.num_edges + eids, probs, gen
+        )
+
+    def _alpha_a_cat(
+        self,
+        state: np.ndarray,
+        keys: np.ndarray,
+        gen: np.random.Generator,
+        world: Optional[PossibleWorld],
+    ) -> np.ndarray:
+        """Memoised ``alpha_A`` category of *unique* (member, node) keys:
+        1 below ``q_{A|∅}``, 2 between the GAPs, 3 at or above ``q_{A|B}``
+        — the only facts about the threshold any phase reads."""
+        gaps = self._gaps
+        if world is not None:
+            alpha = world.alpha_a[keys % self._graph.num_nodes]
+            return np.where(
+                alpha < gaps.q_a, 1, np.where(alpha < gaps.q_a_given_b, 2, 3)
+            ).astype(np.uint8)
+        st = state[keys]
+        cat = (st & _AA_MASK) >> np.uint8(_AA_SHIFT)
+        unknown = np.flatnonzero(cat == 0)
+        if unknown.size:
+            draw = gen.random(unknown.size)
+            fresh = np.where(
+                draw < gaps.q_a, 1, np.where(draw < gaps.q_a_given_b, 2, 3)
+            ).astype(np.uint8)
+            cat[unknown] = fresh
+            state[keys[unknown]] = st[unknown] | (fresh << np.uint8(_AA_SHIFT))
+        return cat
+
+    def _alpha_b_pass(
+        self,
+        state: np.ndarray,
+        keys: np.ndarray,
+        gen: np.random.Generator,
+        world: Optional[PossibleWorld],
+    ) -> np.ndarray:
+        """Memoised ``alpha_B < q_{B|∅}`` outcome of *unique* keys."""
+        gaps = self._gaps
+        if world is not None:
+            return world.alpha_b[keys % self._graph.num_nodes] < gaps.q_b
+        st = state[keys]
+        stat = (st & _AB_MASK) >> np.uint8(_AB_SHIFT)
+        unknown = np.flatnonzero(stat == 0)
+        if unknown.size:
+            fresh = np.where(
+                gen.random(unknown.size) < gaps.q_b, 1, 2
+            ).astype(np.uint8)
+            stat[unknown] = fresh
+            state[keys[unknown]] = st[unknown] | (fresh << np.uint8(_AB_SHIFT))
+        return stat == 1
+
+    def _ab_diffusible_mask(
+        self, state, keys, gen, world: Optional[PossibleWorld]
+    ) -> np.ndarray:
+        """Bulk AB-diffusibility; keys may repeat across zig-zag lanes, so
+        each memoised variable resolves once per distinct key."""
+        ukeys, inverse = unique_inverse(keys)
+        cat = self._alpha_a_cat(state, ukeys, gen, world)
+        ok = cat == 1
+        mid = np.flatnonzero(cat == 2)
+        if mid.size:
+            ok[mid] = self._alpha_b_pass(state, ukeys[mid], gen, world)
+        return ok[inverse]
+
+    def _b_diffusible_mask(
+        self, state, keys, gen, world: Optional[PossibleWorld]
+    ) -> np.ndarray:
+        """Bulk B-diffusibility (``alpha_B`` pass, or A-adopted since
+        ``q_{B|A} = 1``); duplicate-key safe like the AB variant."""
+        ukeys, inverse = unique_inverse(keys)
+        ok = (state[ukeys] & _LBL_MASK) == LABEL_ADOPTED
+        rest = np.flatnonzero(~ok)
+        if rest.size:
+            ok[rest] = self._alpha_b_pass(state, ukeys[rest], gen, world)
+        return ok[inverse]
+
+    def _edge_live_record(
+        self, members, eids, probs, coins, gen, world: Optional[PossibleWorld]
+    ) -> np.ndarray:
+        """First-flip edge liveness: bulk fresh draws recorded append-only.
+
+        Only valid when every key is provably untested so far — the
+        forward-labeling phases qualify because each phase expands each
+        node at most once and their expansion sets are disjoint.
+        """
+        if world is not None:
+            return world.live[eids]
+        keys = members * self._graph.num_edges + eids
+        live = gen.random(keys.size) < probs
+        coins.record(keys, live)
+        return live
+
+    def _forward_label_batch(
+        self, b, state, coins, gen, world: Optional[PossibleWorld]
+    ) -> None:
+        """Eq. (4) labeling of ``b`` chunk worlds in two one-pass sweeps.
+
+        The oracle runs a promote-and-requeue worklist, but the fixpoint
+        factors: an A-adopted label only ever derives from adopted
+        sources, so **Phase A** resolves the adopted closure first (each
+        cat-mid target it reaches is thereby *final* suspended), and
+        **Phase B** floods the potential wave from every suspended node.
+        Each phase expands a node at most once and the phases' expansion
+        sets are disjoint (adopted vs. suspended/potential), so every
+        edge coin is a first flip — recorded append-only, no lookups —
+        and no promotion can ever invalidate an earlier level.
+        """
+        graph = self._graph
+        n = graph.num_nodes
+        out_indptr, out_dst, out_prob, out_eid = graph.csr_out()
+        # Dedupe like the oracle's label guard: a seed listed twice must
+        # not expand (and flip coins for) its out-edges twice.
+        seeds = np.unique(np.asarray(self._seeds_a, dtype=np.int64))
+        if seeds.size == 0:
+            return
+        frontier = (
+            np.repeat(np.arange(b, dtype=np.int64), seeds.size) * n
+            + np.tile(seeds, b)
+        )
+        state[frontier] |= np.uint8(LABEL_ADOPTED)
+        susp_frags: list[np.ndarray] = []
+        # Phase A: adopted closure; marks suspended / rejected boundaries.
+        while frontier.size:
+            fmember, fnode = np.divmod(frontier, n)
+            reps, flat = expand_csr(out_indptr, fnode)
+            if flat.size == 0:
+                break
+            live = self._edge_live_record(
+                fmember[reps], out_eid[flat], out_prob[flat], coins, gen, world
+            )
+            tkeys = fmember[reps[live]] * n + out_dst[flat[live]]
+            if tkeys.size == 0:
+                break
+            tkeys = unique_keys(tkeys)
+            st = state[tkeys]
+            open_ = ((st & _LBL_MASK) != LABEL_ADOPTED) & ((st & _REJ_FLAG) == 0)
+            tkeys = tkeys[open_]
+            if tkeys.size == 0:
+                break
+            cat = self._alpha_a_cat(state, tkeys, gen, world)
+            state[tkeys[cat == 3]] |= _REJ_FLAG  # alpha_A >= q_{A|B}: terminal
+            low = tkeys[cat == 1]
+            state[low] |= np.uint8(LABEL_ADOPTED)
+            mid = tkeys[cat == 2]
+            if mid.size:
+                fresh = mid[(state[mid] & _LBL_MASK) == LABEL_NONE]
+                state[fresh] |= np.uint8(LABEL_SUSPENDED)
+                susp_frags.append(fresh)
+            frontier = low
+        # Phase B: the potential wave from every suspended node.
+        frontier = (
+            unique_keys(np.concatenate(susp_frags))
+            if susp_frags
+            else np.empty(0, dtype=np.int64)
+        )
+        while frontier.size:
+            fmember, fnode = np.divmod(frontier, n)
+            reps, flat = expand_csr(out_indptr, fnode)
+            if flat.size == 0:
+                break
+            live = self._edge_live_record(
+                fmember[reps], out_eid[flat], out_prob[flat], coins, gen, world
+            )
+            tkeys = fmember[reps[live]] * n + out_dst[flat[live]]
+            if tkeys.size == 0:
+                break
+            tkeys = unique_keys(tkeys)
+            st = state[tkeys]
+            open_ = ((st & _LBL_MASK) == LABEL_NONE) & ((st & _REJ_FLAG) == 0)
+            tkeys = tkeys[open_]
+            if tkeys.size == 0:
+                break
+            cat = self._alpha_a_cat(state, tkeys, gen, world)
+            state[tkeys[cat == 3]] |= _REJ_FLAG
+            newpot = tkeys[cat != 3]
+            state[newpot] |= np.uint8(LABEL_POTENTIAL)
+            frontier = newpot
+
+    def _primary_batch(
+        self, b, chunk_roots, state, coins, gen, world: Optional[PossibleWorld]
+    ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Primary backward searches of all chunk roots in one sweep.
+
+        Returns ``(rr_frags, sec_frags, zig_frags)``: flat (member, node)
+        key fragments of suspended RR-members, Case-1 secondary-search
+        starts, and Case-4 zig-zag candidates.
+        """
+        graph = self._graph
+        n = graph.num_nodes
+        in_indptr, in_src, in_prob, in_eid = graph.csr_in()
+        ids = np.arange(b, dtype=np.int64)
+        root_keys = ids * n + chunk_roots
+        root_lab = state[root_keys] & _LBL_MASK
+        alive = (root_lab == LABEL_POTENTIAL) | (root_lab == LABEL_SUSPENDED)
+        frontier = root_keys[alive]
+        visited = np.zeros(b * n, dtype=bool)
+        visited[frontier] = True
+        rr_frags: list[np.ndarray] = []
+        sec_frags: list[np.ndarray] = []
+        zig_frags: list[np.ndarray] = []
+        while frontier.size:
+            lab = state[frontier] & _LBL_MASK
+            susp = frontier[lab == LABEL_SUSPENDED]
+            if susp.size:
+                rr_frags.append(susp)  # Cases 1-2: suspended nodes join
+                ab = self._ab_diffusible_mask(state, susp, gen, world)
+                if ab.any():
+                    sec_frags.append(susp[ab])  # Case 1 starts
+            pot = frontier[lab == LABEL_POTENTIAL]
+            grow = pot
+            if pot.size:
+                ab = self._ab_diffusible_mask(state, pot, gen, world)
+                blocked = pot[~ab]
+                if blocked.size:
+                    zig_frags.append(blocked)  # Case 4 candidates
+                grow = pot[ab]  # Case 3: transit A+B, continue the search
+            if grow.size == 0:
+                break
+            gmember, gnode = np.divmod(grow, n)
+            reps, flat = expand_csr(in_indptr, gnode)
+            if flat.size == 0:
+                break
+            live = self._edge_live_batch(
+                gmember[reps], in_eid[flat], in_prob[flat], coins, gen, world
+            )
+            tkeys = gmember[reps[live]] * n + in_src[flat[live]]
+            tkeys = tkeys[~visited[tkeys]]
+            if tkeys.size == 0:
+                break
+            tkeys = unique_keys(tkeys)
+            visited[tkeys] = True
+            frontier = tkeys
+        return rr_frags, sec_frags, zig_frags
+
+    def _secondary_batch(
+        self, starts, state, coins, gen, world: Optional[PossibleWorld], b: int
+    ) -> list[np.ndarray]:
+        """Case-1 secondary searches as one multi-source reverse sweep.
+
+        Valid as a union because exploration beyond a node is a function
+        of the memoised world alone: whichever start reaches a node first,
+        the nodes found beyond it are the same, so the per-start searches
+        of the oracle and this multi-source sweep collect the same union.
+        """
+        graph = self._graph
+        n = graph.num_nodes
+        in_indptr, in_src, in_prob, in_eid = graph.csr_in()
+        visited = np.zeros(b * n, dtype=bool)
+        visited[starts] = True
+        frontier = starts  # starts expand unconditionally, as in the oracle
+        collected: list[np.ndarray] = []
+        while frontier.size:
+            fmember, fnode = np.divmod(frontier, n)
+            reps, flat = expand_csr(in_indptr, fnode)
+            if flat.size == 0:
+                break
+            live = self._edge_live_batch(
+                fmember[reps], in_eid[flat], in_prob[flat], coins, gen, world
+            )
+            tkeys = fmember[reps[live]] * n + in_src[flat[live]]
+            tkeys = tkeys[~visited[tkeys]]
+            if tkeys.size == 0:
+                break
+            tkeys = unique_keys(tkeys)
+            visited[tkeys] = True
+            collected.append(tkeys)  # every node that can push B joins
+            bd = self._b_diffusible_mask(state, tkeys, gen, world)
+            frontier = tkeys[bd]  # non-B-diffusible nodes join, don't expand
+        return collected
+
+    def _zigzag_batch(
+        self, cand_keys, state, coins, gen, world: Optional[PossibleWorld]
+    ) -> np.ndarray:
+        """Case-4 checks for all candidates, each as an independent lane.
+
+        Lanes of the same chunk member share its memoised coins and
+        thresholds, so running them together (or not at all, once a lane's
+        verdict is known) cannot change any outcome.  Returns the subset
+        of ``cand_keys`` whose zig-zag succeeds.
+        """
+        graph = self._graph
+        n = graph.num_nodes
+        out_indptr, out_dst, out_prob, out_eid = graph.csr_out()
+        in_indptr, in_src, in_prob, in_eid = graph.csr_in()
+        passed = np.zeros(cand_keys.size, dtype=bool)
+        lane_budget = max((8 << 20) // max(n, 1), 1)
+        for lo in range(0, cand_keys.size, lane_budget):
+            keys = cand_keys[lo : lo + lane_budget]
+            j = keys.size
+            lane_member, lane_node = np.divmod(keys, n)
+            lanes = np.arange(j, dtype=np.int64)
+            # Forward sweep: Sf = B-diffusible nodes reachable from u.
+            fvisited = np.zeros(j * n, dtype=bool)
+            fvisited[lanes * n + lane_node] = True
+            sf_susp = np.zeros(j * n, dtype=bool)  # suspended members of Sf
+            any_forward = np.zeros(j, dtype=bool)
+            flane, fnode = lanes, lane_node
+            while flane.size:
+                reps, flat = expand_csr(out_indptr, fnode)
+                if flat.size == 0:
+                    break
+                live = self._edge_live_batch(
+                    lane_member[flane[reps]], out_eid[flat], out_prob[flat],
+                    coins, gen, world,
+                )
+                lkeys = flane[reps[live]] * n + out_dst[flat[live]]
+                lkeys = lkeys[~fvisited[lkeys]]
+                if lkeys.size == 0:
+                    break
+                lkeys = unique_keys(lkeys)
+                fvisited[lkeys] = True
+                tlane, tnode = np.divmod(lkeys, n)
+                mkeys = lane_member[tlane] * n + tnode
+                bd = self._b_diffusible_mask(state, mkeys, gen, world)
+                any_forward[tlane[bd]] = True
+                lab = state[mkeys] & _LBL_MASK
+                sf_susp[lkeys[bd & (lab == LABEL_SUSPENDED)]] = True
+                fkeep = lkeys[bd]  # only B-diffusible nodes expand
+                flane, fnode = np.divmod(fkeep, n)
+            # Backward sweep: Sb = relays feeding a joint A+B wave to u;
+            # only lanes whose forward set is non-empty can succeed.
+            blane = lanes[any_forward]
+            bnode = lane_node[any_forward]
+            bvisited = np.zeros(j * n, dtype=bool)
+            bvisited[blane * n + bnode] = True
+            verdict = np.zeros(j, dtype=bool)
+            while blane.size:
+                reps, flat = expand_csr(in_indptr, bnode)
+                if flat.size == 0:
+                    break
+                live = self._edge_live_batch(
+                    lane_member[blane[reps]], in_eid[flat], in_prob[flat],
+                    coins, gen, world,
+                )
+                lkeys = blane[reps[live]] * n + in_src[flat[live]]
+                lkeys = lkeys[~bvisited[lkeys]]
+                if lkeys.size == 0:
+                    break
+                lkeys = unique_keys(lkeys)
+                bvisited[lkeys] = True
+                tlane, tnode = np.divmod(lkeys, n)
+                mkeys = lane_member[tlane] * n + tnode
+                lab = state[mkeys] & _LBL_MASK
+                relay = lab == LABEL_ADOPTED  # q_{B|A} = 1: relays anything
+                maybe = np.flatnonzero(
+                    (lab == LABEL_POTENTIAL) | (lab == LABEL_SUSPENDED)
+                )
+                if maybe.size:
+                    relay[maybe] = self._ab_diffusible_mask(
+                        state, mkeys[maybe], gen, world
+                    )
+                rkeys = lkeys[relay]
+                rlane = tlane[relay]
+                verdict[rlane[sf_susp[rkeys]]] = True  # suspended in Sf ∩ Sb
+                alive = ~verdict[rlane]  # satisfied lanes stop expanding
+                blane, bnode = np.divmod(rkeys[alive], n)
+            passed[lo : lo + j] = verdict
+        return cand_keys[passed]
+
+    def generate_batch(
+        self,
+        count: int,
+        *,
+        rng: SeedLike = None,
+        roots: Optional[np.ndarray] = None,
+        out: Optional[RRSetPool] = None,
+        world: Optional[PossibleWorld] = None,
+    ) -> RRSetPool:
+        """Vectorized batch sampling (see module docstring).
+
+        ``world`` pins one eagerly-sampled possible world shared by every
+        set in the batch (fixed-world equivalence tests); by default each
+        set samples its own independent world lazily — coins and
+        threshold categories materialise only for the edges and nodes the
+        sweeps touch, exactly like the oracle's
+        :class:`~repro.models.sources.WorldSource`.
+        """
+        gen = make_rng(rng)
+        graph = self._graph
+        n = graph.num_nodes
+        pool = out if out is not None else RRSetPool(n)
+        if roots is None:
+            roots = self.random_roots(count, rng=gen)
+        else:
+            roots = np.asarray(roots, dtype=np.int64)
+        if roots.size == 0:
+            return pool
+        # Chunk so each (b, n) state byte-field stays tens of MB; the coin
+        # memo grows with the A-region's degree per world, which is only
+        # known after sampling — start with a modest probe chunk and
+        # re-size from the observed coins-per-world (PR-1's adaptive
+        # chunking, here bounding the memo instead of a phase record).
+        max_chunk = int(np.clip((32 << 20) // max(n, 1), 1, 4096))
+        chunk = min(max_chunk, 128)
+        start = 0
+        while start < roots.size:
+            chunk_roots = roots[start : start + chunk]
+            b = chunk_roots.size
+            start += b
+            state = np.zeros(b * n, dtype=np.uint8)
+            coins = ChunkCoinMemo()
+            self._forward_label_batch(b, state, coins, gen, world)
+            rr_frags, sec_frags, zig_frags = self._primary_batch(
+                b, chunk_roots, state, coins, gen, world
+            )
+            if sec_frags:
+                rr_frags.extend(
+                    self._secondary_batch(
+                        np.concatenate(sec_frags), state, coins, gen, world, b
+                    )
+                )
+            if zig_frags:
+                zig = self._zigzag_batch(
+                    np.concatenate(zig_frags), state, coins, gen, world
+                )
+                if zig.size:
+                    rr_frags.append(zig)
+            if rr_frags:
+                mkeys = unique_keys(np.concatenate(rr_frags))
+                member, node = np.divmod(mkeys, n)
+                lengths = np.bincount(member, minlength=b).astype(np.int64)
+                pool.append_flat(node.astype(np.int32), lengths)
+            else:
+                pool.append_flat(
+                    np.empty(0, dtype=np.int32), np.zeros(b, dtype=np.int64)
+                )
+            coins_per_member = max(coins.size / b, 1.0)
+            chunk = int(np.clip(_COIN_BUDGET / coins_per_member, 1, max_chunk))
+        return pool

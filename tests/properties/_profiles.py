@@ -1,0 +1,30 @@
+"""Profile-aware Hypothesis budgets for the property suite.
+
+Each property pins a base ``max_examples`` tuned for the PR-gate budget.
+The nightly CI job exports ``HYPOTHESIS_PROFILE=ci-deep``, which scales
+every budget by :data:`DEEP_SCALE` — more examples catch rarer
+counter-examples than a PR gate can afford to hunt for.  (A plain
+Hypothesis profile cannot do this: an explicit ``@settings`` on a test
+overrides the loaded profile, so the scaling has to happen where the
+decorator is built.)
+"""
+
+import os
+
+from hypothesis import settings
+
+#: Example multiplier of the ``ci-deep`` (nightly) profile.
+DEEP_SCALE = 10
+
+_ACTIVE = os.environ.get("HYPOTHESIS_PROFILE", "ci")
+_SCALE = DEEP_SCALE if _ACTIVE == "ci-deep" else 1
+
+
+def ci_settings(max_examples: int, **kwargs) -> settings:
+    """``@settings`` with the profile-scaled example budget.
+
+    ``deadline`` defaults to ``None`` (property bodies run whole
+    diffusions; wall-clock per example is expected to vary).
+    """
+    kwargs.setdefault("deadline", None)
+    return settings(max_examples=max(int(max_examples) * _SCALE, 1), **kwargs)

@@ -8,7 +8,9 @@ invariants a fuzzer can check without Monte-Carlo tolerance.
 import hypothesis.strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
+
+from tests.properties._profiles import ci_settings
 
 from repro.analysis import rank_weighted_overlap, seed_jaccard
 from repro.graph import DiGraph
@@ -36,33 +38,33 @@ seed_lists = st.lists(
 
 
 class TestOverlapMetrics:
-    @settings(max_examples=80, deadline=None)
+    @ci_settings(80)
     @given(first=seed_lists, second=seed_lists)
     def test_jaccard_bounds_and_symmetry(self, first, second):
         value = seed_jaccard(first, second)
         assert 0.0 <= value <= 1.0
         assert value == seed_jaccard(second, first)
 
-    @settings(max_examples=80, deadline=None)
+    @ci_settings(80)
     @given(seeds=seed_lists)
     def test_jaccard_identity(self, seeds):
         assert seed_jaccard(seeds, seeds) == 1.0
 
-    @settings(max_examples=80, deadline=None)
+    @ci_settings(80)
     @given(first=seed_lists, second=seed_lists)
     def test_rank_overlap_bounds_and_symmetry(self, first, second):
         value = rank_weighted_overlap(first, second)
         assert 0.0 <= value <= 1.0
         assert value == pytest.approx(rank_weighted_overlap(second, first))
 
-    @settings(max_examples=80, deadline=None)
+    @ci_settings(80)
     @given(seeds=seed_lists)
     def test_rank_overlap_identity(self, seeds):
         assert rank_weighted_overlap(seeds, seeds) == 1.0
 
 
 class TestDiscountHeuristics:
-    @settings(max_examples=50, deadline=None)
+    @ci_settings(50)
     @given(graph=small_graphs(), data=st.data())
     def test_seed_sets_valid(self, graph, data):
         k = data.draw(st.integers(min_value=0, max_value=graph.num_nodes))
@@ -72,7 +74,7 @@ class TestDiscountHeuristics:
             assert len(set(seeds)) == k
             assert all(0 <= v < graph.num_nodes for v in seeds)
 
-    @settings(max_examples=50, deadline=None)
+    @ci_settings(50)
     @given(graph=small_graphs())
     def test_first_seed_is_max_degree(self, graph):
         if graph.num_nodes == 0:
@@ -84,7 +86,7 @@ class TestDiscountHeuristics:
 
 
 class TestIMMProperties:
-    @settings(max_examples=20, deadline=None)
+    @ci_settings(20)
     @given(graph=small_graphs(), data=st.data())
     def test_valid_and_deterministic(self, graph, data):
         k = data.draw(st.integers(min_value=0, max_value=graph.num_nodes))
@@ -99,7 +101,7 @@ class TestIMMProperties:
 
 
 class TestStableHash:
-    @settings(max_examples=100, deadline=None)
+    @ci_settings(100)
     @given(text=st.text(max_size=40))
     def test_range_and_determinism(self, text):
         value = stable_hash(text)
@@ -112,7 +114,7 @@ class TestStableHash:
 
 
 class TestMultiItemGapTables:
-    @settings(max_examples=40, deadline=None)
+    @ci_settings(40)
     @given(
         num_items=st.integers(min_value=1, max_value=4),
         base=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
@@ -125,7 +127,7 @@ class TestMultiItemGapTables:
         if boost <= 0:
             assert gaps.is_mutually_competitive
 
-    @settings(max_examples=40, deadline=None)
+    @ci_settings(40)
     @given(
         q_a=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
         q_ab=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
@@ -142,7 +144,7 @@ class TestMultiItemGapTables:
 
 
 class TestComLTInvariants:
-    @settings(max_examples=30, deadline=None)
+    @ci_settings(30)
     @given(graph=small_graphs(), rng_seed=st.integers(min_value=0, max_value=999))
     def test_seeds_always_adopt_and_states_consistent(self, graph, rng_seed):
         graph = normalize_lt_weights(graph)

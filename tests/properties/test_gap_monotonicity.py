@@ -5,7 +5,9 @@ one of the four GAPs (staying inside Q+) cannot lower sigma_A.
 """
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import given
+
+from tests.properties._profiles import ci_settings
 
 from repro.graph import DiGraph
 from repro.models import GAP, exact_spread
@@ -50,7 +52,7 @@ def _raised(gaps: GAP, field: str, delta: float = 0.2) -> GAP | None:
     return candidate
 
 
-@settings(max_examples=30, deadline=None)
+@ci_settings(30)
 @given(
     graph=tiny_graphs(),
     gaps=q_plus_gaps(),
@@ -73,7 +75,7 @@ def test_sigma_a_monotone_in_each_gap(graph, gaps, field, data):
     assert high >= low - 1e-9
 
 
-@settings(max_examples=20, deadline=None)
+@ci_settings(20)
 @given(graph=tiny_graphs(), gaps=q_plus_gaps(), data=st.data())
 def test_sandwich_bound_ordering(graph, gaps, data):
     """mu(S) <= sigma(S) <= nu(S) for the SelfInfMax sandwich bounds."""

@@ -12,7 +12,9 @@ strategies are constrained to the respective regimes.
 """
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import given
+
+from tests.properties._profiles import ci_settings
 
 from repro.graph import DiGraph
 from repro.models import GAP, exact_spread
@@ -70,7 +72,7 @@ def seed_sets(draw, st_module, n):
     return base, extra
 
 
-@settings(max_examples=40, deadline=None)
+@ci_settings(40)
 @given(graph=tiny_graphs(), gaps=q_plus_gaps(), data=st.data())
 def test_self_monotone_increasing_q_plus(graph, gaps, data):
     n = graph.num_nodes
@@ -83,7 +85,7 @@ def test_self_monotone_increasing_q_plus(graph, gaps, data):
     assert large >= small - 1e-9
 
 
-@settings(max_examples=40, deadline=None)
+@ci_settings(40)
 @given(graph=tiny_graphs(), gaps=q_minus_gaps(), data=st.data())
 def test_self_monotone_increasing_q_minus(graph, gaps, data):
     n = graph.num_nodes
@@ -96,7 +98,7 @@ def test_self_monotone_increasing_q_minus(graph, gaps, data):
     assert large >= small - 1e-9
 
 
-@settings(max_examples=40, deadline=None)
+@ci_settings(40)
 @given(graph=tiny_graphs(), gaps=q_plus_gaps(), data=st.data())
 def test_cross_monotone_increasing_q_plus(graph, gaps, data):
     n = graph.num_nodes
@@ -109,7 +111,7 @@ def test_cross_monotone_increasing_q_plus(graph, gaps, data):
     assert large >= small - 1e-9
 
 
-@settings(max_examples=40, deadline=None)
+@ci_settings(40)
 @given(graph=tiny_graphs(), gaps=q_minus_gaps(), data=st.data())
 def test_cross_monotone_decreasing_q_minus(graph, gaps, data):
     n = graph.num_nodes

@@ -2,7 +2,9 @@
 
 import numpy as np
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import given
+
+from tests.properties._profiles import ci_settings
 
 from repro.graph import DiGraph
 from repro.models.sources import ITEM_A, ITEM_B, WorldSource
@@ -30,7 +32,7 @@ def edge_lists(draw):
 
 
 class TestGraphInvariants:
-    @settings(max_examples=60, deadline=None)
+    @ci_settings(60)
     @given(data=edge_lists())
     def test_degree_sums_equal_edge_count(self, data):
         n, edges = data
@@ -38,7 +40,7 @@ class TestGraphInvariants:
         assert int(graph.out_degrees.sum()) == graph.num_edges
         assert int(graph.in_degrees.sum()) == graph.num_edges
 
-    @settings(max_examples=60, deadline=None)
+    @ci_settings(60)
     @given(data=edge_lists())
     def test_out_and_in_views_agree(self, data):
         n, edges = data
@@ -51,14 +53,14 @@ class TestGraphInvariants:
         original = sorted((u, v) for u, v, _p in edges)
         assert rebuilt == original
 
-    @settings(max_examples=40, deadline=None)
+    @ci_settings(40)
     @given(data=edge_lists())
     def test_reverse_is_involution(self, data):
         n, edges = data
         graph = DiGraph.from_edges(n, edges)
         assert graph.reverse().reverse() == graph
 
-    @settings(max_examples=40, deadline=None)
+    @ci_settings(40)
     @given(data=edge_lists())
     def test_edge_list_round_trip(self, data, tmp_path_factory):
         from repro.graph import load_edge_list, save_edge_list
@@ -73,7 +75,7 @@ class TestGraphInvariants:
 
 
 class TestCoverageGuarantee:
-    @settings(max_examples=40, deadline=None)
+    @ci_settings(40)
     @given(data=st.data())
     def test_greedy_within_1_minus_1_over_e_of_optimum(self, data):
         import itertools
@@ -103,7 +105,7 @@ class TestCoverageGuarantee:
 
 
 class TestWorldSourceInvariants:
-    @settings(max_examples=30, deadline=None)
+    @ci_settings(30)
     @given(seed=st.integers(0, 2**31 - 1), node=st.integers(0, 100))
     def test_alpha_memoised_and_in_unit_interval(self, seed, node):
         source = WorldSource(seed)
@@ -113,7 +115,7 @@ class TestWorldSourceInvariants:
         assert source.alpha(node, ITEM_A) == a1
         assert source.alpha(node, ITEM_B) == b1
 
-    @settings(max_examples=30, deadline=None)
+    @ci_settings(30)
     @given(seed=st.integers(0, 2**31 - 1), q=st.floats(0.0, 1.0, allow_nan=False))
     def test_adoption_consistent_with_threshold(self, seed, q):
         source = WorldSource(seed)
@@ -122,14 +124,14 @@ class TestWorldSourceInvariants:
 
 
 class TestRngHelpers:
-    @settings(max_examples=20, deadline=None)
+    @ci_settings(20)
     @given(seed=st.integers(0, 2**31 - 1), count=st.integers(0, 5))
     def test_spawned_streams_are_deterministic(self, seed, count):
         first = [g.random() for g in spawn_rngs(seed, count)]
         second = [g.random() for g in spawn_rngs(seed, count)]
         assert first == second
 
-    @settings(max_examples=20, deadline=None)
+    @ci_settings(20)
     @given(seed=st.integers(0, 2**31 - 1), salt=st.integers(0, 100))
     def test_derive_seed_deterministic_and_salted(self, seed, salt):
         assert derive_seed(seed, salt) == derive_seed(seed, salt)
@@ -138,7 +140,7 @@ class TestRngHelpers:
     def test_derive_seed_none_passthrough(self):
         assert derive_seed(None, 3) is None
 
-    @settings(max_examples=20, deadline=None)
+    @ci_settings(20)
     @given(seed=st.integers(0, 2**31 - 1))
     def test_make_rng_reproducible(self, seed):
         assert make_rng(seed).random() == make_rng(seed).random()

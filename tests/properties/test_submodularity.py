@@ -13,7 +13,9 @@ deterministic counter-example tests in tests/models/test_counter_examples.)
 """
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import given
+
+from tests.properties._profiles import ci_settings
 
 from repro.graph import DiGraph
 from repro.models import GAP, exact_spread
@@ -47,7 +49,7 @@ def nested_sets_with_extra(draw, n: int):
     return s, t, u
 
 
-@settings(max_examples=35, deadline=None)
+@ci_settings(35)
 @given(graph=tiny_graphs(), data=st.data())
 def test_theorem4_self_submodularity_one_way_complementarity(graph, data):
     n = graph.num_nodes
@@ -82,7 +84,7 @@ def _with_b_dummies(graph: DiGraph) -> tuple[DiGraph, list[int]]:
     return DiGraph.from_edges(2 * n, edges), [n + v for v in range(n)]
 
 
-@settings(max_examples=35, deadline=None)
+@ci_settings(35)
 @given(graph=tiny_graphs(), data=st.data())
 def test_theorem5_cross_submodularity_q_ba_one(graph, data):
     """Theorem 5 under the footnote-1 (dummy-seed) formulation.
@@ -148,7 +150,7 @@ def test_theorem5_boundary_counterexample_direct_seeding():
     assert large_gain > small_gain  # the violation
 
 
-@settings(max_examples=35, deadline=None)
+@ci_settings(35)
 @given(graph=tiny_graphs(), data=st.data())
 def test_theorem11_self_submodularity_competitive_saturated(graph, data):
     n = graph.num_nodes

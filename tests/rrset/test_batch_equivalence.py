@@ -22,17 +22,40 @@ import pytest
 from repro.graph import DiGraph, path_digraph, star_digraph
 from repro.graph.generators import power_law_digraph
 from repro.models import GAP
-from repro.models.possible_world import FrozenWorldSource, sample_possible_world
+from repro.models.lt import normalize_lt_weights
+from repro.models.possible_world import (
+    FrozenWorldSource,
+    PossibleWorld,
+    sample_possible_world,
+)
 from repro.rng import make_rng
 from repro.rrset import (
+    RRCimGenerator,
     RRICGenerator,
+    RRLTGenerator,
     RRSetPool,
     RRSimGenerator,
+    RRSimPlusGenerator,
     greedy_max_coverage,
     greedy_max_coverage_legacy,
 )
+from repro.rrset.rr_cim import forward_label_a_status
 
 GAPS_ONE_WAY = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=1.0)
+
+
+def pinned_world(graph, alpha_a, alpha_b, live=None):
+    """An all-live possible world with the given thresholds (RR-CIM case
+    gadgets pin each node's label through its alpha values)."""
+    n, m = graph.num_nodes, graph.num_edges
+    return PossibleWorld(
+        live=np.ones(m, dtype=bool) if live is None else np.asarray(live),
+        priority=np.linspace(0.05, 0.95, max(m, 1))[:m],
+        alpha_a=np.asarray(alpha_a, dtype=float),
+        alpha_b=np.asarray(alpha_b, dtype=float),
+        tau_a_first=np.ones(n, dtype=bool),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +89,108 @@ class TestFixedWorldEquality:
             for r in roots
         ]
         assert _as_sorted_sets(pool) == _as_sorted_sets(oracle)
+
+    @pytest.mark.parametrize("world_seed", [3, 9, 21])
+    def test_rr_cim_matches_oracle(self, random_graph, world_seed):
+        world = sample_possible_world(random_graph, rng=world_seed)
+        generator = RRCimGenerator(random_graph, GAPS_CIM, [0, 3, 7])
+        roots = np.arange(random_graph.num_nodes)
+        pool = generator.generate_batch(0, roots=roots, world=world, rng=0)
+        frozen = FrozenWorldSource(world)
+        labels = forward_label_a_status(random_graph, frozen, GAPS_CIM, [0, 3, 7])
+        oracle = [
+            generator.generate(rng=0, root=int(r), world=frozen, labels=labels)
+            for r in roots
+        ]
+        assert _as_sorted_sets(pool) == _as_sorted_sets(oracle)
+
+    def test_rr_sim_plus_matches_oracle(self, random_graph):
+        world = sample_possible_world(random_graph, rng=13)
+        generator = RRSimPlusGenerator(random_graph, GAPS_ONE_WAY, [0, 3, 7])
+        roots = np.arange(random_graph.num_nodes)
+        pool = generator.generate_batch(0, roots=roots, world=world, rng=0)
+        oracle = [
+            generator.generate(rng=0, root=int(r), world=FrozenWorldSource(world))
+            for r in roots
+        ]
+        assert _as_sorted_sets(pool) == _as_sorted_sets(oracle)
+
+    def test_rr_cim_precomputed_labels_match_fresh(self, random_graph):
+        # The labels= fast lane must be a pure cache: identical output to
+        # recomputing the forward pass inside every call.
+        world = sample_possible_world(random_graph, rng=4)
+        generator = RRCimGenerator(random_graph, GAPS_CIM, [0, 3, 7])
+        frozen = FrozenWorldSource(world)
+        labels = forward_label_a_status(random_graph, frozen, GAPS_CIM, [0, 3, 7])
+        for root in range(0, random_graph.num_nodes, 7):
+            with_cache = generator.generate(
+                rng=0, root=root, world=frozen, labels=labels
+            )
+            without = generator.generate(rng=0, root=root, world=frozen)
+            assert sorted(with_cache.tolist()) == sorted(without.tolist())
+
+
+class TestRRCimCaseGadgets:
+    """Batch equality on the deterministic worlds that isolate each case
+    of Algorithm 4 (mirrors the oracle gadgets in test_rr_generators)."""
+
+    def _batch_vs_oracle(self, graph, world, seeds_a, roots):
+        generator = RRCimGenerator(graph, GAPS_CIM, seeds_a)
+        pool = generator.generate_batch(
+            0, roots=np.asarray(roots, dtype=np.int64), world=world, rng=0
+        )
+        frozen = FrozenWorldSource(world)
+        oracle = [
+            generator.generate(rng=0, root=int(r), world=frozen) for r in roots
+        ]
+        assert _as_sorted_sets(pool) == _as_sorted_sets(oracle)
+        return pool
+
+    def test_case1_secondary_search_collects_b_feeders(self):
+        # B feeder chain 3 -> 2 -> root 1; A chain 0 -> 1; root suspended
+        # and AB-diffusible, so the secondary search must pull in 2, 3 and
+        # the A-seed 0.
+        graph = DiGraph.from_edges(4, [(0, 1, 1.0), (2, 1, 1.0), (3, 2, 1.0)])
+        world = pinned_world(
+            graph, alpha_a=[0.0, 0.5, 0.9, 0.9], alpha_b=[0.0, 0.2, 0.2, 0.9]
+        )
+        pool = self._batch_vs_oracle(graph, world, [0], range(4))
+        assert sorted(pool[1].tolist()) == [0, 1, 2, 3]
+
+    def test_case2_not_ab_diffusible_only_root(self):
+        # Root suspended but not AB-diffusible: only a B-seed at the root
+        # itself can unlock it.
+        graph = DiGraph.from_edges(3, [(0, 1, 1.0), (2, 1, 1.0)])
+        world = pinned_world(
+            graph, alpha_a=[0.0, 0.5, 0.9], alpha_b=[0.0, 0.9, 0.2]
+        )
+        pool = self._batch_vs_oracle(graph, world, [0], range(3))
+        assert pool[1].tolist() == [1]
+
+    def test_case4_zigzag(self):
+        # Figure-3-style gadget: a(0) -> u0(1); u0 <-> u(2); u -> v(3).
+        # u is potential and not AB-diffusible, but seeding B at u unlocks
+        # the suspended u0 which zig-zags A+B back through u to v.
+        graph = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0), (2, 3, 1.0)]
+        )
+        world = pinned_world(
+            graph, alpha_a=[0.0, 0.5, 0.5, 0.1], alpha_b=[0.0, 0.2, 0.9, 0.2]
+        )
+        pool = self._batch_vs_oracle(graph, world, [0], range(4))
+        assert 2 in pool[3].tolist()
+
+    def test_case4_zigzag_failure_is_excluded(self):
+        # Same gadget but u0's alpha_B fails: u0 is no longer B-diffusible
+        # from u, the zig-zag dies, and u must stay out of the RR-set.
+        graph = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0), (2, 3, 1.0)]
+        )
+        world = pinned_world(
+            graph, alpha_a=[0.0, 0.5, 0.5, 0.1], alpha_b=[0.0, 0.9, 0.9, 0.2]
+        )
+        pool = self._batch_vs_oracle(graph, world, [0], range(4))
+        assert 2 not in pool[3].tolist()
 
 
 class TestDeterministicRegimes:
@@ -121,6 +246,29 @@ class TestAggregateFrequencies:
         generator = RRSimGenerator(random_graph, GAPS_ONE_WAY, [0, 3, 7])
         gap = self._frequency_gap(generator, random_graph.num_nodes)
         assert gap < self.TOLERANCE
+
+    def test_rr_cim_inclusion_frequencies(self, random_graph):
+        generator = RRCimGenerator(random_graph, GAPS_CIM, [0, 3, 7])
+        gap = self._frequency_gap(generator, random_graph.num_nodes)
+        assert gap < self.TOLERANCE
+
+    def test_rr_sim_plus_inclusion_frequencies(self, random_graph):
+        generator = RRSimPlusGenerator(random_graph, GAPS_ONE_WAY, [0, 3, 7])
+        gap = self._frequency_gap(generator, random_graph.num_nodes)
+        assert gap < self.TOLERANCE
+
+    def test_rr_lt_inclusion_frequencies(self, random_graph):
+        generator = RRLTGenerator(normalize_lt_weights(random_graph))
+        gap = self._frequency_gap(generator, random_graph.num_nodes)
+        assert gap < self.TOLERANCE
+
+    def test_rr_lt_deterministic_path_walks_to_source(self):
+        # Unit weights on a path: the triggering selection is certain, so
+        # every batch RR-set must be the full ancestor chain.
+        graph = path_digraph(6, probability=1.0)
+        pool = RRLTGenerator(graph).generate_batch(0, roots=np.arange(6), rng=0)
+        for root in range(6):
+            assert sorted(pool[root].tolist()) == list(range(root + 1))
 
     def test_rr_sim_duplicate_b_seeds_not_double_expanded(self):
         # Regression: a duplicated B-seed must flip each out-edge coin once,

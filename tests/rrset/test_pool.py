@@ -172,3 +172,79 @@ class TestHelpers:
         nodes, lengths = flatten_members([], [], count=2)
         assert nodes.size == 0
         assert lengths.tolist() == [0, 0]
+
+
+class TestChunkCoinMemo:
+    def test_memoisation_across_calls(self):
+        from repro.rng import make_rng
+        from repro.rrset.pool import ChunkCoinMemo
+
+        gen = make_rng(0)
+        memo = ChunkCoinMemo()
+        keys = np.arange(50, dtype=np.int64)
+        probs = np.full(50, 0.5)
+        first = memo.lookup_or_draw(keys, probs, gen)
+        # Replays must match the first draw, in any order and any subset.
+        replay = memo.lookup_or_draw(keys[::-1].copy(), probs, gen)
+        assert replay[::-1].tolist() == first.tolist()
+        subset = memo.lookup_or_draw(keys[10:20], probs[10:20], gen)
+        assert subset.tolist() == first[10:20].tolist()
+        assert memo.size == 50
+
+    def test_duplicate_keys_within_one_call(self):
+        from repro.rng import make_rng
+        from repro.rrset.pool import ChunkCoinMemo
+
+        gen = make_rng(3)
+        memo = ChunkCoinMemo()
+        keys = np.array([7, 7, 7, 2, 2, 9], dtype=np.int64)
+        out = memo.lookup_or_draw(keys, np.full(6, 0.5), gen)
+        assert out[0] == out[1] == out[2]
+        assert out[3] == out[4]
+        assert memo.size == 3
+
+    def test_record_then_lookup(self):
+        from repro.rng import make_rng
+        from repro.rrset.pool import ChunkCoinMemo
+
+        gen = make_rng(1)
+        memo = ChunkCoinMemo()
+        memo.record(np.array([4, 8], dtype=np.int64), np.array([True, False]))
+        memo.record(np.array([1], dtype=np.int64), np.array([True]))
+        out = memo.lookup_or_draw(
+            np.array([1, 4, 8], dtype=np.int64), np.full(3, 0.5), gen
+        )
+        assert out.tolist() == [True, True, False]
+        # A lookup miss after consolidation lands in the overlay and is
+        # itself memoised.
+        miss = memo.lookup_or_draw(np.array([99], dtype=np.int64), np.array([0.5]), gen)
+        again = memo.lookup_or_draw(np.array([99], dtype=np.int64), np.array([0.5]), gen)
+        assert miss.tolist() == again.tolist()
+        assert memo.size == 4
+
+    def test_probability_extremes(self):
+        from repro.rng import make_rng
+        from repro.rrset.pool import ChunkCoinMemo
+
+        gen = make_rng(2)
+        memo = ChunkCoinMemo()
+        keys = np.arange(20, dtype=np.int64)
+        probs = np.where(keys % 2 == 0, 1.0, 0.0)
+        out = memo.lookup_or_draw(keys, probs, gen)
+        assert out.tolist() == (keys % 2 == 0).tolist()
+
+
+class TestUniqueInverse:
+    def test_roundtrip(self):
+        from repro.rrset.pool import unique_inverse
+
+        keys = np.array([5, 1, 5, 9, 1, 1], dtype=np.int64)
+        unique, inverse = unique_inverse(keys)
+        assert unique.tolist() == [1, 5, 9]
+        assert unique[inverse].tolist() == keys.tolist()
+
+    def test_empty(self):
+        from repro.rrset.pool import unique_inverse
+
+        unique, inverse = unique_inverse(np.empty(0, dtype=np.int64))
+        assert unique.size == 0 and inverse.size == 0
