@@ -5,11 +5,17 @@ power-law graph, without pytest-benchmark so CI can run it with numpy
 alone:
 
 * per-RR-set generation cost, per-root oracle vs ``generate_batch``, for
-  **every fast-path regime**: RR-IC, RR-SIM, RR-SIM+, RR-CIM and RR-LT;
+  **every fast-path regime**: RR-IC, RR-SIM, RR-SIM+, RR-CIM, RR-LT and
+  RR-Block;
 * pooled vs legacy ``greedy_max_coverage``;
 * end-to-end SelfInfMax *and* CompInfMax via ``general_imm`` at equal
   ``eps``, batched engine vs oracle-forced generation, with RR-estimated
-  objectives of both seed sets to confirm quality parity.
+  objectives of both seed sets to confirm quality parity;
+* end-to-end influence blocking through ``BlockingQuery``: the RR-Block
+  route vs the Monte-Carlo CELF greedy on the same candidate pool, with
+  MC-evaluated suppression of both seed sets to confirm quality parity.
+  Its ``speedup_floor`` is gated like the generation rows, so a silent
+  fallback to the MC path turns CI red.
 
 The emitted JSON follows the stable schema documented in
 ``docs/benchmarks.md`` (``schema_version`` 2).  Each generation entry
@@ -31,11 +37,15 @@ import json
 import sys
 import time
 
+from repro.api import BlockingQuery, ComICSession, EngineConfig
+from repro.algorithms.baselines import high_degree_seeds
+from repro.algorithms.blocking import estimate_suppression
 from repro.graph.generators import power_law_digraph
 from repro.models.gaps import GAP
 from repro.models.lt import normalize_lt_weights
 from repro.rrset import (
     IMMOptions,
+    RRBlockGenerator,
     RRCimGenerator,
     RRICGenerator,
     RRLTGenerator,
@@ -52,6 +62,7 @@ SCHEMA_VERSION = 2
 
 GAPS_SIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
 GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=1.0)
+GAPS_BLOCK = GAP(q_a=0.6, q_a_given_b=0.1, q_b=0.7, q_b_given_a=0.7)
 
 #: Regression floors for the batch-vs-oracle generation speedup per
 #: regime.  Deliberately far below the typically measured numbers (CI
@@ -63,7 +74,13 @@ SPEEDUP_FLOORS = {
     "rr_sim_plus": 2.0,
     "rr_cim": 2.0,
     "rr_lt": 4.0,
+    "rr_block": 2.0,
 }
+
+#: Floor for the end-to-end RR-vs-MC blocking speedup: typically >= 5x,
+#: gated at 3x for runner noise.  A miss means the RR route regressed or
+#: the query silently fell back to MC CELF.
+BLOCKING_SPEEDUP_FLOOR = 3.0
 
 
 class _OracleRRSim(RRSimGenerator):
@@ -123,6 +140,59 @@ def bench_imm_end_to_end(fast, oracle, k, opts, eval_samples):
     }
 
 
+def bench_blocking_end_to_end(graph, k, mc_runs, rr_cap, eval_runs):
+    """RR-Block route vs MC CELF on one candidate pool, plus parity.
+
+    Both routes run the same ``BlockingQuery`` shape against sessions on
+    the same graph/GAPs; candidates are the top-degree nodes (blocking
+    from the periphery is hopeless, and it keeps the MC baseline
+    tractable).  Suppression of both seed sets is then MC-evaluated with
+    a common rng for an apples-to-apples quality comparison.
+    """
+    seeds_a = tuple(high_degree_seeds(graph, 10))
+    candidates = tuple(high_degree_seeds(graph, 50, exclude=seeds_a))
+    rr_session = ComICSession(
+        graph, GAPS_BLOCK,
+        config=EngineConfig(engine="imm", max_rr_sets=rr_cap), rng=5,
+    )
+    start = time.perf_counter()
+    rr_result = rr_session.run(
+        BlockingQuery(seeds_a=seeds_a, k=k, method="rr", candidates=candidates)
+    )
+    rr_s = time.perf_counter() - start
+    mc_session = ComICSession(graph, GAPS_BLOCK, rng=6)
+    start = time.perf_counter()
+    mc_result = mc_session.run(
+        BlockingQuery(
+            seeds_a=seeds_a, k=k, method="mc", runs=mc_runs,
+            candidates=candidates,
+        )
+    )
+    mc_s = time.perf_counter() - start
+    sup_rr = estimate_suppression(
+        graph, GAPS_BLOCK, seeds_a, rr_result.seeds, runs=eval_runs, rng=9
+    )
+    sup_mc = estimate_suppression(
+        graph, GAPS_BLOCK, seeds_a, mc_result.seeds, runs=eval_runs, rng=9
+    )
+    return {
+        "k": k,
+        "mc_runs": mc_runs,
+        "candidate_pool": len(candidates),
+        "rr_engine": rr_result.engine,
+        "rr_theta": rr_result.diagnostics["theta"],
+        "rr_s": round(rr_s, 3),
+        "mc_s": round(mc_s, 3),
+        "speedup": round(mc_s / rr_s, 2),
+        "speedup_floor": BLOCKING_SPEEDUP_FLOOR,
+        "rr_estimate": round(rr_result.estimate, 2),
+        "rr_suppression": round(sup_rr.mean, 2),
+        "rr_suppression_stderr": round(sup_rr.stderr, 3),
+        "mc_suppression": round(sup_mc.mean, 2),
+        "mc_suppression_stderr": round(sup_mc.stderr, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, default=10_000)
@@ -161,6 +231,7 @@ def main(argv=None) -> int:
             "repeats": repeats,
             "gaps_sim": list(GAPS_SIM.as_tuple()),
             "gaps_cim": list(GAPS_CIM.as_tuple()),
+            "gaps_block": list(GAPS_BLOCK.as_tuple()),
         },
     }
 
@@ -170,6 +241,7 @@ def main(argv=None) -> int:
         "rr_sim_plus": RRSimPlusGenerator(graph, GAPS_SIM, opposite_seeds),
         "rr_cim": RRCimGenerator(graph, GAPS_CIM, opposite_seeds),
         "rr_lt": RRLTGenerator(normalize_lt_weights(graph)),
+        "rr_block": RRBlockGenerator(graph, GAPS_BLOCK, opposite_seeds),
     }
     report["generation"] = {}
     for name, generator in generators.items():
@@ -212,12 +284,22 @@ def main(argv=None) -> int:
         args.k, opts, eval_samples,
     )
     print("end_to_end[compinfmax_imm]:", report["end_to_end"]["compinfmax_imm"])
+    report["end_to_end"]["blocking"] = bench_blocking_end_to_end(
+        graph,
+        k=5,
+        mc_runs=10 if args.quick else 20,
+        rr_cap=imm_cap,
+        eval_runs=150 if args.quick else 400,
+    )
+    print("end_to_end[blocking]:", report["end_to_end"]["blocking"])
 
     # Regression gate: a sub-floor speedup means the fast path regressed
-    # (or silently fell back to the oracle loop) — fail loudly.
+    # (or silently fell back to the oracle loop / MC CELF) — fail loudly.
+    gated = dict(report["generation"])
+    gated["end_to_end.blocking"] = report["end_to_end"]["blocking"]
     failures = [
         f"{name}: speedup {entry['speedup']}x < floor {entry['speedup_floor']}x"
-        for name, entry in report["generation"].items()
+        for name, entry in gated.items()
         if entry["speedup"] < entry["speedup_floor"]
     ]
     report["gate"] = {"passed": not failures, "failures": failures}

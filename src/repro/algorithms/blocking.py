@@ -11,7 +11,11 @@ there through cross-submodularity of the decrease.  The paper leaves the
 problem out of scope; this module implements the objective and a CELF
 greedy blocker so the appendix discussion is executable (no approximation
 guarantee is claimed — the appendix's Example 5 shows per-world
-submodularity can fail in Q-).
+submodularity can fail in Q-).  Under one-way competition the query
+layer additionally answers :class:`~repro.api.queries.BlockingQuery`
+with pooled RR-Block suppression sets (:mod:`repro.rrset.rr_block`),
+orders of magnitude faster than the MC CELF path; the estimator here
+remains the Monte-Carlo ground truth both routes are checked against.
 
 .. deprecated::
     :func:`greedy_blocking` is a thin shim over the declarative query API

@@ -30,8 +30,14 @@ class EngineConfig:
     ``epsilon`` / ``ell`` are the usual approximation-slack and
     failure-probability knobs; ``max_rr_sets`` / ``min_rr_sets`` bound the
     sample size for tractability; ``theta_override`` pins the TIM sample
-    count outright (benchmarks, scaled experiments).  Monte-Carlo-greedy
-    objectives (blocking, multi-item) ignore the engine fields.
+    count outright (benchmarks, scaled experiments).  Monte-Carlo routes
+    of the blocking / multi-item objectives ignore the engine fields.
+
+    ``max_pool_bytes`` bounds the session's RR-set pool *cache*: after
+    each pooled seed selection, least-recently-used pools are evicted
+    until the total cached bytes fit (``None`` = unbounded, the
+    pre-cap behaviour).  Evictions are counted in
+    :class:`~repro.api.session.SessionStats`.
     """
 
     engine: str = "tim"
@@ -40,6 +46,7 @@ class EngineConfig:
     max_rr_sets: int = 50_000
     min_rr_sets: int = 200
     theta_override: Optional[int] = None
+    max_pool_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -62,6 +69,11 @@ class EngineConfig:
             raise QueryError(
                 "theta_override pins the TIM sample count; IMM sizes its "
                 "sample adaptively — use max_rr_sets to bound it instead"
+            )
+        if self.max_pool_bytes is not None and self.max_pool_bytes < 1:
+            raise QueryError(
+                f"max_pool_bytes must be >= 1 (or None for unbounded), "
+                f"got {self.max_pool_bytes}"
             )
 
     # ------------------------------------------------------------------

@@ -131,6 +131,20 @@ def _check_gaps(gaps: Optional[GAP]) -> None:
         )
 
 
+#: Solution routes of the blocking / multi-item workloads: ``"auto"``
+#: takes the RR-backed path when the GAP regime supports it and falls
+#: back to Monte-Carlo CELF otherwise; ``"rr"`` / ``"mc"`` force a route
+#: (``"rr"`` raises when the regime is unsupported).
+METHODS = ("auto", "rr", "mc")
+
+
+def _check_method(method: str) -> None:
+    if method not in METHODS:
+        raise QueryError(
+            f"method must be one of {METHODS}, got {method!r}"
+        )
+
+
 @dataclass(frozen=True)
 class SelfInfMaxQuery(_QueryBase):
     """Problem 1: pick ``k`` A-seeds maximising ``sigma_A`` given B-seeds.
@@ -184,8 +198,14 @@ class CompInfMaxQuery(_QueryBase):
 class BlockingQuery(_QueryBase):
     """Influence blocking (Q-): ``k`` B-seeds suppressing A's spread.
 
-    ``runs`` is the Monte-Carlo budget per CELF evaluation; ``candidates``
-    optionally restricts the seed pool (``None`` = all nodes).
+    ``method`` picks the route: ``"rr"`` runs pooled RR-Block max-coverage
+    through the session's tim/imm engine (requires one-way competition,
+    ``q_{B|∅} = q_{B|A}``), ``"mc"`` the Monte-Carlo CELF greedy, and
+    ``"auto"`` (default) the RR route whenever the regime allows it.
+    ``runs`` is the Monte-Carlo budget per CELF evaluation (MC route
+    only); ``candidates`` optionally restricts the seed pool (``None`` =
+    all nodes).  Nodes already in ``seeds_a`` are always excluded from
+    the pool — the greedy never wastes budget re-seeding occupied nodes.
     """
 
     objective = "blocking"
@@ -195,12 +215,14 @@ class BlockingQuery(_QueryBase):
     gaps: Optional[GAP] = None
     runs: int = 200
     candidates: Optional[tuple[int, ...]] = None
+    method: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds_a", _seed_tuple("seeds_a", self.seeds_a))
         _check_budget("k", self.k)
         _check_gaps(self.gaps)
         _check_min("runs", self.runs)
+        _check_method(self.method)
         if self.candidates is not None:
             object.__setattr__(
                 self, "candidates", _seed_tuple("candidates", self.candidates)
@@ -219,6 +241,14 @@ class MultiItemQuery(_QueryBase):
     sets otherwise.  The item model comes from the session
     (``multi_item_gaps``, or the pairwise GAPs lifted via
     ``MultiItemGaps.from_pairwise_gap``).
+
+    ``method`` picks the focal-item route: the focal problem reduces to
+    SelfInfMax with the other item's seeds as context, so for two-item
+    models in the RR-SIM regime (focal item one-way complemented, its
+    fixed seed set empty) ``"rr"`` / eligible ``"auto"`` run pooled
+    RR-SIM+ selection through the session's tim/imm engine; ``"mc"`` (and
+    every round-robin query) runs the Monte-Carlo greedy.  Candidate
+    pools always exclude the focal item's already-fixed seeds.
     """
 
     objective = "multi_item"
@@ -228,10 +258,12 @@ class MultiItemQuery(_QueryBase):
     fixed_seed_sets: Optional[tuple[tuple[int, ...], ...]] = None
     runs: int = 100
     candidates: Optional[tuple[int, ...]] = None
+    method: str = "auto"
 
     def __post_init__(self) -> None:
         _check_budget("budget", self.budget)
         _check_min("runs", self.runs)
+        _check_method(self.method)
         if self.item is not None and self.fixed_seed_sets is None:
             raise QueryError("focal-item queries need fixed_seed_sets")
         if self.fixed_seed_sets is not None:

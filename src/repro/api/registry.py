@@ -25,6 +25,7 @@ from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
 from repro.rrset.engines import ENGINES
+from repro.rrset.rr_block import RRBlockGenerator
 from repro.rrset.rr_cim import RRCimGenerator
 from repro.rrset.rr_ic import RRICGenerator
 from repro.rrset.rr_sim import RRSimGenerator
@@ -154,6 +155,7 @@ _GENERATOR_FACTORIES: dict[str, GeneratorFactory] = {
     "rr-sim": RRSimGenerator,
     "rr-sim+": RRSimPlusGenerator,
     "rr-cim": RRCimGenerator,
+    "rr-block": RRBlockGenerator,
 }
 
 
@@ -235,12 +237,17 @@ def _register_builtins() -> None:
             regimes=("rr-cim",),
         )
     )
+    # Blocking and multi-item answer through either route: the RR-backed
+    # path (query ``method="rr"``/eligible ``"auto"``) runs the session's
+    # tim/imm engines over pooled suppression / RR-SIM sets, the MC path
+    # runs the CELF / round-robin greedy directly (engine "mc").
     register(
         ObjectiveSpec(
             name="blocking",
             query_type=BlockingQuery,
             handler=solvers.run_blocking,
-            engines=(MC_ENGINE,),
+            engines=ENGINES,
+            regimes=("rr-block",),
         )
     )
     register(
@@ -248,7 +255,8 @@ def _register_builtins() -> None:
             name="multi_item",
             query_type=MultiItemQuery,
             handler=solvers.run_multi_item,
-            engines=(MC_ENGINE,),
+            engines=ENGINES,
+            regimes=("rr-sim+",),
         )
     )
 

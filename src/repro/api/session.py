@@ -16,6 +16,11 @@ sets than are pooled samples nothing at all; one that needs more appends
 only the difference.  The selection phase then covers every pooled set,
 which only sharpens the RR-set estimate.
 
+The cache is optionally *bounded*: when the resolved config sets
+``max_pool_bytes``, least-recently-used pools are evicted after each
+selection until the cached bytes fit (the access order doubles as the
+LRU order; ``SessionStats`` counts evictions and bytes released).
+
 Example::
 
     session = ComICSession(graph, gaps, config=EngineConfig(engine="imm"))
@@ -62,6 +67,10 @@ class SessionStats:
     pool_hits: int = 0
     #: seed selections that had to create a new pool entry.
     pool_misses: int = 0
+    #: cached pools dropped by the ``max_pool_bytes`` LRU policy.
+    pool_evictions: int = 0
+    #: RR-set bytes released by those evictions (resampling cost ceiling).
+    pool_bytes_evicted: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for reports."""
@@ -75,6 +84,8 @@ class _PoolEntry:
     generator: RRSetGenerator
     pool: RRSetPool
     selections: int = 0
+    #: logical access clock value of the most recent use (LRU order).
+    last_used: int = 0
 
 
 @dataclass
@@ -88,6 +99,9 @@ class PoolInfo:
     nbytes: int
     selections: int
     batch_kernel: str = "vectorized"
+    #: logical access clock of the last selection served from this pool;
+    #: lower values are evicted first under ``max_pool_bytes``.
+    last_used: int = 0
 
 
 class ComICSession:
@@ -133,7 +147,10 @@ class ComICSession:
         self._multi_item_gaps = multi_item_gaps
         self._config = config if config is not None else EngineConfig()
         self._rng = make_rng(rng)
+        # Insertion order is maintained as LRU order: every access
+        # re-inserts the entry at the end, eviction pops from the front.
         self._pools: dict[PoolKey, _PoolEntry] = {}
+        self._access_clock = 0
         self.stats = SessionStats()
 
     # ------------------------------------------------------------------
@@ -213,9 +230,25 @@ class ComICSession:
         result.diagnostics.setdefault("pool_bytes_total", self.pool_bytes_total)
         return result
 
-    def run_many(self, queries: Iterable[Any]) -> list[InfluenceResult]:
-        """Answer a batch of queries in order (sweep helper)."""
-        return [self.run(query) for query in queries]
+    def run_many(
+        self,
+        queries: Iterable[Any],
+        *,
+        config: Optional[EngineConfig] = None,
+        rng: SeedLike = None,
+    ) -> list[InfluenceResult]:
+        """Answer a batch of queries in order (sweep helper).
+
+        ``config`` and ``rng`` are threaded through to every
+        :meth:`run` call exactly as if passed per query — earlier
+        versions silently dropped them, so sweeps got the session
+        defaults with no error.  A non-``None`` ``rng`` seeds *one*
+        stream that the whole batch consumes in order (so the sweep is
+        reproducible as a unit); pass ``rng`` to individual :meth:`run`
+        calls instead if each query must be independently pinned.
+        """
+        gen = None if rng is None else make_rng(rng)
+        return [self.run(query, config=config, rng=gen) for query in queries]
 
     # ------------------------------------------------------------------
     # Pooled seed selection (handlers call this)
@@ -228,6 +261,8 @@ class ComICSession:
         k: int,
         config: Optional[EngineConfig] = None,
         rng: SeedLike = None,
+        *,
+        candidates: Optional[Sequence[int]] = None,
     ) -> SelectionResult:
         """Run TIM/IMM seed selection against the cached pool for
         ``(regime, gaps, opposite_seeds)``, topping the pool up as needed.
@@ -235,7 +270,11 @@ class ComICSession:
         This is the reuse point: handlers (and power users driving the
         RR-set machinery directly) come through here so that every
         selection over the same regime/GAP/opposite-context shares one
-        growing pool.
+        growing pool.  ``candidates`` restricts the pickable seed nodes
+        (selection only — sampling stays unrestricted, so the cached pool
+        is shared across candidate sets).  When the resolved config caps
+        ``max_pool_bytes``, least-recently-used pools are evicted after
+        the selection until the cache fits.
         """
         if not isinstance(gaps, GAP):
             raise QueryError(
@@ -257,25 +296,45 @@ class ComICSession:
             imm_options=cfg.imm_options() if cfg.engine == "imm" else None,
             rng=gen,
             pool=entry.pool,
+            candidates=candidates,
         )
         entry.selections += 1
         self.stats.rr_sets_sampled += len(entry.pool) - before
+        self._evict_pools(cfg.max_pool_bytes)
         return result
 
     def _pool_entry(
         self, regime: str, gaps: GAP, opposite_seeds: Sequence[int]
     ) -> _PoolEntry:
         key = self._pool_key(regime, gaps, opposite_seeds)
-        entry = self._pools.get(key)
+        entry = self._pools.pop(key, None)
         if entry is None:
             factory = registry.generator_factory(regime)
             generator = factory(self._graph, gaps, key[2])
             entry = _PoolEntry(generator, RRSetPool(self._graph.num_nodes))
-            self._pools[key] = entry
             self.stats.pool_misses += 1
         else:
             self.stats.pool_hits += 1
+        # Re-insert at the back: dict order is the LRU order.
+        self._access_clock += 1
+        entry.last_used = self._access_clock
+        self._pools[key] = entry
         return entry
+
+    def _evict_pools(self, max_pool_bytes: Optional[int]) -> None:
+        """Drop least-recently-used pools until the cache fits the cap.
+
+        The most recent entry is evicted last — only when it alone
+        exceeds the cap (it is no longer in use by then; the next query
+        on its key resamples).
+        """
+        if max_pool_bytes is None:
+            return
+        while self._pools and self.pool_bytes_total > max_pool_bytes:
+            key = next(iter(self._pools))
+            entry = self._pools.pop(key)
+            self.stats.pool_evictions += 1
+            self.stats.pool_bytes_evicted += entry.pool.nbytes
 
     @staticmethod
     def _pool_key(
@@ -314,6 +373,7 @@ class ComICSession:
                     nbytes=entry.pool.nbytes,
                     selections=entry.selections,
                     batch_kernel="vectorized" if batched else "oracle-fallback",
+                    last_used=entry.last_used,
                 )
             )
         return infos

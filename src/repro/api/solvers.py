@@ -1,14 +1,25 @@
 """Workload handlers: the solver cores behind the declarative queries.
 
 Each ``run_*`` function implements one registered objective against a
-:class:`~repro.api.session.ComICSession`.  The RR-set-backed workloads
-(SelfInfMax, CompInfMax) route every seed selection through
-:meth:`ComICSession.select_seeds`, which is what buys cross-query pool
-reuse; the Monte-Carlo workloads (blocking, multi-item) run their CELF /
-round-robin greedy directly.  The legacy public functions in
-:mod:`repro.algorithms` are deprecation shims that build a throwaway
-session and call these handlers via the registry, so old and new entry
-points share one implementation.
+:class:`~repro.api.session.ComICSession`.  All four workloads now have an
+RR-set-backed route through :meth:`ComICSession.select_seeds` (which is
+what buys cross-query pool reuse): SelfInfMax and CompInfMax always take
+it, while blocking and the focal multi-item path take it when their
+query's ``method`` and GAP regime allow (``"rr-block"`` suppression sets,
+or the focal problem's reduction to SelfInfMax with the other item's
+seeds as context) and otherwise run the Monte-Carlo CELF / round-robin
+greedy directly.  The legacy public functions in :mod:`repro.algorithms`
+are deprecation shims that build a throwaway session and call these
+handlers via the registry, so old and new entry points share one
+implementation.
+
+Every handler fills one *diagnostics envelope* so downstream reporting
+can consume results of different workloads uniformly: ``regime`` (the RR
+regime sampled, or ``"mc"``), ``theta`` (RR sample count; ``None`` on MC
+routes), ``mc_runs`` (per-evaluation MC budget; ``None`` on RR routes)
+and ``candidate_pool`` (size of the restricted seed pool; ``None`` when
+unrestricted).  The session adds ``wall_s`` / ``rr_sets_sampled`` / pool
+totals on top.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from repro.api.queries import (
 from repro.api.registry import MC_ENGINE
 from repro.api.results import InfluenceResult
 from repro.errors import RegimeError, SeedSetError
+from repro.models.gaps import GAP
 from repro.models.multi_item import estimate_multi_item_spread
 from repro.models.spread import estimate_boost, estimate_spread
 from repro.rng import derive_seed
@@ -55,7 +67,9 @@ def run_selfinfmax(
     graph = session.graph
     seeds_b = [int(s) for s in query.seeds_b]
     regime = "rr-sim+" if query.use_rr_sim_plus else "rr-sim"
-    diagnostics: dict = {"regime": regime}
+    diagnostics: dict = {
+        "regime": regime, "mc_runs": None, "candidate_pool": None,
+    }
 
     if gaps.b_indifferent_to_a:
         sel = session.select_seeds(regime, gaps, seeds_b, query.k, config, rng)
@@ -125,7 +139,9 @@ def run_compinfmax(
         )
     graph = session.graph
     seeds_a = [int(s) for s in query.seeds_a]
-    diagnostics: dict = {"regime": "rr-cim"}
+    diagnostics: dict = {
+        "regime": "rr-cim", "mc_runs": None, "candidate_pool": None,
+    }
 
     if gaps.q_b_given_a == 1.0:
         sel = session.select_seeds("rr-cim", gaps, seeds_a, query.k, config, rng)
@@ -185,7 +201,15 @@ def run_blocking(
     config: EngineConfig,
     rng: np.random.Generator,
 ) -> InfluenceResult:
-    """Influence blocking (Q-): CELF greedy on the suppression objective."""
+    """Influence blocking (Q-): pooled RR-Block max-coverage or MC CELF.
+
+    The RR route (``method="rr"``, or ``"auto"`` when the GAPs show
+    one-way competition) selects by greedy max-coverage over pooled
+    suppression sets through the session's tim/imm engine — a heuristic
+    for the greedy blocker (Appendix B.4 / Example 5), orders of
+    magnitude faster than per-evaluation MC.  Candidate pools always
+    exclude ``seeds_a``.
+    """
     gaps = session.resolve_gaps(query.gaps)
     if not gaps.is_mutually_competitive:
         raise RegimeError(
@@ -193,12 +217,50 @@ def run_blocking(
         )
     graph = session.graph
     seeds_a = [int(s) for s in query.seeds_a]
+    pool = _unoccupied_pool(graph.num_nodes, query.candidates, seeds_a)
+    if query.k > len(pool):
+        raise SeedSetError(
+            f"cannot select {query.k} blockers from {len(pool)} candidates "
+            "(A-seeds are excluded from the pool)"
+        )
+    rr_capable = gaps.b_indifferent_to_a
+    if query.method == "rr" and not rr_capable:
+        raise RegimeError(
+            "blocking method='rr' requires one-way competition "
+            f"(q_{{B|0}} = q_{{B|A}}); got {gaps} — use method='mc'"
+        )
+    if query.method == "rr" or (query.method == "auto" and rr_capable):
+        sel = session.select_seeds(
+            "rr-block", gaps, seeds_a, query.k, config, rng, candidates=pool
+        )
+        return InfluenceResult(
+            objective=query.objective,
+            seeds=sel.seeds,
+            method="rr-greedy",
+            engine=config.engine,
+            estimate=sel.estimated_objective,
+            diagnostics={
+                "regime": "rr-block",
+                "theta": sel.theta,
+                "mc_runs": None,
+                "candidate_pool": len(pool),
+            },
+            query=query,
+            raw=sel,
+        )
+
+    diagnostics: dict = {
+        "regime": MC_ENGINE,
+        "theta": None,
+        "mc_runs": query.runs,
+        "candidate_pool": len(pool),
+    }
+    if query.method == "auto" and not rr_capable:
+        diagnostics["fallback"] = (
+            "GAPs are not B-indifferent (q_B|0 != q_B|A): RR-Block sampling "
+            "unavailable, using Monte-Carlo CELF"
+        )
     mc_seed = int(rng.integers(0, 2**31 - 1))
-    pool = (
-        list(query.candidates)
-        if query.candidates is not None
-        else list(range(graph.num_nodes))
-    )
 
     def objective(seed_list: Sequence[int]) -> float:
         if not seed_list:
@@ -215,9 +277,41 @@ def run_blocking(
         method="celf-greedy",
         engine=MC_ENGINE,
         estimate=trace[-1] if trace else 0.0,
-        diagnostics={"mc_runs": query.runs, "candidate_pool": len(pool)},
+        diagnostics=diagnostics,
         query=query,
         raw=(seeds, trace),
+    )
+
+
+def _unoccupied_pool(
+    num_nodes: int,
+    candidates: Optional[Sequence[int]],
+    occupied_seeds: Sequence[int],
+) -> list[int]:
+    """Candidate node pool with already-occupied seeds excluded.
+
+    The all-nodes default stays vectorised (``setdiff1d`` over ``arange``)
+    so the hot RR route never pays an O(n) Python loop per query.
+    """
+    occupied_arr = np.asarray(list(occupied_seeds), dtype=np.int64)
+    if candidates is None:
+        pool = np.setdiff1d(
+            np.arange(num_nodes, dtype=np.int64), occupied_arr,
+            assume_unique=False,
+        )
+        return pool.tolist()
+    occupied = set(int(s) for s in occupied_seeds)
+    return [int(v) for v in candidates if int(v) not in occupied]
+
+
+def _focal_pairwise_gap(gaps, item: int) -> GAP:
+    """Project a two-item model onto a pairwise GAP with ``item`` as A."""
+    other = 1 - item
+    return GAP(
+        q_a=gaps.q(item, frozenset()),
+        q_a_given_b=gaps.q(item, frozenset({other})),
+        q_b=gaps.q(other, frozenset()),
+        q_b_given_a=gaps.q(other, frozenset({item})),
     )
 
 
@@ -227,10 +321,17 @@ def run_multi_item(
     config: EngineConfig,
     rng: np.random.Generator,
 ) -> InfluenceResult:
-    """k-item extension: focal-item CELF greedy or round-robin allocation."""
+    """k-item extension: focal-item greedy or round-robin allocation.
+
+    The focal-item problem reduces to SelfInfMax with the other item's
+    seeds as context, so two-item models in the RR-SIM regime (and an
+    empty focal seed set) answer it by pooled RR-SIM+ selection
+    (``method="rr"``/eligible ``"auto"``); other shapes run the
+    Monte-Carlo CELF greedy.  Round-robin allocation is always MC.
+    Candidate pools exclude the focal item's already-fixed seeds.
+    """
     gaps = session.resolve_multi_item_gaps()
     graph = session.graph
-    eval_seed = int(rng.integers(0, 2**31 - 1))
 
     if query.item is not None:
         item = int(query.item)
@@ -244,11 +345,44 @@ def run_multi_item(
                 f"expected {gaps.num_items} seed sets, got {len(fixed)}"
             )
         base_sets = [list(s) for s in fixed]
-        pool = (
-            list(query.candidates)
-            if query.candidates is not None
-            else [v for v in range(graph.num_nodes) if v not in set(base_sets[item])]
+        pool = _unoccupied_pool(
+            graph.num_nodes, query.candidates, base_sets[item]
         )
+        pair: Optional[GAP] = None
+        if gaps.num_items == 2 and not base_sets[item]:
+            pair = _focal_pairwise_gap(gaps, item)
+        rr_capable = pair is not None and pair.is_one_way_complementarity_for_a
+        if query.method == "rr" and not rr_capable:
+            raise RegimeError(
+                "focal multi-item method='rr' needs a two-item model in the "
+                "RR-SIM regime (focal item one-way complemented, other item "
+                "indifferent) and an empty focal seed set — use method='mc'"
+            )
+        if query.method == "rr" or (query.method == "auto" and rr_capable):
+            seeds_ctx = base_sets[1 - item]
+            sel = session.select_seeds(
+                "rr-sim+", pair, seeds_ctx, query.budget, config, rng,
+                candidates=pool,
+            )
+            return InfluenceResult(
+                objective=query.objective,
+                seeds=sel.seeds,
+                method="rr-greedy",
+                engine=config.engine,
+                estimate=sel.estimated_objective,
+                diagnostics={
+                    "regime": "rr-sim+",
+                    "theta": sel.theta,
+                    "mc_runs": None,
+                    "candidate_pool": len(pool),
+                    "item": item,
+                    "num_items": gaps.num_items,
+                },
+                query=query,
+                raw=sel,
+            )
+
+        eval_seed = int(rng.integers(0, 2**31 - 1))
 
         def objective(extra: Sequence[int]) -> float:
             trial = [list(s) for s in base_sets]
@@ -263,11 +397,14 @@ def run_multi_item(
         return InfluenceResult(
             objective=query.objective,
             seeds=seeds,
-            method="focal-celf-greedy",
+            method="celf-greedy",
             engine=MC_ENGINE,
             estimate=trace[-1] if trace else None,
             diagnostics={
+                "regime": MC_ENGINE,
+                "theta": None,
                 "mc_runs": query.runs,
+                "candidate_pool": len(pool),
                 "item": item,
                 "num_items": gaps.num_items,
             },
@@ -276,7 +413,15 @@ def run_multi_item(
         )
 
     # Round-robin allocation across all items (host's view), optionally
-    # extending an existing per-item allocation.
+    # extending an existing per-item allocation.  There is no RR-set
+    # formulation of the joint allocation, so a forced RR route must
+    # fail loudly rather than silently running Monte-Carlo.
+    if query.method == "rr":
+        raise RegimeError(
+            "round-robin multi-item allocation has no RR route; "
+            "method='rr' needs a focal item — use method='mc' or 'auto'"
+        )
+    eval_seed = int(rng.integers(0, 2**31 - 1))
     num_items = gaps.num_items
     if query.fixed_seed_sets is not None:
         if len(query.fixed_seed_sets) != num_items:
@@ -334,9 +479,11 @@ def run_multi_item(
         engine=MC_ENGINE,
         estimate=estimate,
         diagnostics={
+            "regime": MC_ENGINE,
+            "theta": None,
             "mc_runs": query.runs,
-            "num_items": num_items,
             "candidate_pool": len(pool),
+            "num_items": num_items,
         },
         query=query,
         raw=seed_sets,

@@ -17,6 +17,7 @@ from repro.rrset.rr_lt import RRLTGenerator, vanilla_lt_seeds
 from repro.rrset.rr_sim import RRSimGenerator
 from repro.rrset.rr_sim_plus import RRSimPlusGenerator
 from repro.rrset.rr_sim_product import RRSimProductGenerator
+from repro.rrset.rr_block import RRBlockGenerator
 from repro.rrset.rr_cim import RRCimGenerator
 from repro.rrset.tim import (
     TIMOptions,
@@ -38,6 +39,7 @@ __all__ = [
     "RRSimGenerator",
     "RRSimPlusGenerator",
     "RRSimProductGenerator",
+    "RRBlockGenerator",
     "RRCimGenerator",
     "TIMOptions",
     "TIMResult",

@@ -28,8 +28,9 @@ Two sampling paths
   batch instead of per-edge memoised Python calls.  Every paper regime
   now has a fast kernel — RR-IC (:mod:`repro.rrset.rr_ic`), RR-SIM
   (:mod:`repro.rrset.rr_sim`), RR-SIM+ (:mod:`repro.rrset.rr_sim_plus`),
-  RR-CIM with its four-label forward pass (:mod:`repro.rrset.rr_cim`) and
-  classic-LT (:mod:`repro.rrset.rr_lt`) — so TIM / IMM sampling always
+  RR-CIM with its four-label forward pass (:mod:`repro.rrset.rr_cim`),
+  classic-LT (:mod:`repro.rrset.rr_lt`) and the blocking suppression-set
+  regime (:mod:`repro.rrset.rr_block`) — so TIM / IMM sampling always
   runs batched; only the exotic product-dependent regime
   (:mod:`repro.rrset.rr_sim_product`) still falls back to this oracle
   loop.  CI's ``BENCH_rrset.json`` regression gate fails if any fast-path

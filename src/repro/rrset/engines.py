@@ -41,6 +41,7 @@ def run_seed_selection(
     imm_options: Optional[IMMOptions] = None,
     rng: SeedLike = None,
     pool: Optional[RRSetPool] = None,
+    candidates=None,
 ) -> SelectionResult:
     """Select ``k`` seeds with the requested engine.
 
@@ -48,13 +49,20 @@ def run_seed_selection(
     ``imm_options`` win, otherwise IMM inherits epsilon/ell/caps from
     ``options``.  ``pool`` threads a caller-owned RR-set pool through to
     the engine for cross-run reuse (see
-    :class:`~repro.api.session.ComICSession`).
+    :class:`~repro.api.session.ComICSession`); ``candidates`` restricts
+    the pickable seed nodes without restricting sampling.
     """
     if options is None:
         options = TIMOptions()
     if engine == "tim":
-        return general_tim(generator, k, options=options, rng=rng, pool=pool)
+        return general_tim(
+            generator, k, options=options, rng=rng, pool=pool,
+            candidates=candidates,
+        )
     if engine == "imm":
         resolved = imm_options if imm_options is not None else imm_options_from_tim(options)
-        return general_imm(generator, k, options=resolved, rng=rng, pool=pool)
+        return general_imm(
+            generator, k, options=resolved, rng=rng, pool=pool,
+            candidates=candidates,
+        )
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

@@ -117,6 +117,7 @@ def general_imm(
     options: Optional[IMMOptions] = None,
     rng: SeedLike = None,
     pool: Optional[RRSetPool] = None,
+    candidates=None,
 ) -> IMMResult:
     """Run IMM on ``generator`` and return the selected seed set.
 
@@ -128,7 +129,10 @@ def general_imm(
     across its own rounds), so a later run on the same pool samples only
     the sets it is missing.  ``IMMResult.theta`` reports the number of
     sets used for selection — cached sets included, capped at this run's
-    ``max_rr_sets``.
+    ``max_rr_sets``.  ``candidates`` restricts the pickable seed nodes
+    (applied to every greedy pass; the certified lower bound is then a
+    bound on the candidate-restricted optimum, which only increases the
+    sample size — conservative).
     """
     if options is None:
         options = IMMOptions()
@@ -184,7 +188,9 @@ def general_imm(
         top_up(theta_i)
         sel = selection_view()
         if len(sel) != greedy_at:
-            seeds, covered, gains = greedy_max_coverage(sel, n, k)
+            seeds, covered, gains = greedy_max_coverage(
+                sel, n, k, candidates=candidates
+            )
             greedy_at = len(sel)
             estimate = n * covered / greedy_at
         if estimate >= (1.0 + epsilon_prime) * x_i:
@@ -210,7 +216,9 @@ def general_imm(
     # run's max_rr_sets when reusing a larger caller-owned pool.
     sel = selection_view()
     if len(sel) != greedy_at:
-        seeds, covered, gains = greedy_max_coverage(sel, n, k)
+        seeds, covered, gains = greedy_max_coverage(
+            sel, n, k, candidates=candidates
+        )
     total = len(sel)
     return IMMResult(
         seeds=seeds,

@@ -162,8 +162,18 @@ def compute_theta(
     return max(int(math.ceil(lam / max(kpt, 1.0))), 1)
 
 
+def _candidate_array(candidates, n: int) -> np.ndarray:
+    """Validate a candidate node pool into a sorted unique id array."""
+    cand = np.unique(np.asarray(list(candidates), dtype=np.int64))
+    if cand.size and (cand[0] < 0 or cand[-1] >= n):
+        raise SeedSetError(
+            f"candidate node ids must lie in [0, {n - 1}]"
+        )
+    return cand
+
+
 def greedy_max_coverage(
-    rr_sets: RRSets, n: int, k: int
+    rr_sets: RRSets, n: int, k: int, *, candidates=None
 ) -> tuple[list[int], int, list[int]]:
     """Greedy maximum coverage: pick ``k`` nodes covering most RR-sets.
 
@@ -177,6 +187,11 @@ def greedy_max_coverage(
     selection is O(total RR-set size + k) after the O(size log size) index
     build.  Tie-breaking (lowest node id among maxima) matches
     :func:`greedy_max_coverage_legacy` exactly.
+
+    ``candidates`` restricts the pickable nodes (the blocking / focal
+    multi-item workloads exclude occupied seeds this way); sets are still
+    counted in full, only the argmax is confined.  At most
+    ``min(k, len(candidates))`` seeds are returned.
     """
     if k < 0:
         raise SeedSetError(f"k must be non-negative, got {k}")
@@ -190,6 +205,13 @@ def greedy_max_coverage(
     num_sets = len(pool)
     incidence = np.bincount(nodes, minlength=n)[:n]
     counts = incidence.astype(np.int64)
+    picks = min(k, n)
+    if candidates is not None:
+        cand = _candidate_array(candidates, n)
+        allowed = np.zeros(n, dtype=bool)
+        allowed[cand] = True
+        counts[~allowed] = -1
+        picks = min(k, int(cand.size))
     # Inverted index: entries of the flat pool grouped by node.
     order = np.argsort(nodes, kind="stable")
     sets_by_node = pool.set_ids()[order]
@@ -199,7 +221,7 @@ def greedy_max_coverage(
     seeds: list[int] = []
     gains: list[int] = []
     total = 0
-    for _ in range(min(k, n)):
+    for _ in range(picks):
         best = int(np.argmax(counts))
         gain = int(counts[best])
         seeds.append(best)
@@ -221,12 +243,13 @@ def greedy_max_coverage(
 
 
 def greedy_max_coverage_legacy(
-    rr_sets: Sequence[np.ndarray], n: int, k: int
+    rr_sets: Sequence[np.ndarray], n: int, k: int, *, candidates=None
 ) -> tuple[list[int], int, list[int]]:
     """The original per-list greedy (inner Python loops).
 
     Kept as the correctness oracle for :func:`greedy_max_coverage`; both
-    produce identical seeds, coverage and gains on the same input.
+    produce identical seeds, coverage and gains on the same input
+    (``candidates`` restriction included).
     """
     if k < 0:
         raise SeedSetError(f"k must be non-negative, got {k}")
@@ -237,11 +260,18 @@ def greedy_max_coverage_legacy(
             node = int(node)
             counts[node] += 1
             index.setdefault(node, []).append(set_id)
+    picks = min(k, n)
+    if candidates is not None:
+        cand = _candidate_array(candidates, n)
+        allowed = np.zeros(n, dtype=bool)
+        allowed[cand] = True
+        counts[~allowed] = -1
+        picks = min(k, int(cand.size))
     covered = np.zeros(len(rr_sets), dtype=bool)
     seeds: list[int] = []
     gains: list[int] = []
     total = 0
-    for _ in range(min(k, n)):
+    for _ in range(picks):
         best = int(np.argmax(counts))
         gain = int(counts[best])
         seeds.append(best)
@@ -267,6 +297,7 @@ def general_tim(
     options: Optional[TIMOptions] = None,
     rng: SeedLike = None,
     pool: Optional[RRSetPool] = None,
+    candidates=None,
 ) -> TIMResult:
     """Run GeneralTIM (Algorithm 1) and return the selected seed set.
 
@@ -276,7 +307,9 @@ def general_tim(
     resampling from scratch.  Selection then covers *every* pooled set
     (``>= theta``), which only sharpens the estimate; ``TIMResult.theta``
     reports the number of sets actually used.  Without ``pool`` the
-    original single-shot behaviour is unchanged.
+    original single-shot behaviour is unchanged.  ``candidates`` restricts
+    the pickable seed nodes (see :func:`greedy_max_coverage`); sampling is
+    unrestricted, so pools stay shareable across candidate sets.
     """
     if options is None:
         options = TIMOptions()
@@ -313,7 +346,9 @@ def general_tim(
         # this query's cap is consumed only up to the cap.
         selection = pool.prefix(options.max_rr_sets)
     used = len(selection)
-    seeds, covered, gains = greedy_max_coverage(selection, n, k)
+    seeds, covered, gains = greedy_max_coverage(
+        selection, n, k, candidates=candidates
+    )
     return TIMResult(
         seeds=seeds,
         theta=used,

@@ -67,4 +67,6 @@ def test_builtin_objectives_registered():
         "multi_item",
         "selfinfmax",
     )
-    assert repro.api.known_regimes() == ("rr-cim", "rr-ic", "rr-sim", "rr-sim+")
+    assert repro.api.known_regimes() == (
+        "rr-block", "rr-cim", "rr-ic", "rr-sim", "rr-sim+"
+    )

@@ -17,6 +17,8 @@ from repro.models import GAP, estimate_spread
 INDIFFERENT = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
 COMPLEMENTARY = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.4, q_b_given_a=0.9)
 COMPETITIVE = GAP(q_a=0.8, q_a_given_b=0.1, q_b=0.8, q_b_given_a=0.1)
+#: One-way competition: the RR-Block regime (B indifferent to A).
+ONE_WAY_COMPETITIVE = GAP(q_a=0.7, q_a_given_b=0.1, q_b=0.8, q_b_given_a=0.8)
 
 
 @pytest.fixture(scope="module")
@@ -269,6 +271,348 @@ class TestWorkloads:
             MultiItemQuery(budget=1, runs=10, candidates=(0, 1, 2))
         )
         assert result.seed_sets is not None
+
+
+class TestBlockingRR:
+    """The RR-Block route of BlockingQuery (and its MC fallbacks)."""
+
+    def test_auto_takes_rr_route_in_regime(self, graph):
+        session = ComICSession(
+            graph, ONE_WAY_COMPETITIVE,
+            config=EngineConfig(theta_override=2000), rng=20,
+        )
+        result = session.run(BlockingQuery(seeds_a=(0, 1), k=3))
+        assert result.method == "rr-greedy"
+        assert result.engine == "tim"
+        assert result.diagnostics["regime"] == "rr-block"
+        assert result.diagnostics["theta"] == 2000
+        assert result.diagnostics["mc_runs"] is None
+        assert len(result.seeds) == 3
+        assert set(result.seeds).isdisjoint({0, 1})
+        # k-sweep reuse: a smaller k answers entirely from the pool.
+        again = session.run(BlockingQuery(seeds_a=(0, 1), k=2))
+        assert again.diagnostics["rr_sets_sampled"] == 0
+        assert session.stats.pool_hits == 1
+
+    def test_auto_falls_back_to_mc_outside_regime(self, graph):
+        session = ComICSession(graph, COMPETITIVE, rng=21)
+        result = session.run(
+            BlockingQuery(
+                seeds_a=(0,), k=1, runs=10, candidates=tuple(range(6))
+            )
+        )
+        assert result.method == "celf-greedy"
+        assert result.engine == "mc"
+        assert "fallback" in result.diagnostics
+        assert result.diagnostics["theta"] is None
+
+    def test_explicit_rr_outside_regime_raises(self, graph):
+        from repro.errors import RegimeError
+
+        session = ComICSession(graph, COMPETITIVE, rng=22)
+        with pytest.raises(RegimeError, match="one-way competition"):
+            session.run(BlockingQuery(seeds_a=(0,), k=1, method="rr"))
+
+    def test_explicit_mc_forces_celf(self, graph):
+        session = ComICSession(graph, ONE_WAY_COMPETITIVE, rng=23)
+        result = session.run(
+            BlockingQuery(
+                seeds_a=(0,), k=1, runs=10, method="mc",
+                candidates=tuple(range(6)),
+            )
+        )
+        assert result.method == "celf-greedy"
+        assert result.engine == "mc"
+        assert "fallback" not in result.diagnostics
+
+    def test_rr_suppression_matches_mc_within_noise(self, graph):
+        """The heuristic RR estimate must track the MC suppression."""
+        from repro.algorithms.blocking import estimate_suppression
+
+        seeds_a = (0, 1, 2)
+        session = ComICSession(
+            graph, ONE_WAY_COMPETITIVE,
+            config=EngineConfig(engine="imm", max_rr_sets=6000), rng=24,
+        )
+        result = session.run(BlockingQuery(seeds_a=seeds_a, k=3))
+        mc = estimate_suppression(
+            graph, ONE_WAY_COMPETITIVE, list(seeds_a), result.seeds,
+            runs=900, rng=25,
+        )
+        # Interception-at-the-root undercounts (cut blockades) and
+        # B-wins-ties overcounts: allow MC noise plus heuristic slack.
+        slack = 0.35 * max(mc.mean, 1.0) + 4.0 * mc.stderr
+        assert abs(result.estimate - mc.mean) <= slack
+        assert mc.mean > 0.0  # the chosen blockers genuinely suppress
+
+    def test_candidates_exclude_a_seeds(self, graph):
+        # Regression: the default pool used to include seeds_a, wasting
+        # greedy budget on occupied nodes; explicit pools are filtered too.
+        session = ComICSession(graph, ONE_WAY_COMPETITIVE, rng=26)
+        result = session.run(
+            BlockingQuery(
+                seeds_a=(0, 1), k=2, runs=10, method="mc",
+                candidates=(0, 1, 2, 3, 4),
+            )
+        )
+        assert set(result.seeds).isdisjoint({0, 1})
+        assert result.diagnostics["candidate_pool"] == 3
+        rr = session.run(
+            BlockingQuery(seeds_a=(0, 1), k=2, candidates=(0, 1, 2, 3, 4)),
+            config=EngineConfig(theta_override=500),
+        )
+        assert set(rr.seeds).isdisjoint({0, 1})
+        assert rr.diagnostics["candidate_pool"] == 3
+
+    def test_default_pool_excludes_a_seeds(self, graph):
+        session = ComICSession(graph, ONE_WAY_COMPETITIVE, rng=27)
+        result = session.run(
+            BlockingQuery(seeds_a=(0, 1), k=1),
+            config=EngineConfig(theta_override=500),
+        )
+        assert result.diagnostics["candidate_pool"] == graph.num_nodes - 2
+
+    def test_k_larger_than_pool_raises(self, graph):
+        from repro.errors import SeedSetError
+
+        session = ComICSession(graph, ONE_WAY_COMPETITIVE, rng=28)
+        with pytest.raises(SeedSetError, match="cannot select"):
+            session.run(
+                BlockingQuery(seeds_a=(0, 1), k=2, candidates=(0, 1, 2))
+            )
+
+
+class TestMultiItemRR:
+    """The focal-item RR route (SelfInfMax reduction) of MultiItemQuery."""
+
+    def test_focal_rr_route_and_pool_sharing(self, graph):
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph,
+            INDIFFERENT,
+            multi_item_gaps=MultiItemGaps.from_pairwise_gap(INDIFFERENT),
+            config=EngineConfig(theta_override=800),
+            rng=30,
+        )
+        focal = session.run(
+            MultiItemQuery(budget=2, item=0, fixed_seed_sets=((), (4, 5)))
+        )
+        assert focal.method == "rr-greedy"
+        assert focal.engine == "tim"
+        assert focal.diagnostics["regime"] == "rr-sim+"
+        assert len(focal.seeds) == 2
+        # The reduction shares the rr-sim+ pool with plain SelfInfMax
+        # over the same context seeds.
+        self_result = session.run(SelfInfMaxQuery(seeds_b=(4, 5), k=2))
+        assert self_result.diagnostics["rr_sets_sampled"] == 0
+        assert self_result.seeds == focal.seeds
+
+    def test_focal_rr_requires_regime(self, graph):
+        from repro.errors import RegimeError
+        from repro.models import MultiItemGaps
+
+        # Competitive two-item model: focal reduction is not in RR-SIM.
+        session = ComICSession(
+            graph,
+            multi_item_gaps=MultiItemGaps.from_pairwise_gap(COMPETITIVE),
+            rng=31,
+        )
+        with pytest.raises(RegimeError, match="RR-SIM regime"):
+            session.run(
+                MultiItemQuery(
+                    budget=1, item=0, fixed_seed_sets=((), (3,)), method="rr"
+                )
+            )
+        # auto falls back to MC silently-but-visibly.
+        result = session.run(
+            MultiItemQuery(
+                budget=1, item=0, fixed_seed_sets=((), (3,)),
+                runs=10, candidates=(0, 1, 2),
+            )
+        )
+        assert result.method == "celf-greedy"
+        assert result.engine == "mc"
+
+    def test_focal_rr_requires_empty_focal_base(self, graph):
+        from repro.errors import RegimeError
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph,
+            multi_item_gaps=MultiItemGaps.from_pairwise_gap(INDIFFERENT),
+            rng=32,
+        )
+        with pytest.raises(RegimeError, match="empty focal seed set"):
+            session.run(
+                MultiItemQuery(
+                    budget=1, item=0, fixed_seed_sets=((7,), ()), method="rr"
+                )
+            )
+
+    def test_round_robin_rejects_forced_rr(self, graph):
+        # Regression: method="rr" on a round-robin query must fail loudly
+        # instead of silently running the MC allocation.
+        from repro.errors import RegimeError
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph, multi_item_gaps=MultiItemGaps.uniform(2, 0.5), rng=34
+        )
+        with pytest.raises(RegimeError, match="no RR route"):
+            session.run(MultiItemQuery(budget=1, method="rr"))
+
+    def test_focal_candidates_exclude_fixed_seeds(self, graph):
+        # Regression: explicit candidate pools never re-seed the focal
+        # item's occupied nodes.
+        from repro.models import MultiItemGaps
+
+        session = ComICSession(
+            graph,
+            multi_item_gaps=MultiItemGaps.from_pairwise_gap(COMPETITIVE),
+            rng=33,
+        )
+        result = session.run(
+            MultiItemQuery(
+                budget=2, item=0, fixed_seed_sets=((0, 1), ()),
+                runs=10, candidates=(0, 1, 2, 3, 4),
+            )
+        )
+        assert set(result.seeds).isdisjoint({0, 1})
+        assert result.diagnostics["candidate_pool"] == 3
+
+
+class TestDiagnosticsEnvelope:
+    """All workloads share one diagnostics envelope (no KeyErrors)."""
+
+    ENVELOPE = ("regime", "theta", "mc_runs", "candidate_pool",
+                "wall_s", "rr_sets_sampled", "pool_sets_total",
+                "pool_bytes_total")
+
+    def test_every_workload_fills_the_envelope(self, graph):
+        from repro.models import MultiItemGaps
+
+        cfg = EngineConfig(theta_override=300)
+        session = ComICSession(
+            graph, INDIFFERENT,
+            multi_item_gaps=MultiItemGaps.from_pairwise_gap(INDIFFERENT),
+            config=cfg, rng=40,
+        )
+        block_session = ComICSession(
+            graph, ONE_WAY_COMPETITIVE, config=cfg, rng=41
+        )
+        results = [
+            session.run(SelfInfMaxQuery(seeds_b=(0,), k=1)),
+            session.run(CompInfMaxQuery(seeds_a=(0,), k=1, gaps=COMPLEMENTARY)),
+            block_session.run(BlockingQuery(seeds_a=(0,), k=1)),
+            block_session.run(
+                BlockingQuery(
+                    seeds_a=(0,), k=1, runs=5, method="mc",
+                    candidates=(1, 2, 3),
+                )
+            ),
+            session.run(
+                MultiItemQuery(budget=1, item=0, fixed_seed_sets=((), (2,)))
+            ),
+            session.run(
+                MultiItemQuery(budget=1, runs=5, candidates=(0, 1, 2))
+            ),
+        ]
+        for result in results:
+            for key in self.ENVELOPE:
+                assert key in result.diagnostics, (result.objective, key)
+
+
+class TestBoundedPoolCache:
+    """max_pool_bytes: LRU eviction keeps the cache under the cap."""
+
+    def test_sweep_never_exceeds_cap(self, graph):
+        cap = 60_000
+        session = ComICSession(
+            graph, ONE_WAY_COMPETITIVE,
+            config=EngineConfig(theta_override=2000, max_pool_bytes=cap),
+            rng=50,
+        )
+        for seeds_a in [(0,), (1,), (2,), (3,), (4,)]:
+            session.run(BlockingQuery(seeds_a=seeds_a, k=2))
+            assert session.pool_bytes_total <= cap
+        assert session.stats.pool_evictions > 0
+        assert session.stats.pool_bytes_evicted > 0
+        assert session.stats.as_dict()["pool_evictions"] > 0
+
+    def test_lru_order_evicts_least_recently_used(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT,
+            config=EngineConfig(theta_override=400), rng=51,
+        )
+        session.run(SelfInfMaxQuery(seeds_b=(0,), k=1))
+        session.run(SelfInfMaxQuery(seeds_b=(1,), k=1))
+        # Touch the first pool again: (1,) becomes least recent.
+        session.run(SelfInfMaxQuery(seeds_b=(0,), k=1))
+        (first, second) = session.pool_info()
+        by_seeds = {info.opposite_seeds: info.last_used for info in (first, second)}
+        assert by_seeds[(0,)] > by_seeds[(1,)]
+        # Cap to one pool's bytes: the (1,) pool is the one dropped.
+        one_pool_bytes = max(info.nbytes for info in (first, second))
+        session.run(
+            SelfInfMaxQuery(seeds_b=(0,), k=1),
+            config=EngineConfig(
+                theta_override=400, max_pool_bytes=one_pool_bytes
+            ),
+        )
+        (info,) = session.pool_info()
+        assert info.opposite_seeds == (0,)
+        assert session.stats.pool_evictions == 1
+
+    def test_unbounded_by_default(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT,
+            config=EngineConfig(theta_override=300), rng=52,
+        )
+        for b in range(4):
+            session.run(SelfInfMaxQuery(seeds_b=(b,), k=1))
+        assert len(session.pool_info()) == 4
+        assert session.stats.pool_evictions == 0
+
+    def test_config_validation(self):
+        from repro.api import EngineConfig as EC
+
+        with pytest.raises(QueryError, match="max_pool_bytes"):
+            EC(max_pool_bytes=0)
+        cfg = EC(max_pool_bytes=1 << 20)
+        assert EC.from_json(cfg.to_json()) == cfg
+
+
+class TestRunManyOverrides:
+    """run_many threads config/rng to every query (regression: they
+    used to be silently dropped)."""
+
+    def test_config_override_applies(self, graph):
+        session = ComICSession(
+            graph, INDIFFERENT,
+            config=EngineConfig(theta_override=500), rng=60,
+        )
+        results = session.run_many(
+            [SelfInfMaxQuery(seeds_b=(0,), k=1)],
+            config=EngineConfig(theta_override=250),
+        )
+        assert results[0].diagnostics["theta"] == 250
+
+    def test_rng_override_reproduces_sweep(self, graph):
+        queries = [
+            BlockingQuery(
+                seeds_a=(0,), k=1, runs=5, method="mc",
+                candidates=(1, 2, 3, 4),
+            )
+            for _ in range(2)
+        ]
+        first = ComICSession(graph, ONE_WAY_COMPETITIVE, rng=1).run_many(
+            queries, rng=99
+        )
+        second = ComICSession(graph, ONE_WAY_COMPETITIVE, rng=2).run_many(
+            queries, rng=99
+        )
+        assert [r.seeds for r in first] == [r.seeds for r in second]
 
 
 class TestSessionValidation:

@@ -42,6 +42,58 @@ class TestGreedyMaxCoverage:
             greedy_max_coverage([], n=3, k=-1)
 
 
+class TestCandidateRestrictedGreedy:
+    SETS = [
+        np.array([0, 1]), np.array([1, 2]), np.array([1]),
+        np.array([3]), np.array([2, 3]),
+    ]
+
+    def test_restriction_confines_picks(self):
+        seeds, covered, gains = greedy_max_coverage(
+            self.SETS, n=4, k=2, candidates=[0, 2, 3]
+        )
+        assert 1 not in seeds  # the unrestricted winner is masked out
+        assert set(seeds) <= {0, 2, 3}
+        assert covered == sum(gains)
+
+    def test_matches_legacy_with_candidates(self):
+        from repro.rrset import greedy_max_coverage_legacy
+
+        rng = np.random.default_rng(3)
+        sets = [
+            rng.choice(30, size=rng.integers(0, 6), replace=False)
+            for _ in range(200)
+        ]
+        candidates = list(range(0, 30, 2))
+        assert greedy_max_coverage(
+            sets, n=30, k=5, candidates=candidates
+        ) == greedy_max_coverage_legacy(
+            sets, n=30, k=5, candidates=candidates
+        )
+
+    def test_returns_at_most_candidate_count(self):
+        seeds, _, _ = greedy_max_coverage(
+            self.SETS, n=4, k=3, candidates=[1, 2]
+        )
+        assert len(seeds) == 2
+        assert len(set(seeds)) == 2
+
+    def test_out_of_range_candidates_rejected(self):
+        with pytest.raises(SeedSetError, match="candidate"):
+            greedy_max_coverage(self.SETS, n=4, k=1, candidates=[7])
+
+    def test_general_tim_threads_candidates(self):
+        graph = star_digraph(6, probability=1.0)
+        generator = RRICGenerator(graph)
+        result = general_tim(
+            generator, 1, options=TIMOptions(theta_override=300),
+            rng=1, candidates=[1, 2, 3, 4, 5],
+        )
+        # The center always wins unrestricted; masked out, a leaf is picked.
+        assert result.seeds[0] != 0
+        assert result.seeds[0] in {1, 2, 3, 4, 5}
+
+
 class TestTheta:
     def test_log_n_choose_k(self):
         assert _log_n_choose_k(10, 3) == pytest.approx(math.log(120))
