@@ -15,10 +15,20 @@ alone:
   route vs the Monte-Carlo CELF greedy on the same candidate pool, with
   MC-evaluated suppression of both seed sets to confirm quality parity.
   Its ``speedup_floor`` is gated like the generation rows, so a silent
-  fallback to the MC path turns CI red.
+  fallback to the MC path turns CI red;
+* multiprocess generation (``parallel.generation``): ``workers=2``
+  :class:`~repro.parallel.ParallelEngine` vs the serial batched kernel
+  on the same regime.  Gated at a 1.5x floor — but only on runners with
+  at least 2 CPUs (a single-core box cannot demonstrate parallel
+  speedup; the row is still recorded with ``"gated": false``);
+* persistent warm start (``store.warm_start``): a second session
+  answering the same SelfInfMax query out of an on-disk
+  :class:`~repro.store.PoolStore`.  Gated on ``warm_rr_sets_sampled ==
+  0`` and seed equality — a silent cache-key/fingerprint mismatch that
+  forces resampling turns CI red.
 
 The emitted JSON follows the stable schema documented in
-``docs/benchmarks.md`` (``schema_version`` 2).  Each generation entry
+``docs/benchmarks.md`` (``schema_version`` 3).  Each generation entry
 records a ``speedup_floor``; the script exits non-zero when any regime's
 measured batch-vs-oracle speedup falls below its floor, so a silent
 fallback to the oracle loop turns CI red instead of just slowing users
@@ -34,10 +44,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 
-from repro.api import BlockingQuery, ComICSession, EngineConfig
+from repro.api import BlockingQuery, ComICSession, EngineConfig, SelfInfMaxQuery
+from repro.parallel import ParallelEngine
 from repro.algorithms.baselines import high_degree_seeds
 from repro.algorithms.blocking import estimate_suppression
 from repro.graph.generators import power_law_digraph
@@ -58,7 +71,7 @@ from repro.rrset import (
 )
 from repro.rrset.base import RRSetGenerator
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 GAPS_SIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
 GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=1.0)
@@ -81,6 +94,12 @@ SPEEDUP_FLOORS = {
 #: gated at 3x for runner noise.  A miss means the RR route regressed or
 #: the query silently fell back to MC CELF.
 BLOCKING_SPEEDUP_FLOOR = 3.0
+
+#: Floor for the workers=2 parallel-vs-serial generation speedup
+#: (ideal 2x; IPC + merge overhead budgeted).  Applied only when the
+#: runner actually has >= 2 CPUs.
+PARALLEL_SPEEDUP_FLOOR = 1.5
+PARALLEL_WORKERS = 2
 
 
 class _OracleRRSim(RRSimGenerator):
@@ -193,6 +212,86 @@ def bench_blocking_end_to_end(graph, k, mc_runs, rr_cap, eval_runs):
     }
 
 
+def bench_parallel_generation(name, generator, count, repeats):
+    """workers=2 sharded generation vs the same serial batched kernel.
+
+    The engine is warmed up first (workers spawned, generator shipped)
+    because it is persistent in real use — a session keeps it across
+    every top-up — so interpreter start-up is not part of the steady
+    state being measured.
+    """
+    cores = os.cpu_count() or 1
+    serial_s = best_of(lambda: generator.generate_batch(count, rng=11), repeats)
+    with ParallelEngine(
+        generator, PARALLEL_WORKERS, min_batch_per_worker=64
+    ) as engine:
+        engine.warm_up()
+        parallel_s = best_of(
+            lambda: engine.generate_batch(count, rng=11), repeats
+        )
+    return {
+        "regime": name,
+        "workers": PARALLEL_WORKERS,
+        "cores": cores,
+        "sets": count,
+        "serial_sets_per_s": round(count / serial_s, 1),
+        "parallel_sets_per_s": round(count / parallel_s, 1),
+        "speedup": round(serial_s / parallel_s, 2),
+        "speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+        # A single-core runner cannot demonstrate parallel speedup; the
+        # row is informational there and the gate skips it.
+        "gated": cores >= PARALLEL_WORKERS,
+    }
+
+
+def bench_store_warm_start(graph, k, rr_cap):
+    """Cold vs store-warm-started SelfInfMax query (two sessions).
+
+    The cold session samples its pool and writes it through to a
+    throwaway :class:`PoolStore`; the warm session — standing in for a
+    second process — must answer the identical query with **zero** RR-set
+    sampling and identical seeds, which the gate enforces.
+
+    ``rr_cap`` is chosen to bind (below the query's uncapped theta), which
+    makes the sample size deterministic: an *uncapped* adaptive IMM warm
+    start re-derives theta from the warm pool's sharper estimate and may
+    legitimately top up a ~1% remainder (see docs/api.md) — that would be
+    adaptivity, not a store failure, so the gate pins the cap instead.
+    """
+    query = SelfInfMaxQuery(seeds_b=tuple(range(10)), k=k)
+    config = EngineConfig(engine="imm", max_rr_sets=rr_cap)
+    with tempfile.TemporaryDirectory(prefix="bench-pool-store-") as root:
+        cold_session = ComICSession(
+            graph, GAPS_SIM, config=config, store=root, rng=5
+        )
+        start = time.perf_counter()
+        cold = cold_session.run(query)
+        cold_s = time.perf_counter() - start
+        warm_session = ComICSession(
+            graph, GAPS_SIM, config=config, store=root, rng=6
+        )
+        start = time.perf_counter()
+        warm = warm_session.run(query)
+        warm_s = time.perf_counter() - start
+    cold_sampled = cold.diagnostics["rr_sets_sampled"]
+    return {
+        "k": k,
+        "engine": "imm",
+        "rr_cap": rr_cap,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 2),
+        "cold_rr_sets_sampled": cold_sampled,
+        "warm_rr_sets_sampled": warm.diagnostics["rr_sets_sampled"],
+        "store_hits": warm_session.stats.store_hits,
+        "seeds_match": warm.seeds == cold.seeds,
+        # The zero-resample guarantee is only deterministic when the cap
+        # binds; on reshaped instances (--nodes) where it does not, the
+        # row stays informational (see the adaptive-theta caveat above).
+        "gated": cold_sampled >= rr_cap,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, default=10_000)
@@ -293,15 +392,52 @@ def main(argv=None) -> int:
     )
     print("end_to_end[blocking]:", report["end_to_end"]["blocking"])
 
+    # RR-SIM+ is the slowest batched kernel (most compute per set), so it
+    # amortises worker IPC best and is the honest parallel test case.
+    report["parallel"] = {
+        "generation": bench_parallel_generation(
+            "rr_sim_plus",
+            generators["rr_sim_plus"],
+            batch_count * 2,
+            repeats,
+        )
+    }
+    print("parallel[generation]:", report["parallel"]["generation"])
+
+    # Cap chosen below the query's uncapped theta (~8.2k on the default
+    # 10k-node graph; theta grows with n) so the sample count is pinned
+    # and the warm run needs exactly 0 sets.
+    report["store"] = {
+        "warm_start": bench_store_warm_start(
+            graph, args.k, rr_cap=max(500, int(args.nodes * 0.6))
+        )
+    }
+    print("store[warm_start]:", report["store"]["warm_start"])
+
     # Regression gate: a sub-floor speedup means the fast path regressed
     # (or silently fell back to the oracle loop / MC CELF) — fail loudly.
     gated = dict(report["generation"])
     gated["end_to_end.blocking"] = report["end_to_end"]["blocking"]
+    parallel_row = report["parallel"]["generation"]
+    if parallel_row["gated"]:
+        gated["parallel.generation"] = parallel_row
     failures = [
         f"{name}: speedup {entry['speedup']}x < floor {entry['speedup_floor']}x"
         for name, entry in gated.items()
         if entry["speedup"] < entry["speedup_floor"]
     ]
+    warm = report["store"]["warm_start"]
+    if warm["gated"]:
+        if warm["warm_rr_sets_sampled"] != 0:
+            failures.append(
+                "store.warm_start: warm session sampled "
+                f"{warm['warm_rr_sets_sampled']} RR-sets (expected 0 — "
+                "manifest hit failed)"
+            )
+        if not warm["seeds_match"]:
+            failures.append(
+                "store.warm_start: warm-started seeds differ from cold seeds"
+            )
     report["gate"] = {"passed": not failures, "failures": failures}
 
     with open(args.output, "w", encoding="utf-8") as handle:

@@ -7,6 +7,9 @@ Public API highlights:
 * :class:`~repro.api.session.ComICSession` and the :mod:`repro.api` query
   layer — the unified entry point for all four optimisation workloads,
   with cross-query RR-set pool reuse;
+* :mod:`repro.store` — persistent, validated on-disk pool snapshots for
+  cross-process warm starts — and :mod:`repro.parallel` — multiprocess
+  sharded RR-set generation (``EngineConfig.workers``);
 * :class:`~repro.graph.DiGraph` and the :mod:`repro.graph` substrate;
 * :class:`~repro.models.GAP` and :func:`~repro.models.simulate` — the
   Com-IC model;

@@ -42,6 +42,9 @@ from repro.api.registry import (
 )
 from repro.api.results import InfluenceResult
 from repro.api.session import ComICSession, PoolInfo, SessionStats
+# PoolKey is the shared cache/store identity; its home is repro.store but
+# it is part of the session's public vocabulary (pool_info, select_seeds).
+from repro.store import PoolKey
 
 __all__ = [
     "BlockingQuery",
@@ -53,6 +56,7 @@ __all__ = [
     "MultiItemQuery",
     "ObjectiveSpec",
     "PoolInfo",
+    "PoolKey",
     "SelfInfMaxQuery",
     "SessionStats",
     "generator_factory",

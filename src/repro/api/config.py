@@ -38,6 +38,13 @@ class EngineConfig:
     until the total cached bytes fit (``None`` = unbounded, the
     pre-cap behaviour).  Evictions are counted in
     :class:`~repro.api.session.SessionStats`.
+
+    ``workers`` parallelises RR-set *generation*: values above 1 make the
+    session wrap each pool's generator in a
+    :class:`~repro.parallel.ParallelEngine` that shards every sampling
+    batch across that many spawn-safe worker processes (selection and MC
+    evaluation stay in-process).  The workers are persistent per cached
+    pool; 1 (the default) is fully serial.
     """
 
     engine: str = "tim"
@@ -47,6 +54,7 @@ class EngineConfig:
     min_rr_sets: int = 200
     theta_override: Optional[int] = None
     max_pool_bytes: Optional[int] = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -74,6 +82,10 @@ class EngineConfig:
             raise QueryError(
                 f"max_pool_bytes must be >= 1 (or None for unbounded), "
                 f"got {self.max_pool_bytes}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise QueryError(
+                f"workers must be an int >= 1 (1 = serial), got {self.workers!r}"
             )
 
     # ------------------------------------------------------------------

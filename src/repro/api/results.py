@@ -40,7 +40,10 @@ class InfluenceResult:
     #: estimate of the objective at ``seeds`` (RR-set estimate or MC mean);
     #: ``None`` when the workload does not produce one.
     estimate: Optional[float] = None
-    #: pool sizes/bytes, theta, rr_sets_sampled, wall_s, fallback notes.
+    #: pool sizes/bytes, theta, rr_sets_sampled, wall_s, fallback notes,
+    #: and the graph's content fingerprint (``graph_fingerprint``, the
+    #: same hash :mod:`repro.store` manifests validate against — lets a
+    #: caller check which network a logged result was computed on).
     diagnostics: dict[str, Any] = field(default_factory=dict)
     #: the query that produced this result.
     query: Any = None

@@ -21,6 +21,21 @@ The cache is optionally *bounded*: when the resolved config sets
 selection until the cached bytes fit (the access order doubles as the
 LRU order; ``SessionStats`` counts evictions and bytes released).
 
+Two further levers extend the economy beyond one process:
+
+* ``store=`` attaches a persistent :class:`~repro.store.PoolStore`.
+  Cache misses first try the store (validated against the
+  :class:`~repro.store.PoolKey` *and* the graph's
+  :meth:`~repro.graph.digraph.DiGraph.fingerprint`, so a pool sampled
+  from a different network can never be served), and every selection
+  that grew a pool writes it back — so a second process warm-starts the
+  same query with **zero** RR-set sampling, and pools evicted by the
+  byte cap remain one mmap load away.  ``SessionStats`` counts store
+  hits / misses / invalidations / saves.
+* ``EngineConfig.workers > 1`` wraps each pool's generator in a
+  :class:`~repro.parallel.ParallelEngine`, sharding every sampling batch
+  across that many worker processes.
+
 Example::
 
     session = ComICSession(graph, gaps, config=EngineConfig(engine="imm"))
@@ -34,24 +49,30 @@ Example::
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import asdict, dataclass
-from typing import Any, Iterable, Optional, Sequence
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Union
 
 from repro.api import registry
 from repro.api.config import EngineConfig
 from repro.api.results import InfluenceResult
-from repro.errors import QueryError
+from repro.errors import QueryError, StoreError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
 from repro.models.multi_item import MultiItemGaps
+from repro.parallel import ParallelEngine
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.engines import SelectionResult, run_seed_selection
 from repro.rrset.pool import RRSetPool
+# The session's cache and the on-disk store share one key type so the two
+# can never disagree about what identifies a pool (it used to be an
+# ad-hoc tuple private to this module).
+from repro.store import PoolKey, PoolStore
 
-#: cache key of one pooled RR-set collection.
-PoolKey = tuple[str, tuple[float, float, float, float], tuple[int, ...]]
+StoreLike = Union[PoolStore, str, os.PathLike, None]
 
 
 @dataclass
@@ -71,6 +92,15 @@ class SessionStats:
     pool_evictions: int = 0
     #: RR-set bytes released by those evictions (resampling cost ceiling).
     pool_bytes_evicted: int = 0
+    #: cache misses answered by the attached store (zero resampling).
+    store_hits: int = 0
+    #: cache misses the store could not answer (no entry for the key).
+    store_misses: int = 0
+    #: store entries found but rejected (foreign graph fingerprint,
+    #: mismatched manifest, corrupted columns) — resampled from scratch.
+    store_invalidations: int = 0
+    #: pool snapshots written back to the store after growth.
+    store_saves: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for reports."""
@@ -81,11 +111,22 @@ class SessionStats:
 class _PoolEntry:
     """One cached (generator, pool) pair."""
 
+    key: PoolKey
     generator: RRSetGenerator
     pool: RRSetPool
     selections: int = 0
     #: logical access clock value of the most recent use (LRU order).
     last_used: int = 0
+    #: lazily-built multiprocess wrapper (``EngineConfig.workers > 1``).
+    parallel: Optional[ParallelEngine] = field(default=None, repr=False)
+    #: where the pool's initial sets came from: "sampled" or "store".
+    origin: str = "sampled"
+
+    def close(self) -> None:
+        """Release the entry's worker pool, if any."""
+        if self.parallel is not None:
+            self.parallel.close()
+            self.parallel = None
 
 
 @dataclass
@@ -102,6 +143,9 @@ class PoolInfo:
     #: logical access clock of the last selection served from this pool;
     #: lower values are evicted first under ``max_pool_bytes``.
     last_used: int = 0
+    #: "store" when the pool warm-started from the attached PoolStore,
+    #: else "sampled".
+    origin: str = "sampled"
 
 
 class ComICSession:
@@ -111,7 +155,10 @@ class ComICSession:
     call); ``multi_item_gaps`` configures the k-item extension (defaults
     to lifting the pairwise GAPs when only those are given).  ``rng``
     seeds the session-wide random stream; per-query ``rng`` overrides give
-    reproducible individual queries.
+    reproducible individual queries.  ``store`` attaches a persistent
+    :class:`~repro.store.PoolStore` (a path builds one) for cross-process
+    pool reuse: cache misses try the store first, and grown pools are
+    written back after each selection.
     """
 
     def __init__(
@@ -122,6 +169,7 @@ class ComICSession:
         multi_item_gaps: Optional[MultiItemGaps] = None,
         config: Optional[EngineConfig] = None,
         rng: SeedLike = None,
+        store: StoreLike = None,
     ) -> None:
         if not isinstance(graph, DiGraph):
             raise QueryError(
@@ -141,6 +189,15 @@ class ComICSession:
                 "config must be an EngineConfig (legacy TIMOptions/IMMOptions "
                 f"lift via EngineConfig.from_tim_options), got "
                 f"{type(config).__name__}"
+            )
+        if store is None or isinstance(store, PoolStore):
+            self._store = store
+        elif isinstance(store, (str, os.PathLike)):
+            self._store = PoolStore(store)
+        else:
+            raise QueryError(
+                "store must be a PoolStore, a path, or None, got "
+                f"{type(store).__name__}"
             )
         self._graph = graph
         self._gaps = gaps
@@ -170,6 +227,11 @@ class ComICSession:
     def config(self) -> EngineConfig:
         """The session's default engine configuration."""
         return self._config
+
+    @property
+    def store(self) -> Optional[PoolStore]:
+        """The attached persistent pool store, if any."""
+        return self._store
 
     def resolve_gaps(self, override: Optional[GAP] = None) -> GAP:
         """The GAPs a query should run under; errors if none are known."""
@@ -228,6 +290,9 @@ class ComICSession:
         )
         result.diagnostics.setdefault("pool_sets_total", self.pool_sets_total)
         result.diagnostics.setdefault("pool_bytes_total", self.pool_bytes_total)
+        result.diagnostics.setdefault(
+            "graph_fingerprint", self._graph.fingerprint()
+        )
         return result
 
     def run_many(
@@ -289,7 +354,7 @@ class ComICSession:
         entry = self._pool_entry(regime, gaps, opposite_seeds)
         before = len(entry.pool)
         result = run_seed_selection(
-            entry.generator,
+            self._generator_for(entry, cfg),
             k,
             engine=cfg.engine,
             options=cfg.tim_options(),
@@ -299,9 +364,68 @@ class ComICSession:
             candidates=candidates,
         )
         entry.selections += 1
-        self.stats.rr_sets_sampled += len(entry.pool) - before
+        grown = len(entry.pool) - before
+        self.stats.rr_sets_sampled += grown
+        # Write-through before eviction: a pool the byte cap drops stays
+        # one (mmap) load away instead of one resampling away.
+        if self._store is not None and grown > 0:
+            self._persist_entry(entry, cfg, gen)
         self._evict_pools(cfg.max_pool_bytes)
         return result
+
+    def _generator_for(
+        self, entry: _PoolEntry, cfg: EngineConfig
+    ) -> RRSetGenerator:
+        """The generator a selection should sample through.
+
+        ``cfg.workers > 1`` lazily wraps the entry's generator in a
+        persistent :class:`~repro.parallel.ParallelEngine` (rebuilt when
+        the worker count changes); otherwise the serial generator.
+
+        Worker pools are per cached pool because each worker holds a
+        replica of *that pool's* generator (shipped once at spawn) —
+        many distinct contexts at high ``workers`` therefore multiply
+        resident processes; the eviction cap bounds it, and a
+        session-shared worker pool is a ROADMAP follow-up.
+        """
+        if cfg.workers <= 1:
+            return entry.generator
+        if entry.parallel is None or entry.parallel.workers != cfg.workers:
+            entry.close()
+            entry.parallel = ParallelEngine(entry.generator, cfg.workers)
+        return entry.parallel
+
+    def _persist_entry(
+        self, entry: _PoolEntry, cfg: EngineConfig, gen
+    ) -> bool:
+        """Write one pool through to the store; never fails the query.
+
+        The store is an accelerator: a full disk or revoked permissions
+        must not discard a selection that already succeeded, so save
+        failures degrade to a warning (the pool stays cached in memory).
+        """
+        try:
+            self._store.save(
+                entry.key,
+                entry.pool,
+                graph_fingerprint=self._graph.fingerprint(),
+                provenance={
+                    "creator": "ComICSession",
+                    "engine": cfg.engine,
+                    "workers": cfg.workers,
+                    "rng": type(gen.bit_generator).__name__,
+                },
+            )
+        except (OSError, StoreError) as exc:
+            warnings.warn(
+                f"pool store write-through failed ({exc}); "
+                "continuing with the in-memory pool only",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+        self.stats.store_saves += 1
+        return True
 
     def _pool_entry(
         self, regime: str, gaps: GAP, opposite_seeds: Sequence[int]
@@ -310,8 +434,14 @@ class ComICSession:
         entry = self._pools.pop(key, None)
         if entry is None:
             factory = registry.generator_factory(regime)
-            generator = factory(self._graph, gaps, key[2])
-            entry = _PoolEntry(generator, RRSetPool(self._graph.num_nodes))
+            generator = factory(self._graph, gaps, key.opposite_seeds)
+            pool = self._load_from_store(key)
+            entry = _PoolEntry(
+                key,
+                generator,
+                pool if pool is not None else RRSetPool(self._graph.num_nodes),
+                origin="store" if pool is not None else "sampled",
+            )
             self.stats.pool_misses += 1
         else:
             self.stats.pool_hits += 1
@@ -320,6 +450,23 @@ class ComICSession:
         entry.last_used = self._access_clock
         self._pools[key] = entry
         return entry
+
+    def _load_from_store(self, key: PoolKey) -> Optional[RRSetPool]:
+        """Warm-start attempt for a cache miss (``None`` when no store)."""
+        if self._store is None:
+            return None
+        invalid_before = self._store.stats.invalidations
+        pool = self._store.load(
+            key, graph_fingerprint=self._graph.fingerprint()
+        )
+        invalidated = self._store.stats.invalidations - invalid_before
+        if pool is not None:
+            self.stats.store_hits += 1
+        elif invalidated:
+            self.stats.store_invalidations += invalidated
+        else:
+            self.stats.store_misses += 1
+        return pool
 
     def _evict_pools(self, max_pool_bytes: Optional[int]) -> None:
         """Drop least-recently-used pools until the cache fits the cap.
@@ -333,6 +480,7 @@ class ComICSession:
         while self._pools and self.pool_bytes_total > max_pool_bytes:
             key = next(iter(self._pools))
             entry = self._pools.pop(key)
+            entry.close()
             self.stats.pool_evictions += 1
             self.stats.pool_bytes_evicted += entry.pool.nbytes
 
@@ -340,8 +488,7 @@ class ComICSession:
     def _pool_key(
         regime: str, gaps: GAP, opposite_seeds: Sequence[int]
     ) -> PoolKey:
-        seeds = tuple(sorted({int(s) for s in opposite_seeds}))
-        return (str(regime), gaps.as_tuple(), seeds)
+        return PoolKey.make(regime, gaps, opposite_seeds)
 
     # ------------------------------------------------------------------
     # Pool accounting
@@ -359,27 +506,49 @@ class ComICSession:
     def pool_info(self) -> list[PoolInfo]:
         """Diagnostics snapshot of every cached pool."""
         infos = []
-        for (regime, gap_tuple, seeds), entry in self._pools.items():
+        for key, entry in self._pools.items():
             batched = (
                 type(entry.generator).generate_batch
                 is not RRSetGenerator.generate_batch
             )
             infos.append(
                 PoolInfo(
-                    regime=regime,
-                    gaps=gap_tuple,
-                    opposite_seeds=seeds,
+                    regime=key.regime,
+                    gaps=key.gaps,
+                    opposite_seeds=key.opposite_seeds,
                     sets=len(entry.pool),
                     nbytes=entry.pool.nbytes,
                     selections=entry.selections,
                     batch_kernel="vectorized" if batched else "oracle-fallback",
                     last_used=entry.last_used,
+                    origin=entry.origin,
                 )
             )
         return infos
 
+    def save_pools(self) -> int:
+        """Persist every cached pool to the attached store now.
+
+        Normally unnecessary — selections write grown pools through — but
+        useful before handing a store directory to another process when
+        you want untouched warm-started pools re-stamped too.  Returns
+        the number of entries written; raises
+        :class:`~repro.errors.QueryError` without a store.
+        """
+        if self._store is None:
+            raise QueryError("session has no store attached (pass store=)")
+        written = 0
+        for entry in self._pools.values():
+            if len(entry.pool):
+                written += self._persist_entry(entry, self._config, self._rng)
+        return written
+
     def clear_pools(self) -> None:
-        """Drop every cached pool (frees memory; next queries resample)."""
+        """Drop every cached pool (frees memory; next queries resample —
+        or warm-start from the attached store, which write-through has
+        kept current)."""
+        for entry in self._pools.values():
+            entry.close()
         self._pools.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

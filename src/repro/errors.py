@@ -60,3 +60,23 @@ class QueryError(ReproError):
     RR-set regimes in the registry, and session misuse (e.g. a query that
     needs GAPs on a session constructed without them).
     """
+
+
+class StoreError(ReproError):
+    """Raised by the persistent pool store (:mod:`repro.store`).
+
+    Covers unusable store roots, malformed entry directories, and invalid
+    save/load arguments.  :class:`StoreIntegrityError` specialises the
+    data-doesn't-match-manifest case.
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """Raised when a store entry fails validation against its manifest.
+
+    A corrupted column file (checksum or shape mismatch), an unreadable or
+    tampered manifest, or a manifest whose cache key / graph fingerprint
+    disagrees with what the caller asked for all raise this.  The
+    forgiving :meth:`~repro.store.PoolStore.load` entry point catches it
+    and reports a miss (counting an invalidation) instead.
+    """

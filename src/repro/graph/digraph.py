@@ -14,6 +14,7 @@ library runs on.  Design goals:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,6 +48,7 @@ class DiGraph:
         "_edge_src",
         "_edge_dst",
         "_edge_prob",
+        "_fingerprint",
     )
 
     def __init__(
@@ -61,6 +63,7 @@ class DiGraph:
         self._edge_src = edge_src
         self._edge_dst = edge_dst
         self._edge_prob = edge_prob
+        self._fingerprint: Optional[str] = None
         self._build_csr()
 
     # ------------------------------------------------------------------
@@ -301,6 +304,31 @@ class DiGraph:
         return DiGraph.from_arrays(
             self._n, self._edge_dst.copy(), self._edge_src.copy(), self._edge_prob.copy()
         )
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the graph (structure + weights).
+
+        SHA-256 over the node count and the canonical edge arrays
+        (``src``, ``dst``, ``prob`` in edge-id order — construction sorts
+        edges by ``(src, dst)``, so equal graphs hash equally regardless
+        of input edge order).  Process- and platform-independent, unlike
+        :func:`hash`; used by the :mod:`repro.store` manifests to detect
+        that an on-disk RR-set pool was sampled from a different network,
+        and surfaced in :class:`~repro.api.results.InfluenceResult`
+        diagnostics.  Cached after the first call (graphs are immutable).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(b"repro.DiGraph.v1")
+            digest.update(np.int64(self._n).tobytes())
+            digest.update(np.int64(self._m).tobytes())
+            digest.update(np.ascontiguousarray(self._edge_src, dtype=np.int64).tobytes())
+            digest.update(np.ascontiguousarray(self._edge_dst, dtype=np.int64).tobytes())
+            digest.update(
+                np.ascontiguousarray(self._edge_prob, dtype=np.float64).tobytes()
+            )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DiGraph(n={self._n}, m={self._m})"

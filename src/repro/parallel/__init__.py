@@ -1,0 +1,20 @@
+"""repro.parallel — multiprocess sharded RR-set generation.
+
+:class:`ParallelEngine` wraps any :class:`~repro.rrset.base.RRSetGenerator`
+in a persistent spawn-safe worker-process pool: batches shard across
+workers (each running the regime's existing vectorized kernel on its own
+seeded child RNG stream) and merge back in O(total size) via the flat
+pool's CSR concatenation kernel.  Because the engine *is* a generator,
+TIM/IMM top-ups and every fast-path regime scale across cores unchanged —
+:class:`~repro.api.session.ComICSession` engages it automatically when
+``EngineConfig.workers > 1``::
+
+    from repro.api import ComICSession, EngineConfig
+
+    session = ComICSession(graph, gaps, config=EngineConfig(workers=4))
+    session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=10))  # sampled on 4 cores
+"""
+
+from repro.parallel.engine import ParallelEngine
+
+__all__ = ["ParallelEngine"]

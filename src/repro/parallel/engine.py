@@ -1,0 +1,253 @@
+"""`ParallelEngine`: multiprocess sharded RR-set generation.
+
+RR-set sampling is embarrassingly parallel — every set draws an
+independent possible world — yet the batched kernels are single-core
+(numpy releases the GIL but one process drives one sweep at a time).
+This engine shards a ``generate_batch`` request across worker
+*processes*: each worker holds a pickled copy of the wrapped
+:class:`~repro.rrset.base.RRSetGenerator` (shipped once, at pool
+start-up), runs the regime's existing vectorized kernel on its shard
+with its own :class:`numpy.random.SeedSequence` child stream, and
+returns the shard's flat CSR columns; the parent folds shards back into
+one :class:`~repro.rrset.pool.RRSetPool` with the O(total-size) merge
+kernel (:meth:`RRSetPool.extend_pool`).
+
+Design points:
+
+* **It is itself an** :class:`RRSetGenerator` wrapping another one, so
+  TIM, IMM and :class:`~repro.api.session.ComICSession` scale across
+  cores with zero changes — IMM's incremental top-ups simply arrive as
+  sharded batches.  The per-root oracle :meth:`generate` delegates to
+  the wrapped generator in-process.
+* **Spawn-safe**: workers use the ``spawn`` start method (no fork-time
+  state smuggling, works identically on macOS/Windows), receive the
+  generator via a pool initializer, and stay resident across calls, so
+  interpreter start-up is paid once per worker, not per batch.
+* **Deterministic given the seed**: shard ``i`` of a call always draws
+  from child stream ``i`` of a sequence derived from the caller's rng,
+  and shards are merged in shard order — the output pool is a pure
+  function of (generator, workers, rng state), independent of worker
+  scheduling.  It is *not* the same stream layout as a serial
+  ``generate_batch`` call, so parallel and serial pools are equal in
+  distribution, not element-wise.
+* **Graceful degradation**: requests smaller than
+  ``min_batch_per_worker * 2`` run serially in-process (IPC would beat
+  the savings), and a broken worker pool (e.g. a worker OOM-killed)
+  permanently falls back to the serial path with a warning instead of
+  failing the query.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import Optional
+
+import numpy as np
+
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool
+
+#: per-process generator replica, installed by :func:`_initialize_worker`.
+_WORKER_GENERATOR: Optional[RRSetGenerator] = None
+
+
+def _initialize_worker(payload: bytes) -> None:
+    """Worker-pool initializer: unpickle the generator replica once."""
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = pickle.loads(payload)
+
+
+def _generate_shard(
+    task: tuple[int, Optional[np.ndarray], np.random.SeedSequence],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run one shard in a worker; returns the shard pool's flat columns."""
+    count, roots, seed_seq = task
+    rng = np.random.default_rng(seed_seq)
+    pool = _WORKER_GENERATOR.generate_batch(count, rng=rng, roots=roots)
+    return np.asarray(pool.nodes), np.asarray(pool.indptr)
+
+
+def _worker_ready(deadline: float) -> int:
+    """Warm-up task: hold the worker until ``deadline`` (wall clock)."""
+    time.sleep(max(0.0, deadline - time.time()))
+    return os.getpid()
+
+
+class ParallelEngine(RRSetGenerator):
+    """Wrap an :class:`RRSetGenerator` with a persistent worker pool.
+
+    ``workers`` is the number of worker processes; ``workers <= 1`` makes
+    the engine a transparent serial pass-through.  Workers are spawned
+    lazily on the first parallel batch (or eagerly via :meth:`warm_up`)
+    and live until :meth:`close` — use the engine as a context manager
+    when its lifetime is scoped.  Not picklable (it owns OS processes).
+    """
+
+    def __init__(
+        self,
+        generator: RRSetGenerator,
+        workers: int,
+        *,
+        min_batch_per_worker: int = 256,
+    ) -> None:
+        if isinstance(generator, ParallelEngine):
+            raise ValueError("refusing to nest ParallelEngine in ParallelEngine")
+        super().__init__(generator.graph)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_batch_per_worker < 1:
+            raise ValueError(
+                f"min_batch_per_worker must be >= 1, got {min_batch_per_worker}"
+            )
+        self._inner = generator
+        self._workers = workers
+        self._min_batch = int(min_batch_per_worker)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> RRSetGenerator:
+        """The wrapped serial generator."""
+        return self._inner
+
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count."""
+        return self._workers
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=get_context("spawn"),
+                initializer=_initialize_worker,
+                initargs=(pickle.dumps(self._inner),),
+            )
+        return self._executor
+
+    def warm_up(self, *, settle_s: float = 1.0) -> None:
+        """Spawn the workers now (best effort) instead of on first use.
+
+        Each queued task holds its worker until a common deadline, which
+        coaxes the executor into starting every process up front —
+        benchmarks call this so the first timed batch does not pay
+        interpreter start-up.
+        """
+        if self._workers <= 1 or self._broken:
+            return
+        executor = self._ensure_executor()
+        deadline = time.time() + max(settle_s, 0.0)
+        try:
+            list(executor.map(_worker_ready, [deadline] * self._workers))
+        except BrokenProcessPool:
+            self._mark_broken()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _mark_broken(self) -> None:
+        warnings.warn(
+            "parallel RR-set workers died; falling back to serial generation",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._broken = True
+        self.close()
+
+    # ------------------------------------------------------------------
+    # RRSetGenerator interface
+    # ------------------------------------------------------------------
+    def generate(
+        self, *, rng: SeedLike = None, root: Optional[int] = None
+    ) -> np.ndarray:
+        """Per-root oracle: delegates to the wrapped generator in-process."""
+        return self._inner.generate(rng=rng, root=root)
+
+    def generate_batch(
+        self,
+        count: int,
+        *,
+        rng: SeedLike = None,
+        roots: Optional[np.ndarray] = None,
+        out: Optional[RRSetPool] = None,
+    ) -> RRSetPool:
+        """Generate ``count`` RR-sets, sharded across the worker pool.
+
+        Same contract as the serial engines: ``roots`` pins roots
+        (sharded alongside the counts), ``out`` receives a top-up.
+        Small batches and a 1-worker engine run serially in-process.
+        """
+        gen = make_rng(rng)
+        if roots is not None:
+            roots = np.asarray(roots, dtype=np.int64)
+            count = int(roots.size)
+        count = int(count)
+        shards = min(self._workers, max(count // self._min_batch, 1))
+        if shards <= 1 or self._broken:
+            return self._inner.generate_batch(count, rng=gen, roots=roots, out=out)
+        # Child streams are derived from the caller's rng (consuming it, so
+        # successive calls differ) and assigned to shards positionally:
+        # the merged pool is scheduling-independent.
+        entropy = [int(v) for v in gen.integers(0, 2**32, size=4)]
+        children = np.random.SeedSequence(entropy).spawn(shards)
+        base, rem = divmod(count, shards)
+        counts = [base + 1] * rem + [base] * (shards - rem)
+        root_parts: list[Optional[np.ndarray]] = (
+            list(np.split(roots, np.cumsum(counts)[:-1]))
+            if roots is not None
+            else [None] * shards
+        )
+        tasks = list(zip(counts, root_parts, children))
+        executor = self._ensure_executor()
+        try:
+            results = list(executor.map(_generate_shard, tasks))
+        except BrokenProcessPool:
+            self._mark_broken()
+            return self._inner.generate_batch(count, rng=gen, roots=roots, out=out)
+        pool = out if out is not None else RRSetPool(self._graph.num_nodes)
+        for shard_nodes, shard_indptr in results:
+            pool.extend_pool(
+                RRSetPool.from_flat(
+                    self._graph.num_nodes, shard_nodes, shard_indptr,
+                    validate=False,
+                )
+            )
+        return pool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "broken" if self._broken else (
+            "live" if self._executor is not None else "cold"
+        )
+        return (
+            f"ParallelEngine({type(self._inner).__name__}, "
+            f"workers={self._workers}, {state})"
+        )

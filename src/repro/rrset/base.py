@@ -25,7 +25,11 @@ Two sampling paths
   :class:`~repro.rrset.pool.RRSetPool`.  The base implementation just
   loops the oracle; regimes with vectorized kernels override it with
   level-synchronous bulk sweeps that draw whole coin/threshold arrays per
-  batch instead of per-edge memoised Python calls.  Every paper regime
+  batch instead of per-edge memoised Python calls.  Generators must stay
+  *picklable* (plain graph/GAP/seed attributes, no open resources):
+  :class:`~repro.parallel.ParallelEngine` ships a replica to each worker
+  process and shards ``generate_batch`` across them, which is also why it
+  can itself pose as a generator and drop into TIM/IMM unchanged.  Every paper regime
   now has a fast kernel — RR-IC (:mod:`repro.rrset.rr_ic`), RR-SIM
   (:mod:`repro.rrset.rr_sim`), RR-SIM+ (:mod:`repro.rrset.rr_sim_plus`),
   RR-CIM with its four-label forward pass (:mod:`repro.rrset.rr_cim`),

@@ -127,7 +127,10 @@ def general_imm(
     ``pool`` opts into cross-run reuse: sampling rounds top up the
     caller-owned pool (the same mechanism IMM already uses internally
     across its own rounds), so a later run on the same pool samples only
-    the sets it is missing.  ``IMMResult.theta`` reports the number of
+    the sets it is missing — including pools warm-started from an
+    on-disk :class:`~repro.store.PoolStore` snapshot; and when
+    ``generator`` is a :class:`~repro.parallel.ParallelEngine`, each
+    top-up arrives as a multi-core sharded batch.  ``IMMResult.theta`` reports the number of
     sets used for selection — cached sets included, capped at this run's
     ``max_rr_sets``.  ``candidates`` restricts the pickable seed nodes
     (applied to every greedy pass; the certified lower bound is then a

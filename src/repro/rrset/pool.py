@@ -23,6 +23,14 @@ growth, which is what lets IMM's "top up to theta" phase extend one pool
 across sampling rounds instead of rebuilding lists.  Memory accounting is
 exposed via :attr:`nbytes` (used) and :attr:`capacity_bytes` (allocated).
 
+Because the layout is two flat columns, pools also *persist* and *merge*
+trivially: :meth:`from_flat` adopts existing (possibly memory-mapped,
+read-only) arrays without a copy — the zero-copy load path of
+:class:`~repro.store.PoolStore` — and :meth:`merge` /
+:meth:`extend_pool` concatenate whole pools in O(total size) by copying
+node columns once and offset-shifting CSR pointers, which is how
+:mod:`repro.parallel` folds per-worker shards back into one pool.
+
 Member nodes are stored as ``int32`` (graphs here are far below the 2**31
 node ceiling, and halving the bytes doubles effective memory bandwidth of
 every sweep); :meth:`__getitem__` returns the raw ``int32`` view while
@@ -94,6 +102,92 @@ class RRSetPool:
             pool.append(rr_set)
         return pool
 
+    @classmethod
+    def from_flat(
+        cls,
+        num_nodes: int,
+        nodes: np.ndarray,
+        indptr: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> "RRSetPool":
+        """Adopt existing flat CSR arrays *without copying them*.
+
+        This is the zero-copy load path of :class:`~repro.store.PoolStore`:
+        ``nodes`` / ``indptr`` may be memory-mapped (even read-only) views
+        of on-disk ``.npy`` columns.  The pool stays *appendable*: both
+        arrays are adopted exactly full, so the first append reallocates
+        into fresh writable memory (the normal amortised-doubling growth)
+        and the mapped files are never written to.
+
+        ``validate`` checks the CSR invariants (``indptr`` int64 ascending
+        from 0, last offset == ``nodes.size``, members in range) — skip it
+        only for arrays produced by this class.
+        """
+        nodes = np.asarray(nodes)
+        indptr = np.asarray(indptr)
+        if validate:
+            if indptr.ndim != 1 or indptr.size < 1:
+                raise ValueError("indptr must be a non-empty 1-D offset array")
+            if nodes.ndim != 1:
+                raise ValueError("nodes must be a 1-D member array")
+            if indptr.dtype != np.int64 or nodes.dtype != np.int32:
+                raise ValueError(
+                    "expected int32 nodes and int64 indptr, got "
+                    f"{nodes.dtype} / {indptr.dtype}"
+                )
+            if int(indptr[0]) != 0 or int(indptr[-1]) != nodes.size:
+                raise ValueError(
+                    f"indptr must run from 0 to nodes.size ({nodes.size}); "
+                    f"got [{int(indptr[0])}, {int(indptr[-1])}]"
+                )
+            if indptr.size > 1 and np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr offsets must be non-decreasing")
+            if nodes.size and (
+                int(nodes.min()) < 0 or int(nodes.max()) >= int(num_nodes)
+            ):
+                raise ValueError(
+                    f"member nodes must lie in [0, {int(num_nodes) - 1}]"
+                )
+        pool = cls.__new__(cls)
+        pool._num_nodes = int(num_nodes)
+        pool._nodes = nodes
+        pool._indptr = indptr
+        pool._num_sets = int(indptr.size - 1)
+        pool._used = int(indptr[-1])
+        pool._set_ids_cache = None
+        pool._frozen = False
+        return pool
+
+    @classmethod
+    def merge(cls, pools: Sequence["RRSetPool"]) -> "RRSetPool":
+        """Concatenate several pools into one new pool, O(total size).
+
+        The multi-pool merge kernel of :mod:`repro.parallel`: per-worker
+        shard pools are combined by copying each shard's flat node array
+        once and offset-shifting its CSR pointers — no per-set Python
+        work.  Set order is shard order, then within-shard order.  All
+        pools must share one node universe.
+        """
+        pools = list(pools)
+        if not pools:
+            raise ValueError("merge needs at least one pool")
+        num_nodes = pools[0].num_nodes
+        for pool in pools[1:]:
+            if pool.num_nodes != num_nodes:
+                raise ValueError(
+                    f"cannot merge pools over different node universes "
+                    f"({pool.num_nodes} != {num_nodes})"
+                )
+        merged = cls(
+            num_nodes,
+            node_capacity=max(sum(p.total_nodes for p in pools), 1),
+            set_capacity=max(sum(len(p) for p in pools), 1),
+        )
+        for pool in pools:
+            merged.extend_pool(pool)
+        return merged
+
     # ------------------------------------------------------------------
     # Growth
     # ------------------------------------------------------------------
@@ -131,7 +225,8 @@ class RRSetPool:
         size = int(rr_set.size)
         self._reserve_nodes(size)
         self._reserve_sets(1)
-        self._nodes[self._used : self._used + size] = rr_set
+        if size:  # zero-length writes would still trip read-only (mmap) buffers
+            self._nodes[self._used : self._used + size] = rr_set
         self._used += size
         self._num_sets += 1
         self._indptr[self._num_sets] = self._used
@@ -160,9 +255,42 @@ class RRSetPool:
         count = int(lengths.size)
         self._reserve_nodes(total)
         self._reserve_sets(count)
-        self._nodes[self._used : self._used + total] = nodes
-        offsets = self._used + np.cumsum(lengths)
-        self._indptr[self._num_sets + 1 : self._num_sets + 1 + count] = offsets
+        if total:
+            self._nodes[self._used : self._used + total] = nodes
+        if count:  # a zero-length write would trip read-only (mmap) buffers
+            offsets = self._used + np.cumsum(lengths)
+            self._indptr[
+                self._num_sets + 1 : self._num_sets + 1 + count
+            ] = offsets
+        self._used += total
+        self._num_sets += count
+
+    def extend_pool(self, other: "RRSetPool") -> None:
+        """Append every set of ``other``, O(``other.total_nodes``).
+
+        The in-place half of the merge kernel (:meth:`merge` builds a new
+        pool from many): ``other``'s flat node array is copied once and
+        its CSR offsets are shifted by this pool's current fill — the
+        vectorized equivalent of ``extend(other)`` with no per-set work.
+        Used by the parallel engine to fold worker shards into the
+        caller's (possibly warm) pool.
+        """
+        self._check_writable()
+        if other.num_nodes != self._num_nodes:
+            raise ValueError(
+                f"cannot extend with a pool over a different node universe "
+                f"({other.num_nodes} != {self._num_nodes})"
+            )
+        total = other.total_nodes
+        count = len(other)
+        self._reserve_nodes(total)
+        self._reserve_sets(count)
+        if total:
+            self._nodes[self._used : self._used + total] = other.nodes
+        if count:  # a zero-length write would trip read-only (mmap) buffers
+            self._indptr[self._num_sets + 1 : self._num_sets + 1 + count] = (
+                other.indptr[1:] + self._used
+            )
         self._used += total
         self._num_sets += count
 

@@ -304,7 +304,11 @@ def general_tim(
     ``pool`` opts into cross-run RR-set reuse: KPT pilots and selection
     samples are appended to (and read back from) the caller-owned pool, so
     a later run that needs a larger ``theta`` tops the pool up instead of
-    resampling from scratch.  Selection then covers *every* pooled set
+    resampling from scratch.  The pool may come from anywhere sets of the
+    right distribution do — a live session cache, an on-disk
+    :class:`~repro.store.PoolStore` snapshot (possibly memory-mapped), or
+    a :class:`~repro.parallel.ParallelEngine` merge — and ``generator``
+    may itself be a parallel wrapper; both phases are agnostic.  Selection then covers *every* pooled set
     (``>= theta``), which only sharpens the estimate; ``TIMResult.theta``
     reports the number of sets actually used.  Without ``pool`` the
     original single-shot behaviour is unchanged.  ``candidates`` restricts

@@ -1,0 +1,38 @@
+"""repro.store — persistent, validated on-disk RR-set pool snapshots.
+
+RR-pool generation is the dominant cost of every RR-backed query, and a
+:class:`~repro.api.session.ComICSession` already amortises it *within* a
+process via its pool cache.  This package extends the amortisation
+*across* processes: a :class:`PoolStore` saves each pool's flat CSR
+columns as mmap-loadable ``.npy`` files plus a JSON
+:class:`~repro.store.manifest.PoolManifest` carrying the full cache
+identity — the :class:`PoolKey` (regime, GAPs, opposite seeds), the
+graph fingerprint, and column checksums — so a second process can warm-
+start the same query with **zero** RR-set sampling, and a store can never
+silently serve a pool sampled from a different problem.
+
+Typical use goes through the session (``ComICSession(graph, gaps,
+store="pools/")``), but the store is a standalone component::
+
+    from repro.store import PoolKey, PoolStore
+
+    store = PoolStore("pools/")
+    key = PoolKey.make("rr-sim", gaps, seeds_b)
+    store.save(key, pool, graph_fingerprint=graph.fingerprint())
+    warm = store.load(key, graph_fingerprint=graph.fingerprint())
+"""
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.store.keys import PoolKey
+from repro.store.manifest import FORMAT_VERSION, PoolManifest
+from repro.store.pool_store import PoolStore, StoreStats
+
+__all__ = [
+    "FORMAT_VERSION",
+    "PoolKey",
+    "PoolManifest",
+    "PoolStore",
+    "StoreError",
+    "StoreIntegrityError",
+    "StoreStats",
+]

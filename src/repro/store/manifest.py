@@ -1,0 +1,168 @@
+"""`PoolManifest`: the validation record of one persisted pool entry.
+
+A store entry is three files — two ``.npy`` columns and this manifest as
+``manifest.json``.  The manifest carries everything needed to decide
+whether a candidate entry may serve a load request *without* touching the
+columns (the full :class:`~repro.store.keys.PoolKey`, the graph
+fingerprint, the format version) plus everything needed to prove the
+columns are the ones that were written (shape counts and CRC-32
+checksums), plus free-form provenance (RNG description, creation time,
+creator) that is recorded but never validated.
+
+Validation is deliberately split in two:
+
+* :meth:`PoolManifest.validate_request` — is this entry *for* the pool
+  the caller wants?  Key or fingerprint mismatch means the entry belongs
+  to a different network/regime: an **invalidation**.
+* :meth:`PoolManifest.validate_columns` — are the column files the ones
+  the manifest describes?  A mismatch means on-disk **corruption**.
+
+Both raise :class:`~repro.errors.StoreIntegrityError`; the store's
+forgiving ``load`` maps either to a miss while counting it.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import StoreIntegrityError
+from repro.store.keys import PoolKey
+
+#: on-disk format identifier; bump :data:`FORMAT_VERSION` on layout changes.
+FORMAT_NAME = "repro-pool-store"
+FORMAT_VERSION = 1
+
+
+def crc32_of(array: np.ndarray) -> int:
+    """CRC-32 of an array's raw bytes (cheap corruption tripwire).
+
+    Streams the buffer directly through the buffer protocol — no
+    ``tobytes()`` copy, so checksumming a memory-mapped multi-GB column
+    costs one sequential read and zero extra allocation.
+    """
+    return (
+        zlib.crc32(memoryview(np.ascontiguousarray(array)).cast("B"))
+        & 0xFFFFFFFF
+    )
+
+
+@dataclass(frozen=True)
+class PoolManifest:
+    """The JSON sidecar of one persisted :class:`~repro.rrset.pool.RRSetPool`."""
+
+    key: PoolKey
+    graph_fingerprint: str
+    num_nodes: int
+    num_sets: int
+    total_nodes: int
+    nodes_crc32: int
+    indptr_crc32: int
+    format_version: int = FORMAT_VERSION
+    #: free-form, unvalidated: rng description, unix timestamp, creator.
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types view; inverse of :meth:`from_dict`."""
+        return {
+            "format": FORMAT_NAME,
+            "format_version": self.format_version,
+            "key": self.key.to_dict(),
+            "graph_fingerprint": self.graph_fingerprint,
+            "num_nodes": self.num_nodes,
+            "num_sets": self.num_sets,
+            "total_nodes": self.total_nodes,
+            "nodes_crc32": self.nodes_crc32,
+            "indptr_crc32": self.indptr_crc32,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PoolManifest":
+        """Rebuild from :meth:`to_dict` output; rejects foreign payloads."""
+        if data.get("format") != FORMAT_NAME:
+            raise StoreIntegrityError(
+                f"not a {FORMAT_NAME} manifest (format={data.get('format')!r})"
+            )
+        try:
+            return cls(
+                key=PoolKey.from_dict(data["key"]),
+                graph_fingerprint=str(data["graph_fingerprint"]),
+                num_nodes=int(data["num_nodes"]),
+                num_sets=int(data["num_sets"]),
+                total_nodes=int(data["total_nodes"]),
+                nodes_crc32=int(data["nodes_crc32"]),
+                indptr_crc32=int(data["indptr_crc32"]),
+                format_version=int(data["format_version"]),
+                provenance=dict(data.get("provenance", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreIntegrityError(f"malformed manifest: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Serialise for ``manifest.json``."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PoolManifest":
+        """Parse ``manifest.json`` content; any malformation is integrity."""
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise StoreIntegrityError(f"unreadable manifest: {exc}") from exc
+        if not isinstance(data, dict):
+            raise StoreIntegrityError("manifest must be a JSON object")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_request(
+        self, key: PoolKey, graph_fingerprint: Optional[str]
+    ) -> None:
+        """Check this entry answers the caller's request (else invalidation).
+
+        ``graph_fingerprint=None`` skips the fingerprint comparison
+        (callers that index by key only).
+        """
+        if self.format_version != FORMAT_VERSION:
+            raise StoreIntegrityError(
+                f"entry has format_version {self.format_version}, "
+                f"this build reads {FORMAT_VERSION}"
+            )
+        if self.key != key:
+            raise StoreIntegrityError(
+                f"entry key {self.key} does not match requested {key}"
+            )
+        if graph_fingerprint is not None and (
+            self.graph_fingerprint != graph_fingerprint
+        ):
+            raise StoreIntegrityError(
+                "entry was sampled from a different graph "
+                f"(fingerprint {self.graph_fingerprint[:12]}... != "
+                f"{graph_fingerprint[:12]}...)"
+            )
+
+    def validate_columns(self, nodes: np.ndarray, indptr: np.ndarray) -> None:
+        """Check the loaded columns are the ones written (else corruption)."""
+        if indptr.shape != (self.num_sets + 1,):
+            raise StoreIntegrityError(
+                f"indptr column has shape {indptr.shape}, manifest says "
+                f"({self.num_sets + 1},)"
+            )
+        if nodes.shape != (self.total_nodes,):
+            raise StoreIntegrityError(
+                f"nodes column has shape {nodes.shape}, manifest says "
+                f"({self.total_nodes},)"
+            )
+        if crc32_of(nodes) != self.nodes_crc32:
+            raise StoreIntegrityError("nodes column fails its CRC-32 check")
+        if crc32_of(indptr) != self.indptr_crc32:
+            raise StoreIntegrityError("indptr column fails its CRC-32 check")

@@ -1,0 +1,333 @@
+"""`PoolStore`: versioned on-disk snapshots of RR-set pools.
+
+The pool layout (two flat CSR columns, :mod:`repro.rrset.pool`) makes
+persistence almost free: an entry is a directory holding the columns as
+plain ``.npy`` files plus a JSON manifest::
+
+    <root>/<key digest>/
+        manifest.json     # PoolManifest: key, fingerprint, counts, CRCs
+        nodes.npy         # int32 member-node column
+        indptr.npy        # int64 CSR offset column
+
+Loads memory-map the columns by default (``mmap_mode="r"``): adopting
+them into an :class:`~repro.rrset.pool.RRSetPool` is zero-copy
+(:meth:`RRSetPool.from_flat`) and the pool stays appendable because its
+first growth reallocates into fresh writable memory.  (Checksum
+verification does stream each column once at load — integrity costs one
+sequential read; everything after that touches pages lazily and
+copy-free.)
+
+Every load is *validated*: the manifest must describe exactly the
+requested :class:`~repro.store.keys.PoolKey` and (when given) graph
+fingerprint — otherwise the entry was sampled from a different problem
+and serving it would be silently wrong — and the columns must match the
+manifest's shapes and CRC-32 checksums — otherwise the files were
+corrupted or tampered with.  The forgiving :meth:`PoolStore.load` maps
+both failure kinds to a miss and counts an **invalidation** in
+:class:`StoreStats`; :meth:`PoolStore.load_strict` raises the underlying
+:class:`~repro.errors.StoreIntegrityError` for callers (and tests) that
+want the reason.
+
+Writes are staged + renamed: an entry is built in a ``.staging.*``
+directory, the old entry is atomically moved aside, and the staging
+directory atomically renamed into place, so readers never observe a
+half-written entry (at worst a momentary miss).  Concurrent writers of
+the same key race on the final rename; exactly one installs, losers
+discard their staging quietly — the right semantics when entries are
+identical re-samplings, and documented for everything else.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.rrset.pool import RRSetPool
+from repro.store.keys import PoolKey
+from repro.store.manifest import PoolManifest, crc32_of
+
+MANIFEST_FILE = "manifest.json"
+NODES_FILE = "nodes.npy"
+INDPTR_FILE = "indptr.npy"
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class StoreStats:
+    """Cumulative accounting of one :class:`PoolStore` instance."""
+
+    #: loads answered from a valid on-disk entry.
+    hits: int = 0
+    #: loads for keys with no on-disk entry at all.
+    misses: int = 0
+    #: loads that found an entry but rejected it (wrong key/fingerprint,
+    #: wrong format version, corrupted columns).
+    invalidations: int = 0
+    #: entries written (new or overwritten).
+    saves: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports."""
+        return asdict(self)
+
+
+class PoolStore:
+    """A directory of persisted RR-set pools, addressed by :class:`PoolKey`."""
+
+    def __init__(self, root: PathLike, *, mmap: bool = True) -> None:
+        self._root = Path(root)
+        if self._root.exists() and not self._root.is_dir():
+            raise StoreError(f"store root {self._root} exists and is not a directory")
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._mmap = bool(mmap)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def entry_dir(self, key: PoolKey) -> Path:
+        """The directory a key's entry lives in (existing or not)."""
+        if not isinstance(key, PoolKey):
+            raise StoreError(f"key must be a PoolKey, got {type(key).__name__}")
+        return self._root / key.digest()
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        key: PoolKey,
+        pool: RRSetPool,
+        *,
+        graph_fingerprint: str,
+        provenance: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Persist ``pool`` under ``key``, replacing any previous entry.
+
+        ``graph_fingerprint`` must be :meth:`DiGraph.fingerprint` of the
+        graph the pool was sampled from — it is what load-time validation
+        checks against.  ``provenance`` is recorded verbatim into the
+        manifest (RNG description, creator, ...) on top of the
+        automatically stamped ``created_unix``.  Returns the entry
+        directory.
+
+        The entry is staged in full, the previous entry (if any) is
+        atomically moved aside, and the staging directory is atomically
+        renamed into place — a reader never observes a half-written
+        entry, and a crash leaves the old entry, the new entry, or (only
+        within the single-rename window between the two moves) a plain
+        miss, never a corrupt mix.  Concurrent same-key writers race on
+        the final rename: exactly one wins, losers discard their staging
+        quietly (identical re-samplings are the expected case).
+        """
+        entry = self.entry_dir(key)
+        if not isinstance(pool, RRSetPool):
+            raise StoreError(f"pool must be an RRSetPool, got {type(pool).__name__}")
+        nodes = np.ascontiguousarray(pool.nodes, dtype=np.int32)
+        indptr = np.ascontiguousarray(pool.indptr, dtype=np.int64)
+        stamped: dict[str, Any] = {"created_unix": time.time()}
+        if provenance:
+            stamped.update(provenance)
+        manifest = PoolManifest(
+            key=key,
+            graph_fingerprint=str(graph_fingerprint),
+            num_nodes=pool.num_nodes,
+            num_sets=len(pool),
+            total_nodes=pool.total_nodes,
+            nodes_crc32=crc32_of(nodes),
+            indptr_crc32=crc32_of(indptr),
+            provenance=stamped,
+        )
+        staging = self._root / f".staging.{key.digest()}.{os.getpid()}"
+        retired = self._root / f".trash.{key.digest()}.{os.getpid()}"
+        shutil.rmtree(staging, ignore_errors=True)
+        shutil.rmtree(retired, ignore_errors=True)
+        staging.mkdir(parents=True)
+        try:
+            np.save(staging / NODES_FILE, nodes)
+            np.save(staging / INDPTR_FILE, indptr)
+            (staging / MANIFEST_FILE).write_text(
+                manifest.to_json(), encoding="utf-8"
+            )
+            moved_aside = False
+            if entry.exists():
+                try:
+                    os.replace(entry, retired)  # atomic move-aside
+                except OSError as exc:
+                    # Failing to retire the old entry is a genuine error
+                    # (EACCES, EIO, ...), never the install race — do not
+                    # mask it as success with the stale entry in place.
+                    shutil.rmtree(staging, ignore_errors=True)
+                    raise StoreError(
+                        f"failed to retire previous entry for {key}: {exc}"
+                    ) from exc
+                moved_aside = True
+            try:
+                os.replace(staging, entry)
+            except OSError as exc:
+                shutil.rmtree(staging, ignore_errors=True)
+                if entry.exists():
+                    # Benign same-key race: another writer installed an
+                    # (equivalent) entry between our renames; theirs
+                    # stands, our old copy can retire.
+                    shutil.rmtree(retired, ignore_errors=True)
+                    return entry
+                if moved_aside:
+                    # Genuine failure (EIO, EACCES, ...): put the old —
+                    # still valid — entry back rather than losing it.
+                    try:
+                        os.replace(retired, entry)
+                    except OSError:  # pragma: no cover - double fault
+                        pass
+                raise StoreError(
+                    f"failed to install entry for {key}: {exc}"
+                ) from exc
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        shutil.rmtree(retired, ignore_errors=True)
+        self.stats.saves += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        key: PoolKey,
+        *,
+        graph_fingerprint: Optional[str] = None,
+        mmap: Optional[bool] = None,
+    ) -> Optional[RRSetPool]:
+        """Load the pool for ``key``, or ``None`` on miss/invalid entry.
+
+        The forgiving entry point a cache sits on: a missing entry counts
+        a miss, an entry that fails validation (foreign key, different
+        graph fingerprint, corrupted columns) counts an *invalidation*,
+        and both return ``None`` so the caller just resamples.  ``mmap``
+        overrides the store default for this load.
+        """
+        try:
+            pool = self.load_strict(
+                key, graph_fingerprint=graph_fingerprint, mmap=mmap
+            )
+        except StoreIntegrityError:
+            self.stats.invalidations += 1
+            return None
+        if pool is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return pool
+
+    def load_strict(
+        self,
+        key: PoolKey,
+        *,
+        graph_fingerprint: Optional[str] = None,
+        mmap: Optional[bool] = None,
+    ) -> Optional[RRSetPool]:
+        """Like :meth:`load` but raising
+        :class:`~repro.errors.StoreIntegrityError` on an invalid entry
+        (``None`` still means plain miss).  Does not touch :attr:`stats`.
+        """
+        entry = self.entry_dir(key)
+        manifest_path = entry / MANIFEST_FILE
+        if not manifest_path.exists():
+            return None
+        manifest = self._read_manifest(manifest_path)
+        manifest.validate_request(key, graph_fingerprint)
+        use_mmap = self._mmap if mmap is None else bool(mmap)
+        mmap_mode = "r" if use_mmap else None
+        try:
+            nodes = np.load(entry / NODES_FILE, mmap_mode=mmap_mode)
+            indptr = np.load(entry / INDPTR_FILE, mmap_mode=mmap_mode)
+        except (OSError, ValueError) as exc:
+            raise StoreIntegrityError(f"unreadable column file: {exc}") from exc
+        if nodes.dtype != np.int32 or indptr.dtype != np.int64:
+            raise StoreIntegrityError(
+                f"column dtypes {nodes.dtype}/{indptr.dtype} are not int32/int64"
+            )
+        manifest.validate_columns(nodes, indptr)
+        # The CRC pass just proved the columns byte-identical to what
+        # save() wrote from a validated pool, so from_flat's CSR re-scan
+        # (two more full passes over possibly mmap'd data) is redundant.
+        return RRSetPool.from_flat(
+            manifest.num_nodes, nodes, indptr, validate=False
+        )
+
+    def manifest(self, key: PoolKey) -> Optional[PoolManifest]:
+        """The manifest of a key's entry (validated parse), or ``None``."""
+        path = self.entry_dir(key) / MANIFEST_FILE
+        if not path.exists():
+            return None
+        return self._read_manifest(path)
+
+    @staticmethod
+    def _read_manifest(path: Path) -> PoolManifest:
+        try:
+            payload = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise StoreIntegrityError(f"unreadable manifest: {exc}") from exc
+        return PoolManifest.from_json(payload)
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def contains(
+        self, key: PoolKey, *, graph_fingerprint: Optional[str] = None
+    ) -> bool:
+        """Whether a *valid* entry for ``key`` (and fingerprint) exists."""
+        try:
+            pool = self.load_strict(key, graph_fingerprint=graph_fingerprint)
+        except StoreIntegrityError:
+            return False
+        return pool is not None
+
+    def entries(self) -> Iterator[PoolManifest]:
+        """Iterate the manifests of every readable entry (sorted by dir).
+
+        In-flight staging and crash-orphaned ``.staging.*`` / ``.trash.*``
+        directories are skipped — only installed entries are inventory.
+        """
+        for child in sorted(self._root.iterdir()):
+            if child.name.startswith("."):
+                continue
+            manifest_path = child / MANIFEST_FILE
+            if not manifest_path.exists():
+                continue
+            try:
+                yield self._read_manifest(manifest_path)
+            except StoreIntegrityError:
+                continue
+
+    def delete(self, key: PoolKey) -> bool:
+        """Remove a key's entry; returns whether one existed."""
+        entry = self.entry_dir(key)
+        if not entry.exists():
+            return False
+        shutil.rmtree(entry)
+        return True
+
+    def clear(self) -> None:
+        """Remove every entry (the root directory itself survives)."""
+        for child in self._root.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        count = sum(1 for _ in self.entries())
+        return f"PoolStore(root={str(self._root)!r}, entries={count})"

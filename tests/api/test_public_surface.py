@@ -18,6 +18,7 @@ EXPECTED_ALL = [
     "MultiItemQuery",
     "ObjectiveSpec",
     "PoolInfo",
+    "PoolKey",
     "SelfInfMaxQuery",
     "SessionStats",
     "generator_factory",

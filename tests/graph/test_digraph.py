@@ -185,3 +185,41 @@ class TestInducedSubgraph:
         g = triangle()
         with pytest.raises(GraphError, match="out of range"):
             induced_subgraph(g, [0, 5])
+
+
+class TestFingerprint:
+    def build(self, probs=(0.5, 0.25)):
+        return DiGraph.from_edges(
+            4, [(0, 1, probs[0]), (1, 2, probs[1])]
+        )
+
+    def test_stable_and_cached(self):
+        graph = self.build()
+        first = graph.fingerprint()
+        assert first == graph.fingerprint()
+        assert len(first) == 64
+        int(first, 16)  # hex digest
+
+    def test_equal_graphs_equal_fingerprints(self):
+        assert self.build().fingerprint() == self.build().fingerprint()
+
+    def test_edge_order_does_not_matter(self):
+        a = DiGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        b = DiGraph.from_edges(3, [(1, 2, 0.25), (0, 1, 0.5)])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_weights_structure_and_size(self):
+        base = self.build().fingerprint()
+        assert base != self.build(probs=(0.5, 0.26)).fingerprint()
+        assert base != DiGraph.from_edges(
+            4, [(0, 1, 0.5), (2, 1, 0.25)]
+        ).fingerprint()
+        assert base != DiGraph.from_edges(
+            5, [(0, 1, 0.5), (1, 2, 0.25)]
+        ).fingerprint()
+
+    def test_derived_graphs_get_fresh_fingerprints(self):
+        graph = self.build()
+        reweighted = graph.with_probabilities(np.array([0.9, 0.1]))
+        assert reweighted.fingerprint() != graph.fingerprint()
+        assert graph.reverse().fingerprint() != graph.fingerprint()

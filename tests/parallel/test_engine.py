@@ -1,0 +1,194 @@
+"""ParallelEngine: sharded generation correctness and selection parity.
+
+Worker processes are real (spawned) even on single-core CI boxes — these
+tests assert *correctness* (counts, determinism, top-up semantics,
+selection quality parity), never wall-clock speedups, which
+``benchmarks/bench_rrset_quick.py`` gates on multi-core runners instead.
+One engine per regime is module-scoped so the suite pays each worker
+pool's spawn cost once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.parallel import ParallelEngine
+from repro.rrset import (
+    RRBlockGenerator,
+    RRCimGenerator,
+    RRICGenerator,
+    RRSimGenerator,
+    RRSimPlusGenerator,
+    TIMOptions,
+    general_tim,
+)
+from repro.rrset.pool import RRSetPool
+
+GAPS_SIM = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=1.0)
+GAPS_BLOCK = GAP(q_a=0.6, q_a_given_b=0.1, q_b=0.7, q_b_given_a=0.7)
+OPPOSITE = [0, 1, 2]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(300, rng=5))
+
+
+def regime_generators(graph):
+    return {
+        "rr-ic": RRICGenerator(graph),
+        "rr-sim": RRSimGenerator(graph, GAPS_SIM, OPPOSITE),
+        "rr-sim+": RRSimPlusGenerator(graph, GAPS_SIM, OPPOSITE),
+        "rr-cim": RRCimGenerator(graph, GAPS_CIM, OPPOSITE),
+        "rr-block": RRBlockGenerator(graph, GAPS_BLOCK, OPPOSITE),
+    }
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    eng = ParallelEngine(
+        RRSimGenerator(graph, GAPS_SIM, OPPOSITE), 2, min_batch_per_worker=1
+    )
+    with eng:
+        eng.warm_up(settle_s=0.5)
+        yield eng
+
+
+class TestGenerateBatch:
+    def test_counts_and_universe(self, engine, graph):
+        pool = engine.generate_batch(101, rng=3)
+        assert len(pool) == 101
+        assert pool.num_nodes == graph.num_nodes
+        if pool.total_nodes:
+            assert 0 <= int(pool.nodes.min())
+            assert int(pool.nodes.max()) < graph.num_nodes
+
+    def test_deterministic_for_a_seed(self, engine):
+        a = engine.generate_batch(80, rng=42)
+        b = engine.generate_batch(80, rng=42)
+        assert np.array_equal(a.nodes, b.nodes)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_successive_calls_differ(self, engine):
+        gen = np.random.default_rng(7)
+        a = engine.generate_batch(80, rng=gen)
+        b = engine.generate_batch(80, rng=gen)
+        assert not (
+            np.array_equal(a.nodes, b.nodes)
+            and np.array_equal(a.indptr, b.indptr)
+        )
+
+    def test_top_up_appends_to_existing_pool(self, engine):
+        pool = engine.generate_batch(40, rng=1)
+        kept_nodes = pool.nodes.copy()
+        out = engine.generate_batch(60, rng=2, out=pool)
+        assert out is pool
+        assert len(pool) == 100
+        assert np.array_equal(pool.nodes[: kept_nodes.size], kept_nodes)
+
+    def test_pinned_roots_are_sharded_in_order(self, engine, graph):
+        roots = np.arange(50, dtype=np.int64) % graph.num_nodes
+        pool = engine.generate_batch(0, rng=3, roots=roots)
+        assert len(pool) == 50
+        oracle_roots_pool = engine.generate_batch(0, rng=3, roots=roots)
+        assert np.array_equal(pool.nodes, oracle_roots_pool.nodes)
+
+    def test_oracle_generate_delegates_inprocess(self, engine):
+        rr_set = engine.generate(rng=5, root=10)
+        expected = engine.inner.generate(rng=5, root=10)
+        assert np.array_equal(rr_set, expected)
+
+
+class TestConstruction:
+    def test_single_worker_is_serial_passthrough(self, graph):
+        inner = RRICGenerator(graph)
+        eng = ParallelEngine(inner, 1)
+        serial = inner.generate_batch(30, rng=9)
+        wrapped = eng.generate_batch(30, rng=9)
+        assert np.array_equal(serial.nodes, wrapped.nodes)
+        assert np.array_equal(serial.indptr, wrapped.indptr)
+
+    def test_small_batches_stay_serial(self, graph):
+        inner = RRICGenerator(graph)
+        eng = ParallelEngine(inner, 2, min_batch_per_worker=1000)
+        pool = eng.generate_batch(50, rng=9)  # never spawns workers
+        assert len(pool) == 50
+        assert eng._executor is None
+        serial = inner.generate_batch(50, rng=9)
+        assert np.array_equal(serial.nodes, pool.nodes)
+
+    def test_invalid_arguments(self, graph):
+        inner = RRICGenerator(graph)
+        with pytest.raises(ValueError, match="workers"):
+            ParallelEngine(inner, 0)
+        with pytest.raises(ValueError, match="min_batch_per_worker"):
+            ParallelEngine(inner, 2, min_batch_per_worker=0)
+        with pytest.raises(ValueError, match="nest"):
+            ParallelEngine(ParallelEngine(inner, 1), 2)
+
+    def test_close_is_idempotent(self, graph):
+        eng = ParallelEngine(RRICGenerator(graph), 2, min_batch_per_worker=1)
+        eng.generate_batch(10, rng=0)
+        eng.close()
+        eng.close()
+        # a closed engine restarts its pool on demand
+        assert len(eng.generate_batch(10, rng=0)) == 10
+        eng.close()
+
+
+class TestSelectionParity:
+    """Parallel sampling must not degrade seed quality, in any regime.
+
+    Both engines select on equally-sized fixed-theta pools; quality is
+    compared as greedy coverage on one *common* serially-generated
+    reference pool, which cancels sampling noise in the yardstick.
+    """
+
+    THETA = 600
+    K = 5
+
+    @pytest.mark.parametrize(
+        "regime", ["rr-ic", "rr-sim", "rr-sim+", "rr-cim", "rr-block"]
+    )
+    def test_parallel_matches_serial_selection(self, graph, regime):
+        inner = regime_generators(graph)[regime]
+        options = TIMOptions(theta_override=self.THETA, max_rr_sets=self.THETA)
+        serial = general_tim(inner, self.K, options=options, rng=21)
+        with ParallelEngine(inner, 2, min_batch_per_worker=1) as eng:
+            parallel = general_tim(eng, self.K, options=options, rng=21)
+        assert len(parallel.seeds) == len(serial.seeds)
+        reference = inner.generate_batch(1500, rng=99)
+        cover_serial = _coverage(reference, serial.seeds, graph.num_nodes)
+        cover_parallel = _coverage(reference, parallel.seeds, graph.num_nodes)
+        # parity within sampling noise; sparse regimes can have near-zero
+        # coverage, so allow a small absolute slack as well
+        assert cover_parallel >= 0.8 * cover_serial - 5
+
+
+class TestSessionIntegration:
+    def test_workers_config_engages_parallel_engine(self, graph):
+        from repro.api import ComICSession, EngineConfig, SelfInfMaxQuery
+
+        config = EngineConfig(engine="imm", max_rr_sets=1200, workers=2)
+        session = ComICSession(graph, GAPS_SIM, config=config, rng=3)
+        result = session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=3))
+        assert len(result.seeds) == 3
+        assert result.diagnostics["rr_sets_sampled"] > 0
+        (entry,) = session._pools.values()
+        assert entry.parallel is not None
+        assert entry.parallel.workers == 2
+        # serial follow-up on the same pool does not touch the worker pool
+        session.run(
+            SelfInfMaxQuery(seeds_b=(0, 1), k=4),
+            config=EngineConfig(engine="imm", max_rr_sets=1200),
+        )
+        session.clear_pools()  # shuts the workers down
+        assert entry.parallel is None
+
+
+def _coverage(pool: RRSetPool, seeds, num_nodes: int) -> int:
+    mask = np.zeros(num_nodes, dtype=bool)
+    mask[list(seeds)] = True
+    return int(pool.intersects(mask).sum())

@@ -1,0 +1,76 @@
+"""Property: PoolStore round-trips arbitrary pools and rejects tampering.
+
+The nightly ``ci-deep`` profile scales these budgets 10x (see
+``_profiles.ci_settings``), exercising the store round-trip over far more
+pool shapes than the PR gate.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rrset.pool import RRSetPool
+from repro.store import PoolKey, PoolStore
+
+from tests.properties._profiles import ci_settings
+
+FP = "f" * 64
+
+
+def pools(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=40))
+    sets = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                max_size=6,
+            ),
+            max_size=12,
+        )
+    )
+    pool = RRSetPool(num_nodes)
+    for members in sets:
+        pool.append(np.asarray(members, dtype=np.int64))
+    return pool
+
+
+pool_strategy = st.composite(pools)()
+
+
+@given(
+    pool=pool_strategy,
+    mmap=st.booleans(),
+    seeds=st.lists(st.integers(min_value=0, max_value=99), max_size=4),
+)
+@ci_settings(max_examples=25)
+def test_round_trip_equality(tmp_path_factory, pool, mmap, seeds):
+    store = PoolStore(tmp_path_factory.mktemp("pools"))
+    key = PoolKey.make("rr-sim", (0.3, 0.8, 0.5, 0.5), seeds)
+    store.save(key, pool, graph_fingerprint=FP)
+    loaded = store.load(key, graph_fingerprint=FP, mmap=mmap)
+    assert loaded is not None
+    assert len(loaded) == len(pool)
+    assert np.array_equal(loaded.nodes, pool.nodes)
+    assert np.array_equal(loaded.indptr, pool.indptr)
+    # and the loaded pool still grows (store pools feed IMM top-ups)
+    loaded.append(np.arange(min(3, pool.num_nodes), dtype=np.int64))
+    assert len(loaded) == len(pool) + 1
+
+
+@given(
+    pool=pool_strategy,
+    flip=st.integers(min_value=1, max_value=8),
+)
+@ci_settings(max_examples=25)
+def test_any_flipped_column_byte_invalidates(tmp_path_factory, pool, flip):
+    from repro.store.pool_store import INDPTR_FILE
+
+    store = PoolStore(tmp_path_factory.mktemp("pools"))
+    key = PoolKey.make("rr-cim", (0.3, 0.8, 0.5, 1.0), [0])
+    store.save(key, pool, graph_fingerprint=FP)
+    path = store.entry_dir(key) / INDPTR_FILE
+    blob = bytearray(path.read_bytes())
+    blob[-flip] ^= 0x5A  # corrupt payload bytes from the tail
+    path.write_bytes(bytes(blob))
+    assert store.load(key, graph_fingerprint=FP) is None
+    assert store.stats.invalidations == 1

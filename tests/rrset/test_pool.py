@@ -248,3 +248,121 @@ class TestUniqueInverse:
 
         unique, inverse = unique_inverse(np.empty(0, dtype=np.int64))
         assert unique.size == 0 and inverse.size == 0
+
+
+class TestFromFlat:
+    def test_adopts_arrays_without_copy(self):
+        nodes = np.array([1, 2, 0, 4], dtype=np.int32)
+        indptr = np.array([0, 2, 2, 4], dtype=np.int64)
+        pool = RRSetPool.from_flat(5, nodes, indptr)
+        assert len(pool) == 3
+        assert [s.tolist() for s in pool] == [[1, 2], [], [0, 4]]
+        assert pool.nodes.base is nodes or pool.nodes is nodes
+
+    def test_adopted_pool_grows_by_reallocating(self):
+        nodes = np.array([1, 2], dtype=np.int32)
+        nodes.setflags(write=False)  # simulates a read-only mmap column
+        indptr = np.array([0, 2], dtype=np.int64)
+        indptr.setflags(write=False)
+        pool = RRSetPool.from_flat(5, nodes, indptr)
+        pool.append(np.array([], dtype=np.int64))  # zero-length write guard
+        pool.append(np.array([3, 4]))
+        assert [s.tolist() for s in pool] == [[1, 2], [], [3, 4]]
+        assert nodes.tolist() == [1, 2]  # the adopted column is untouched
+
+    def test_adopted_pool_tolerates_empty_bulk_appends(self):
+        """Zero-set appends must no-op even on read-only adopted buffers."""
+        nodes = np.array([1, 2], dtype=np.int32)
+        nodes.setflags(write=False)
+        indptr = np.array([0, 2], dtype=np.int64)
+        indptr.setflags(write=False)
+        pool = RRSetPool.from_flat(5, nodes, indptr)
+        pool.append_flat(
+            np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int64)
+        )
+        pool.extend_pool(RRSetPool(5))  # empty shard fold-in
+        assert len(pool) == 1 and [s.tolist() for s in pool] == [[1, 2]]
+
+    def test_validation_rejects_bad_csr(self):
+        good_nodes = np.array([1], dtype=np.int32)
+        with pytest.raises(ValueError, match="int32"):
+            RRSetPool.from_flat(
+                5, np.array([1], dtype=np.int64), np.array([0, 1], dtype=np.int64)
+            )
+        with pytest.raises(ValueError, match="run from 0"):
+            RRSetPool.from_flat(5, good_nodes, np.array([1, 1], dtype=np.int64))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            RRSetPool.from_flat(
+                5,
+                np.array([1, 2], dtype=np.int32),
+                np.array([0, 2, 1, 2], dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="lie in"):
+            RRSetPool.from_flat(
+                2, np.array([7], dtype=np.int32), np.array([0, 1], dtype=np.int64)
+            )
+
+
+class TestMergeKernel:
+    def rand_pool(self, seed, num_nodes=20, sets=15):
+        gen = np.random.default_rng(seed)
+        pool = RRSetPool(num_nodes)
+        for _ in range(sets):
+            pool.append(gen.integers(0, num_nodes, size=int(gen.integers(0, 5))))
+        return pool
+
+    def test_merge_equals_sequential_extend(self):
+        pools = [self.rand_pool(s) for s in range(4)]
+        merged = RRSetPool.merge(pools)
+        sequential = RRSetPool(20)
+        for pool in pools:
+            for rr_set in pool:
+                sequential.append(rr_set)
+        assert np.array_equal(merged.nodes, sequential.nodes)
+        assert np.array_equal(merged.indptr, sequential.indptr)
+        assert len(merged) == sum(len(p) for p in pools)
+
+    def test_generator_shards_merge_like_one_batch(self):
+        """Fixed RNG: merging shard pools == topping up one pool."""
+        from repro.graph import power_law_digraph, weighted_cascade_probabilities
+        from repro.rrset import RRICGenerator
+
+        graph = weighted_cascade_probabilities(power_law_digraph(120, rng=4))
+        generator = RRICGenerator(graph)
+        shard_seeds = [11, 22, 33]
+        shards = [
+            generator.generate_batch(40, rng=np.random.default_rng(s))
+            for s in shard_seeds
+        ]
+        merged = RRSetPool.merge(shards)
+        sequential = RRSetPool(graph.num_nodes)
+        for s in shard_seeds:
+            generator.generate_batch(
+                40, rng=np.random.default_rng(s), out=sequential
+            )
+        assert np.array_equal(merged.nodes, sequential.nodes)
+        assert np.array_equal(merged.indptr, sequential.indptr)
+
+    def test_merge_includes_empty_and_prefix_pools(self):
+        pool = self.rand_pool(7)
+        merged = RRSetPool.merge([RRSetPool(20), pool.prefix(3), pool])
+        assert len(merged) == 3 + len(pool)
+        assert [s.tolist() for s in merged][:3] == [
+            s.tolist() for s in pool.prefix(3)
+        ]
+
+    def test_mismatched_universe_rejected(self):
+        with pytest.raises(ValueError, match="node universe"):
+            RRSetPool.merge([RRSetPool(5), RRSetPool(6)])
+        with pytest.raises(ValueError, match="node universe"):
+            RRSetPool(5).extend_pool(RRSetPool(6))
+        with pytest.raises(ValueError, match="at least one"):
+            RRSetPool.merge([])
+
+    def test_extend_pool_into_warm_pool(self):
+        base = self.rand_pool(1)
+        extra = self.rand_pool(2)
+        expect = [s.tolist() for s in base] + [s.tolist() for s in extra]
+        base.extend_pool(extra)
+        assert [s.tolist() for s in base] == expect
+        assert base.indptr[0] == 0

@@ -1,0 +1,75 @@
+"""PoolKey: normalisation, transport, digests, API re-export."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.models import GAP
+from repro.store import PoolKey
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+
+
+class TestMake:
+    def test_normalises_seeds_sorted_unique_int(self):
+        key = PoolKey.make("rr-sim", GAPS, [5, 1, 5, 3, 1])
+        assert key.opposite_seeds == (1, 3, 5)
+        assert all(isinstance(s, int) for s in key.opposite_seeds)
+
+    def test_gap_object_and_quadruple_agree(self):
+        from_gap = PoolKey.make("rr-sim", GAPS, [0])
+        from_tuple = PoolKey.make("rr-sim", GAPS.as_tuple(), [0])
+        assert from_gap == from_tuple
+        assert hash(from_gap) == hash(from_tuple)
+
+    def test_equal_keys_for_equal_pools(self):
+        a = PoolKey.make("rr-sim", GAPS, (2, 1))
+        b = PoolKey.make("rr-sim", GAPS, (1, 2, 2))
+        assert a == b
+        assert {a: "x"}[b] == "x"
+
+    def test_distinct_components_distinct_keys(self):
+        base = PoolKey.make("rr-sim", GAPS, [1])
+        assert base != PoolKey.make("rr-cim", GAPS, [1])
+        assert base != PoolKey.make("rr-sim", GAPS, [1, 2])
+        other = GAP(q_a=0.4, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+        assert base != PoolKey.make("rr-sim", other, [1])
+
+    def test_bad_gap_arity_rejected(self):
+        with pytest.raises(StoreError, match="quadruple"):
+            PoolKey.make("rr-sim", (0.1, 0.2, 0.3), [0])
+
+
+class TestTransport:
+    def test_dict_round_trip(self):
+        key = PoolKey.make("rr-block", GAPS, [4, 2])
+        assert PoolKey.from_dict(key.to_dict()) == key
+
+    def test_from_dict_missing_field_rejected(self):
+        with pytest.raises(StoreError, match="missing"):
+            PoolKey.from_dict({"regime": "rr-sim"})
+
+    def test_canonical_json_is_deterministic(self):
+        key = PoolKey.make("rr-sim", GAPS, [9, 0])
+        assert key.canonical_json() == key.canonical_json()
+        assert '"regime":"rr-sim"' in key.canonical_json()
+
+
+class TestDigest:
+    def test_digest_is_stable_and_hexlike(self):
+        key = PoolKey.make("rr-sim", GAPS, [1, 2])
+        digest = key.digest()
+        assert digest == PoolKey.make("rr-sim", GAPS, [2, 1]).digest()
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+    def test_digest_separates_keys(self):
+        a = PoolKey.make("rr-sim", GAPS, [1]).digest()
+        b = PoolKey.make("rr-sim", GAPS, [2]).digest()
+        assert a != b
+
+
+class TestReExport:
+    def test_api_exports_the_same_class(self):
+        from repro.api import PoolKey as ApiPoolKey
+
+        assert ApiPoolKey is PoolKey

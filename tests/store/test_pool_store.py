@@ -1,0 +1,246 @@
+"""PoolStore: round-trips, mmap loads, and manifest/corruption rejection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.models import GAP
+from repro.rrset.pool import RRSetPool
+from repro.store import PoolKey, PoolStore
+from repro.store.pool_store import INDPTR_FILE, MANIFEST_FILE, NODES_FILE
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+FP = "a" * 64
+KEY = PoolKey.make("rr-sim", GAPS, [0, 1])
+
+
+def make_pool(num_nodes=40, sets=25, rng_seed=0):
+    gen = np.random.default_rng(rng_seed)
+    pool = RRSetPool(num_nodes)
+    for _ in range(sets):
+        size = int(gen.integers(0, 6))
+        pool.append(gen.integers(0, num_nodes, size=size))
+    return pool
+
+
+def assert_pools_equal(a, b):
+    assert len(a) == len(b)
+    assert a.num_nodes == b.num_nodes
+    assert np.array_equal(a.nodes, b.nodes)
+    assert np.array_equal(a.indptr, b.indptr)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PoolStore(tmp_path / "pools")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_save_load_equality(self, store, mmap):
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP, mmap=mmap)
+        assert_pools_equal(pool, loaded)
+        assert store.stats.hits == 1 and store.stats.saves == 1
+
+    def test_empty_and_zero_length_sets_survive(self, store):
+        pool = RRSetPool(10)
+        pool.append(np.array([], dtype=np.int64))
+        pool.append(np.array([3, 7]))
+        pool.append(np.array([], dtype=np.int64))
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert_pools_equal(pool, loaded)
+        assert list(loaded[0]) == [] and list(loaded[1]) == [3, 7]
+
+    def test_mmap_loaded_pool_is_appendable(self, store):
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP, mmap=True)
+        loaded.append(np.array([1, 2, 3]))
+        assert len(loaded) == len(pool) + 1
+        assert list(loaded[len(pool)]) == [1, 2, 3]
+        # the on-disk entry is untouched by the in-memory growth
+        again = store.load(KEY, graph_fingerprint=FP, mmap=True)
+        assert_pools_equal(pool, again)
+
+    def test_save_overwrites_previous_entry(self, store):
+        store.save(KEY, make_pool(sets=5), graph_fingerprint=FP)
+        bigger = make_pool(sets=50, rng_seed=2)
+        store.save(KEY, bigger, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert_pools_equal(bigger, loaded)
+
+    def test_manifest_records_identity_and_provenance(self, store):
+        pool = make_pool()
+        store.save(
+            KEY, pool, graph_fingerprint=FP, provenance={"creator": "test"}
+        )
+        manifest = store.manifest(KEY)
+        assert manifest.key == KEY
+        assert manifest.graph_fingerprint == FP
+        assert manifest.num_sets == len(pool)
+        assert manifest.provenance["creator"] == "test"
+        assert manifest.provenance["created_unix"] > 0
+
+
+class TestMissesAndInvalidation:
+    def test_unknown_key_is_a_miss(self, store):
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.misses == 1
+        assert store.stats.invalidations == 0
+
+    def test_fingerprint_mismatch_is_invalidation(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint="b" * 64) is None
+        assert store.stats.invalidations == 1
+        with pytest.raises(StoreIntegrityError, match="different graph"):
+            store.load_strict(KEY, graph_fingerprint="b" * 64)
+
+    def test_corrupted_nodes_column_rejected(self, store):
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        path = store.entry_dir(KEY) / NODES_FILE
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte; shapes stay valid
+        path.write_bytes(bytes(blob))
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations == 1
+        with pytest.raises(StoreIntegrityError, match="CRC-32"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+
+    def test_truncated_indptr_column_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        entry = store.entry_dir(KEY)
+        np.save(entry / INDPTR_FILE, np.array([0, 1], dtype=np.int64))
+        with pytest.raises(StoreIntegrityError, match="shape"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint=FP) is None
+
+    def test_tampered_manifest_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        path = store.entry_dir(KEY) / MANIFEST_FILE
+        data = json.loads(path.read_text())
+        data["key"]["opposite_seeds"] = [7, 8]  # claims a different pool
+        path.write_text(json.dumps(data))
+        with pytest.raises(StoreIntegrityError, match="does not match"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+
+    def test_garbage_manifest_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        (store.entry_dir(KEY) / MANIFEST_FILE).write_text("{not json")
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations == 1
+
+    def test_foreign_format_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        path = store.entry_dir(KEY) / MANIFEST_FILE
+        data = json.loads(path.read_text())
+        data["format"] = "something-else"
+        path.write_text(json.dumps(data))
+        with pytest.raises(StoreIntegrityError, match="manifest"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+
+    def test_wrong_format_version_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        path = store.entry_dir(KEY) / MANIFEST_FILE
+        data = json.loads(path.read_text())
+        data["format_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(StoreIntegrityError, match="format_version"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+
+
+class TestInventory:
+    def test_contains_entries_delete_clear(self, store):
+        other = PoolKey.make("rr-cim", GAPS, [3])
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        store.save(other, make_pool(rng_seed=1), graph_fingerprint=FP)
+        assert store.contains(KEY, graph_fingerprint=FP)
+        assert not store.contains(KEY, graph_fingerprint="c" * 64)
+        assert {m.key for m in store.entries()} == {KEY, other}
+        assert store.delete(other)
+        assert not store.delete(other)
+        store.clear()
+        assert list(store.entries()) == []
+
+    def test_stale_staging_dirs_are_not_inventory(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        # simulate a crash-orphaned staging dir holding a manifest
+        orphan = store.root / ".staging.deadbeef.1"
+        orphan.mkdir()
+        (orphan / MANIFEST_FILE).write_text(
+            (store.entry_dir(KEY) / MANIFEST_FILE).read_text()
+        )
+        assert [m.key for m in store.entries()] == [KEY]
+        # a fresh save for the same key sweeps its own stale staging
+        store.save(KEY, make_pool(rng_seed=3), graph_fingerprint=FP)
+        assert [m.key for m in store.entries()] == [KEY]
+
+    def test_save_recovers_from_own_stale_staging(self, store):
+        staging = store.root / f".staging.{KEY.digest()}.{__import__('os').getpid()}"
+        staging.mkdir()
+        (staging / "leftover").write_text("x")
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert_pools_equal(pool, loaded)
+        assert not staging.exists()
+
+    def test_failed_install_restores_previous_entry(self, store, monkeypatch):
+        """A rename failure must not destroy the old, still-valid entry."""
+        import os as os_module
+
+        old_pool = make_pool(rng_seed=5)
+        store.save(KEY, old_pool, graph_fingerprint=FP)
+        entry = store.entry_dir(KEY)
+        real_replace = os_module.replace
+
+        def failing_replace(src, dst):
+            if os_module.fspath(dst) == str(entry) and ".staging." in os_module.fspath(src):
+                raise OSError("I/O error")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.store.pool_store.os.replace", failing_replace)
+        with pytest.raises(StoreError, match="failed to install"):
+            store.save(KEY, make_pool(rng_seed=6), graph_fingerprint=FP)
+        monkeypatch.undo()
+        restored = store.load(KEY, graph_fingerprint=FP)
+        assert_pools_equal(old_pool, restored)
+
+    def test_failed_retirement_raises_instead_of_reporting_success(
+        self, store, monkeypatch
+    ):
+        """An EACCES-style move-aside failure must surface, not silently
+        leave the stale entry while claiming the save happened."""
+        import os as os_module
+
+        old_pool = make_pool(rng_seed=5)
+        store.save(KEY, old_pool, graph_fingerprint=FP)
+        saves_before = store.stats.saves
+        real_replace = os_module.replace
+
+        def failing_replace(src, dst):
+            if ".trash." in os_module.fspath(dst):
+                raise OSError("permission denied")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.store.pool_store.os.replace", failing_replace)
+        with pytest.raises(StoreError, match="failed to retire"):
+            store.save(KEY, make_pool(rng_seed=6), graph_fingerprint=FP)
+        monkeypatch.undo()
+        assert store.stats.saves == saves_before
+        assert_pools_equal(old_pool, store.load(KEY, graph_fingerprint=FP))
+
+    def test_root_must_be_a_directory(self, tmp_path):
+        rogue = tmp_path / "file"
+        rogue.write_text("x")
+        with pytest.raises(StoreError, match="not a directory"):
+            PoolStore(rogue)
+
+    def test_non_poolkey_rejected(self, store):
+        with pytest.raises(StoreError, match="PoolKey"):
+            store.entry_dir(("rr-sim", GAPS.as_tuple(), (0,)))

@@ -1,0 +1,116 @@
+"""ComICSession × PoolStore: cross-process warm starts without resampling."""
+
+import pytest
+
+from repro.api import ComICSession, EngineConfig, PoolKey, SelfInfMaxQuery
+from repro.errors import QueryError
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.store import PoolStore
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+QUERY = SelfInfMaxQuery(seeds_b=(0, 1), k=5)
+CONFIG = EngineConfig(engine="imm", max_rr_sets=1500)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(250, rng=9))
+
+
+class TestWarmStart:
+    def test_second_session_samples_nothing(self, graph, tmp_path):
+        cold = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1)
+        first = cold.run(QUERY)
+        assert first.diagnostics["rr_sets_sampled"] > 0
+        assert cold.stats.store_misses == 1
+        assert cold.stats.store_saves >= 1
+
+        warm = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=77)
+        second = warm.run(QUERY)
+        assert second.diagnostics["rr_sets_sampled"] == 0
+        assert warm.stats.store_hits == 1
+        assert warm.stats.rr_sets_sampled == 0
+        # identical pool => the deterministic greedy picks identical seeds
+        assert second.seeds == first.seeds
+        (info,) = warm.pool_info()
+        assert info.origin == "store"
+
+    def test_store_accepts_poolstore_instance_and_path(self, graph, tmp_path):
+        store = PoolStore(tmp_path / "x")
+        session = ComICSession(graph, GAPS, store=store)
+        assert session.store is store
+        session2 = ComICSession(graph, GAPS, store=str(tmp_path / "y"))
+        assert isinstance(session2.store, PoolStore)
+        assert ComICSession(graph, GAPS).store is None
+        with pytest.raises(QueryError, match="store must be"):
+            ComICSession(graph, GAPS, store=42)
+
+    def test_different_graph_invalidates(self, graph, tmp_path):
+        ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1).run(QUERY)
+        other = weighted_cascade_probabilities(power_law_digraph(250, rng=10))
+        session = ComICSession(other, GAPS, config=CONFIG, store=tmp_path, rng=1)
+        result = session.run(QUERY)
+        assert result.diagnostics["rr_sets_sampled"] > 0
+        assert session.stats.store_invalidations == 1
+        assert session.stats.store_hits == 0
+
+    def test_fingerprint_is_in_diagnostics(self, graph, tmp_path):
+        session = ComICSession(graph, GAPS, config=CONFIG, rng=1)
+        result = session.run(QUERY)
+        assert result.diagnostics["graph_fingerprint"] == graph.fingerprint()
+
+
+class TestWriteThrough:
+    def test_evicted_pool_reloads_from_store(self, graph, tmp_path):
+        config = EngineConfig(
+            engine="imm", max_rr_sets=1500, max_pool_bytes=1
+        )  # evict everything after every selection
+        session = ComICSession(graph, GAPS, config=config, store=tmp_path, rng=1)
+        session.run(QUERY)
+        assert session.stats.pool_evictions == 1
+        repeat = session.run(QUERY)
+        # the cache was empty, but the store answered: nothing resampled
+        assert repeat.diagnostics["rr_sets_sampled"] == 0
+        assert session.stats.store_hits == 1
+
+    def test_growth_updates_the_entry(self, graph, tmp_path):
+        session = ComICSession(
+            graph, GAPS, config=CONFIG, store=tmp_path, rng=1
+        )
+        session.run(QUERY)
+        small = session.store.manifest(
+            PoolKey.make("rr-sim+", GAPS, (0, 1))
+        ).num_sets
+        # a tighter epsilon needs more sets: the entry must grow on disk
+        session.run(
+            QUERY, config=EngineConfig(engine="imm", max_rr_sets=3000, epsilon=0.3)
+        )
+        grown = session.store.manifest(
+            PoolKey.make("rr-sim+", GAPS, (0, 1))
+        ).num_sets
+        assert grown > small
+
+    def test_write_through_failure_degrades_to_warning(self, graph, tmp_path):
+        """A dead store must not discard an already-computed selection."""
+        import shutil
+
+        session = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1)
+
+        def broken_save(*args, **kwargs):
+            raise OSError("disk full")
+
+        session.store.save = broken_save
+        with pytest.warns(RuntimeWarning, match="write-through failed"):
+            result = session.run(QUERY)
+        assert len(result.seeds) == QUERY.k
+        assert session.stats.store_saves == 0
+        shutil.rmtree(tmp_path, ignore_errors=True)
+
+    def test_save_pools_requires_store(self, graph, tmp_path):
+        session = ComICSession(graph, GAPS, config=CONFIG, rng=1)
+        with pytest.raises(QueryError, match="no store"):
+            session.save_pools()
+        stored = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1)
+        stored.run(QUERY)
+        assert stored.save_pools() == 1
