@@ -45,6 +45,14 @@ class EngineConfig:
     batch across that many spawn-safe worker processes (selection and MC
     evaluation stay in-process).  The workers are persistent per cached
     pool; 1 (the default) is fully serial.
+
+    ``deadline_s`` gives every query a cooperative wall-clock budget in
+    seconds: sampling checks it at TIM/IMM top-up boundaries and parallel
+    shard joins, and on expiry the session returns a best-effort result
+    over the RR-sets already drawn (never fewer than ``min_rr_sets``),
+    stamped ``degraded=True`` in
+    :attr:`~repro.api.results.InfluenceResult.diagnostics`.  ``None``
+    (the default) imposes no budget.  See ``docs/resilience.md``.
     """
 
     engine: str = "tim"
@@ -55,6 +63,7 @@ class EngineConfig:
     theta_override: Optional[int] = None
     max_pool_bytes: Optional[int] = None
     workers: int = 1
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -86,6 +95,11 @@ class EngineConfig:
         if not isinstance(self.workers, int) or self.workers < 1:
             raise QueryError(
                 f"workers must be an int >= 1 (1 = serial), got {self.workers!r}"
+            )
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise QueryError(
+                f"deadline_s must be > 0 seconds (or None for no budget), "
+                f"got {self.deadline_s}"
             )
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ from typing import Any, Iterable, Optional, Sequence, Union
 from repro.api import registry
 from repro.api.config import EngineConfig
 from repro.api.results import InfluenceResult
+from repro.deadline import Deadline, deadline_scope
 from repro.errors import QueryError, StoreError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
@@ -101,10 +102,40 @@ class SessionStats:
     store_invalidations: int = 0
     #: pool snapshots written back to the store after growth.
     store_saves: int = 0
+    #: queries whose sampling was clipped by ``EngineConfig.deadline_s``
+    #: (each returned a best-effort result stamped ``degraded=True``).
+    deadline_expiries: int = 0
+    #: rejected store entries moved into quarantine by attached-store loads.
+    store_quarantines: int = 0
+    #: write-throughs that failed and degraded to a warning.
+    store_save_failures: int = 0
+    #: parallel shards re-dispatched after a worker crash or hang.
+    parallel_retries: int = 0
+    #: worker-pool teardown/rebuild cycles forced by crashes or hangs.
+    parallel_restarts: int = 0
+    #: hung worker processes killed by the per-shard deadline.
+    parallel_hung_kills: int = 0
+    #: batches that fell back to in-process serial generation after
+    #: parallel retries were exhausted.
+    serial_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for reports."""
         return asdict(self)
+
+
+#: the counters a query's ``diagnostics["resilience"]`` always carries
+#: (zero-valued when nothing went wrong — consumers can key on them
+#: unconditionally).
+RESILIENCE_COUNTERS = (
+    "deadline_expiries",
+    "store_quarantines",
+    "store_save_failures",
+    "parallel_retries",
+    "parallel_restarts",
+    "parallel_hung_kills",
+    "serial_fallbacks",
+)
 
 
 @dataclass
@@ -209,6 +240,9 @@ class ComICSession:
         self._pools: dict[PoolKey, _PoolEntry] = {}
         self._access_clock = 0
         self.stats = SessionStats()
+        #: degradation events of the query currently being served
+        #: (``run`` resets it, helpers append, diagnostics publish it).
+        self._events: list[dict[str, str]] = []
 
     # ------------------------------------------------------------------
     # Configuration accessors
@@ -281,8 +315,14 @@ class ComICSession:
         spec = registry.resolve(query, cfg.engine)
         gen = self._rng if rng is None else make_rng(rng)
         sampled_before = self.stats.rr_sets_sampled
+        stats_before = self.stats.as_dict()
+        self._events = []
         started = time.perf_counter()
-        result: InfluenceResult = spec.handler(self, query, cfg, gen)
+        if cfg.deadline_s is not None:
+            with deadline_scope(Deadline(cfg.deadline_s)):
+                result: InfluenceResult = spec.handler(self, query, cfg, gen)
+        else:
+            result = spec.handler(self, query, cfg, gen)
         self.stats.queries += 1
         result.diagnostics.setdefault("wall_s", time.perf_counter() - started)
         result.diagnostics.setdefault(
@@ -293,7 +333,39 @@ class ComICSession:
         result.diagnostics.setdefault(
             "graph_fingerprint", self._graph.fingerprint()
         )
+        self._stamp_resilience(result, stats_before)
         return result
+
+    def _stamp_resilience(
+        self, result: InfluenceResult, stats_before: dict[str, int]
+    ) -> None:
+        """Publish this query's degradation provenance into diagnostics.
+
+        Every result carries the full ``resilience`` counter dict (this
+        query's deltas, zero when nothing degraded) plus the chronological
+        ``events`` the helpers recorded; ``degraded`` is ``True`` exactly
+        when the wall-clock deadline clipped sampling — recoveries
+        (retries, quarantines, fallbacks) keep results exact, so they are
+        counted but not stamped degraded.
+        """
+        after = self.stats.as_dict()
+        resilience: dict[str, Any] = {
+            name: after[name] - stats_before[name]
+            for name in RESILIENCE_COUNTERS
+        }
+        resilience["events"] = list(self._events)
+        result.diagnostics.setdefault("resilience", resilience)
+        degraded = resilience["deadline_expiries"] > 0
+        result.diagnostics.setdefault("degraded", degraded)
+        reason = next(
+            (
+                event["detail"]
+                for event in self._events
+                if event["kind"] == "deadline"
+            ),
+            None,
+        )
+        result.diagnostics.setdefault("degraded_reason", reason)
 
     def run_many(
         self,
@@ -353,8 +425,14 @@ class ComICSession:
         gen = self._rng if rng is None else make_rng(rng)
         entry = self._pool_entry(regime, gaps, opposite_seeds)
         before = len(entry.pool)
+        generator = self._generator_for(entry, cfg)
+        pstats_before = (
+            generator.stats.as_dict()
+            if isinstance(generator, ParallelEngine)
+            else None
+        )
         result = run_seed_selection(
-            self._generator_for(entry, cfg),
+            generator,
             k,
             engine=cfg.engine,
             options=cfg.tim_options(),
@@ -363,6 +441,13 @@ class ComICSession:
             pool=entry.pool,
             candidates=candidates,
         )
+        if pstats_before is not None:
+            self._absorb_parallel_stats(generator, pstats_before)
+        if getattr(result, "degraded", False):
+            self.stats.deadline_expiries += 1
+            self._events.append(
+                {"kind": "deadline", "detail": result.degraded_reason or ""}
+            )
         entry.selections += 1
         grown = len(entry.pool) - before
         self.stats.rr_sets_sampled += grown
@@ -372,6 +457,33 @@ class ComICSession:
             self._persist_entry(entry, cfg, gen)
         self._evict_pools(cfg.max_pool_bytes)
         return result
+
+    def _absorb_parallel_stats(
+        self, engine: ParallelEngine, before: dict[str, int]
+    ) -> None:
+        """Fold one selection's recovery-counter deltas into the session.
+
+        The engine's own :class:`~repro.parallel.ParallelStats` are
+        cumulative per engine (and engines die with their cache entry),
+        so the session keeps the durable totals — and records a
+        provenance event when a batch had to fall back to serial.
+        """
+        after = engine.stats.as_dict()
+        delta = {name: after[name] - before[name] for name in after}
+        self.stats.parallel_retries += delta["retries"]
+        self.stats.parallel_restarts += delta["restarts"]
+        self.stats.parallel_hung_kills += delta["hung_kills"]
+        self.stats.serial_fallbacks += delta["serial_fallbacks"]
+        if delta["serial_fallbacks"]:
+            self._events.append(
+                {
+                    "kind": "serial_fallback",
+                    "detail": (
+                        "parallel shard retries exhausted; batch regenerated "
+                        "serially in-process (result exact)"
+                    ),
+                }
+            )
 
     def _generator_for(
         self, entry: _PoolEntry, cfg: EngineConfig
@@ -417,6 +529,16 @@ class ComICSession:
                 },
             )
         except (OSError, StoreError) as exc:
+            self.stats.store_save_failures += 1
+            self._events.append(
+                {
+                    "kind": "store_save_failure",
+                    "detail": (
+                        f"pool write-through failed ({exc}); in-memory pool "
+                        "retained (result exact)"
+                    ),
+                }
+            )
             warnings.warn(
                 f"pool store write-through failed ({exc}); "
                 "continuing with the in-memory pool only",
@@ -456,10 +578,23 @@ class ComICSession:
         if self._store is None:
             return None
         invalid_before = self._store.stats.invalidations
+        quarantined_before = self._store.stats.quarantined
         pool = self._store.load(
             key, graph_fingerprint=self._graph.fingerprint()
         )
         invalidated = self._store.stats.invalidations - invalid_before
+        quarantined = self._store.stats.quarantined - quarantined_before
+        if quarantined:
+            self.stats.store_quarantines += quarantined
+            self._events.append(
+                {
+                    "kind": "store_quarantine",
+                    "detail": (
+                        f"rejected store entry for {key} moved to quarantine; "
+                        "pool resampled (result exact)"
+                    ),
+                }
+            )
         if pool is not None:
             self.stats.store_hits += 1
         elif invalidated:
@@ -550,6 +685,31 @@ class ComICSession:
         for entry in self._pools.values():
             entry.close()
         self._pools.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down every cached pool's worker processes (idempotent).
+
+        Each entry's :class:`~repro.parallel.ParallelEngine` is closed
+        exactly once (closing detaches it from the entry, so a double
+        ``close`` — or ``close`` after eviction already released it — is
+        a no-op).  The session itself stays usable: cached pools and the
+        store attachment survive, and the next parallel selection builds
+        a fresh engine.  Also usable as a context manager::
+
+            with ComICSession(graph, gaps, config=cfg) as session:
+                session.run(query)
+        """
+        for entry in self._pools.values():
+            entry.close()
+
+    def __enter__(self) -> "ComICSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

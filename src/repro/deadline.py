@@ -1,0 +1,98 @@
+"""Cooperative wall-clock deadlines for query execution.
+
+A :class:`Deadline` is a fixed point on the monotonic clock that the
+sampling layers poll at natural pause points — TIM/IMM top-up
+boundaries, KPT estimation rounds, parallel shard joins.  Nothing is
+preempted: a vectorized kernel that is already running finishes its
+batch, which is why deadline expiry bounds a query's wall-clock only up
+to one batch granularity (the engines chunk their top-ups when a
+deadline is active precisely to keep that granularity small).
+
+Expiry is signalled two ways, matching the two kinds of consumer:
+
+* ``deadline.expired()`` — a cheap poll for code that can stop cleanly
+  and degrade (the TIM/IMM top-up loops: stop sampling, select over
+  what the pool already holds).
+* ``deadline.check()`` — raises :class:`~repro.errors.DeadlineExceeded`
+  for code that is *waiting* (a parallel shard join) and has nothing
+  partial worth keeping.
+
+The active deadline travels through a :class:`contextvars.ContextVar`
+rather than through every ``generate_batch`` signature:
+:meth:`ComICSession.run` opens a :func:`deadline_scope` around the whole
+query when ``EngineConfig.deadline_s`` is set, and the engines pick it
+up with :func:`current_deadline`.  ``deadline_scope(None)`` explicitly
+*clears* the deadline for a block — the engines use that to guarantee a
+minimum best-effort sample floor even after expiry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.errors import DeadlineExceeded
+
+_ACTIVE_DEADLINE: ContextVar[Optional["Deadline"]] = ContextVar(
+    "repro_active_deadline", default=None
+)
+
+
+class Deadline:
+    """A wall-clock budget anchored to the monotonic clock."""
+
+    __slots__ = ("budget_s", "expires_at")
+
+    def __init__(self, budget_s: float, *, expires_at: Optional[float] = None) -> None:
+        budget_s = float(budget_s)
+        if budget_s <= 0.0:
+            raise ValueError(f"deadline budget must be positive, got {budget_s}")
+        self.budget_s = budget_s
+        self.expires_at = (
+            expires_at if expires_at is not None else time.monotonic() + budget_s
+        )
+
+    @classmethod
+    def after(cls, budget_s: float) -> "Deadline":
+        """A deadline ``budget_s`` seconds from now."""
+        return cls(budget_s)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self, where: str = "query") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` if expired."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:g}s expired during {where}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(budget_s={self.budget_s:g}, remaining={self.remaining():.3f}s)"
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline governing the current context, or ``None``."""
+    return _ACTIVE_DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as the context's active deadline.
+
+    ``deadline_scope(None)`` suspends any outer deadline for the block —
+    used to carve out the minimum-sample floor that keeps best-effort
+    results meaningful.
+    """
+    token = _ACTIVE_DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE_DEADLINE.reset(token)

@@ -62,6 +62,28 @@ class QueryError(ReproError):
     """
 
 
+class ParallelError(ReproError):
+    """Raised by the multiprocess engine (:mod:`repro.parallel`).
+
+    Covers lifecycle misuse — most importantly reusing a
+    :class:`~repro.parallel.ParallelEngine` after :meth:`close` (for
+    example via a stale reference to a session pool entry that was
+    evicted and reloaded), which used to surface as an inscrutable
+    ``BrokenProcessPool`` from the executor internals.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """Cooperative signal that a query's wall-clock budget expired.
+
+    Raised internally at sampling boundaries (TIM/IMM top-ups, parallel
+    shard joins) when ``EngineConfig.deadline_s`` runs out.  Callers of
+    the query API never see it: :class:`~repro.api.session.ComICSession`
+    catches it and returns a best-effort result stamped
+    ``degraded=True`` in ``InfluenceResult.diagnostics``.
+    """
+
+
 class StoreError(ReproError):
     """Raised by the persistent pool store (:mod:`repro.store`).
 

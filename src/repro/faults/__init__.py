@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the resilience layer.
+
+See :mod:`repro.faults.plan` for the model (seeded :class:`FaultPlan`,
+named injection sites, context-scoped activation) and
+``docs/resilience.md`` for the operator-facing failure-modes table the
+plans exercise.
+"""
+
+from repro.faults.plan import (
+    KNOWN_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    fault_scope,
+    fire,
+)
+
+__all__ = [
+    "KNOWN_KINDS",
+    "KNOWN_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "fault_scope",
+    "fire",
+]

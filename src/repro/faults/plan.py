@@ -1,0 +1,233 @@
+"""`FaultPlan`: deterministic, seeded fault injection for resilience tests.
+
+The resilience layer (shard retry in :mod:`repro.parallel`, quarantine
+and save-degradation in :mod:`repro.store`, deadline best-effort in the
+engines) exists to survive events that are miserable to produce on
+demand — a worker segfault mid-batch, a torn manifest, a full disk.
+Rather than killing real processes from tests (slow, racy, platform
+bound), the components expose **named injection points**: cheap hooks
+that consult the active :class:`FaultPlan` and, when a
+:class:`FaultSpec` matches, simulate the failure exactly where the real
+one would strike.  With no plan active every hook is a single
+context-variable read returning ``None`` — the production paths carry no
+other overhead.
+
+Determinism is the design requirement: a plan matches specs by an
+*arming counter* per site (the ``at``-th .. ``at+times-1``-th time the
+site is reached fires), never by wall clock or randomness, and any
+random bytes a fault needs (e.g. column corruption) come from a
+per-site stream derived from the plan's seed.  The same plan against
+the same code path therefore fires the same faults at the same points,
+every run — ordinary pytest exercises every failure path.
+
+Injection sites
+---------------
+
+==========================  =====================================================
+site                        meaning (kinds it honours)
+==========================  =====================================================
+``parallel.shard``          one shard dispatch to a worker process
+                            (``crash`` — the worker ``os._exit``\\ s;
+                            ``hang`` — the worker sleeps past the shard
+                            deadline; ``slow`` — the worker sleeps
+                            ``delay_s`` then computes normally)
+``engine.top_up``           one TIM/IMM sampling chunk (``slow`` — sleep
+                            ``delay_s`` before sampling; ``error`` —
+                            raise :class:`InjectedFault`)
+``store.save.columns``      column write during :meth:`PoolStore.save`
+                            (``enospc`` — raise ``OSError(ENOSPC)``;
+                            ``eacces`` — raise ``OSError(EACCES)``)
+``store.save.manifest``     manifest write during save (``torn`` — the
+                            manifest is truncated mid-JSON, as a torn
+                            write would leave it)
+``store.save.install``      the stage→rename step (``crash`` — raise
+                            :class:`InjectedFault` *without* cleaning the
+                            staging directory, as a killed writer would)
+``store.load``              entry read during :meth:`PoolStore.load`
+                            (``corrupt`` — deterministically overwrite
+                            bytes of the entry's ``nodes.npy``)
+==========================  =====================================================
+
+Usage::
+
+    plan = FaultPlan([FaultSpec("parallel.shard", "crash")], seed=7)
+    with fault_scope(plan):
+        engine.generate_batch(2000, rng=3)   # first shard's worker dies
+    assert plan.fired[0]["kind"] == "crash"
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+#: every site the library arms; specs naming anything else are typos.
+KNOWN_SITES = frozenset(
+    {
+        "parallel.shard",
+        "engine.top_up",
+        "store.save.columns",
+        "store.save.manifest",
+        "store.save.install",
+        "store.load",
+    }
+)
+
+#: kinds each site knows how to simulate (documented above).
+KNOWN_KINDS = frozenset(
+    {"crash", "hang", "slow", "error", "enospc", "eacces", "torn", "corrupt"}
+)
+
+
+class InjectedFault(Exception):
+    """An artificial failure raised by a fault-injection hook.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the library's
+    own degradation paths catch specific real exception types
+    (``OSError``, ``StoreError``, ``BrokenProcessPool``), and an injected
+    stand-in for an uncatchable event (a killed process) must never be
+    swallowed by them accidentally.
+    """
+
+    def __init__(self, site: str, kind: str) -> None:
+        super().__init__(f"injected fault {kind!r} at {site!r}")
+        self.site = site
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: fire ``times`` times starting at the ``at``-th
+    arming of ``site`` (armings are counted from 0 per site)."""
+
+    site: str
+    kind: str
+    #: first arming index of ``site`` this spec fires on.
+    at: int = 0
+    #: how many consecutive armings it fires on (use a large value to
+    #: make a site fail persistently, e.g. to exhaust retries).
+    times: int = 1
+    #: sleep length for ``slow`` / ``hang`` kinds (seconds).
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in KNOWN_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {sorted(KNOWN_SITES)}"
+            )
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(KNOWN_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def matches(self, index: int) -> bool:
+        """Whether this spec fires on the ``index``-th arming of its site."""
+        return self.at <= index < self.at + self.times
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    ``specs`` is the full schedule; ``seed`` feeds the per-site random
+    streams faults draw corruption bytes from.  The plan is stateful —
+    :meth:`arm` advances one counter per site — so use a fresh plan per
+    scenario.  :attr:`fired` records every fault that actually fired (in
+    order) for test assertions.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), *, seed: int = 0) -> None:
+        self._specs = tuple(specs)
+        for spec in self._specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(
+                    f"specs must be FaultSpec instances, got {type(spec).__name__}"
+                )
+        self._seed = int(seed)
+        self._counters: dict[str, int] = {}
+        #: chronological record of fired faults: {site, kind, index}.
+        self.fired: list[dict] = []
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """The plan's schedule, as given."""
+        return self._specs
+
+    @property
+    def seed(self) -> int:
+        """Seed of the per-site corruption streams."""
+        return self._seed
+
+    def arm(self, site: str) -> Optional[FaultSpec]:
+        """Advance ``site``'s arming counter; the spec to fire, if any.
+
+        The first spec (in schedule order) matching the current arming
+        index wins, so overlapping specs are resolved deterministically.
+        """
+        if site not in KNOWN_SITES:
+            raise ValueError(f"unknown fault site {site!r}")
+        index = self._counters.get(site, 0)
+        self._counters[site] = index + 1
+        for spec in self._specs:
+            if spec.site == site and spec.matches(index):
+                self.fired.append({"site": site, "kind": spec.kind, "index": index})
+                return spec
+        return None
+
+    def armings(self, site: str) -> int:
+        """How many times ``site`` has been armed so far."""
+        return self._counters.get(site, 0)
+
+    def rng_for(self, site: str) -> np.random.Generator:
+        """A deterministic random stream for ``site``'s fault payloads."""
+        return np.random.default_rng(
+            [self._seed, zlib.crc32(site.encode("utf-8"))]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultPlan(specs={len(self._specs)}, seed={self._seed}, "
+            f"fired={len(self.fired)})"
+        )
+
+
+_ACTIVE_PLAN: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro_active_fault_plan", default=None
+)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The fault plan governing the current context, or ``None``."""
+    return _ACTIVE_PLAN.get()
+
+
+@contextmanager
+def fault_scope(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Install ``plan`` as the context's active fault plan."""
+    token = _ACTIVE_PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN.reset(token)
+
+
+def fire(site: str) -> Optional[FaultSpec]:
+    """Arm ``site`` against the active plan (the hook the library calls).
+
+    With no plan active this is a single context-variable read — the
+    production cost of carrying the injection points.
+    """
+    plan = _ACTIVE_PLAN.get()
+    if plan is None:
+        return None
+    return plan.arm(site)

@@ -13,8 +13,13 @@ TIM/IMM top-ups and every fast-path regime scale across cores unchanged —
 
     session = ComICSession(graph, gaps, config=EngineConfig(workers=4))
     session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=10))  # sampled on 4 cores
+
+Worker crashes and hangs are survived by bounded per-shard retries on a
+restarted pool (serial fallback only after retries exhaust);
+:class:`ParallelStats` surfaces the recovery counters.  See
+``docs/resilience.md``.
 """
 
-from repro.parallel.engine import ParallelEngine
+from repro.parallel.engine import ParallelEngine, ParallelStats
 
-__all__ = ["ParallelEngine"]
+__all__ = ["ParallelEngine", "ParallelStats"]

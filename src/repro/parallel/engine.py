@@ -27,14 +27,33 @@ Design points:
   from child stream ``i`` of a sequence derived from the caller's rng,
   and shards are merged in shard order — the output pool is a pure
   function of (generator, workers, rng state), independent of worker
-  scheduling.  It is *not* the same stream layout as a serial
-  ``generate_batch`` call, so parallel and serial pools are equal in
-  distribution, not element-wise.
-* **Graceful degradation**: requests smaller than
-  ``min_batch_per_worker * 2`` run serially in-process (IPC would beat
-  the savings), and a broken worker pool (e.g. a worker OOM-killed)
-  permanently falls back to the serial path with a warning instead of
-  failing the query.
+  scheduling, *and of any crash/hang recovery*: a retried shard replays
+  the same child stream, so a batch that survives worker deaths is
+  byte-identical to an undisturbed one.  It is *not* the same stream
+  layout as a serial ``generate_batch`` call, so parallel and serial
+  pools are equal in distribution, not element-wise — except on full
+  serial fallback, where the caller's rng state is restored first and
+  the result is exactly the serial run's.
+* **Fault tolerance**: a dead worker pool (``BrokenProcessPool``) or a
+  shard that blows through ``shard_deadline_s`` (a hung worker, which is
+  killed) triggers a bounded per-shard retry loop on a restarted
+  executor with exponential backoff; completed shards are never redone.
+  Only after ``max_shard_attempts`` per shard does the call fall back to
+  serial in-process generation — with the rng rewound, so even the
+  degraded result is deterministic.  ``ParallelStats`` surfaces
+  ``retries`` / ``restarts`` / ``hung_kills`` / ``serial_fallbacks``,
+  and the session folds them into ``SessionStats`` and each result's
+  diagnostics.  Requests smaller than ``min_batch_per_worker * 2`` run
+  serially in-process (IPC would beat the savings).
+* **Deterministic failure testing**: the shard dispatch consults the
+  active :class:`~repro.faults.FaultPlan` (site ``"parallel.shard"``),
+  so worker crashes, hangs and slow shards are injected deterministically
+  from ordinary tests instead of by racing real process kills.
+
+A query deadline (:func:`repro.deadline.current_deadline`) is honoured
+at shard joins: when it expires mid-batch the call raises
+:class:`~repro.errors.DeadlineExceeded` without merging partial shards
+(the engines catch it and degrade to the samples they already pooled).
 """
 
 from __future__ import annotations
@@ -43,19 +62,27 @@ import os
 import pickle
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
 from multiprocessing import get_context
 from typing import Optional
 
 import numpy as np
 
+from repro import faults
+from repro.deadline import current_deadline
+from repro.errors import DeadlineExceeded, ParallelError
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.pool import RRSetPool
 
 #: per-process generator replica, installed by :func:`_initialize_worker`.
 _WORKER_GENERATOR: Optional[RRSetGenerator] = None
+
+#: exit code of a fault-injected worker crash (visible in core dumps/logs).
+_CRASH_EXIT_CODE = 13
 
 
 def _initialize_worker(payload: bytes) -> None:
@@ -65,10 +92,30 @@ def _initialize_worker(payload: bytes) -> None:
 
 
 def _generate_shard(
-    task: tuple[int, Optional[np.ndarray], np.random.SeedSequence],
+    task: tuple[
+        int,
+        Optional[np.ndarray],
+        np.random.SeedSequence,
+        Optional[tuple[str, float]],
+    ],
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Run one shard in a worker; returns the shard pool's flat columns."""
-    count, roots, seed_seq = task
+    """Run one shard in a worker; returns the shard pool's flat columns.
+
+    ``directive`` is the fault-injection instruction the parent attached
+    at dispatch (``None`` outside fault tests): ``crash`` kills this
+    worker process exactly as a segfault/OOM-kill would, ``hang`` sleeps
+    past the parent's shard deadline, ``slow`` sleeps then computes
+    normally.
+    """
+    count, roots, seed_seq, directive = task
+    if directive is not None:
+        kind, delay_s = directive
+        if kind == "crash":
+            os._exit(_CRASH_EXIT_CODE)
+        elif kind == "hang":
+            time.sleep(delay_s if delay_s > 0 else 3600.0)
+        elif kind == "slow":
+            time.sleep(delay_s)
     rng = np.random.default_rng(seed_seq)
     pool = _WORKER_GENERATOR.generate_batch(count, rng=rng, roots=roots)
     return np.asarray(pool.nodes), np.asarray(pool.indptr)
@@ -80,14 +127,46 @@ def _worker_ready(deadline: float) -> int:
     return os.getpid()
 
 
+@dataclass
+class ParallelStats:
+    """Cumulative fault-recovery accounting of one :class:`ParallelEngine`."""
+
+    #: parallel batches dispatched (serial pass-throughs not counted).
+    batches: int = 0
+    #: shard re-dispatches after a failed attempt.
+    retries: int = 0
+    #: worker-pool teardowns forced by a failure (the pool respawns on
+    #: the next dispatch).
+    restarts: int = 0
+    #: shards killed for exceeding ``shard_deadline_s``.
+    hung_kills: int = 0
+    #: batches completed serially after retries were exhausted.
+    serial_fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (snapshot/delta arithmetic in the session)."""
+        return asdict(self)
+
+
 class ParallelEngine(RRSetGenerator):
     """Wrap an :class:`RRSetGenerator` with a persistent worker pool.
 
     ``workers`` is the number of worker processes; ``workers <= 1`` makes
     the engine a transparent serial pass-through.  Workers are spawned
-    lazily on the first parallel batch (or eagerly via :meth:`warm_up`)
-    and live until :meth:`close` — use the engine as a context manager
-    when its lifetime is scoped.  Not picklable (it owns OS processes).
+    lazily on the first parallel batch (or eagerly via :meth:`warm_up`).
+
+    ``max_shard_attempts`` bounds how many times one shard is dispatched
+    before the whole batch falls back to serial; ``backoff_s`` seeds the
+    exponential pause between retry rounds; ``shard_deadline_s`` (when
+    set) is the per-round time budget after which outstanding shards are
+    presumed hung and their workers killed.
+
+    :meth:`close` is **terminal**: a closed engine raises
+    :class:`~repro.errors.ParallelError` on any further generation call
+    instead of resurrecting its pool (stale references to evicted session
+    entries used to surface as ``BrokenProcessPool`` here).  Use the
+    engine as a context manager when its lifetime is scoped.  Not
+    picklable (it owns OS processes).
     """
 
     def __init__(
@@ -96,6 +175,9 @@ class ParallelEngine(RRSetGenerator):
         workers: int,
         *,
         min_batch_per_worker: int = 256,
+        max_shard_attempts: int = 3,
+        backoff_s: float = 0.05,
+        shard_deadline_s: Optional[float] = None,
     ) -> None:
         if isinstance(generator, ParallelEngine):
             raise ValueError("refusing to nest ParallelEngine in ParallelEngine")
@@ -107,11 +189,25 @@ class ParallelEngine(RRSetGenerator):
             raise ValueError(
                 f"min_batch_per_worker must be >= 1, got {min_batch_per_worker}"
             )
+        if max_shard_attempts < 1:
+            raise ValueError(
+                f"max_shard_attempts must be >= 1, got {max_shard_attempts}"
+            )
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if shard_deadline_s is not None and shard_deadline_s <= 0:
+            raise ValueError(
+                f"shard_deadline_s must be positive (or None), got {shard_deadline_s}"
+            )
         self._inner = generator
         self._workers = workers
         self._min_batch = int(min_batch_per_worker)
+        self._max_attempts = int(max_shard_attempts)
+        self._backoff_s = float(backoff_s)
+        self._shard_deadline_s = shard_deadline_s
         self._executor: Optional[ProcessPoolExecutor] = None
-        self._broken = False
+        self._closed = False
+        self.stats = ParallelStats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,10 +222,24 @@ class ParallelEngine(RRSetGenerator):
         """Configured worker-process count."""
         return self._workers
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (terminal)."""
+        return self._closed
+
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ParallelError(
+                "ParallelEngine is closed; build a new engine instead of "
+                "reusing one whose workers were shut down (e.g. via a stale "
+                "reference to an evicted session pool entry)"
+            )
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
+        self._check_open()
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._workers,
@@ -139,6 +249,26 @@ class ParallelEngine(RRSetGenerator):
             )
         return self._executor
 
+    def _kill_executor(self, *, wait: bool = False) -> None:
+        """Tear the worker pool down, terminating resident processes.
+
+        Workers are always terminated rather than joined on their current
+        task — a hung worker (or one still sleeping off an abandoned
+        shard after a deadline expiry) would otherwise block shutdown
+        indefinitely.  ``wait=True`` additionally joins the (now dying)
+        pool before returning, for deterministic resource release on
+        :meth:`close`; recovery paths use ``wait=False`` and respawn.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - platform-dependent
+                pass
+        executor.shutdown(wait=wait, cancel_futures=True)
+
     def warm_up(self, *, settle_s: float = 1.0) -> None:
         """Spawn the workers now (best effort) instead of on first use.
 
@@ -147,20 +277,21 @@ class ParallelEngine(RRSetGenerator):
         benchmarks call this so the first timed batch does not pay
         interpreter start-up.
         """
-        if self._workers <= 1 or self._broken:
+        self._check_open()
+        if self._workers <= 1:
             return
         executor = self._ensure_executor()
         deadline = time.time() + max(settle_s, 0.0)
         try:
             list(executor.map(_worker_ready, [deadline] * self._workers))
         except BrokenProcessPool:
-            self._mark_broken()
+            self._kill_executor()
+            self.stats.restarts += 1
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        """Shut the worker pool down for good (idempotent, terminal)."""
+        self._closed = True
+        self._kill_executor(wait=True)
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -174,15 +305,6 @@ class ParallelEngine(RRSetGenerator):
         except Exception:
             pass
 
-    def _mark_broken(self) -> None:
-        warnings.warn(
-            "parallel RR-set workers died; falling back to serial generation",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        self._broken = True
-        self.close()
-
     # ------------------------------------------------------------------
     # RRSetGenerator interface
     # ------------------------------------------------------------------
@@ -190,6 +312,7 @@ class ParallelEngine(RRSetGenerator):
         self, *, rng: SeedLike = None, root: Optional[int] = None
     ) -> np.ndarray:
         """Per-root oracle: delegates to the wrapped generator in-process."""
+        self._check_open()
         return self._inner.generate(rng=rng, root=root)
 
     def generate_batch(
@@ -205,18 +328,27 @@ class ParallelEngine(RRSetGenerator):
         Same contract as the serial engines: ``roots`` pins roots
         (sharded alongside the counts), ``out`` receives a top-up.
         Small batches and a 1-worker engine run serially in-process.
+        Worker failures are retried per shard (see class docstring);
+        raises :class:`~repro.errors.DeadlineExceeded` when the active
+        query deadline expires at a shard join, leaving ``out``
+        untouched.
         """
+        self._check_open()
         gen = make_rng(rng)
         if roots is not None:
             roots = np.asarray(roots, dtype=np.int64)
             count = int(roots.size)
         count = int(count)
         shards = min(self._workers, max(count // self._min_batch, 1))
-        if shards <= 1 or self._broken:
+        if shards <= 1:
             return self._inner.generate_batch(count, rng=gen, roots=roots, out=out)
+        # Remember the caller's stream so an exhausted-retries fallback can
+        # rewind and reproduce the *serial* run exactly.
+        rng_state = gen.bit_generator.state
         # Child streams are derived from the caller's rng (consuming it, so
         # successive calls differ) and assigned to shards positionally:
-        # the merged pool is scheduling-independent.
+        # the merged pool is scheduling-independent, and a retried shard
+        # replays the same stream.
         entropy = [int(v) for v in gen.integers(0, 2**32, size=4)]
         children = np.random.SeedSequence(entropy).spawn(shards)
         base, rem = divmod(count, shards)
@@ -226,12 +358,19 @@ class ParallelEngine(RRSetGenerator):
             if roots is not None
             else [None] * shards
         )
-        tasks = list(zip(counts, root_parts, children))
-        executor = self._ensure_executor()
-        try:
-            results = list(executor.map(_generate_shard, tasks))
-        except BrokenProcessPool:
-            self._mark_broken()
+        results = self._run_shards(counts, root_parts, children)
+        if results is None:
+            # Retries exhausted: rewind the stream and run the whole batch
+            # serially — deterministic, and identical to a serial call.
+            gen.bit_generator.state = rng_state
+            self.stats.serial_fallbacks += 1
+            warnings.warn(
+                "parallel RR-set workers kept failing after "
+                f"{self._max_attempts} attempts per shard; "
+                "this batch ran serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return self._inner.generate_batch(count, rng=gen, roots=roots, out=out)
         pool = out if out is not None else RRSetPool(self._graph.num_nodes)
         for shard_nodes, shard_indptr in results:
@@ -243,8 +382,112 @@ class ParallelEngine(RRSetGenerator):
             )
         return pool
 
+    # ------------------------------------------------------------------
+    # Shard dispatch with bounded retry
+    # ------------------------------------------------------------------
+    def _run_shards(
+        self,
+        counts: list[int],
+        root_parts: list[Optional[np.ndarray]],
+        children: list[np.random.SeedSequence],
+    ) -> Optional[list[tuple[np.ndarray, np.ndarray]]]:
+        """Dispatch every shard, retrying failures; ``None`` = give up.
+
+        Completed shards are kept across retry rounds (their seed streams
+        are fixed, so re-running the others cannot change them).  Each
+        failure event — a broken pool or a shard-deadline expiry — kills
+        the executor; the next round lazily respawns it after an
+        exponential backoff.
+        """
+        shards = len(counts)
+        results: list[Optional[tuple[np.ndarray, np.ndarray]]] = [None] * shards
+        attempts = [0] * shards
+        self.stats.batches += 1
+        retry_round = 0
+        while True:
+            pending = [i for i in range(shards) if results[i] is None]
+            if not pending:
+                return [r for r in results if r is not None]
+            if any(attempts[i] >= self._max_attempts for i in pending):
+                self._kill_executor()
+                return None
+            if retry_round > 0:
+                time.sleep(min(self._backoff_s * 2 ** (retry_round - 1), 2.0))
+            executor = self._ensure_executor()
+            futures = {}
+            for i in pending:
+                if attempts[i] > 0:
+                    self.stats.retries += 1
+                attempts[i] += 1
+                spec = faults.fire("parallel.shard")
+                directive = (spec.kind, spec.delay_s) if spec is not None else None
+                futures[i] = executor.submit(
+                    _generate_shard,
+                    (counts[i], root_parts[i], children[i], directive),
+                )
+            if self._collect(futures, results):
+                retry_round += 1  # a failure round: back off, then retry
+
+    def _collect(
+        self,
+        futures: dict[int, Future],
+        results: list[Optional[tuple[np.ndarray, np.ndarray]]],
+    ) -> bool:
+        """Harvest one dispatch round into ``results``.
+
+        Returns ``True`` when a failure was detected (and the executor
+        killed), ``False`` on a clean round.  Raises
+        :class:`~repro.errors.DeadlineExceeded` if the query deadline
+        expires while waiting — hung-shard detection is the *shard*
+        deadline's job and triggers a retry instead.
+        """
+        round_start = time.monotonic()
+        deadline = current_deadline()
+        failed = False
+        hung = False
+        for i, fut in futures.items():
+            if failed:
+                break
+            timeout: Optional[float] = None
+            if self._shard_deadline_s is not None:
+                timeout = round_start + self._shard_deadline_s - time.monotonic()
+            if deadline is not None:
+                remaining = deadline.remaining()
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            try:
+                results[i] = fut.result(
+                    timeout=None if timeout is None else max(timeout, 0.0)
+                )
+            except BrokenProcessPool:
+                failed = True
+            except FutureTimeoutError:
+                if deadline is not None and deadline.expired():
+                    # Query budget gone: the engines degrade to what they
+                    # already have; workers finish their shards and idle.
+                    raise DeadlineExceeded(
+                        "query deadline expired waiting for parallel "
+                        "RR-set shards"
+                    )
+                failed = True
+                hung = True
+        if failed:
+            # Keep any shards that did finish before tearing down.
+            for i, fut in futures.items():
+                if results[i] is None and fut.done():
+                    try:
+                        results[i] = fut.result(timeout=0)
+                    except Exception:
+                        pass
+            if hung:
+                self.stats.hung_kills += sum(
+                    1 for i in futures if results[i] is None
+                )
+            self._kill_executor()
+            self.stats.restarts += 1
+        return failed
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "broken" if self._broken else (
+        state = "closed" if self._closed else (
             "live" if self._executor is not None else "cold"
         )
         return (

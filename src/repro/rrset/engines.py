@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.deadline import Deadline
 from repro.rng import SeedLike
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.imm import IMMOptions, IMMResult, general_imm
@@ -42,6 +43,7 @@ def run_seed_selection(
     rng: SeedLike = None,
     pool: Optional[RRSetPool] = None,
     candidates=None,
+    deadline: Optional[Deadline] = None,
 ) -> SelectionResult:
     """Select ``k`` seeds with the requested engine.
 
@@ -50,19 +52,21 @@ def run_seed_selection(
     ``options``.  ``pool`` threads a caller-owned RR-set pool through to
     the engine for cross-run reuse (see
     :class:`~repro.api.session.ComICSession`); ``candidates`` restricts
-    the pickable seed nodes without restricting sampling.
+    the pickable seed nodes without restricting sampling.  ``deadline``
+    makes sampling cooperative (see :mod:`repro.deadline`): on expiry
+    the engine selects best-effort and stamps its result ``degraded``.
     """
     if options is None:
         options = TIMOptions()
     if engine == "tim":
         return general_tim(
             generator, k, options=options, rng=rng, pool=pool,
-            candidates=candidates,
+            candidates=candidates, deadline=deadline,
         )
     if engine == "imm":
         resolved = imm_options if imm_options is not None else imm_options_from_tim(options)
         return general_imm(
             generator, k, options=resolved, rng=rng, pool=pool,
-            candidates=candidates,
+            candidates=candidates, deadline=deadline,
         )
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

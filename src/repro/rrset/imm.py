@@ -38,11 +38,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.deadline import Deadline, current_deadline
 from repro.errors import SeedSetError
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.pool import RRSetPool
-from repro.rrset.tim import _log_n_choose_k, greedy_max_coverage
+from repro.rrset.tim import (
+    _log_n_choose_k,
+    cooperative_top_up,
+    greedy_max_coverage,
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +95,12 @@ class IMMResult:
     rounds: int = 0
     #: marginal coverage gain of each seed, in selection order.
     marginal_coverage: list[int] = field(default_factory=list)
+    #: whether a wall-clock deadline clipped sampling: the seeds were
+    #: selected best-effort over fewer RR-sets than the accuracy target.
+    degraded: bool = False
+    #: human-readable reason when ``degraded`` (machine consumers should
+    #: key off the flag, not parse this).
+    degraded_reason: Optional[str] = None
 
 
 def _lambda_prime(n: int, k: int, epsilon_prime: float, ell: float) -> float:
@@ -118,6 +129,7 @@ def general_imm(
     rng: SeedLike = None,
     pool: Optional[RRSetPool] = None,
     candidates=None,
+    deadline: Optional[Deadline] = None,
 ) -> IMMResult:
     """Run IMM on ``generator`` and return the selected seed set.
 
@@ -136,9 +148,17 @@ def general_imm(
     (applied to every greedy pass; the certified lower bound is then a
     bound on the candidate-restricted optimum, which only increases the
     sample size — conservative).
+
+    ``deadline`` (explicit, or ambient via
+    :func:`repro.deadline.current_deadline`) makes every top-up
+    cooperative: when the budget expires, selection runs best-effort
+    over whatever the pool holds (never fewer than ``min_rr_sets``) and
+    the result is stamped ``degraded=True``.
     """
     if options is None:
         options = IMMOptions()
+    if deadline is None:
+        deadline = current_deadline()
     graph = generator.graph
     n = graph.num_nodes
     if k < 0 or k > n:
@@ -160,10 +180,16 @@ def general_imm(
     # through the batched engine instead of rebuilding per-round lists.
     rr_sets = pool if pool is not None else RRSetPool(n)
 
+    clipped = False
+
     def top_up(target: int) -> None:
+        nonlocal clipped
         target = min(target, options.max_rr_sets)
-        if len(rr_sets) < target:
-            generator.generate_batch(target - len(rr_sets), rng=gen, out=rr_sets)
+        floor = min(options.min_rr_sets, target)
+        if not cooperative_top_up(
+            generator, target, rr_sets, gen, deadline=deadline, floor=floor
+        ):
+            clipped = True
 
     def selection_view() -> RRSetPool:
         # max_rr_sets caps use as well as growth: a warm caller-owned pool
@@ -199,7 +225,7 @@ def general_imm(
         if estimate >= (1.0 + epsilon_prime) * x_i:
             lower_bound = estimate / (1.0 + epsilon_prime)
             break
-        if len(rr_sets) >= options.max_rr_sets:
+        if clipped or len(rr_sets) >= options.max_rr_sets:
             break
 
     if math.isnan(lower_bound):
@@ -213,7 +239,8 @@ def general_imm(
     lam_star = _lambda_star(n, k, options.epsilon, ell_eff)
     theta = int(math.ceil(lam_star / lower_bound_for_theta))
     theta = int(np.clip(theta, options.min_rr_sets, options.max_rr_sets))
-    top_up(theta)
+    if not clipped:
+        top_up(theta)
     # Selection runs on everything generated (>= theta when sampling-phase
     # rounds overshot), which only sharpens the estimate — capped at this
     # run's max_rr_sets when reusing a larger caller-owned pool.
@@ -223,6 +250,12 @@ def general_imm(
             sel, n, k, candidates=candidates
         )
     total = len(sel)
+    degraded_reason = None
+    if clipped:
+        degraded_reason = (
+            f"deadline of {deadline.budget_s:g}s expired during sampling: "
+            f"selected best-effort over {total} of {theta} RR-sets"
+        )
     return IMMResult(
         seeds=seeds,
         theta=total,
@@ -231,4 +264,6 @@ def general_imm(
         estimated_objective=n * covered / total if total else 0.0,
         rounds=rounds,
         marginal_coverage=gains,
+        degraded=clipped,
+        degraded_reason=degraded_reason,
     )

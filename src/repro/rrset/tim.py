@@ -33,12 +33,15 @@ shows seed quality is insensitive to it.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import SeedSetError
+from repro import faults
+from repro.deadline import Deadline, current_deadline, deadline_scope
+from repro.errors import DeadlineExceeded, SeedSetError
 from repro.graph.digraph import expand_csr
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
@@ -85,6 +88,12 @@ class TIMResult:
     estimated_objective: float
     #: marginal coverage gain of each selected seed, in selection order.
     marginal_coverage: list[int] = field(default_factory=list)
+    #: whether a wall-clock deadline clipped sampling: the seeds were
+    #: selected best-effort over fewer RR-sets than the accuracy target.
+    degraded: bool = False
+    #: human-readable reason when ``degraded`` (machine consumers should
+    #: key off the flag, not parse this).
+    degraded_reason: Optional[str] = None
 
 
 def _log_n_choose_k(n: int, k: int) -> float:
@@ -96,6 +105,63 @@ def _log_n_choose_k(n: int, k: int) -> float:
     )
 
 
+def _arm_top_up_fault() -> None:
+    """Fault-injection hook fired once per sampling chunk (test-only)."""
+    spec = faults.fire("engine.top_up")
+    if spec is None:
+        return
+    if spec.kind == "slow":
+        time.sleep(spec.delay_s)
+    elif spec.kind == "error":
+        raise faults.InjectedFault(spec.site, spec.kind)
+
+
+def cooperative_top_up(
+    generator: RRSetGenerator,
+    target: int,
+    pool: RRSetPool,
+    rng: SeedLike,
+    *,
+    deadline: Optional[Deadline] = None,
+    floor: int = 0,
+) -> bool:
+    """Grow ``pool`` to ``target`` sets, cooperating with ``deadline``.
+
+    Without a deadline this is one ``generate_batch`` call — the
+    original top-up, bit-for-bit.  With one, the request is split into
+    chunks with an expiry check between them (so a runaway theta cannot
+    blow the budget by more than one chunk), and the first ``floor``
+    sets are sampled with the deadline *suspended* — a best-effort
+    answer over zero RR-sets would be meaningless, so every selection is
+    guaranteed at least the floor even when the budget is already gone.
+
+    Returns whether ``target`` was reached; ``False`` means the caller
+    should select over what the pool holds and mark the result degraded.
+    """
+    target = int(target)
+    if deadline is None:
+        if len(pool) < target:
+            _arm_top_up_fault()
+            generator.generate_batch(target - len(pool), rng=rng, out=pool)
+        return True
+    floor = min(int(floor), target)
+    if len(pool) < floor:
+        _arm_top_up_fault()
+        with deadline_scope(None):
+            generator.generate_batch(floor - len(pool), rng=rng, out=pool)
+    chunk = max(512, (target - len(pool) + 7) // 8)
+    while len(pool) < target:
+        if deadline.expired():
+            return False
+        _arm_top_up_fault()
+        try:
+            step = min(chunk, target - len(pool))
+            generator.generate_batch(step, rng=rng, out=pool)
+        except DeadlineExceeded:
+            return False
+    return True
+
+
 def estimate_kpt(
     generator: RRSetGenerator,
     k: int,
@@ -104,6 +170,7 @@ def estimate_kpt(
     rng: SeedLike = None,
     max_rr_sets: int = 10_000,
     pool: Optional[RRSetPool] = None,
+    deadline: Optional[Deadline] = None,
 ) -> float:
     """The ``KptEstimation`` lower bound on ``OPT_k`` from [24], §4.1.
 
@@ -117,6 +184,11 @@ def estimate_kpt(
     slices of the shared pool instead of throwaway batches, topping the
     pool up only when it runs short — so pilot RR-sets are sampled at most
     once per session and are reused by the selection phase afterwards.
+
+    ``deadline`` makes the estimation cooperative: an expired budget ends
+    the iteration early and returns the weakest valid bound seen so far
+    (the caller's theta then clips at ``max_rr_sets`` and its own top-up
+    degrades in turn).
     """
     graph = generator.graph
     n, m = graph.num_nodes, graph.num_edges
@@ -128,18 +200,25 @@ def estimate_kpt(
     budget = max_rr_sets
     offset = 0
     for i in range(1, log2n):
+        if deadline is not None and deadline.expired():
+            break
         c_i = int(math.ceil((6 * ell * math.log(n) + 6 * math.log(log2n)) * 2**i))
         c_i = min(c_i, budget)
         if c_i <= 0:
             break
-        if pool is None:
-            batch = generator.generate_batch(c_i, rng=gen)
-            widths = batch.widths(in_degrees)
-        else:
-            if len(pool) < offset + c_i:
-                generator.generate_batch(offset + c_i - len(pool), rng=gen, out=pool)
-            widths = pool.widths(in_degrees, start=offset, stop=offset + c_i)
-            offset += c_i
+        try:
+            if pool is None:
+                batch = generator.generate_batch(c_i, rng=gen)
+                widths = batch.widths(in_degrees)
+            else:
+                if len(pool) < offset + c_i:
+                    generator.generate_batch(
+                        offset + c_i - len(pool), rng=gen, out=pool
+                    )
+                widths = pool.widths(in_degrees, start=offset, stop=offset + c_i)
+                offset += c_i
+        except DeadlineExceeded:
+            break
         mean_kappa = float(np.mean(1.0 - (1.0 - widths / m) ** k))
         budget -= c_i
         if mean_kappa > 1.0 / (2**i):
@@ -298,6 +377,7 @@ def general_tim(
     rng: SeedLike = None,
     pool: Optional[RRSetPool] = None,
     candidates=None,
+    deadline: Optional[Deadline] = None,
 ) -> TIMResult:
     """Run GeneralTIM (Algorithm 1) and return the selected seed set.
 
@@ -314,9 +394,17 @@ def general_tim(
     original single-shot behaviour is unchanged.  ``candidates`` restricts
     the pickable seed nodes (see :func:`greedy_max_coverage`); sampling is
     unrestricted, so pools stay shareable across candidate sets.
+
+    ``deadline`` (explicit, or ambient via
+    :func:`repro.deadline.current_deadline`) makes sampling cooperative:
+    when the budget expires, selection runs best-effort over whatever
+    the pool holds (never fewer than ``min_rr_sets``) and the result is
+    stamped ``degraded=True``.
     """
     if options is None:
         options = TIMOptions()
+    if deadline is None:
+        deadline = current_deadline()
     graph = generator.graph
     n = graph.num_nodes
     if k < 0 or k > n:
@@ -333,13 +421,16 @@ def general_tim(
             rng=gen,
             max_rr_sets=max(options.max_rr_sets // 4, 100),
             pool=pool,
+            deadline=deadline,
         )
         theta = compute_theta(n, k, kpt, epsilon=options.epsilon, ell=options.ell)
     theta = int(np.clip(theta, options.min_rr_sets, options.max_rr_sets))
     if pool is None:
-        pool = generator.generate_batch(theta, rng=gen)
-    elif len(pool) < theta:
-        generator.generate_batch(theta - len(pool), rng=gen, out=pool)
+        pool = RRSetPool(n)
+    completed = cooperative_top_up(
+        generator, theta, pool, gen,
+        deadline=deadline, floor=min(options.min_rr_sets, theta),
+    )
     selection = pool
     if options.theta_override is not None and len(pool) > theta:
         # A pinned theta is a pin even against a warm pool: select over
@@ -353,6 +444,12 @@ def general_tim(
     seeds, covered, gains = greedy_max_coverage(
         selection, n, k, candidates=candidates
     )
+    degraded_reason = None
+    if not completed:
+        degraded_reason = (
+            f"deadline of {deadline.budget_s:g}s expired during sampling: "
+            f"selected best-effort over {used} of {theta} RR-sets"
+        )
     return TIMResult(
         seeds=seeds,
         theta=used,
@@ -360,4 +457,6 @@ def general_tim(
         coverage=covered,
         estimated_objective=n * covered / used if used else 0.0,
         marginal_coverage=gains,
+        degraded=not completed,
+        degraded_reason=degraded_reason,
     )

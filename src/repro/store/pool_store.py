@@ -35,10 +35,22 @@ half-written entry (at worst a momentary miss).  Concurrent writers of
 the same key race on the final rename; exactly one installs, losers
 discard their staging quietly — the right semantics when entries are
 identical re-samplings, and documented for everything else.
+
+The store also **self-heals** (see ``docs/resilience.md``): an entry
+:meth:`PoolStore.load` rejects is *quarantined* — moved under
+``<root>/.quarantine/<digest>-<n>/`` with a ``reason.json`` record — so
+a corrupted or foreign entry costs one invalidation ever, not one per
+query; crash-orphaned ``.staging.*`` / ``.trash.*`` directories older
+than ``stale_temp_age_s`` are garbage-collected when the store opens;
+and every failed :meth:`PoolStore.save` is tallied in
+:attr:`StoreStats.save_failures` so callers can degrade to
+warn-and-continue without losing the signal.
 """
 
 from __future__ import annotations
 
+import errno
+import json
 import os
 import shutil
 import time
@@ -48,6 +60,7 @@ from typing import Any, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import faults
 from repro.errors import StoreError, StoreIntegrityError
 from repro.rrset.pool import RRSetPool
 from repro.store.keys import PoolKey
@@ -56,6 +69,10 @@ from repro.store.manifest import PoolManifest, crc32_of
 MANIFEST_FILE = "manifest.json"
 NODES_FILE = "nodes.npy"
 INDPTR_FILE = "indptr.npy"
+#: subdirectory of the store root holding quarantined entries.
+QUARANTINE_DIR = ".quarantine"
+#: sidecar written into each quarantined entry explaining why.
+REASON_FILE = "reason.json"
 
 PathLike = Union[str, os.PathLike]
 
@@ -73,6 +90,12 @@ class StoreStats:
     invalidations: int = 0
     #: entries written (new or overwritten).
     saves: int = 0
+    #: rejected entries moved aside into ``.quarantine/`` by ``load``.
+    quarantined: int = 0
+    #: ``save`` calls that raised (disk full, permission, injected).
+    save_failures: int = 0
+    #: crash-orphaned staging/trash directories removed at open.
+    temp_dirs_gcd: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view for reports."""
@@ -80,15 +103,51 @@ class StoreStats:
 
 
 class PoolStore:
-    """A directory of persisted RR-set pools, addressed by :class:`PoolKey`."""
+    """A directory of persisted RR-set pools, addressed by :class:`PoolKey`.
 
-    def __init__(self, root: PathLike, *, mmap: bool = True) -> None:
+    ``stale_temp_age_s`` controls the open-time sweep of crash-orphaned
+    ``.staging.*`` / ``.trash.*`` directories: anything older than this
+    many seconds is removed (a live writer's staging is seconds old, so
+    the default hour cannot race one).  ``None`` disables the sweep.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        mmap: bool = True,
+        stale_temp_age_s: Optional[float] = 3600.0,
+    ) -> None:
         self._root = Path(root)
         if self._root.exists() and not self._root.is_dir():
             raise StoreError(f"store root {self._root} exists and is not a directory")
         self._root.mkdir(parents=True, exist_ok=True)
         self._mmap = bool(mmap)
+        if stale_temp_age_s is not None and stale_temp_age_s < 0:
+            raise StoreError(
+                f"stale_temp_age_s must be >= 0 (or None to disable), "
+                f"got {stale_temp_age_s}"
+            )
+        self._stale_temp_age_s = stale_temp_age_s
         self.stats = StoreStats()
+        self._gc_stale_temps()
+
+    def _gc_stale_temps(self) -> None:
+        """Remove crash-orphaned staging/trash dirs older than the cutoff."""
+        if self._stale_temp_age_s is None:
+            return
+        now = time.time()
+        for child in self._root.iterdir():
+            name = child.name
+            if not (name.startswith(".staging.") or name.startswith(".trash.")):
+                continue
+            try:
+                age = now - child.stat().st_mtime
+            except OSError:
+                continue  # already gone (concurrent open) — nothing to do
+            if age >= self._stale_temp_age_s:
+                shutil.rmtree(child, ignore_errors=True)
+                self.stats.temp_dirs_gcd += 1
 
     # ------------------------------------------------------------------
     # Addressing
@@ -157,11 +216,14 @@ class PoolStore:
         shutil.rmtree(retired, ignore_errors=True)
         staging.mkdir(parents=True)
         try:
+            self._arm_save_columns_fault(staging)
             np.save(staging / NODES_FILE, nodes)
             np.save(staging / INDPTR_FILE, indptr)
             (staging / MANIFEST_FILE).write_text(
                 manifest.to_json(), encoding="utf-8"
             )
+            self._arm_save_manifest_fault(staging, manifest)
+            self._arm_save_install_fault()
             moved_aside = False
             if entry.exists():
                 try:
@@ -195,12 +257,48 @@ class PoolStore:
                 raise StoreError(
                     f"failed to install entry for {key}: {exc}"
                 ) from exc
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
+        except BaseException as exc:
+            if not (
+                isinstance(exc, faults.InjectedFault) and exc.kind == "crash"
+            ):
+                # An injected writer "crash" must leave its staging behind
+                # exactly as a killed process would — that orphan is what
+                # the open-time GC exists to clean.
+                shutil.rmtree(staging, ignore_errors=True)
+            self.stats.save_failures += 1
             raise
         shutil.rmtree(retired, ignore_errors=True)
         self.stats.saves += 1
         return entry
+
+    # -- save-path fault-injection hooks (no-ops without an active plan) --
+    @staticmethod
+    def _arm_save_columns_fault(staging: Path) -> None:
+        spec = faults.fire("store.save.columns")
+        if spec is None:
+            return
+        code = {"enospc": errno.ENOSPC, "eacces": errno.EACCES}.get(spec.kind)
+        if code is not None:
+            raise OSError(
+                code,
+                f"{os.strerror(code)} (injected)",
+                str(staging / NODES_FILE),
+            )
+
+    @staticmethod
+    def _arm_save_manifest_fault(staging: Path, manifest: PoolManifest) -> None:
+        spec = faults.fire("store.save.manifest")
+        if spec is not None and spec.kind == "torn":
+            payload = manifest.to_json()
+            (staging / MANIFEST_FILE).write_text(
+                payload[: len(payload) // 2], encoding="utf-8"
+            )
+
+    @staticmethod
+    def _arm_save_install_fault() -> None:
+        spec = faults.fire("store.save.install")
+        if spec is not None and spec.kind == "crash":
+            raise faults.InjectedFault(spec.site, spec.kind)
 
     # ------------------------------------------------------------------
     # Loading
@@ -219,13 +317,19 @@ class PoolStore:
         graph fingerprint, corrupted columns) counts an *invalidation*,
         and both return ``None`` so the caller just resamples.  ``mmap``
         overrides the store default for this load.
+
+        A rejected entry is also **quarantined**: moved aside under
+        ``.quarantine/`` with a ``reason.json`` record, so the same bad
+        bytes are validated (and paid for) exactly once — every later
+        load of the key is a plain miss until something valid is saved.
         """
         try:
             pool = self.load_strict(
                 key, graph_fingerprint=graph_fingerprint, mmap=mmap
             )
-        except StoreIntegrityError:
+        except StoreIntegrityError as exc:
             self.stats.invalidations += 1
+            self._quarantine(key, str(exc))
             return None
         if pool is None:
             self.stats.misses += 1
@@ -248,6 +352,7 @@ class PoolStore:
         manifest_path = entry / MANIFEST_FILE
         if not manifest_path.exists():
             return None
+        self._arm_load_fault(entry)
         manifest = self._read_manifest(manifest_path)
         manifest.validate_request(key, graph_fingerprint)
         use_mmap = self._mmap if mmap is None else bool(mmap)
@@ -283,6 +388,96 @@ class PoolStore:
         except OSError as exc:
             raise StoreIntegrityError(f"unreadable manifest: {exc}") from exc
         return PoolManifest.from_json(payload)
+
+    @staticmethod
+    def _arm_load_fault(entry: Path) -> None:
+        """Fault hook fired once per load of an existing entry (test-only).
+
+        ``corrupt`` deterministically flips bytes of the entry's nodes
+        column (payload positions drawn from the plan's per-site stream),
+        so the subsequent CRC validation — and the quarantine it triggers
+        — exercises exactly the real bit-rot path.
+        """
+        spec = faults.fire("store.load")
+        if spec is None or spec.kind != "corrupt":
+            return
+        plan = faults.active_plan()
+        rng = plan.rng_for("store.load")
+        path = entry / NODES_FILE
+        try:
+            data = bytearray(path.read_bytes())
+        except OSError:
+            return
+        start = min(128, max(len(data) - 1, 0))  # spare the .npy header
+        if len(data) <= start:
+            return
+        positions = np.unique(
+            rng.integers(start, len(data), size=min(8, len(data) - start))
+        )
+        for pos in positions:
+            data[int(pos)] ^= 0xA5
+        path.write_bytes(bytes(data))
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _quarantine(self, key: PoolKey, reason: str) -> Optional[Path]:
+        """Move ``key``'s rejected entry under ``.quarantine/``; its new home.
+
+        Preserves the bad bytes for post-mortem instead of deleting them,
+        and clears the key's slot so later loads miss cleanly.  Best
+        effort: a concurrent writer replacing the entry mid-move simply
+        wins (``None`` is returned).
+        """
+        entry = self.entry_dir(key)
+        if not entry.exists():
+            return None
+        qroot = self._root / QUARANTINE_DIR
+        qroot.mkdir(exist_ok=True)
+        n = 0
+        while (dest := qroot / f"{entry.name}-{n}").exists():
+            n += 1
+        try:
+            os.replace(entry, dest)
+        except OSError:
+            return None
+        record = {
+            "key": key.to_dict(),
+            "reason": reason,
+            "quarantined_unix": time.time(),
+        }
+        try:
+            (dest / REASON_FILE).write_text(
+                json.dumps(record, sort_keys=True, indent=1), encoding="utf-8"
+            )
+        except OSError:  # pragma: no cover - reason is advisory
+            pass
+        self.stats.quarantined += 1
+        return dest
+
+    def quarantined_entries(self) -> list[dict[str, Any]]:
+        """The quarantine inventory, oldest suffix first.
+
+        Each record holds ``path`` (the quarantined directory) plus the
+        parsed ``reason.json`` fields (``key`` dict, ``reason`` string,
+        ``quarantined_unix``) when the sidecar is readable.
+        """
+        qroot = self._root / QUARANTINE_DIR
+        if not qroot.is_dir():
+            return []
+        records: list[dict[str, Any]] = []
+        for child in sorted(qroot.iterdir()):
+            if not child.is_dir():
+                continue
+            record: dict[str, Any] = {"path": child}
+            try:
+                record.update(
+                    json.loads((child / REASON_FILE).read_text(encoding="utf-8"))
+                )
+            except (OSError, ValueError):
+                record["reason"] = None
+            records.append(record)
+        return records
 
     # ------------------------------------------------------------------
     # Inventory

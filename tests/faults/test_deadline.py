@@ -1,0 +1,163 @@
+"""Deadline plumbing and best-effort degradation in TIM/IMM."""
+
+import time
+
+import pytest
+
+from repro.deadline import Deadline, current_deadline, deadline_scope
+from repro.errors import DeadlineExceeded
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.rrset import (
+    IMMOptions,
+    RRSimGenerator,
+    TIMOptions,
+    general_imm,
+    general_tim,
+)
+from repro.rrset.tim import cooperative_top_up
+from repro.rrset.pool import RRSetPool
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+
+#: a budget that is already gone by the first cooperative check.
+INSTANT = 1e-6
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(250, rng=9))
+
+
+@pytest.fixture(scope="module")
+def generator(graph):
+    return RRSimGenerator(graph, GAPS, [0, 1])
+
+
+class TestDeadline:
+    def test_expiry_and_remaining(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert 0 < deadline.remaining() <= 60.0
+        past = Deadline(INSTANT)
+        time.sleep(0.01)
+        assert past.expired()
+        assert past.remaining() < 0
+
+    def test_check_raises_when_expired(self):
+        past = Deadline(INSTANT)
+        time.sleep(0.01)
+        with pytest.raises(DeadlineExceeded, match="sampling"):
+            past.check("sampling")
+        Deadline(60.0).check("sampling")  # no raise
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="positive"):
+            Deadline(0.0)
+
+    def test_scope_installs_nests_and_suspends(self):
+        assert current_deadline() is None
+        outer = Deadline(60.0)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(None):  # explicit suspension
+                assert current_deadline() is None
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+
+class TestCooperativeTopUp:
+    def test_without_deadline_is_single_batch(self, generator):
+        pool = RRSetPool(generator.graph.num_nodes)
+        assert cooperative_top_up(generator, 50, pool, 3) is True
+        assert len(pool) == 50
+
+    def test_expired_deadline_still_samples_the_floor(self, generator):
+        pool = RRSetPool(generator.graph.num_nodes)
+        deadline = Deadline(INSTANT)
+        time.sleep(0.01)
+        completed = cooperative_top_up(
+            generator, 1000, pool, 3, deadline=deadline, floor=40
+        )
+        assert completed is False
+        assert len(pool) == 40  # the floor, nothing more
+
+    def test_generous_deadline_reaches_target(self, generator):
+        pool = RRSetPool(generator.graph.num_nodes)
+        completed = cooperative_top_up(
+            generator, 300, pool, 3, deadline=Deadline(60.0), floor=40
+        )
+        assert completed is True
+        assert len(pool) == 300
+
+
+class TestEngineDegradation:
+    def test_tim_degrades_to_best_effort(self, generator):
+        deadline = Deadline(INSTANT)
+        time.sleep(0.01)
+        options = TIMOptions(min_rr_sets=60, max_rr_sets=5000)
+        result = general_tim(
+            generator, 5, options=options, rng=0, deadline=deadline
+        )
+        assert result.degraded is True
+        assert "expired" in result.degraded_reason
+        assert result.theta == 60  # selected over exactly the floor
+        assert len(result.seeds) == 5  # still a full answer
+
+    def test_tim_within_budget_is_not_degraded(self, generator):
+        result = general_tim(
+            generator,
+            5,
+            options=TIMOptions(max_rr_sets=500),
+            rng=0,
+            deadline=Deadline(600.0),
+        )
+        assert result.degraded is False
+        assert result.degraded_reason is None
+
+    def test_tim_picks_up_ambient_deadline(self, generator):
+        deadline = Deadline(INSTANT)
+        time.sleep(0.01)
+        with deadline_scope(deadline):
+            result = general_tim(
+                generator, 5, options=TIMOptions(min_rr_sets=60), rng=0
+            )
+        assert result.degraded is True
+
+    def test_imm_degrades_to_best_effort(self, generator):
+        deadline = Deadline(INSTANT)
+        time.sleep(0.01)
+        options = IMMOptions(min_rr_sets=60, max_rr_sets=5000)
+        result = general_imm(
+            generator, 5, options=options, rng=0, deadline=deadline
+        )
+        assert result.degraded is True
+        assert "expired" in result.degraded_reason
+        assert result.theta >= 60
+        assert len(result.seeds) == 5
+
+    def test_imm_within_budget_is_not_degraded(self, generator):
+        result = general_imm(
+            generator,
+            5,
+            options=IMMOptions(max_rr_sets=500),
+            rng=0,
+            deadline=Deadline(600.0),
+        )
+        assert result.degraded is False
+        assert result.degraded_reason is None
+
+    def test_deadline_runs_are_deterministic(self, generator):
+        """Chunked cooperative sampling is still a pure function of the
+        seed: two generously-budgeted runs agree exactly."""
+        options = TIMOptions(theta_override=400)
+
+        def run():
+            return general_tim(
+                generator, 5, options=options, rng=7,
+                deadline=Deadline(600.0),
+            )
+
+        first, second = run(), run()
+        assert first.seeds == second.seeds
+        assert first.coverage == second.coverage

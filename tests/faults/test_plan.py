@@ -1,0 +1,126 @@
+"""FaultPlan: deterministic matching, scoping, and validation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    KNOWN_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    fault_scope,
+    fire,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("no.such.site", "crash")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("parallel.shard", "meteor")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="at must be"):
+            FaultSpec("parallel.shard", "crash", at=-1)
+        with pytest.raises(ValueError, match="times must be"):
+            FaultSpec("parallel.shard", "crash", times=0)
+        with pytest.raises(ValueError, match="delay_s must be"):
+            FaultSpec("parallel.shard", "slow", delay_s=-0.1)
+
+    def test_matches_window(self):
+        spec = FaultSpec("parallel.shard", "crash", at=2, times=3)
+        assert [spec.matches(i) for i in range(7)] == [
+            False, False, True, True, True, False, False,
+        ]
+
+    def test_every_known_site_and_kind_constructs(self):
+        for site in KNOWN_SITES:
+            for kind in KNOWN_KINDS:
+                FaultSpec(site, kind)
+
+
+class TestFaultPlan:
+    def test_arming_counts_per_site(self):
+        plan = FaultPlan([FaultSpec("parallel.shard", "crash", at=1)])
+        assert plan.arm("parallel.shard") is None
+        assert plan.arm("store.load") is None  # independent counter
+        fired = plan.arm("parallel.shard")
+        assert fired is not None and fired.kind == "crash"
+        assert plan.armings("parallel.shard") == 2
+        assert plan.armings("store.load") == 1
+        assert plan.fired == [
+            {"site": "parallel.shard", "kind": "crash", "index": 1}
+        ]
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("store.load", "corrupt", at=0, times=5),
+                FaultSpec("store.load", "error", at=0, times=5),
+            ]
+        )
+        assert plan.arm("store.load").kind == "corrupt"
+
+    def test_arm_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan().arm("nope")
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="FaultSpec"):
+            FaultPlan([("parallel.shard", "crash")])
+
+    def test_rng_for_is_deterministic_per_site(self):
+        a = FaultPlan(seed=7).rng_for("store.load")
+        b = FaultPlan(seed=7).rng_for("store.load")
+        other = FaultPlan(seed=7).rng_for("parallel.shard")
+        draw = lambda rng: rng.integers(0, 2**31, size=4).tolist()  # noqa: E731
+        assert draw(a) == draw(b)
+        assert draw(a) != draw(other)
+
+    def test_same_plan_same_code_path_fires_identically(self):
+        def run():
+            plan = FaultPlan(
+                [FaultSpec("engine.top_up", "error", at=2, times=2)], seed=3
+            )
+            with fault_scope(plan):
+                for _ in range(6):
+                    fire("engine.top_up")
+            return plan.fired
+
+        assert run() == run()
+
+
+class TestScoping:
+    def test_no_active_plan_fire_is_noop(self):
+        assert active_plan() is None
+        assert fire("parallel.shard") is None
+
+    def test_fault_scope_installs_and_restores(self):
+        plan = FaultPlan([FaultSpec("parallel.shard", "crash")])
+        with fault_scope(plan):
+            assert active_plan() is plan
+            assert fire("parallel.shard").kind == "crash"
+        assert active_plan() is None
+
+    def test_scopes_nest(self):
+        outer = FaultPlan()
+        inner = FaultPlan()
+        with fault_scope(outer):
+            with fault_scope(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+
+
+class TestInjectedFault:
+    def test_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        exc = InjectedFault("parallel.shard", "crash")
+        assert not isinstance(exc, ReproError)
+        assert exc.site == "parallel.shard" and exc.kind == "crash"
+        assert "parallel.shard" in str(exc)

@@ -1,0 +1,235 @@
+"""End-to-end degradation provenance through ComICSession.
+
+Every query's ``diagnostics`` must carry a machine-readable trace of
+what (if anything) went wrong and how it was absorbed: the fixed-key
+``resilience`` counter dict, the ``degraded`` stamp, and the
+chronological ``events``.  These tests drive each failure mode through
+the public API and assert the exact keys an operator dashboard would
+consume.
+"""
+
+import pytest
+
+from repro.api import ComICSession, EngineConfig, SelfInfMaxQuery
+from repro.api.session import RESILIENCE_COUNTERS
+from repro.errors import QueryError
+from repro.faults import FaultPlan, FaultSpec, fault_scope
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.store import PoolStore
+from repro.store.pool_store import NODES_FILE
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+QUERY = SelfInfMaxQuery(seeds_b=(0, 1), k=3)
+FOREVER = 10**6
+
+#: a budget that is gone by the first cooperative check.
+INSTANT_BUDGET = 1e-6
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(250, rng=9))
+
+
+def resilience_of(result):
+    assert "resilience" in result.diagnostics
+    return result.diagnostics["resilience"]
+
+
+class TestProvenanceEnvelope:
+    def test_every_result_carries_the_full_resilience_schema(self, graph):
+        session = ComICSession(
+            graph, GAPS, config=EngineConfig(theta_override=300), rng=0
+        )
+        result = session.run(QUERY)
+        resilience = resilience_of(result)
+        # exact schema: all counters present (zero here) plus events.
+        assert set(resilience) == set(RESILIENCE_COUNTERS) | {"events"}
+        assert all(resilience[name] == 0 for name in RESILIENCE_COUNTERS)
+        assert resilience["events"] == []
+        assert result.diagnostics["degraded"] is False
+        assert result.diagnostics["degraded_reason"] is None
+
+
+class TestDeadlineExpiry:
+    def config(self, **kwargs):
+        kwargs.setdefault("deadline_s", INSTANT_BUDGET)
+        kwargs.setdefault("min_rr_sets", 50)
+        kwargs.setdefault("max_rr_sets", 5000)
+        return EngineConfig(**kwargs)
+
+    def test_expired_deadline_returns_degraded_result_fast(self, graph):
+        session = ComICSession(graph, GAPS, config=self.config(), rng=0)
+        result = session.run(QUERY)
+        assert result.diagnostics["degraded"] is True
+        assert "expired" in result.diagnostics["degraded_reason"]
+        assert resilience_of(result)["deadline_expiries"] == 1
+        assert [e["kind"] for e in resilience_of(result)["events"]] == [
+            "deadline"
+        ]
+        assert session.stats.deadline_expiries == 1
+        # best-effort: the floor was sampled, the cap was not
+        assert result.diagnostics["rr_sets_sampled"] == 50
+        assert len(result.seeds) == 3  # still a full seed set
+        # bounded wall-clock: expiry cut sampling off at the floor
+        assert result.diagnostics["wall_s"] < 30.0
+
+    def test_imm_engine_degrades_identically(self, graph):
+        session = ComICSession(
+            graph, GAPS, config=self.config(engine="imm"), rng=0
+        )
+        result = session.run(QUERY)
+        assert result.diagnostics["degraded"] is True
+        assert resilience_of(result)["deadline_expiries"] == 1
+
+    def test_generous_deadline_is_not_degraded(self, graph):
+        session = ComICSession(
+            graph, GAPS, config=self.config(deadline_s=600.0), rng=0
+        )
+        result = session.run(QUERY)
+        assert result.diagnostics["degraded"] is False
+        assert resilience_of(result)["deadline_expiries"] == 0
+
+    def test_deadline_s_validation(self):
+        with pytest.raises(QueryError, match="deadline_s"):
+            EngineConfig(deadline_s=0.0)
+        with pytest.raises(QueryError, match="deadline_s"):
+            EngineConfig(deadline_s=-1.0)
+
+
+class TestParallelFallbackProvenance:
+    def test_persistent_crashes_leave_fallback_trace_and_serial_seeds(
+        self, graph
+    ):
+        cfg = EngineConfig(theta_override=600, workers=2)
+        serial = ComICSession(graph, GAPS, rng=5).run(
+            QUERY, config=EngineConfig(theta_override=600)
+        )
+        session = ComICSession(graph, GAPS, config=cfg, rng=5)
+        plan = FaultPlan(
+            [FaultSpec("parallel.shard", "crash", times=FOREVER)]
+        )
+        with fault_scope(plan), pytest.warns(RuntimeWarning, match="serially"):
+            result = session.run(QUERY)
+        session.close()
+        resilience = resilience_of(result)
+        assert resilience["serial_fallbacks"] == 1
+        assert resilience["parallel_retries"] >= 1
+        assert resilience["parallel_restarts"] >= 1
+        assert "serial_fallback" in [
+            e["kind"] for e in resilience["events"]
+        ]
+        # a recovered batch is exact, not degraded …
+        assert result.diagnostics["degraded"] is False
+        # … and the fallback rewound the rng: seeds match the serial run.
+        assert result.seeds == serial.seeds
+        assert session.stats.serial_fallbacks == 1
+
+    def test_single_crash_recovers_without_fallback(self, graph):
+        cfg = EngineConfig(theta_override=600, workers=2)
+        baseline = ComICSession(graph, GAPS, config=cfg, rng=5)
+        expected = baseline.run(QUERY)
+        baseline.close()
+        session = ComICSession(graph, GAPS, config=cfg, rng=5)
+        plan = FaultPlan([FaultSpec("parallel.shard", "crash", at=0)])
+        with fault_scope(plan):
+            result = session.run(QUERY)
+        session.close()
+        resilience = resilience_of(result)
+        assert resilience["parallel_retries"] >= 1
+        assert resilience["serial_fallbacks"] == 0
+        assert result.diagnostics["degraded"] is False
+        # recovery is invisible in the answer
+        assert result.seeds == expected.seeds
+
+
+class TestStoreProvenance:
+    def test_quarantined_entry_is_traced_and_resampled(self, graph, tmp_path):
+        store_dir = tmp_path / "pools"
+        cfg = EngineConfig(theta_override=300)
+        writer = ComICSession(graph, GAPS, config=cfg, rng=3, store=store_dir)
+        writer.run(QUERY)
+        assert writer.stats.store_saves == 1
+
+        # corrupt the persisted entry's nodes column on disk
+        store = PoolStore(store_dir)
+        (manifest,) = store.entries()
+        path = store.entry_dir(manifest.key) / NODES_FILE
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        reader = ComICSession(graph, GAPS, config=cfg, rng=3, store=store_dir)
+        result = reader.run(QUERY)
+        resilience = resilience_of(result)
+        assert resilience["store_quarantines"] == 1
+        assert "store_quarantine" in [e["kind"] for e in resilience["events"]]
+        assert reader.stats.store_quarantines == 1
+        assert reader.stats.store_invalidations == 1
+        # the query healed by resampling — exact result, fresh entry saved
+        assert result.diagnostics["degraded"] is False
+        assert result.diagnostics["rr_sets_sampled"] == 300
+
+        # the bad entry was moved aside exactly once, never re-read
+        final = ComICSession(graph, GAPS, config=cfg, rng=3, store=store_dir)
+        final.run(QUERY)
+        assert final.stats.store_quarantines == 0
+        assert final.stats.store_hits == 1
+
+    def test_save_failure_degrades_to_warning_with_trace(
+        self, graph, tmp_path
+    ):
+        cfg = EngineConfig(theta_override=300)
+        session = ComICSession(
+            graph, GAPS, config=cfg, rng=3, store=tmp_path / "pools"
+        )
+        plan = FaultPlan([FaultSpec("store.save.columns", "enospc")])
+        with fault_scope(plan):
+            with pytest.warns(RuntimeWarning, match="write-through failed"):
+                result = session.run(QUERY)
+        resilience = resilience_of(result)
+        assert resilience["store_save_failures"] == 1
+        assert "store_save_failure" in [
+            e["kind"] for e in resilience["events"]
+        ]
+        assert session.stats.store_save_failures == 1
+        assert session.stats.store_saves == 0
+        # the query itself succeeded with the in-memory pool
+        assert result.diagnostics["degraded"] is False
+        assert len(result.seeds) == 3
+
+
+class TestSessionLifecycle:
+    def test_close_shuts_worker_pools_exactly_once(self, graph):
+        cfg = EngineConfig(theta_override=600, workers=2)
+        session = ComICSession(graph, GAPS, config=cfg, rng=1)
+        session.run(QUERY)
+        (entry,) = session._pools.values()
+        engine = entry.parallel
+        assert engine is not None and not engine.closed
+        session.close()
+        assert engine.closed
+        assert entry.parallel is None  # closed exactly once, then detached
+        session.close()  # second close is a no-op
+        # the session stays usable: a new engine is built on demand
+        result = session.run(QUERY)
+        assert len(result.seeds) == 3
+        session.close()
+
+    def test_context_manager_closes_engines(self, graph):
+        cfg = EngineConfig(theta_override=600, workers=2)
+        with ComICSession(graph, GAPS, config=cfg, rng=1) as session:
+            session.run(QUERY)
+            (entry,) = session._pools.values()
+            engine = entry.parallel
+        assert engine is not None and engine.closed
+
+    def test_eviction_closes_engines_exactly_once(self, graph):
+        cfg = EngineConfig(theta_override=600, workers=2, max_pool_bytes=1)
+        session = ComICSession(graph, GAPS, config=cfg, rng=1)
+        session.run(QUERY)
+        # the byte cap evicted (and closed) the entry right after selection
+        assert session._pools == {}
+        assert session.stats.pool_evictions == 1
+        session.close()  # nothing left to close; must not raise

@@ -1,0 +1,205 @@
+"""Injected disk faults against PoolStore: quarantine, GC, degradation."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.faults import FaultPlan, FaultSpec, InjectedFault, fault_scope
+from repro.models import GAP
+from repro.rrset.pool import RRSetPool
+from repro.store import PoolKey, PoolStore
+from repro.store.pool_store import (
+    MANIFEST_FILE,
+    NODES_FILE,
+    QUARANTINE_DIR,
+    REASON_FILE,
+)
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+FP = "a" * 64
+KEY = PoolKey.make("rr-sim", GAPS, [0, 1])
+
+
+def make_pool(num_nodes=40, sets=25, rng_seed=0):
+    gen = np.random.default_rng(rng_seed)
+    pool = RRSetPool(num_nodes)
+    for _ in range(sets):
+        pool.append(gen.integers(0, num_nodes, size=int(gen.integers(0, 6))))
+    return pool
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PoolStore(tmp_path / "pools")
+
+
+class TestQuarantine:
+    def test_corrupted_entry_quarantined_on_first_touch_never_reread(
+        self, store
+    ):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        plan = FaultPlan([FaultSpec("store.load", "corrupt", at=0)], seed=5)
+        with fault_scope(plan):
+            assert store.load(KEY, graph_fingerprint=FP) is None
+        assert plan.fired[0]["kind"] == "corrupt"
+        assert store.stats.invalidations == 1
+        assert store.stats.quarantined == 1
+        # the bad entry is gone from its slot: later loads are plain
+        # misses that never touch (or re-validate) the bad bytes again.
+        assert not store.entry_dir(KEY).exists()
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.misses == 1
+        assert store.stats.invalidations == 1  # unchanged
+        assert store.stats.quarantined == 1  # unchanged
+
+    def test_quarantine_records_reason(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        with fault_scope(FaultPlan([FaultSpec("store.load", "corrupt")])):
+            store.load(KEY, graph_fingerprint=FP)
+        (record,) = store.quarantined_entries()
+        assert record["path"].parent.name == QUARANTINE_DIR
+        assert record["path"].name == f"{KEY.digest()}-0"
+        assert "CRC-32" in record["reason"]
+        assert record["key"] == KEY.to_dict()
+        assert record["quarantined_unix"] > 0
+        # the quarantined directory still holds the bad bytes + sidecar
+        assert (record["path"] / NODES_FILE).exists()
+        assert (record["path"] / REASON_FILE).exists()
+
+    def test_foreign_fingerprint_entry_quarantined(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint="b" * 64) is None
+        assert store.stats.quarantined == 1
+        assert not store.entry_dir(KEY).exists()
+
+    def test_quarantine_suffixes_do_not_collide(self, store):
+        for n in range(3):
+            store.save(KEY, make_pool(rng_seed=n), graph_fingerprint=FP)
+            assert store.load(KEY, graph_fingerprint="b" * 64) is None
+        names = {record["path"].name for record in store.quarantined_entries()}
+        assert names == {f"{KEY.digest()}-{i}" for i in range(3)}
+
+    def test_valid_save_after_quarantine_serves_again(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        store.load(KEY, graph_fingerprint="b" * 64)  # quarantined
+        fresh = make_pool(rng_seed=9)
+        store.save(KEY, fresh, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert loaded is not None and len(loaded) == len(fresh)
+
+    def test_quarantine_not_counted_as_inventory(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        store.load(KEY, graph_fingerprint="b" * 64)
+        assert list(store.entries()) == []
+
+
+class TestTornManifest:
+    def test_torn_manifest_write_is_quarantined_on_load(self, store):
+        plan = FaultPlan([FaultSpec("store.save.manifest", "torn")])
+        with fault_scope(plan):
+            store.save(KEY, make_pool(), graph_fingerprint=FP)
+        # the torn JSON really is on disk
+        raw = (store.entry_dir(KEY) / MANIFEST_FILE).read_text()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(raw)
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations == 1
+        assert store.stats.quarantined == 1
+
+
+class TestSaveDegradation:
+    @pytest.mark.parametrize("kind,errno_name", [
+        ("enospc", "ENOSPC"),
+        ("eacces", "EACCES"),
+    ])
+    def test_failed_column_write_raises_and_counts(
+        self, store, kind, errno_name
+    ):
+        import errno as errno_module
+
+        plan = FaultPlan([FaultSpec("store.save.columns", kind)])
+        with fault_scope(plan):
+            with pytest.raises(OSError) as excinfo:
+                store.save(KEY, make_pool(), graph_fingerprint=FP)
+        assert excinfo.value.errno == getattr(errno_module, errno_name)
+        assert store.stats.save_failures == 1
+        assert store.stats.saves == 0
+        # failed staging is cleaned up, nothing half-written remains
+        assert not store.entry_dir(KEY).exists()
+        assert not any(
+            child.name.startswith(".staging.")
+            for child in store.root.iterdir()
+        )
+
+    def test_genuine_store_errors_also_count(self, store, monkeypatch):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            if ".trash." in os.fspath(dst):
+                raise OSError("permission denied")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(
+            "repro.store.pool_store.os.replace", failing_replace
+        )
+        with pytest.raises(StoreError, match="failed to retire"):
+            store.save(KEY, make_pool(rng_seed=1), graph_fingerprint=FP)
+        assert store.stats.save_failures == 1
+
+
+class TestStagingLeakAndGC:
+    def test_install_crash_leaves_staging_behind(self, store):
+        """Regression: a writer killed between stage and rename leaves its
+        staging directory; it must neither be inventory nor survive GC."""
+        plan = FaultPlan([FaultSpec("store.save.install", "crash")])
+        with fault_scope(plan):
+            with pytest.raises(InjectedFault):
+                store.save(KEY, make_pool(), graph_fingerprint=FP)
+        orphans = [
+            child
+            for child in store.root.iterdir()
+            if child.name.startswith(".staging.")
+        ]
+        assert len(orphans) == 1  # the leak the GC exists for
+        assert not store.entry_dir(KEY).exists()
+        assert list(store.entries()) == []  # staging is not inventory
+
+        # a reopen with an immediate cutoff sweeps the orphan
+        reopened = PoolStore(store.root, stale_temp_age_s=0)
+        assert reopened.stats.temp_dirs_gcd == 1
+        assert not orphans[0].exists()
+
+    def test_open_time_gc_respects_age_cutoff(self, store, tmp_path):
+        fresh = store.root / ".staging.deadbeef.1"
+        stale = store.root / ".trash.deadbeef.2"
+        fresh.mkdir()
+        stale.mkdir()
+        old = 1_000_000_000  # well past any cutoff
+        os.utime(stale, (old, old))
+        reopened = PoolStore(store.root, stale_temp_age_s=3600)
+        assert reopened.stats.temp_dirs_gcd == 1
+        assert fresh.exists() and not stale.exists()
+
+    def test_gc_disabled_with_none(self, store):
+        orphan = store.root / ".staging.deadbeef.3"
+        orphan.mkdir()
+        os.utime(orphan, (1_000_000_000, 1_000_000_000))
+        reopened = PoolStore(store.root, stale_temp_age_s=None)
+        assert reopened.stats.temp_dirs_gcd == 0
+        assert orphan.exists()
+
+    def test_gc_ignores_installed_entries_and_quarantine(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        store.load(KEY, graph_fingerprint="b" * 64)  # populate quarantine
+        entry_dirs = sorted(p.name for p in store.root.iterdir())
+        reopened = PoolStore(store.root, stale_temp_age_s=0)
+        assert reopened.stats.temp_dirs_gcd == 0
+        assert sorted(p.name for p in store.root.iterdir()) == entry_dirs
+
+    def test_negative_cutoff_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="stale_temp_age_s"):
+            PoolStore(tmp_path / "p", stale_temp_age_s=-1)

@@ -11,6 +11,7 @@ pool's spawn cost once.
 import numpy as np
 import pytest
 
+from repro.errors import ParallelError
 from repro.graph import power_law_digraph, weighted_cascade_probabilities
 from repro.models import GAP
 from repro.parallel import ParallelEngine
@@ -128,14 +129,28 @@ class TestConstruction:
         with pytest.raises(ValueError, match="nest"):
             ParallelEngine(ParallelEngine(inner, 1), 2)
 
-    def test_close_is_idempotent(self, graph):
+    def test_close_is_idempotent_and_terminal(self, graph):
         eng = ParallelEngine(RRICGenerator(graph), 2, min_batch_per_worker=1)
         eng.generate_batch(10, rng=0)
         eng.close()
-        eng.close()
-        # a closed engine restarts its pool on demand
-        assert len(eng.generate_batch(10, rng=0)) == 10
-        eng.close()
+        eng.close()  # double-close is a no-op
+        assert eng.closed
+        # a closed engine refuses to resurrect: stale references (e.g. to
+        # an evicted session pool entry) fail with a clear error instead
+        # of a BrokenProcessPool from a half-dead executor.
+        with pytest.raises(ParallelError, match="closed"):
+            eng.generate_batch(10, rng=0)
+        with pytest.raises(ParallelError, match="closed"):
+            eng.generate(rng=0)
+        with pytest.raises(ParallelError, match="closed"):
+            eng.warm_up()
+
+    def test_context_manager_closes(self, graph):
+        with ParallelEngine(
+            RRICGenerator(graph), 2, min_batch_per_worker=1
+        ) as eng:
+            assert len(eng.generate_batch(10, rng=0)) == 10
+        assert eng.closed
 
 
 class TestSelectionParity:

@@ -95,10 +95,13 @@ class TestMissesAndInvalidation:
 
     def test_fingerprint_mismatch_is_invalidation(self, store):
         store.save(KEY, make_pool(), graph_fingerprint=FP)
-        assert store.load(KEY, graph_fingerprint="b" * 64) is None
-        assert store.stats.invalidations == 1
+        # load_strict diagnoses without healing; the entry stays put.
         with pytest.raises(StoreIntegrityError, match="different graph"):
             store.load_strict(KEY, graph_fingerprint="b" * 64)
+        # the forgiving load counts the invalidation and quarantines.
+        assert store.load(KEY, graph_fingerprint="b" * 64) is None
+        assert store.stats.invalidations == 1
+        assert store.stats.quarantined == 1
 
     def test_corrupted_nodes_column_rejected(self, store):
         pool = make_pool()
@@ -107,10 +110,10 @@ class TestMissesAndInvalidation:
         blob = bytearray(path.read_bytes())
         blob[-1] ^= 0xFF  # flip one payload byte; shapes stay valid
         path.write_bytes(bytes(blob))
-        assert store.load(KEY, graph_fingerprint=FP) is None
-        assert store.stats.invalidations == 1
         with pytest.raises(StoreIntegrityError, match="CRC-32"):
             store.load_strict(KEY, graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations == 1
 
     def test_truncated_indptr_column_rejected(self, store):
         store.save(KEY, make_pool(), graph_fingerprint=FP)
