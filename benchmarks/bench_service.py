@@ -1,0 +1,287 @@
+"""Query-daemon benchmark -> BENCH_service.json.
+
+Measures :class:`~repro.service.ComICServer` end to end over HTTP with
+concurrent stdlib clients, on an in-process server over a synthetic
+power-law graph with a cataloged on-disk pool store:
+
+* **cold** — distinct first-contact queries (each samples a fresh pool);
+* **warm** — the same queries repeated: every answer must come from the
+  pooled RR-sets with ``rr_sets_sampled == 0`` (the gated warm-hit-rate
+  floor) at a latency floor far below cold;
+* **coalesce** — K clients barrier-fire one identical cold query; the
+  single-flight table must execute exactly once and serve K-1 followers
+  the leader's envelope (gated);
+* **restart_warm** — a second server process-equivalent (fresh sessions,
+  same store) answers a repeat query with zero resampling and identical
+  seeds through HTTP (gated);
+* **mixed** — N concurrent clients × R requests over the warm key set:
+  p50/p99 latency and aggregate QPS.
+
+The JSON schema mirrors ``BENCH_rrset.json``: a ``gate`` block with
+``passed``/``failures`` and per-phase records; the script exits non-zero
+when a gate fails so CI turns red on a service regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] \
+        [--output BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.api import EngineConfig, SelfInfMaxQuery
+from repro.graph.generators import power_law_digraph
+from repro.graph.weights import weighted_cascade_probabilities
+from repro.models.gaps import GAP
+from repro.service import CatalogedPoolStore, ComICServer, ServiceClient
+
+SCHEMA_VERSION = 1
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+
+#: gated floor: fraction of warm-phase requests answered with zero
+#: resampling.  Anything below means the pool cache / store / flight-key
+#: plumbing silently broke.
+WARM_HIT_FLOOR = 0.95
+
+
+def percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def latency_summary(samples_s: list[float]) -> dict[str, float]:
+    return {
+        "requests": len(samples_s),
+        "p50_ms": round(percentile(samples_s, 50) * 1e3, 3),
+        "p99_ms": round(percentile(samples_s, 99) * 1e3, 3),
+        "mean_ms": round(sum(samples_s) / max(len(samples_s), 1) * 1e3, 3),
+    }
+
+
+def build_server(graph, store_dir, config):
+    server = ComICServer()
+    server.register_graph(
+        "bench", graph, GAPS,
+        config=config, store=CatalogedPoolStore(store_dir),
+    )
+    return server
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI budget: smaller graph and fewer requests")
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args()
+
+    nodes = args.nodes or (400 if args.quick else 2000)
+    n_keys = 4 if args.quick else 8
+    coalesce_clients = 6
+    mixed_clients = 4 if args.quick else 8
+    mixed_requests = 8 if args.quick else 25
+
+    graph = weighted_cascade_probabilities(power_law_digraph(nodes, rng=5))
+    config = EngineConfig(engine="imm", max_rr_sets=4000 if args.quick else 20000)
+    queries = [
+        SelfInfMaxQuery(seeds_b=(2 * i, 2 * i + 1), k=5) for i in range(n_keys)
+    ]
+
+    report: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+        "config": {
+            "quick": bool(args.quick),
+            "engine": config.engine,
+            "max_rr_sets": config.max_rr_sets,
+            "distinct_keys": n_keys,
+            "coalesce_clients": coalesce_clients,
+            "mixed_clients": mixed_clients,
+            "mixed_requests_per_client": mixed_requests,
+        },
+    }
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        server = build_server(graph, store_dir, config)
+        host, port = server.start()
+
+        # -------------------------------------------------- cold
+        cold_lat: list[float] = []
+        cold_sampled = 0
+        with ServiceClient(host, port, timeout=600.0) as client:
+            for i, query in enumerate(queries):
+                t0 = time.perf_counter()
+                body = client.query("bench", query, rng=100 + i)
+                cold_lat.append(time.perf_counter() - t0)
+                cold_sampled += body["diagnostics"]["rr_sets_sampled"]
+        report["cold"] = {
+            **latency_summary(cold_lat),
+            "rr_sets_sampled": cold_sampled,
+        }
+
+        # -------------------------------------------------- warm
+        warm_lat: list[float] = []
+        warm_hits = 0
+        with ServiceClient(host, port, timeout=600.0) as client:
+            for i, query in enumerate(queries):
+                t0 = time.perf_counter()
+                body = client.query("bench", query, rng=100 + i)
+                warm_lat.append(time.perf_counter() - t0)
+                if body["diagnostics"]["rr_sets_sampled"] == 0:
+                    warm_hits += 1
+        warm_hit_rate = warm_hits / len(queries)
+        report["warm"] = {
+            **latency_summary(warm_lat),
+            "hit_rate": warm_hit_rate,
+            "hit_rate_floor": WARM_HIT_FLOOR,
+            "cold_over_warm_p50": round(
+                percentile(cold_lat, 50) / max(percentile(warm_lat, 50), 1e-9),
+                2,
+            ),
+        }
+
+        # -------------------------------------------------- coalesce
+        fresh = SelfInfMaxQuery(seeds_b=(401 % nodes, 403 % nodes), k=4)
+        flights_before = server.stats.flights
+        coalesced_before = server.stats.coalesced
+        queries_before = server.stats.queries
+        barrier = threading.Barrier(coalesce_clients)
+        results: list = [None] * coalesce_clients
+        lat: list[float] = [0.0] * coalesce_clients
+
+        def fire(idx: int) -> None:
+            with ServiceClient(host, port, timeout=600.0) as c:
+                barrier.wait()
+                t0 = time.perf_counter()
+                results[idx] = c.query("bench", fresh, rng=777)
+                lat[idx] = time.perf_counter() - t0
+
+        threads = [
+            threading.Thread(target=fire, args=(i,))
+            for i in range(coalesce_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        executions = server.stats.queries - queries_before
+        coalesced = server.stats.coalesced - coalesced_before
+        flights = server.stats.flights - flights_before
+        seed_sets = {tuple(r["seeds"]) for r in results if r}
+        report["coalesce"] = {
+            **latency_summary(lat),
+            "clients": coalesce_clients,
+            "executions": executions,
+            "flights": flights,
+            "coalesced": coalesced,
+            "identical_envelopes": len(seed_sets) == 1,
+        }
+
+        server.close()
+
+        # -------------------------------------------------- restart_warm
+        server = build_server(graph, store_dir, config)
+        host, port = server.start()
+        with ServiceClient(host, port, timeout=600.0) as client:
+            t0 = time.perf_counter()
+            body = client.query("bench", queries[0], rng=100)
+            restart_latency = time.perf_counter() - t0
+        report["restart_warm"] = {
+            "latency_ms": round(restart_latency * 1e3, 3),
+            "rr_sets_sampled": body["diagnostics"]["rr_sets_sampled"],
+            "theta_pinned": body["diagnostics"]["rr_sets_sampled"] == 0,
+        }
+
+        # -------------------------------------------------- mixed
+        mixed_lat: list[float] = []
+        mixed_lock = threading.Lock()
+        start_barrier = threading.Barrier(mixed_clients)
+
+        def mixed_worker(idx: int) -> None:
+            local: list[float] = []
+            with ServiceClient(host, port, timeout=600.0) as c:
+                start_barrier.wait()
+                for r in range(mixed_requests):
+                    i = (idx + r) % len(queries)
+                    t0 = time.perf_counter()
+                    c.query("bench", queries[i], rng=100 + i)
+                    local.append(time.perf_counter() - t0)
+            with mixed_lock:
+                mixed_lat.extend(local)
+
+        threads = [
+            threading.Thread(target=mixed_worker, args=(i,))
+            for i in range(mixed_clients)
+        ]
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall0
+        report["mixed"] = {
+            **latency_summary(mixed_lat),
+            "clients": mixed_clients,
+            "wall_s": round(wall, 3),
+            "qps": round(len(mixed_lat) / max(wall, 1e-9), 1),
+        }
+        stats_body = server.handle_stats()[1]
+        report["server_stats"] = stats_body["server"]
+        report["catalog"] = {
+            "rows": len(server.handle_catalog("bench")[1]["bench"]["rows"]),
+        }
+        server.close()
+
+    # ------------------------------------------------------ gate
+    failures: list[str] = []
+    if warm_hit_rate < WARM_HIT_FLOOR:
+        failures.append(
+            f"warm.hit_rate {warm_hit_rate:.2f} < floor {WARM_HIT_FLOOR}"
+        )
+    if report["coalesce"]["executions"] != 1:
+        failures.append(
+            f"coalesce.executions {report['coalesce']['executions']} != 1"
+        )
+    if report["coalesce"]["coalesced"] != coalesce_clients - 1:
+        failures.append(
+            f"coalesce.coalesced {report['coalesce']['coalesced']} != "
+            f"{coalesce_clients - 1}"
+        )
+    if not report["coalesce"]["identical_envelopes"]:
+        failures.append("coalesce envelopes diverged")
+    if report["restart_warm"]["rr_sets_sampled"] != 0:
+        failures.append(
+            "restart_warm resampled "
+            f"{report['restart_warm']['rr_sets_sampled']} RR-sets (want 0)"
+        )
+    report["gate"] = {"passed": not failures, "failures": failures}
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.output)}")
+    for name in ("cold", "warm", "coalesce", "restart_warm", "mixed"):
+        print(f"  {name}: {json.dumps(report[name])}")
+    if failures:
+        print("GATE FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"gate passed (warm hit rate {warm_hit_rate:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

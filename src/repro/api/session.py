@@ -34,7 +34,19 @@ Two further levers extend the economy beyond one process:
   hits / misses / invalidations / saves.
 * ``EngineConfig.workers > 1`` wraps each pool's generator in a
   :class:`~repro.parallel.ParallelEngine`, sharding every sampling batch
-  across that many worker processes.
+  across that many worker processes.  All cached pools' engines
+  time-share **one** session-owned
+  :class:`~repro.parallel.WorkerPool` (generators ride on the task and
+  are cached worker-side), so ``workers=K`` costs K resident processes
+  per session, not K per cached pool.
+
+Warm starts are additionally **theta-pinned**: every IMM selection
+records its certified final theta (in memory, and into the store
+manifest's provenance on write-through), and a repeat of the same
+``(k, epsilon, ell)`` request whose pool already holds that many sets
+skips the adaptive sampling phase outright — zero RR-sets sampled and
+bit-identical seeds, where the adaptive re-run used to top up ~1% and
+could drift.  ``SessionStats.theta_pins`` counts these.
 
 Example::
 
@@ -63,7 +75,7 @@ from repro.errors import QueryError, StoreError
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
 from repro.models.multi_item import MultiItemGaps
-from repro.parallel import ParallelEngine
+from repro.parallel import ParallelEngine, WorkerPool
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.engines import SelectionResult, run_seed_selection
@@ -102,6 +114,9 @@ class SessionStats:
     store_invalidations: int = 0
     #: pool snapshots written back to the store after growth.
     store_saves: int = 0
+    #: IMM selections answered by pinning a previously-certified theta —
+    #: the adaptive sampling phase was skipped and zero RR-sets drawn.
+    theta_pins: int = 0
     #: queries whose sampling was clipped by ``EngineConfig.deadline_s``
     #: (each returned a best-effort result stamped ``degraded=True``).
     deadline_expiries: int = 0
@@ -152,9 +167,19 @@ class _PoolEntry:
     parallel: Optional[ParallelEngine] = field(default=None, repr=False)
     #: where the pool's initial sets came from: "sampled" or "store".
     origin: str = "sampled"
+    #: the last completed (non-degraded, unrestricted) IMM selection on
+    #: this pool: ``{"engine", "k", "epsilon", "ell", "theta"}`` — the
+    #: record the stored-theta warm-start fast path pins against.  Warm
+    #: starts adopt it from the store manifest's provenance.
+    stored_selection: Optional[dict] = field(default=None, repr=False)
 
     def close(self) -> None:
-        """Release the entry's worker pool, if any."""
+        """Release the entry's parallel engine, if any.
+
+        Over a session-shared :class:`~repro.parallel.WorkerPool` this
+        only detaches the engine — the worker processes belong to the
+        session and keep serving other entries.
+        """
         if self.parallel is not None:
             self.parallel.close()
             self.parallel = None
@@ -239,6 +264,9 @@ class ComICSession:
         # re-inserts the entry at the end, eviction pops from the front.
         self._pools: dict[PoolKey, _PoolEntry] = {}
         self._access_clock = 0
+        #: session-wide worker pool every parallel entry's engine shares
+        #: (built on the first ``workers > 1`` selection).
+        self._worker_pool: Optional[WorkerPool] = None
         self.stats = SessionStats()
         #: degradation events of the query currently being served
         #: (``run`` resets it, helpers append, diagnostics publish it).
@@ -440,6 +468,7 @@ class ComICSession:
             rng=gen,
             pool=entry.pool,
             candidates=candidates,
+            pinned_theta=self._pinned_theta(entry, cfg, k, candidates),
         )
         if pstats_before is not None:
             self._absorb_parallel_stats(generator, pstats_before)
@@ -448,6 +477,9 @@ class ComICSession:
             self._events.append(
                 {"kind": "deadline", "detail": result.degraded_reason or ""}
             )
+        if getattr(result, "pinned", False):
+            self.stats.theta_pins += 1
+        self._record_selection(entry, cfg, k, candidates, result)
         entry.selections += 1
         grown = len(entry.pool) - before
         self.stats.rr_sets_sampled += grown
@@ -485,6 +517,81 @@ class ComICSession:
                 }
             )
 
+    def _pinned_theta(
+        self,
+        entry: _PoolEntry,
+        cfg: EngineConfig,
+        k: int,
+        candidates: Optional[Sequence[int]],
+    ) -> Optional[int]:
+        """The certified theta a warm IMM selection may pin, or ``None``.
+
+        Pinning is sound only when the recorded selection answers
+        *exactly* this request: same engine (``imm``), same ``k``,
+        ``epsilon`` and ``ell``, unrestricted candidates on both sides,
+        a theta inside this config's ``[min_rr_sets, max_rr_sets]``
+        window, and a pool that already holds that many sets.  Anything
+        else falls through to the normal adaptive run.
+        """
+        record = entry.stored_selection
+        if record is None or cfg.engine != "imm" or candidates is not None:
+            return None
+        try:
+            matches = (
+                record.get("engine") == "imm"
+                and int(record["k"]) == int(k)
+                and float(record["epsilon"]) == cfg.epsilon
+                and float(record["ell"]) == cfg.ell
+            )
+            theta = int(record["theta"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if not matches or not cfg.min_rr_sets <= theta <= cfg.max_rr_sets:
+            return None
+        if len(entry.pool) < theta:
+            return None
+        return theta
+
+    @staticmethod
+    def _record_selection(
+        entry: _PoolEntry,
+        cfg: EngineConfig,
+        k: int,
+        candidates: Optional[Sequence[int]],
+        result: SelectionResult,
+    ) -> None:
+        """Remember a completed IMM selection for later theta pinning.
+
+        Only exact, unrestricted runs qualify: a degraded (deadline-
+        clipped) theta was never certified, and a candidate-restricted
+        run certifies a different (restricted) optimum whose sample size
+        does not transfer.  The record rides into the store manifest's
+        provenance on the next write-through.
+        """
+        if (
+            cfg.engine != "imm"
+            or candidates is not None
+            or getattr(result, "degraded", False)
+            or result.theta < 1
+        ):
+            return
+        entry.stored_selection = {
+            "engine": "imm",
+            "k": int(k),
+            "epsilon": cfg.epsilon,
+            "ell": cfg.ell,
+            "theta": int(result.theta),
+        }
+
+    def _shared_worker_pool(self, workers: int) -> WorkerPool:
+        """The session-wide worker pool at this count (rebuilt on change)."""
+        pool = self._worker_pool
+        if pool is None or pool.closed or pool.workers != workers:
+            if pool is not None:
+                pool.close()
+            pool = self._worker_pool = WorkerPool(workers)
+        return pool
+
     def _generator_for(
         self, entry: _PoolEntry, cfg: EngineConfig
     ) -> RRSetGenerator:
@@ -494,17 +601,25 @@ class ComICSession:
         persistent :class:`~repro.parallel.ParallelEngine` (rebuilt when
         the worker count changes); otherwise the serial generator.
 
-        Worker pools are per cached pool because each worker holds a
-        replica of *that pool's* generator (shipped once at spawn) —
-        many distinct contexts at high ``workers`` therefore multiply
-        resident processes; the eviction cap bounds it, and a
-        session-shared worker pool is a ROADMAP follow-up.
+        Every entry's engine rides the one session-shared
+        :class:`~repro.parallel.WorkerPool` — K worker processes serve
+        *all* cached pools (each worker caches the distinct generators it
+        has seen), instead of the former K-per-entry layout whose
+        resident process count multiplied with live pools.
         """
         if cfg.workers <= 1:
             return entry.generator
-        if entry.parallel is None or entry.parallel.workers != cfg.workers:
+        pool = self._shared_worker_pool(cfg.workers)
+        if (
+            entry.parallel is None
+            or entry.parallel.closed
+            or entry.parallel.workers != cfg.workers
+            or entry.parallel.shared_pool is not pool
+        ):
             entry.close()
-            entry.parallel = ParallelEngine(entry.generator, cfg.workers)
+            entry.parallel = ParallelEngine(
+                entry.generator, cfg.workers, shared_pool=pool
+            )
         return entry.parallel
 
     def _persist_entry(
@@ -516,17 +631,22 @@ class ComICSession:
         must not discard a selection that already succeeded, so save
         failures degrade to a warning (the pool stays cached in memory).
         """
+        provenance: dict[str, Any] = {
+            "creator": "ComICSession",
+            "engine": cfg.engine,
+            "workers": cfg.workers,
+            "rng": type(gen.bit_generator).__name__,
+        }
+        if entry.stored_selection is not None:
+            # Certified-theta record: lets a later process pin its warm
+            # start to zero top-up (see _pinned_theta).
+            provenance["selection"] = dict(entry.stored_selection)
         try:
             self._store.save(
                 entry.key,
                 entry.pool,
                 graph_fingerprint=self._graph.fingerprint(),
-                provenance={
-                    "creator": "ComICSession",
-                    "engine": cfg.engine,
-                    "workers": cfg.workers,
-                    "rng": type(gen.bit_generator).__name__,
-                },
+                provenance=provenance,
             )
         except (OSError, StoreError) as exc:
             self.stats.store_save_failures += 1
@@ -564,6 +684,8 @@ class ComICSession:
                 pool if pool is not None else RRSetPool(self._graph.num_nodes),
                 origin="store" if pool is not None else "sampled",
             )
+            if pool is not None:
+                entry.stored_selection = self._stored_selection_for(key)
             self.stats.pool_misses += 1
         else:
             self.stats.pool_hits += 1
@@ -572,6 +694,21 @@ class ComICSession:
         entry.last_used = self._access_clock
         self._pools[key] = entry
         return entry
+
+    def _stored_selection_for(self, key: PoolKey) -> Optional[dict]:
+        """The certified-theta record persisted with a store entry, if any.
+
+        Provenance is free-form and unvalidated, so everything here is
+        best-effort: a malformed record just means no pin.
+        """
+        try:
+            manifest = self._store.manifest(key)
+        except Exception:
+            return None
+        if manifest is None:
+            return None
+        record = manifest.provenance.get("selection")
+        return dict(record) if isinstance(record, dict) else None
 
     def _load_from_store(self, key: PoolKey) -> Optional[RRSetPool]:
         """Warm-start attempt for a cache miss (``None`` when no store)."""
@@ -690,20 +827,25 @@ class ComICSession:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down every cached pool's worker processes (idempotent).
+        """Shut down the session's worker processes (idempotent).
 
         Each entry's :class:`~repro.parallel.ParallelEngine` is closed
         exactly once (closing detaches it from the entry, so a double
         ``close`` — or ``close`` after eviction already released it — is
-        a no-op).  The session itself stays usable: cached pools and the
-        store attachment survive, and the next parallel selection builds
-        a fresh engine.  Also usable as a context manager::
+        a no-op), then the session-shared
+        :class:`~repro.parallel.WorkerPool` itself is shut down.  The
+        session stays usable: cached pools and the store attachment
+        survive, and the next parallel selection builds a fresh worker
+        pool.  Also usable as a context manager::
 
             with ComICSession(graph, gaps, config=cfg) as session:
                 session.run(query)
         """
         for entry in self._pools.values():
             entry.close()
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
 
     def __enter__(self) -> "ComICSession":
         return self

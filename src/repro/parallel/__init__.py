@@ -18,8 +18,14 @@ Worker crashes and hangs are survived by bounded per-shard retries on a
 restarted pool (serial fallback only after retries exhaust);
 :class:`ParallelStats` surfaces the recovery counters.  See
 ``docs/resilience.md``.
+
+:class:`WorkerPool` is the session-scale variant: one executor
+time-shared by every cached pool's engine (generators ride on the task
+and are cached worker-side), so ``workers=K`` costs K processes per
+session instead of K per cached pool — pass it via
+``ParallelEngine(..., shared_pool=pool)``.
 """
 
-from repro.parallel.engine import ParallelEngine, ParallelStats
+from repro.parallel.engine import ParallelEngine, ParallelStats, WorkerPool
 
-__all__ = ["ParallelEngine", "ParallelStats"]
+__all__ = ["ParallelEngine", "ParallelStats", "WorkerPool"]

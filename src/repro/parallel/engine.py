@@ -58,8 +58,10 @@ at shard joins: when it expires mid-batch the call raises
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import threading
 import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -81,6 +83,15 @@ from repro.rrset.pool import RRSetPool
 #: per-process generator replica, installed by :func:`_initialize_worker`.
 _WORKER_GENERATOR: Optional[RRSetGenerator] = None
 
+#: per-process generator cache of *shared*-pool workers, keyed by payload
+#: digest: each (worker, generator) pair unpickles once, however many
+#: engines time-share the pool.
+_WORKER_GENERATORS: dict[str, RRSetGenerator] = {}
+
+#: bound on the shared-worker generator cache (a long-lived service can
+#: rotate through many cached pools; dict order is the eviction order).
+_WORKER_GENERATOR_CACHE_MAX = 8
+
 #: exit code of a fault-injected worker crash (visible in core dumps/logs).
 _CRASH_EXIT_CODE = 13
 
@@ -91,12 +102,37 @@ def _initialize_worker(payload: bytes) -> None:
     _WORKER_GENERATOR = pickle.loads(payload)
 
 
+def _resolve_generator(
+    payload: Optional[tuple[str, bytes]],
+) -> RRSetGenerator:
+    """The generator replica a shard should run (worker side).
+
+    ``payload is None`` means a private engine shipped its generator via
+    the pool initializer.  Shared-pool engines attach ``(digest, blob)``
+    to every task instead (a respawned executor has no initializer
+    state); the blob is unpickled once per (worker, digest) and cached.
+    """
+    if payload is None:
+        if _WORKER_GENERATOR is None:  # pragma: no cover - misdispatch guard
+            raise RuntimeError("worker has no initialized generator replica")
+        return _WORKER_GENERATOR
+    digest, blob = payload
+    generator = _WORKER_GENERATORS.get(digest)
+    if generator is None:
+        generator = pickle.loads(blob)
+        while len(_WORKER_GENERATORS) >= _WORKER_GENERATOR_CACHE_MAX:
+            _WORKER_GENERATORS.pop(next(iter(_WORKER_GENERATORS)))
+        _WORKER_GENERATORS[digest] = generator
+    return generator
+
+
 def _generate_shard(
     task: tuple[
         int,
         Optional[np.ndarray],
         np.random.SeedSequence,
         Optional[tuple[str, float]],
+        Optional[tuple[str, bytes]],
     ],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run one shard in a worker; returns the shard pool's flat columns.
@@ -105,9 +141,10 @@ def _generate_shard(
     at dispatch (``None`` outside fault tests): ``crash`` kills this
     worker process exactly as a segfault/OOM-kill would, ``hang`` sleeps
     past the parent's shard deadline, ``slow`` sleeps then computes
-    normally.
+    normally.  ``payload`` selects the generator replica (see
+    :func:`_resolve_generator`).
     """
-    count, roots, seed_seq, directive = task
+    count, roots, seed_seq, directive, payload = task
     if directive is not None:
         kind, delay_s = directive
         if kind == "crash":
@@ -117,7 +154,8 @@ def _generate_shard(
         elif kind == "slow":
             time.sleep(delay_s)
     rng = np.random.default_rng(seed_seq)
-    pool = _WORKER_GENERATOR.generate_batch(count, rng=rng, roots=roots)
+    generator = _resolve_generator(payload)
+    pool = generator.generate_batch(count, rng=rng, roots=roots)
     return np.asarray(pool.nodes), np.asarray(pool.indptr)
 
 
@@ -148,6 +186,112 @@ class ParallelStats:
         return asdict(self)
 
 
+class WorkerPool:
+    """One spawn-safe process pool time-shared by many :class:`ParallelEngine`\\ s.
+
+    A private engine ships its generator through the pool *initializer*,
+    which welds the executor to that one generator — so a session caching
+    P pools at ``workers=K`` used to hold P·K resident processes.  A
+    ``WorkerPool`` breaks the weld: it owns a bare executor (no
+    initializer), and engines sharing it attach their pickled generator
+    to each task instead; workers unpickle each distinct generator once
+    and cache it (:data:`_WORKER_GENERATORS`), so the per-task cost after
+    the first touch is one small digest lookup plus the (unavoidable)
+    pickled-blob transfer on the task message.
+
+    Thread-safe: engines may dispatch from different threads (the service
+    does).  Failure recovery kills the executor and bumps
+    :attr:`generation`; :meth:`kill` accepts the generation the caller
+    observed so a slow engine cannot tear down the *replacement* pool
+    another engine already respawned.  :meth:`close` is terminal.
+    """
+
+    def __init__(self, workers: int) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        """Worker-process count of the pool."""
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (terminal)."""
+        return self._closed
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every kill; identifies the current executor epoch."""
+        return self._generation
+
+    def executor(self) -> tuple[ProcessPoolExecutor, int]:
+        """The live executor and its generation (spawning it if needed)."""
+        with self._lock:
+            if self._closed:
+                raise ParallelError(
+                    "WorkerPool is closed; build a new pool instead of "
+                    "reusing one whose workers were shut down"
+                )
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=get_context("spawn"),
+                )
+            return self._executor, self._generation
+
+    def kill(self, generation: Optional[int] = None, *, wait: bool = False) -> None:
+        """Tear the executor down (workers terminated, not joined on task).
+
+        ``generation`` (when given) makes the kill conditional: it only
+        applies to the epoch the caller actually observed failing, so
+        concurrent engines reporting the same broken pool tear it down
+        once, and never a fresh replacement.
+        """
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return
+            executor, self._executor = self._executor, None
+            self._generation += 1
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - platform-dependent
+                pass
+        executor.shutdown(wait=wait, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent, terminal)."""
+        self._closed = True
+        self.kill(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else (
+            "live" if self._executor is not None else "cold"
+        )
+        return f"WorkerPool(workers={self._workers}, {state})"
+
+
 class ParallelEngine(RRSetGenerator):
     """Wrap an :class:`RRSetGenerator` with a persistent worker pool.
 
@@ -160,6 +304,13 @@ class ParallelEngine(RRSetGenerator):
     exponential pause between retry rounds; ``shard_deadline_s`` (when
     set) is the per-round time budget after which outstanding shards are
     presumed hung and their workers killed.
+
+    ``shared_pool`` attaches the engine to a session-wide
+    :class:`WorkerPool` instead of private workers: the generator then
+    rides on each task (cached worker-side after the first touch) and
+    :meth:`close` detaches without killing the shared processes — it is
+    how ``workers=K`` stays K processes per session rather than K per
+    cached pool.  ``workers`` must match the pool's count.
 
     :meth:`close` is **terminal**: a closed engine raises
     :class:`~repro.errors.ParallelError` on any further generation call
@@ -178,6 +329,7 @@ class ParallelEngine(RRSetGenerator):
         max_shard_attempts: int = 3,
         backoff_s: float = 0.05,
         shard_deadline_s: Optional[float] = None,
+        shared_pool: Optional[WorkerPool] = None,
     ) -> None:
         if isinstance(generator, ParallelEngine):
             raise ValueError("refusing to nest ParallelEngine in ParallelEngine")
@@ -185,6 +337,11 @@ class ParallelEngine(RRSetGenerator):
         workers = int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shared_pool is not None and shared_pool.workers != workers:
+            raise ValueError(
+                f"workers={workers} does not match the shared pool's "
+                f"{shared_pool.workers} worker processes"
+            )
         if min_batch_per_worker < 1:
             raise ValueError(
                 f"min_batch_per_worker must be >= 1, got {min_batch_per_worker}"
@@ -206,6 +363,11 @@ class ParallelEngine(RRSetGenerator):
         self._backoff_s = float(backoff_s)
         self._shard_deadline_s = shard_deadline_s
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._shared = shared_pool
+        #: shared-pool generation last obtained (scopes conditional kills).
+        self._shared_gen = -1
+        #: lazily-pickled ``(digest, blob)`` task payload in shared mode.
+        self._payload: Optional[tuple[str, bytes]] = None
         self._closed = False
         self.stats = ParallelStats()
 
@@ -227,6 +389,11 @@ class ParallelEngine(RRSetGenerator):
         """Whether :meth:`close` has been called (terminal)."""
         return self._closed
 
+    @property
+    def shared_pool(self) -> Optional[WorkerPool]:
+        """The attached shared :class:`WorkerPool`, if any."""
+        return self._shared
+
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
     # ------------------------------------------------------------------
@@ -240,6 +407,9 @@ class ParallelEngine(RRSetGenerator):
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         self._check_open()
+        if self._shared is not None:
+            executor, self._shared_gen = self._shared.executor()
+            return executor
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._workers,
@@ -248,6 +418,18 @@ class ParallelEngine(RRSetGenerator):
                 initargs=(pickle.dumps(self._inner),),
             )
         return self._executor
+
+    def _task_payload(self) -> Optional[tuple[str, bytes]]:
+        """Per-task generator payload: ``None`` for private engines
+        (initializer delivered the replica), ``(digest, blob)`` over a
+        shared pool.  Content-addressed, so identical generators across
+        engines collapse to one worker-side cache slot."""
+        if self._shared is None:
+            return None
+        if self._payload is None:
+            blob = pickle.dumps(self._inner)
+            self._payload = (hashlib.sha256(blob).hexdigest()[:16], blob)
+        return self._payload
 
     def _kill_executor(self, *, wait: bool = False) -> None:
         """Tear the worker pool down, terminating resident processes.
@@ -258,7 +440,12 @@ class ParallelEngine(RRSetGenerator):
         indefinitely.  ``wait=True`` additionally joins the (now dying)
         pool before returning, for deterministic resource release on
         :meth:`close`; recovery paths use ``wait=False`` and respawn.
+        On a shared pool the kill is scoped to the generation this
+        engine observed failing (a replacement pool survives).
         """
+        if self._shared is not None:
+            self._shared.kill(self._shared_gen, wait=wait)
+            return
         executor, self._executor = self._executor, None
         if executor is None:
             return
@@ -289,8 +476,14 @@ class ParallelEngine(RRSetGenerator):
             self.stats.restarts += 1
 
     def close(self) -> None:
-        """Shut the worker pool down for good (idempotent, terminal)."""
+        """Shut the worker pool down for good (idempotent, terminal).
+
+        Over a shared pool this only *detaches* — the pool's processes
+        belong to its owner (the session) and keep serving other engines.
+        """
         self._closed = True
+        if self._shared is not None:
+            return
         self._kill_executor(wait=True)
 
     def __enter__(self) -> "ParallelEngine":
@@ -423,7 +616,13 @@ class ParallelEngine(RRSetGenerator):
                 directive = (spec.kind, spec.delay_s) if spec is not None else None
                 futures[i] = executor.submit(
                     _generate_shard,
-                    (counts[i], root_parts[i], children[i], directive),
+                    (
+                        counts[i],
+                        root_parts[i],
+                        children[i],
+                        directive,
+                        self._task_payload(),
+                    ),
                 )
             if self._collect(futures, results):
                 retry_round += 1  # a failure round: back off, then retry

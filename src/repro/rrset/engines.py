@@ -44,6 +44,7 @@ def run_seed_selection(
     pool: Optional[RRSetPool] = None,
     candidates=None,
     deadline: Optional[Deadline] = None,
+    pinned_theta: Optional[int] = None,
 ) -> SelectionResult:
     """Select ``k`` seeds with the requested engine.
 
@@ -55,6 +56,10 @@ def run_seed_selection(
     the pickable seed nodes without restricting sampling.  ``deadline``
     makes sampling cooperative (see :mod:`repro.deadline`): on expiry
     the engine selects best-effort and stamps its result ``degraded``.
+    ``pinned_theta`` (IMM only) skips the adaptive sampling phase when
+    ``pool`` already satisfies a previously-certified theta for the same
+    request — see :func:`~repro.rrset.imm.general_imm`; TIM ignores it
+    (its theta is already a closed-form function of the options).
     """
     if options is None:
         options = TIMOptions()
@@ -68,5 +73,6 @@ def run_seed_selection(
         return general_imm(
             generator, k, options=resolved, rng=rng, pool=pool,
             candidates=candidates, deadline=deadline,
+            pinned_theta=pinned_theta,
         )
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

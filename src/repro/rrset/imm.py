@@ -101,6 +101,10 @@ class IMMResult:
     #: human-readable reason when ``degraded`` (machine consumers should
     #: key off the flag, not parse this).
     degraded_reason: Optional[str] = None
+    #: whether the adaptive sampling phase was skipped because a
+    #: previously-certified ``theta`` (``pinned_theta``) was already
+    #: satisfied by the caller's pool — zero RR-sets were sampled.
+    pinned: bool = False
 
 
 def _lambda_prime(n: int, k: int, epsilon_prime: float, ell: float) -> float:
@@ -130,6 +134,7 @@ def general_imm(
     pool: Optional[RRSetPool] = None,
     candidates=None,
     deadline: Optional[Deadline] = None,
+    pinned_theta: Optional[int] = None,
 ) -> IMMResult:
     """Run IMM on ``generator`` and return the selected seed set.
 
@@ -154,6 +159,15 @@ def general_imm(
     cooperative: when the budget expires, selection runs best-effort
     over whatever the pool holds (never fewer than ``min_rr_sets``) and
     the result is stamped ``degraded=True``.
+
+    ``pinned_theta`` is the warm-start fast path: a caller that already
+    certified a final theta for the *same* ``(k, epsilon, ell)`` request
+    on this very pool (the session persists it in the store manifest)
+    passes it here, and when the pool already holds that many sets the
+    adaptive sampling phase is skipped entirely — zero RR-sets are drawn
+    and the greedy selection (deterministic in the pool) reproduces the
+    original answer exactly.  A pin the pool cannot satisfy is ignored
+    and the adaptive run proceeds normally.
     """
     if options is None:
         options = IMMOptions()
@@ -167,6 +181,31 @@ def general_imm(
         return IMMResult(
             seeds=[], theta=0, lower_bound=float("nan"), coverage=0,
             estimated_objective=0.0,
+        )
+    if (
+        pinned_theta is not None
+        and pool is not None
+        and options.min_rr_sets <= pinned_theta <= options.max_rr_sets
+        and len(pool) >= pinned_theta
+    ):
+        sel = (
+            pool.prefix(options.max_rr_sets)
+            if len(pool) > options.max_rr_sets
+            else pool
+        )
+        seeds, covered, gains = greedy_max_coverage(
+            sel, n, k, candidates=candidates
+        )
+        total = len(sel)
+        return IMMResult(
+            seeds=seeds,
+            theta=total,
+            lower_bound=float("nan"),
+            coverage=covered,
+            estimated_objective=n * covered / total if total else 0.0,
+            rounds=0,
+            marginal_coverage=gains,
+            pinned=True,
         )
     gen = make_rng(rng)
 

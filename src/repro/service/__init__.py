@@ -1,0 +1,27 @@
+"""repro.service — the Com-IC query daemon.
+
+A long-lived service in front of :class:`~repro.api.session.ComICSession`:
+:class:`ComICServer` owns one session per registered graph behind a
+stdlib-only HTTP/1.1 JSON front, coalescing identical in-flight queries
+(single-flight) and answering repeats from pooled RR-sets at warm speed;
+:class:`CatalogedPoolStore` adds a SQLite catalog (per-pool rows, WAL,
+hit/load counters) and LRU disk-quota GC to the persistent pool store;
+:class:`ServiceClient` is the matching stdlib client.
+
+Run one with ``python -m repro.service``; operator guide in
+``docs/service.md``.
+"""
+
+from repro.service.catalog import CatalogedPoolStore, PoolCatalog
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import ComICServer, ServerStats, ServiceError
+
+__all__ = [
+    "CatalogedPoolStore",
+    "ComICServer",
+    "PoolCatalog",
+    "ServerStats",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+]

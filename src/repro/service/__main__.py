@@ -1,0 +1,119 @@
+"""CLI entry point: ``python -m repro.service``.
+
+Starts a :class:`~repro.service.server.ComICServer` over one graph —
+either an edge-list file or a generated power-law demo graph — with a
+cataloged persistent pool store when ``--store`` is given::
+
+    python -m repro.service --demo-nodes 500 --port 8080 \\
+        --gaps 1.0,1.0,1.0,1.0 --store /tmp/comic-pools --engine imm
+
+See ``docs/service.md`` for the endpoint reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import EngineConfig
+from repro.graph.generators import power_law_digraph
+from repro.graph.io import load_edge_list
+from repro.graph.weights import weighted_cascade_probabilities
+from repro.models.gaps import GAP
+from repro.service.catalog import CatalogedPoolStore
+from repro.service.server import ComICServer
+
+
+def _parse_gaps(text: str) -> GAP:
+    parts = [float(piece) for piece in text.split(",")]
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            "gaps must be 'q_a,q_a_given_b,q_b,q_b_given_a'"
+        )
+    return GAP(*parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve Com-IC influence queries over HTTP.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--edge-list", metavar="PATH",
+        help="edge-list file to serve (repro.graph.io format)",
+    )
+    source.add_argument(
+        "--demo-nodes", type=int, default=300, metavar="N",
+        help="serve a generated power-law demo graph of N nodes (default 300)",
+    )
+    parser.add_argument(
+        "--name", default="default", help="graph name in /query/<name>"
+    )
+    parser.add_argument(
+        "--gaps", type=_parse_gaps, default=GAP(1.0, 1.0, 1.0, 1.0),
+        metavar="QA,QAB,QB,QBA",
+        help="GAP quadruple (default 1,1,1,1 = classic IC)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="attach a cataloged persistent pool store at DIR",
+    )
+    parser.add_argument(
+        "--max-store-bytes", type=int, default=None, metavar="BYTES",
+        help="store-wide disk quota enforced by catalog GC (default none)",
+    )
+    parser.add_argument(
+        "--engine", choices=("tim", "imm"), default="imm",
+        help="seed-selection engine (default imm)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="RR-set sampling worker processes per session (default 1)",
+    )
+    parser.add_argument(
+        "--rng", type=int, default=None, help="session RNG seed"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.edge_list:
+        graph = load_edge_list(args.edge_list)
+    else:
+        graph = weighted_cascade_probabilities(
+            power_law_digraph(args.demo_nodes, rng=args.rng or 0)
+        )
+    store = None
+    if args.store:
+        store = CatalogedPoolStore(
+            args.store, max_store_bytes=args.max_store_bytes
+        )
+    config = EngineConfig(engine=args.engine, workers=args.workers)
+    server = ComICServer()
+    server.register_graph(
+        args.name, graph, args.gaps,
+        config=config, store=store, rng=args.rng,
+    )
+    host, port = server.start(args.host, args.port)
+    print(
+        f"serving graph {args.name!r} ({graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges) on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

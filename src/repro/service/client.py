@@ -1,0 +1,128 @@
+"""A minimal stdlib client for the Com-IC query daemon.
+
+:class:`ServiceClient` wraps ``http.client`` — JSON in, JSON out, one
+persistent HTTP/1.1 connection per client — so tests, benchmarks and
+scripts talk to :class:`~repro.service.server.ComICServer` without
+``requests`` or any other dependency::
+
+    client = ServiceClient(host, port)
+    body = client.query("demo", SelfInfMaxQuery(seeds_b=(0,), k=5), rng=7)
+    body["seeds"], body["diagnostics"]["rr_sets_sampled"]
+
+Errors come back as :class:`ServiceClientError` carrying the HTTP status
+and the server's ``{"error": ...}`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One connection to a running :class:`ComICServer`.
+
+    Not thread-safe (``http.client`` connections are not); concurrent
+    benchmark clients each construct their own.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: Optional[float] = 60.0
+    ) -> None:
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self._conn.close()  # reset for reuse after a broken exchange
+            raise ServiceClientError(0, f"transport failure: {exc}") from exc
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceClientError(
+                response.status, f"non-JSON response: {exc}"
+            ) from exc
+        if response.status >= 400:
+            raise ServiceClientError(
+                response.status, str(decoded.get("error", decoded))
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """GET /health."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        """GET /stats."""
+        return self._request("GET", "/stats")
+
+    def graphs(self) -> dict[str, Any]:
+        """GET /graphs."""
+        return self._request("GET", "/graphs")
+
+    def catalog(self, graph: Optional[str] = None) -> dict[str, Any]:
+        """GET /catalog (or /catalog/<graph>)."""
+        path = "/catalog" if graph is None else f"/catalog/{graph}"
+        return self._request("GET", path)
+
+    def query(
+        self,
+        graph: str,
+        query: Any,
+        *,
+        config: Optional[Mapping[str, Any]] = None,
+        rng: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """POST /query/<graph>; returns the ``InfluenceResult`` envelope.
+
+        ``query`` is a query dataclass (``to_dict`` is called) or an
+        already-tagged payload dict.  ``config`` is a partial dict of
+        :class:`~repro.api.config.EngineConfig` overrides; ``rng`` pins
+        the request's randomness (and enables single-flight coalescing
+        server-side); ``deadline_s`` bounds its wall clock.
+        """
+        payload: dict[str, Any] = {
+            "query": query.to_dict() if hasattr(query, "to_dict") else query
+        }
+        if config is not None:
+            payload["config"] = dict(config)
+        if rng is not None:
+            payload["rng"] = rng
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return self._request("POST", f"/query/{graph}", payload)

@@ -1,0 +1,509 @@
+"""The Com-IC query daemon: sessions behind a stdlib HTTP/1.1 front.
+
+:class:`ComICServer` keeps one :class:`~repro.api.session.ComICSession`
+per registered graph alive across requests, so everything the session
+layer already amortises — cached RR-set pools, persistent worker
+processes, store warm starts, pinned thetas — is amortised across
+*clients* too.  The transport is deliberately boring:
+``http.server.ThreadingHTTPServer`` (one daemon thread per connection)
+speaking JSON, no dependencies beyond the standard library.
+
+Three behaviours turn the session into a service:
+
+* **Serialised sessions** — ``ComICSession`` is not thread-safe, so each
+  graph's session runs under its own lock.  Different graphs answer
+  concurrently; requests for one graph queue.
+* **Single-flight coalescing** — K identical queries arriving together
+  cost one execution: the first request in becomes the *leader* and
+  computes, the rest park on an event and receive the leader's envelope
+  verbatim (``ServerStats.coalesced`` counts the followers).  Identity is
+  the canonical JSON of (graph, query payload, config overrides, rng
+  pin); requests with no rng pin are never coalesced — each is entitled
+  to advance the session stream.
+* **Deadlines end-to-end** — a per-request ``deadline_s`` merges into the
+  effective :class:`~repro.api.config.EngineConfig`, riding the PR 6
+  cooperative-budget machinery, so a slow cold query degrades instead of
+  holding the graph lock indefinitely.
+
+The HTTP layer is a thin shell over :meth:`ComICServer.handle_query`,
+which tests drive directly (no sockets needed).
+
+Endpoints (see ``docs/service.md`` for the operator guide)::
+
+    GET  /health            liveness + registered graph names
+    GET  /stats             server counters + per-graph session stats
+    GET  /graphs            graph name -> {nodes, edges, fingerprint}
+    GET  /catalog[/<name>]  pool-catalog rows (CatalogedPoolStore only)
+    POST /query/<name>      {"query": {...}, "config"?, "rng"?, "deadline_s"?}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Optional
+
+from repro.api import ComICSession, EngineConfig, InfluenceResult, registry
+from repro.errors import GapError, QueryError, ReproError, SeedSetError
+from repro.graph.digraph import DiGraph
+from repro.models.gaps import GAP
+from repro.service.catalog import CatalogedPoolStore
+
+__all__ = ["ComICServer", "ServerStats", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A request the service rejects, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServerStats:
+    """Service-level counters (sessions keep their own ``SessionStats``)."""
+
+    #: HTTP requests accepted (all endpoints, all statuses).
+    requests: int = 0
+    #: queries executed by a session (coalesced followers excluded).
+    queries: int = 0
+    #: requests answered with a 4xx/5xx envelope.
+    errors: int = 0
+    #: followers served a leader's result without executing.
+    coalesced: int = 0
+    #: single-flight leaderships taken (== cold executions of coalescible
+    #: requests; ``coalesced / max(flights, 1)`` is the fan-in ratio).
+    flights: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class _Flight:
+    """One in-flight coalescible execution: leader computes, rest wait."""
+
+    __slots__ = ("event", "payload", "status")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[dict[str, Any]] = None
+        self.status: int = 500
+
+
+@dataclass
+class _GraphService:
+    """One registered graph: its session and the lock serialising it."""
+
+    name: str
+    session: ComICSession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ComICServer:
+    """A multi-graph Com-IC query service.
+
+    Construct, :meth:`register_graph` one or more graphs, then either
+    :meth:`start` the HTTP front (returns the bound address) or call
+    :meth:`handle_query` directly (tests, embedding).  ``close`` shuts
+    down the HTTP server and every session (worker pools included).
+    """
+
+    def __init__(self) -> None:
+        self._graphs: dict[str, _GraphService] = {}
+        self._graphs_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_graph(
+        self,
+        name: str,
+        graph: DiGraph,
+        gaps: Optional[GAP] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        store: Any = None,
+        multi_item_gaps: Any = None,
+        rng: Any = None,
+    ) -> ComICSession:
+        """Create and own a session for ``graph`` under ``name``.
+
+        Keyword arguments pass through to
+        :class:`~repro.api.session.ComICSession` unchanged.  Returns the
+        session (callers may pre-warm pools before :meth:`start`).
+        """
+        if not name or "/" in name:
+            raise QueryError(
+                f"graph name must be non-empty and slash-free, got {name!r}"
+            )
+        with self._graphs_lock:
+            if name in self._graphs:
+                raise QueryError(f"graph {name!r} is already registered")
+            session = ComICSession(
+                graph,
+                gaps,
+                multi_item_gaps=multi_item_gaps,
+                config=config,
+                rng=rng,
+                store=store,
+            )
+            self._graphs[name] = _GraphService(name=name, session=session)
+            return session
+
+    def graph_names(self) -> list[str]:
+        """Registered graph names, sorted."""
+        with self._graphs_lock:
+            return sorted(self._graphs)
+
+    def _service(self, name: str) -> _GraphService:
+        with self._graphs_lock:
+            service = self._graphs.get(name)
+        if service is None:
+            raise ServiceError(
+                404,
+                f"unknown graph {name!r}; registered: {self.graph_names()}",
+            )
+        return service
+
+    def session(self, name: str) -> ComICSession:
+        """The session owned for a registered graph (testing/embedding)."""
+        return self._service(name).session
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def handle_query(
+        self, graph_name: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Answer one POST /query payload; returns (status, body).
+
+        The body on success is the
+        :meth:`~repro.api.results.InfluenceResult.to_dict` envelope
+        (objective, seeds, objective estimate, full diagnostics including
+        ``diagnostics.resilience``); on failure ``{"error": ...}``.
+        """
+        try:
+            service = self._service(graph_name)
+            query, config, rng, coalescible = self._parse_request(
+                service, payload
+            )
+        except ServiceError as exc:
+            self.stats.errors += 1
+            return exc.status, {"error": str(exc)}
+
+        flight_key = (
+            self._flight_key(graph_name, payload) if coalescible else None
+        )
+        if flight_key is not None:
+            status, body = self._run_single_flight(
+                flight_key, service, query, config, rng
+            )
+        else:
+            status, body = self._execute(service, query, config, rng)
+        if status != 200:
+            self.stats.errors += 1
+        return status, body
+
+    def _parse_request(
+        self, service: _GraphService, payload: Mapping[str, Any]
+    ) -> tuple[Any, Optional[EngineConfig], Optional[int], bool]:
+        """Validate the request envelope into (query, config, rng, coalescible)."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError(400, "request body must be a JSON object")
+        query_payload = payload.get("query")
+        if not isinstance(query_payload, Mapping):
+            raise ServiceError(
+                400, "request needs a 'query' object (query.to_dict payload)"
+            )
+        unknown = set(payload) - {"query", "config", "rng", "deadline_s"}
+        if unknown:
+            raise ServiceError(
+                400, f"unknown request fields: {sorted(unknown)}"
+            )
+        try:
+            query = registry.query_from_dict(query_payload)
+        except (QueryError, TypeError, ValueError) as exc:
+            raise ServiceError(400, f"bad query: {exc}") from exc
+
+        config: Optional[EngineConfig] = None
+        overrides = payload.get("config")
+        if overrides is not None:
+            if not isinstance(overrides, Mapping):
+                raise ServiceError(
+                    400, "'config' must be an object of EngineConfig fields"
+                )
+            base = service.session.config.to_dict()
+            base.update(overrides)
+            try:
+                config = EngineConfig.from_dict(base)
+            except QueryError as exc:
+                raise ServiceError(400, f"bad config: {exc}") from exc
+
+        deadline_s = payload.get("deadline_s")
+        if deadline_s is not None:
+            if not isinstance(deadline_s, (int, float)) or isinstance(
+                deadline_s, bool
+            ):
+                raise ServiceError(400, "'deadline_s' must be a number")
+            effective = config if config is not None else service.session.config
+            try:
+                config = dataclasses.replace(
+                    effective, deadline_s=float(deadline_s)
+                )
+            except QueryError as exc:
+                raise ServiceError(400, f"bad deadline_s: {exc}") from exc
+
+        rng = payload.get("rng")
+        if rng is not None and (
+            not isinstance(rng, int) or isinstance(rng, bool)
+        ):
+            raise ServiceError(
+                400, "'rng' must be an integer seed (omit for session stream)"
+            )
+        # Without a pinned rng each request must advance the session's
+        # stream independently — coalescing would silently hand two
+        # clients one draw.  With a pin, identical requests are
+        # deterministic replicas: safe (and profitable) to coalesce.
+        return query, config, rng, rng is not None
+
+    @staticmethod
+    def _flight_key(graph_name: str, payload: Mapping[str, Any]) -> str:
+        return json.dumps(
+            {"graph": graph_name, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+
+    def _run_single_flight(
+        self,
+        key: str,
+        service: _GraphService,
+        query: Any,
+        config: Optional[EngineConfig],
+        rng: Optional[int],
+    ) -> tuple[int, dict[str, Any]]:
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+                self.stats.flights += 1
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            self.stats.coalesced += 1
+            assert flight.payload is not None
+            return flight.status, flight.payload
+        try:
+            status, body = self._execute(service, query, config, rng)
+            flight.status, flight.payload = status, body
+            return status, body
+        except BaseException:
+            # Never strand followers: an unexpected leader crash turns
+            # into a 500 envelope for everyone parked on the event.
+            flight.status = 500
+            flight.payload = {"error": "internal error in coalesced leader"}
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+    def _execute(
+        self,
+        service: _GraphService,
+        query: Any,
+        config: Optional[EngineConfig],
+        rng: Optional[int],
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            with service.lock:
+                result: InfluenceResult = service.session.run(
+                    query, config=config, rng=rng
+                )
+            self.stats.queries += 1
+            return 200, result.to_dict()
+        except (QueryError, SeedSetError, GapError) as exc:
+            # malformed *request* semantics (bad knobs, k > n, invalid
+            # GAPs): the client's fault, not the service's
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def handle_health(self) -> tuple[int, dict[str, Any]]:
+        return 200, {"status": "ok", "graphs": self.graph_names()}
+
+    def handle_stats(self) -> tuple[int, dict[str, Any]]:
+        sessions: dict[str, Any] = {}
+        with self._graphs_lock:
+            services = list(self._graphs.values())
+        for service in services:
+            session = service.session
+            entry: dict[str, Any] = {
+                "session": session.stats.as_dict(),
+                "pool_sets_total": session.pool_sets_total,
+                "pool_bytes_total": session.pool_bytes_total,
+            }
+            store = session.store
+            if store is not None:
+                entry["store"] = dataclasses.asdict(store.stats)
+            sessions[service.name] = entry
+        return 200, {"server": self.stats.as_dict(), "graphs": sessions}
+
+    def handle_graphs(self) -> tuple[int, dict[str, Any]]:
+        out: dict[str, Any] = {}
+        with self._graphs_lock:
+            services = list(self._graphs.values())
+        for service in services:
+            graph = service.session.graph
+            out[service.name] = {
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+                "fingerprint": graph.fingerprint(),
+            }
+        return 200, out
+
+    def handle_catalog(
+        self, graph_name: Optional[str] = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Catalog rows per graph (graphs without a cataloged store: null)."""
+        names = [graph_name] if graph_name is not None else self.graph_names()
+        out: dict[str, Any] = {}
+        for name in names:
+            service = self._service(name)
+            store = service.session.store
+            if isinstance(store, CatalogedPoolStore):
+                out[name] = {
+                    "rows": store.catalog.rows(),
+                    "total_bytes": store.catalog.total_bytes(),
+                    "max_store_bytes": store.max_store_bytes,
+                    "gc_evictions": store.gc_evictions,
+                }
+            else:
+                out[name] = None
+        return 200, out
+
+    # ------------------------------------------------------------------
+    # HTTP front
+    # ------------------------------------------------------------------
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and serve in a daemon thread; returns (host, port)."""
+        if self._httpd is not None:
+            raise ReproError("server is already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="comic-server",
+            daemon=True,
+        )
+        self._thread.start()
+        bound_host, bound_port = self._httpd.server_address[:2]
+        return str(bound_host), int(bound_port)
+
+    @property
+    def address(self) -> Optional[tuple[str, int]]:
+        """The bound (host, port), or ``None`` before :meth:`start`."""
+        if self._httpd is None:
+            return None
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def close(self) -> None:
+        """Stop serving and close every session (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._graphs_lock:
+            services = list(self._graphs.values())
+            self._graphs.clear()
+        for service in services:
+            with service.lock:
+                service.session.close()
+
+    def __enter__(self) -> "ComICServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _make_handler(server: ComICServer) -> type[BaseHTTPRequestHandler]:
+    """The request-handler class bound to one :class:`ComICServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "ComICServer/1"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # quiet by default; stats cover observability
+
+        def _reply(self, status: int, body: dict[str, Any]) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            server.stats.requests += 1
+            path = self.path.rstrip("/") or "/"
+            if path == "/health":
+                self._reply(*server.handle_health())
+            elif path == "/stats":
+                self._reply(*server.handle_stats())
+            elif path == "/graphs":
+                self._reply(*server.handle_graphs())
+            elif path == "/catalog":
+                self._reply(*server.handle_catalog())
+            elif path.startswith("/catalog/"):
+                name = path[len("/catalog/"):]
+                try:
+                    self._reply(*server.handle_catalog(name))
+                except ServiceError as exc:
+                    server.stats.errors += 1
+                    self._reply(exc.status, {"error": str(exc)})
+            else:
+                server.stats.errors += 1
+                self._reply(404, {"error": f"no such endpoint: {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            server.stats.requests += 1
+            path = self.path.rstrip("/")
+            if not path.startswith("/query/"):
+                server.stats.errors += 1
+                self._reply(404, {"error": f"no such endpoint: {self.path}"})
+                return
+            graph_name = path[len("/query/"):]
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length) if length > 0 else b""
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                server.stats.errors += 1
+                self._reply(400, {"error": f"bad JSON body: {exc}"})
+                return
+            self._reply(*server.handle_query(graph_name, payload))
+
+    return Handler

@@ -38,15 +38,18 @@ FORMAT_NAME = "repro-pool-store"
 FORMAT_VERSION = 1
 
 
-def crc32_of(array: np.ndarray) -> int:
+def crc32_of(array: np.ndarray, value: int = 0) -> int:
     """CRC-32 of an array's raw bytes (cheap corruption tripwire).
 
     Streams the buffer directly through the buffer protocol — no
     ``tobytes()`` copy, so checksumming a memory-mapped multi-GB column
-    costs one sequential read and zero extra allocation.
+    costs one sequential read and zero extra allocation.  ``value``
+    continues a running checksum: ``crc32_of(tail, crc32_of(head))``
+    equals ``crc32_of(concat(head, tail))``, which is what lets the
+    store's incremental append checksum only the delta it writes.
     """
     return (
-        zlib.crc32(memoryview(np.ascontiguousarray(array)).cast("B"))
+        zlib.crc32(memoryview(np.ascontiguousarray(array)).cast("B"), value)
         & 0xFFFFFFFF
     )
 

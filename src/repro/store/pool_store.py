@@ -36,6 +36,21 @@ the same key race on the final rename; exactly one installs, losers
 discard their staging quietly — the right semantics when entries are
 identical re-samplings, and documented for everything else.
 
+**Incremental appends**: re-saving a *grown* pool whose stored entry is
+a validated byte-prefix of the new columns (the session's IMM-style
+top-up write-through is exactly this) appends only the delta to the
+``.npy`` columns in place instead of rewriting O(N·S) bytes — CRCs
+continue incrementally from the manifest's recorded values, the data
+bytes land before the header's shape is patched, and the manifest is
+replaced atomically last, so every crash point leaves a state the
+prefix-tolerant loader still serves (columns longer than the manifest
+describes are sliced down to the described — intact — prefix).  Append
+writers of one entry serialise on an ``.append.lock`` file inside it;
+the loser of that race defers to the winner (degrades to a hit — the
+winner's entry is, or extends, the loser's prefix) rather than racing a
+full rewrite against an in-flight append.  ``StoreStats`` counts
+``appends`` and ``append_contentions``.
+
 The store also **self-heals** (see ``docs/resilience.md``): an entry
 :meth:`PoolStore.load` rejects is *quarantined* — moved under
 ``<root>/.quarantine/<digest>-<n>/`` with a ``reason.json`` record — so
@@ -50,9 +65,12 @@ warn-and-continue without losing the signal.
 from __future__ import annotations
 
 import errno
+import io
+import itertools
 import json
 import os
 import shutil
+import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -64,17 +82,74 @@ from repro import faults
 from repro.errors import StoreError, StoreIntegrityError
 from repro.rrset.pool import RRSetPool
 from repro.store.keys import PoolKey
-from repro.store.manifest import PoolManifest, crc32_of
+from repro.store.manifest import FORMAT_VERSION, PoolManifest, crc32_of
 
 MANIFEST_FILE = "manifest.json"
 NODES_FILE = "nodes.npy"
 INDPTR_FILE = "indptr.npy"
+#: per-entry mutex of in-place column appends (held only while appending).
+APPEND_LOCK_FILE = ".append.lock"
 #: subdirectory of the store root holding quarantined entries.
 QUARANTINE_DIR = ".quarantine"
 #: sidecar written into each quarantined entry explaining why.
 REASON_FILE = "reason.json"
 
 PathLike = Union[str, os.PathLike]
+
+#: monotonic disambiguator for staging/trash names — two threads of one
+#: process saving the same key must never share a temp directory.
+_TEMP_COUNTER = itertools.count()
+
+
+def _npy_append(path: Path, delta: np.ndarray, new_count: int) -> bool:
+    """Append ``delta`` to a 1-D ``.npy`` column file in place.
+
+    Returns ``False`` when the file cannot be extended in place (non-1.0
+    npy format, dtype/layout surprises, or a new shape whose padded
+    header length differs from the old) — callers fall back to the
+    staged full rewrite.  Crash-safe ordering: the delta bytes land
+    *before* the header's shape is patched, so an interrupted append
+    leaves the previous header describing the previous — intact — array,
+    with the partial tail ignored as trailing bytes.
+    """
+    delta = np.ascontiguousarray(delta)
+    with open(path, "r+b") as handle:
+        try:
+            version = np.lib.format.read_magic(handle)
+        except ValueError:
+            return False
+        if version != (1, 0):
+            return False
+        try:
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        except ValueError:
+            return False
+        if fortran or len(shape) != 1 or dtype != delta.dtype:
+            return False
+        if shape[0] + int(delta.size) != int(new_count):
+            return False
+        data_start = handle.tell()
+        preamble = io.BytesIO()
+        np.lib.format.write_array_header_1_0(
+            preamble,
+            {
+                "descr": np.lib.format.dtype_to_descr(dtype),
+                "fortran_order": False,
+                "shape": (int(new_count),),
+            },
+        )
+        header = preamble.getvalue()
+        if len(header) != data_start:
+            return False
+        handle.seek(data_start + int(shape[0]) * dtype.itemsize)
+        handle.write(memoryview(delta).cast("B"))
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.seek(0)
+        handle.write(header)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
 
 
 @dataclass
@@ -88,8 +163,14 @@ class StoreStats:
     #: loads that found an entry but rejected it (wrong key/fingerprint,
     #: wrong format version, corrupted columns).
     invalidations: int = 0
-    #: entries written (new or overwritten).
+    #: entries written (new, overwritten, or appended).
     saves: int = 0
+    #: saves satisfied by appending only the grown tail to an existing
+    #: entry's columns (subset of ``saves``).
+    appends: int = 0
+    #: append attempts that found another writer's append in flight and
+    #: deferred to it (the save degrades to a hit; nothing was written).
+    append_contentions: int = 0
     #: rejected entries moved aside into ``.quarantine/`` by ``load``.
     quarantined: int = 0
     #: ``save`` calls that raised (disk full, permission, injected).
@@ -191,6 +272,11 @@ class PoolStore:
         miss, never a corrupt mix.  Concurrent same-key writers race on
         the final rename: exactly one wins, losers discard their staging
         quietly (identical re-samplings are the expected case).
+
+        When the existing entry is a validated byte-prefix of ``pool``
+        (the common grown-pool write-through), only the delta is appended
+        in place instead — see the module docstring and
+        :attr:`StoreStats.appends`.
         """
         entry = self.entry_dir(key)
         if not isinstance(pool, RRSetPool):
@@ -200,6 +286,15 @@ class PoolStore:
         stamped: dict[str, Any] = {"created_unix": time.time()}
         if provenance:
             stamped.update(provenance)
+        try:
+            fast = self._try_append(
+                key, entry, pool, nodes, indptr, str(graph_fingerprint), stamped
+            )
+        except BaseException:
+            self.stats.save_failures += 1
+            raise
+        if fast is not None:
+            return fast
         manifest = PoolManifest(
             key=key,
             graph_fingerprint=str(graph_fingerprint),
@@ -210,10 +305,11 @@ class PoolStore:
             indptr_crc32=crc32_of(indptr),
             provenance=stamped,
         )
-        staging = self._root / f".staging.{key.digest()}.{os.getpid()}"
-        retired = self._root / f".trash.{key.digest()}.{os.getpid()}"
-        shutil.rmtree(staging, ignore_errors=True)
-        shutil.rmtree(retired, ignore_errors=True)
+        token = (
+            f"{os.getpid()}.{threading.get_ident()}.{next(_TEMP_COUNTER)}"
+        )
+        staging = self._root / f".staging.{key.digest()}.{token}"
+        retired = self._root / f".trash.{key.digest()}.{token}"
         staging.mkdir(parents=True)
         try:
             self._arm_save_columns_fault(staging)
@@ -228,23 +324,34 @@ class PoolStore:
             if entry.exists():
                 try:
                     os.replace(entry, retired)  # atomic move-aside
+                except FileNotFoundError:
+                    # Same-key race: another writer retired the entry
+                    # between our check and the rename — it no longer
+                    # blocks our install.
+                    pass
                 except OSError as exc:
-                    # Failing to retire the old entry is a genuine error
-                    # (EACCES, EIO, ...), never the install race — do not
-                    # mask it as success with the stale entry in place.
+                    # Any other retire failure is a genuine error
+                    # (EACCES, EIO, ...) — do not mask it as success
+                    # with the stale entry in place.
                     shutil.rmtree(staging, ignore_errors=True)
                     raise StoreError(
                         f"failed to retire previous entry for {key}: {exc}"
                     ) from exc
-                moved_aside = True
+                else:
+                    moved_aside = True
             try:
                 os.replace(staging, entry)
             except OSError as exc:
                 shutil.rmtree(staging, ignore_errors=True)
-                if entry.exists():
+                if entry.exists() or exc.errno in (
+                    errno.ENOTEMPTY,
+                    errno.EEXIST,
+                ):
                     # Benign same-key race: another writer installed an
-                    # (equivalent) entry between our renames; theirs
-                    # stands, our old copy can retire.
+                    # (equivalent) entry between our renames (ENOTEMPTY /
+                    # EEXIST means their entry blocked ours even if they
+                    # are mid-replace right now); theirs stands, our old
+                    # copy can retire.
                     shutil.rmtree(retired, ignore_errors=True)
                     return entry
                 if moved_aside:
@@ -270,6 +377,129 @@ class PoolStore:
         shutil.rmtree(retired, ignore_errors=True)
         self.stats.saves += 1
         return entry
+
+    def _try_append(
+        self,
+        key: PoolKey,
+        entry: Path,
+        pool: RRSetPool,
+        nodes: np.ndarray,
+        indptr: np.ndarray,
+        graph_fingerprint: str,
+        stamped: dict[str, Any],
+    ) -> Optional[Path]:
+        """Append-only fast path of :meth:`save`; ``None`` = full rewrite.
+
+        Applicable when the installed entry describes the same key,
+        fingerprint and format, holds strictly fewer sets, and its
+        recorded CRCs match the corresponding prefix of the new columns
+        (i.e. the entry *is* the old pool the caller grew).  Returns the
+        entry directory on success or on append-lock contention (the
+        concurrent appender's result stands — see module docstring);
+        any real I/O error propagates to :meth:`save`'s failure
+        accounting.
+        """
+        manifest_path = entry / MANIFEST_FILE
+        if not manifest_path.exists():
+            return None
+        try:
+            old = self._read_manifest(manifest_path)
+        except StoreIntegrityError:
+            return None  # unreadable/foreign manifest: rewrite replaces it
+        if (
+            old.format_version != FORMAT_VERSION
+            or old.key != key
+            or old.graph_fingerprint != graph_fingerprint
+            or old.num_nodes != pool.num_nodes
+            or not 0 <= old.num_sets < len(pool)
+            or old.total_nodes > pool.total_nodes
+        ):
+            return None
+        # The stored entry must be a byte-prefix of the new columns:
+        # checksum the in-memory prefix against the manifest's records.
+        if crc32_of(nodes[: old.total_nodes]) != old.nodes_crc32:
+            return None
+        if crc32_of(indptr[: old.num_sets + 1]) != old.indptr_crc32:
+            return None
+        lock = entry / APPEND_LOCK_FILE
+        if not self._acquire_append_lock(lock):
+            self.stats.append_contentions += 1
+            return entry
+        try:
+            # Re-check under the lock: the entry may have been appended
+            # to (or replaced) between the prefix check and acquisition.
+            try:
+                current = self._read_manifest(manifest_path)
+            except (StoreIntegrityError, OSError):
+                return None
+            if current.to_dict() != old.to_dict():
+                return None
+            self._arm_save_columns_fault(entry)
+            delta_nodes = nodes[old.total_nodes :]
+            delta_indptr = indptr[old.num_sets + 1 :]
+            if not _npy_append(entry / NODES_FILE, delta_nodes, nodes.size):
+                return None
+            if not _npy_append(entry / INDPTR_FILE, delta_indptr, indptr.size):
+                # nodes already grew, but the old manifest still describes
+                # a valid prefix — the tolerant loader serves it and the
+                # full rewrite below replaces the whole entry.
+                return None
+            manifest = PoolManifest(
+                key=key,
+                graph_fingerprint=graph_fingerprint,
+                num_nodes=pool.num_nodes,
+                num_sets=len(pool),
+                total_nodes=pool.total_nodes,
+                nodes_crc32=crc32_of(delta_nodes, old.nodes_crc32),
+                indptr_crc32=crc32_of(delta_indptr, old.indptr_crc32),
+                provenance=stamped,
+            )
+            tmp = entry / (MANIFEST_FILE + ".tmp")
+            tmp.write_text(manifest.to_json(), encoding="utf-8")
+            os.replace(tmp, manifest_path)  # atomic cut-over to the new state
+        finally:
+            try:
+                lock.unlink()
+            except OSError:  # pragma: no cover - lock dir replaced under us
+                pass
+        self.stats.saves += 1
+        self.stats.appends += 1
+        return entry
+
+    def _acquire_append_lock(self, lock: Path) -> bool:
+        """Take the per-entry append mutex (non-blocking); break stale locks.
+
+        A lock older than ``stale_temp_age_s`` (the staging-GC cutoff; an
+        hour when the sweep is disabled) belongs to a crashed appender —
+        its entry is still valid via prefix tolerance — and is broken.
+        """
+        flags = os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        try:
+            fd = os.open(lock, flags)
+        except FileExistsError:
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                return False
+            cutoff = (
+                self._stale_temp_age_s
+                if self._stale_temp_age_s is not None
+                else 3600.0
+            )
+            if age < cutoff:
+                return False
+            try:
+                lock.unlink()
+                fd = os.open(lock, flags)
+            except OSError:
+                return False
+        except OSError:
+            return False
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())  # post-mortem aid
+        finally:
+            os.close(fd)
+        return True
 
     # -- save-path fault-injection hooks (no-ops without an active plan) --
     @staticmethod
@@ -322,20 +552,32 @@ class PoolStore:
         ``.quarantine/`` with a ``reason.json`` record, so the same bad
         bytes are validated (and paid for) exactly once — every later
         load of the key is a plain miss until something valid is saved.
+
+        Validation failures are re-read before quarantining: a concurrent
+        writer's full rewrite (or a GC eviction) can tear a single read —
+        manifest from the old entry, columns from the new — which is a
+        race, not corruption.  Only a failure stable across re-reads
+        condemns the bytes.
         """
-        try:
-            pool = self.load_strict(
-                key, graph_fingerprint=graph_fingerprint, mmap=mmap
-            )
-        except StoreIntegrityError as exc:
-            self.stats.invalidations += 1
-            self._quarantine(key, str(exc))
-            return None
-        if pool is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return pool
+        last_exc: Optional[StoreIntegrityError] = None
+        for attempt in range(3):
+            if attempt:
+                time.sleep(0.005 * attempt)
+            try:
+                pool = self.load_strict(
+                    key, graph_fingerprint=graph_fingerprint, mmap=mmap
+                )
+            except StoreIntegrityError as exc:
+                last_exc = exc
+                continue
+            if pool is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return pool
+        self.stats.invalidations += 1
+        self._quarantine(key, str(last_exc))
+        return None
 
     def load_strict(
         self,
@@ -366,6 +608,14 @@ class PoolStore:
             raise StoreIntegrityError(
                 f"column dtypes {nodes.dtype}/{indptr.dtype} are not int32/int64"
             )
+        # Columns longer than the manifest describes are a concurrent (or
+        # crash-interrupted) incremental append's tail: the described
+        # prefix is exactly the installed entry, so serve that and ignore
+        # the surplus.  Shorter-than-described stays an integrity error.
+        if indptr.shape[0] > manifest.num_sets + 1:
+            indptr = indptr[: manifest.num_sets + 1]
+        if nodes.shape[0] > manifest.total_nodes:
+            nodes = nodes[: manifest.total_nodes]
         manifest.validate_columns(nodes, indptr)
         # The CRC pass just proved the columns byte-identical to what
         # save() wrote from a validated pool, so from_flat's CSR re-scan

@@ -1,0 +1,96 @@
+"""Stored-theta fast path: warm starts pin IMM to zero top-up sampling."""
+
+import pytest
+
+from repro.api import (
+    BlockingQuery,
+    ComICSession,
+    EngineConfig,
+    SelfInfMaxQuery,
+)
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+QUERY = SelfInfMaxQuery(seeds_b=(0, 1), k=5)
+CONFIG = EngineConfig(engine="imm", max_rr_sets=1500)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(250, rng=9))
+
+
+class TestInSessionPin:
+    def test_repeat_query_pins_and_matches(self, graph):
+        session = ComICSession(graph, GAPS, config=CONFIG, rng=1)
+        first = session.run(QUERY)
+        assert session.stats.theta_pins == 0
+        repeat = session.run(QUERY)
+        assert session.stats.theta_pins == 1
+        assert repeat.diagnostics["rr_sets_sampled"] == 0
+        assert repeat.seeds == first.seeds
+
+    def test_different_k_does_not_pin(self, graph):
+        session = ComICSession(graph, GAPS, config=CONFIG, rng=1)
+        session.run(QUERY)
+        session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=3))
+        assert session.stats.theta_pins == 0
+
+    def test_different_epsilon_does_not_pin(self, graph):
+        session = ComICSession(graph, GAPS, config=CONFIG, rng=1)
+        session.run(QUERY)
+        tighter = EngineConfig(engine="imm", max_rr_sets=1500, epsilon=0.3)
+        result = session.run(QUERY, config=tighter)
+        assert session.stats.theta_pins == 0
+        assert result.diagnostics["rr_sets_sampled"] >= 0  # adaptive rerun
+
+    def test_tim_engine_never_pins(self, graph):
+        config = EngineConfig(engine="tim", max_rr_sets=1500)
+        session = ComICSession(graph, GAPS, config=config, rng=1)
+        session.run(QUERY)
+        session.run(QUERY)
+        assert session.stats.theta_pins == 0
+
+    def test_candidate_restriction_does_not_pin(self, graph):
+        # blocking is the workload that restricts pickable seeds; a
+        # candidate-restricted selection must never record or reuse theta
+        blocking_gaps = GAP(0.6, 0.2, 0.6, 0.6)
+        session = ComICSession(graph, blocking_gaps, config=CONFIG, rng=1)
+        query = BlockingQuery(
+            seeds_a=(5,), k=2, method="rr", candidates=tuple(range(100))
+        )
+        session.run(query)
+        session.run(query)
+        assert session.stats.theta_pins == 0
+
+
+class TestCrossSessionPin:
+    def test_store_warm_start_pins_to_zero_topup(self, graph, tmp_path):
+        cold = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1)
+        first = cold.run(QUERY)
+        assert first.diagnostics["rr_sets_sampled"] > 0
+
+        warm = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=77)
+        second = warm.run(QUERY)
+        assert warm.stats.theta_pins == 1
+        assert second.diagnostics["rr_sets_sampled"] == 0
+        assert second.seeds == first.seeds
+
+    def test_selection_record_rides_the_manifest(self, graph, tmp_path):
+        session = ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1)
+        session.run(QUERY)
+        store = session.store
+        (manifest,) = list(store.entries())
+        record = manifest.provenance["selection"]
+        assert record["engine"] == "imm"
+        assert record["k"] == 5
+        assert record["epsilon"] == CONFIG.epsilon
+        assert record["theta"] >= 1
+
+    def test_store_pin_requires_matching_knobs(self, graph, tmp_path):
+        ComICSession(graph, GAPS, config=CONFIG, store=tmp_path, rng=1).run(QUERY)
+        other = EngineConfig(engine="imm", max_rr_sets=1500, ell=2.0)
+        warm = ComICSession(graph, GAPS, config=other, store=tmp_path, rng=2)
+        warm.run(QUERY)
+        assert warm.stats.theta_pins == 0

@@ -1,0 +1,122 @@
+"""WorkerPool: one executor time-shared across engines and regimes."""
+
+import numpy as np
+import pytest
+
+from repro.api import ComICSession, EngineConfig, SelfInfMaxQuery
+from repro.errors import ParallelError
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.parallel import ParallelEngine, WorkerPool
+from repro.rrset.rr_ic import RRICGenerator
+from repro.rrset.rr_sim import RRSimGenerator
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(120, rng=5))
+
+
+class TestWorkerPoolLifecycle:
+    def test_lazy_spawn_and_generation(self):
+        pool = WorkerPool(2)
+        assert pool.workers == 2 and not pool.closed
+        executor, gen = pool.executor()
+        assert executor is pool.executor()[0]  # cached
+        assert pool.executor()[1] == gen
+        pool.close()
+        assert pool.closed
+
+    def test_closed_pool_rejects_executor(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(ParallelError, match="closed"):
+            pool.executor()
+
+    def test_kill_bumps_generation(self):
+        pool = WorkerPool(2)
+        _, gen = pool.executor()
+        pool.kill(gen, wait=True)
+        _, gen2 = pool.executor()
+        assert gen2 == gen + 1
+        pool.close()
+
+    def test_stale_generation_kill_is_a_noop(self):
+        pool = WorkerPool(2)
+        _, gen = pool.executor()
+        pool.kill(gen, wait=True)
+        executor2, gen2 = pool.executor()
+        pool.kill(gen, wait=True)  # stale: another engine already killed
+        assert pool.executor()[0] is executor2
+        pool.close()
+
+    def test_context_manager(self):
+        with WorkerPool(2) as pool:
+            pool.executor()
+        assert pool.closed
+
+    def test_worker_mismatch_rejected(self, graph):
+        pool = WorkerPool(2)
+        with pytest.raises(ValueError, match="workers"):
+            ParallelEngine(RRICGenerator(graph), 3, shared_pool=pool)
+        pool.close()
+
+
+class TestSharedGeneration:
+    def test_two_regimes_share_one_pool(self, graph):
+        with WorkerPool(2) as pool:
+            ic = ParallelEngine(
+                RRICGenerator(graph), 2,
+                shared_pool=pool, min_batch_per_worker=8,
+            )
+            sim = ParallelEngine(
+                RRSimGenerator(graph, GAPS, (0, 1)), 2,
+                shared_pool=pool, min_batch_per_worker=8,
+            )
+            ic_sets = ic.generate_batch(64, rng=7)
+            sim_sets = sim.generate_batch(64, rng=7)
+            assert len(ic_sets) == 64 and len(sim_sets) == 64
+            assert ic.shared_pool is pool and sim.shared_pool is pool
+            assert ic.stats.batches == 1
+            assert sim.stats.batches == 1
+            ic.close()
+            sim.close()
+            assert not pool.closed  # engines detach, never kill
+
+    def test_shared_output_matches_private_pool(self, graph):
+        private = ParallelEngine(
+            RRICGenerator(graph), 2, min_batch_per_worker=8
+        )
+        with WorkerPool(2) as pool:
+            shared = ParallelEngine(
+                RRICGenerator(graph), 2,
+                shared_pool=pool, min_batch_per_worker=8,
+            )
+            a = private.generate_batch(96, rng=13)
+            b = shared.generate_batch(96, rng=13)
+        private.close()
+        assert np.array_equal(a.nodes, b.nodes)
+        assert np.array_equal(a.indptr, b.indptr)
+
+
+class TestSessionSharing:
+    def test_session_entries_share_one_worker_pool(self, graph):
+        config = EngineConfig(engine="imm", max_rr_sets=800, workers=2)
+        session = ComICSession(graph, GAPS, config=config, rng=1)
+        session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=3))
+        session.run(SelfInfMaxQuery(seeds_b=(2, 3), k=3))
+        entries = list(session._pools.values())
+        assert len(entries) == 2
+        pools = {id(e.parallel.shared_pool) for e in entries if e.parallel}
+        assert len(pools) == 1
+        assert session._worker_pool is not None
+        session.close()
+        assert session._worker_pool is None
+
+    def test_serial_session_builds_no_worker_pool(self, graph):
+        session = ComICSession(graph, GAPS, rng=1)
+        session.run(SelfInfMaxQuery(seeds_b=(0, 1), k=3))
+        assert session._worker_pool is None
+        session.close()

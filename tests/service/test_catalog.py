@@ -1,0 +1,228 @@
+"""PoolCatalog + CatalogedPoolStore: rows, counters, reconcile, quota GC."""
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.models import GAP
+from repro.rrset.pool import RRSetPool
+from repro.service.catalog import (
+    CATALOG_FILE,
+    CatalogedPoolStore,
+    PoolCatalog,
+)
+from repro.store import PoolKey, PoolStore
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+FP = "a" * 64
+KEY = PoolKey.make("rr-sim", GAPS, [0, 1])
+KEY2 = PoolKey.make("rr-sim", GAPS, [2, 3])
+
+
+def make_pool(num_nodes=40, sets=25, rng_seed=0):
+    gen = np.random.default_rng(rng_seed)
+    pool = RRSetPool(num_nodes)
+    for _ in range(sets):
+        size = int(gen.integers(0, 6))
+        pool.append(gen.integers(0, num_nodes, size=size))
+    return pool
+
+
+def entry_disk_bytes(store, digest):
+    """Actual column bytes of one installed entry (data files only)."""
+    total = 0
+    entry = store.root / digest
+    for name in ("nodes.npy", "indptr.npy"):
+        path = entry / name
+        if path.exists():
+            total += path.stat().st_size
+    return total
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CatalogedPoolStore(tmp_path / "pools")
+
+
+class TestCatalogConnection:
+    def test_pragmas_applied(self, store):
+        conn = store.catalog._conn()
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 30_000
+        assert conn.execute("PRAGMA foreign_keys").fetchone()[0] == 1
+
+    def test_database_lives_in_store_root(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        assert (store.root / CATALOG_FILE).exists()
+
+    def test_schema_version_recorded(self, store):
+        row = store.catalog._conn().execute(
+            "SELECT value FROM catalog_meta WHERE key='schema_version'"
+        ).fetchone()
+        assert row[0] == "1"
+
+    def test_catalog_database_is_not_an_entry(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        digests = {m.key.digest() for m in store.entries()}
+        assert digests == {KEY.digest()}
+
+
+class TestRowLifecycle:
+    def test_save_upserts_full_row(self, store):
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        row = store.catalog.row(KEY.digest())
+        assert row is not None
+        assert row["regime"] == "rr-sim"
+        assert row["graph_fingerprint"] == FP
+        assert row["num_sets"] == len(pool)
+        assert row["total_nodes"] == pool.total_nodes
+        assert row["nbytes"] == pool.total_nodes * 4 + (len(pool) + 1) * 8
+        assert row["saves"] == 1 and row["hits"] == 0 and row["loads"] == 0
+        assert row["created_utc"].endswith("Z")
+
+    def test_resave_bumps_saves_and_preserves_created(self, store):
+        store.save(KEY, make_pool(sets=10), graph_fingerprint=FP)
+        created = store.catalog.row(KEY.digest())["created_utc"]
+        store.save(KEY, make_pool(sets=20), graph_fingerprint=FP)
+        row = store.catalog.row(KEY.digest())
+        assert row["saves"] == 2
+        assert row["created_utc"] == created
+        assert row["num_sets"] == 20
+
+    def test_load_hit_bumps_counters_and_lru(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        before = store.catalog.row(KEY.digest())["last_used_utc"]
+        assert store.load(KEY, graph_fingerprint=FP) is not None
+        row = store.catalog.row(KEY.digest())
+        assert row["hits"] == 1 and row["loads"] == 1
+        assert row["last_used_utc"] >= before
+
+    def test_miss_does_not_create_a_row(self, store):
+        assert store.load(KEY2, graph_fingerprint=FP) is None
+        assert store.catalog.row(KEY2.digest()) is None
+
+    def test_invalidation_forgets_the_row(self, store, tmp_path):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint="b" * 64) is None
+        assert store.stats.invalidations == 1
+        assert store.catalog.row(KEY.digest()) is None
+
+    def test_delete_and_clear_forget_rows(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        store.save(KEY2, make_pool(rng_seed=1), graph_fingerprint=FP)
+        store.delete(KEY)
+        assert store.catalog.row(KEY.digest()) is None
+        store.clear()
+        assert store.catalog.rows() == []
+
+    def test_theta_persisted_from_selection_provenance(self, store):
+        store.save(
+            KEY, make_pool(), graph_fingerprint=FP,
+            provenance={"selection": {"engine": "imm", "theta": 321}},
+        )
+        assert store.catalog.row(KEY.digest())["theta"] == 321
+
+
+class TestReconcile:
+    def test_adopts_entries_written_by_plain_store(self, tmp_path):
+        plain = PoolStore(tmp_path / "pools")
+        plain.save(KEY, make_pool(), graph_fingerprint=FP)
+        cataloged = CatalogedPoolStore(tmp_path / "pools")
+        row = cataloged.catalog.row(KEY.digest())
+        assert row is not None and row["saves"] == 0
+
+    def test_drops_rows_whose_entries_vanished(self, store, tmp_path):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        PoolStore(store.root).delete(KEY)  # behind the catalog's back
+        outcome = store.catalog.reconcile(store)
+        assert outcome["dropped"] == 1
+        assert store.catalog.rows() == []
+
+    def test_lost_catalog_database_rebuilds(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        store.catalog.close()
+        os.unlink(store.catalog.path)
+        rebuilt = CatalogedPoolStore(store.root)
+        assert rebuilt.catalog.row(KEY.digest()) is not None
+
+
+class TestQuotaGC:
+    def test_gc_provably_bounds_on_disk_bytes(self, tmp_path):
+        """Save pools past the quota; catalog AND disk stay bounded."""
+        quota = 10_000
+        store = CatalogedPoolStore(tmp_path / "pools", max_store_bytes=quota)
+        keys = [
+            PoolKey.make("rr-sim", GAPS, [i, i + 1]) for i in range(0, 16, 2)
+        ]
+        for i, key in enumerate(keys):
+            store.save(
+                key, make_pool(sets=200, rng_seed=i), graph_fingerprint=FP
+            )
+            assert store.catalog.total_bytes() <= quota
+        assert store.gc_evictions > 0
+        # the catalog's accounting matches the surviving directories, and
+        # the actual bytes in column files sit under the quota too
+        survivors = {row["digest"] for row in store.catalog.rows()}
+        on_disk = {m.key.digest() for m in store.entries()}
+        assert survivors == on_disk
+        actual = sum(entry_disk_bytes(store, digest) for digest in survivors)
+        # npy headers add ~128B per column over the catalog's data bytes
+        assert actual <= quota + len(survivors) * 256
+
+    def test_eviction_is_lru(self, tmp_path):
+        store = CatalogedPoolStore(tmp_path / "pools", max_store_bytes=None)
+        store.save(KEY, make_pool(sets=50), graph_fingerprint=FP)
+        store.save(KEY2, make_pool(sets=50, rng_seed=1), graph_fingerprint=FP)
+        # touch KEY so KEY2 becomes the least recently used
+        assert store.load(KEY, graph_fingerprint=FP) is not None
+        store._max_store_bytes = store.catalog.row(KEY.digest())["nbytes"]
+        evicted = store.enforce_quota()
+        assert KEY2.digest() in evicted
+        assert store.catalog.row(KEY.digest()) is not None
+        assert not (store.root / KEY2.digest()).exists()
+
+    def test_quota_enforced_at_construction(self, tmp_path):
+        unbounded = CatalogedPoolStore(tmp_path / "pools")
+        unbounded.save(KEY, make_pool(sets=100), graph_fingerprint=FP)
+        unbounded.catalog.close()
+        bounded = CatalogedPoolStore(tmp_path / "pools", max_store_bytes=1)
+        assert bounded.catalog.total_bytes() == 0
+        assert bounded.gc_evictions == 1
+
+    def test_unbounded_store_never_evicts(self, store):
+        for i in range(5):
+            key = PoolKey.make("rr-sim", GAPS, [10 + i])
+            store.save(key, make_pool(rng_seed=i), graph_fingerprint=FP)
+        assert store.enforce_quota() == []
+        assert store.gc_evictions == 0
+
+    def test_negative_quota_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_store_bytes"):
+            CatalogedPoolStore(tmp_path / "pools", max_store_bytes=-1)
+
+
+class TestMultiConnection:
+    def test_two_catalogs_share_one_database(self, tmp_path):
+        store = CatalogedPoolStore(tmp_path / "pools")
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        other = PoolCatalog(store.catalog.path)
+        assert other.row(KEY.digest()) is not None
+        assert other.total_bytes() == store.catalog.total_bytes()
+
+    def test_concurrent_writers_interleave_without_error(self, tmp_path):
+        store = CatalogedPoolStore(tmp_path / "pools")
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        manifest = store.manifest(KEY)
+        other = PoolCatalog(store.catalog.path)
+        for _ in range(10):
+            other.record_hit(manifest)
+            store.catalog.record_hit(manifest)
+        assert store.catalog.row(KEY.digest())["hits"] == 20
+
+    def test_sqlite_file_is_wal(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        with sqlite3.connect(store.catalog.path) as conn:
+            assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"

@@ -1,0 +1,283 @@
+"""ComICServer: HTTP round-trips, warm repeats, single-flight, errors."""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    BlockingQuery,
+    CompInfMaxQuery,
+    EngineConfig,
+    SelfInfMaxQuery,
+)
+from repro.errors import QueryError
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.service import (
+    CatalogedPoolStore,
+    ComICServer,
+    ServiceClient,
+    ServiceClientError,
+)
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+CONFIG = EngineConfig(engine="imm", max_rr_sets=1500)
+QUERY = SelfInfMaxQuery(seeds_b=(0, 1), k=5)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(200, rng=9))
+
+
+@pytest.fixture
+def server(graph, tmp_path):
+    srv = ComICServer()
+    srv.register_graph(
+        "demo", graph, GAPS,
+        config=CONFIG, store=CatalogedPoolStore(tmp_path / "pools"),
+    )
+    yield srv
+    srv.close()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.start()
+    with ServiceClient(host, port) as c:
+        yield c
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self, graph):
+        srv = ComICServer()
+        srv.register_graph("g", graph, GAPS)
+        with pytest.raises(QueryError, match="already registered"):
+            srv.register_graph("g", graph, GAPS)
+        srv.close()
+
+    def test_bad_names_rejected(self, graph):
+        srv = ComICServer()
+        for name in ("", "a/b"):
+            with pytest.raises(QueryError, match="graph name"):
+                srv.register_graph(name, graph, GAPS)
+        srv.close()
+
+    def test_close_is_idempotent_and_closes_sessions(self, graph):
+        srv = ComICServer()
+        session = srv.register_graph("g", graph, GAPS)
+        srv.start()
+        srv.close()
+        srv.close()
+        assert session.store is None  # nothing to flush; just no crash
+
+
+class TestHandleQueryDirect:
+    """The HTTP-independent core, driven without sockets."""
+
+    def test_unknown_graph_is_404(self, server):
+        status, body = server.handle_query("nope", {"query": QUERY.to_dict()})
+        assert status == 404 and "unknown graph" in body["error"]
+
+    def test_missing_query_is_400(self, server):
+        status, body = server.handle_query("demo", {})
+        assert status == 400 and "query" in body["error"]
+
+    def test_untagged_query_payload_is_400(self, server):
+        status, body = server.handle_query("demo", {"query": {"k": 3}})
+        assert status == 400 and "objective" in body["error"]
+
+    def test_unknown_request_field_is_400(self, server):
+        status, body = server.handle_query(
+            "demo", {"query": QUERY.to_dict(), "bogus": 1}
+        )
+        assert status == 400 and "bogus" in body["error"]
+
+    def test_bad_config_override_is_400(self, server):
+        status, body = server.handle_query(
+            "demo", {"query": QUERY.to_dict(), "config": {"epsilon": -1}}
+        )
+        assert status == 400 and "bad config" in body["error"]
+
+    def test_unknown_config_field_is_400(self, server):
+        status, body = server.handle_query(
+            "demo", {"query": QUERY.to_dict(), "config": {"nope": 1}}
+        )
+        assert status == 400
+
+    def test_bad_rng_and_deadline_types_are_400(self, server):
+        for extra in ({"rng": "x"}, {"rng": True},
+                      {"deadline_s": "x"}, {"deadline_s": -1}):
+            status, _ = server.handle_query(
+                "demo", {"query": QUERY.to_dict(), **extra}
+            )
+            assert status == 400, extra
+
+    def test_semantic_query_error_is_400(self, server):
+        # k exceeding the node count raises QueryError inside the handler
+        bad = SelfInfMaxQuery(seeds_b=(0,), k=10_000)
+        status, body = server.handle_query(
+            "demo", {"query": bad.to_dict(), "rng": 1}
+        )
+        assert status == 400 and body["error"]
+
+    def test_errors_counted(self, server):
+        server.handle_query("demo", {})
+        assert server.stats.errors >= 1
+
+
+class TestHttpRoundTrip:
+    def test_cold_then_warm_identical_seeds_zero_resample(self, client):
+        cold = client.query("demo", QUERY, rng=11)
+        assert cold["diagnostics"]["rr_sets_sampled"] > 0
+        warm = client.query("demo", QUERY, rng=11)
+        assert warm["diagnostics"]["rr_sets_sampled"] == 0
+        assert warm["seeds"] == cold["seeds"]
+        assert warm["objective"] == "selfinfmax"
+
+    def test_result_envelope_has_resilience_diagnostics(self, client):
+        body = client.query("demo", QUERY, rng=3)
+        diag = body["diagnostics"]
+        assert "resilience" in diag and "events" in diag["resilience"]
+        assert diag["degraded"] is False
+        assert diag["graph_fingerprint"]
+
+    def test_per_request_config_override(self, client):
+        body = client.query(
+            "demo", QUERY, config={"engine": "tim", "theta_override": 300},
+            rng=5,
+        )
+        assert body["diagnostics"]["rr_sets_sampled"] == 300
+
+    def test_per_request_deadline_rides_config(self, client):
+        body = client.query(
+            "demo", SelfInfMaxQuery(seeds_b=(4,), k=3),
+            rng=5, deadline_s=60.0,
+        )
+        assert body["diagnostics"]["degraded"] is False
+
+    def test_multiple_objectives_one_graph(self, client):
+        comp = client.query(
+            "demo", CompInfMaxQuery(seeds_a=(3,), k=3), rng=2
+        )
+        assert comp["objective"] == "compinfmax"
+        blocking = client.query(
+            "demo",
+            BlockingQuery(
+                seeds_a=(5,), k=2, method="rr",
+                gaps=GAP(0.6, 0.2, 0.6, 0.6),  # rr-block: one-way Q-
+            ),
+            rng=2,
+        )
+        assert blocking["objective"] == "blocking"
+
+    def test_http_404_and_400_surface_to_client(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.query("nope", QUERY, rng=1)
+        assert exc.value.status == 404
+        with pytest.raises(ServiceClientError) as exc:
+            client._request("POST", "/query/demo", {"query": {"x": 1}})
+        assert exc.value.status == 400
+
+    def test_unknown_endpoints_404(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client._request("GET", "/bogus")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceClientError) as exc:
+            client._request("POST", "/bogus", {})
+        assert exc.value.status == 404
+
+    def test_introspection_endpoints(self, client):
+        health = client.health()
+        assert health["status"] == "ok" and health["graphs"] == ["demo"]
+        graphs = client.graphs()
+        assert graphs["demo"]["num_nodes"] == 200
+        client.query("demo", QUERY, rng=1)
+        stats = client.stats()
+        assert stats["server"]["queries"] >= 1
+        assert stats["graphs"]["demo"]["session"]["queries"] >= 1
+        assert "store" in stats["graphs"]["demo"]
+
+    def test_catalog_endpoint(self, client):
+        client.query("demo", QUERY, rng=1)
+        cat = client.catalog("demo")
+        assert len(cat["demo"]["rows"]) == 1
+        assert cat["demo"]["rows"][0]["regime"] == "rr-sim+"
+        everything = client.catalog()
+        assert "demo" in everything
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_cold_queries_execute_once(self, server):
+        host, port = server.start()
+        K = 6
+        query = SelfInfMaxQuery(seeds_b=(7, 8), k=4)
+        results = [None] * K
+        barrier = threading.Barrier(K)
+
+        def worker(i):
+            with ServiceClient(host, port) as c:
+                barrier.wait()
+                results[i] = c.query("demo", query, rng=99)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(K)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is not None for r in results)
+        # exactly one execution: one flight led, the rest were coalesced
+        assert server.stats.queries == 1
+        assert server.stats.flights == 1
+        assert server.stats.coalesced == K - 1
+        # everyone got the leader's envelope verbatim
+        seeds = {tuple(r["seeds"]) for r in results}
+        assert len(seeds) == 1
+
+    def test_unpinned_requests_are_not_coalesced(self, server):
+        status, _ = server.handle_query("demo", {"query": QUERY.to_dict()})
+        assert status == 200
+        status, _ = server.handle_query("demo", {"query": QUERY.to_dict()})
+        assert status == 200
+        assert server.stats.flights == 0
+        assert server.stats.coalesced == 0
+        assert server.stats.queries == 2
+
+    def test_flight_table_drains(self, server):
+        server.handle_query(
+            "demo", {"query": QUERY.to_dict(), "rng": 4}
+        )
+        assert server._flights == {}
+
+    def test_different_rng_pins_do_not_coalesce(self, server):
+        server.handle_query("demo", {"query": QUERY.to_dict(), "rng": 1})
+        server.handle_query("demo", {"query": QUERY.to_dict(), "rng": 2})
+        assert server.stats.flights == 2
+        assert server.stats.coalesced == 0
+
+
+class TestWarmRestart:
+    def test_second_server_answers_from_store_via_http(self, graph, tmp_path):
+        first = ComICServer()
+        first.register_graph(
+            "g", graph, GAPS,
+            config=CONFIG, store=CatalogedPoolStore(tmp_path / "pools"),
+        )
+        host, port = first.start()
+        with ServiceClient(host, port) as c:
+            cold = c.query("g", QUERY, rng=11)
+        first.close()
+
+        second = ComICServer()
+        second.register_graph(
+            "g", graph, GAPS,
+            config=CONFIG, store=CatalogedPoolStore(tmp_path / "pools"),
+        )
+        host, port = second.start()
+        with ServiceClient(host, port) as c:
+            warm = c.query("g", QUERY, rng=11)
+        second.close()
+        assert warm["diagnostics"]["rr_sets_sampled"] == 0
+        assert warm["seeds"] == cold["seeds"]

@@ -1,0 +1,160 @@
+"""Incremental column appends: fast path, fallbacks, crash tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.models import GAP
+from repro.rrset.pool import RRSetPool
+from repro.store import PoolKey, PoolStore
+from repro.store.pool_store import (
+    APPEND_LOCK_FILE,
+    INDPTR_FILE,
+    NODES_FILE,
+)
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+FP = "a" * 64
+KEY = PoolKey.make("rr-sim", GAPS, [0, 1])
+
+
+def make_pool(num_nodes=40, sets=25, rng_seed=0):
+    gen = np.random.default_rng(rng_seed)
+    pool = RRSetPool(num_nodes)
+    for _ in range(sets):
+        size = int(gen.integers(0, 6))
+        pool.append(gen.integers(0, num_nodes, size=size))
+    return pool
+
+
+def grow(pool, extra, rng_seed=1):
+    gen = np.random.default_rng(rng_seed)
+    for _ in range(extra):
+        size = int(gen.integers(0, 6))
+        pool.append(gen.integers(0, pool.num_nodes, size=size))
+    return pool
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PoolStore(tmp_path / "pools")
+
+
+class TestAppendFastPath:
+    def test_grown_resave_appends_instead_of_rewriting(self, store):
+        pool = make_pool(sets=30)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.stats.appends == 0
+        grow(pool, 20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.stats.appends == 1
+        assert store.stats.saves == 2
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert np.array_equal(loaded.nodes, pool.nodes)
+        assert np.array_equal(loaded.indptr, pool.indptr)
+
+    def test_repeated_appends_accumulate(self, store):
+        pool = make_pool(sets=10)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        for round_ in range(3):
+            grow(pool, 10, rng_seed=round_ + 1)
+            store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.stats.appends == 3
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert np.array_equal(loaded.nodes, pool.nodes)
+        assert len(loaded) == 40
+
+    def test_appended_entry_passes_strict_validation(self, store):
+        pool = make_pool(sets=15)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        grow(pool, 15)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.load_strict(KEY, graph_fingerprint=FP) is not None
+        assert store.stats.invalidations == 0
+
+    def test_identical_resave_appends_nothing(self, store):
+        pool = make_pool(sets=20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        # same length is not growth: full rewrite path (still correct)
+        assert store.stats.appends == 0
+
+
+class TestAppendFallbacks:
+    def test_non_prefix_content_falls_back_to_rewrite(self, store):
+        store.save(KEY, make_pool(sets=20, rng_seed=0), graph_fingerprint=FP)
+        different = make_pool(sets=40, rng_seed=9)  # longer but not a prefix
+        store.save(KEY, different, graph_fingerprint=FP)
+        assert store.stats.appends == 0
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert np.array_equal(loaded.nodes, different.nodes)
+
+    def test_different_fingerprint_falls_back_to_rewrite(self, store):
+        pool = make_pool(sets=20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        grow(pool, 10)
+        store.save(KEY, pool, graph_fingerprint="b" * 64)
+        assert store.stats.appends == 0
+        assert store.load(KEY, graph_fingerprint="b" * 64) is not None
+
+    def test_lock_contention_defers_without_writing(self, store):
+        pool = make_pool(sets=20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        lock = store.entry_dir(KEY) / APPEND_LOCK_FILE
+        lock.write_text("held")
+        before = store.manifest(KEY)
+        grow(pool, 10)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.stats.append_contentions == 1
+        assert store.stats.appends == 0
+        # the loser left the installed entry alone
+        assert store.manifest(KEY).to_dict() == before.to_dict()
+        lock.unlink()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        store = PoolStore(tmp_path / "pools", stale_temp_age_s=0.0)
+        pool = make_pool(sets=20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        lock = store.entry_dir(KEY) / APPEND_LOCK_FILE
+        lock.write_text("crashed writer")
+        grow(pool, 10)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.stats.appends == 1
+        assert not lock.exists()
+
+
+class TestCrashTolerance:
+    def test_trailing_garbage_beyond_manifest_is_served_as_prefix(self, store):
+        """Data-then-header ordering: a crash between them leaves surplus
+        column bytes the old manifest doesn't describe — loads still see
+        exactly the installed prefix."""
+        pool = make_pool(sets=20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        manifest_before = store.manifest(KEY)
+        entry = store.entry_dir(KEY)
+        # simulate the crash: append data written, header/manifest not yet
+        for name, dtype, extra in (
+            (NODES_FILE, np.int32, 7),
+            (INDPTR_FILE, np.int64, 2),
+        ):
+            with open(entry / name, "ab") as fh:
+                fh.write(np.zeros(extra, dtype=dtype).tobytes())
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert loaded is not None
+        assert len(loaded) == len(pool)
+        assert np.array_equal(loaded.nodes, pool.nodes)
+        assert store.stats.invalidations == 0
+        assert store.manifest(KEY).to_dict() == manifest_before.to_dict()
+
+    def test_append_after_simulated_crash_recovers(self, store):
+        pool = make_pool(sets=20)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        entry = store.entry_dir(KEY)
+        with open(entry / NODES_FILE, "ab") as fh:
+            fh.write(b"\x00" * 12)
+        # next save sees a non-prefix nodes file (npy header count stale
+        # vs on-disk size is fine; content CRC prefix still matches) —
+        # either append or rewrite, the result must round-trip
+        grow(pool, 10)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert np.array_equal(loaded.nodes, pool.nodes)

@@ -183,7 +183,9 @@ class TestInventory:
         store.save(KEY, make_pool(rng_seed=3), graph_fingerprint=FP)
         assert [m.key for m in store.entries()] == [KEY]
 
-    def test_save_recovers_from_own_stale_staging(self, store):
+    def test_save_unaffected_by_stale_staging(self, store):
+        """Temp names are per-call unique; an orphan never collides with a
+        new save, and the open-time sweep — not save — retires it."""
         staging = store.root / f".staging.{KEY.digest()}.{__import__('os').getpid()}"
         staging.mkdir()
         (staging / "leftover").write_text("x")
@@ -191,7 +193,9 @@ class TestInventory:
         store.save(KEY, pool, graph_fingerprint=FP)
         loaded = store.load(KEY, graph_fingerprint=FP)
         assert_pools_equal(pool, loaded)
+        swept = PoolStore(store.root, stale_temp_age_s=0.0)
         assert not staging.exists()
+        assert swept.stats.temp_dirs_gcd >= 1
 
     def test_failed_install_restores_previous_entry(self, store, monkeypatch):
         """A rename failure must not destroy the old, still-valid entry."""
