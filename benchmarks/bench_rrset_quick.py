@@ -25,10 +25,18 @@ alone:
   answering the same SelfInfMax query out of an on-disk
   :class:`~repro.store.PoolStore`.  Gated on ``warm_rr_sets_sampled ==
   0`` and seed equality — a silent cache-key/fingerprint mismatch that
-  forces resampling turns CI red.
+  forces resampling turns CI red;
+* dynamic-graph delta repair (``dynamic.update_then_query``): a
+  ``track_touches`` session absorbs a sparse reweight
+  :class:`~repro.graph.GraphDelta` via incremental pool repair and
+  re-answers the query, vs fingerprint invalidation (a fresh session on
+  the mutated graph resampling from scratch).  Gated on the repair
+  route's speedup floor, on ``pools_repaired >= 1`` (a silent fallback
+  to full regeneration turns CI red even if it happens to be fast) and
+  on RR-evaluated seed-quality parity between the two routes.
 
 The emitted JSON follows the stable schema documented in
-``docs/benchmarks.md`` (``schema_version`` 3).  Each generation entry
+``docs/benchmarks.md`` (``schema_version`` 4).  Each generation entry
 records a ``speedup_floor``; the script exits non-zero when any regime's
 measured batch-vs-oracle speedup falls below its floor, so a silent
 fallback to the oracle loop turns CI red instead of just slowing users
@@ -49,7 +57,13 @@ import sys
 import tempfile
 import time
 
-from repro.api import BlockingQuery, ComICSession, EngineConfig, SelfInfMaxQuery
+from repro.api import (
+    BlockingQuery,
+    ComICSession,
+    EngineConfig,
+    GraphDelta,
+    SelfInfMaxQuery,
+)
 from repro.parallel import ParallelEngine
 from repro.algorithms.baselines import high_degree_seeds
 from repro.algorithms.blocking import estimate_suppression
@@ -71,7 +85,7 @@ from repro.rrset import (
 )
 from repro.rrset.base import RRSetGenerator
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 GAPS_SIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
 GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=1.0)
@@ -100,6 +114,17 @@ BLOCKING_SPEEDUP_FLOOR = 3.0
 #: runner actually has >= 2 CPUs.
 PARALLEL_SPEEDUP_FLOOR = 1.5
 PARALLEL_WORKERS = 2
+
+#: Floor for delta repair + requery vs fingerprint-invalidate +
+#: regenerate at sparse churn (typically >= 10x on the default graph;
+#: gated at 5x for runner noise).  A miss means repair stopped being
+#: surgical — e.g. affectedness got broader or a hot path regressed.
+DYNAMIC_SPEEDUP_FLOOR = 5.0
+#: Sparse edit batch: a handful of reweights, far below any plausible
+#: churn threshold, the regime delta repair exists for.
+DYNAMIC_NUM_EDITS = 4
+#: Relative band for repaired-vs-regenerated seed-quality parity.
+DYNAMIC_PARITY_BAND = 0.15
 
 
 class _OracleRRSim(RRSimGenerator):
@@ -292,6 +317,77 @@ def bench_store_warm_start(graph, k, rr_cap):
     }
 
 
+def bench_dynamic_update(graph, k, rr_cap, eval_samples):
+    """Delta repair + requery vs fingerprint-invalidate + regenerate.
+
+    A ``track_touches`` session answers a SelfInfMax query cold, then a
+    sparse :class:`GraphDelta` (:data:`DYNAMIC_NUM_EDITS` stride-spaced
+    reweights, each halving an edge probability) lands.  The repair
+    route is ``apply_delta`` — drop exactly the touched pool members,
+    resample their roots — plus the follow-up query; the baseline is
+    what a delta-unaware deployment does: treat the mutated graph as a
+    new fingerprint and resample the pool from scratch.  Seed quality of
+    both routes is RR-evaluated on the *new* graph with a common rng.
+    """
+    opposite_seeds = tuple(range(10))
+    query = SelfInfMaxQuery(seeds_b=opposite_seeds, k=k)
+    config = EngineConfig(engine="imm", max_rr_sets=rr_cap, track_touches=True)
+    src = graph.edge_sources
+    dst = graph.edge_targets
+    prob = graph.edge_probabilities
+    stride = graph.num_edges // DYNAMIC_NUM_EDITS
+    delta = GraphDelta(
+        reweight=tuple(
+            (int(src[e]), int(dst[e]), round(float(prob[e]) * 0.5, 6))
+            for e in range(0, DYNAMIC_NUM_EDITS * stride, stride)
+        )
+    )
+
+    repaired_session = ComICSession(graph, GAPS_SIM, config=config)
+    cold = repaired_session.run(query, rng=4)
+    start = time.perf_counter()
+    delta_report = repaired_session.apply_delta(delta, rng=11)
+    repaired = repaired_session.run(query, rng=4)
+    repair_s = time.perf_counter() - start
+
+    new_graph = graph.apply_delta(delta)
+    start = time.perf_counter()
+    regen_session = ComICSession(new_graph, GAPS_SIM, config=config)
+    regenerated = regen_session.run(query, rng=4)
+    regenerate_s = time.perf_counter() - start
+
+    evaluator = RRSimPlusGenerator(new_graph, GAPS_SIM, opposite_seeds)
+    spread_rep = rr_estimate_objective(
+        evaluator, repaired.seeds, samples=eval_samples, rng=9
+    )
+    spread_reg = rr_estimate_objective(
+        evaluator, regenerated.seeds, samples=eval_samples, rng=9
+    )
+    return {
+        "k": k,
+        "engine": "imm",
+        "rr_cap": rr_cap,
+        "num_edits": delta.num_edits,
+        "churn": round(delta.churn(graph), 8),
+        "repair_s": round(repair_s, 3),
+        "regenerate_s": round(regenerate_s, 3),
+        "speedup": round(regenerate_s / repair_s, 2),
+        "speedup_floor": DYNAMIC_SPEEDUP_FLOOR,
+        "pools_repaired": delta_report.pools_repaired,
+        "pools_regenerated": delta_report.pools_regenerated,
+        "members_resampled": delta_report.members_resampled,
+        "cold_rr_sets_sampled": cold.diagnostics["rr_sets_sampled"],
+        "warm_rr_sets_sampled": repaired.diagnostics["rr_sets_sampled"],
+        "regenerate_rr_sets_sampled": regenerated.diagnostics[
+            "rr_sets_sampled"
+        ],
+        "repaired_objective": round(spread_rep.mean, 2),
+        "regenerated_objective": round(spread_reg.mean, 2),
+        "objective_stderr": round(spread_rep.stderr, 3),
+        "parity_band": DYNAMIC_PARITY_BAND,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, default=10_000)
@@ -414,6 +510,13 @@ def main(argv=None) -> int:
     }
     print("store[warm_start]:", report["store"]["warm_start"])
 
+    report["dynamic"] = {
+        "update_then_query": bench_dynamic_update(
+            graph, args.k, rr_cap=imm_cap, eval_samples=eval_samples
+        )
+    }
+    print("dynamic[update_then_query]:", report["dynamic"]["update_then_query"])
+
     # Regression gate: a sub-floor speedup means the fast path regressed
     # (or silently fell back to the oracle loop / MC CELF) — fail loudly.
     gated = dict(report["generation"])
@@ -421,6 +524,7 @@ def main(argv=None) -> int:
     parallel_row = report["parallel"]["generation"]
     if parallel_row["gated"]:
         gated["parallel.generation"] = parallel_row
+    gated["dynamic.update_then_query"] = report["dynamic"]["update_then_query"]
     failures = [
         f"{name}: speedup {entry['speedup']}x < floor {entry['speedup_floor']}x"
         for name, entry in gated.items()
@@ -438,6 +542,23 @@ def main(argv=None) -> int:
             failures.append(
                 "store.warm_start: warm-started seeds differ from cold seeds"
             )
+    dynamic = report["dynamic"]["update_then_query"]
+    if dynamic["pools_repaired"] < 1:
+        failures.append(
+            "dynamic.update_then_query: no pool was repaired "
+            f"({dynamic['pools_regenerated']} regenerated) — apply_delta "
+            "silently fell back to full regeneration"
+        )
+    parity = abs(
+        dynamic["repaired_objective"] - dynamic["regenerated_objective"]
+    ) / max(dynamic["regenerated_objective"], 1e-9)
+    if parity > DYNAMIC_PARITY_BAND:
+        failures.append(
+            "dynamic.update_then_query: repaired-pool seed quality "
+            f"{dynamic['repaired_objective']} vs regenerated "
+            f"{dynamic['regenerated_objective']} (relative gap "
+            f"{parity:.3f} > {DYNAMIC_PARITY_BAND})"
+        )
     report["gate"] = {"passed": not failures, "failures": failures}
 
     with open(args.output, "w", encoding="utf-8") as handle:

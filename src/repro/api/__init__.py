@@ -18,6 +18,12 @@ pins ``__all__`` — extend it deliberately, never accidentally.
 """
 
 from repro.api.config import EngineConfig
+# The dynamic-graph vocabulary: deltas are applied through the session
+# (ComICSession.apply_delta), so their types are part of this layer's
+# public surface even though their homes are repro.graph / repro.errors.
+from repro.errors import DeltaError
+from repro.graph.delta import GraphDelta
+from repro.invalidation import InvalidationReason
 from repro.api.queries import (
     BlockingQuery,
     CompInfMaxQuery,
@@ -41,7 +47,12 @@ from repro.api.registry import (
     unregister_regime,
 )
 from repro.api.results import InfluenceResult
-from repro.api.session import ComICSession, PoolInfo, SessionStats
+from repro.api.session import (
+    ComICSession,
+    DeltaReport,
+    PoolInfo,
+    SessionStats,
+)
 # PoolKey is the shared cache/store identity; its home is repro.store but
 # it is part of the session's public vocabulary (pool_info, select_seeds).
 from repro.store import PoolKey
@@ -50,8 +61,12 @@ __all__ = [
     "BlockingQuery",
     "ComICSession",
     "CompInfMaxQuery",
+    "DeltaError",
+    "DeltaReport",
     "EngineConfig",
+    "GraphDelta",
     "InfluenceResult",
+    "InvalidationReason",
     "MC_ENGINE",
     "MultiItemQuery",
     "ObjectiveSpec",

@@ -53,6 +53,17 @@ class EngineConfig:
     stamped ``degraded=True`` in
     :attr:`~repro.api.results.InfluenceResult.diagnostics`.  ``None``
     (the default) imposes no budget.  See ``docs/resilience.md``.
+
+    ``track_touches`` makes the session's pools record per-member
+    edge-touch signatures (and roots) during generation, enabling
+    incremental repair under :meth:`~repro.api.session.ComICSession.
+    apply_delta` at the cost of extra pool memory; off by default so
+    cold static-graph generation pays nothing.  ``delta_churn_threshold``
+    bounds how much relative edge churn (``delta.num_edits / num_edges``)
+    a repair may absorb: beyond it the session falls back to full
+    regeneration, both because repair approaches regeneration cost and
+    because the keep-the-untouched-members approximation degrades with
+    churn.  See ``docs/api.md`` ("Dynamic graphs").
     """
 
     engine: str = "tim"
@@ -64,6 +75,8 @@ class EngineConfig:
     max_pool_bytes: Optional[int] = None
     workers: int = 1
     deadline_s: Optional[float] = None
+    track_touches: bool = False
+    delta_churn_threshold: float = 0.35
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -100,6 +113,15 @@ class EngineConfig:
             raise QueryError(
                 f"deadline_s must be > 0 seconds (or None for no budget), "
                 f"got {self.deadline_s}"
+            )
+        if not isinstance(self.track_touches, bool):
+            raise QueryError(
+                f"track_touches must be a bool, got {self.track_touches!r}"
+            )
+        if not 0.0 <= self.delta_churn_threshold <= 1.0:
+            raise QueryError(
+                f"delta_churn_threshold must lie in [0, 1], "
+                f"got {self.delta_churn_threshold}"
             )
 
     # ------------------------------------------------------------------

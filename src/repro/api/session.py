@@ -71,8 +71,10 @@ from repro.api import registry
 from repro.api.config import EngineConfig
 from repro.api.results import InfluenceResult
 from repro.deadline import Deadline, deadline_scope
-from repro.errors import QueryError, StoreError
+from repro.errors import DeltaError, QueryError, StoreError
+from repro.graph.delta import GraphDelta
 from repro.graph.digraph import DiGraph
+from repro.invalidation import InvalidationReason
 from repro.models.gaps import GAP
 from repro.models.multi_item import MultiItemGaps
 from repro.parallel import ParallelEngine, WorkerPool
@@ -133,8 +135,22 @@ class SessionStats:
     #: batches that fell back to in-process serial generation after
     #: parallel retries were exhausted.
     serial_fallbacks: int = 0
+    #: graph deltas applied via :meth:`ComICSession.apply_delta`.
+    deltas_applied: int = 0
+    #: cached pools surgically repaired in place by a delta (only the
+    #: touched members were resampled).
+    pools_repaired: int = 0
+    #: cached pools a delta dropped for lazy full regeneration (excess
+    #: churn, or no touch record) — see ``delta_fallbacks_by_reason``.
+    pools_regenerated: int = 0
+    #: RR-set members resampled by delta repairs (subset of
+    #: ``rr_sets_sampled``).
+    members_resampled: int = 0
+    #: per-reason breakdown of ``pools_regenerated``, keyed by
+    #: :class:`~repro.invalidation.InvalidationReason` value strings.
+    delta_fallbacks_by_reason: dict = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         """Plain-dict view for reports."""
         return asdict(self)
 
@@ -172,6 +188,10 @@ class _PoolEntry:
     #: record the stored-theta warm-start fast path pins against.  Warm
     #: starts adopt it from the store manifest's provenance.
     stored_selection: Optional[dict] = field(default=None, repr=False)
+    #: delta-repair provenance: one record per :meth:`ComICSession.
+    #: apply_delta` repair this pool survived, persisted into the store
+    #: manifest's provenance on write-through.
+    lineage: list = field(default_factory=list, repr=False)
 
     def close(self) -> None:
         """Release the entry's parallel engine, if any.
@@ -202,6 +222,35 @@ class PoolInfo:
     #: "store" when the pool warm-started from the attached PoolStore,
     #: else "sampled".
     origin: str = "sampled"
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """Outcome of one :meth:`ComICSession.apply_delta` call.
+
+    ``pools`` carries one row per cached pool the delta touched:
+    ``{"regime", "opposite_seeds", "action", "affected", "resampled",
+    "reason"}`` where ``action`` is ``"repaired"`` (surgical in-place
+    repair) or ``"regenerated"`` (entry dropped; the next query over its
+    key resamples from scratch) and ``reason`` is the
+    :class:`~repro.invalidation.InvalidationReason` value explaining a
+    regeneration (``None`` for repairs).
+    """
+
+    num_edits: int
+    churn: float
+    old_fingerprint: str
+    fingerprint: str
+    pools_repaired: int
+    pools_regenerated: int
+    members_resampled: int
+    pools: tuple = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-JSON-types view (service transport)."""
+        out = asdict(self)
+        out["pools"] = [dict(row) for row in self.pools]
+        return out
 
 
 class ComICSession:
@@ -416,6 +465,129 @@ class ComICSession:
         return [self.run(query, config=config, rng=gen) for query in queries]
 
     # ------------------------------------------------------------------
+    # Dynamic graphs
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, delta: GraphDelta, *, rng: SeedLike = None
+    ) -> DeltaReport:
+        """Mutate the session's graph and repair its cached pools in place.
+
+        Applies ``delta`` (:class:`~repro.graph.GraphDelta`), swaps the
+        session onto the resulting graph, and then walks every cached
+        pool: when the delta's churn is within
+        ``EngineConfig.delta_churn_threshold`` *and* the pool carries the
+        touch columns repair needs (``EngineConfig.track_touches``; see
+        :mod:`repro.rrset.repair`), exactly the members whose sampling
+        touched a changed edge are dropped and resampled against the new
+        graph — everything else (cache entry, pool identity, theta-warm
+        sets) survives.  Pools that cannot be repaired are dropped and
+        lazily regenerated by their next query, the same cost as the old
+        fingerprint-invalidation path.
+
+        Certified-theta records are always cleared: a theta certified
+        against the old graph does not transfer, so the next IMM query
+        re-derives it adaptively over the (warm) repaired pool.
+
+        ``rng`` pins the resampling randomness (defaults to the session
+        stream).  Returns a :class:`DeltaReport`; raises
+        :class:`~repro.errors.DeltaError` when the delta does not apply.
+        """
+        if not isinstance(delta, GraphDelta):
+            raise DeltaError(
+                f"delta must be a GraphDelta, got {type(delta).__name__}"
+            )
+        effect = delta.apply(self._graph)
+        churn = delta.churn(self._graph)
+        gen = self._rng if rng is None else make_rng(rng)
+        cfg = self._config
+        old_fingerprint = self._graph.fingerprint()
+        rows: list[dict[str, Any]] = []
+        repaired = regenerated = resampled = 0
+        for key, entry in list(self._pools.items()):
+            factory = registry.generator_factory(key.regime)
+            generator = factory(
+                effect.graph, GAP(*key.gaps), key.opposite_seeds
+            )
+            report = None
+            if churn <= cfg.delta_churn_threshold:
+                report = entry.pool.repair(effect, generator, rng=gen)
+            row: dict[str, Any] = {
+                "regime": key.regime,
+                "opposite_seeds": key.opposite_seeds,
+            }
+            if report is not None and report.eligible:
+                # The entry survives on the new graph: swap in the new
+                # generator (dropping any parallel wrapper of the old one)
+                # and void the certified theta, which no longer transfers.
+                entry.close()
+                entry.generator = generator
+                entry.stored_selection = None
+                entry.lineage.append(
+                    {
+                        "old_fingerprint": old_fingerprint,
+                        "fingerprint": effect.graph.fingerprint(),
+                        "num_edits": delta.num_edits,
+                        "churn": churn,
+                        "affected": report.affected,
+                        "resampled": report.resampled,
+                    }
+                )
+                repaired += 1
+                resampled += report.resampled
+                self.stats.rr_sets_sampled += report.resampled
+                row.update(
+                    action="repaired",
+                    affected=report.affected,
+                    resampled=report.resampled,
+                    reason=None,
+                )
+            else:
+                # report is None exactly when churn barred the attempt;
+                # every ineligible report is a missing/unsupported touch
+                # record (see repair_pool's fallback reasons).
+                reason = (
+                    InvalidationReason.DELTA_CHURN
+                    if report is None
+                    else InvalidationReason.TOUCH_ABSENT
+                )
+                del self._pools[key]
+                entry.close()
+                regenerated += 1
+                self.stats.delta_fallbacks_by_reason[reason.value] = (
+                    self.stats.delta_fallbacks_by_reason.get(reason.value, 0)
+                    + 1
+                )
+                row.update(
+                    action="regenerated",
+                    affected=len(entry.pool),
+                    resampled=0,
+                    reason=reason.value,
+                )
+            rows.append(row)
+        self._graph = effect.graph
+        self.stats.deltas_applied += 1
+        self.stats.pools_repaired += repaired
+        self.stats.pools_regenerated += regenerated
+        self.stats.members_resampled += resampled
+        # Write repaired pools through under the *new* fingerprint so the
+        # store never serves (or quarantines) a stale-graph entry, and the
+        # lineage rides into the manifest's provenance.
+        if self._store is not None:
+            for entry in self._pools.values():
+                if entry.lineage and len(entry.pool):
+                    self._persist_entry(entry, cfg, gen)
+        return DeltaReport(
+            num_edits=delta.num_edits,
+            churn=churn,
+            old_fingerprint=old_fingerprint,
+            fingerprint=effect.graph.fingerprint(),
+            pools_repaired=repaired,
+            pools_regenerated=regenerated,
+            members_resampled=resampled,
+            pools=tuple(rows),
+        )
+
+    # ------------------------------------------------------------------
     # Pooled seed selection (handlers call this)
     # ------------------------------------------------------------------
     def select_seeds(
@@ -451,7 +623,7 @@ class ComICSession:
             )
         cfg = config if config is not None else self._config
         gen = self._rng if rng is None else make_rng(rng)
-        entry = self._pool_entry(regime, gaps, opposite_seeds)
+        entry = self._pool_entry(regime, gaps, opposite_seeds, cfg)
         before = len(entry.pool)
         generator = self._generator_for(entry, cfg)
         pstats_before = (
@@ -641,6 +813,10 @@ class ComICSession:
             # Certified-theta record: lets a later process pin its warm
             # start to zero top-up (see _pinned_theta).
             provenance["selection"] = dict(entry.stored_selection)
+        if entry.lineage:
+            # Delta-repair provenance: which graph mutations this pool
+            # survived (and how surgically) — see apply_delta.
+            provenance["lineage"] = [dict(rec) for rec in entry.lineage]
         try:
             self._store.save(
                 entry.key,
@@ -670,9 +846,14 @@ class ComICSession:
         return True
 
     def _pool_entry(
-        self, regime: str, gaps: GAP, opposite_seeds: Sequence[int]
+        self,
+        regime: str,
+        gaps: GAP,
+        opposite_seeds: Sequence[int],
+        cfg: Optional[EngineConfig] = None,
     ) -> _PoolEntry:
         key = self._pool_key(regime, gaps, opposite_seeds)
+        cfg = cfg if cfg is not None else self._config
         entry = self._pools.pop(key, None)
         if entry is None:
             factory = registry.generator_factory(regime)
@@ -681,7 +862,14 @@ class ComICSession:
             entry = _PoolEntry(
                 key,
                 generator,
-                pool if pool is not None else RRSetPool(self._graph.num_nodes),
+                pool
+                if pool is not None
+                # A store-loaded pool keeps whatever tracking it was saved
+                # with; fresh pools track iff the config asks.
+                else RRSetPool(
+                    self._graph.num_nodes,
+                    track_touches=cfg.track_touches,
+                ),
                 origin="store" if pool is not None else "sampled",
             )
             if pool is not None:
@@ -716,6 +904,7 @@ class ComICSession:
             return None
         invalid_before = self._store.stats.invalidations
         quarantined_before = self._store.stats.quarantined
+        reasons_before = dict(self._store.stats.invalidations_by_reason)
         pool = self._store.load(
             key, graph_fingerprint=self._graph.fingerprint()
         )
@@ -723,9 +912,20 @@ class ComICSession:
         quarantined = self._store.stats.quarantined - quarantined_before
         if quarantined:
             self.stats.store_quarantines += quarantined
+            reason = next(
+                (
+                    value
+                    for value, count in (
+                        self._store.stats.invalidations_by_reason.items()
+                    )
+                    if count > reasons_before.get(value, 0)
+                ),
+                None,
+            )
             self._events.append(
                 {
                     "kind": "store_quarantine",
+                    "reason": reason,
                     "detail": (
                         f"rejected store entry for {key} moved to quarantine; "
                         "pool resampled (result exact)"

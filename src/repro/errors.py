@@ -84,6 +84,16 @@ class DeadlineExceeded(ReproError):
     """
 
 
+class DeltaError(ReproError):
+    """Raised for invalid graph mutations (:class:`~repro.graph.GraphDelta`).
+
+    Covers malformed delta payloads (bad endpoints or probabilities,
+    duplicate edits of one edge) and deltas that do not apply to the
+    target graph (removing or reweighting an edge that does not exist,
+    adding one that already does, endpoints outside the node range).
+    """
+
+
 class StoreError(ReproError):
     """Raised by the persistent pool store (:mod:`repro.store`).
 
@@ -101,4 +111,27 @@ class StoreIntegrityError(StoreError):
     disagrees with what the caller asked for all raise this.  The
     forgiving :meth:`~repro.store.PoolStore.load` entry point catches it
     and reports a miss (counting an invalidation) instead.
+
+    ``reason`` carries the typed
+    :class:`~repro.invalidation.InvalidationReason` so reason accounting
+    never has to parse the message; omitted (legacy raise sites), it is
+    inferred from the message text by the deprecation shim.
     """
+
+    def __init__(self, message: str, *, reason=None) -> None:
+        super().__init__(message)
+        if reason is None:
+            import warnings
+
+            from repro.invalidation import coerce_reason
+
+            with warnings.catch_warnings():
+                # Inference from message text is the shim's own job here,
+                # not a caller mistake — keep it quiet.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                reason = coerce_reason(message)
+        else:
+            from repro.invalidation import coerce_reason
+
+            reason = coerce_reason(reason)
+        self.reason = reason

@@ -7,6 +7,7 @@ searches are equally cheap.  Companion modules provide random generators,
 edge-probability assignment schemes, plain-text I/O and summary statistics.
 """
 
+from repro.graph.delta import DeltaEffect, GraphDelta, apply_delta
 from repro.graph.digraph import DiGraph, induced_subgraph
 from repro.graph.generators import (
     complete_digraph,
@@ -37,6 +38,9 @@ from repro.graph.weights import (
 
 __all__ = [
     "DiGraph",
+    "GraphDelta",
+    "DeltaEffect",
+    "apply_delta",
     "induced_subgraph",
     "erdos_renyi_digraph",
     "power_law_digraph",

@@ -1,0 +1,312 @@
+"""`GraphDelta`: declarative edge mutations over an immutable :class:`DiGraph`.
+
+Graphs in this library are immutable — every algorithm may share one
+freely — so "the network changed" is expressed as data, not mutation: a
+:class:`GraphDelta` is a frozen, JSON-round-trippable batch of edge
+additions, removals and reweights, and :meth:`DiGraph.apply_delta`
+produces a *new* graph (new fingerprint) plus a :class:`DeltaEffect`
+describing exactly what changed in edge-id terms.
+
+The effect record is what makes incremental RR-pool repair possible
+(:mod:`repro.rrset.repair`): edge ids are positions in the
+``(src, dst)``-sorted canonical edge arrays, so inserting or removing
+edges *shifts* the ids of untouched edges — ``DeltaEffect.old_to_new_edge``
+carries the full remapping, and ``changed_old_edges`` / ``added_edges``
+identify the edges whose coin outcomes an RR set may no longer trust.
+
+Same API conventions as the query dataclasses (:mod:`repro.api.queries`):
+frozen, validated in ``__post_init__`` with typed errors
+(:class:`~repro.errors.DeltaError`, never bare ``ValueError``), and
+``GraphDelta.from_json(d.to_json()) == d``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import DeltaError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphDelta", "DeltaEffect", "apply_delta"]
+
+
+def _edge_pairs(name: str, edges: Iterable) -> tuple[tuple[int, int], ...]:
+    """Normalise an iterable of ``(u, v)`` pairs; typed errors."""
+    if isinstance(edges, (str, bytes)):
+        raise DeltaError(f"{name} must be an iterable of (u, v) pairs")
+    out = []
+    for item in edges:
+        try:
+            u, v = item
+            out.append((int(u), int(v)))
+        except (TypeError, ValueError) as exc:
+            raise DeltaError(
+                f"{name} entries must be (u, v) pairs of node ids, got {item!r}"
+            ) from exc
+    return tuple(out)
+
+
+def _edge_triples(
+    name: str, edges: Iterable
+) -> tuple[tuple[int, int, float], ...]:
+    """Normalise an iterable of ``(u, v, prob)`` triples; typed errors."""
+    if isinstance(edges, (str, bytes)):
+        raise DeltaError(f"{name} must be an iterable of (u, v, prob) triples")
+    out = []
+    for item in edges:
+        try:
+            u, v, p = item
+            triple = (int(u), int(v), float(p))
+        except (TypeError, ValueError) as exc:
+            raise DeltaError(
+                f"{name} entries must be (u, v, prob) triples, got {item!r}"
+            ) from exc
+        if not 0.0 <= triple[2] <= 1.0:
+            raise DeltaError(
+                f"{name} probability must lie in [0, 1], got {triple[2]} "
+                f"for edge ({triple[0]}, {triple[1]})"
+            )
+        out.append(triple)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of edge mutations: add / remove / reweight.
+
+    ``add`` holds ``(u, v, prob)`` triples of new edges, ``remove``
+    ``(u, v)`` pairs of edges to delete, ``reweight`` ``(u, v, prob)``
+    triples replacing existing probabilities.  A delta never changes the
+    node count.  Each edge may appear in at most one batch (editing and
+    removing the same edge in one delta is ambiguous and rejected).
+
+    Round-trips losslessly through JSON::
+
+        GraphDelta.from_json(delta.to_json()) == delta
+    """
+
+    add: tuple[tuple[int, int, float], ...] = ()
+    remove: tuple[tuple[int, int], ...] = ()
+    reweight: tuple[tuple[int, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add", _edge_triples("add", self.add))
+        object.__setattr__(self, "remove", _edge_pairs("remove", self.remove))
+        object.__setattr__(
+            self, "reweight", _edge_triples("reweight", self.reweight)
+        )
+        seen: dict[tuple[int, int], str] = {}
+        for batch_name, pairs in (
+            ("add", [(u, v) for u, v, _ in self.add]),
+            ("remove", list(self.remove)),
+            ("reweight", [(u, v) for u, v, _ in self.reweight]),
+        ):
+            for pair in pairs:
+                if pair[0] == pair[1]:
+                    raise DeltaError(
+                        f"self-loop ({pair[0]}, {pair[1]}) in {batch_name} "
+                        "(self-loops are disallowed)"
+                    )
+                if pair in seen:
+                    raise DeltaError(
+                        f"edge {pair} appears in both {seen[pair]!r} and "
+                        f"{batch_name!r}; each edge may be edited once per delta"
+                    )
+                seen[pair] = batch_name
+
+    def __bool__(self) -> bool:
+        return bool(self.add or self.remove or self.reweight)
+
+    @property
+    def num_edits(self) -> int:
+        """Total number of edge edits in the delta."""
+        return len(self.add) + len(self.remove) + len(self.reweight)
+
+    # ------------------------------------------------------------------
+    # Serialisation (same conventions as the query dataclasses)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-JSON-types dict tagged ``kind: graph_delta``."""
+        return {
+            "kind": "graph_delta",
+            "add": [list(e) for e in self.add],
+            "remove": [list(e) for e in self.remove],
+            "reweight": [list(e) for e in self.reweight],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GraphDelta":
+        """Rebuild from :meth:`to_dict` output (tag optional but checked)."""
+        if not isinstance(data, Mapping):
+            raise DeltaError(
+                f"delta payload must be a mapping, got {type(data).__name__}"
+            )
+        data = dict(data)
+        tag = data.pop("kind", "graph_delta")
+        if tag != "graph_delta":
+            raise DeltaError(f"payload is a {tag!r} object, not 'graph_delta'")
+        field_names = {f.name for f in fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise DeltaError(f"unknown GraphDelta fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "GraphDelta":
+        """Inverse of :meth:`to_json` (``from_json(to_json(d)) == d``)."""
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise DeltaError(f"unreadable delta payload: {exc}") from exc
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def churn(self, graph: DiGraph) -> float:
+        """Edited-edge fraction of ``graph`` (``edits / max(m, 1)``)."""
+        return self.num_edits / max(graph.num_edges, 1)
+
+    def apply(self, graph: DiGraph) -> "DeltaEffect":
+        """Apply to ``graph``; returns the new graph + change record."""
+        return apply_delta(graph, self)
+
+
+@dataclass(frozen=True)
+class DeltaEffect:
+    """The resolved outcome of applying one :class:`GraphDelta`.
+
+    Everything an incremental pool repair needs: the new graph, the old
+    edge ids whose probability changed or whose edge vanished
+    (``changed_old_edges``), the endpoints of brand-new edges
+    (``added_src`` / ``added_dst``), and the old→new edge-id remapping
+    (``old_to_new_edge``; removed edges map to ``-1``).  Edge ids shift
+    because both graphs keep their edges ``(src, dst)``-sorted.
+    """
+
+    delta: GraphDelta
+    old_graph: DiGraph
+    graph: DiGraph
+    #: old edge ids removed or reweighted (sorted, unique).
+    changed_old_edges: np.ndarray
+    #: endpoints of edges that exist only in the new graph.
+    added_src: np.ndarray
+    added_dst: np.ndarray
+    #: length-``m_old`` map old edge id -> new edge id (``-1`` = removed).
+    old_to_new_edge: np.ndarray
+
+    @property
+    def node_count_stable(self) -> bool:
+        return self.old_graph.num_nodes == self.graph.num_nodes
+
+    def changed_target_mask(self) -> np.ndarray:
+        """Boolean node mask: targets of every changed or added edge.
+
+        This is the *implicit* touch test: a reverse search only tests an
+        edge ``(u, v)`` while visiting ``v``, so an RR set whose member
+        nodes avoid every changed edge's target never observed the change.
+        """
+        mask = np.zeros(self.old_graph.num_nodes, dtype=bool)
+        if self.changed_old_edges.size:
+            mask[self.old_graph.edge_targets[self.changed_old_edges]] = True
+        if self.added_dst.size:
+            mask[self.added_dst] = True
+        return mask
+
+
+def apply_delta(graph: DiGraph, delta: GraphDelta) -> DeltaEffect:
+    """Apply ``delta`` to ``graph``, producing a :class:`DeltaEffect`.
+
+    Validation is strict (typed :class:`~repro.errors.DeltaError`):
+    removing or reweighting an edge that does not exist, adding one that
+    already does, or referencing nodes outside ``[0, n)`` all reject the
+    whole delta — a partially-applied delta would desynchronise every
+    fingerprint-keyed artifact downstream.
+    """
+    if not isinstance(graph, DiGraph):
+        raise DeltaError(f"graph must be a DiGraph, got {type(graph).__name__}")
+    if not isinstance(delta, GraphDelta):
+        raise DeltaError(
+            f"delta must be a GraphDelta, got {type(delta).__name__}"
+        )
+    n = graph.num_nodes
+    m = graph.num_edges
+    for u, v in [(u, v) for u, v, _ in delta.add] + list(delta.remove) + [
+        (u, v) for u, v, _ in delta.reweight
+    ]:
+        if not (0 <= u < n and 0 <= v < n):
+            raise DeltaError(
+                f"edge ({u}, {v}) references nodes outside [0, {n - 1}] "
+                "(deltas never change the node count)"
+            )
+    src = graph.edge_sources
+    dst = graph.edge_targets
+    prob = graph.edge_probabilities
+    # Edges are (src, dst)-sorted, so src * n + dst is a sorted key array
+    # and every lookup is a binary search.
+    keys = src * n + dst
+
+    def locate(pairs: list[tuple[int, int]], verb: str) -> np.ndarray:
+        if not pairs:
+            return np.empty(0, dtype=np.int64)
+        want = np.asarray([u * n + v for u, v in pairs], dtype=np.int64)
+        pos = np.searchsorted(keys, want)
+        ok = (pos < m) & (keys[np.minimum(pos, max(m - 1, 0))] == want)
+        if not np.all(ok):
+            bad = pairs[int(np.flatnonzero(~ok)[0])]
+            raise DeltaError(f"cannot {verb} edge {bad}: it does not exist")
+        return pos
+
+    remove_pos = locate(list(delta.remove), "remove")
+    reweight_pos = locate([(u, v) for u, v, _ in delta.reweight], "reweight")
+
+    if delta.add:
+        add_keys = np.asarray(
+            [u * n + v for u, v, _ in delta.add], dtype=np.int64
+        )
+        pos = np.searchsorted(keys, add_keys)
+        exists = (pos < m) & (keys[np.minimum(pos, max(m - 1, 0))] == add_keys)
+        if np.any(exists):
+            u, v, _ = delta.add[int(np.flatnonzero(exists)[0])]
+            raise DeltaError(f"cannot add edge ({u}, {v}): it already exists")
+
+    new_prob = prob.copy()
+    if reweight_pos.size:
+        new_prob[reweight_pos] = [p for _, _, p in delta.reweight]
+    keep = np.ones(m, dtype=bool)
+    keep[remove_pos] = False
+
+    add_src = np.asarray([u for u, _, _ in delta.add], dtype=np.int64)
+    add_dst = np.asarray([v for _, v, _ in delta.add], dtype=np.int64)
+    add_prob = np.asarray([p for _, _, p in delta.add], dtype=np.float64)
+
+    new_graph = DiGraph.from_arrays(
+        n,
+        np.concatenate([src[keep], add_src]),
+        np.concatenate([dst[keep], add_dst]),
+        np.concatenate([new_prob[keep], add_prob]),
+    )
+    # Old id -> new id: kept old edges keep their (src, dst) key, and the
+    # new graph's keys are sorted too, so one searchsorted resolves them.
+    old_to_new = np.full(m, -1, dtype=np.int64)
+    if np.any(keep):
+        new_keys = new_graph.edge_sources * n + new_graph.edge_targets
+        old_to_new[keep] = np.searchsorted(new_keys, keys[keep])
+    changed = np.unique(np.concatenate([remove_pos, reweight_pos]))
+    return DeltaEffect(
+        delta=delta,
+        old_graph=graph,
+        graph=new_graph,
+        changed_old_edges=changed,
+        added_src=add_src,
+        added_dst=add_dst,
+        old_to_new_edge=old_to_new,
+    )

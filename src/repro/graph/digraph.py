@@ -305,6 +305,19 @@ class DiGraph:
             self._n, self._edge_dst.copy(), self._edge_src.copy(), self._edge_prob.copy()
         )
 
+    def apply_delta(self, delta) -> "DiGraph":
+        """Apply a :class:`~repro.graph.delta.GraphDelta`; returns the new graph.
+
+        Convenience wrapper over :func:`repro.graph.delta.apply_delta`
+        returning only the mutated graph (fresh fingerprint); callers
+        that need the changed-edge set and the old→new edge-id remapping
+        (incremental RR-pool repair) use ``delta.apply(graph)`` for the
+        full :class:`~repro.graph.delta.DeltaEffect`.
+        """
+        from repro.graph.delta import apply_delta
+
+        return apply_delta(self, delta).graph
+
     def fingerprint(self) -> str:
         """A stable content hash of the graph (structure + weights).
 

@@ -29,10 +29,13 @@ from repro.rrset.tim import (
 from repro.rrset.imm import IMMOptions, IMMResult, general_imm
 from repro.rrset.engines import SelectionResult, run_seed_selection
 from repro.rrset.estimate import rr_estimate_many, rr_estimate_objective
+from repro.rrset.repair import RepairReport, repair_pool
 
 __all__ = [
     "RRSetGenerator",
     "RRSetPool",
+    "RepairReport",
+    "repair_pool",
     "RRICGenerator",
     "RRLTGenerator",
     "vanilla_lt_seeds",

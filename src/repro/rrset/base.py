@@ -60,6 +60,13 @@ class RRSetGenerator(abc.ABC):
     :meth:`generate` draws a fresh lazy possible world per call.
     """
 
+    #: How this regime exposes per-member edge-touch information for
+    #: delta repair (:mod:`repro.rrset.repair`): ``"recorded"`` kernels
+    #: emit explicit sorted edge-id signatures, ``"implicit"`` regimes
+    #: test exactly the in-edges of member nodes (so membership alone
+    #: decides affectedness), and ``"none"`` regimes cannot be repaired.
+    touch_mode: str = "none"
+
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
 
@@ -128,5 +135,7 @@ class RRSetGenerator(abc.ABC):
         else:
             roots = np.asarray(roots, dtype=np.int64)
         for root in roots:
-            pool.append(self.generate(rng=gen, root=int(root)))
+            # Root recorded so implicit-touch pools stay repairable even
+            # through this fallback; touch signatures are kernel-only.
+            pool.append(self.generate(rng=gen, root=int(root)), root=int(root))
         return pool

@@ -35,6 +35,31 @@ Member nodes are stored as ``int32`` (graphs here are far below the 2**31
 node ceiling, and halving the bytes doubles effective memory bandwidth of
 every sweep); :meth:`__getitem__` returns the raw ``int32`` view while
 :meth:`to_list` widens to the ``int64`` arrays the legacy list API used.
+
+Touch signatures (dynamic graphs)
+---------------------------------
+
+A pool built with ``track_touches=True`` carries two optional side
+structures that make it *repairable* under a
+:class:`~repro.graph.GraphDelta`:
+
+* a per-set **root** column (``int32``; the node whose RR-set each entry
+  is), needed to resample exactly the dropped members, and
+* per-set **edge-touch signatures** (a second CSR pair ``touch_edges`` /
+  ``touch_indptr`` of sorted edge ids): the set of edges whose liveness
+  coin the generating sweep actually flipped.  An RR-set's sampled world
+  depends only on those edges, so a member whose signature misses every
+  changed edge is — by the coupling argument — an exact sample of the
+  *new* graph's RR distribution and can be kept as-is.
+
+Both columns are complete only while every append supplies them
+(:attr:`roots_ok` / :attr:`touch_ok`); an append without (e.g. a parallel
+shard merge, whose workers do not ship touch columns) permanently drops
+the corresponding flag, and :func:`~repro.rrset.repair.repair_pool` then
+falls back to full regeneration.  Implicit-touch regimes (RR-IC, RR-LT)
+only need the root column: every edge they test is an in-edge of a member
+node, so affectedness reduces to a membership test against the delta's
+changed-target nodes and no signature bytes are stored.
 """
 
 from __future__ import annotations
@@ -61,6 +86,13 @@ class RRSetPool:
         "_used",
         "_set_ids_cache",
         "_frozen",
+        "_track_touches",
+        "_roots",
+        "_roots_ok",
+        "_touch_edges",
+        "_touch_indptr",
+        "_touch_used",
+        "_touch_ok",
     )
 
     def __init__(
@@ -69,6 +101,7 @@ class RRSetPool:
         *,
         node_capacity: int = 1024,
         set_capacity: int = 256,
+        track_touches: bool = False,
     ) -> None:
         num_nodes = int(num_nodes)
         if num_nodes < 0:
@@ -84,6 +117,29 @@ class RRSetPool:
         self._used = 0
         self._set_ids_cache: Optional[np.ndarray] = None
         self._frozen = False
+        self._init_tracking(bool(track_touches))
+
+    def _init_tracking(self, track: bool) -> None:
+        self._track_touches = track
+        self._touch_used = 0
+        if track:
+            self._roots: Optional[np.ndarray] = np.full(
+                max(self._indptr.size - 1, 1), -1, dtype=np.int32
+            )
+            self._touch_edges: Optional[np.ndarray] = np.empty(
+                self._nodes.size, dtype=np.int32
+            )
+            self._touch_indptr: Optional[np.ndarray] = np.zeros(
+                self._indptr.size, dtype=np.int64
+            )
+            self._roots_ok = True
+            self._touch_ok = True
+        else:
+            self._roots = None
+            self._touch_edges = None
+            self._touch_indptr = None
+            self._roots_ok = False
+            self._touch_ok = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -110,6 +166,9 @@ class RRSetPool:
         indptr: np.ndarray,
         *,
         validate: bool = True,
+        roots: Optional[np.ndarray] = None,
+        touch_edges: Optional[np.ndarray] = None,
+        touch_indptr: Optional[np.ndarray] = None,
     ) -> "RRSetPool":
         """Adopt existing flat CSR arrays *without copying them*.
 
@@ -123,6 +182,11 @@ class RRSetPool:
         ``validate`` checks the CSR invariants (``indptr`` int64 ascending
         from 0, last offset == ``nodes.size``, members in range) — skip it
         only for arrays produced by this class.
+
+        ``roots`` (and the ``touch_edges`` / ``touch_indptr`` pair, which
+        must come together) re-adopt previously persisted touch columns;
+        supplying any of them marks the pool as touch-tracking with the
+        corresponding completeness flag set.
         """
         nodes = np.asarray(nodes)
         indptr = np.asarray(indptr)
@@ -157,6 +221,50 @@ class RRSetPool:
         pool._used = int(indptr[-1])
         pool._set_ids_cache = None
         pool._frozen = False
+        if roots is None and touch_edges is None:
+            pool._init_tracking(False)
+            return pool
+        if (touch_edges is None) != (touch_indptr is None):
+            raise ValueError(
+                "touch_edges and touch_indptr must be supplied together"
+            )
+        count = pool._num_sets
+        pool._track_touches = True
+        if roots is not None:
+            roots = np.asarray(roots, dtype=np.int32)
+            if roots.shape != (count,):
+                raise ValueError(
+                    f"roots must have one entry per set ({count}), "
+                    f"got shape {roots.shape}"
+                )
+            pool._roots = roots
+            pool._roots_ok = True
+        else:
+            pool._roots = np.full(max(count, 1), -1, dtype=np.int32)
+            pool._roots_ok = False
+        if touch_edges is not None:
+            touch_edges = np.asarray(touch_edges, dtype=np.int32)
+            touch_indptr = np.asarray(touch_indptr, dtype=np.int64)
+            if touch_indptr.shape != (count + 1,) or (
+                touch_indptr.size
+                and (
+                    int(touch_indptr[0]) != 0
+                    or int(touch_indptr[-1]) != touch_edges.size
+                )
+            ):
+                raise ValueError(
+                    "touch_indptr must run from 0 to touch_edges.size with "
+                    "one row per set"
+                )
+            pool._touch_edges = touch_edges
+            pool._touch_indptr = touch_indptr
+            pool._touch_used = int(touch_edges.size)
+            pool._touch_ok = True
+        else:
+            pool._touch_edges = np.empty(0, dtype=np.int32)
+            pool._touch_indptr = np.zeros(count + 1, dtype=np.int64)
+            pool._touch_used = 0
+            pool._touch_ok = False
         return pool
 
     @classmethod
@@ -203,11 +311,36 @@ class RRSetPool:
     def _reserve_sets(self, extra: int) -> None:
         need = self._num_sets + 1 + extra
         if need <= self._indptr.size:
+            if self._track_touches and need > self._touch_indptr.size:
+                self._grow_touch_rows(need)
             return
         new_size = max(need, 2 * self._indptr.size)
         grown = np.zeros(new_size, dtype=np.int64)
         grown[: self._num_sets + 1] = self._indptr[: self._num_sets + 1]
         self._indptr = grown
+        if self._track_touches:
+            self._grow_touch_rows(new_size)
+
+    def _grow_touch_rows(self, size: int) -> None:
+        if size > self._touch_indptr.size:
+            grown = np.zeros(size, dtype=np.int64)
+            grown[: self._num_sets + 1] = self._touch_indptr[
+                : self._num_sets + 1
+            ]
+            self._touch_indptr = grown
+        if size - 1 > self._roots.size:
+            grown_r = np.full(size - 1, -1, dtype=np.int32)
+            grown_r[: self._num_sets] = self._roots[: self._num_sets]
+            self._roots = grown_r
+
+    def _reserve_touch(self, extra: int) -> None:
+        need = self._touch_used + extra
+        if need <= self._touch_edges.size:
+            return
+        new_size = max(need, 2 * self._touch_edges.size, 1)
+        grown = np.empty(new_size, dtype=np.int32)
+        grown[: self._touch_used] = self._touch_edges[: self._touch_used]
+        self._touch_edges = grown
 
     # ------------------------------------------------------------------
     # Appending
@@ -218,8 +351,66 @@ class RRSetPool:
                 "pool is a read-only prefix view; append to the parent pool"
             )
 
-    def append(self, rr_set: np.ndarray) -> None:
-        """Append one RR-set (an array of member node ids)."""
+    def _record_touches(
+        self,
+        count: int,
+        roots: Optional[np.ndarray],
+        touch_edges: Optional[np.ndarray],
+        touch_lengths: Optional[np.ndarray],
+    ) -> None:
+        """Record per-set roots / touch rows for ``count`` just-appended sets.
+
+        Called *after* the node columns advanced ``_num_sets``; missing
+        information permanently drops the matching completeness flag.
+        """
+        first = self._num_sets - count
+        if roots is not None:
+            self._roots[first : self._num_sets] = roots
+        else:
+            self._roots[first : self._num_sets] = -1
+            self._roots_ok = False
+        if touch_edges is not None:
+            touch_edges = np.asarray(touch_edges, dtype=np.int32)
+            if touch_lengths is None:  # single-set append
+                touch_lengths = np.asarray([touch_edges.size], dtype=np.int64)
+            else:
+                touch_lengths = np.asarray(touch_lengths, dtype=np.int64)
+            total = int(touch_lengths.sum())
+            if total != touch_edges.size or touch_lengths.size != count:
+                raise ValueError(
+                    f"touch rows do not match the appended sets: "
+                    f"{touch_lengths.size} lengths summing to {total} for "
+                    f"{count} sets / {touch_edges.size} edge ids"
+                )
+            self._reserve_touch(total)
+            if total:
+                self._touch_edges[
+                    self._touch_used : self._touch_used + total
+                ] = touch_edges
+            self._touch_indptr[first + 1 : self._num_sets + 1] = (
+                self._touch_used + np.cumsum(touch_lengths)
+            )
+            self._touch_used += total
+        else:
+            self._touch_indptr[first + 1 : self._num_sets + 1] = (
+                self._touch_used
+            )
+            self._touch_ok = False
+
+    def append(
+        self,
+        rr_set: np.ndarray,
+        *,
+        root: Optional[int] = None,
+        touch_edges: Optional[np.ndarray] = None,
+    ) -> None:
+        """Append one RR-set (an array of member node ids).
+
+        ``root`` / ``touch_edges`` (sorted unique edge ids the sampling
+        run tested) feed the touch-tracking columns; both are ignored when
+        the pool does not track touches, and omitting either on a
+        tracking pool drops the matching completeness flag.
+        """
         self._check_writable()
         rr_set = np.asarray(rr_set)
         size = int(rr_set.size)
@@ -230,19 +421,36 @@ class RRSetPool:
         self._used += size
         self._num_sets += 1
         self._indptr[self._num_sets] = self._used
+        if self._track_touches:
+            self._record_touches(
+                1,
+                None if root is None else np.asarray([root], dtype=np.int32),
+                touch_edges,
+                None,
+            )
 
     def extend(self, sets: Iterable[np.ndarray]) -> None:
         """Append several RR-sets."""
         for rr_set in sets:
             self.append(rr_set)
 
-    def append_flat(self, nodes: np.ndarray, lengths: np.ndarray) -> None:
+    def append_flat(
+        self,
+        nodes: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        roots: Optional[np.ndarray] = None,
+        touch_edges: Optional[np.ndarray] = None,
+        touch_lengths: Optional[np.ndarray] = None,
+    ) -> None:
         """Bulk-append a pre-packed chunk of RR-sets.
 
         ``nodes`` is the concatenation of the chunk's sets in order and
         ``lengths[i]`` the size of the ``i``-th set (``lengths.sum() ==
         nodes.size``).  This is the fast-path entry point: one copy, no
-        per-set Python work.
+        per-set Python work.  ``roots`` / ``touch_edges`` + ``touch_lengths``
+        carry the chunk's touch-tracking columns in the same packed layout
+        (ignored on non-tracking pools; omissions drop completeness flags).
         """
         self._check_writable()
         nodes = np.asarray(nodes)
@@ -264,6 +472,13 @@ class RRSetPool:
             ] = offsets
         self._used += total
         self._num_sets += count
+        if self._track_touches and count:
+            self._record_touches(
+                count,
+                None if roots is None else np.asarray(roots, dtype=np.int32),
+                touch_edges,
+                touch_lengths if touch_edges is not None else None,
+            )
 
     def extend_pool(self, other: "RRSetPool") -> None:
         """Append every set of ``other``, O(``other.total_nodes``).
@@ -293,6 +508,18 @@ class RRSetPool:
             )
         self._used += total
         self._num_sets += count
+        if self._track_touches and count:
+            donor = other._track_touches
+            self._record_touches(
+                count,
+                other._roots[:count] if donor and other._roots_ok else None,
+                other._touch_edges[: other._touch_used]
+                if donor and other._touch_ok
+                else None,
+                np.diff(other._touch_indptr[: count + 1])
+                if donor and other._touch_ok
+                else None,
+            )
 
     # ------------------------------------------------------------------
     # Views and accounting
@@ -323,11 +550,54 @@ class RRSetPool:
         return self._used
 
     @property
+    def track_touches(self) -> bool:
+        """Whether this pool maintains root / edge-touch columns."""
+        return self._track_touches
+
+    @property
+    def roots_ok(self) -> bool:
+        """True while *every* set was appended with its root recorded."""
+        return self._roots_ok
+
+    @property
+    def touch_ok(self) -> bool:
+        """True while *every* set was appended with its touch signature."""
+        return self._touch_ok
+
+    @property
+    def roots(self) -> np.ndarray:
+        """Per-set root nodes (``int32``; ``-1`` where unrecorded)."""
+        if not self._track_touches:
+            raise ValueError("pool does not track touch signatures")
+        return self._roots[: self._num_sets]
+
+    @property
+    def touch_indptr(self) -> np.ndarray:
+        """CSR offsets of the per-set edge-touch signatures."""
+        if not self._track_touches:
+            raise ValueError("pool does not track touch signatures")
+        return self._touch_indptr[: self._num_sets + 1]
+
+    @property
+    def touch_edges(self) -> np.ndarray:
+        """Flat sorted edge-id column of the touch signatures."""
+        if not self._track_touches:
+            raise ValueError("pool does not track touch signatures")
+        return self._touch_edges[: self._touch_used]
+
+    @property
     def nbytes(self) -> int:
-        """Bytes of pool data in use (nodes + offsets)."""
-        return self._used * self._nodes.itemsize + (
+        """Bytes of pool data in use (nodes + offsets + touch columns)."""
+        used = self._used * self._nodes.itemsize + (
             self._num_sets + 1
         ) * self._indptr.itemsize
+        if self._track_touches:
+            used += (
+                self._num_sets * self._roots.itemsize
+                + self._touch_used * self._touch_edges.itemsize
+                + (self._num_sets + 1) * self._touch_indptr.itemsize
+            )
+        return used
 
     @property
     def capacity_bytes(self) -> int:
@@ -375,6 +645,7 @@ class RRSetPool:
         view._used = int(self._indptr[count])
         view._set_ids_cache = None
         view._frozen = True  # appends would corrupt the shared buffers
+        view._init_tracking(False)  # selection views never repair
         return view
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -467,6 +738,127 @@ class RRSetPool:
             weights=in_degrees[nodes].astype(np.float64),
             minlength=stop - start,
         ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Delta repair (dynamic graphs)
+    # ------------------------------------------------------------------
+    def repair(self, effect, generator, *, rng=None):
+        """Repair this pool in place for a graph delta.
+
+        ``effect`` is the :class:`~repro.graph.DeltaEffect` of applying
+        the delta and ``generator`` an RR generator over the *new* graph.
+        Convenience wrapper over :func:`repro.rrset.repair.repair_pool`
+        (see there for eligibility and the affectedness rules); returns
+        its :class:`~repro.rrset.repair.RepairReport`.
+        """
+        from repro.rrset.repair import repair_pool
+
+        return repair_pool(self, effect, generator, rng=rng)
+
+    def affected_by_edges(self, edge_mark: np.ndarray) -> np.ndarray:
+        """Boolean per-set array: did the set's sampling touch a marked edge?
+
+        ``edge_mark`` is a boolean array over the *old* graph's edge ids;
+        the result is exact for recorded-touch pools (one gather +
+        ``bincount`` over the touch CSR, the structural twin of
+        :meth:`intersects`).  Requires a complete touch record.
+        """
+        if not (self._track_touches and self._touch_ok):
+            raise ValueError(
+                "affected_by_edges needs a complete touch record "
+                "(track_touches pool with touch_ok)"
+            )
+        edge_mark = np.asarray(edge_mark, dtype=bool)
+        touch = self._touch_edges[: self._touch_used]
+        if touch.size and (
+            int(touch.min()) < 0 or int(touch.max()) >= edge_mark.size
+        ):
+            raise ValueError(
+                f"touch record references edge ids outside [0, "
+                f"{edge_mark.size})"
+            )
+        # Gather the mark at every touch, then map each hit position back
+        # to its owning set through the CSR boundaries — O(total touches)
+        # for the gather plus O(hits log sets) for the searchsorted, with
+        # no materialised per-touch set-ids array (the np.repeat twin
+        # costs ~3x the memory traffic, and deltas are typically sparse
+        # so hits ≪ touches).
+        indptr = self._touch_indptr[: self._num_sets + 1]
+        out = np.zeros(self._num_sets, dtype=bool)
+        hit_pos = np.flatnonzero(edge_mark[touch])
+        if hit_pos.size:
+            set_idx = np.searchsorted(indptr, hit_pos, side="right") - 1
+            out[set_idx] = True
+        return out
+
+    def drop_members(
+        self,
+        affected: np.ndarray,
+        *,
+        old_to_new_edge: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compact the pool in place, removing every ``affected`` set.
+
+        Returns the (``int64``) roots of the dropped sets so the caller
+        can resample exactly those — the drop half of delta repair.
+        Kept sets' touch signatures are rewritten through
+        ``old_to_new_edge`` (the delta's edge-id remap; kept sets never
+        touch a removed edge, so no ``-1`` survives).  All columns are
+        rebuilt into fresh writable arrays: store-loaded pools adopt
+        read-only memory maps, which in-place masking would trip over.
+        Requires complete roots.
+        """
+        self._check_writable()
+        if not (self._track_touches and self._roots_ok):
+            raise ValueError(
+                "drop_members needs recorded roots (track_touches pool "
+                "with roots_ok)"
+            )
+        affected = np.asarray(affected, dtype=bool)
+        if affected.shape != (self._num_sets,):
+            raise ValueError(
+                f"affected must have one flag per set ({self._num_sets}), "
+                f"got shape {affected.shape}"
+            )
+        keep = ~affected
+        dropped_roots = self._roots[: self._num_sets][affected].astype(
+            np.int64
+        )
+        lengths = np.diff(self._indptr[: self._num_sets + 1])
+        kept_nodes = self._nodes[: self._used][np.repeat(keep, lengths)]
+        self._nodes = np.ascontiguousarray(kept_nodes, dtype=np.int32)
+        self._indptr = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                np.cumsum(lengths[keep], dtype=np.int64),
+            )
+        )
+        self._roots = np.ascontiguousarray(
+            self._roots[: self._num_sets][keep], dtype=np.int32
+        )
+        tlengths = np.diff(self._touch_indptr[: self._num_sets + 1])
+        kept_touch = self._touch_edges[: self._touch_used][
+            np.repeat(keep, tlengths)
+        ]
+        if old_to_new_edge is not None and kept_touch.size:
+            remapped = np.asarray(old_to_new_edge, dtype=np.int64)[kept_touch]
+            if remapped.size and int(remapped.min()) < 0:
+                raise ValueError(
+                    "kept touch signature references a removed edge"
+                )
+            kept_touch = remapped
+        self._touch_edges = np.ascontiguousarray(kept_touch, dtype=np.int32)
+        self._touch_indptr = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                np.cumsum(tlengths[keep], dtype=np.int64),
+            )
+        )
+        self._num_sets = int(self._roots.size)
+        self._used = int(self._nodes.size)
+        self._touch_used = int(self._touch_edges.size)
+        self._set_ids_cache = None
+        return dropped_roots
 
 
 def unique_inverse(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -611,6 +1003,20 @@ class ChunkCoinMemo:
             self._ovals = merged_vals
         return uvals[inverse]
 
+    def touched_keys(self) -> np.ndarray:
+        """Sorted distinct ``member * num_edges + edge`` keys of every coin.
+
+        The chunk's complete edge-touch record: one key per coin the
+        kernel flipped, across all tiers.  Feeds the pool's touch columns
+        via :func:`touches_from_keys` when delta repair is tracking.
+        """
+        self._consolidate()
+        if not self._okeys.size:
+            return self._keys.copy()
+        if not self._keys.size:
+            return self._okeys.copy()
+        return np.sort(np.concatenate([self._keys, self._okeys]))
+
 
 def unique_keys(keys: np.ndarray) -> np.ndarray:
     """Sorted distinct values of an integer key array.
@@ -626,6 +1032,24 @@ def unique_keys(keys: np.ndarray) -> np.ndarray:
     keep[0] = True
     np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
     return ordered[keep]
+
+
+def touches_from_keys(
+    keys: np.ndarray, num_edges: int, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split sorted distinct ``member * num_edges + edge`` keys into the
+    packed per-member touch rows :meth:`RRSetPool.append_flat` expects.
+
+    Returns ``(touch_edges, touch_lengths)``: the flat ``int32`` edge-id
+    column (grouped by member, ascending within each) and one length per
+    chunk member — including zeros for members whose sweep flipped no
+    coins.
+    """
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int32), np.zeros(count, dtype=np.int64)
+    member, eid = np.divmod(keys, num_edges)
+    lengths = np.bincount(member, minlength=count).astype(np.int64)
+    return eid.astype(np.int32), lengths
 
 
 def flatten_members(

@@ -1,0 +1,160 @@
+"""Incremental RR-pool repair under a graph delta.
+
+The Com-IC RR machinery makes surgical pool maintenance possible: an
+RR-set's sampled possible world depends only on the edges its sweeps
+actually tested, so a member whose run never touched a changed edge is —
+by the shared-coin coupling argument — an unchanged sample under the new
+graph and can be kept verbatim.  :func:`repair_pool` drops exactly the
+touched members and resamples their roots against the new graph, the
+delta-maintenance counterpart of full fingerprint invalidation.
+
+Affectedness is resolved per the generator's
+:attr:`~repro.rrset.base.RRSetGenerator.touch_mode`:
+
+* ``"implicit"`` (RR-IC, RR-LT) — every tested edge is an in-edge of a
+  member node, so a member is affected iff some changed or added edge's
+  *target* is one of its members (a membership test against the delta's
+  :meth:`~repro.graph.DeltaEffect.changed_target_mask`; no signature
+  bytes needed, only the root column).
+* ``"recorded"`` (RR-SIM, RR-SIM+, RR-CIM, RR-Block) — removals and
+  reweights are exact: affected iff the changed edge id appears in the
+  member's recorded touch signature.  Edge *additions* are conservative:
+  a new edge can open a diffusion path through territory the old run
+  never tested (e.g. fresh B-flow into the visible region), which no
+  touch record can witness, so an add batch marks **every** member
+  affected — correct, but as expensive as regeneration, which callers'
+  churn thresholds should prefer outright.
+* ``"none"`` (oracle base, product regime, parallel engine) — not
+  repairable; the report comes back ineligible and the caller falls back
+  to full regeneration.
+
+Statistical caveat (documented in ``docs/api.md``): keeping the
+untouched members conditions them on *not* having touched the changed
+edges, so the repaired pool is a slightly biased sample of the new
+graph's RR distribution — the bias is second-order in the churn rate and
+vanishes as churn → 0, which is why sessions bound repair by
+``EngineConfig.delta_churn_threshold`` and regenerate beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DeltaError
+from repro.graph.delta import DeltaEffect
+from repro.rng import SeedLike, make_rng
+from repro.rrset.base import RRSetGenerator
+from repro.rrset.pool import RRSetPool
+
+#: Touch-mode vocabulary (the values of ``RRSetGenerator.touch_mode``).
+TOUCH_IMPLICIT = "implicit"
+TOUCH_RECORDED = "recorded"
+TOUCH_NONE = "none"
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one :func:`repair_pool` attempt.
+
+    ``eligible`` is False when the pool/generator pair cannot be
+    repaired (``fallback_reason`` says why and the pool is untouched);
+    otherwise ``affected`` of ``total`` members were dropped and
+    ``resampled`` fresh sets drawn for their roots.
+    """
+
+    eligible: bool
+    mode: str
+    total: int
+    affected: int
+    resampled: int
+    fallback_reason: Optional[str] = None
+
+
+def _ineligible(mode: str, total: int, reason: str) -> RepairReport:
+    return RepairReport(
+        eligible=False,
+        mode=mode,
+        total=total,
+        affected=0,
+        resampled=0,
+        fallback_reason=reason,
+    )
+
+
+def repair_pool(
+    pool: RRSetPool,
+    effect: DeltaEffect,
+    generator: RRSetGenerator,
+    *,
+    rng: SeedLike = None,
+) -> RepairReport:
+    """Repair ``pool`` in place for the delta described by ``effect``.
+
+    ``generator`` must be built over the *new* graph (``effect.graph``) —
+    the dropped members' roots are resampled through it.  Returns a
+    :class:`RepairReport`; when the report is ineligible the pool was not
+    modified and the caller should regenerate instead.
+    """
+    mode = getattr(generator, "touch_mode", TOUCH_NONE)
+    total = len(pool)
+    if generator.graph.fingerprint() != effect.graph.fingerprint():
+        raise DeltaError(
+            "repair generator must be built over the delta's new graph "
+            f"(generator fingerprint {generator.graph.fingerprint()[:12]}… "
+            f"!= delta result {effect.graph.fingerprint()[:12]}…)"
+        )
+    if pool.num_nodes != effect.graph.num_nodes:
+        raise DeltaError(
+            f"pool node universe {pool.num_nodes} does not match the "
+            f"graph ({effect.graph.num_nodes})"
+        )
+    if mode == TOUCH_NONE:
+        return _ineligible(mode, total, "touch-unsupported")
+    if not (pool.track_touches and pool.roots_ok):
+        return _ineligible(mode, total, "touch-absent")
+    if mode == TOUCH_RECORDED and not pool.touch_ok:
+        return _ineligible(mode, total, "touch-absent")
+
+    if mode == TOUCH_IMPLICIT:
+        affected = pool.intersects(effect.changed_target_mask())
+    elif effect.added_src.size:
+        # Conservative add blanket (see module docstring): new edges can
+        # route diffusion through territory the old runs never tested.
+        affected = np.ones(total, dtype=bool)
+    else:
+        edge_mark = np.zeros(effect.old_graph.num_edges, dtype=bool)
+        edge_mark[effect.changed_old_edges] = True
+        affected = pool.affected_by_edges(edge_mark)
+
+    # Pure reweights keep every edge id in place — the remap is the
+    # identity, so skip the O(total touches) rewrite gather entirely.
+    ids_shift = bool(effect.delta.add or effect.delta.remove)
+    dropped = pool.drop_members(
+        affected,
+        old_to_new_edge=(
+            effect.old_to_new_edge if (pool.touch_ok and ids_shift) else None
+        ),
+    )
+    if dropped.size:
+        generator.generate_batch(
+            dropped.size, rng=make_rng(rng), roots=dropped, out=pool
+        )
+    return RepairReport(
+        eligible=True,
+        mode=mode,
+        total=total,
+        affected=int(affected.sum()),
+        resampled=int(dropped.size),
+    )
+
+
+__all__ = [
+    "RepairReport",
+    "repair_pool",
+    "TOUCH_IMPLICIT",
+    "TOUCH_RECORDED",
+    "TOUCH_NONE",
+]

@@ -93,6 +93,7 @@ from repro.rrset.pool import (
     RRSetPool,
     expand_csr,
     flatten_members,
+    touches_from_keys,
     unique_keys,
 )
 
@@ -204,6 +205,11 @@ def suppression_search(
 
 class RRBlockGenerator(RRSetGenerator):
     """Random suppression-set sampler for influence blocking (Q-)."""
+
+    # All liveness coins flow through the chunk memo (reverse-A records,
+    # reverse-B replays), giving the exact edge-touch signature repair
+    # needs — even for worlds that produced an empty suppression set.
+    touch_mode = "recorded"
 
     def __init__(self, graph: DiGraph, gaps: GAP, seeds_a: Iterable[int]) -> None:
         super().__init__(graph)
@@ -373,10 +379,25 @@ class RRBlockGenerator(RRSetGenerator):
             if world is None:
                 coins_per_world = max(memo.size / b, 1.0)
                 chunk = int(np.clip(_COIN_BUDGET / coins_per_world, 1, max_chunk))
+            track = pool.track_touches and world is None
+
+            def chunk_touches():
+                # The phase-1 reverse-A coins live in the memo even for
+                # worlds whose suppression set came out empty, so both
+                # append sites must extract the record.
+                if not track:
+                    return None, None
+                return touches_from_keys(memo.touched_keys(), m, b)
+
             lanes = np.flatnonzero(root_time > 0)
             if lanes.size == 0:
+                touch_edges, touch_lengths = chunk_touches()
                 pool.append_flat(
-                    np.empty(0, dtype=np.int32), np.zeros(b, dtype=np.int64)
+                    np.empty(0, dtype=np.int32),
+                    np.zeros(b, dtype=np.int64),
+                    roots=chunk_roots,
+                    touch_edges=touch_edges,
+                    touch_lengths=touch_lengths,
                 )
                 continue
             lane_roots = chunk_roots[lanes]
@@ -441,5 +462,12 @@ class RRBlockGenerator(RRSetGenerator):
                 member_ids.append(frontier_world[record])
                 member_nodes.append(frontier_node[record])
             nodes, lengths = flatten_members(member_nodes, member_ids, b)
-            pool.append_flat(nodes, lengths)
+            touch_edges, touch_lengths = chunk_touches()
+            pool.append_flat(
+                nodes,
+                lengths,
+                roots=chunk_roots,
+                touch_edges=touch_edges,
+                touch_lengths=touch_lengths,
+            )
         return pool

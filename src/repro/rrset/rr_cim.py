@@ -77,6 +77,7 @@ from repro.rrset.pool import (
     ChunkCoinMemo,
     RRSetPool,
     expand_csr,
+    touches_from_keys,
     unique_inverse,
     unique_keys,
 )
@@ -161,6 +162,11 @@ def forward_label_a_status(
 
 class RRCimGenerator(RRSetGenerator):
     """Random RR-set sampler for CompInfMax (Algorithm 4)."""
+
+    # All liveness coins flow through the chunk memo (forward labeling
+    # records, backward phases replay), so its key record is the exact
+    # per-member edge-touch signature for delta repair.
+    touch_mode = "recorded"
 
     def __init__(self, graph: DiGraph, gaps: GAP, seeds_a: Iterable[int]) -> None:
         super().__init__(graph)
@@ -793,12 +799,26 @@ class RRCimGenerator(RRSetGenerator):
             if rr_frags:
                 mkeys = unique_keys(np.concatenate(rr_frags))
                 member, node = np.divmod(mkeys, n)
+                nodes = node.astype(np.int32)
                 lengths = np.bincount(member, minlength=b).astype(np.int64)
-                pool.append_flat(node.astype(np.int32), lengths)
             else:
-                pool.append_flat(
-                    np.empty(0, dtype=np.int32), np.zeros(b, dtype=np.int64)
+                nodes = np.empty(0, dtype=np.int32)
+                lengths = np.zeros(b, dtype=np.int64)
+            touch_edges = touch_lengths = None
+            if pool.track_touches and world is None:
+                # Even all-empty chunks carry real coin records (the
+                # forward labeling and reverse-A searches ran), so the
+                # extraction must not be skipped on the empty path.
+                touch_edges, touch_lengths = touches_from_keys(
+                    coins.touched_keys(), graph.num_edges, b
                 )
+            pool.append_flat(
+                nodes,
+                lengths,
+                roots=chunk_roots,
+                touch_edges=touch_edges,
+                touch_lengths=touch_lengths,
+            )
             coins_per_member = max(coins.size / b, 1.0)
             chunk = int(np.clip(_COIN_BUDGET / coins_per_member, 1, max_chunk))
         return pool

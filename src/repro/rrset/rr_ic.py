@@ -38,6 +38,10 @@ from repro.rrset.pool import RRSetPool, expand_csr, flatten_members, unique_keys
 class RRICGenerator(RRSetGenerator):
     """Random RR-set sampler for single-item IC."""
 
+    # Every coin this regime flips is on an in-edge of a node that joins
+    # the RR-set, so delta repair needs only the root column.
+    touch_mode = "implicit"
+
     def generate(
         self, *, rng: SeedLike = None, root: Optional[int] = None, world=None
     ) -> np.ndarray:
@@ -122,5 +126,5 @@ class RRICGenerator(RRSetGenerator):
                 member_ids.append(frontier_set)
                 member_nodes.append(frontier_node)
             nodes, lengths = flatten_members(member_nodes, member_ids, b)
-            pool.append_flat(nodes, lengths)
+            pool.append_flat(nodes, lengths, roots=chunk_roots)
         return pool

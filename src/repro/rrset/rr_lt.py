@@ -44,6 +44,11 @@ class RRLTGenerator(RRSetGenerator):
     exceed 1 (:func:`~repro.models.lt.normalize_lt_weights`).
     """
 
+    # Each walk step draws against the full in-segment distribution of a
+    # chain member, so the edges a set depends on are exactly the
+    # in-edges of its members: repair needs only the root column.
+    touch_mode = "implicit"
+
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)
         _check_lt_instance(graph)
@@ -156,7 +161,7 @@ class RRLTGenerator(RRSetGenerator):
                 member_ids.append(mem)
                 member_nodes.append(cur)
             nodes, lengths = flatten_members(member_nodes, member_ids, b)
-            pool.append_flat(nodes, lengths)
+            pool.append_flat(nodes, lengths, roots=chunk_roots)
         return pool
 
 

@@ -51,7 +51,13 @@ from repro.models.possible_world import PossibleWorld
 from repro.models.sources import ITEM_A, ITEM_B, WorldSource
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
-from repro.rrset.pool import RRSetPool, expand_csr, flatten_members, unique_keys
+from repro.rrset.pool import (
+    RRSetPool,
+    expand_csr,
+    flatten_members,
+    touches_from_keys,
+    unique_keys,
+)
 
 #: Bit flags of the batched Phase-II state matrix: the memoised
 #: ``alpha_B < q_B`` outcome (pass/fail) and final B-adoption.
@@ -137,6 +143,10 @@ def backward_search_a(
 
 class RRSimGenerator(RRSetGenerator):
     """Random RR-set sampler for SelfInfMax (Algorithm 2)."""
+
+    # Phase II flips coins far from the member set (B-region out-edges),
+    # so repair needs the explicit per-member edge-touch record.
+    touch_mode = "recorded"
 
     def __init__(self, graph: DiGraph, gaps: GAP, seeds_b: Iterable[int]) -> None:
         super().__init__(graph)
@@ -274,6 +284,7 @@ class RRSimGenerator(RRSetGenerator):
             roots = np.asarray(roots, dtype=np.int64)
         if roots.size == 0:
             return pool
+        track = pool.track_touches and world is None
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
         # Chunk so each (b, n) state matrix stays under ~64MB.  Phase II's
         # per-level sweep overhead is paid once per chunk, so RR-SIM wants
@@ -301,6 +312,7 @@ class RRSimGenerator(RRSetGenerator):
             visited[ids * n + chunk_roots] = True
             member_ids = [ids]
             member_nodes = [chunk_roots]
+            touch_frags: list[np.ndarray] = [coin_keys]
             frontier_set, frontier_node = ids, chunk_roots
             while frontier_node.size:
                 b_adopted = (
@@ -319,14 +331,17 @@ class RRSimGenerator(RRSetGenerator):
                     break
                 if world is None:
                     live = gen.random(flat.size) < in_prob[flat]
-                    if coin_keys.size:
-                        # Reuse any coin Phase II already flipped for the
-                        # same (world, edge) pair.
+                    if coin_keys.size or track:
                         ekey = grow_set[reps] * m + in_eid[flat]
-                        pos = np.searchsorted(coin_keys, ekey)
-                        pos_clipped = np.minimum(pos, coin_keys.size - 1)
-                        seen = coin_keys[pos_clipped] == ekey
-                        live[seen] = coin_vals[pos_clipped[seen]]
+                        if coin_keys.size:
+                            # Reuse any coin Phase II already flipped for
+                            # the same (world, edge) pair.
+                            pos = np.searchsorted(coin_keys, ekey)
+                            pos_clipped = np.minimum(pos, coin_keys.size - 1)
+                            seen = coin_keys[pos_clipped] == ekey
+                            live[seen] = coin_vals[pos_clipped[seen]]
+                        if track:
+                            touch_frags.append(ekey)
                 else:
                     live = world.live[in_eid[flat]]
                 key = grow_set[reps[live]] * n + in_src[flat[live]]
@@ -339,5 +354,16 @@ class RRSimGenerator(RRSetGenerator):
                 member_ids.append(frontier_set)
                 member_nodes.append(frontier_node)
             nodes, lengths = flatten_members(member_nodes, member_ids, b)
-            pool.append_flat(nodes, lengths)
+            touch_edges = touch_lengths = None
+            if track:
+                touch_edges, touch_lengths = touches_from_keys(
+                    unique_keys(np.concatenate(touch_frags)), m, b
+                )
+            pool.append_flat(
+                nodes,
+                lengths,
+                roots=chunk_roots,
+                touch_edges=touch_edges,
+                touch_lengths=touch_lengths,
+            )
         return pool

@@ -47,6 +47,7 @@ from repro.rrset.pool import (
     RRSetPool,
     expand_csr,
     flatten_members,
+    touches_from_keys,
     unique_keys,
 )
 from repro.rrset.rr_sim import (
@@ -62,6 +63,10 @@ from repro.rrset.rr_sim import (
 
 class RRSimPlusGenerator(RRSetGenerator):
     """Random RR-set sampler for SelfInfMax (Algorithm 3)."""
+
+    # Every liveness coin flows through the chunk memo, whose key record
+    # is exactly the per-member edge-touch signature repair needs.
+    touch_mode = "recorded"
 
     def __init__(self, graph: DiGraph, gaps: GAP, seeds_b: Iterable[int]) -> None:
         super().__init__(graph)
@@ -287,7 +292,18 @@ class RRSimPlusGenerator(RRSetGenerator):
                 member_ids.append(fset)
                 member_nodes.append(fnode)
             nodes, lengths = flatten_members(member_nodes, member_ids, b)
-            pool.append_flat(nodes, lengths)
+            touch_edges = touch_lengths = None
+            if pool.track_touches and world is None:
+                touch_edges, touch_lengths = touches_from_keys(
+                    coins.touched_keys(), m, b
+                )
+            pool.append_flat(
+                nodes,
+                lengths,
+                roots=chunk_roots,
+                touch_edges=touch_edges,
+                touch_lengths=touch_lengths,
+            )
             coins_per_member = max(coins.size / b, 1.0)
             chunk = int(np.clip(_COIN_BUDGET / coins_per_member, 1, max_chunk))
         return pool

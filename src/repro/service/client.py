@@ -126,3 +126,19 @@ class ServiceClient:
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
         return self._request("POST", f"/query/{graph}", payload)
+
+    def apply_delta(
+        self, graph: str, delta: Any, *, rng: Optional[int] = None
+    ) -> dict[str, Any]:
+        """POST /graph/<graph>/delta; returns the ``DeltaReport`` envelope.
+
+        ``delta`` is a :class:`~repro.graph.delta.GraphDelta` (``to_dict``
+        is called) or an already-tagged payload dict; ``rng`` pins the
+        randomness of the resampling pass.
+        """
+        payload: dict[str, Any] = {
+            "delta": delta.to_dict() if hasattr(delta, "to_dict") else delta
+        }
+        if rng is not None:
+            payload["rng"] = rng
+        return self._request("POST", f"/graph/{graph}/delta", payload)

@@ -35,6 +35,11 @@ Endpoints (see ``docs/service.md`` for the operator guide)::
     GET  /graphs            graph name -> {nodes, edges, fingerprint}
     GET  /catalog[/<name>]  pool-catalog rows (CatalogedPoolStore only)
     POST /query/<name>      {"query": {...}, "config"?, "rng"?, "deadline_s"?}
+    POST /graph/<name>/delta  {"delta": {...GraphDelta.to_dict...}, "rng"?}
+
+POST bodies are capped at ``max_body_bytes`` (constructor knob, default
+8 MiB); oversized requests are refused with **413** before the body is
+read.
 """
 
 from __future__ import annotations
@@ -47,7 +52,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional
 
 from repro.api import ComICSession, EngineConfig, InfluenceResult, registry
-from repro.errors import GapError, QueryError, ReproError, SeedSetError
+from repro.errors import (
+    DeltaError,
+    GapError,
+    QueryError,
+    ReproError,
+    SeedSetError,
+)
+from repro.graph.delta import GraphDelta
 from repro.graph.digraph import DiGraph
 from repro.models.gaps import GAP
 from repro.service.catalog import CatalogedPoolStore
@@ -78,6 +90,8 @@ class ServerStats:
     #: single-flight leaderships taken (== cold executions of coalescible
     #: requests; ``coalesced / max(flights, 1)`` is the fan-in ratio).
     flights: int = 0
+    #: graph deltas applied (POST /graph/<name>/delta successes).
+    deltas: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -112,7 +126,19 @@ class ComICServer:
     down the HTTP server and every session (worker pools included).
     """
 
-    def __init__(self) -> None:
+    #: default cap on POST request bodies (8 MiB fits any realistic
+    #: query envelope; deltas near this size should ship as several
+    #: batches anyway).
+    DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+    def __init__(self, *, max_body_bytes: Optional[int] = None) -> None:
+        if max_body_bytes is None:
+            max_body_bytes = self.DEFAULT_MAX_BODY_BYTES
+        if max_body_bytes <= 0:
+            raise QueryError(
+                f"max_body_bytes must be positive, got {max_body_bytes}"
+            )
+        self.max_body_bytes = int(max_body_bytes)
         self._graphs: dict[str, _GraphService] = {}
         self._graphs_lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
@@ -343,6 +369,65 @@ class ComICServer:
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
     # ------------------------------------------------------------------
+    # Dynamic graphs
+    # ------------------------------------------------------------------
+    def handle_delta(
+        self, graph_name: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Answer one POST /graph/<name>/delta payload; returns (status, body).
+
+        The body on success is the
+        :meth:`~repro.api.session.DeltaReport.as_dict` envelope — edit
+        count, churn, old/new fingerprints and the per-pool
+        repaired/regenerated breakdown.  The session mutates under the
+        graph's lock, so queries racing a delta see either the old graph
+        (old pools) or the new one (repaired pools), never a mix.
+        """
+        try:
+            service = self._service(graph_name)
+            if not isinstance(payload, Mapping):
+                raise ServiceError(400, "request body must be a JSON object")
+            unknown = set(payload) - {"delta", "rng"}
+            if unknown:
+                raise ServiceError(
+                    400, f"unknown request fields: {sorted(unknown)}"
+                )
+            delta_payload = payload.get("delta")
+            if not isinstance(delta_payload, Mapping):
+                raise ServiceError(
+                    400,
+                    "request needs a 'delta' object (GraphDelta.to_dict payload)",
+                )
+            try:
+                delta = GraphDelta.from_dict(delta_payload)
+            except (DeltaError, TypeError, ValueError, KeyError) as exc:
+                raise ServiceError(400, f"bad delta: {exc}") from exc
+            rng = payload.get("rng")
+            if rng is not None and (
+                not isinstance(rng, int) or isinstance(rng, bool)
+            ):
+                raise ServiceError(
+                    400,
+                    "'rng' must be an integer seed (omit for session stream)",
+                )
+        except ServiceError as exc:
+            self.stats.errors += 1
+            return exc.status, {"error": str(exc)}
+        try:
+            with service.lock:
+                report = service.session.apply_delta(delta, rng=rng)
+            self.stats.deltas += 1
+            return 200, report.as_dict()
+        except DeltaError as exc:
+            # the delta contradicts the graph (removing a missing edge,
+            # adding a present one): the client's fault
+            self.stats.errors += 1
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            self.stats.errors += 1
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
     # Introspection endpoints
     # ------------------------------------------------------------------
     def handle_health(self) -> tuple[int, dict[str, Any]]:
@@ -491,19 +576,42 @@ def _make_handler(server: ComICServer) -> type[BaseHTTPRequestHandler]:
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
             server.stats.requests += 1
             path = self.path.rstrip("/")
-            if not path.startswith("/query/"):
-                server.stats.errors += 1
-                self._reply(404, {"error": f"no such endpoint: {self.path}"})
-                return
-            graph_name = path[len("/query/"):]
             try:
                 length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                server.stats.errors += 1
+                self._reply(400, {"error": "bad Content-Length header"})
+                return
+            if length > server.max_body_bytes:
+                # Refused before reading: the unread body would desync
+                # the keep-alive stream, so close this connection.
+                server.stats.errors += 1
+                self.close_connection = True
+                self._reply(
+                    413,
+                    {
+                        "error": (
+                            f"request body of {length} bytes exceeds the "
+                            f"{server.max_body_bytes}-byte limit"
+                        )
+                    },
+                )
+                return
+            try:
                 raw = self.rfile.read(length) if length > 0 else b""
                 payload = json.loads(raw.decode("utf-8")) if raw else {}
             except (ValueError, UnicodeDecodeError) as exc:
                 server.stats.errors += 1
                 self._reply(400, {"error": f"bad JSON body: {exc}"})
                 return
-            self._reply(*server.handle_query(graph_name, payload))
+            if path.startswith("/query/"):
+                graph_name = path[len("/query/"):]
+                self._reply(*server.handle_query(graph_name, payload))
+            elif path.startswith("/graph/") and path.endswith("/delta"):
+                graph_name = path[len("/graph/"):-len("/delta")]
+                self._reply(*server.handle_delta(graph_name, payload))
+            else:
+                server.stats.errors += 1
+                self._reply(404, {"error": f"no such endpoint: {self.path}"})
 
     return Handler

@@ -31,9 +31,12 @@ from typing import Any, Mapping, Optional
 import numpy as np
 
 from repro.errors import StoreIntegrityError
+from repro.invalidation import InvalidationReason
 from repro.store.keys import PoolKey
 
 #: on-disk format identifier; bump :data:`FORMAT_VERSION` on layout changes.
+#: Touch columns (PR 8) ride as *optional* manifest fields + extra files,
+#: which old readers ignore — no version bump needed.
 FORMAT_NAME = "repro-pool-store"
 FORMAT_VERSION = 1
 
@@ -66,15 +69,21 @@ class PoolManifest:
     nodes_crc32: int
     indptr_crc32: int
     format_version: int = FORMAT_VERSION
-    #: free-form, unvalidated: rng description, unix timestamp, creator.
+    #: free-form, unvalidated: rng description, unix timestamp, creator,
+    #: and (for repaired pools) the session's delta ``lineage`` records.
     provenance: Mapping[str, Any] = field(default_factory=dict)
+    #: optional touch-column record (``None`` for pools saved without
+    #: tracking): total touch entries plus CRC-32s of ``roots.npy``,
+    #: ``touch_edges.npy`` and ``touch_indptr.npy``.  The touch CRCs may
+    #: themselves be absent (roots-only pools of implicit-touch regimes).
+    touches: Optional[Mapping[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON-types view; inverse of :meth:`from_dict`."""
-        return {
+        out = {
             "format": FORMAT_NAME,
             "format_version": self.format_version,
             "key": self.key.to_dict(),
@@ -86,15 +95,23 @@ class PoolManifest:
             "indptr_crc32": self.indptr_crc32,
             "provenance": dict(self.provenance),
         }
+        if self.touches is not None:
+            # Emitted only when present, so untracked pools' manifests are
+            # byte-identical to the pre-touch format (old readers skip the
+            # key anyway — from_dict reads named fields).
+            out["touches"] = dict(self.touches)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PoolManifest":
         """Rebuild from :meth:`to_dict` output; rejects foreign payloads."""
         if data.get("format") != FORMAT_NAME:
             raise StoreIntegrityError(
-                f"not a {FORMAT_NAME} manifest (format={data.get('format')!r})"
+                f"not a {FORMAT_NAME} manifest (format={data.get('format')!r})",
+                reason=InvalidationReason.MALFORMED_MANIFEST,
             )
         try:
+            touches = data.get("touches")
             return cls(
                 key=PoolKey.from_dict(data["key"]),
                 graph_fingerprint=str(data["graph_fingerprint"]),
@@ -105,9 +122,13 @@ class PoolManifest:
                 indptr_crc32=int(data["indptr_crc32"]),
                 format_version=int(data["format_version"]),
                 provenance=dict(data.get("provenance", {})),
+                touches=dict(touches) if touches is not None else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
-            raise StoreIntegrityError(f"malformed manifest: {exc}") from exc
+            raise StoreIntegrityError(
+                f"malformed manifest: {exc}",
+                reason=InvalidationReason.MALFORMED_MANIFEST,
+            ) from exc
 
     def to_json(self) -> str:
         """Serialise for ``manifest.json``."""
@@ -119,9 +140,15 @@ class PoolManifest:
         try:
             data = json.loads(payload)
         except json.JSONDecodeError as exc:
-            raise StoreIntegrityError(f"unreadable manifest: {exc}") from exc
+            raise StoreIntegrityError(
+                f"unreadable manifest: {exc}",
+                reason=InvalidationReason.MALFORMED_MANIFEST,
+            ) from exc
         if not isinstance(data, dict):
-            raise StoreIntegrityError("manifest must be a JSON object")
+            raise StoreIntegrityError(
+                "manifest must be a JSON object",
+                reason=InvalidationReason.MALFORMED_MANIFEST,
+            )
         return cls.from_dict(data)
 
     # ------------------------------------------------------------------
@@ -138,11 +165,13 @@ class PoolManifest:
         if self.format_version != FORMAT_VERSION:
             raise StoreIntegrityError(
                 f"entry has format_version {self.format_version}, "
-                f"this build reads {FORMAT_VERSION}"
+                f"this build reads {FORMAT_VERSION}",
+                reason=InvalidationReason.FORMAT_VERSION,
             )
         if self.key != key:
             raise StoreIntegrityError(
-                f"entry key {self.key} does not match requested {key}"
+                f"entry key {self.key} does not match requested {key}",
+                reason=InvalidationReason.KEY_MISMATCH,
             )
         if graph_fingerprint is not None and (
             self.graph_fingerprint != graph_fingerprint
@@ -150,7 +179,8 @@ class PoolManifest:
             raise StoreIntegrityError(
                 "entry was sampled from a different graph "
                 f"(fingerprint {self.graph_fingerprint[:12]}... != "
-                f"{graph_fingerprint[:12]}...)"
+                f"{graph_fingerprint[:12]}...)",
+                reason=InvalidationReason.FINGERPRINT_MISMATCH,
             )
 
     def validate_columns(self, nodes: np.ndarray, indptr: np.ndarray) -> None:
@@ -158,14 +188,57 @@ class PoolManifest:
         if indptr.shape != (self.num_sets + 1,):
             raise StoreIntegrityError(
                 f"indptr column has shape {indptr.shape}, manifest says "
-                f"({self.num_sets + 1},)"
+                f"({self.num_sets + 1},)",
+                reason=InvalidationReason.CORRUPT_COLUMNS,
             )
         if nodes.shape != (self.total_nodes,):
             raise StoreIntegrityError(
                 f"nodes column has shape {nodes.shape}, manifest says "
-                f"({self.total_nodes},)"
+                f"({self.total_nodes},)",
+                reason=InvalidationReason.CORRUPT_COLUMNS,
             )
         if crc32_of(nodes) != self.nodes_crc32:
-            raise StoreIntegrityError("nodes column fails its CRC-32 check")
+            raise StoreIntegrityError(
+                "nodes column fails its CRC-32 check",
+                reason=InvalidationReason.CORRUPT_COLUMNS,
+            )
         if crc32_of(indptr) != self.indptr_crc32:
-            raise StoreIntegrityError("indptr column fails its CRC-32 check")
+            raise StoreIntegrityError(
+                "indptr column fails its CRC-32 check",
+                reason=InvalidationReason.CORRUPT_COLUMNS,
+            )
+
+    def validate_touch_columns(
+        self,
+        roots: Optional[np.ndarray],
+        touch_edges: Optional[np.ndarray],
+        touch_indptr: Optional[np.ndarray],
+    ) -> None:
+        """Check loaded touch columns against the ``touches`` record.
+
+        Only meaningful when :attr:`touches` is present; each column is
+        validated iff its CRC was recorded (roots-only entries have no
+        touch CRCs).
+        """
+        record = self.touches or {}
+
+        def check(name: str, column: Optional[np.ndarray], length: int) -> None:
+            crc = record.get(f"{name}_crc32")
+            if crc is None:
+                return
+            if column is None or column.shape != (length,):
+                got = None if column is None else column.shape
+                raise StoreIntegrityError(
+                    f"{name} column has shape {got}, manifest says "
+                    f"({length},)",
+                    reason=InvalidationReason.CORRUPT_COLUMNS,
+                )
+            if crc32_of(column) != int(crc):
+                raise StoreIntegrityError(
+                    f"{name} column fails its CRC-32 check",
+                    reason=InvalidationReason.CORRUPT_COLUMNS,
+                )
+
+        check("roots", roots, self.num_sets)
+        check("touch_edges", touch_edges, int(record.get("total_touches", 0)))
+        check("touch_indptr", touch_indptr, self.num_sets + 1)

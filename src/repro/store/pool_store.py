@@ -72,7 +72,7 @@ import os
 import shutil
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Union
 
@@ -80,6 +80,7 @@ import numpy as np
 
 from repro import faults
 from repro.errors import StoreError, StoreIntegrityError
+from repro.invalidation import InvalidationReason, coerce_reason
 from repro.rrset.pool import RRSetPool
 from repro.store.keys import PoolKey
 from repro.store.manifest import FORMAT_VERSION, PoolManifest, crc32_of
@@ -87,6 +88,10 @@ from repro.store.manifest import FORMAT_VERSION, PoolManifest, crc32_of
 MANIFEST_FILE = "manifest.json"
 NODES_FILE = "nodes.npy"
 INDPTR_FILE = "indptr.npy"
+#: optional touch-tracking columns (dynamic-graph repair, PR 8).
+ROOTS_FILE = "roots.npy"
+TOUCH_EDGES_FILE = "touch_edges.npy"
+TOUCH_INDPTR_FILE = "touch_indptr.npy"
 #: per-entry mutex of in-place column appends (held only while appending).
 APPEND_LOCK_FILE = ".append.lock"
 #: subdirectory of the store root holding quarantined entries.
@@ -177,8 +182,11 @@ class StoreStats:
     save_failures: int = 0
     #: crash-orphaned staging/trash directories removed at open.
     temp_dirs_gcd: int = 0
+    #: per-reason breakdown of ``invalidations``, keyed by
+    #: :class:`~repro.invalidation.InvalidationReason` value strings.
+    invalidations_by_reason: dict = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         """Plain-dict view for reports."""
         return asdict(self)
 
@@ -286,6 +294,7 @@ class PoolStore:
         stamped: dict[str, Any] = {"created_unix": time.time()}
         if provenance:
             stamped.update(provenance)
+        touch_columns = self._touch_columns(pool)
         try:
             fast = self._try_append(
                 key, entry, pool, nodes, indptr, str(graph_fingerprint), stamped
@@ -295,6 +304,16 @@ class PoolStore:
             raise
         if fast is not None:
             return fast
+        touches: Optional[dict[str, Any]] = None
+        if touch_columns:
+            touches = {
+                f"{name}_crc32": crc32_of(column)
+                for name, column in touch_columns.items()
+            }
+            if "touch_edges" in touch_columns:
+                touches["total_touches"] = int(
+                    touch_columns["touch_edges"].size
+                )
         manifest = PoolManifest(
             key=key,
             graph_fingerprint=str(graph_fingerprint),
@@ -304,6 +323,7 @@ class PoolStore:
             nodes_crc32=crc32_of(nodes),
             indptr_crc32=crc32_of(indptr),
             provenance=stamped,
+            touches=touches,
         )
         token = (
             f"{os.getpid()}.{threading.get_ident()}.{next(_TEMP_COUNTER)}"
@@ -315,6 +335,8 @@ class PoolStore:
             self._arm_save_columns_fault(staging)
             np.save(staging / NODES_FILE, nodes)
             np.save(staging / INDPTR_FILE, indptr)
+            for name, column in touch_columns.items():
+                np.save(staging / f"{name}.npy", column)
             (staging / MANIFEST_FILE).write_text(
                 manifest.to_json(), encoding="utf-8"
             )
@@ -378,6 +400,28 @@ class PoolStore:
         self.stats.saves += 1
         return entry
 
+    @staticmethod
+    def _touch_columns(pool: RRSetPool) -> dict[str, np.ndarray]:
+        """The touch columns a save must persist (empty dict: untracked).
+
+        Only *complete* columns are written — a partially-tracked pool
+        (some appends lacked roots or signatures) persists as a plain
+        untracked entry, which warm starts load as non-repairable, exactly
+        matching its in-memory eligibility.
+        """
+        out: dict[str, np.ndarray] = {}
+        if not (pool.track_touches and pool.roots_ok):
+            return out
+        out["roots"] = np.ascontiguousarray(pool.roots, dtype=np.int32)
+        if pool.touch_ok:
+            out["touch_edges"] = np.ascontiguousarray(
+                pool.touch_edges, dtype=np.int32
+            )
+            out["touch_indptr"] = np.ascontiguousarray(
+                pool.touch_indptr, dtype=np.int64
+            )
+        return out
+
     def _try_append(
         self,
         key: PoolKey,
@@ -406,6 +450,12 @@ class PoolStore:
             old = self._read_manifest(manifest_path)
         except StoreIntegrityError:
             return None  # unreadable/foreign manifest: rewrite replaces it
+        if pool.track_touches or old.touches is not None:
+            # Touch columns have no incremental-append story (delta repair
+            # rewrites them wholesale anyway): the staged full rewrite is
+            # the only way to keep every column consistent with one
+            # manifest state.
+            return None
         if (
             old.format_version != FORMAT_VERSION
             or old.key != key
@@ -576,7 +626,11 @@ class PoolStore:
                 self.stats.hits += 1
             return pool
         self.stats.invalidations += 1
-        self._quarantine(key, str(last_exc))
+        reason = coerce_reason(getattr(last_exc, "reason", str(last_exc)))
+        self.stats.invalidations_by_reason[reason.value] = (
+            self.stats.invalidations_by_reason.get(reason.value, 0) + 1
+        )
+        self._quarantine(key, str(last_exc), reason_code=reason)
         return None
 
     def load_strict(
@@ -617,11 +671,36 @@ class PoolStore:
         if nodes.shape[0] > manifest.total_nodes:
             nodes = nodes[: manifest.total_nodes]
         manifest.validate_columns(nodes, indptr)
+        roots = touch_edges = touch_indptr = None
+        if manifest.touches is not None:
+            record = manifest.touches
+            try:
+                if "roots_crc32" in record:
+                    roots = np.load(entry / ROOTS_FILE, mmap_mode=mmap_mode)
+                if "touch_edges_crc32" in record:
+                    touch_edges = np.load(
+                        entry / TOUCH_EDGES_FILE, mmap_mode=mmap_mode
+                    )
+                    touch_indptr = np.load(
+                        entry / TOUCH_INDPTR_FILE, mmap_mode=mmap_mode
+                    )
+            except (OSError, ValueError) as exc:
+                raise StoreIntegrityError(
+                    f"unreadable touch column file: {exc}",
+                    reason=InvalidationReason.CORRUPT_COLUMNS,
+                ) from exc
+            manifest.validate_touch_columns(roots, touch_edges, touch_indptr)
         # The CRC pass just proved the columns byte-identical to what
         # save() wrote from a validated pool, so from_flat's CSR re-scan
         # (two more full passes over possibly mmap'd data) is redundant.
         return RRSetPool.from_flat(
-            manifest.num_nodes, nodes, indptr, validate=False
+            manifest.num_nodes,
+            nodes,
+            indptr,
+            validate=False,
+            roots=roots,
+            touch_edges=touch_edges,
+            touch_indptr=touch_indptr,
         )
 
     def manifest(self, key: PoolKey) -> Optional[PoolManifest]:
@@ -671,14 +750,25 @@ class PoolStore:
     # ------------------------------------------------------------------
     # Quarantine
     # ------------------------------------------------------------------
-    def _quarantine(self, key: PoolKey, reason: str) -> Optional[Path]:
+    def _quarantine(
+        self,
+        key: PoolKey,
+        reason: str,
+        *,
+        reason_code: Optional[InvalidationReason] = None,
+    ) -> Optional[Path]:
         """Move ``key``'s rejected entry under ``.quarantine/``; its new home.
 
         Preserves the bad bytes for post-mortem instead of deleting them,
         and clears the key's slot so later loads miss cleanly.  Best
         effort: a concurrent writer replacing the entry mid-move simply
-        wins (``None`` is returned).
+        wins (``None`` is returned).  ``reason`` stays the human-readable
+        message; the typed code rides alongside as ``reason_code`` in
+        ``reason.json`` (inferred from the message when not given — the
+        deprecation shim for pre-enum callers).
         """
+        if reason_code is None:
+            reason_code = coerce_reason(reason)
         entry = self.entry_dir(key)
         if not entry.exists():
             return None
@@ -694,6 +784,7 @@ class PoolStore:
         record = {
             "key": key.to_dict(),
             "reason": reason,
+            "reason_code": reason_code.value,
             "quarantined_unix": time.time(),
         }
         try:

@@ -1,0 +1,197 @@
+"""ComICSession.apply_delta: in-place pool repair over a live session."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ComICSession,
+    DeltaReport,
+    EngineConfig,
+    GraphDelta,
+    SelfInfMaxQuery,
+)
+from repro.errors import DeltaError
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.models import GAP
+from repro.store import PoolStore
+
+GAPS = GAP(q_a=0.4, q_a_given_b=0.7, q_b=0.5, q_b_given_a=0.5)
+QUERY = SelfInfMaxQuery(seeds_b=(0, 1), k=5)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(200, rng=9))
+
+
+def small_delta(graph, count=3, probability=0.15):
+    src, dst = graph.edge_sources, graph.edge_targets
+    return GraphDelta(
+        reweight=tuple(
+            (int(src[i]), int(dst[i]), probability) for i in range(count)
+        )
+    )
+
+
+def tracked_config(**overrides):
+    base = dict(engine="imm", epsilon=0.5, track_touches=True)
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+class TestApplyDelta:
+    def test_repairs_cached_pool_in_place(self, graph):
+        with ComICSession(graph, GAPS, config=tracked_config()) as sess:
+            sess.run(QUERY)
+            cold = sess.stats.rr_sets_sampled
+            report = sess.apply_delta(small_delta(graph), rng=1)
+            assert isinstance(report, DeltaReport)
+            assert report.pools_repaired == 1
+            assert report.pools_regenerated == 0
+            assert 0 < report.members_resampled < cold
+            assert report.old_fingerprint == graph.fingerprint()
+            assert sess.graph.fingerprint() == report.fingerprint
+            assert report.fingerprint != report.old_fingerprint
+            # the next query answers from the repaired pool: warm top-up,
+            # nowhere near a cold re-sample
+            sess.run(QUERY)
+            warm_extra = (
+                sess.stats.rr_sets_sampled - cold - report.members_resampled
+            )
+            assert warm_extra < cold / 2
+            assert sess.stats.deltas_applied == 1
+            assert sess.stats.pools_repaired == 1
+            assert sess.stats.members_resampled == report.members_resampled
+
+    def test_report_rows_and_as_dict(self, graph):
+        with ComICSession(graph, GAPS, config=tracked_config()) as sess:
+            sess.run(QUERY)
+            report = sess.apply_delta(small_delta(graph), rng=2)
+            payload = report.as_dict()
+            assert payload["pools_repaired"] == 1
+            (row,) = payload["pools"]
+            assert row["action"] == "repaired"
+            assert row["reason"] is None
+            assert row["regime"] == "rr-sim+"
+            assert row["resampled"] == report.members_resampled
+
+    def test_churn_over_threshold_regenerates(self, graph):
+        cfg = tracked_config(delta_churn_threshold=0.0001)
+        with ComICSession(graph, GAPS, config=cfg) as sess:
+            sess.run(QUERY)
+            cold = sess.stats.rr_sets_sampled
+            report = sess.apply_delta(small_delta(graph), rng=3)
+            assert report.pools_repaired == 0
+            assert report.pools_regenerated == 1
+            assert report.members_resampled == 0
+            assert sess.stats.delta_fallbacks_by_reason == {
+                "delta_churn": 1
+            }
+            (row,) = report.pools
+            assert row["action"] == "regenerated"
+            assert row["reason"] == "delta_churn"
+            # next query pays a cold regeneration on the new graph
+            sess.run(QUERY)
+            assert sess.stats.rr_sets_sampled >= 2 * cold * 0.5
+
+    def test_untracked_pools_fall_back_with_touch_absent(self, graph):
+        cfg = tracked_config(track_touches=False)
+        with ComICSession(graph, GAPS, config=cfg) as sess:
+            sess.run(QUERY)
+            report = sess.apply_delta(small_delta(graph), rng=4)
+            assert report.pools_repaired == 0
+            assert report.pools_regenerated == 1
+            assert sess.stats.delta_fallbacks_by_reason == {
+                "touch_absent": 1
+            }
+
+    def test_delta_without_pools_just_swaps_graph(self, graph):
+        with ComICSession(graph, GAPS, config=tracked_config()) as sess:
+            report = sess.apply_delta(small_delta(graph), rng=5)
+            assert report.pools_repaired == 0
+            assert report.pools_regenerated == 0
+            assert sess.graph.fingerprint() == report.fingerprint
+
+    def test_non_delta_rejected(self, graph):
+        with ComICSession(graph, GAPS, config=tracked_config()) as sess:
+            with pytest.raises(DeltaError, match="GraphDelta"):
+                sess.apply_delta({"kind": "graph_delta"})
+
+    def test_contradictory_delta_rejected_and_session_unchanged(self, graph):
+        with ComICSession(graph, GAPS, config=tracked_config()) as sess:
+            sess.run(QUERY)
+            before = sess.graph.fingerprint()
+            with pytest.raises(DeltaError, match="does not exist"):
+                sess.apply_delta(GraphDelta(remove=((0, 199),)))
+            assert sess.graph.fingerprint() == before
+            assert sess.stats.deltas_applied == 0
+
+    def test_certified_theta_cleared_and_rederived(self, graph):
+        with ComICSession(graph, GAPS, config=tracked_config()) as sess:
+            r1 = sess.run(QUERY)
+            sess.apply_delta(small_delta(graph), rng=6)
+            r2 = sess.run(QUERY)
+            # both queries certify a theta; the second one re-derives on
+            # the repaired pool rather than trusting the stale record
+            assert r2.diagnostics["theta"] > 0
+            assert r2.seeds  # answers successfully on the new graph
+
+    def test_repaired_quality_tracks_fresh_session(self, graph):
+        """Spread parity: a repaired session's answer must match a
+        cold session built directly on the mutated graph."""
+        delta = small_delta(graph, count=2, probability=0.9)
+        with ComICSession(graph, GAPS, config=tracked_config()) as warm:
+            warm.run(QUERY)
+            warm.apply_delta(delta, rng=7)
+            warm_result = warm.run(QUERY, rng=8)
+        new_graph = graph.apply_delta(delta)
+        with ComICSession(new_graph, GAPS, config=tracked_config()) as cold:
+            cold_result = cold.run(QUERY, rng=8)
+        assert warm_result.estimate == pytest.approx(
+            cold_result.estimate, rel=0.2
+        )
+
+
+class TestDeltaStorePersistence:
+    def test_repaired_pool_written_under_new_fingerprint(
+        self, graph, tmp_path
+    ):
+        delta = small_delta(graph)
+        cfg = tracked_config()
+        with ComICSession(
+            graph, GAPS, config=cfg, store=PoolStore(tmp_path)
+        ) as sess:
+            sess.run(QUERY)
+            sess.apply_delta(delta, rng=9)
+        # a fresh session on the mutated graph warm-starts from the
+        # repaired entry: zero sampling for the same query
+        new_graph = graph.apply_delta(delta)
+        with ComICSession(
+            new_graph, GAPS, config=cfg, store=PoolStore(tmp_path)
+        ) as sess2:
+            sess2.run(QUERY)
+            assert sess2.stats.rr_sets_sampled < 1000
+            assert sess2.stats.store_hits == 1
+
+    def test_lineage_recorded_in_manifest(self, graph, tmp_path):
+        import json
+
+        delta = small_delta(graph)
+        with ComICSession(
+            graph, GAPS, config=tracked_config(), store=PoolStore(tmp_path)
+        ) as sess:
+            sess.run(QUERY)
+            sess.apply_delta(delta, rng=10)
+        lineages = []
+        for manifest_path in tmp_path.rglob("manifest.json"):
+            data = json.loads(manifest_path.read_text())
+            lineage = data.get("provenance", {}).get("lineage")
+            if lineage:
+                lineages.append(lineage)
+        assert lineages, "repaired entry must persist its delta lineage"
+        (lineage,) = lineages
+        assert lineage[-1]["old_fingerprint"] == graph.fingerprint()
+        assert lineage[-1]["fingerprint"] == graph.apply_delta(
+            delta
+        ).fingerprint()
+        assert lineage[-1]["resampled"] >= 0

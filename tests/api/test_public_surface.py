@@ -12,8 +12,12 @@ EXPECTED_ALL = [
     "BlockingQuery",
     "ComICSession",
     "CompInfMaxQuery",
+    "DeltaError",
+    "DeltaReport",
     "EngineConfig",
+    "GraphDelta",
     "InfluenceResult",
+    "InvalidationReason",
     "MC_ENGINE",
     "MultiItemQuery",
     "ObjectiveSpec",

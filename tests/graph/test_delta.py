@@ -1,0 +1,151 @@
+"""GraphDelta: validation, JSON round-trips, and apply semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeltaError
+from repro.graph import DiGraph, GraphDelta, apply_delta, path_digraph
+
+
+def small_graph() -> DiGraph:
+    # 0->1, 1->2, 2->3, 3->4 with unit probabilities.
+    return path_digraph(5)
+
+
+class TestConstruction:
+    def test_empty_delta_is_falsy_noop(self):
+        d = GraphDelta()
+        assert not d
+        assert d.num_edits == 0
+        assert GraphDelta(remove=((0, 1),))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DeltaError, match="self-loop"):
+            GraphDelta(add=((2, 2, 0.5),))
+
+    def test_duplicate_edit_rejected(self):
+        with pytest.raises(DeltaError):
+            GraphDelta(remove=((0, 1), (0, 1)))
+
+    def test_cross_batch_duplicate_rejected(self):
+        with pytest.raises(DeltaError):
+            GraphDelta(remove=((0, 1),), reweight=((0, 1, 0.5),))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(DeltaError):
+            GraphDelta(add=((0, 1, 1.5),))
+        with pytest.raises(DeltaError):
+            GraphDelta(reweight=((0, 1, -0.1),))
+
+    def test_num_edits_and_churn(self):
+        d = GraphDelta(add=((0, 2, 0.5),), remove=((1, 2),))
+        assert d.num_edits == 2
+        assert d.churn(small_graph()) == pytest.approx(2 / 4)
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        d = GraphDelta(
+            add=((0, 3, 0.25),),
+            remove=((1, 2),),
+            reweight=((2, 3, 0.75),),
+        )
+        assert GraphDelta.from_json(d.to_json()) == d
+
+    def test_dict_round_trip_preserves_kind_tag(self):
+        d = GraphDelta(remove=((0, 1),))
+        payload = d.to_dict()
+        assert payload["kind"] == "graph_delta"
+        assert GraphDelta.from_dict(payload) == d
+
+    def test_from_dict_rejects_foreign_payload(self):
+        with pytest.raises(DeltaError):
+            GraphDelta.from_dict({"kind": "not_a_delta"})
+
+    def test_list_inputs_normalise_to_tuples(self):
+        a = GraphDelta(remove=[[1, 2], (0, 1)], add=[[0, 4, 0.5]])
+        assert a.remove == ((1, 2), (0, 1))
+        assert a.add == ((0, 4, 0.5),)
+        assert GraphDelta.from_json(a.to_json()) == a
+
+
+class TestApply:
+    def test_add_remove_reweight(self):
+        g = small_graph()
+        d = GraphDelta(
+            add=((0, 2, 0.5),), remove=((1, 2),), reweight=((2, 3, 0.9),)
+        )
+        eff = apply_delta(g, d)
+        new = eff.graph
+        assert new.num_edges == 4
+        assert new.edge_probability(0, 2) == pytest.approx(0.5)
+        assert new.edge_probability(2, 3) == pytest.approx(0.9)
+        assert not new.has_edge(1, 2)
+        # the original graph is untouched
+        assert g.has_edge(1, 2)
+        assert g.edge_probability(2, 3) == pytest.approx(1.0)
+
+    def test_effect_changed_edges_and_mask(self):
+        g = small_graph()
+        d = GraphDelta(
+            add=((0, 2, 0.5),), remove=((1, 2),), reweight=((2, 3, 0.9),)
+        )
+        eff = apply_delta(g, d)
+        # old edge ids: (0,1)=0, (1,2)=1, (2,3)=2, (3,4)=3
+        assert eff.changed_old_edges.tolist() == [1, 2]
+        mask = eff.changed_target_mask()
+        # targets of removed (1,2), reweighted (2,3) and added (0,2)
+        assert mask.tolist() == [False, False, True, True, False]
+
+    def test_old_to_new_edge_mapping(self):
+        g = small_graph()
+        d = GraphDelta(add=((0, 2, 0.5),), remove=((1, 2),))
+        eff = apply_delta(g, d)
+        old_to_new = eff.old_to_new_edge
+        assert old_to_new.shape == (g.num_edges,)
+        assert old_to_new[1] == -1  # removed edge maps nowhere
+        src, dst = eff.graph.edge_sources, eff.graph.edge_targets
+        for old_eid in (0, 2, 3):
+            new_eid = old_to_new[old_eid]
+            assert src[new_eid] == g.edge_sources[old_eid]
+            assert dst[new_eid] == g.edge_targets[old_eid]
+
+    def test_graph_apply_delta_method_returns_new_graph(self):
+        g = small_graph()
+        d = GraphDelta(reweight=((0, 1, 0.5),))
+        new = g.apply_delta(d)
+        assert new.edge_probability(0, 1) == pytest.approx(0.5)
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)
+        eff = apply_delta(g, d)
+        assert eff.old_graph is g
+        assert eff.graph.fingerprint() == new.fingerprint()
+
+    def test_remove_missing_edge_rejected(self):
+        with pytest.raises(DeltaError, match="does not exist"):
+            apply_delta(small_graph(), GraphDelta(remove=((0, 4),)))
+
+    def test_reweight_missing_edge_rejected(self):
+        with pytest.raises(DeltaError, match="does not exist"):
+            apply_delta(small_graph(), GraphDelta(reweight=((0, 4, 0.5),)))
+
+    def test_add_existing_edge_rejected(self):
+        with pytest.raises(DeltaError, match="already exists"):
+            apply_delta(small_graph(), GraphDelta(add=((0, 1, 0.5),)))
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(DeltaError):
+            apply_delta(small_graph(), GraphDelta(add=((0, 9, 0.5),)))
+
+    def test_fingerprint_changes_and_is_deterministic(self):
+        g = small_graph()
+        d = GraphDelta(reweight=((0, 1, 0.5),))
+        f1 = g.apply_delta(d).fingerprint()
+        f2 = small_graph().apply_delta(d).fingerprint()
+        assert f1 == f2
+        assert f1 != g.fingerprint()
+
+    def test_pure_reweight_keeps_edge_ids(self):
+        g = small_graph()
+        eff = apply_delta(g, GraphDelta(reweight=((2, 3, 0.1),)))
+        assert eff.old_to_new_edge.tolist() == [0, 1, 2, 3]
+        assert eff.node_count_stable

@@ -1,0 +1,255 @@
+"""Incremental pool repair: equivalence, distribution, and eligibility.
+
+The repair contract (:mod:`repro.rrset.repair`): after a delta, the
+repaired pool must be *distributionally indistinguishable* from a pool
+sampled fresh on the new graph — members whose sampled world never
+tested a changed edge are kept verbatim (coin coupling), the rest are
+dropped and resampled under the same roots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeltaError
+from repro.graph import (
+    DiGraph,
+    GraphDelta,
+    apply_delta,
+    path_digraph,
+    power_law_digraph,
+    weighted_cascade_probabilities,
+)
+from repro.models import GAP
+from repro.rng import make_rng
+from repro.rrset import (
+    RRICGenerator,
+    RRSetPool,
+    RRSimGenerator,
+    RRSimPlusGenerator,
+)
+from repro.rrset.repair import (
+    TOUCH_IMPLICIT,
+    TOUCH_NONE,
+    TOUCH_RECORDED,
+    repair_pool,
+)
+from repro.rrset.rr_lt import RRLTGenerator
+from repro.rrset.rr_sim_product import RRSimProductGenerator
+
+GAPS = GAP(0.4, 0.7, 0.5, 0.5)
+
+
+def tracked_pool(generator, count, *, rng=0):
+    pool = RRSetPool(generator.graph.num_nodes, track_touches=True)
+    generator.generate_batch(count, rng=rng, out=pool)
+    return pool
+
+
+class TestTouchModes:
+    def test_mode_taxonomy(self):
+        g = path_digraph(4)
+        assert RRICGenerator(g).touch_mode == TOUCH_IMPLICIT
+        assert RRLTGenerator(g).touch_mode == TOUCH_IMPLICIT
+        assert RRSimGenerator(g, GAPS, (0,)).touch_mode == TOUCH_RECORDED
+        assert (
+            RRSimPlusGenerator(g, GAPS, (0,)).touch_mode == TOUCH_RECORDED
+        )
+        assert (
+            RRSimProductGenerator(g, g, GAPS, (0,)).touch_mode == TOUCH_NONE
+        )
+
+
+class TestFixedWorldEquivalence:
+    """On deterministic graphs (p in {0, 1}) RR sets are functions of the
+    graph alone, so repair must reproduce fresh generation *exactly*."""
+
+    def deterministic_graph(self):
+        # 0->1->2->3->4 all live, plus a dead shortcut 0->3.
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0),
+                 (0, 3, 0.0)]
+        return DiGraph.from_edges(5, edges)
+
+    def test_reweight_repair_matches_fresh(self):
+        g = self.deterministic_graph()
+        gen = RRICGenerator(g)
+        pool = tracked_pool(gen, 40, rng=1)
+        # Kill 1->2: RR sets rooted at/below 2 lose their upstream tail.
+        delta = GraphDelta(reweight=((1, 2, 0.0),))
+        effect = apply_delta(g, delta)
+        new_gen = RRICGenerator(effect.graph)
+        roots = np.array(pool.roots, copy=True)
+        report = repair_pool(pool, effect, new_gen, rng=7)
+        assert report.eligible
+        assert report.total == 40
+        # deterministic graph: the RR set is a function of its root, so
+        # the repaired pool's (root, members) multiset must match a
+        # fresh pool generated from the same roots (repair may permute
+        # member order: survivors compact, resampled append).
+        fresh = new_gen.generate_batch(40, rng=3, roots=roots)
+        expected = sorted(
+            (int(r), tuple(sorted(fresh[i].tolist())))
+            for i, r in enumerate(roots)
+        )
+        got = sorted(
+            (int(pool.roots[i]), tuple(sorted(pool[i].tolist())))
+            for i in range(len(pool))
+        )
+        assert got == expected
+
+    def test_add_repair_matches_fresh(self):
+        g = self.deterministic_graph()
+        gen = RRICGenerator(g)
+        pool = tracked_pool(gen, 40, rng=2)
+        delta = GraphDelta(add=((0, 2, 1.0),))
+        effect = apply_delta(g, delta)
+        new_gen = RRICGenerator(effect.graph)
+        roots = np.array(pool.roots, copy=True)
+        report = repair_pool(pool, effect, new_gen, rng=8)
+        assert report.eligible
+        fresh = new_gen.generate_batch(40, rng=4, roots=roots)
+        expected = sorted(
+            (int(r), tuple(sorted(fresh[i].tolist())))
+            for i, r in enumerate(roots)
+        )
+        got = sorted(
+            (int(pool.roots[i]), tuple(sorted(pool[i].tolist())))
+            for i in range(len(pool))
+        )
+        assert got == expected
+
+    def test_untouched_members_kept_verbatim(self):
+        g = self.deterministic_graph()
+        gen = RRICGenerator(g)
+        pool = tracked_pool(gen, 30, rng=5)
+        before = {
+            i: (int(pool.roots[i]), sorted(pool[i].tolist()))
+            for i in range(30)
+        }
+        # Reweight the already-dead shortcut: only roots 3/4 can ever be
+        # affected (its target is 3).
+        delta = GraphDelta(reweight=((0, 3, 1.0),))
+        effect = apply_delta(g, delta)
+        report = repair_pool(pool, effect, RRICGenerator(effect.graph), rng=6)
+        assert report.eligible
+        unaffected_roots = {0, 1, 2}
+        surviving = {
+            (root, tuple(members))
+            for root, members in before.values()
+            if root in unaffected_roots
+        }
+        now = {
+            (int(pool.roots[i]), tuple(sorted(pool[i].tolist())))
+            for i in range(len(pool))
+        }
+        for root, members in before.values():
+            if root in unaffected_roots:
+                assert (root, tuple(members)) in now
+
+
+class TestDistribution:
+    """Repaired pools must match fresh pools statistically, not just on
+    deterministic gadgets."""
+
+    def test_member_size_distribution_parity(self):
+        g = weighted_cascade_probabilities(power_law_digraph(120, rng=3))
+        gen = RRSimPlusGenerator(g, GAPS, (0, 1))
+        pool = tracked_pool(gen, 600, rng=11)
+        delta = GraphDelta(
+            reweight=tuple(
+                (int(g.edge_sources[e]), int(g.edge_targets[e]),
+                 min(1.0, float(g.edge_probabilities[e]) * 2.0))
+                for e in (0, 5, 9)
+            )
+        )
+        effect = apply_delta(g, delta)
+        new_gen = RRSimPlusGenerator(effect.graph, GAPS, (0, 1))
+        report = repair_pool(pool, effect, new_gen, rng=12)
+        assert report.eligible and report.resampled > 0
+        fresh = new_gen.generate_batch(600, rng=13)
+        repaired_mean = pool.total_nodes / len(pool)
+        fresh_mean = fresh.total_nodes / len(fresh)
+        # generous parity band: same regime, same graph, same theta
+        assert repaired_mean == pytest.approx(fresh_mean, rel=0.25)
+
+    def test_repair_is_unbiased_on_root_frequencies(self):
+        # Roots are preserved by repair; the dropped members' new
+        # contents must come from the new graph's RR distribution.
+        g = weighted_cascade_probabilities(power_law_digraph(80, rng=4))
+        gen = RRICGenerator(g)
+        pool = tracked_pool(gen, 400, rng=21)
+        roots_before = np.sort(np.array(pool.roots, copy=True))
+        delta = GraphDelta(
+            remove=((int(g.edge_sources[0]), int(g.edge_targets[0])),)
+        )
+        effect = apply_delta(g, delta)
+        repair_pool(pool, effect, RRICGenerator(effect.graph), rng=22)
+        assert np.array_equal(np.sort(pool.roots), roots_before)
+
+
+class TestEligibility:
+    def test_touch_none_generator_falls_back(self):
+        g = path_digraph(4)
+        gen = RRSimProductGenerator(g, g, GAPS, (0,))
+        pool = tracked_pool(gen, 10, rng=0)
+        effect = apply_delta(g, GraphDelta(reweight=((0, 1, 0.5),)))
+        report = repair_pool(
+            pool,
+            effect,
+            RRSimProductGenerator(effect.graph, effect.graph, GAPS, (0,)),
+            rng=1,
+        )
+        assert not report.eligible
+        assert report.fallback_reason == "touch-unsupported"
+
+    def test_untracked_pool_falls_back_for_recorded_mode(self):
+        g = path_digraph(4)
+        gen = RRSimGenerator(g, GAPS, (0,))
+        pool = RRSetPool(g.num_nodes)  # no tracking
+        gen.generate_batch(10, rng=0, out=pool)
+        effect = apply_delta(g, GraphDelta(reweight=((0, 1, 0.5),)))
+        report = repair_pool(
+            pool, effect, RRSimGenerator(effect.graph, GAPS, (0,)), rng=1
+        )
+        assert not report.eligible
+        assert report.fallback_reason == "touch-absent"
+
+    def test_untracked_pool_falls_back_for_implicit_mode_too(self):
+        # implicit affectedness still needs roots+members; a pool built
+        # without tracking has no roots column.
+        g = path_digraph(4)
+        gen = RRICGenerator(g)
+        pool = RRSetPool(g.num_nodes)
+        gen.generate_batch(10, rng=0, out=pool)
+        effect = apply_delta(g, GraphDelta(reweight=((0, 1, 0.5),)))
+        report = repair_pool(
+            pool, effect, RRICGenerator(effect.graph), rng=1
+        )
+        assert not report.eligible
+        assert report.fallback_reason == "touch-absent"
+
+    def test_recorded_mode_add_blankets_all_members(self):
+        g = weighted_cascade_probabilities(power_law_digraph(60, rng=5))
+        gen = RRSimGenerator(g, GAPS, (0,))
+        pool = tracked_pool(gen, 50, rng=2)
+        effect = apply_delta(g, GraphDelta(add=((0, 59, 0.5),)))
+        report = repair_pool(
+            pool, effect, RRSimGenerator(effect.graph, GAPS, (0,)), rng=3
+        )
+        assert report.eligible
+        assert report.affected == 50  # conservative blanket on adds
+
+    def test_stale_generator_fingerprint_rejected(self):
+        g = path_digraph(4)
+        gen = RRICGenerator(g)
+        pool = tracked_pool(gen, 5, rng=0)
+        effect = apply_delta(g, GraphDelta(reweight=((0, 1, 0.5),)))
+        with pytest.raises(DeltaError, match="fingerprint"):
+            repair_pool(pool, effect, gen, rng=1)  # old-graph generator
+
+    def test_pool_repair_method_delegates(self):
+        g = path_digraph(4)
+        pool = tracked_pool(RRICGenerator(g), 10, rng=0)
+        effect = apply_delta(g, GraphDelta(reweight=((2, 3, 0.5),)))
+        report = pool.repair(effect, RRICGenerator(effect.graph), rng=1)
+        assert report.eligible
+        assert report.total == 10

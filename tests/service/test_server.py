@@ -281,3 +281,161 @@ class TestWarmRestart:
         second.close()
         assert warm["diagnostics"]["rr_sets_sampled"] == 0
         assert warm["seeds"] == cold["seeds"]
+
+
+class TestDeltaEndpoint:
+    """POST /graph/<name>/delta: live mutation with in-place pool repair."""
+
+    DELTA_CONFIG = EngineConfig(
+        engine="imm", max_rr_sets=1500, track_touches=True
+    )
+
+    @pytest.fixture
+    def dyn_server(self, graph):
+        srv = ComICServer()
+        srv.register_graph("demo", graph, GAPS, config=self.DELTA_CONFIG)
+        yield srv
+        srv.close()
+
+    @staticmethod
+    def reweight_payload(graph, count=3, probability=0.2):
+        src, dst = graph.edge_sources, graph.edge_targets
+        return {
+            "kind": "graph_delta",
+            "reweight": [
+                [int(src[i]), int(dst[i]), probability] for i in range(count)
+            ],
+        }
+
+    def test_delta_repairs_and_next_query_is_warm(self, graph, dyn_server):
+        status, cold = dyn_server.handle_query(
+            "demo", {"query": QUERY.to_dict(), "rng": 1}
+        )
+        assert status == 200
+        cold_sampled = cold["diagnostics"]["rr_sets_sampled"]
+        status, report = dyn_server.handle_delta(
+            "demo", {"delta": self.reweight_payload(graph), "rng": 2}
+        )
+        assert status == 200
+        assert report["pools_repaired"] == 1
+        assert 0 < report["members_resampled"] < cold_sampled
+        status, warm = dyn_server.handle_query(
+            "demo", {"query": QUERY.to_dict(), "rng": 3}
+        )
+        assert status == 200
+        assert warm["diagnostics"]["rr_sets_sampled"] < cold_sampled / 2
+        assert dyn_server.stats.deltas == 1
+
+    def test_delta_changes_served_fingerprint(self, graph, dyn_server):
+        before = dyn_server.handle_graphs()[1]["demo"]["fingerprint"]
+        status, report = dyn_server.handle_delta(
+            "demo", {"delta": self.reweight_payload(graph)}
+        )
+        assert status == 200
+        after = dyn_server.handle_graphs()[1]["demo"]["fingerprint"]
+        assert before == report["old_fingerprint"]
+        assert after == report["fingerprint"] != before
+
+    def test_unknown_graph_is_404(self, graph, dyn_server):
+        status, body = dyn_server.handle_delta(
+            "nope", {"delta": self.reweight_payload(graph)}
+        )
+        assert status == 404 and "unknown graph" in body["error"]
+
+    def test_missing_or_malformed_delta_is_400(self, dyn_server):
+        for payload in (
+            {},
+            {"delta": "not an object"},
+            {"delta": {"kind": "graph_delta"}, "extra": 1},
+            {"delta": {"kind": "graph_delta", "remove": [[0, 0]]}},
+            {"delta": {"kind": "graph_delta", "frobnicate": []}},
+        ):
+            status, body = dyn_server.handle_delta("demo", payload)
+            assert status == 400, payload
+            assert "error" in body
+
+    def test_contradictory_delta_is_400(self, dyn_server):
+        status, body = dyn_server.handle_delta(
+            "demo",
+            {"delta": {"kind": "graph_delta", "remove": [[0, 199]]}},
+        )
+        assert status == 400
+        assert "does not exist" in body["error"]
+
+    def test_bad_rng_type_is_400(self, graph, dyn_server):
+        status, body = dyn_server.handle_delta(
+            "demo",
+            {"delta": self.reweight_payload(graph), "rng": "seven"},
+        )
+        assert status == 400 and "rng" in body["error"]
+
+    def test_delta_over_http_via_client(self, graph):
+        from repro.api import GraphDelta
+
+        srv = ComICServer()
+        srv.register_graph("demo", graph, GAPS, config=self.DELTA_CONFIG)
+        try:
+            host, port = srv.start()
+            with ServiceClient(host, port) as c:
+                cold = c.query("demo", QUERY, rng=5)
+                delta = GraphDelta.from_dict(self.reweight_payload(graph))
+                report = c.apply_delta("demo", delta, rng=6)
+                assert report["pools_repaired"] == 1
+                warm = c.query("demo", QUERY, rng=7)
+                assert (
+                    warm["diagnostics"]["rr_sets_sampled"]
+                    < cold["diagnostics"]["rr_sets_sampled"]
+                )
+                stats = c.stats()
+                assert stats["server"]["deltas"] == 1
+                session = stats["graphs"]["demo"]["session"]
+                assert session["deltas_applied"] == 1
+                assert session["pools_repaired"] == 1
+        finally:
+            srv.close()
+
+
+class TestBodyLimit:
+    """POST bodies above max_body_bytes are refused with 413 unread."""
+
+    def test_oversized_query_body_is_413(self, graph):
+        srv = ComICServer(max_body_bytes=512)
+        srv.register_graph("demo", graph, GAPS, config=CONFIG)
+        try:
+            host, port = srv.start()
+            with ServiceClient(host, port) as c:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    c.query("demo", QUERY, rng=1, config={"pad": "x" * 2048})
+                assert excinfo.value.status == 413
+                assert "exceeds" in str(excinfo.value)
+        finally:
+            srv.close()
+
+    def test_oversized_delta_body_is_413(self, graph):
+        srv = ComICServer(max_body_bytes=512)
+        srv.register_graph("demo", graph, GAPS, config=CONFIG)
+        try:
+            host, port = srv.start()
+            delta = {"kind": "graph_delta",
+                     "reweight": [[i, i + 1, 0.5] for i in range(199)]}
+            with ServiceClient(host, port) as c:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    c.apply_delta("demo", delta)
+                assert excinfo.value.status == 413
+        finally:
+            srv.close()
+
+    def test_within_limit_still_served(self, graph):
+        srv = ComICServer(max_body_bytes=100_000)
+        srv.register_graph("demo", graph, GAPS, config=CONFIG)
+        try:
+            host, port = srv.start()
+            with ServiceClient(host, port) as c:
+                body = c.query("demo", QUERY, rng=1)
+                assert body["seeds"]
+        finally:
+            srv.close()
+
+    def test_bad_max_body_bytes_rejected(self):
+        with pytest.raises(QueryError, match="max_body_bytes"):
+            ComICServer(max_body_bytes=0)

@@ -1,0 +1,178 @@
+"""Touch-column persistence: optional store columns for pool repair.
+
+Touch columns (roots + per-member edge-touch signatures) ride the PR 1
+store format as *optional* extras — same ``FORMAT_VERSION``, manifests
+of untracked pools byte-identical to before — so old entries load
+unchanged and new entries degrade gracefully for readers that ignore
+the ``touches`` record.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreIntegrityError
+from repro.graph import path_digraph, power_law_digraph
+from repro.graph import weighted_cascade_probabilities
+from repro.invalidation import InvalidationReason
+from repro.models import GAP
+from repro.rrset import RRICGenerator, RRSetPool, RRSimGenerator
+from repro.store import PoolKey, PoolStore
+from repro.store.pool_store import (
+    ROOTS_FILE,
+    TOUCH_EDGES_FILE,
+    TOUCH_INDPTR_FILE,
+)
+
+GAPS = GAP(q_a=0.3, q_a_given_b=0.8, q_b=0.5, q_b_given_a=0.5)
+FP = "b" * 64
+KEY = PoolKey.make("rr-sim", GAPS, [0, 1])
+
+
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(60, rng=2))
+
+
+def recorded_pool(count=30, rng=0):
+    g = graph()
+    pool = RRSetPool(g.num_nodes, track_touches=True)
+    RRSimGenerator(g, GAPS, (0, 1)).generate_batch(count, rng=rng, out=pool)
+    return pool
+
+
+def implicit_pool(count=30, rng=0):
+    g = graph()
+    pool = RRSetPool(g.num_nodes, track_touches=True)
+    RRICGenerator(g).generate_batch(count, rng=rng, out=pool)
+    return pool
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PoolStore(tmp_path / "pools")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_recorded_pool_round_trips_touch_columns(self, store, mmap):
+        pool = recorded_pool()
+        assert pool.touch_ok
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP, mmap=mmap)
+        assert loaded.track_touches and loaded.roots_ok and loaded.touch_ok
+        assert np.array_equal(loaded.roots, pool.roots)
+        assert np.array_equal(loaded.touch_edges, pool.touch_edges)
+        assert np.array_equal(loaded.touch_indptr, pool.touch_indptr)
+
+    def test_implicit_pool_round_trips_roots_only(self, store):
+        pool = implicit_pool()
+        assert pool.roots_ok and not pool.touch_ok
+        store.save(KEY, pool, graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert loaded.roots_ok and not loaded.touch_ok
+        assert np.array_equal(loaded.roots, pool.roots)
+
+    def test_untracked_pool_writes_no_touch_fields(self, store):
+        pool = RRSetPool(10)
+        pool.append(np.array([1, 2]))
+        store.save(KEY, pool, graph_fingerprint=FP)
+        entry_dir = next(store.root.rglob("manifest.json")).parent
+        names = {p.name for p in entry_dir.iterdir()}
+        assert ROOTS_FILE not in names
+        assert TOUCH_EDGES_FILE not in names
+        assert TOUCH_INDPTR_FILE not in names
+        manifest = json.loads((entry_dir / "manifest.json").read_text())
+        assert "touches" not in manifest
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert not loaded.track_touches
+
+    def test_manifest_records_touch_crcs(self, store):
+        pool = recorded_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        entry_dir = next(store.root.rglob("manifest.json")).parent
+        manifest = json.loads((entry_dir / "manifest.json").read_text())
+        record = manifest["touches"]
+        assert set(record) == {
+            "roots_crc32",
+            "touch_edges_crc32",
+            "touch_indptr_crc32",
+            "total_touches",
+        }
+        assert record["total_touches"] == int(pool.touch_edges.size)
+
+
+class TestAppendFallback:
+    def test_tracked_pool_growth_rewrites_and_round_trips(self, store):
+        g = graph()
+        pool = RRSetPool(g.num_nodes, track_touches=True)
+        gen = RRSimGenerator(g, GAPS, (0, 1))
+        gen.generate_batch(20, rng=0, out=pool)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        gen.generate_batch(15, rng=1, out=pool)
+        store.save(KEY, pool, graph_fingerprint=FP)
+        # growth of a touch-tracked entry never takes the incremental
+        # append path (it cannot extend the touch columns in place)
+        assert store.stats.appends == 0
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert len(loaded) == 35
+        assert loaded.touch_ok
+        assert np.array_equal(loaded.touch_edges, pool.touch_edges)
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "filename", [ROOTS_FILE, TOUCH_EDGES_FILE, TOUCH_INDPTR_FILE]
+    )
+    def test_corrupt_touch_column_quarantines(self, store, filename):
+        pool = recorded_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        entry_dir = next(store.root.rglob("manifest.json")).parent
+        column = np.load(entry_dir / filename)
+        column = np.array(column, copy=True)
+        column[0] += 1
+        np.save(entry_dir / filename, column)
+        # strict load surfaces the typed reason...
+        with pytest.raises(StoreIntegrityError) as excinfo:
+            store.load_strict(KEY, graph_fingerprint=FP)
+        assert excinfo.value.reason is InvalidationReason.CORRUPT_COLUMNS
+        # ...and the forgiving load maps it to a counted miss + quarantine
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations == 1
+        assert store.stats.invalidations_by_reason == {
+            "corrupt_columns": 1
+        }
+
+    def test_missing_touch_file_quarantines(self, store):
+        pool = recorded_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        entry_dir = next(store.root.rglob("manifest.json")).parent
+        (entry_dir / TOUCH_EDGES_FILE).unlink()
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations_by_reason == {
+            "corrupt_columns": 1
+        }
+
+    def test_quarantine_reason_json_carries_reason_code(self, store):
+        pool = recorded_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        entry_dir = next(store.root.rglob("manifest.json")).parent
+        (entry_dir / ROOTS_FILE).unlink()
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        reasons = list(store.root.rglob("reason.json"))
+        assert reasons, "quarantine must record its reason"
+        payload = json.loads(reasons[0].read_text())
+        assert payload["reason_code"] == "corrupt_columns"
+
+
+class TestByReasonStats:
+    def test_fingerprint_mismatch_counted_by_reason(self, store):
+        pool = recorded_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint="c" * 64) is None
+        assert store.stats.invalidations_by_reason == {
+            "fingerprint_mismatch": 1
+        }
+        assert store.stats.as_dict()["invalidations_by_reason"] == {
+            "fingerprint_mismatch": 1
+        }

@@ -1,0 +1,95 @@
+"""The shared invalidation vocabulary and its legacy-string shims."""
+
+import warnings
+
+import pytest
+
+from repro.errors import StoreIntegrityError
+from repro.invalidation import InvalidationReason, coerce_reason
+
+
+class TestEnum:
+    def test_values_are_strings(self):
+        for member in InvalidationReason:
+            assert isinstance(member, str)
+            assert str(member) == member.value
+
+    def test_vocabulary_is_pinned(self):
+        assert sorted(m.value for m in InvalidationReason) == [
+            "corrupt_columns",
+            "delta_churn",
+            "fingerprint_mismatch",
+            "format_version",
+            "key_mismatch",
+            "malformed_manifest",
+            "touch_absent",
+        ]
+
+
+class TestCoerceReason:
+    def test_enum_passes_through_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            got = coerce_reason(InvalidationReason.DELTA_CHURN)
+        assert got is InvalidationReason.DELTA_CHURN
+
+    def test_canonical_string_passes_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            got = coerce_reason("corrupt_columns")
+        assert got is InvalidationReason.CORRUPT_COLUMNS
+
+    @pytest.mark.parametrize(
+        "legacy, expected",
+        [
+            (
+                "entry was sampled from a different graph (fingerprint...)",
+                InvalidationReason.FINGERPRINT_MISMATCH,
+            ),
+            (
+                "entry key K does not match requested K'",
+                InvalidationReason.KEY_MISMATCH,
+            ),
+            (
+                "entry has format_version 0, this build reads 1",
+                InvalidationReason.FORMAT_VERSION,
+            ),
+            (
+                "nodes column fails its CRC-32 check",
+                InvalidationReason.CORRUPT_COLUMNS,
+            ),
+            (
+                "indptr column has shape (3,), manifest says (5,)",
+                InvalidationReason.CORRUPT_COLUMNS,
+            ),
+            ("malformed manifest: KeyError", InvalidationReason.MALFORMED_MANIFEST),
+        ],
+    )
+    def test_legacy_strings_map_with_deprecation_warning(
+        self, legacy, expected
+    ):
+        with pytest.warns(DeprecationWarning):
+            assert coerce_reason(legacy) is expected
+
+    def test_unrecognisable_string_degrades_not_raises(self):
+        with pytest.warns(DeprecationWarning):
+            got = coerce_reason("no idea what happened")
+        assert got is InvalidationReason.MALFORMED_MANIFEST
+
+
+class TestStoreIntegrityErrorReason:
+    def test_explicit_reason_kept(self):
+        exc = StoreIntegrityError(
+            "boom", reason=InvalidationReason.DELTA_CHURN
+        )
+        assert exc.reason is InvalidationReason.DELTA_CHURN
+
+    def test_reason_inferred_from_message_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            exc = StoreIntegrityError("nodes column fails its CRC-32 check")
+        assert exc.reason is InvalidationReason.CORRUPT_COLUMNS
+
+    def test_string_reason_coerced(self):
+        exc = StoreIntegrityError("boom", reason="key_mismatch")
+        assert exc.reason is InvalidationReason.KEY_MISMATCH
