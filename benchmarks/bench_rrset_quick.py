@@ -35,8 +35,17 @@ alone:
   to full regeneration turns CI red even if it happens to be fast) and
   on RR-evaluated seed-quality parity between the two routes.
 
+* million-node sparse sweeps (``scale.1m_generation``, only with
+  ``--scale-graph PATH``): RR-IC ``generate_batch`` on a SNAP-style
+  edge-list graph, sparse chunk state vs the dense flat-array backend.
+  Gated (on 1M+-node graphs) on a 2x wall-clock floor, on the sparse
+  chunk sustaining >= 256 members within the default state budget while
+  dense collapses to <= 16, and on member-multiset equality between the
+  backends under a common chunk schedule (the chunk schedule fixes the
+  coin-draw order, so equal schedules must give bit-identical pools).
+
 The emitted JSON follows the stable schema documented in
-``docs/benchmarks.md`` (``schema_version`` 4).  Each generation entry
+``docs/benchmarks.md`` (``schema_version`` 5).  Each generation entry
 records a ``speedup_floor``; the script exits non-zero when any regime's
 measured batch-vs-oracle speedup falls below its floor, so a silent
 fallback to the oracle loop turns CI red instead of just slowing users
@@ -45,7 +54,8 @@ down.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_rrset_quick.py [--quick] \
-        [--nodes 10000] [--output BENCH_rrset.json]
+        [--nodes 10000] [--output BENCH_rrset.json] \
+        [--scale-graph edge_list.txt]
 """
 
 from __future__ import annotations
@@ -56,6 +66,8 @@ import os
 import sys
 import tempfile
 import time
+
+import numpy as np
 
 from repro.api import (
     BlockingQuery,
@@ -84,8 +96,9 @@ from repro.rrset import (
     rr_estimate_objective,
 )
 from repro.rrset.base import RRSetGenerator
+from repro.rrset.sweep import SweepConfig
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 GAPS_SIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
 GAPS_CIM = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=1.0)
@@ -125,6 +138,20 @@ DYNAMIC_SPEEDUP_FLOOR = 5.0
 DYNAMIC_NUM_EDITS = 4
 #: Relative band for repaired-vs-regenerated seed-quality parity.
 DYNAMIC_PARITY_BAND = 0.15
+
+#: Floor for sparse-vs-dense chunk-state generation at million-node
+#: scale (typically >= 5x; gated at 2x for runner noise).  A miss means
+#: the sparse backend stopped paying for itself where it matters most.
+SCALE_SPEEDUP_FLOOR = 2.0
+#: The scale row is informational below this node count — a smaller
+#: graph cannot demonstrate the dense chunk collapse being measured.
+SCALE_MIN_NODES = 1_000_000
+#: RR-sets per timed scale run.
+SCALE_COUNT = 512
+#: Sparse chunks must sustain at least this many members within the
+#: default state budget (dense must be at or below the degenerate 16).
+SCALE_SPARSE_CHUNK_FLOOR = 256
+SCALE_DENSE_CHUNK_CEIL = 16
 
 
 class _OracleRRSim(RRSimGenerator):
@@ -388,6 +415,70 @@ def bench_dynamic_update(graph, k, rr_cap, eval_samples):
     }
 
 
+def bench_scale_generation(path, count):
+    """Sparse vs dense chunk state on a SNAP edge-list graph (RR-IC).
+
+    Two legs.  **Timing**: each backend runs with its natural chunk
+    schedule — dense collapses to ``budget // n`` members, sparse
+    sustains the kernel's full ``max_members`` — and the wall-clock
+    ratio is the speedup being gated.  **Equality**: both backends rerun
+    under one pinned chunk schedule (``max_chunk_members`` = the dense
+    chunk), because the schedule fixes the order coins are drawn in;
+    with it equal, the backends must produce bit-identical pools, which
+    is the strongest form of the member-multiset check.
+    """
+    from repro.datasets import load_snap_graph
+
+    graph = load_snap_graph(path)
+    n = graph.num_nodes
+    generator = RRICGenerator(graph)
+    dense_cfg = SweepConfig(state_backend="dense")
+    sparse_cfg = SweepConfig(state_backend="sparse")
+    dense_chunk = dense_cfg.chunk_size(
+        n, "dense", state_bytes_per_node=1, max_members=4096, warn=False
+    )
+    sparse_chunk = sparse_cfg.chunk_size(
+        n, "sparse", state_bytes_per_node=1, max_members=4096
+    )
+    timings = {}
+    pools = {}
+    for backend, cfg in (("dense", dense_cfg), ("sparse", sparse_cfg)):
+        generator.sweep = cfg
+        timings[backend] = best_of(
+            lambda: generator.generate_batch(count, rng=21), 2
+        )
+    for backend in ("dense", "sparse"):
+        generator.sweep = SweepConfig(
+            state_backend=backend, max_chunk_members=dense_chunk
+        )
+        pools[backend] = generator.generate_batch(count, rng=21)
+    members_equal = bool(
+        np.array_equal(pools["dense"].nodes, pools["sparse"].nodes)
+        and np.array_equal(
+            np.asarray(pools["dense"].indptr),
+            np.asarray(pools["sparse"].indptr),
+        )
+    )
+    return {
+        "graph_path": str(path),
+        "nodes": n,
+        "edges": graph.num_edges,
+        "sets": count,
+        "dense_chunk": dense_chunk,
+        "sparse_chunk": sparse_chunk,
+        "dense_s": round(timings["dense"], 3),
+        "sparse_s": round(timings["sparse"], 3),
+        "dense_sets_per_s": round(count / timings["dense"], 1),
+        "sparse_sets_per_s": round(count / timings["sparse"], 1),
+        "speedup": round(timings["dense"] / timings["sparse"], 2),
+        "speedup_floor": SCALE_SPEEDUP_FLOOR,
+        "members_equal": members_equal,
+        # Below a million nodes the dense collapse being measured does
+        # not occur; the row is informational there and the gate skips it.
+        "gated": n >= SCALE_MIN_NODES,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, default=10_000)
@@ -398,6 +489,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true",
         help="smaller sample counts (CI mode)",
+    )
+    parser.add_argument(
+        "--scale-graph", metavar="PATH", default=None,
+        help=(
+            "SNAP-style edge list for the scale.1m_generation row "
+            "(gated when the graph has >= 1M nodes; omitted otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--require-multicore", action="store_true",
+        help=(
+            "fail when the parallel.generation floor cannot engage "
+            "(fewer cores than workers) instead of recording an "
+            "informational row — CI uses this so the gate can never go "
+            "silently dormant on a downsized runner"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -517,6 +624,14 @@ def main(argv=None) -> int:
     }
     print("dynamic[update_then_query]:", report["dynamic"]["update_then_query"])
 
+    if args.scale_graph is not None:
+        report["scale"] = {
+            "1m_generation": bench_scale_generation(
+                args.scale_graph, SCALE_COUNT
+            )
+        }
+        print("scale[1m_generation]:", report["scale"]["1m_generation"])
+
     # Regression gate: a sub-floor speedup means the fast path regressed
     # (or silently fell back to the oracle loop / MC CELF) — fail loudly.
     gated = dict(report["generation"])
@@ -525,11 +640,21 @@ def main(argv=None) -> int:
     if parallel_row["gated"]:
         gated["parallel.generation"] = parallel_row
     gated["dynamic.update_then_query"] = report["dynamic"]["update_then_query"]
+    scale_row = report.get("scale", {}).get("1m_generation")
+    if scale_row is not None and scale_row["gated"]:
+        gated["scale.1m_generation"] = scale_row
     failures = [
         f"{name}: speedup {entry['speedup']}x < floor {entry['speedup_floor']}x"
         for name, entry in gated.items()
         if entry["speedup"] < entry["speedup_floor"]
     ]
+    if args.require_multicore and not parallel_row["gated"]:
+        failures.append(
+            f"parallel.generation: runner has {parallel_row['cores']} "
+            f"core(s), < {PARALLEL_WORKERS} workers — the "
+            f"{PARALLEL_SPEEDUP_FLOOR}x floor cannot engage "
+            "(--require-multicore)"
+        )
     warm = report["store"]["warm_start"]
     if warm["gated"]:
         if warm["warm_rr_sets_sampled"] != 0:
@@ -559,6 +684,24 @@ def main(argv=None) -> int:
             f"{dynamic['regenerated_objective']} (relative gap "
             f"{parity:.3f} > {DYNAMIC_PARITY_BAND})"
         )
+    if scale_row is not None and scale_row["gated"]:
+        if not scale_row["members_equal"]:
+            failures.append(
+                "scale.1m_generation: sparse and dense pools differ under "
+                "a common chunk schedule (backend is not bit-equivalent)"
+            )
+        if scale_row["sparse_chunk"] < SCALE_SPARSE_CHUNK_FLOOR:
+            failures.append(
+                f"scale.1m_generation: sparse chunk {scale_row['sparse_chunk']}"
+                f" < {SCALE_SPARSE_CHUNK_FLOOR} members within the default "
+                "state budget"
+            )
+        if scale_row["dense_chunk"] > SCALE_DENSE_CHUNK_CEIL:
+            failures.append(
+                f"scale.1m_generation: dense chunk {scale_row['dense_chunk']} "
+                f"> {SCALE_DENSE_CHUNK_CEIL} — the graph is not large enough "
+                "to demonstrate the collapse being gated"
+            )
     report["gate"] = {"passed": not failures, "failures": failures}
 
     with open(args.output, "w", encoding="utf-8") as handle:

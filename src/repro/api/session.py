@@ -508,6 +508,7 @@ class ComICSession:
             generator = factory(
                 effect.graph, GAP(*key.gaps), key.opposite_seeds
             )
+            generator.sweep = cfg.sweep_config()
             report = None
             if churn <= cfg.delta_churn_threshold:
                 report = entry.pool.repair(effect, generator, rng=gen)
@@ -858,6 +859,7 @@ class ComICSession:
         if entry is None:
             factory = registry.generator_factory(regime)
             generator = factory(self._graph, gaps, key.opposite_seeds)
+            generator.sweep = cfg.sweep_config()
             pool = self._load_from_store(key)
             entry = _PoolEntry(
                 key,

@@ -5,8 +5,19 @@ proprietary; :func:`load_dataset` builds scaled Chung-Lu-style power-law
 digraphs matched to each dataset's average out-degree (see DESIGN.md §2 for
 why this preserves the behaviours under study).  Influence probabilities
 follow the weighted-cascade scheme by default.
+
+:mod:`repro.datasets.snap` complements the stand-ins with a loader for
+real SNAP-style edge lists (and a vectorised million-node synthesizer
+for the scale benchmarks).
 """
 
+from repro.datasets.snap import (
+    SNAP_WEIGHTINGS,
+    load_snap_graph,
+    read_snap_edges,
+    synthesize_power_law_edges,
+    write_snap_edge_list,
+)
 from repro.datasets.synthetic import (
     DATASET_NAMES,
     DatasetSpec,
@@ -14,4 +25,14 @@ from repro.datasets.synthetic import (
     load_dataset,
 )
 
-__all__ = ["DatasetSpec", "PAPER_DATASETS", "DATASET_NAMES", "load_dataset"]
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "DATASET_NAMES",
+    "load_dataset",
+    "SNAP_WEIGHTINGS",
+    "load_snap_graph",
+    "read_snap_edges",
+    "synthesize_power_law_edges",
+    "write_snap_edge_list",
+]

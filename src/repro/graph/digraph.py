@@ -373,8 +373,11 @@ def expand_csr(
     gather pass ``with_reps=False`` and get ``(None, flat)``, skipping
     one same-sized allocation.
     """
-    starts = indptr[frontier]
-    lengths = indptr[frontier + 1] - starts
+    # Gather into int64 regardless of the column's storage dtype: dieted
+    # (uint32) pools would otherwise wrap on the transiently-negative
+    # ``starts - prefix`` below.
+    starts = indptr[frontier].astype(np.int64, copy=False)
+    lengths = indptr[frontier + 1].astype(np.int64, copy=False) - starts
     total = int(lengths.sum())
     if total == 0:
         empty = np.empty(0, dtype=np.int64)

@@ -156,7 +156,12 @@ def _generate_shard(
     rng = np.random.default_rng(seed_seq)
     generator = _resolve_generator(payload)
     pool = generator.generate_batch(count, rng=rng, roots=roots)
-    return np.asarray(pool.nodes), np.asarray(pool.indptr)
+    indptr = np.asarray(pool.indptr)
+    if indptr.size and int(indptr[-1]) <= np.iinfo(np.uint32).max:
+        # Halve the offset column's IPC bytes: the parent's from_flat
+        # adopts uint32 indptr directly and widens lazily on growth.
+        indptr = indptr.astype(np.uint32)
+    return np.asarray(pool.nodes), indptr
 
 
 def _worker_ready(deadline: float) -> int:

@@ -12,6 +12,12 @@ into :func:`~repro.rrset.tim.general_tim` yields a
 
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.pool import RRSetPool
+from repro.rrset.sweep import (
+    DEFAULT_CHUNK_STATE_BYTES,
+    SweepConfig,
+    make_flags,
+    make_values,
+)
 from repro.rrset.rr_ic import RRICGenerator
 from repro.rrset.rr_lt import RRLTGenerator, vanilla_lt_seeds
 from repro.rrset.rr_sim import RRSimGenerator
@@ -34,6 +40,10 @@ from repro.rrset.repair import RepairReport, repair_pool
 __all__ = [
     "RRSetGenerator",
     "RRSetPool",
+    "SweepConfig",
+    "DEFAULT_CHUNK_STATE_BYTES",
+    "make_flags",
+    "make_values",
     "RepairReport",
     "repair_pool",
     "RRICGenerator",

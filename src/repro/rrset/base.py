@@ -51,6 +51,7 @@ import numpy as np
 from repro.graph.digraph import DiGraph
 from repro.rng import SeedLike, make_rng
 from repro.rrset.pool import RRSetPool
+from repro.rrset.sweep import DEFAULT_SWEEP, SweepConfig
 
 
 class RRSetGenerator(abc.ABC):
@@ -69,6 +70,11 @@ class RRSetGenerator(abc.ABC):
 
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
+        #: chunk-state policy of the batched kernels (backend selection
+        #: and per-chunk state budget); sessions overwrite it from
+        #: ``EngineConfig`` after construction.  A frozen dataclass, so
+        #: it pickles along with the generator to parallel workers.
+        self.sweep: SweepConfig = DEFAULT_SWEEP
 
     @property
     def graph(self) -> DiGraph:

@@ -179,9 +179,13 @@ class RRSetPool:
         into fresh writable memory (the normal amortised-doubling growth)
         and the mapped files are never written to.
 
-        ``validate`` checks the CSR invariants (``indptr`` int64 ascending
-        from 0, last offset == ``nodes.size``, members in range) — skip it
-        only for arrays produced by this class.
+        ``validate`` checks the CSR invariants (``indptr`` ascending from
+        0, last offset == ``nodes.size``, members in range) — skip it
+        only for arrays produced by this class.  ``indptr`` (and
+        ``touch_indptr``) may be int64 or the uint32 diet column
+        :class:`~repro.store.PoolStore` writes when every offset fits;
+        reads work on the narrow column directly (numpy promotes), and
+        the first append's amortised-doubling copy widens it to int64.
 
         ``roots`` (and the ``touch_edges`` / ``touch_indptr`` pair, which
         must come together) re-adopt previously persisted touch columns;
@@ -195,10 +199,12 @@ class RRSetPool:
                 raise ValueError("indptr must be a non-empty 1-D offset array")
             if nodes.ndim != 1:
                 raise ValueError("nodes must be a 1-D member array")
-            if indptr.dtype != np.int64 or nodes.dtype != np.int32:
+            if indptr.dtype not in (np.int64, np.uint32) or (
+                nodes.dtype != np.int32
+            ):
                 raise ValueError(
-                    "expected int32 nodes and int64 indptr, got "
-                    f"{nodes.dtype} / {indptr.dtype}"
+                    "expected int32 nodes and int64 (or uint32 diet) "
+                    f"indptr, got {nodes.dtype} / {indptr.dtype}"
                 )
             if int(indptr[0]) != 0 or int(indptr[-1]) != nodes.size:
                 raise ValueError(
@@ -244,7 +250,11 @@ class RRSetPool:
             pool._roots_ok = False
         if touch_edges is not None:
             touch_edges = np.asarray(touch_edges, dtype=np.int32)
-            touch_indptr = np.asarray(touch_indptr, dtype=np.int64)
+            touch_indptr = np.asarray(touch_indptr)
+            if touch_indptr.dtype not in (np.int64, np.uint32):
+                # Adopt the uint32 diet column zero-copy; anything else
+                # (lists, narrower ints) still coerces to int64.
+                touch_indptr = touch_indptr.astype(np.int64)
             if touch_indptr.shape != (count + 1,) or (
                 touch_indptr.size
                 and (
@@ -503,8 +513,10 @@ class RRSetPool:
         if total:
             self._nodes[self._used : self._used + total] = other.nodes
         if count:  # a zero-length write would trip read-only (mmap) buffers
+            # int64 before the shift: a dieted donor's uint32 offsets
+            # would wrap once this pool's fill pushes them past 2**32.
             self._indptr[self._num_sets + 1 : self._num_sets + 1 + count] = (
-                other.indptr[1:] + self._used
+                other.indptr[1:].astype(np.int64, copy=False) + self._used
             )
         self._used += total
         self._num_sets += count

@@ -94,8 +94,8 @@ from repro.rrset.pool import (
     expand_csr,
     flatten_members,
     touches_from_keys,
-    unique_keys,
 )
+from repro.rrset.sweep import make_flags
 
 #: Target size of one chunk's coin memo (entries) — bounds batch memory on
 #: worlds whose reverse A-regions are dense.
@@ -255,6 +255,7 @@ class RRBlockGenerator(RRSetGenerator):
         gen: np.random.Generator,
         world: Optional[PossibleWorld],
         memo: ChunkCoinMemo,
+        backend: str,
     ) -> np.ndarray:
         """Phase 1: per-lane reverse A-search resolving ``d_A(root)``.
 
@@ -276,9 +277,9 @@ class RRBlockGenerator(RRSetGenerator):
         budget = np.full(b, -1, dtype=np.int64)
         if lanes.size == 0 or seeds.size == 0:
             return budget
-        visited = np.zeros(b * n, dtype=bool)
+        visited = make_flags(b, n, backend)
         fw, fn = lanes, chunk_roots[lanes]
-        visited[fw * n + fn] = True
+        visited.mark(fw * n + fn)
         depth = 0
         while fn.size:
             if depth > 0:
@@ -312,12 +313,9 @@ class RRBlockGenerator(RRSetGenerator):
                 memo.record(fw[reps] * m + in_eid[flat], live)
             else:
                 live = world.live[in_eid[flat]]
-            key = fw[reps[live]] * n + in_src[flat[live]]
-            key = key[~visited[key]]
+            key = visited.mark_new(fw[reps[live]] * n + in_src[flat[live]])
             if key.size == 0:
                 break
-            key = unique_keys(key)
-            visited[key] = True
             fw, fn = np.divmod(key, n)
             depth += 1
         return budget
@@ -351,10 +349,13 @@ class RRBlockGenerator(RRSetGenerator):
             return pool
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
         seeds = np.unique(np.asarray(self._seeds_a, dtype=np.int64))
-        # Two visited bitmaps per (world, node): chunk so the flat arrays
-        # stay under ~96MB combined, then re-size from the observed memo
-        # load like the other adaptive kernels.
-        max_chunk = int(np.clip((48 << 20) // max(n, 1), 1, 8192))
+        # Two visited bitmaps per (world, node) dense: the sweep engine
+        # budgets them, then chunks re-size from the observed memo load
+        # like the other adaptive kernels.
+        backend = self.sweep.resolve_backend(n)
+        max_chunk = self.sweep.chunk_size(
+            n, backend, state_bytes_per_node=2, max_members=8192
+        )
         chunk = min(max_chunk, 256)
         start = 0
         while start < roots.size:
@@ -374,7 +375,8 @@ class RRBlockGenerator(RRSetGenerator):
             if seeds.size:
                 viable &= ~np.isin(chunk_roots, seeds)
             root_time = self._reverse_a_times(
-                b, chunk_roots, np.flatnonzero(viable), gen, world, memo
+                b, chunk_roots, np.flatnonzero(viable), gen, world, memo,
+                backend,
             )
             if world is None:
                 coins_per_world = max(memo.size / b, 1.0)
@@ -401,8 +403,8 @@ class RRBlockGenerator(RRSetGenerator):
                 )
                 continue
             lane_roots = chunk_roots[lanes]
-            visited = np.zeros(b * n, dtype=bool)
-            visited[lanes * n + lane_roots] = True
+            visited = make_flags(b, n, backend)
+            visited.mark(lanes * n + lane_roots)
             member_ids = [lanes]
             member_nodes = [lane_roots]
             frontier_world, frontier_node = lanes, lane_roots
@@ -434,12 +436,11 @@ class RRBlockGenerator(RRSetGenerator):
                     )
                 else:
                     live = world.live[in_eid[flat]]
-                key = fw[reps[live]] * n + in_src[flat[live]]
-                key = key[~visited[key]]
+                key = visited.mark_new(
+                    fw[reps[live]] * n + in_src[flat[live]]
+                )
                 if key.size == 0:
                     break
-                key = unique_keys(key)
-                visited[key] = True
                 frontier_world, frontier_node = np.divmod(key, n)
                 record = np.ones(frontier_node.size, dtype=bool)
                 if seeds.size:

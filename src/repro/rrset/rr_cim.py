@@ -81,6 +81,7 @@ from repro.rrset.pool import (
     unique_inverse,
     unique_keys,
 )
+from repro.rrset.sweep import make_flags, make_values
 
 # Forward-labeling labels, ordered by strength (rejected is terminal).
 LABEL_REJECTED = -1
@@ -382,7 +383,7 @@ class RRCimGenerator(RRSetGenerator):
 
     def _alpha_a_cat(
         self,
-        state: np.ndarray,
+        state,
         keys: np.ndarray,
         gen: np.random.Generator,
         world: Optional[PossibleWorld],
@@ -396,7 +397,7 @@ class RRCimGenerator(RRSetGenerator):
             return np.where(
                 alpha < gaps.q_a, 1, np.where(alpha < gaps.q_a_given_b, 2, 3)
             ).astype(np.uint8)
-        st = state[keys]
+        st = state.get(keys)
         cat = (st & _AA_MASK) >> np.uint8(_AA_SHIFT)
         unknown = np.flatnonzero(cat == 0)
         if unknown.size:
@@ -405,12 +406,12 @@ class RRCimGenerator(RRSetGenerator):
                 draw < gaps.q_a, 1, np.where(draw < gaps.q_a_given_b, 2, 3)
             ).astype(np.uint8)
             cat[unknown] = fresh
-            state[keys[unknown]] = st[unknown] | (fresh << np.uint8(_AA_SHIFT))
+            state.put(keys[unknown], st[unknown] | (fresh << np.uint8(_AA_SHIFT)))
         return cat
 
     def _alpha_b_pass(
         self,
-        state: np.ndarray,
+        state,
         keys: np.ndarray,
         gen: np.random.Generator,
         world: Optional[PossibleWorld],
@@ -419,7 +420,7 @@ class RRCimGenerator(RRSetGenerator):
         gaps = self._gaps
         if world is not None:
             return world.alpha_b[keys % self._graph.num_nodes] < gaps.q_b
-        st = state[keys]
+        st = state.get(keys)
         stat = (st & _AB_MASK) >> np.uint8(_AB_SHIFT)
         unknown = np.flatnonzero(stat == 0)
         if unknown.size:
@@ -427,7 +428,7 @@ class RRCimGenerator(RRSetGenerator):
                 gen.random(unknown.size) < gaps.q_b, 1, 2
             ).astype(np.uint8)
             stat[unknown] = fresh
-            state[keys[unknown]] = st[unknown] | (fresh << np.uint8(_AB_SHIFT))
+            state.put(keys[unknown], st[unknown] | (fresh << np.uint8(_AB_SHIFT)))
         return stat == 1
 
     def _ab_diffusible_mask(
@@ -449,7 +450,7 @@ class RRCimGenerator(RRSetGenerator):
         """Bulk B-diffusibility (``alpha_B`` pass, or A-adopted since
         ``q_{B|A} = 1``); duplicate-key safe like the AB variant."""
         ukeys, inverse = unique_inverse(keys)
-        ok = (state[ukeys] & _LBL_MASK) == LABEL_ADOPTED
+        ok = (state.get(ukeys) & _LBL_MASK) == LABEL_ADOPTED
         rest = np.flatnonzero(~ok)
         if rest.size:
             ok[rest] = self._alpha_b_pass(state, ukeys[rest], gen, world)
@@ -498,7 +499,7 @@ class RRCimGenerator(RRSetGenerator):
             np.repeat(np.arange(b, dtype=np.int64), seeds.size) * n
             + np.tile(seeds, b)
         )
-        state[frontier] |= np.uint8(LABEL_ADOPTED)
+        state.or_(frontier, np.uint8(LABEL_ADOPTED))
         susp_frags: list[np.ndarray] = []
         # Phase A: adopted closure; marks suspended / rejected boundaries.
         while frontier.size:
@@ -513,19 +514,19 @@ class RRCimGenerator(RRSetGenerator):
             if tkeys.size == 0:
                 break
             tkeys = unique_keys(tkeys)
-            st = state[tkeys]
+            st = state.get(tkeys)
             open_ = ((st & _LBL_MASK) != LABEL_ADOPTED) & ((st & _REJ_FLAG) == 0)
             tkeys = tkeys[open_]
             if tkeys.size == 0:
                 break
             cat = self._alpha_a_cat(state, tkeys, gen, world)
-            state[tkeys[cat == 3]] |= _REJ_FLAG  # alpha_A >= q_{A|B}: terminal
+            state.or_(tkeys[cat == 3], _REJ_FLAG)  # alpha_A >= q_{A|B}: terminal
             low = tkeys[cat == 1]
-            state[low] |= np.uint8(LABEL_ADOPTED)
+            state.or_(low, np.uint8(LABEL_ADOPTED))
             mid = tkeys[cat == 2]
             if mid.size:
-                fresh = mid[(state[mid] & _LBL_MASK) == LABEL_NONE]
-                state[fresh] |= np.uint8(LABEL_SUSPENDED)
+                fresh = mid[(state.get(mid) & _LBL_MASK) == LABEL_NONE]
+                state.or_(fresh, np.uint8(LABEL_SUSPENDED))
                 susp_frags.append(fresh)
             frontier = low
         # Phase B: the potential wave from every suspended node.
@@ -546,15 +547,15 @@ class RRCimGenerator(RRSetGenerator):
             if tkeys.size == 0:
                 break
             tkeys = unique_keys(tkeys)
-            st = state[tkeys]
+            st = state.get(tkeys)
             open_ = ((st & _LBL_MASK) == LABEL_NONE) & ((st & _REJ_FLAG) == 0)
             tkeys = tkeys[open_]
             if tkeys.size == 0:
                 break
             cat = self._alpha_a_cat(state, tkeys, gen, world)
-            state[tkeys[cat == 3]] |= _REJ_FLAG
+            state.or_(tkeys[cat == 3], _REJ_FLAG)
             newpot = tkeys[cat != 3]
-            state[newpot] |= np.uint8(LABEL_POTENTIAL)
+            state.or_(newpot, np.uint8(LABEL_POTENTIAL))
             frontier = newpot
 
     def _primary_batch(
@@ -571,16 +572,16 @@ class RRCimGenerator(RRSetGenerator):
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
         ids = np.arange(b, dtype=np.int64)
         root_keys = ids * n + chunk_roots
-        root_lab = state[root_keys] & _LBL_MASK
+        root_lab = state.get(root_keys) & _LBL_MASK
         alive = (root_lab == LABEL_POTENTIAL) | (root_lab == LABEL_SUSPENDED)
         frontier = root_keys[alive]
-        visited = np.zeros(b * n, dtype=bool)
-        visited[frontier] = True
+        visited = make_flags(b, n, state.kind)
+        visited.mark(frontier)
         rr_frags: list[np.ndarray] = []
         sec_frags: list[np.ndarray] = []
         zig_frags: list[np.ndarray] = []
         while frontier.size:
-            lab = state[frontier] & _LBL_MASK
+            lab = state.get(frontier) & _LBL_MASK
             susp = frontier[lab == LABEL_SUSPENDED]
             if susp.size:
                 rr_frags.append(susp)  # Cases 1-2: suspended nodes join
@@ -604,12 +605,11 @@ class RRCimGenerator(RRSetGenerator):
             live = self._edge_live_batch(
                 gmember[reps], in_eid[flat], in_prob[flat], coins, gen, world
             )
-            tkeys = gmember[reps[live]] * n + in_src[flat[live]]
-            tkeys = tkeys[~visited[tkeys]]
+            tkeys = visited.mark_new(
+                gmember[reps[live]] * n + in_src[flat[live]]
+            )
             if tkeys.size == 0:
                 break
-            tkeys = unique_keys(tkeys)
-            visited[tkeys] = True
             frontier = tkeys
         return rr_frags, sec_frags, zig_frags
 
@@ -626,8 +626,8 @@ class RRCimGenerator(RRSetGenerator):
         graph = self._graph
         n = graph.num_nodes
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
-        visited = np.zeros(b * n, dtype=bool)
-        visited[starts] = True
+        visited = make_flags(b, n, state.kind)
+        visited.mark(starts)
         frontier = starts  # starts expand unconditionally, as in the oracle
         collected: list[np.ndarray] = []
         while frontier.size:
@@ -638,12 +638,11 @@ class RRCimGenerator(RRSetGenerator):
             live = self._edge_live_batch(
                 fmember[reps], in_eid[flat], in_prob[flat], coins, gen, world
             )
-            tkeys = fmember[reps[live]] * n + in_src[flat[live]]
-            tkeys = tkeys[~visited[tkeys]]
+            tkeys = visited.mark_new(
+                fmember[reps[live]] * n + in_src[flat[live]]
+            )
             if tkeys.size == 0:
                 break
-            tkeys = unique_keys(tkeys)
-            visited[tkeys] = True
             collected.append(tkeys)  # every node that can push B joins
             bd = self._b_diffusible_mask(state, tkeys, gen, world)
             frontier = tkeys[bd]  # non-B-diffusible nodes join, don't expand
@@ -664,16 +663,24 @@ class RRCimGenerator(RRSetGenerator):
         out_indptr, out_dst, out_prob, out_eid = graph.csr_out()
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
         passed = np.zeros(cand_keys.size, dtype=bool)
-        lane_budget = max((8 << 20) // max(n, 1), 1)
+        # Three per-lane states (two visited maps + the Sf-suspended
+        # mask), so lanes are budgeted at 3 dense bytes per (lane, node).
+        lane_budget = self.sweep.chunk_size(
+            n,
+            state.kind,
+            state_bytes_per_node=3,
+            max_members=max(cand_keys.size, 1),
+            warn=False,
+        )
         for lo in range(0, cand_keys.size, lane_budget):
             keys = cand_keys[lo : lo + lane_budget]
             j = keys.size
             lane_member, lane_node = np.divmod(keys, n)
             lanes = np.arange(j, dtype=np.int64)
             # Forward sweep: Sf = B-diffusible nodes reachable from u.
-            fvisited = np.zeros(j * n, dtype=bool)
-            fvisited[lanes * n + lane_node] = True
-            sf_susp = np.zeros(j * n, dtype=bool)  # suspended members of Sf
+            fvisited = make_flags(j, n, state.kind)
+            fvisited.mark(lanes * n + lane_node)
+            sf_susp = make_flags(j, n, state.kind)  # suspended members of Sf
             any_forward = np.zeros(j, dtype=bool)
             flane, fnode = lanes, lane_node
             while flane.size:
@@ -684,26 +691,25 @@ class RRCimGenerator(RRSetGenerator):
                     lane_member[flane[reps]], out_eid[flat], out_prob[flat],
                     coins, gen, world,
                 )
-                lkeys = flane[reps[live]] * n + out_dst[flat[live]]
-                lkeys = lkeys[~fvisited[lkeys]]
+                lkeys = fvisited.mark_new(
+                    flane[reps[live]] * n + out_dst[flat[live]]
+                )
                 if lkeys.size == 0:
                     break
-                lkeys = unique_keys(lkeys)
-                fvisited[lkeys] = True
                 tlane, tnode = np.divmod(lkeys, n)
                 mkeys = lane_member[tlane] * n + tnode
                 bd = self._b_diffusible_mask(state, mkeys, gen, world)
                 any_forward[tlane[bd]] = True
-                lab = state[mkeys] & _LBL_MASK
-                sf_susp[lkeys[bd & (lab == LABEL_SUSPENDED)]] = True
+                lab = state.get(mkeys) & _LBL_MASK
+                sf_susp.mark(lkeys[bd & (lab == LABEL_SUSPENDED)])
                 fkeep = lkeys[bd]  # only B-diffusible nodes expand
                 flane, fnode = np.divmod(fkeep, n)
             # Backward sweep: Sb = relays feeding a joint A+B wave to u;
             # only lanes whose forward set is non-empty can succeed.
             blane = lanes[any_forward]
             bnode = lane_node[any_forward]
-            bvisited = np.zeros(j * n, dtype=bool)
-            bvisited[blane * n + bnode] = True
+            bvisited = make_flags(j, n, state.kind)
+            bvisited.mark(blane * n + bnode)
             verdict = np.zeros(j, dtype=bool)
             while blane.size:
                 reps, flat = expand_csr(in_indptr, bnode)
@@ -713,15 +719,14 @@ class RRCimGenerator(RRSetGenerator):
                     lane_member[blane[reps]], in_eid[flat], in_prob[flat],
                     coins, gen, world,
                 )
-                lkeys = blane[reps[live]] * n + in_src[flat[live]]
-                lkeys = lkeys[~bvisited[lkeys]]
+                lkeys = bvisited.mark_new(
+                    blane[reps[live]] * n + in_src[flat[live]]
+                )
                 if lkeys.size == 0:
                     break
-                lkeys = unique_keys(lkeys)
-                bvisited[lkeys] = True
                 tlane, tnode = np.divmod(lkeys, n)
                 mkeys = lane_member[tlane] * n + tnode
-                lab = state[mkeys] & _LBL_MASK
+                lab = state.get(mkeys) & _LBL_MASK
                 relay = lab == LABEL_ADOPTED  # q_{B|A} = 1: relays anything
                 maybe = np.flatnonzero(
                     (lab == LABEL_POTENTIAL) | (lab == LABEL_SUSPENDED)
@@ -732,7 +737,7 @@ class RRCimGenerator(RRSetGenerator):
                     )
                 rkeys = lkeys[relay]
                 rlane = tlane[relay]
-                verdict[rlane[sf_susp[rkeys]]] = True  # suspended in Sf ∩ Sb
+                verdict[rlane[sf_susp.get(rkeys)]] = True  # suspended in Sf ∩ Sb
                 alive = ~verdict[rlane]  # satisfied lanes stop expanding
                 blane, bnode = np.divmod(rkeys[alive], n)
             passed[lo : lo + j] = verdict
@@ -766,19 +771,23 @@ class RRCimGenerator(RRSetGenerator):
             roots = np.asarray(roots, dtype=np.int64)
         if roots.size == 0:
             return pool
-        # Chunk so each (b, n) state byte-field stays tens of MB; the coin
-        # memo grows with the A-region's degree per world, which is only
+        # The sweep engine budgets the chunk's state (uint8 byte-field
+        # plus bool visited per (member, node) dense); the coin memo
+        # grows with the A-region's degree per world, which is only
         # known after sampling — start with a modest probe chunk and
         # re-size from the observed coins-per-world (PR-1's adaptive
         # chunking, here bounding the memo instead of a phase record).
-        max_chunk = int(np.clip((32 << 20) // max(n, 1), 1, 4096))
+        backend = self.sweep.resolve_backend(n)
+        max_chunk = self.sweep.chunk_size(
+            n, backend, state_bytes_per_node=2, max_members=4096
+        )
         chunk = min(max_chunk, 128)
         start = 0
         while start < roots.size:
             chunk_roots = roots[start : start + chunk]
             b = chunk_roots.size
             start += b
-            state = np.zeros(b * n, dtype=np.uint8)
+            state = make_values(b, n, np.uint8, backend)
             coins = ChunkCoinMemo()
             self._forward_label_batch(b, state, coins, gen, world)
             rr_frags, sec_frags, zig_frags = self._primary_batch(

@@ -32,7 +32,8 @@ from repro.models.possible_world import PossibleWorld
 from repro.models.sources import WorldSource
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
-from repro.rrset.pool import RRSetPool, expand_csr, flatten_members, unique_keys
+from repro.rrset.pool import RRSetPool, expand_csr, flatten_members
+from repro.rrset.sweep import make_flags
 
 
 class RRICGenerator(RRSetGenerator):
@@ -91,18 +92,21 @@ class RRICGenerator(RRSetGenerator):
         if roots.size == 0:
             return pool
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
-        # Chunk so the per-chunk visited matrix stays tens of MB; larger
-        # chunks amortise the per-level numpy call overhead.
-        chunk = int(np.clip((16 << 20) // max(n, 1), 1, 4096))
+        # The sweep engine budgets per-chunk state (one bool per
+        # (member, node) here) and picks dense vs sparse keying by node
+        # count; larger chunks amortise the per-level numpy overhead.
+        backend = self.sweep.resolve_backend(n)
+        chunk = self.sweep.chunk_size(
+            n, backend, state_bytes_per_node=1, max_members=4096
+        )
         for start in range(0, roots.size, chunk):
             chunk_roots = roots[start : start + chunk]
             b = chunk_roots.size
             ids = np.arange(b, dtype=np.int64)
             # Flat (set, node) -> set * n + node keys index a 1D visited
-            # array: 1D gathers/scatters are markedly faster than 2D.
-            visited = np.zeros(b * n, dtype=bool)
-            root_keys = ids * n + chunk_roots
-            visited[root_keys] = True
+            # state: 1D gathers/scatters are markedly faster than 2D.
+            visited = make_flags(b, n, backend)
+            visited.mark(ids * n + chunk_roots)
             member_ids = [ids]
             member_nodes = [chunk_roots]
             frontier_set, frontier_node = ids, chunk_roots
@@ -114,14 +118,13 @@ class RRICGenerator(RRSetGenerator):
                     live = gen.random(flat.size) < in_prob[flat]
                 else:
                     live = world.live[in_eid[flat]]
-                key = frontier_set[reps[live]] * n + in_src[flat[live]]
-                key = key[~visited[key]]
+                # A node may be reached through several live edges in one
+                # level; mark_new keeps one copy per fresh (set, node).
+                key = visited.mark_new(
+                    frontier_set[reps[live]] * n + in_src[flat[live]]
+                )
                 if key.size == 0:
                     break
-                # A node may be reached through several live edges in one
-                # level; keep one copy per (set, node).
-                key = unique_keys(key)
-                visited[key] = True
                 frontier_set, frontier_node = np.divmod(key, n)
                 member_ids.append(frontier_set)
                 member_nodes.append(frontier_node)

@@ -35,6 +35,7 @@ from repro.models.lt import _check_lt_instance
 from repro.rng import SeedLike, make_rng
 from repro.rrset.base import RRSetGenerator
 from repro.rrset.pool import RRSetPool, flatten_members
+from repro.rrset.sweep import make_flags
 
 
 class RRLTGenerator(RRSetGenerator):
@@ -117,13 +118,16 @@ class RRLTGenerator(RRSetGenerator):
             return pool
         in_indptr, in_src, _in_prob, _in_eid = graph.csr_in()
         cum = self._in_cumweights()
-        chunk = int(np.clip((16 << 20) // max(n, 1), 1, 65536))
+        backend = self.sweep.resolve_backend(n)
+        chunk = self.sweep.chunk_size(
+            n, backend, state_bytes_per_node=1, max_members=65536
+        )
         for start in range(0, roots.size, chunk):
             chunk_roots = roots[start : start + chunk]
             b = chunk_roots.size
             ids = np.arange(b, dtype=np.int64)
-            visited = np.zeros(b * n, dtype=bool)
-            visited[ids * n + chunk_roots] = True
+            visited = make_flags(b, n, backend)
+            visited.mark(ids * n + chunk_roots)
             member_ids = [ids]
             member_nodes = [chunk_roots]
             mem, cur = ids, chunk_roots
@@ -155,9 +159,9 @@ class RRLTGenerator(RRSetGenerator):
                 mem = mem[chose]
                 selected = in_src[lo[chose]]
                 keys = mem * n + selected
-                fresh = ~visited[keys]  # a closed cycle ends the walk
+                fresh = ~visited.get(keys)  # a closed cycle ends the walk
                 mem, cur, keys = mem[fresh], selected[fresh], keys[fresh]
-                visited[keys] = True
+                visited.mark(keys)
                 member_ids.append(mem)
                 member_nodes.append(cur)
             nodes, lengths = flatten_members(member_nodes, member_ids, b)

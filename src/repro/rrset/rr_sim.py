@@ -58,6 +58,7 @@ from repro.rrset.pool import (
     touches_from_keys,
     unique_keys,
 )
+from repro.rrset.sweep import make_flags, make_values
 
 #: Bit flags of the batched Phase-II state matrix: the memoised
 #: ``alpha_B < q_B`` outcome (pass/fail) and final B-adoption.
@@ -186,15 +187,16 @@ class RRSimGenerator(RRSetGenerator):
         b: int,
         gen: np.random.Generator,
         world: Optional[PossibleWorld],
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        backend: str,
+    ) -> tuple[object, np.ndarray, np.ndarray]:
         """Phase II for a whole chunk of ``b`` independent worlds.
 
-        Returns ``(state, coin_keys, coin_vals)``.  ``state`` is one flat
-        length ``b * n`` int8 bit-flag array indexed by ``world * n +
-        node`` — :data:`_B_PASS` / :data:`_B_FAIL` memoise each node's
-        lazily-drawn ``alpha_B < q_B`` outcome, :data:`_B_ADOPTED` marks
-        final B-adoption — packed together so every sweep level costs one
-        gather and one scatter.  The sorted ``coin_keys``/``coin_vals``
+        Returns ``(state, coin_keys, coin_vals)``.  ``state`` is one int8
+        bit-flag sweep state over ``world * n + node`` keys (dense flat
+        array or sparse touched-key map per ``backend``) — :data:`_B_PASS`
+        / :data:`_B_FAIL` memoise each node's lazily-drawn ``alpha_B <
+        q_B`` outcome, :data:`_B_ADOPTED` marks final B-adoption — packed
+        together so every sweep level costs one gather and one scatter.  The sorted ``coin_keys``/``coin_vals``
         record every edge coin this phase flipped (key ``world_id * m +
         edge_id``) so Phase III can reuse them — the batched realisation
         of the oracle's memoised ``WorldSource.edge_live``.
@@ -203,9 +205,9 @@ class RRSimGenerator(RRSetGenerator):
         n, m = graph.num_nodes, graph.num_edges
         q_b = self._gaps.q_b
         out_indptr, out_dst, out_prob, out_eid = graph.csr_out()
-        # Flat (world, node) -> world * n + node keys over a 1D state
-        # array: 1D gathers/scatters are markedly faster than 2D.
-        state = np.zeros(b * n, dtype=np.int8)
+        # Flat (world, node) -> world * n + node keys over a 1D state:
+        # 1D gathers/scatters are markedly faster than 2D.
+        state = make_values(b, n, np.int8, backend)
         empty_keys = np.empty(0, dtype=np.int64)
         empty_vals = np.empty(0, dtype=bool)
         # Dedupe like the oracle's frontier guard: a B-seed listed twice
@@ -215,7 +217,7 @@ class RRSimGenerator(RRSetGenerator):
             return state, empty_keys, empty_vals
         frontier_world = np.repeat(np.arange(b, dtype=np.int64), seeds.size)
         frontier_node = np.tile(seeds, b)
-        state[frontier_world * n + frontier_node] = _B_ADOPTED
+        state.put(frontier_world * n + frontier_node, _B_ADOPTED)
         coin_keys: list[np.ndarray] = []
         coin_vals: list[np.ndarray] = []
         while frontier_node.size:
@@ -232,7 +234,7 @@ class RRSimGenerator(RRSetGenerator):
             if key.size == 0:
                 break
             key = unique_keys(key)
-            st = state[key]
+            st = state.get(key)
             idle = (st & _B_ADOPTED) == 0
             key, st = key[idle], st[idle]
             if key.size == 0:
@@ -243,10 +245,10 @@ class RRSimGenerator(RRSetGenerator):
                     passes = gen.random(int(unknown.sum())) < q_b
                     st[unknown] |= np.where(passes, _B_PASS, _B_FAIL)
                 adopt = (st & _B_PASS) != 0
-                state[key] = st | np.where(adopt, _B_ADOPTED, 0)
+                state.put(key, st | np.where(adopt, _B_ADOPTED, 0))
             else:
                 adopt = world.alpha_b[key % n] < q_b
-                state[key[adopt]] = _B_ADOPTED
+                state.put(key[adopt], _B_ADOPTED)
             frontier_world, frontier_node = np.divmod(key[adopt], n)
         if not coin_keys:
             return state, empty_keys, empty_vals
@@ -286,37 +288,43 @@ class RRSimGenerator(RRSetGenerator):
             return pool
         track = pool.track_touches and world is None
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
-        # Chunk so each (b, n) state matrix stays under ~64MB.  Phase II's
-        # per-level sweep overhead is paid once per chunk, so RR-SIM wants
-        # the largest chunk the memory can afford — but the Phase-II coin
-        # record grows with the B-region's out-degree per world, which is
-        # only known after sampling.  Start with a modest probe chunk and
+        # The sweep engine budgets the chunk's state (int8 B-state plus
+        # bool visited per (world, node) dense).  Phase II's per-level
+        # sweep overhead is paid once per chunk, so RR-SIM wants the
+        # largest chunk memory affords — but the Phase-II coin record
+        # grows with the B-region's out-degree per world, which is only
+        # known after sampling.  Start with a modest probe chunk and
         # re-size from the observed coins-per-world so the record stays
         # around _COIN_BUDGET entries per chunk.
-        max_chunk = int(np.clip((64 << 20) // max(n, 1), 1, 8192))
+        backend = self.sweep.resolve_backend(n)
+        max_chunk = self.sweep.chunk_size(
+            n, backend, state_bytes_per_node=2, max_members=8192
+        )
         chunk = min(max_chunk, 256)
         start = 0
         while start < roots.size:
             chunk_roots = roots[start : start + chunk]
             b = chunk_roots.size
             start += b
-            b_state, coin_keys, coin_vals = self._phase2_batch(b, gen, world)
+            b_state, coin_keys, coin_vals = self._phase2_batch(
+                b, gen, world, backend
+            )
             coins_per_world = max(coin_keys.size / b, 1.0)
             chunk = int(np.clip(_COIN_BUDGET / coins_per_world, 1, max_chunk))
             # Phase III: a dequeued node always joins its RR-set; the sweep
             # expands past it only where alpha_A clears the NLA threshold
             # (each node is dequeued at most once per world, so a fresh
             # draw realises the memoised alpha_A exactly).
-            visited = np.zeros(b * n, dtype=bool)
+            visited = make_flags(b, n, backend)
             ids = np.arange(b, dtype=np.int64)
-            visited[ids * n + chunk_roots] = True
+            visited.mark(ids * n + chunk_roots)
             member_ids = [ids]
             member_nodes = [chunk_roots]
             touch_frags: list[np.ndarray] = [coin_keys]
             frontier_set, frontier_node = ids, chunk_roots
             while frontier_node.size:
                 b_adopted = (
-                    b_state[frontier_set * n + frontier_node] & _B_ADOPTED
+                    b_state.get(frontier_set * n + frontier_node) & _B_ADOPTED
                 ) != 0
                 threshold = np.where(b_adopted, gaps.q_a_given_b, gaps.q_a)
                 if world is None:
@@ -344,12 +352,11 @@ class RRSimGenerator(RRSetGenerator):
                             touch_frags.append(ekey)
                 else:
                     live = world.live[in_eid[flat]]
-                key = grow_set[reps[live]] * n + in_src[flat[live]]
-                key = key[~visited[key]]
+                key = visited.mark_new(
+                    grow_set[reps[live]] * n + in_src[flat[live]]
+                )
                 if key.size == 0:
                     break
-                key = unique_keys(key)
-                visited[key] = True
                 frontier_set, frontier_node = np.divmod(key, n)
                 member_ids.append(frontier_set)
                 member_nodes.append(frontier_node)

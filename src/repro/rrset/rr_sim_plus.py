@@ -59,6 +59,7 @@ from repro.rrset.rr_sim import (
     check_rr_sim_regime,
     forward_label_b_adopted,
 )
+from repro.rrset.sweep import make_flags, make_values
 
 
 class RRSimPlusGenerator(RRSetGenerator):
@@ -131,7 +132,7 @@ class RRSimPlusGenerator(RRSetGenerator):
     def _phase2_residual(
         self,
         init_keys: np.ndarray,
-        b_state: np.ndarray,
+        b_state,
         coins: ChunkCoinMemo,
         gen: np.random.Generator,
         world: Optional[PossibleWorld],
@@ -163,7 +164,7 @@ class RRSimPlusGenerator(RRSetGenerator):
             if key.size == 0:
                 break
             key = unique_keys(key)
-            st = b_state[key]
+            st = b_state.get(key)
             idle = (st & _B_ADOPTED) == 0
             key, st = key[idle], st[idle]
             if key.size == 0:
@@ -174,10 +175,10 @@ class RRSimPlusGenerator(RRSetGenerator):
                     passes = gen.random(int(unknown.sum())) < q_b
                     st[unknown] |= np.where(passes, _B_PASS, _B_FAIL)
                 adopt = (st & _B_PASS) != 0
-                b_state[key] = st | np.where(adopt, _B_ADOPTED, 0)
+                b_state.put(key, st | np.where(adopt, _B_ADOPTED, 0))
             else:
                 adopt = world.alpha_b[key % n] < q_b
-                b_state[key[adopt]] = _B_ADOPTED
+                b_state.put(key[adopt], _B_ADOPTED)
             frontier = key[adopt]
 
     def generate_batch(
@@ -209,7 +210,12 @@ class RRSimPlusGenerator(RRSetGenerator):
             return pool
         in_indptr, in_src, in_prob, in_eid = graph.csr_in()
         seeds = np.unique(np.asarray(self._seeds_b, dtype=np.int64))
-        max_chunk = int(np.clip((32 << 20) // max(n, 1), 1, 8192))
+        # Three (member, node) states live per chunk dense: two bool
+        # visited maps plus the int8 B-state.
+        backend = self.sweep.resolve_backend(n)
+        max_chunk = self.sweep.chunk_size(
+            n, backend, state_bytes_per_node=3, max_members=8192
+        )
         chunk = min(max_chunk, 256)
         start = 0
         while start < roots.size:
@@ -223,8 +229,8 @@ class RRSimPlusGenerator(RRSetGenerator):
             # (the oracle's T1), recording every liveness coin it flips —
             # each target node is dequeued at most once, so each in-edge
             # is a first flip.
-            visited = np.zeros(b * n, dtype=bool)
-            visited[root_keys] = True
+            visited = make_flags(b, n, backend)
+            visited.mark(root_keys)
             frontier = root_keys
             while frontier.size:
                 fmember, fnode = np.divmod(frontier, n)
@@ -237,32 +243,31 @@ class RRSimPlusGenerator(RRSetGenerator):
                     coins.record(keys, live)
                 else:
                     live = world.live[in_eid[flat]]
-                tkeys = fmember[reps[live]] * n + in_src[flat[live]]
-                tkeys = tkeys[~visited[tkeys]]
+                tkeys = visited.mark_new(
+                    fmember[reps[live]] * n + in_src[flat[live]]
+                )
                 if tkeys.size == 0:
                     break
-                tkeys = unique_keys(tkeys)
-                visited[tkeys] = True
                 frontier = tkeys
             # Residual forward labeling, only where T1 saw a B-seed (the
             # point of Algorithm 3: skip EPT_F when B cannot matter).
-            b_state = np.zeros(b * n, dtype=np.int8)
+            b_state = make_values(b, n, np.int8, backend)
             if seeds.size:
                 seed_keys = ids[:, None] * n + seeds[None, :]
-                init = seed_keys[visited[seed_keys]]
+                init = seed_keys[visited.get(seed_keys)]
                 if init.size:
-                    b_state[init] = _B_ADOPTED
+                    b_state.put(init, _B_ADOPTED)
                     self._phase2_residual(init, b_state, coins, gen, world)
             # Sweep 2: RR-SIM's Phase III; confined to T1 by construction
             # (it expands along exactly the live in-edges sweep 1 already
             # certified, replayed through the memo).
-            visited2 = np.zeros(b * n, dtype=bool)
-            visited2[root_keys] = True
+            visited2 = make_flags(b, n, backend)
+            visited2.mark(root_keys)
             member_ids = [ids]
             member_nodes = [chunk_roots]
             fset, fnode = ids, chunk_roots
             while fnode.size:
-                b_adopted = (b_state[fset * n + fnode] & _B_ADOPTED) != 0
+                b_adopted = (b_state.get(fset * n + fnode) & _B_ADOPTED) != 0
                 threshold = np.where(b_adopted, gaps.q_a_given_b, gaps.q_a)
                 if world is None:
                     # Each (member, node) is dequeued at most once, so a
@@ -282,12 +287,11 @@ class RRSimPlusGenerator(RRSetGenerator):
                     )
                 else:
                     live = world.live[in_eid[flat]]
-                key = gset[reps[live]] * n + in_src[flat[live]]
-                key = key[~visited2[key]]
+                key = visited2.mark_new(
+                    gset[reps[live]] * n + in_src[flat[live]]
+                )
                 if key.size == 0:
                     break
-                key = unique_keys(key)
-                visited2[key] = True
                 fset, fnode = np.divmod(key, n)
                 member_ids.append(fset)
                 member_nodes.append(fnode)

@@ -8,7 +8,7 @@ processes, store warm starts, pinned thetas — is amortised across
 ``http.server.ThreadingHTTPServer`` (one daemon thread per connection)
 speaking JSON, no dependencies beyond the standard library.
 
-Three behaviours turn the session into a service:
+Four behaviours turn the session into a service:
 
 * **Serialised sessions** — ``ComICSession`` is not thread-safe, so each
   graph's session runs under its own lock.  Different graphs answer
@@ -24,6 +24,14 @@ Three behaviours turn the session into a service:
   effective :class:`~repro.api.config.EngineConfig`, riding the PR 6
   cooperative-budget machinery, so a slow cold query degrades instead of
   holding the graph lock indefinitely.
+* **Graceful drain** — :meth:`ComICServer.close` first flips the server
+  into a draining state (new queries and deltas are refused with
+  **503**), then waits for every in-flight execution — leaders *and*
+  the coalesced followers parked on their flight events — to complete
+  or hit its deadline before any session is closed.  A stuck request
+  only delays the drain up to ``drain_timeout_s``
+  (``ServerStats.drain_timeouts`` counts overruns); session closes are
+  still serialised under each graph's lock either way.
 
 The HTTP layer is a thin shell over :meth:`ComICServer.handle_query`,
 which tests drive directly (no sockets needed).
@@ -47,6 +55,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional
@@ -92,6 +101,10 @@ class ServerStats:
     flights: int = 0
     #: graph deltas applied (POST /graph/<name>/delta successes).
     deltas: int = 0
+    #: queries/deltas refused with 503 because the server was draining.
+    draining_rejections: int = 0
+    #: ``close()`` drain waits that timed out with requests in flight.
+    drain_timeouts: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
@@ -122,14 +135,21 @@ class ComICServer:
 
     Construct, :meth:`register_graph` one or more graphs, then either
     :meth:`start` the HTTP front (returns the bound address) or call
-    :meth:`handle_query` directly (tests, embedding).  ``close`` shuts
-    down the HTTP server and every session (worker pools included).
+    :meth:`handle_query` directly (tests, embedding).  ``close`` drains
+    in-flight work gracefully, then shuts down the HTTP server and every
+    session (worker pools included).
     """
 
     #: default cap on POST request bodies (8 MiB fits any realistic
     #: query envelope; deltas near this size should ship as several
     #: batches anyway).
     DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+    #: default bound on how long :meth:`close` waits for in-flight
+    #: requests to finish.  Well above any sane per-request deadline, so
+    #: a drain normally ends because the work did — the timeout only
+    #: caps a pathologically stuck request.
+    DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
     def __init__(self, *, max_body_bytes: Optional[int] = None) -> None:
         if max_body_bytes is None:
@@ -143,6 +163,13 @@ class ComICServer:
         self._graphs_lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
+        # Drain bookkeeping: every handle_query/handle_delta holds one
+        # unit of _inflight between _begin_request and _end_request;
+        # close() flips _closing and waits on the condition until the
+        # count reaches zero.
+        self._drain = threading.Condition()
+        self._inflight = 0
+        self._closing = False
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self.stats = ServerStats()
@@ -205,6 +232,47 @@ class ComICServer:
         return self._service(name).session
 
     # ------------------------------------------------------------------
+    # Drain accounting
+    # ------------------------------------------------------------------
+    def _begin_request(self) -> None:
+        """Admit one query/delta, or refuse it if the server is draining."""
+        with self._drain:
+            if self._closing:
+                self.stats.draining_rejections += 1
+                raise ServiceError(
+                    503, "server is draining; no new work is accepted"
+                )
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._drain:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drain.notify_all()
+
+    def _wait_drained(self, timeout: Optional[float]) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        with self._drain:
+            while self._inflight:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drain.wait(remaining)
+            return True
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`close` has begun refusing new work."""
+        with self._drain:
+            return self._closing
+
+    # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
     def handle_query(
@@ -216,7 +284,21 @@ class ComICServer:
         :meth:`~repro.api.results.InfluenceResult.to_dict` envelope
         (objective, seeds, objective estimate, full diagnostics including
         ``diagnostics.resilience``); on failure ``{"error": ...}``.
+        A server mid-:meth:`close` answers **503** without executing.
         """
+        try:
+            self._begin_request()
+        except ServiceError as exc:
+            self.stats.errors += 1
+            return exc.status, {"error": str(exc)}
+        try:
+            return self._handle_query_admitted(graph_name, payload)
+        finally:
+            self._end_request()
+
+    def _handle_query_admitted(
+        self, graph_name: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
         try:
             service = self._service(graph_name)
             query, config, rng, coalescible = self._parse_request(
@@ -382,7 +464,21 @@ class ComICServer:
         repaired/regenerated breakdown.  The session mutates under the
         graph's lock, so queries racing a delta see either the old graph
         (old pools) or the new one (repaired pools), never a mix.
+        A server mid-:meth:`close` answers **503** without mutating.
         """
+        try:
+            self._begin_request()
+        except ServiceError as exc:
+            self.stats.errors += 1
+            return exc.status, {"error": str(exc)}
+        try:
+            return self._handle_delta_admitted(graph_name, payload)
+        finally:
+            self._end_request()
+
+    def _handle_delta_admitted(
+        self, graph_name: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
         try:
             service = self._service(graph_name)
             if not isinstance(payload, Mapping):
@@ -510,10 +606,31 @@ class ComICServer:
         host, port = self._httpd.server_address[:2]
         return str(host), int(port)
 
-    def close(self) -> None:
-        """Stop serving and close every session (idempotent)."""
+    def close(
+        self, *, drain_timeout_s: Optional[float] = DEFAULT_DRAIN_TIMEOUT_S
+    ) -> None:
+        """Drain in-flight work, stop serving, close every session.
+
+        The shutdown is graceful and ordered: the server first refuses
+        new queries/deltas with **503**, then waits up to
+        ``drain_timeout_s`` for every admitted request — single-flight
+        leaders, their parked followers, and uncoalesced executions
+        alike — to complete or hit its deadline, and only then closes
+        the HTTP front and the sessions (worker pools included).  Pass
+        ``drain_timeout_s=None`` to wait indefinitely; a timed-out
+        drain bumps ``stats.drain_timeouts`` and proceeds — stragglers
+        still serialise against session closes via each graph's lock.
+        Idempotent.
+        """
+        with self._drain:
+            self._closing = True
         if self._httpd is not None:
+            # Stops the accept loop; connection threads already inside a
+            # handler keep running and are covered by the drain wait.
             self._httpd.shutdown()
+        if not self._wait_drained(drain_timeout_s):
+            self.stats.drain_timeouts += 1
+        if self._httpd is not None:
             self._httpd.server_close()
             self._httpd = None
         if self._thread is not None:

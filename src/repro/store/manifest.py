@@ -40,6 +40,11 @@ from repro.store.keys import PoolKey
 FORMAT_NAME = "repro-pool-store"
 FORMAT_VERSION = 1
 
+#: dtypes an offset column (``indptr``/``touch_indptr``) may be stored in:
+#: the canonical int64, or the uint32 memory diet for pools whose offsets
+#: all fit (half the bytes on disk and — via zero-copy adoption — in RAM).
+OFFSET_DTYPES = ("int64", "uint32")
+
 
 def crc32_of(array: np.ndarray, value: int = 0) -> int:
     """CRC-32 of an array's raw bytes (cheap corruption tripwire).
@@ -77,6 +82,13 @@ class PoolManifest:
     #: ``touch_edges.npy`` and ``touch_indptr.npy``.  The touch CRCs may
     #: themselves be absent (roots-only pools of implicit-touch regimes).
     touches: Optional[Mapping[str, Any]] = None
+    #: optional per-column dtype record (``None``: every offset column is
+    #: the classic int64).  Maps column name (``"indptr"``,
+    #: ``"touch_indptr"``) to the numpy dtype name its ``.npy`` file was
+    #: written in — the uint32 memory diet rides here as an *optional*
+    #: field, so dieted entries need no format-version bump and classic
+    #: entries stay byte-identical to the pre-diet format.
+    column_dtypes: Optional[Mapping[str, str]] = None
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -100,6 +112,8 @@ class PoolManifest:
             # byte-identical to the pre-touch format (old readers skip the
             # key anyway — from_dict reads named fields).
             out["touches"] = dict(self.touches)
+        if self.column_dtypes is not None:
+            out["column_dtypes"] = dict(self.column_dtypes)
         return out
 
     @classmethod
@@ -112,6 +126,7 @@ class PoolManifest:
             )
         try:
             touches = data.get("touches")
+            column_dtypes = data.get("column_dtypes")
             return cls(
                 key=PoolKey.from_dict(data["key"]),
                 graph_fingerprint=str(data["graph_fingerprint"]),
@@ -123,6 +138,9 @@ class PoolManifest:
                 format_version=int(data["format_version"]),
                 provenance=dict(data.get("provenance", {})),
                 touches=dict(touches) if touches is not None else None,
+                column_dtypes=(
+                    dict(column_dtypes) if column_dtypes is not None else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StoreIntegrityError(
@@ -154,6 +172,24 @@ class PoolManifest:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
+    def column_dtype(self, name: str) -> np.dtype:
+        """The dtype ``name``'s offset column file must hold.
+
+        int64 unless the manifest's :attr:`column_dtypes` records the
+        uint32 diet for it; a record naming any other dtype is a
+        malformed manifest (it could never have been written by
+        ``save``) and raises the usual integrity error.
+        """
+        record = self.column_dtypes or {}
+        label = str(record.get(name, "int64"))
+        if label not in OFFSET_DTYPES:
+            raise StoreIntegrityError(
+                f"manifest records illegal dtype {label!r} for the {name} "
+                f"column (expected one of {OFFSET_DTYPES})",
+                reason=InvalidationReason.MALFORMED_MANIFEST,
+            )
+        return np.dtype(label)
+
     def validate_request(
         self, key: PoolKey, graph_fingerprint: Optional[str]
     ) -> None:

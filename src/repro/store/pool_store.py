@@ -7,7 +7,9 @@ plain ``.npy`` files plus a JSON manifest::
     <root>/<key digest>/
         manifest.json     # PoolManifest: key, fingerprint, counts, CRCs
         nodes.npy         # int32 member-node column
-        indptr.npy        # int64 CSR offset column
+        indptr.npy        # CSR offset column: int64, or the uint32
+                          # memory diet when every offset fits (the
+                          # manifest's ``column_dtypes`` records which)
 
 Loads memory-map the columns by default (``mmap_mode="r"``): adopting
 them into an :class:`~repro.rrset.pool.RRSetPool` is zero-copy
@@ -104,6 +106,20 @@ PathLike = Union[str, os.PathLike]
 #: monotonic disambiguator for staging/trash names — two threads of one
 #: process saving the same key must never share a temp directory.
 _TEMP_COUNTER = itertools.count()
+
+_UINT32_MAX = int(np.iinfo(np.uint32).max)
+
+
+def _diet_column(offsets: np.ndarray) -> np.ndarray:
+    """The storage form of a non-decreasing offset column.
+
+    uint32 when every offset fits (half the disk bytes of the canonical
+    int64, and — because loads adopt columns zero-copy — half the resident
+    bytes of a warm-started pool too), otherwise the column unchanged.
+    """
+    if offsets.size == 0 or int(offsets[-1]) <= _UINT32_MAX:
+        return offsets.astype(np.uint32)
+    return offsets
 
 
 def _npy_append(path: Path, delta: np.ndarray, new_count: int) -> bool:
@@ -304,6 +320,18 @@ class PoolStore:
             raise
         if fast is not None:
             return fast
+        indptr_col = _diet_column(indptr)
+        column_dtypes: dict[str, str] = {}
+        if indptr_col.dtype != np.int64:
+            column_dtypes["indptr"] = indptr_col.dtype.name
+        if "touch_indptr" in touch_columns:
+            touch_columns["touch_indptr"] = _diet_column(
+                touch_columns["touch_indptr"]
+            )
+            if touch_columns["touch_indptr"].dtype != np.int64:
+                column_dtypes["touch_indptr"] = touch_columns[
+                    "touch_indptr"
+                ].dtype.name
         touches: Optional[dict[str, Any]] = None
         if touch_columns:
             touches = {
@@ -321,9 +349,10 @@ class PoolStore:
             num_sets=len(pool),
             total_nodes=pool.total_nodes,
             nodes_crc32=crc32_of(nodes),
-            indptr_crc32=crc32_of(indptr),
+            indptr_crc32=crc32_of(indptr_col),
             provenance=stamped,
             touches=touches,
+            column_dtypes=column_dtypes or None,
         )
         token = (
             f"{os.getpid()}.{threading.get_ident()}.{next(_TEMP_COUNTER)}"
@@ -334,7 +363,7 @@ class PoolStore:
         try:
             self._arm_save_columns_fault(staging)
             np.save(staging / NODES_FILE, nodes)
-            np.save(staging / INDPTR_FILE, indptr)
+            np.save(staging / INDPTR_FILE, indptr_col)
             for name, column in touch_columns.items():
                 np.save(staging / f"{name}.npy", column)
             (staging / MANIFEST_FILE).write_text(
@@ -465,6 +494,16 @@ class PoolStore:
             or old.total_nodes > pool.total_nodes
         ):
             return None
+        try:
+            file_dtype = old.column_dtype("indptr")
+        except StoreIntegrityError:
+            return None  # illegal dtype record: rewrite replaces the entry
+        if file_dtype != indptr.dtype:
+            if int(indptr[-1]) > _UINT32_MAX:
+                # The pool outgrew the installed entry's uint32 diet —
+                # only the staged full rewrite can widen the column.
+                return None
+            indptr = indptr.astype(file_dtype)
         # The stored entry must be a byte-prefix of the new columns:
         # checksum the in-memory prefix against the manifest's records.
         if crc32_of(nodes[: old.total_nodes]) != old.nodes_crc32:
@@ -503,6 +542,7 @@ class PoolStore:
                 nodes_crc32=crc32_of(delta_nodes, old.nodes_crc32),
                 indptr_crc32=crc32_of(delta_indptr, old.indptr_crc32),
                 provenance=stamped,
+                column_dtypes=old.column_dtypes,
             )
             tmp = entry / (MANIFEST_FILE + ".tmp")
             tmp.write_text(manifest.to_json(), encoding="utf-8")
@@ -658,9 +698,11 @@ class PoolStore:
             indptr = np.load(entry / INDPTR_FILE, mmap_mode=mmap_mode)
         except (OSError, ValueError) as exc:
             raise StoreIntegrityError(f"unreadable column file: {exc}") from exc
-        if nodes.dtype != np.int32 or indptr.dtype != np.int64:
+        indptr_dtype = manifest.column_dtype("indptr")
+        if nodes.dtype != np.int32 or indptr.dtype != indptr_dtype:
             raise StoreIntegrityError(
-                f"column dtypes {nodes.dtype}/{indptr.dtype} are not int32/int64"
+                f"column dtypes {nodes.dtype}/{indptr.dtype} do not match "
+                f"the manifest's int32/{indptr_dtype}"
             )
         # Columns longer than the manifest describes are a concurrent (or
         # crash-interrupted) incremental append's tail: the described
@@ -689,6 +731,15 @@ class PoolStore:
                     f"unreadable touch column file: {exc}",
                     reason=InvalidationReason.CORRUPT_COLUMNS,
                 ) from exc
+            if touch_indptr is not None and (
+                touch_indptr.dtype != manifest.column_dtype("touch_indptr")
+            ):
+                raise StoreIntegrityError(
+                    f"touch_indptr column dtype {touch_indptr.dtype} does not "
+                    f"match the manifest's "
+                    f"{manifest.column_dtype('touch_indptr')}",
+                    reason=InvalidationReason.CORRUPT_COLUMNS,
+                )
             manifest.validate_touch_columns(roots, touch_edges, touch_indptr)
         # The CRC pass just proved the columns byte-identical to what
         # save() wrote from a validated pool, so from_flat's CSR re-scan

@@ -1,0 +1,160 @@
+"""SNAP edge-list loading: parsing, relabelling, cleaning, synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.snap import (
+    SNAP_WEIGHTINGS,
+    clean_edges,
+    load_snap_graph,
+    read_snap_edges,
+    relabel_edges,
+    synthesize_power_law_edges,
+    write_snap_edge_list,
+    _main,
+)
+from repro.errors import ExperimentError
+
+
+def write_lines(path, text):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestReadSnapEdges:
+    def test_comments_blanks_and_extra_columns(self, tmp_path):
+        path = write_lines(
+            tmp_path / "g.txt",
+            "# a SNAP header\n"
+            "0 5\n"
+            "\n"
+            "5 7 1469000000\n"  # trailing timestamp column ignored
+            "# trailing comment\n"
+            "7 0\n",
+        )
+        src, dst = read_snap_edges(path)
+        assert src.tolist() == [0, 5, 7]
+        assert dst.tolist() == [5, 7, 0]
+
+    def test_empty_file(self, tmp_path):
+        src, dst = read_snap_edges(write_lines(tmp_path / "e.txt", "# only\n"))
+        assert src.size == 0 and dst.size == 0
+
+    def test_malformed_rejected(self, tmp_path):
+        path = write_lines(tmp_path / "bad.txt", "0 not-a-node\n")
+        with pytest.raises(ExperimentError, match="malformed"):
+            read_snap_edges(path)
+
+    def test_single_column_rejected(self, tmp_path):
+        path = write_lines(tmp_path / "one.txt", "0\n1\n")
+        with pytest.raises(ExperimentError, match="malformed"):
+            read_snap_edges(path)
+
+
+class TestRelabelAndClean:
+    def test_relabel_compacts_sparse_ids(self):
+        src = np.array([1000, 7, 1000])
+        dst = np.array([7, 99, 99])
+        new_src, new_dst, ids = relabel_edges(src, dst)
+        assert ids.tolist() == [7, 99, 1000]
+        assert new_src.tolist() == [2, 0, 2]
+        assert new_dst.tolist() == [0, 1, 1]
+        # ids[new] recovers the original labels
+        assert ids[new_src].tolist() == src.tolist()
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ExperimentError, match="negative"):
+            relabel_edges(np.array([-1, 0]), np.array([0, 1]))
+
+    def test_clean_drops_self_loops_and_duplicates(self):
+        src = np.array([0, 0, 1, 2, 0])
+        dst = np.array([1, 1, 1, 2, 2])
+        out_src, out_dst = clean_edges(src, dst, 3)
+        assert list(zip(out_src.tolist(), out_dst.tolist())) == [(0, 1), (0, 2)]
+
+
+class TestLoadSnapGraph:
+    def _triangle(self, tmp_path):
+        return write_lines(
+            tmp_path / "tri.txt", "10 20\n20 30\n30 10\n20 10\n"
+        )
+
+    def test_weighted_cascade(self, tmp_path):
+        graph = load_snap_graph(self._triangle(tmp_path))
+        assert graph.num_nodes == 3 and graph.num_edges == 4
+        # weighted cascade: every edge into v carries 1/indeg(v)
+        dst = graph.edge_targets
+        indeg = np.bincount(dst, minlength=3)
+        assert np.allclose(graph.edge_probabilities, 1.0 / indeg[dst])
+
+    def test_constant_weighting(self, tmp_path):
+        graph = load_snap_graph(
+            self._triangle(tmp_path), weighting="constant", constant=0.25
+        )
+        assert np.allclose(graph.edge_probabilities, 0.25)
+
+    def test_trivalency_is_deterministic_under_rng(self, tmp_path):
+        path = self._triangle(tmp_path)
+        a = load_snap_graph(path, weighting="trivalency", rng=3)
+        b = load_snap_graph(path, weighting="trivalency", rng=3)
+        assert np.array_equal(a.edge_probabilities, b.edge_probabilities)
+        assert set(np.unique(a.edge_probabilities)) <= {0.1, 0.01, 0.001}
+
+    def test_unknown_weighting_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="weighting"):
+            load_snap_graph(self._triangle(tmp_path), weighting="nope")
+        assert "weighted-cascade" in SNAP_WEIGHTINGS
+
+    def test_empty_edge_list_rejected(self, tmp_path):
+        path = write_lines(tmp_path / "e.txt", "# nothing\n")
+        with pytest.raises(ExperimentError, match="no edges"):
+            load_snap_graph(path)
+
+
+class TestSynthesizeAndRoundTrip:
+    def test_synthesis_is_deterministic_and_clean(self):
+        a = synthesize_power_law_edges(500, rng=7)
+        b = synthesize_power_law_edges(500, rng=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        src, dst = a
+        assert (src != dst).all()  # no self-loops
+        keys = src * np.int64(500) + dst
+        assert np.unique(keys).size == keys.size  # no duplicates
+        realised = src.size / 500
+        assert 2.0 < realised <= 5.0  # dedup shaves the requested mean of 5
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="num_nodes"):
+            synthesize_power_law_edges(1)
+        with pytest.raises(ExperimentError, match="exponent"):
+            synthesize_power_law_edges(10, exponent=1.0)
+        with pytest.raises(ExperimentError, match="average_degree"):
+            synthesize_power_law_edges(10, average_degree=0)
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        src, dst = synthesize_power_law_edges(300, rng=11)
+        path = tmp_path / "synth.txt"
+        write_snap_edge_list(path, src, dst, comment="synthetic\ntwo lines")
+        assert path.read_text().startswith("# synthetic\n# two lines\n")
+        graph = load_snap_graph(path)
+        # every node 0..299 with an edge survives relabelling untouched
+        back_src, back_dst = read_snap_edges(path)
+        assert np.array_equal(back_src, src) and np.array_equal(back_dst, dst)
+        assert graph.num_edges == src.size
+        assert graph.num_nodes == np.unique(np.concatenate((src, dst))).size
+
+
+class TestCLI:
+    def test_synthesize_then_info(self, tmp_path, capsys):
+        out = tmp_path / "cli.txt"
+        assert _main(["--synthesize", "200", "--seed", "3", "--out", str(out)]) == 0
+        assert _main(["--info", str(out)]) == 0
+        info = capsys.readouterr().out.strip().splitlines()[-1]
+        nodes, edges = map(int, info.split())
+        src, dst = read_snap_edges(out)
+        assert edges == src.size
+        assert nodes == np.unique(np.concatenate((src, dst))).size
+
+    def test_synthesize_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            _main(["--synthesize", "100"])

@@ -118,7 +118,7 @@ class TestMissesAndInvalidation:
     def test_truncated_indptr_column_rejected(self, store):
         store.save(KEY, make_pool(), graph_fingerprint=FP)
         entry = store.entry_dir(KEY)
-        np.save(entry / INDPTR_FILE, np.array([0, 1], dtype=np.int64))
+        np.save(entry / INDPTR_FILE, np.load(entry / INDPTR_FILE)[:2])
         with pytest.raises(StoreIntegrityError, match="shape"):
             store.load_strict(KEY, graph_fingerprint=FP)
         assert store.load(KEY, graph_fingerprint=FP) is None
@@ -251,3 +251,89 @@ class TestInventory:
     def test_non_poolkey_rejected(self, store):
         with pytest.raises(StoreError, match="PoolKey"):
             store.entry_dir(("rr-sim", GAPS.as_tuple(), (0,)))
+
+
+class TestUint32Diet:
+    """Offset columns shrink to uint32 on disk whenever they fit."""
+
+    def test_save_installs_uint32_offsets_and_round_trips(self, store):
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        on_disk = np.load(store.entry_dir(KEY) / INDPTR_FILE)
+        assert on_disk.dtype == np.uint32
+        manifest = store.manifest(KEY)
+        assert manifest.column_dtypes == {"indptr": "uint32"}
+        assert manifest.column_dtype("indptr") == np.dtype(np.uint32)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert_pools_equal(pool, loaded)
+        assert store.stats.invalidations == 0
+
+    def test_incremental_append_keeps_the_dieted_dtype(self, store):
+        pool = make_pool()
+        store.save(KEY, pool, graph_fingerprint=FP)
+        gen = np.random.default_rng(5)
+        for _ in range(10):
+            pool.append(gen.integers(0, pool.num_nodes, size=4))
+        store.save(KEY, pool, graph_fingerprint=FP)
+        assert store.stats.appends == 1
+        on_disk = np.load(store.entry_dir(KEY) / INDPTR_FILE)
+        assert on_disk.dtype == np.uint32
+        assert_pools_equal(pool, store.load(KEY, graph_fingerprint=FP))
+
+    def test_adopted_uint32_pool_widens_on_growth(self, store):
+        # a loaded pool adopts the uint32 column zero-copy; its first
+        # append must transparently widen back to int64
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        loaded = store.load(KEY, graph_fingerprint=FP)
+        assert np.asarray(loaded.indptr).dtype == np.uint32
+        loaded.append(np.array([1, 2, 3]))
+        assert np.asarray(loaded.indptr).dtype == np.int64
+        assert list(loaded[len(loaded) - 1]) == [1, 2, 3]
+
+    def test_diet_declined_when_offsets_overflow_uint32(self):
+        from repro.store.pool_store import _diet_column
+
+        fits = _diet_column(np.array([0, 3, 2**32 - 1], dtype=np.int64))
+        assert fits.dtype == np.uint32
+        too_big = _diet_column(np.array([0, 3, 2**32], dtype=np.int64))
+        assert too_big.dtype == np.int64
+
+    def test_illegal_recorded_dtype_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        path = store.entry_dir(KEY) / MANIFEST_FILE
+        data = json.loads(path.read_text())
+        data["column_dtypes"] = {"indptr": "float64"}
+        path.write_text(json.dumps(data))
+        with pytest.raises(StoreIntegrityError, match="illegal dtype"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+        assert store.load(KEY, graph_fingerprint=FP) is None
+        assert store.stats.invalidations == 1
+
+    def test_file_dtype_contradicting_manifest_rejected(self, store):
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        entry = store.entry_dir(KEY)
+        # rewrite the column as int64 while the manifest still says uint32
+        np.save(
+            entry / INDPTR_FILE,
+            np.load(entry / INDPTR_FILE).astype(np.int64),
+        )
+        with pytest.raises(StoreIntegrityError, match="do not match"):
+            store.load_strict(KEY, graph_fingerprint=FP)
+
+    def test_classic_manifest_without_record_means_int64(self, store):
+        # pre-diet entries carry no column_dtypes key and default to int64
+        store.save(KEY, make_pool(), graph_fingerprint=FP)
+        entry = store.entry_dir(KEY)
+        path = entry / MANIFEST_FILE
+        data = json.loads(path.read_text())
+        assert "column_dtypes" in data
+        del data["column_dtypes"]
+        path.write_text(json.dumps(data))
+        np.save(
+            entry / INDPTR_FILE,
+            np.load(entry / INDPTR_FILE).astype(np.int64),
+        )
+        with pytest.raises(StoreIntegrityError, match="CRC-32"):
+            # same values, different bytes: the recorded CRC covers the
+            # uint32 file this entry was actually saved with
+            store.load_strict(KEY, graph_fingerprint=FP)
