@@ -1,0 +1,129 @@
+"""Log-to-query pipeline benchmark -> BENCH_pipeline.json.
+
+Runs :func:`~repro.experiments.pipeline_fitted_vs_true` — synthetic
+logs/episodes generated from a known ground-truth network, pipeline run
+cold then warm, fitted model graded against the true one — and gates the
+three ISSUE-10 quality floors:
+
+* **gap_contained** — every fitted GAP parameter lies inside its 95%
+  Wilson CI around truth (× ``--slack`` halfwidths);
+* **spread_ratio** — the fitted model's selected seeds achieve at least
+  ``SPREAD_RATIO_FLOOR`` of the true model's seeds' σ_A when both seed
+  sets are MC-evaluated on the *true* network;
+* **warm_stages_skipped** — a warm re-run with unchanged inputs serves
+  stages 1–2 from the content-addressed stage cache (``>= 2``).
+
+The JSON schema mirrors ``BENCH_service.json``: a ``gate`` block with
+``passed``/``failures``; the script exits non-zero when a gate fails so
+CI turns red on a pipeline regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] \
+        [--output BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.experiments import pipeline_fitted_vs_true
+
+SCHEMA_VERSION = 1
+
+#: gated floor on fitted-seeds vs true-seeds spread under MC evaluation.
+SPREAD_RATIO_FLOOR = 0.9
+
+#: gated floor on warm-re-run cache hits (stages 1-2 must be served).
+STAGES_SKIPPED_FLOOR = 2
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI budget: smaller graph, log and MC sample")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--slack", type=float, default=1.0,
+                        help="CI halfwidth multiplier for the containment gate")
+    parser.add_argument("--output", default="BENCH_pipeline.json")
+    args = parser.parse_args()
+
+    knobs = dict(
+        nodes=200 if args.quick else 300,
+        episodes=150 if args.quick else 250,
+        num_users=3000 if args.quick else 6000,
+        k=4 if args.quick else 5,
+        mc_runs=200 if args.quick else 500,
+        seed=args.seed,
+        slack=args.slack,
+    )
+    with tempfile.TemporaryDirectory() as workdir:
+        metrics = pipeline_fitted_vs_true(workdir=workdir, **knobs)
+
+    table = metrics.pop("table")
+    metrics.pop("db_path", None)  # temp dir — gone by now
+    report: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "config": {"quick": bool(args.quick), **knobs},
+        **metrics,
+        "table_notes": table.notes,
+    }
+
+    failures: list[str] = []
+    if not metrics["gap_contained"]:
+        outside = [
+            r["parameter"] for r in metrics["gap_rows"] if not r["inside_ci"]
+        ]
+        failures.append(
+            f"fitted GAP outside 95% CI (slack {args.slack}): {outside}"
+        )
+    if metrics["spread_ratio"] < SPREAD_RATIO_FLOOR:
+        failures.append(
+            f"spread_ratio {metrics['spread_ratio']:.3f} < floor "
+            f"{SPREAD_RATIO_FLOOR}"
+        )
+    if metrics["warm_stages_skipped"] < STAGES_SKIPPED_FLOOR:
+        failures.append(
+            f"warm_stages_skipped {metrics['warm_stages_skipped']} < "
+            f"{STAGES_SKIPPED_FLOOR}"
+        )
+    report["gate"] = {
+        "passed": not failures,
+        "failures": failures,
+        "spread_ratio_floor": SPREAD_RATIO_FLOOR,
+        "stages_skipped_floor": STAGES_SKIPPED_FLOOR,
+    }
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.output)}")
+    for row in metrics["gap_rows"]:
+        print(
+            f"  {row['parameter']}: true {row['true']:.3f} "
+            f"fitted {row['fitted']:.3f} "
+            f"CI [{row['ci_lo']:.3f}, {row['ci_hi']:.3f}] "
+            f"inside={row['inside_ci']}"
+        )
+    print(
+        f"  spread_ratio {metrics['spread_ratio']:.3f} "
+        f"(fitted {metrics['fitted_spread']:.2f} / "
+        f"true {metrics['true_spread']:.2f}), "
+        f"warm skipped {metrics['warm_stages_skipped']} stages, "
+        f"cold {metrics['cold_wall_s']:.2f}s warm {metrics['warm_wall_s']:.2f}s"
+    )
+    if failures:
+        print("GATE FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,13 @@ from repro.api.config import EngineConfig
 # The dynamic-graph vocabulary: deltas are applied through the session
 # (ComICSession.apply_delta), so their types are part of this layer's
 # public surface even though their homes are repro.graph / repro.errors.
-from repro.errors import DeltaError
+from repro.errors import DeltaError, PipelineError
 from repro.graph.delta import GraphDelta
+# The learning vocabulary the pipeline produces/consumes: these live in
+# repro.learning but are part of the query layer's public surface since
+# PipelineResult hands them to api callers.
+from repro.learning.em_cascades import EMResult
+from repro.learning.estimator import LearnedGap
 from repro.invalidation import InvalidationReason
 from repro.api.queries import (
     BlockingQuery,
@@ -57,23 +62,53 @@ from repro.api.session import (
 # it is part of the session's public vocabulary (pool_info, select_seeds).
 from repro.store import PoolKey
 
+#: pipeline names re-exported lazily (PEP 562): repro.pipeline consumes
+#: this layer (its runner builds ComICSessions), so importing it eagerly
+#: here would be a circular import.  Deferral breaks the cycle while
+#: keeping ``from repro.api import PipelineConfig`` working.
+_PIPELINE_EXPORTS = frozenset(
+    {
+        "PipelineConfig",
+        "PipelineDebugDB",
+        "PipelineResult",
+        "StageRecord",
+        "run_pipeline",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _PIPELINE_EXPORTS:
+        from repro import pipeline as _pipeline
+
+        return getattr(_pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BlockingQuery",
     "ComICSession",
     "CompInfMaxQuery",
     "DeltaError",
     "DeltaReport",
+    "EMResult",
     "EngineConfig",
     "GraphDelta",
     "InfluenceResult",
     "InvalidationReason",
+    "LearnedGap",
     "MC_ENGINE",
     "MultiItemQuery",
     "ObjectiveSpec",
+    "PipelineConfig",
+    "PipelineDebugDB",
+    "PipelineError",
+    "PipelineResult",
     "PoolInfo",
     "PoolKey",
     "SelfInfMaxQuery",
     "SessionStats",
+    "StageRecord",
     "generator_factory",
     "get_spec",
     "known_objectives",
@@ -83,6 +118,7 @@ __all__ = [
     "register",
     "register_regime",
     "resolve",
+    "run_pipeline",
     "spec_for_query",
     "unregister",
     "unregister_regime",

@@ -45,12 +45,37 @@ class ActionLogError(ReproError):
     """Raised for malformed action logs or impossible event orderings."""
 
 
+class LogFormatError(ActionLogError):
+    """A malformed line in a serialised action log, with its location.
+
+    Raised by :func:`~repro.learning.log_io.load_action_log` so callers
+    can report (and tooling can jump to) the offending line: ``path`` and
+    ``line_no`` are carried as attributes, and the message is prefixed
+    ``path:line_no:`` in the usual compiler style.  Subclasses
+    :class:`ActionLogError`, so existing except clauses keep working.
+    """
+
+    def __init__(self, path: object, line_no: int, message: str) -> None:
+        super().__init__(f"{path}:{line_no}: {message}")
+        self.path = str(path)
+        self.line_no = int(line_no)
+
+
 class EstimationError(ReproError):
     """Raised when a statistical estimate cannot be formed (e.g. no data)."""
 
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
+
+
+class PipelineError(ReproError):
+    """Raised by the log-to-query pipeline (:mod:`repro.pipeline`).
+
+    Covers invalid pipeline configurations (unknown backend, malformed
+    stage knobs), missing inputs (an EM backend with no episode corpus),
+    and unusable working directories.
+    """
 
 
 class QueryError(ReproError):

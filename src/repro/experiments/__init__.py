@@ -15,6 +15,7 @@ from repro.experiments.extensions import (
     extension_gap_sensitivity,
     extension_heuristic_comparison,
 )
+from repro.experiments.pipeline_experiment import pipeline_fitted_vs_true
 from repro.experiments.tables import (
     table1_dataset_stats,
     table2_improvement,
@@ -42,6 +43,7 @@ __all__ = [
     "extension_engine_comparison",
     "extension_heuristic_comparison",
     "extension_gap_sensitivity",
+    "pipeline_fitted_vs_true",
     "table1_dataset_stats",
     "table2_improvement",
     "table3_improvement_random",

@@ -46,6 +46,12 @@ site                        meaning (kinds it honours)
 ``store.load``              entry read during :meth:`PoolStore.load`
                             (``corrupt`` — deterministically overwrite
                             bytes of the entry's ``nodes.npy``)
+``pipeline.fit_edges``      the edge-probability stage of
+                            :func:`~repro.pipeline.run_pipeline`
+                            (``error`` — raise :class:`InjectedFault`;
+                            ``slow`` — sleep ``delay_s`` before fitting)
+``pipeline.fit_gap``        the GAP-estimation stage of the pipeline
+                            (same kinds as ``pipeline.fit_edges``)
 ==========================  =====================================================
 
 Usage::
@@ -75,6 +81,8 @@ KNOWN_SITES = frozenset(
         "store.save.manifest",
         "store.save.install",
         "store.load",
+        "pipeline.fit_edges",
+        "pipeline.fit_gap",
     }
 )
 

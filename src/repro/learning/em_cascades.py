@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.errors import EstimationError, SeedSetError
 from repro.graph.digraph import DiGraph
-from repro.rng import SeedLike, make_rng
+from repro.rng import SeedLike, make_rng, spawn_rngs
 
 
 def simulate_ic_with_times(
@@ -80,7 +80,9 @@ def generate_ic_episodes(
     """Sample ``episodes`` IC cascades from uniform-random seed sets.
 
     The training corpus for :func:`em_learn_probabilities`; each episode is
-    an activation-time array.
+    an activation-time array.  Every episode draws from its own child
+    stream spawned from ``rng`` (the RR-layer convention), so episode ``i``
+    is the same regardless of how many episodes are requested.
     """
     if episodes < 0:
         raise EstimationError(f"episodes must be non-negative, got {episodes}")
@@ -89,9 +91,8 @@ def generate_ic_episodes(
             f"seeds_per_episode must lie in [1, {graph.num_nodes}], "
             f"got {seeds_per_episode}"
         )
-    gen = make_rng(rng)
     result = []
-    for _ in range(episodes):
+    for gen in spawn_rngs(rng, episodes):
         seeds = gen.choice(graph.num_nodes, size=seeds_per_episode, replace=False)
         result.append(simulate_ic_with_times(graph, seeds, rng=gen))
     return result
@@ -108,10 +109,29 @@ class EMResult:
     #: per-edge observation counts (successes + failures); edges never
     #: observed keep their initial value and are flagged here with 0.
     observations: np.ndarray
+    #: observed-data log-likelihood trace: entry 0 is the initial
+    #: parameters, entry ``i`` the parameters after iteration ``i``.
+    #: Monotone non-decreasing (EM guarantee); length ``iterations + 1``.
+    log_likelihoods: tuple[float, ...] = ()
 
     def as_graph(self, graph: DiGraph) -> DiGraph:
         """Return ``graph`` re-weighted with the learned probabilities."""
         return graph.with_probabilities(self.probabilities)
+
+
+def _log_likelihood(
+    p: np.ndarray,
+    success_groups: list[np.ndarray],
+    failure_counts: np.ndarray,
+) -> float:
+    """Observed-data log-likelihood of ``p`` (clipped for p ∈ {0, 1})."""
+    eps = 1e-12
+    ll = 0.0
+    for group in success_groups:
+        hazard = 1.0 - float(np.prod(1.0 - p[group]))
+        ll += float(np.log(max(hazard, eps)))
+    ll += float(np.sum(failure_counts * np.log(np.maximum(1.0 - p, eps))))
+    return ll
 
 
 def em_learn_probabilities(
@@ -182,6 +202,7 @@ def em_learn_probabilities(
     observed = observations > 0
     iterations = 0
     converged = False
+    log_likelihoods = [_log_likelihood(p, success_groups, failure_counts)]
     for iterations in range(1, max_iterations + 1):
         credit = np.zeros(m, dtype=np.float64)
         for group in success_groups:
@@ -198,6 +219,7 @@ def em_learn_probabilities(
         np.clip(new_p, 0.0, 1.0, out=new_p)
         delta = float(np.abs(new_p - p).max()) if m else 0.0
         p = new_p
+        log_likelihoods.append(_log_likelihood(p, success_groups, failure_counts))
         if delta < tolerance:
             converged = True
             break
@@ -206,4 +228,5 @@ def em_learn_probabilities(
         iterations=iterations,
         converged=converged,
         observations=observations,
+        log_likelihoods=tuple(log_likelihoods),
     )

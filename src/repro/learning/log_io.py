@@ -16,7 +16,7 @@ from typing import Hashable, Union
 
 import numpy as np
 
-from repro.errors import ActionLogError, EstimationError
+from repro.errors import ActionLogError, EstimationError, LogFormatError
 from repro.learning.action_log import ActionEvent, ActionLog, _VALID_ACTIONS
 
 PathLike = Union[str, os.PathLike]
@@ -38,15 +38,21 @@ def save_action_log(log: ActionLog, path: PathLike, *, comment: str = "") -> Non
         for event in log.canonical_events():
             user = str(event.user)
             item = str(event.item)
-            if "\t" in user or "\t" in item:
-                raise ActionLogError(
-                    "user/item identifiers must not contain tab characters"
-                )
+            for token in (user, item):
+                if "\t" in token or "\n" in token or "\r" in token:
+                    raise ActionLogError(
+                        f"user/item identifier {token!r} contains a tab or "
+                        "newline; it would corrupt the TSV format"
+                    )
             handle.write(f"{event.action}\t{event.time:.10g}\t{user}\t{item}\n")
 
 
 def load_action_log(path: PathLike) -> ActionLog:
-    """Read an action log written by :func:`save_action_log`."""
+    """Read an action log written by :func:`save_action_log`.
+
+    Malformed lines raise :class:`~repro.errors.LogFormatError` carrying
+    ``path`` and ``line_no``, so a bad dump names its offending line.
+    """
     log = ActionLog()
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, raw in enumerate(handle, start=1):
@@ -55,25 +61,29 @@ def load_action_log(path: PathLike) -> ActionLog:
                 continue
             parts = line.split("\t")
             if len(parts) != 4:
-                raise ActionLogError(
-                    f"{path}:{line_no}: expected 4 tab-separated fields, "
-                    f"got {len(parts)}"
+                raise LogFormatError(
+                    path, line_no,
+                    f"expected 4 tab-separated fields, got {len(parts)}",
                 )
             action, time_token, user, item = parts
             if action not in _VALID_ACTIONS:
-                raise ActionLogError(
-                    f"{path}:{line_no}: unknown action {action!r}"
+                raise LogFormatError(
+                    path, line_no, f"unknown action {action!r}"
                 )
             try:
                 time = float(time_token)
             except ValueError as exc:
-                raise ActionLogError(
-                    f"{path}:{line_no}: bad timestamp {time_token!r}"
+                raise LogFormatError(
+                    path, line_no, f"bad timestamp {time_token!r}"
                 ) from exc
-            log.add(ActionEvent(
-                time=time, user=_parse_identifier(user),
-                item=_parse_identifier(item), action=action,
-            ))
+            try:
+                log.add(ActionEvent(
+                    time=time, user=_parse_identifier(user),
+                    item=_parse_identifier(item), action=action,
+                ))
+            except ActionLogError as exc:
+                # e.g. a non-finite timestamp the float() parse accepted.
+                raise LogFormatError(path, line_no, str(exc)) from exc
     return log
 
 

@@ -25,7 +25,7 @@ from typing import Hashable, Sequence
 from repro.errors import ActionLogError
 from repro.learning.action_log import INFORM, RATE, ActionLog
 from repro.models.gaps import GAP
-from repro.rng import SeedLike, make_rng
+from repro.rng import SeedLike, spawn_rngs
 
 #: Offset between an event and the rating it triggers.
 _RATE_DELAY = 1e-6
@@ -84,16 +84,21 @@ def generate_synthetic_log(
     Each pair gets its own disjoint user population of ``num_users`` users
     (user ids are ``(pair_index, i)``), exposed to A and B independently
     with the given probabilities at uniform times in [0, 1].
+
+    Each pair simulates from its own child stream spawned from ``rng``
+    (the RR-layer convention), so a pair's log is the same regardless of
+    where it sits in ``item_pairs``.
     """
     if not 0.0 <= exposure_a <= 1.0 or not 0.0 <= exposure_b <= 1.0:
         raise ActionLogError("exposure probabilities must lie in [0, 1]")
     if num_users < 1:
         raise ActionLogError(f"num_users must be positive, got {num_users}")
-    gen = make_rng(rng)
+    streams = spawn_rngs(rng, len(item_pairs))
     log = ActionLog()
     for pair_index, (item_a, item_b, gaps) in enumerate(item_pairs):
         if item_a == item_b:
             raise ActionLogError(f"pair {pair_index}: items must differ")
+        gen = streams[pair_index]
         for i in range(num_users):
             t_a = float(gen.random()) if gen.random() < exposure_a else None
             t_b = float(gen.random()) if gen.random() < exposure_b else None

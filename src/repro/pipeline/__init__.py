@@ -1,0 +1,45 @@
+"""repro.pipeline — the end-to-end log-to-query learning pipeline.
+
+Wires the two previously disjoint halves of the library together: the
+§7.2 learning layer (:mod:`repro.learning`) feeds the query layer
+(:mod:`repro.api`) through three cached, debuggable stages::
+
+    from repro.api import SelfInfMaxQuery
+    from repro.pipeline import PipelineConfig, run_pipeline
+
+    config = PipelineConfig(
+        item_a="a", item_b="b", edge_backend="em",
+        queries=(SelfInfMaxQuery(seeds_b=(0,), k=5),), seed=7,
+    )
+    result = run_pipeline(
+        graph, log, config, episodes=episodes, workdir="runs/demo"
+    )
+    result.learned_gap.gap, result.results[0].seeds
+
+Stage outputs are cached content-addressed under ``workdir/cache`` (a
+warm re-run with unchanged inputs skips stages 1–2), and every run writes
+its full record to ``workdir/pipeline_debug.sqlite`` — see
+``docs/pipeline.md`` for the operator guide and SQL cookbook.  The
+``python -m repro.pipeline`` CLI runs a config file against on-disk
+inputs; the daemon exposes the same entry point as
+``POST /pipeline/<graph>``.
+"""
+
+from repro.pipeline.cache import StageCache, fingerprint_episodes, fingerprint_log
+from repro.pipeline.config import EDGE_BACKENDS, PipelineConfig
+from repro.pipeline.db import DEBUG_DB_FILE, SCHEMA_VERSION, PipelineDebugDB
+from repro.pipeline.runner import PipelineResult, StageRecord, run_pipeline
+
+__all__ = [
+    "DEBUG_DB_FILE",
+    "EDGE_BACKENDS",
+    "PipelineConfig",
+    "PipelineDebugDB",
+    "PipelineResult",
+    "SCHEMA_VERSION",
+    "StageCache",
+    "StageRecord",
+    "fingerprint_episodes",
+    "fingerprint_log",
+    "run_pipeline",
+]

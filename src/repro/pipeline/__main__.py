@@ -1,0 +1,138 @@
+"""``python -m repro.pipeline`` — run or inspect pipelines from the shell.
+
+Two subcommands::
+
+    python -m repro.pipeline run --graph edges.txt --log log.tsv \\
+        [--episodes eps.npz] [--config config.json] --workdir runs/demo \\
+        [--item-a A --item-b B] [--backend em|goyal] [--seed N] \\
+        [--truth q_a,q_a_given_b,q_b,q_b_given_a]
+
+        Runs the full pipeline and prints the JSON run summary
+        (PipelineResult.to_dict) to stdout.  ``--config`` is a
+        PipelineConfig.to_json file; the flags override its fields.
+
+    python -m repro.pipeline runs --workdir runs/demo
+
+        Lists the working directory's debug-DB run rows as JSON.
+
+Exit status 0 on success, 1 on any pipeline/input error (message on
+stderr).  The graph is a SNAP-style edge list
+(:func:`repro.datasets.load_snap_graph`); its on-disk weighting is
+irrelevant — stage 1 refits the probabilities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.datasets.snap import load_snap_graph
+from repro.errors import ReproError
+from repro.learning.log_io import load_action_log, load_episodes
+from repro.models.gaps import GAP
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.db import DEBUG_DB_FILE, PipelineDebugDB
+from repro.pipeline.runner import run_pipeline
+
+
+def _parse_truth(text: str) -> GAP:
+    parts = text.split(",")
+    if len(parts) != 4:
+        raise ValueError(
+            "truth must be 4 comma-separated floats: "
+            "q_a,q_a_given_b,q_b,q_b_given_a"
+        )
+    q_a, q_ab, q_b, q_ba = (float(p) for p in parts)
+    return GAP(q_a=q_a, q_a_given_b=q_ab, q_b=q_b, q_b_given_a=q_ba)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Run the log-to-query learning pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the pipeline end to end")
+    run.add_argument("--graph", required=True, help="SNAP-style edge list")
+    run.add_argument("--log", required=True, help="action log TSV")
+    run.add_argument("--episodes", help="episode corpus .npz (EM backend)")
+    run.add_argument("--config", help="PipelineConfig JSON file")
+    run.add_argument("--workdir", required=True, help="cache + debug-DB dir")
+    run.add_argument("--item-a", help="override config.item_a")
+    run.add_argument("--item-b", help="override config.item_b")
+    run.add_argument("--backend", choices=("em", "goyal"),
+                     help="override config.edge_backend")
+    run.add_argument("--seed", type=int, help="override config.seed")
+    run.add_argument("--truth", type=_parse_truth, metavar="QA,QAB,QB,QBA",
+                     help="ground-truth GAP for inside-CI verdicts")
+
+    runs = sub.add_parser("runs", help="list a workdir's debug-DB runs")
+    runs.add_argument("--workdir", required=True)
+    return parser
+
+
+def _item_override(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.config:
+        config = PipelineConfig.from_json(
+            Path(args.config).read_text(encoding="utf-8")
+        )
+    else:
+        config = PipelineConfig()
+    overrides = {}
+    if args.item_a is not None:
+        overrides["item_a"] = _item_override(args.item_a)
+    if args.item_b is not None:
+        overrides["item_b"] = _item_override(args.item_b)
+    if args.backend is not None:
+        overrides["edge_backend"] = args.backend
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        payload = config.to_dict()
+        payload.update(overrides)
+        config = PipelineConfig.from_dict(payload)
+
+    graph = load_snap_graph(args.graph)
+    log = load_action_log(args.log)
+    episodes = load_episodes(args.episodes) if args.episodes else None
+    result = run_pipeline(
+        graph, log, config,
+        episodes=episodes, workdir=args.workdir, truth=args.truth,
+    )
+    json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    db_path = Path(args.workdir) / DEBUG_DB_FILE
+    rows = PipelineDebugDB(db_path).runs() if db_path.exists() else []
+    json.dump({"runs": rows}, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_runs(args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(_main())

@@ -142,3 +142,34 @@ class ServiceClient:
         if rng is not None:
             payload["rng"] = rng
         return self._request("POST", f"/graph/{graph}/delta", payload)
+
+    def run_pipeline(
+        self,
+        graph: str,
+        config: Any,
+        log_path: str,
+        *,
+        episodes_path: Optional[str] = None,
+        truth: Optional[Mapping[str, float]] = None,
+    ) -> dict[str, Any]:
+        """POST /pipeline/<graph>; returns the pipeline run summary.
+
+        ``config`` is a :class:`~repro.pipeline.PipelineConfig`
+        (``to_dict`` is called) or an already-serialised payload dict;
+        ``log_path`` / ``episodes_path`` are *server-side* file paths;
+        ``truth`` is an optional ground-truth GAP mapping for inside-CI
+        verdicts in the debug DB.
+        """
+        payload: dict[str, Any] = {
+            "config": config.to_dict() if hasattr(config, "to_dict") else config,
+            "log_path": log_path,
+        }
+        if episodes_path is not None:
+            payload["episodes_path"] = episodes_path
+        if truth is not None:
+            payload["truth"] = dict(truth)
+        return self._request("POST", f"/pipeline/{graph}", payload)
+
+    def pipeline_runs(self, graph: str) -> dict[str, Any]:
+        """GET /pipeline/<graph>/runs; the graph's debug-DB run rows."""
+        return self._request("GET", f"/pipeline/{graph}/runs")

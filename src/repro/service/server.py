@@ -42,8 +42,16 @@ Endpoints (see ``docs/service.md`` for the operator guide)::
     GET  /stats             server counters + per-graph session stats
     GET  /graphs            graph name -> {nodes, edges, fingerprint}
     GET  /catalog[/<name>]  pool-catalog rows (CatalogedPoolStore only)
+    GET  /pipeline/<name>/runs  debug-DB run rows of the graph's pipelines
     POST /query/<name>      {"query": {...}, "config"?, "rng"?, "deadline_s"?}
     POST /graph/<name>/delta  {"delta": {...GraphDelta.to_dict...}, "rng"?}
+    POST /pipeline/<name>   {"config": {...}, "log_path": ..., "episodes_path"?,
+                             "truth"?} — run a pipeline under the graph lock
+
+The pipeline endpoints need a ``pipeline_dir`` (constructor knob): each
+graph's runs live in ``pipeline_dir/<name>/`` (stage cache + debug DB).
+They run against the *registered graph's structure*; the action log and
+episode corpus are read server-side from the request's paths.
 
 POST bodies are capped at ``max_body_bytes`` (constructor knob, default
 8 MiB); oversized requests are refused with **413** before the body is
@@ -60,17 +68,29 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional
 
+from pathlib import Path
+
 from repro.api import ComICSession, EngineConfig, InfluenceResult, registry
 from repro.errors import (
+    ActionLogError,
     DeltaError,
+    EstimationError,
     GapError,
+    PipelineError,
     QueryError,
     ReproError,
     SeedSetError,
 )
 from repro.graph.delta import GraphDelta
 from repro.graph.digraph import DiGraph
+from repro.learning.log_io import load_action_log, load_episodes
 from repro.models.gaps import GAP
+from repro.pipeline import (
+    DEBUG_DB_FILE,
+    PipelineConfig,
+    PipelineDebugDB,
+    run_pipeline,
+)
 from repro.service.catalog import CatalogedPoolStore
 
 __all__ = ["ComICServer", "ServerStats", "ServiceError"]
@@ -101,6 +121,8 @@ class ServerStats:
     flights: int = 0
     #: graph deltas applied (POST /graph/<name>/delta successes).
     deltas: int = 0
+    #: pipelines executed (POST /pipeline/<name> successes).
+    pipelines: int = 0
     #: queries/deltas refused with 503 because the server was draining.
     draining_rejections: int = 0
     #: ``close()`` drain waits that timed out with requests in flight.
@@ -151,7 +173,12 @@ class ComICServer:
     #: caps a pathologically stuck request.
     DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
-    def __init__(self, *, max_body_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_body_bytes: Optional[int] = None,
+        pipeline_dir: Optional[Any] = None,
+    ) -> None:
         if max_body_bytes is None:
             max_body_bytes = self.DEFAULT_MAX_BODY_BYTES
         if max_body_bytes <= 0:
@@ -159,6 +186,11 @@ class ComICServer:
                 f"max_body_bytes must be positive, got {max_body_bytes}"
             )
         self.max_body_bytes = int(max_body_bytes)
+        #: where per-graph pipeline runs live (stage cache + debug DB);
+        #: None disables the /pipeline endpoints with a 400.
+        self.pipeline_dir = (
+            Path(pipeline_dir) if pipeline_dir is not None else None
+        )
         self._graphs: dict[str, _GraphService] = {}
         self._graphs_lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
@@ -524,6 +556,138 @@ class ComICServer:
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
     # ------------------------------------------------------------------
+    # Pipelines
+    # ------------------------------------------------------------------
+    def _pipeline_workdir(self, graph_name: str) -> Path:
+        if self.pipeline_dir is None:
+            raise ServiceError(
+                400,
+                "pipelines are disabled: the server was constructed "
+                "without pipeline_dir",
+            )
+        return self.pipeline_dir / graph_name
+
+    def handle_pipeline(
+        self, graph_name: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Answer one POST /pipeline/<name> payload; returns (status, body).
+
+        The payload is ``{"config": PipelineConfig.to_dict, "log_path":
+        ..., "episodes_path"?, "truth"?}``; the log/episodes are read
+        server-side and the pipeline runs against the registered graph's
+        *structure* under its lock (queries for the graph queue behind
+        it).  The success body is the
+        :meth:`~repro.pipeline.PipelineResult.to_dict` run summary; the
+        run is also recorded in the graph's debug DB
+        (``GET /pipeline/<name>/runs``).
+        """
+        try:
+            self._begin_request()
+        except ServiceError as exc:
+            self.stats.errors += 1
+            return exc.status, {"error": str(exc)}
+        try:
+            return self._handle_pipeline_admitted(graph_name, payload)
+        finally:
+            self._end_request()
+
+    def _handle_pipeline_admitted(
+        self, graph_name: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            service = self._service(graph_name)
+            workdir = self._pipeline_workdir(graph_name)
+            if not isinstance(payload, Mapping):
+                raise ServiceError(400, "request body must be a JSON object")
+            unknown = set(payload) - {
+                "config", "log_path", "episodes_path", "truth",
+            }
+            if unknown:
+                raise ServiceError(
+                    400, f"unknown request fields: {sorted(unknown)}"
+                )
+            config_payload = payload.get("config")
+            if not isinstance(config_payload, Mapping):
+                raise ServiceError(
+                    400,
+                    "request needs a 'config' object "
+                    "(PipelineConfig.to_dict payload)",
+                )
+            try:
+                config = PipelineConfig.from_dict(config_payload)
+            except (PipelineError, QueryError, TypeError, ValueError) as exc:
+                raise ServiceError(400, f"bad config: {exc}") from exc
+            log_path = payload.get("log_path")
+            if not isinstance(log_path, str) or not log_path:
+                raise ServiceError(
+                    400, "request needs a 'log_path' string (action-log TSV)"
+                )
+            episodes_path = payload.get("episodes_path")
+            if episodes_path is not None and not isinstance(episodes_path, str):
+                raise ServiceError(400, "'episodes_path' must be a string")
+            truth_payload = payload.get("truth")
+            truth: Optional[GAP] = None
+            if truth_payload is not None:
+                if not isinstance(truth_payload, Mapping):
+                    raise ServiceError(
+                        400, "'truth' must be a GAP object (q_a, ...)"
+                    )
+                try:
+                    truth = GAP.from_mapping(truth_payload)
+                except (GapError, TypeError, ValueError, KeyError) as exc:
+                    raise ServiceError(400, f"bad truth: {exc}") from exc
+            try:
+                log = load_action_log(log_path)
+                episodes = (
+                    load_episodes(episodes_path)
+                    if episodes_path is not None
+                    else None
+                )
+            except (ActionLogError, EstimationError, OSError) as exc:
+                raise ServiceError(400, f"bad pipeline input: {exc}") from exc
+        except ServiceError as exc:
+            self.stats.errors += 1
+            return exc.status, {"error": str(exc)}
+        try:
+            with service.lock:
+                result = run_pipeline(
+                    service.session.graph,
+                    log,
+                    config,
+                    episodes=episodes,
+                    workdir=workdir,
+                    truth=truth,
+                )
+            self.stats.pipelines += 1
+            return 200, result.to_dict()
+        except (PipelineError, EstimationError, QueryError, GapError) as exc:
+            # the config contradicts the inputs (unlearnable pair, EM
+            # without episodes, bad query): the client's fault
+            self.stats.errors += 1
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            self.stats.errors += 1
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def handle_pipeline_runs(
+        self, graph_name: str
+    ) -> tuple[int, dict[str, Any]]:
+        """Answer GET /pipeline/<name>/runs: the graph's debug-DB run rows.
+
+        Graphs that never ran a pipeline answer ``{"runs": []}``.
+        """
+        service = self._service(graph_name)
+        workdir = self._pipeline_workdir(graph_name)
+        db_path = workdir / DEBUG_DB_FILE
+        if not db_path.exists():
+            return 200, {"graph": service.name, "runs": []}
+        db = PipelineDebugDB(db_path)
+        try:
+            return 200, {"graph": service.name, "runs": db.runs()}
+        finally:
+            db.close()
+
+    # ------------------------------------------------------------------
     # Introspection endpoints
     # ------------------------------------------------------------------
     def handle_health(self) -> tuple[int, dict[str, Any]]:
@@ -686,6 +850,13 @@ def _make_handler(server: ComICServer) -> type[BaseHTTPRequestHandler]:
                 except ServiceError as exc:
                     server.stats.errors += 1
                     self._reply(exc.status, {"error": str(exc)})
+            elif path.startswith("/pipeline/") and path.endswith("/runs"):
+                name = path[len("/pipeline/"):-len("/runs")]
+                try:
+                    self._reply(*server.handle_pipeline_runs(name))
+                except ServiceError as exc:
+                    server.stats.errors += 1
+                    self._reply(exc.status, {"error": str(exc)})
             else:
                 server.stats.errors += 1
                 self._reply(404, {"error": f"no such endpoint: {self.path}"})
@@ -727,6 +898,9 @@ def _make_handler(server: ComICServer) -> type[BaseHTTPRequestHandler]:
             elif path.startswith("/graph/") and path.endswith("/delta"):
                 graph_name = path[len("/graph/"):-len("/delta")]
                 self._reply(*server.handle_delta(graph_name, payload))
+            elif path.startswith("/pipeline/"):
+                graph_name = path[len("/pipeline/"):]
+                self._reply(*server.handle_pipeline(graph_name, payload))
             else:
                 server.stats.errors += 1
                 self._reply(404, {"error": f"no such endpoint: {self.path}"})

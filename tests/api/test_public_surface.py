@@ -14,17 +14,24 @@ EXPECTED_ALL = [
     "CompInfMaxQuery",
     "DeltaError",
     "DeltaReport",
+    "EMResult",
     "EngineConfig",
     "GraphDelta",
     "InfluenceResult",
     "InvalidationReason",
+    "LearnedGap",
     "MC_ENGINE",
     "MultiItemQuery",
     "ObjectiveSpec",
+    "PipelineConfig",
+    "PipelineDebugDB",
+    "PipelineError",
+    "PipelineResult",
     "PoolInfo",
     "PoolKey",
     "SelfInfMaxQuery",
     "SessionStats",
+    "StageRecord",
     "generator_factory",
     "get_spec",
     "known_objectives",
@@ -34,6 +41,7 @@ EXPECTED_ALL = [
     "register",
     "register_regime",
     "resolve",
+    "run_pipeline",
     "spec_for_query",
     "unregister",
     "unregister_regime",

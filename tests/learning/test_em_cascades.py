@@ -132,3 +132,56 @@ class TestEMValidation:
         result = em_learn_probabilities(graph, [])
         assert isinstance(result, EMResult)
         assert np.all(result.observations == 0)
+
+
+class TestLogLikelihoodTrace:
+    def test_trace_length_is_iterations_plus_one(self):
+        graph = star_digraph(8, probability=0.4)
+        episodes = generate_ic_episodes(graph, 40, rng=9)
+        result = em_learn_probabilities(graph, episodes, max_iterations=15)
+        assert len(result.log_likelihoods) == result.iterations + 1
+
+    def test_trace_is_monotone_non_decreasing(self):
+        """The observed-data log-likelihood never drops across M-steps."""
+        graph = star_digraph(10, probability=0.35)
+        episodes = generate_ic_episodes(graph, 60, rng=13)
+        result = em_learn_probabilities(graph, episodes, max_iterations=25)
+        trace = result.log_likelihoods
+        assert len(trace) >= 2
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_trace_defaults_empty(self):
+        result = EMResult(
+            probabilities=np.zeros(0),
+            iterations=0,
+            converged=True,
+            observations=np.zeros(0, dtype=np.int64),
+        )
+        assert result.log_likelihoods == ()
+
+
+class TestChildStreamConvention:
+    """Per-episode child streams (the RR-layer seeding convention)."""
+
+    def test_episode_prefix_stable_under_corpus_growth(self):
+        graph = star_digraph(8, probability=0.4)
+        short = generate_ic_episodes(graph, 5, rng=21)
+        long = generate_ic_episodes(graph, 9, rng=21)
+        assert all(np.array_equal(x, y) for x, y in zip(short, long))
+
+    def test_synthetic_log_pair_stable_under_extra_pairs(self):
+        from repro.learning import generate_synthetic_log
+        from repro.models import GAP
+
+        gap = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.5)
+        solo = generate_synthetic_log([("a", "b", gap)], num_users=50, rng=17)
+        both = generate_synthetic_log(
+            [("a", "b", gap), ("c", "d", gap)], num_users=50, rng=17
+        )
+        for user in solo.users:
+            for item in ("a", "b"):
+                assert solo.rate_time(user, item) == both.rate_time(user, item)
+                assert (
+                    solo.inform_time(user, item)
+                    == both.inform_time(user, item)
+                )

@@ -113,3 +113,85 @@ class TestEpisodeRoundTrip:
         np.savez(path, values=np.arange(3))
         with pytest.raises(EstimationError):
             load_episodes(path)
+
+
+class TestLogFormatError:
+    """Malformed files raise LogFormatError with the offending line number."""
+
+    def test_wrong_field_count_names_line(self, tmp_path):
+        from repro.errors import LogFormatError
+
+        path = tmp_path / "bad.tsv"
+        path.write_text(
+            "# header\nrate\t1.0\tu\ti\nrate\t2.0\tonly-three\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(LogFormatError) as excinfo:
+            load_action_log(path)
+        assert excinfo.value.line_no == 3
+        assert excinfo.value.path == str(path)
+        assert f"{path}:3:" in str(excinfo.value)
+
+    def test_unknown_action_names_line(self, tmp_path):
+        from repro.errors import LogFormatError
+
+        path = tmp_path / "bad.tsv"
+        path.write_text("watch\t1.0\tu\ti\n", encoding="utf-8")
+        with pytest.raises(LogFormatError) as excinfo:
+            load_action_log(path)
+        assert excinfo.value.line_no == 1
+
+    def test_bad_timestamp_names_line(self, tmp_path):
+        from repro.errors import LogFormatError
+
+        path = tmp_path / "bad.tsv"
+        path.write_text("rate\tsoon\tu\ti\n", encoding="utf-8")
+        with pytest.raises(LogFormatError) as excinfo:
+            load_action_log(path)
+        assert excinfo.value.line_no == 1 and "timestamp" in str(excinfo.value)
+
+    def test_non_finite_timestamp_wrapped_with_line(self, tmp_path):
+        from repro.errors import LogFormatError
+
+        path = tmp_path / "bad.tsv"
+        path.write_text("rate\tinf\tu\ti\n", encoding="utf-8")
+        with pytest.raises(LogFormatError) as excinfo:
+            load_action_log(path)
+        assert excinfo.value.line_no == 1
+
+    def test_is_an_action_log_error(self):
+        from repro.errors import LogFormatError
+
+        err = LogFormatError("log.tsv", 7, "boom")
+        assert isinstance(err, ActionLogError)
+        assert (err.path, err.line_no) == ("log.tsv", 7)
+
+
+class TestIdentifierEdgeCases:
+    def test_unicode_identifiers_round_trip(self, tmp_path):
+        log = ActionLog()
+        log.record("ユーザー", "фильм", "inform", 1.0)
+        log.record("ユーザー", "фильм", "rate", 2.0)
+        path = tmp_path / "log.tsv"
+        save_action_log(log, path)
+        loaded = load_action_log(path)
+        assert "ユーザー" in loaded.users
+        assert loaded.rate_time("ユーザー", "фильм") == 2.0
+
+    def test_mixed_int_and_str_users_round_trip(self, tmp_path):
+        log = ActionLog()
+        log.record(1, "a", "rate", 1.0)
+        log.record("u-3", "a", "rate", 3.0)
+        path = tmp_path / "log.tsv"
+        save_action_log(log, path)
+        loaded = load_action_log(path)
+        assert loaded.rate_time(1, "a") == 1.0
+        assert loaded.rate_time("u-3", "a") == 3.0
+        assert "u-3" in loaded.users and 1 in loaded.users
+
+    @pytest.mark.parametrize("bad", ["new\nline", "carriage\rreturn"])
+    def test_newlines_in_identifiers_rejected(self, tmp_path, bad):
+        log = ActionLog()
+        log.record(bad, "item", "rate", 1.0)
+        with pytest.raises(ActionLogError):
+            save_action_log(log, tmp_path / "x.tsv")

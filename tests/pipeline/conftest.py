@@ -1,0 +1,64 @@
+"""Shared fixtures: one small synthetic world, cold + warm pipeline runs.
+
+The expensive part (EM over episodes, the stage-3 query) runs once per
+session; tests that only *read* the outcome (runner assertions, debug-DB
+contents, the docs SQL cookbook) share the ``pipeline_runs`` fixture
+instead of re-running the pipeline.
+"""
+
+import pytest
+
+from repro.api import EngineConfig, SelfInfMaxQuery
+from repro.graph import power_law_digraph, weighted_cascade_probabilities
+from repro.learning import generate_ic_episodes, generate_synthetic_log
+from repro.models import GAP
+from repro.pipeline import PipelineConfig, run_pipeline
+
+#: strictly mutually complementary so the fitted GAP stays inside the
+#: SelfInfMax regime (Q+) despite estimation noise at small sample sizes.
+TRUTH = GAP(q_a=0.3, q_a_given_b=0.75, q_b=0.5, q_b_given_a=0.65)
+
+
+def make_config(**overrides) -> PipelineConfig:
+    """The suite's baseline config; override per test."""
+    base = dict(
+        item_a="a",
+        item_b="b",
+        edge_backend="em",
+        em_max_iterations=25,
+        em_initial=0.1,
+        queries=(SelfInfMaxQuery(seeds_b=(0,), k=2, evaluation_runs=40),),
+        engine=EngineConfig(max_rr_sets=2000),
+        seed=11,
+    )
+    base.update(overrides)
+    return PipelineConfig(**base)
+
+
+@pytest.fixture(scope="session")
+def graph():
+    return weighted_cascade_probabilities(power_law_digraph(80, rng=3))
+
+
+@pytest.fixture(scope="session")
+def log():
+    return generate_synthetic_log([("a", "b", TRUTH)], num_users=800, rng=5)
+
+
+@pytest.fixture(scope="session")
+def episodes(graph):
+    return generate_ic_episodes(graph, 50, seeds_per_episode=2, rng=9)
+
+
+@pytest.fixture(scope="session")
+def pipeline_runs(graph, log, episodes, tmp_path_factory):
+    """(workdir, cold result, warm result) for one shared working dir."""
+    workdir = tmp_path_factory.mktemp("pipeline-shared")
+    config = make_config()
+    cold = run_pipeline(
+        graph, log, config, episodes=episodes, workdir=workdir, truth=TRUTH
+    )
+    warm = run_pipeline(
+        graph, log, config, episodes=episodes, workdir=workdir, truth=TRUTH
+    )
+    return workdir, cold, warm

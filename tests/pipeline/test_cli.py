@@ -1,0 +1,129 @@
+"""``python -m repro.pipeline``: run and runs subcommands, error paths."""
+
+import json
+
+import pytest
+
+from repro.learning import save_action_log, save_episodes
+from repro.pipeline.__main__ import _main
+
+from .conftest import make_config
+
+
+@pytest.fixture(scope="module")
+def cli_inputs(tmp_path_factory):
+    from repro.graph import power_law_digraph, weighted_cascade_probabilities
+    from repro.learning import generate_ic_episodes, generate_synthetic_log
+
+    from .conftest import TRUTH
+
+    root = tmp_path_factory.mktemp("cli-inputs")
+    graph = weighted_cascade_probabilities(power_law_digraph(80, rng=3))
+    edges = root / "edges.txt"
+    with open(edges, "w", encoding="utf-8") as fh:
+        fh.write("# source target\n")
+        for u, v in zip(graph.edge_sources, graph.edge_targets):
+            fh.write(f"{u} {v}\n")
+    log_path = root / "log.tsv"
+    save_action_log(
+        generate_synthetic_log([("a", "b", TRUTH)], num_users=800, rng=5),
+        log_path,
+    )
+    episodes_path = root / "episodes.npz"
+    save_episodes(
+        generate_ic_episodes(graph, 50, seeds_per_episode=2, rng=9),
+        episodes_path,
+    )
+    config_path = root / "config.json"
+    config_path.write_text(make_config().to_json(), encoding="utf-8")
+    return {
+        "edges": str(edges),
+        "log": str(log_path),
+        "episodes": str(episodes_path),
+        "config": str(config_path),
+    }
+
+
+def run_cli(capsys, *argv):
+    code = _main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRunCommand:
+    def test_run_prints_summary_json(self, cli_inputs, tmp_path, capsys):
+        code, out, _err = run_cli(
+            capsys, "run",
+            "--graph", cli_inputs["edges"],
+            "--log", cli_inputs["log"],
+            "--episodes", cli_inputs["episodes"],
+            "--config", cli_inputs["config"],
+            "--workdir", str(tmp_path / "wd"),
+            "--truth", "0.3,0.75,0.5,0.65",
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["stages_run"] == 3
+        assert set(summary["gap"]) == {
+            "q_a", "q_a_given_b", "q_b", "q_b_given_a",
+        }
+
+    def test_flag_overrides_reach_the_config(
+        self, cli_inputs, tmp_path, capsys
+    ):
+        code, out, _err = run_cli(
+            capsys, "run",
+            "--graph", cli_inputs["edges"],
+            "--log", cli_inputs["log"],
+            "--episodes", cli_inputs["episodes"],
+            "--config", cli_inputs["config"],
+            "--workdir", str(tmp_path / "wd"),
+            "--seed", "23",
+        )
+        assert code == 0
+        assert json.loads(out)["config"]["seed"] == 23
+
+    def test_missing_log_file_exits_one(self, cli_inputs, tmp_path, capsys):
+        code, _out, err = run_cli(
+            capsys, "run",
+            "--graph", cli_inputs["edges"],
+            "--log", str(tmp_path / "missing.tsv"),
+            "--episodes", cli_inputs["episodes"],
+            "--workdir", str(tmp_path / "wd"),
+        )
+        assert code == 1 and "error:" in err
+
+    def test_bad_truth_exits_one(self, cli_inputs, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            _main([
+                "run",
+                "--graph", cli_inputs["edges"],
+                "--log", cli_inputs["log"],
+                "--workdir", str(tmp_path / "wd"),
+                "--truth", "0.3,0.75",  # argparse type error -> exit 2
+            ])
+        capsys.readouterr()
+
+
+class TestRunsCommand:
+    def test_runs_lists_history(self, cli_inputs, tmp_path, capsys):
+        workdir = tmp_path / "wd"
+        code, _out, _err = run_cli(
+            capsys, "run",
+            "--graph", cli_inputs["edges"],
+            "--log", cli_inputs["log"],
+            "--episodes", cli_inputs["episodes"],
+            "--config", cli_inputs["config"],
+            "--workdir", str(workdir),
+        )
+        assert code == 0
+        code, out, _err = run_cli(capsys, "runs", "--workdir", str(workdir))
+        assert code == 0
+        rows = json.loads(out)["runs"]
+        assert len(rows) == 1 and rows[0]["status"] == "ok"
+
+    def test_runs_on_fresh_workdir_is_empty(self, tmp_path, capsys):
+        code, out, _err = run_cli(
+            capsys, "runs", "--workdir", str(tmp_path / "empty")
+        )
+        assert code == 0 and json.loads(out) == {"runs": []}

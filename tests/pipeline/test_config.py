@@ -1,0 +1,109 @@
+"""PipelineConfig: validation, JSON round-trips, content digests."""
+
+import json
+
+import pytest
+
+from repro.api import EngineConfig, SelfInfMaxQuery
+from repro.errors import PipelineError
+from repro.pipeline import PipelineConfig
+from repro.pipeline.config import canonical_json, digest_of
+
+from .conftest import make_config
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = PipelineConfig()
+        assert config.edge_backend == "em"
+        assert config.queries == ()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(PipelineError, match="edge_backend"):
+            PipelineConfig(edge_backend="magic")
+
+    def test_equal_items_rejected(self):
+        with pytest.raises(PipelineError, match="must differ"):
+            PipelineConfig(item_a="x", item_b="x")
+
+    def test_bool_item_rejected(self):
+        with pytest.raises(PipelineError, match="item_a"):
+            PipelineConfig(item_a=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"em_max_iterations": 0},
+            {"em_tolerance": -1e-9},
+            {"em_initial": 0.0},
+            {"em_initial": 1.5},
+            {"goyal_window": 0.0},
+            {"goyal_smoothing": -0.5},
+            {"seed": "seven"},
+            {"engine": {"engine": "imm"}},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(PipelineError):
+            PipelineConfig(**kwargs)
+
+    def test_non_query_object_rejected(self):
+        with pytest.raises(PipelineError, match="queries\\[0\\]"):
+            PipelineConfig(queries=({"objective": "selfinfmax"},))
+
+    def test_query_list_coerced_to_tuple(self):
+        query = SelfInfMaxQuery(seeds_b=(0,), k=2)
+        config = PipelineConfig(queries=[query])
+        assert config.queries == (query,)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_equality(self):
+        config = make_config(seed=42)
+        assert PipelineConfig.from_json(config.to_json()) == config
+
+    def test_to_dict_is_plain_json(self):
+        payload = make_config().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_field_rejected(self):
+        payload = PipelineConfig().to_dict()
+        payload["warp_factor"] = 9
+        with pytest.raises(PipelineError, match="warp_factor"):
+            PipelineConfig.from_dict(payload)
+
+    def test_queries_rebuilt_from_payloads(self):
+        config = make_config()
+        rebuilt = PipelineConfig.from_dict(config.to_dict())
+        assert rebuilt.queries == config.queries
+
+    def test_bad_query_payload_rejected(self):
+        payload = PipelineConfig().to_dict()
+        payload["queries"] = "selfinfmax"
+        with pytest.raises(PipelineError, match="queries"):
+            PipelineConfig.from_dict(payload)
+
+    def test_engine_rebuilt(self):
+        config = make_config(engine=EngineConfig(engine="imm"))
+        rebuilt = PipelineConfig.from_dict(config.to_dict())
+        assert rebuilt.engine == config.engine
+
+
+class TestDigest:
+    def test_digest_stable_across_round_trip(self):
+        config = make_config()
+        assert PipelineConfig.from_json(config.to_json()).digest() == config.digest()
+
+    def test_digest_changes_with_any_field(self):
+        assert make_config(seed=1).digest() != make_config(seed=2).digest()
+        assert (
+            make_config(em_max_iterations=10).digest()
+            != make_config(em_max_iterations=11).digest()
+        )
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+        assert digest_of({"b": 1, "a": 2}) == digest_of({"a": 2, "b": 1})
+        assert len(digest_of({})) == 16

@@ -1,0 +1,63 @@
+"""docs/pipeline.md SQL cookbook: every fence executes on a real run DB."""
+
+import pathlib
+import re
+import sqlite3
+
+import pytest
+
+from repro.pipeline import DEBUG_DB_FILE
+
+DOC = pathlib.Path(__file__).parent.parent.parent / "docs" / "pipeline.md"
+_SQL_FENCE = re.compile(r"```sql\n(.*?)```", re.DOTALL)
+
+
+def cookbook_queries():
+    return _SQL_FENCE.findall(DOC.read_text(encoding="utf-8"))
+
+
+def test_cookbook_is_not_empty():
+    assert len(cookbook_queries()) >= 5
+
+
+@pytest.mark.parametrize(
+    "index", range(len(cookbook_queries())), ids=lambda i: f"fence{i}"
+)
+def test_query_executes_on_real_run_db(index, pipeline_runs):
+    """Each fence is a single SELECT runnable against a live debug DB."""
+    workdir, _cold, _warm = pipeline_runs
+    sql = cookbook_queries()[index]
+    conn = sqlite3.connect(workdir / DEBUG_DB_FILE)
+    try:
+        cursor = conn.execute(sql)
+        rows = cursor.fetchall()
+        assert cursor.description is not None  # it's a SELECT, not DDL
+    finally:
+        conn.close()
+    assert isinstance(rows, list)
+
+
+def test_health_query_sees_all_stages(pipeline_runs):
+    """Fence #0 (latest-run health) lists every stage of the latest run."""
+    workdir, _cold, warm = pipeline_runs
+    conn = sqlite3.connect(workdir / DEBUG_DB_FILE)
+    try:
+        rows = conn.execute(cookbook_queries()[0]).fetchall()
+    finally:
+        conn.close()
+    by_stage = {row[0]: row[1] for row in rows}
+    assert set(by_stage) == {"fit_edges", "fit_gap", "query"}
+
+
+def test_ci_violation_query_is_clean_on_healthy_fit(pipeline_runs):
+    """The CI-violation fence flags nothing for the well-sampled fixture."""
+    workdir, _cold, _warm = pipeline_runs
+    violation_sql = next(
+        sql for sql in cookbook_queries() if "inside_ci = 0" in sql
+    )
+    conn = sqlite3.connect(workdir / DEBUG_DB_FILE)
+    try:
+        rows = conn.execute(violation_sql).fetchall()
+    finally:
+        conn.close()
+    assert rows == []

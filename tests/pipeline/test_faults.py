@@ -1,0 +1,80 @@
+"""Injected faults at the pipeline sites leave forensic debug-DB rows."""
+
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, InjectedFault, fault_scope
+from repro.pipeline import DEBUG_DB_FILE, PipelineDebugDB, run_pipeline
+
+from .conftest import make_config
+
+
+def run(graph, log, episodes, workdir):
+    return run_pipeline(
+        graph, log, make_config(), episodes=episodes, workdir=workdir
+    )
+
+
+class TestErrorKind:
+    def test_fit_edges_error_fails_run(self, graph, log, episodes, tmp_path):
+        plan = FaultPlan([FaultSpec("pipeline.fit_edges", "error", at=0)])
+        with fault_scope(plan):
+            with pytest.raises(InjectedFault):
+                run(graph, log, episodes, tmp_path)
+        assert plan.fired == [
+            {"site": "pipeline.fit_edges", "kind": "error", "index": 0}
+        ]
+        db = PipelineDebugDB(tmp_path / DEBUG_DB_FILE)
+        row = db.runs()[0]
+        assert row["status"] == "failed"
+        assert "fit_edges" in row["error"] and "InjectedFault" in row["error"]
+        stages = db.stages(row["run_id"])
+        assert [(s["stage"], s["status"]) for s in stages] == [
+            ("fit_edges", "failed")
+        ]
+        db.close()
+
+    def test_fit_gap_error_preserves_stage_one(
+        self, graph, log, episodes, tmp_path
+    ):
+        plan = FaultPlan([FaultSpec("pipeline.fit_gap", "error", at=0)])
+        with fault_scope(plan):
+            with pytest.raises(InjectedFault):
+                run(graph, log, episodes, tmp_path)
+        db = PipelineDebugDB(tmp_path / DEBUG_DB_FILE)
+        row = db.runs()[0]
+        assert row["status"] == "failed" and "fit_gap" in row["error"]
+        statuses = {s["stage"]: s["status"] for s in db.stages(row["run_id"])}
+        assert statuses == {"fit_edges": "ran", "fit_gap": "failed"}
+        db.close()
+
+    def test_recovery_after_fault_uses_cache(
+        self, graph, log, episodes, tmp_path
+    ):
+        """Stage 1 survives the stage-2 fault; the retry re-uses its cache."""
+        plan = FaultPlan([FaultSpec("pipeline.fit_gap", "error", at=0)])
+        with fault_scope(plan):
+            with pytest.raises(InjectedFault):
+                run(graph, log, episodes, tmp_path)
+        result = run(graph, log, episodes, tmp_path)
+        statuses = {s.stage: s.status for s in result.stages}
+        assert statuses["fit_edges"] == "cached"
+        assert statuses["fit_gap"] == "ran"
+
+
+class TestSlowKind:
+    def test_slow_delays_but_succeeds(self, graph, log, episodes, tmp_path):
+        delay = 0.2
+        plan = FaultPlan(
+            [FaultSpec("pipeline.fit_edges", "slow", at=0, delay_s=delay)]
+        )
+        started = time.perf_counter()
+        with fault_scope(plan):
+            result = run(graph, log, episodes, tmp_path)
+        elapsed = time.perf_counter() - started
+        assert plan.fired[0]["kind"] == "slow"
+        assert elapsed >= delay
+        assert all(s.status in ("ran", "cached") for s in result.stages)
+        by_stage = {s.stage: s for s in result.stages}
+        assert by_stage["fit_edges"].wall_s >= delay

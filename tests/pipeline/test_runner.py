@@ -1,0 +1,166 @@
+"""run_pipeline: cold/warm behaviour, cache invalidation, determinism."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline import (
+    DEBUG_DB_FILE,
+    PipelineDebugDB,
+    run_pipeline,
+)
+
+from .conftest import TRUTH, make_config
+
+
+class TestColdRun:
+    def test_all_stages_ran(self, pipeline_runs):
+        _workdir, cold, _warm = pipeline_runs
+        assert [s.stage for s in cold.stages] == ["fit_edges", "fit_gap", "query"]
+        assert all(s.status == "ran" for s in cold.stages)
+        assert cold.stages_run == 3 and cold.stages_skipped == 0
+
+    def test_fitted_graph_carries_learned_probabilities(
+        self, pipeline_runs, graph
+    ):
+        _workdir, cold, _warm = pipeline_runs
+        assert cold.fitted_graph.num_edges == graph.num_edges
+        probs = cold.fitted_graph.edge_probabilities
+        assert ((probs >= 0.0) & (probs <= 1.0)).all()
+
+    def test_em_diagnostics_attached(self, pipeline_runs):
+        _workdir, cold, _warm = pipeline_runs
+        assert cold.em is not None
+        assert len(cold.em.log_likelihoods) == cold.em.iterations + 1
+
+    def test_learned_gap_contains_truth(self, pipeline_runs):
+        _workdir, cold, _warm = pipeline_runs
+        assert cold.learned_gap.contains_truth(TRUTH, slack=2.0)
+
+    def test_query_answered(self, pipeline_runs):
+        _workdir, cold, _warm = pipeline_runs
+        assert len(cold.results) == 1
+        assert len(cold.results[0].seeds) == 2
+
+    def test_result_summary_is_json(self, pipeline_runs):
+        _workdir, cold, _warm = pipeline_runs
+        payload = json.loads(json.dumps(cold.to_dict()))
+        assert payload["run_id"] == cold.run_id
+        assert payload["stages_run"] == 3
+
+
+class TestWarmRun:
+    def test_stages_one_and_two_cached(self, pipeline_runs):
+        _workdir, _cold, warm = pipeline_runs
+        statuses = {s.stage: s.status for s in warm.stages}
+        assert statuses == {
+            "fit_edges": "cached", "fit_gap": "cached", "query": "ran",
+        }
+        assert warm.stages_skipped == 2
+
+    def test_warm_run_reproduces_cold_outputs(self, pipeline_runs):
+        _workdir, cold, warm = pipeline_runs
+        assert warm.results[0].seeds == cold.results[0].seeds
+        assert warm.learned_gap.gap == cold.learned_gap.gap
+        by_stage_cold = {s.stage: s.output_digest for s in cold.stages}
+        by_stage_warm = {s.stage: s.output_digest for s in warm.stages}
+        assert by_stage_cold == by_stage_warm
+
+
+class TestInvalidation:
+    def test_changed_em_knob_recomputes_edges_only(
+        self, graph, log, episodes, pipeline_runs
+    ):
+        workdir, _cold, _warm = pipeline_runs
+        bumped = make_config(em_max_iterations=26)
+        result = run_pipeline(
+            graph, log, bumped, episodes=episodes, workdir=workdir
+        )
+        statuses = {s.stage: s.status for s in result.stages}
+        assert statuses["fit_edges"] == "ran"      # key includes the knob
+        assert statuses["fit_gap"] == "cached"     # untouched by EM knobs
+
+    def test_changed_log_recomputes_gap(
+        self, graph, episodes, pipeline_runs
+    ):
+        from repro.learning import generate_synthetic_log
+
+        workdir, _cold, _warm = pipeline_runs
+        other_log = generate_synthetic_log(
+            [("a", "b", TRUTH)], num_users=800, rng=6
+        )
+        result = run_pipeline(
+            graph, other_log, make_config(),
+            episodes=episodes, workdir=workdir,
+        )
+        statuses = {s.stage: s.status for s in result.stages}
+        assert statuses["fit_edges"] == "cached"   # EM key ignores the log
+        assert statuses["fit_gap"] == "ran"
+
+
+class TestFailures:
+    def test_em_backend_without_episodes(self, graph, log, tmp_path):
+        with pytest.raises(PipelineError, match="episode"):
+            run_pipeline(graph, log, make_config(), workdir=tmp_path)
+        db = PipelineDebugDB(tmp_path / DEBUG_DB_FILE)
+        run = db.runs()[0]
+        assert run["status"] == "failed"
+        assert "fit_edges" in run["error"]
+        stages = db.stages(run["run_id"])
+        assert [s["status"] for s in stages] == ["failed"]
+        db.close()
+
+    def test_unlearnable_item_pair(self, graph, log, episodes, tmp_path):
+        from repro.errors import EstimationError
+
+        config = make_config(item_a="nope", item_b="b")
+        with pytest.raises(EstimationError):
+            run_pipeline(
+                graph, log, config, episodes=episodes, workdir=tmp_path
+            )
+        db = PipelineDebugDB(tmp_path / DEBUG_DB_FILE)
+        run = db.runs()[0]
+        assert run["status"] == "failed" and "fit_gap" in run["error"]
+        db.close()
+
+
+#: timing-free projections used by the determinism test below.
+_STAGE_COLS = "stage, status, input_digest, output_digest, detail"
+_DETERMINISTIC_QUERIES = (
+    f"SELECT {_STAGE_COLS} FROM stages ORDER BY stage",
+    "SELECT iteration, log_likelihood FROM em_trace ORDER BY iteration",
+    "SELECT edge_id, source, target, probability, observations"
+    " FROM edge_fits ORDER BY edge_id",
+    "SELECT parameter, value, halfwidth, ci_lo, ci_hi, samples,"
+    " true_value, inside_ci FROM gap_fits ORDER BY parameter",
+    "SELECT query_index, objective, query_json, seeds_json, estimate,"
+    " method, engine FROM query_results ORDER BY query_index",
+)
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_debug_rows(
+        self, graph, log, episodes, tmp_path
+    ):
+        """Same inputs + seed => byte-identical stage rows in fresh workdirs."""
+        rows = []
+        for name in ("one", "two"):
+            workdir = tmp_path / name
+            run_pipeline(
+                graph, log, make_config(), episodes=episodes,
+                workdir=workdir, truth=TRUTH,
+            )
+            conn = sqlite3.connect(workdir / DEBUG_DB_FILE)
+            try:
+                rows.append(
+                    [
+                        conn.execute(sql).fetchall()
+                        for sql in _DETERMINISTIC_QUERIES
+                    ]
+                )
+            finally:
+                conn.close()
+        assert rows[0] == rows[1]
+        assert any(table for table in rows[0])  # the projections saw data

@@ -1,0 +1,148 @@
+"""Daemon pipeline endpoints: POST /pipeline/<g>, GET /pipeline/<g>/runs."""
+
+import pytest
+
+from repro.learning import save_action_log, save_episodes
+from repro.service import ComICServer, ServiceClient, ServiceClientError
+
+from .conftest import TRUTH, make_config
+
+TRUTH_PAYLOAD = {
+    "q_a": TRUTH.q_a,
+    "q_a_given_b": TRUTH.q_a_given_b,
+    "q_b": TRUTH.q_b,
+    "q_b_given_a": TRUTH.q_b_given_a,
+}
+
+
+@pytest.fixture(scope="module")
+def inputs_on_disk(tmp_path_factory):
+    # conftest fixtures are session-scoped function results; persist them
+    # once for the whole module the way a daemon operator would.
+    from repro.graph import power_law_digraph, weighted_cascade_probabilities
+    from repro.learning import generate_ic_episodes, generate_synthetic_log
+
+    root = tmp_path_factory.mktemp("pipeline-inputs")
+    graph = weighted_cascade_probabilities(power_law_digraph(80, rng=3))
+    log = generate_synthetic_log([("a", "b", TRUTH)], num_users=800, rng=5)
+    episodes = generate_ic_episodes(graph, 50, seeds_per_episode=2, rng=9)
+    log_path = root / "log.tsv"
+    episodes_path = root / "episodes.npz"
+    save_action_log(log, log_path)
+    save_episodes(episodes, episodes_path)
+    return graph, str(log_path), str(episodes_path)
+
+
+@pytest.fixture
+def server(inputs_on_disk, tmp_path):
+    graph, _log_path, _episodes_path = inputs_on_disk
+    srv = ComICServer(pipeline_dir=tmp_path / "pipelines")
+    srv.register_graph("demo", graph, TRUTH)
+    yield srv
+    srv.close()
+
+
+def payload(log_file, episodes_file, **overrides):
+    body = {
+        "config": make_config().to_dict(),
+        "log_path": log_file,
+        "episodes_path": episodes_file,
+        "truth": TRUTH_PAYLOAD,
+    }
+    body.update(overrides)
+    return body
+
+
+class TestHandlePipeline:
+    def test_end_to_end_run(self, server, inputs_on_disk):
+        _graph, log_path, episodes_path = inputs_on_disk
+        status, body = server.handle_pipeline(
+            "demo", payload(log_path, episodes_path)
+        )
+        assert status == 200
+        assert body["stages_run"] == 3
+        assert len(body["results"]) == 1
+        assert server.stats.pipelines == 1
+        # the run landed in the graph's debug DB
+        status, runs = server.handle_pipeline_runs("demo")
+        assert status == 200
+        assert [r["status"] for r in runs["runs"]] == ["ok"]
+
+    def test_warm_rerun_skips_stages(self, server, inputs_on_disk):
+        _graph, log_path, episodes_path = inputs_on_disk
+        server.handle_pipeline("demo", payload(log_path, episodes_path))
+        status, body = server.handle_pipeline(
+            "demo", payload(log_path, episodes_path)
+        )
+        assert status == 200 and body["stages_skipped"] == 2
+
+    def test_unknown_graph_404(self, server, inputs_on_disk):
+        _graph, log_path, episodes_path = inputs_on_disk
+        status, body = server.handle_pipeline(
+            "nope", payload(log_path, episodes_path)
+        )
+        assert status == 404 and "unknown graph" in body["error"]
+
+    def test_no_pipeline_dir_is_400(self, inputs_on_disk):
+        graph, log_path, episodes_path = inputs_on_disk
+        srv = ComICServer()  # no pipeline_dir
+        srv.register_graph("demo", graph, TRUTH)
+        try:
+            status, body = srv.handle_pipeline(
+                "demo", payload(log_path, episodes_path)
+            )
+        finally:
+            srv.close()
+        assert status == 400 and "pipeline_dir" in body["error"]
+
+    @pytest.mark.parametrize(
+        "mutation, fragment",
+        [
+            ({"bogus": 1}, "unknown request fields"),
+            ({"config": None}, "config"),
+            ({"config": {"edge_backend": "magic"}}, "bad config"),
+            ({"log_path": None}, "log_path"),
+            ({"log_path": "/nonexistent/log.tsv"}, "bad pipeline input"),
+            ({"episodes_path": 7}, "episodes_path"),
+            ({"truth": {"q_a": 2.0}}, "bad truth"),
+        ],
+    )
+    def test_bad_payloads_are_400(
+        self, server, inputs_on_disk, mutation, fragment
+    ):
+        _graph, log_path, episodes_path = inputs_on_disk
+        status, body = server.handle_pipeline(
+            "demo", payload(log_path, episodes_path, **mutation)
+        )
+        assert status == 400, body
+        assert fragment in body["error"]
+
+    def test_em_without_episodes_is_400(self, server, inputs_on_disk):
+        _graph, log_path, _episodes_path = inputs_on_disk
+        body = payload(log_path, None)
+        del body["episodes_path"]
+        status, response = server.handle_pipeline("demo", body)
+        assert status == 400 and "episode" in response["error"]
+
+
+class TestRunsEndpoint:
+    def test_empty_before_any_run(self, server):
+        status, body = server.handle_pipeline_runs("demo")
+        assert status == 200 and body == {"graph": "demo", "runs": []}
+
+
+class TestOverHttp:
+    def test_client_round_trip(self, server, inputs_on_disk):
+        _graph, log_path, episodes_path = inputs_on_disk
+        host, port = server.start()
+        with ServiceClient(host, port, timeout=300.0) as client:
+            body = client.run_pipeline(
+                "demo", make_config(), log_path,
+                episodes_path=episodes_path, truth=TRUTH_PAYLOAD,
+            )
+            assert body["stages_run"] == 3
+            runs = client.pipeline_runs("demo")
+            assert runs["graph"] == "demo" and len(runs["runs"]) == 1
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.run_pipeline("demo", {"edge_backend": "magic"}, log_path)
+            assert excinfo.value.status == 400

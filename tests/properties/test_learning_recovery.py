@@ -1,0 +1,71 @@
+"""Properties of the learning layer the pipeline leans on.
+
+1. ``learn_gap_pair`` recovers the generating GAP: on a synthetic NLA
+   log drawn from a known quadruple, every fitted parameter lands within
+   a few CI halfwidths of truth (``contains_truth`` with slack — the CI
+   machinery itself is what's under test, not luck).
+2. The Saito EM's observed-data log-likelihood trace is monotone
+   non-decreasing — the textbook EM guarantee; a violation means the
+   E-step credit or the M-step update is wrong.
+
+Both scale with the nightly ``ci-deep`` profile (10x examples).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from tests.properties._profiles import ci_settings
+
+from repro.graph import star_digraph
+from repro.learning import generate_synthetic_log, learn_gap_pair
+from repro.learning.em_cascades import (
+    em_learn_probabilities,
+    generate_ic_episodes,
+)
+from repro.models import GAP
+
+#: probabilities kept away from {0, 1}: boundary parameters have
+#: degenerate CIs (halfwidth -> 0 at p in {0,1} with moderate samples).
+_PROB = st.floats(min_value=0.25, max_value=0.85, allow_nan=False)
+
+
+@st.composite
+def gaps(draw) -> GAP:
+    return GAP(
+        q_a=draw(_PROB),
+        q_a_given_b=draw(_PROB),
+        q_b=draw(_PROB),
+        q_b_given_a=draw(_PROB),
+    )
+
+
+@ci_settings(10)
+@given(truth=gaps(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_learn_gap_pair_recovers_truth(truth, seed):
+    log = generate_synthetic_log(
+        [("a", "b", truth)], num_users=1200, rng=seed
+    )
+    learned = learn_gap_pair(log, "a", "b")
+    assert learned.contains_truth(truth, slack=4.0), (
+        truth,
+        learned.gap,
+        learned.halfwidths,
+    )
+
+
+@ci_settings(10)
+@given(
+    leaves=st.integers(min_value=4, max_value=12),
+    probability=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    episodes=st.integers(min_value=10, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_em_log_likelihood_monotone(leaves, probability, episodes, seed):
+    graph = star_digraph(leaves, probability=probability)
+    corpus = generate_ic_episodes(graph, episodes, rng=seed)
+    result = em_learn_probabilities(graph, corpus, max_iterations=20)
+    trace = result.log_likelihoods
+    assert len(trace) == result.iterations + 1
+    assert all(
+        after >= before - 1e-9 for before, after in zip(trace, trace[1:])
+    )
